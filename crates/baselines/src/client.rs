@@ -1,0 +1,147 @@
+//! Closed-loop client for baseline systems.
+//!
+//! Baseline clients route the way their real counterparts do: Dynamo-style
+//! stores accept any node as coordinator (round-robin); proxy-based stores
+//! talk to a proxy tier. No shard map, no coordinator protocol — just
+//! request/response with in-order ids per client.
+
+use bespokv_cluster::metrics::{LatencyHistogram, Timeline};
+use bespokv_cluster::OpSource;
+use bespokv_proto::client::Request;
+use bespokv_proto::NetMsg;
+
+/// Picks the destination for a request (token-aware drivers). Receives the
+/// request and a round-robin counter for replica spreading.
+pub type Router = dyn Fn(&Request, u64) -> Addr + Send;
+use bespokv_runtime::{Actor, Addr, Context, Event};
+use bespokv_types::{ClientId, Duration, Instant, RequestId};
+use std::collections::HashMap;
+
+const TICK: u64 = 1;
+
+/// Closed-loop client sending to a fixed target set round-robin.
+pub struct BaselineClient {
+    id: ClientId,
+    targets: Vec<Addr>,
+    router: Option<Box<Router>>,
+    source: Box<dyn OpSource>,
+    concurrency: usize,
+    next_seq: u32,
+    rr: usize,
+    outstanding: HashMap<RequestId, Instant>,
+    warmup: Duration,
+    start: Option<Instant>,
+    /// Completions in the measurement window.
+    pub completed: u64,
+    /// Errors in the measurement window.
+    pub errors: u64,
+    /// Latency histogram.
+    pub latency: LatencyHistogram,
+    /// Whole-run throughput timeline.
+    pub timeline: Timeline,
+}
+
+impl BaselineClient {
+    /// Creates the client.
+    pub fn new(
+        id: ClientId,
+        targets: Vec<Addr>,
+        source: Box<dyn OpSource>,
+        concurrency: usize,
+        warmup: Duration,
+        timeline_bucket: Duration,
+    ) -> Self {
+        assert!(!targets.is_empty());
+        BaselineClient {
+            id,
+            targets,
+            router: None,
+            source,
+            concurrency: concurrency.max(1),
+            next_seq: 0,
+            rr: id.raw() as usize,
+            outstanding: HashMap::new(),
+            warmup,
+            start: None,
+            completed: 0,
+            errors: 0,
+            latency: LatencyHistogram::new(),
+            timeline: Timeline::new(timeline_bucket),
+        }
+    }
+
+    /// Installs a token-aware router (e.g. a client-side Twemproxy shim or
+    /// a Dyno token-aware driver) instead of round-robin targeting.
+    pub fn with_router(mut self, router: Box<Router>) -> Self {
+        self.router = Some(router);
+        self
+    }
+
+    fn pump(&mut self, now: Instant, ctx: &mut Context) {
+        while self.outstanding.len() < self.concurrency {
+            let (op, table, level) = self.source.next();
+            let rid = RequestId::compose(self.id, self.next_seq);
+            self.next_seq = self.next_seq.wrapping_add(1);
+            self.rr = self.rr.wrapping_add(1);
+            let req = Request {
+                id: rid,
+                table,
+                op,
+                level,
+            };
+            let target = match &self.router {
+                Some(route) => route(&req, self.rr as u64),
+                None => self.targets[self.rr % self.targets.len()],
+            };
+            self.outstanding.insert(rid, now);
+            ctx.send(target, NetMsg::Client(req));
+        }
+    }
+}
+
+impl Actor for BaselineClient {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        match ev {
+            Event::Start => {
+                self.start = Some(ctx.now());
+                ctx.set_timer(Duration::from_millis(100), TICK);
+                self.pump(ctx.now(), ctx);
+            }
+            Event::Timer { token: TICK } => {
+                // Drop requests silent for >1 s (target died) and refill.
+                let now = ctx.now();
+                self.outstanding
+                    .retain(|_, sent| now.saturating_since(*sent) < Duration::from_secs(1));
+                self.pump(now, ctx);
+                ctx.set_timer(Duration::from_millis(100), TICK);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { msg, .. } => {
+                if let NetMsg::ClientResp(resp) = msg {
+                    let now = ctx.now();
+                    if let Some(sent) = self.outstanding.remove(&resp.id) {
+                        if resp.result.is_ok() {
+                            self.timeline.record(now);
+                        }
+                        let measuring = self
+                            .start
+                            .map(|s| now.saturating_since(s) >= self.warmup)
+                            .unwrap_or(false);
+                        if measuring {
+                            self.completed += 1;
+                            if resp.result.is_err() {
+                                self.errors += 1;
+                            }
+                            self.latency.record(now.saturating_since(sent));
+                        }
+                    }
+                    self.pump(now, ctx);
+                }
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

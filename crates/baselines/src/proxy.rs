@@ -1,0 +1,492 @@
+//! Proxy-based baselines: Twemproxy-like and Dynomite-like (section
+//! VIII-E of the paper).
+//!
+//! Both systems are modeled at deployment fidelity:
+//!
+//! * **Twemproxy** runs colocated with the application as a routing
+//!   sidecar, so routing is client-side: writes go straight to the Redis
+//!   master of the owning group, reads round-robin over the group. Redis
+//!   masters replicate to their slaves asynchronously over a streamed
+//!   (TCP-coalesced, hence batched) connection.
+//! * **Dynomite** colocates a proxy with every Redis on the same box; the
+//!   pair behaves as one node (loopback between them is not a network
+//!   hop). Clients use the token-aware Dyno driver: any node of the
+//!   owning replica group takes the request; writes replicate
+//!   asynchronously to the peer nodes of the group (AA+EC). There is no
+//!   ordering service — concurrent writes race with last-writer-wins on
+//!   node-local versions, which is exactly why the paper notes Dynomite
+//!   "does not support (a strict form of) EC".
+
+use bespokv_cluster::metrics::RunStats;
+use bespokv_cluster::OpSource;
+use bespokv_datalet::{Datalet, EngineKind};
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::{LogEntry, NetMsg, ReplMsg};
+use bespokv_runtime::{
+    Actor, Addr, Context, Event, NetworkModel, Simulation, TransportProfile,
+};
+use bespokv_types::{ClientId, Duration, ShardId};
+use std::sync::Arc;
+
+/// Which proxy system to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProxyStyle {
+    /// Client-side sharding sidecar + Redis master-slave groups (MS+EC).
+    Twemproxy,
+    /// Colocated proxies, active-active replica groups (AA+EC).
+    Dynomite,
+}
+
+impl ProxyStyle {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProxyStyle::Twemproxy => "twemproxy+redis",
+            ProxyStyle::Dynomite => "dynomite+redis",
+        }
+    }
+
+    /// Per-request CPU added by the proxy layer on the serving node.
+    /// Twemproxy's routing runs client-side (free for the server);
+    /// Dynomite's proxy shares the node with Redis.
+    pub fn node_overhead(self) -> Duration {
+        match self {
+            ProxyStyle::Twemproxy => Duration::ZERO,
+            ProxyStyle::Dynomite => Duration::from_micros(3),
+        }
+    }
+}
+
+const REPL_FLUSH_TIMER: u64 = 5;
+
+/// A Redis-class backend node, optionally replicating its writes to peers
+/// over a streamed (batched) replication connection.
+pub struct DataletServer {
+    store: Arc<dyn Datalet>,
+    cost: bespokv_runtime::CostModel,
+    /// Peers receiving this node's writes (slaves under Twemproxy; the
+    /// rest of the replica group under Dynomite).
+    repl_peers: Vec<Addr>,
+    /// Extra per-request CPU (Dynomite's colocated proxy).
+    overhead: Duration,
+    /// Buffered replication stream, flushed on a short timer like a
+    /// TCP-coalesced Redis replication connection.
+    repl_buffer: Vec<LogEntry>,
+    repl_seq: u64,
+    version: u64,
+}
+
+impl DataletServer {
+    /// Creates a backend node.
+    pub fn new(store: Arc<dyn Datalet>, repl_peers: Vec<Addr>, overhead: Duration) -> Self {
+        DataletServer {
+            store,
+            cost: crate::engine_cost(EngineKind::THt),
+            repl_peers,
+            overhead,
+            repl_buffer: Vec::new(),
+            repl_seq: 1,
+            version: 1,
+        }
+    }
+
+    fn apply(&self, entry: &LogEntry, ctx: &mut Context) {
+        ctx.charge(self.cost.put);
+        let _ = self.store.create_table(&entry.table);
+        match &entry.value {
+            Some(v) => {
+                let _ = self
+                    .store
+                    .put(&entry.table, entry.key.clone(), v.clone(), entry.version);
+            }
+            None => {
+                let _ = self.store.del(&entry.table, &entry.key, entry.version);
+            }
+        }
+    }
+
+    fn execute(&mut self, req: &Request, ctx: &mut Context) -> Response {
+        ctx.charge(self.overhead);
+        let result = match &req.op {
+            Op::Put { key, value } => {
+                self.version += 1;
+                let entry = LogEntry {
+                    table: req.table.clone(),
+                    key: key.clone(),
+                    value: Some(value.clone()),
+                    version: self.version,
+                };
+                self.apply(&entry, ctx);
+                if !self.repl_peers.is_empty() {
+                    self.repl_buffer.push(entry);
+                }
+                Ok(RespBody::Done)
+            }
+            Op::Del { key } => {
+                self.version += 1;
+                let entry = LogEntry {
+                    table: req.table.clone(),
+                    key: key.clone(),
+                    value: None,
+                    version: self.version,
+                };
+                self.apply(&entry, ctx);
+                if !self.repl_peers.is_empty() {
+                    self.repl_buffer.push(entry);
+                }
+                Ok(RespBody::Done)
+            }
+            Op::Get { key } => {
+                ctx.charge(self.cost.get);
+                self.store.get(&req.table, key).map(RespBody::Value)
+            }
+            Op::Scan { start, end, limit } => {
+                ctx.charge(self.cost.scan_base);
+                self.store
+                    .scan(&req.table, start, end, *limit as usize)
+                    .map(RespBody::Entries)
+            }
+            Op::CreateTable { name } => self.store.create_table(name).map(|()| RespBody::Done),
+            Op::DeleteTable { name } => {
+                self.store.delete_table(name).map(|()| RespBody::Done)
+            }
+        };
+        Response {
+            id: req.id,
+            result,
+        }
+    }
+
+    fn flush_replication(&mut self, ctx: &mut Context) {
+        if self.repl_buffer.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.repl_buffer);
+        let first_seq = self.repl_seq;
+        self.repl_seq += entries.len() as u64;
+        for &peer in &self.repl_peers {
+            ctx.send(
+                peer,
+                NetMsg::Repl(ReplMsg::PropBatch {
+                    shard: ShardId(0),
+                    epoch: 0,
+                    first_seq,
+                    entries: entries.clone(),
+                }),
+            );
+        }
+    }
+}
+
+impl Actor for DataletServer {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        match ev {
+            Event::Start => ctx.set_timer(Duration::from_millis(2), REPL_FLUSH_TIMER),
+            Event::Timer {
+                token: REPL_FLUSH_TIMER,
+            } => {
+                self.flush_replication(ctx);
+                ctx.set_timer(Duration::from_millis(2), REPL_FLUSH_TIMER);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { from, msg } => match msg {
+                NetMsg::Client(req) => {
+                    let resp = self.execute(&req, ctx);
+                    ctx.send(from, NetMsg::ClientResp(resp));
+                }
+                NetMsg::Repl(ReplMsg::PropBatch { entries, .. }) => {
+                    for e in &entries {
+                        self.apply(e, ctx);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// An assembled proxy-based cluster.
+pub struct ProxyCluster {
+    /// The simulator.
+    pub sim: Simulation,
+    /// Backend/node addresses, grouped consecutively (`replication` per
+    /// group).
+    pub backends: Vec<Addr>,
+    /// Backend stores.
+    pub stores: Vec<Arc<dyn Datalet>>,
+    /// Clients.
+    pub clients: Vec<Addr>,
+    style: ProxyStyle,
+    group_backends: Vec<Vec<Addr>>,
+    next_client: u32,
+}
+
+impl ProxyCluster {
+    /// Builds `groups` replica groups of `replication` nodes each.
+    pub fn build(
+        style: ProxyStyle,
+        groups: u32,
+        replication: usize,
+        transport: TransportProfile,
+    ) -> Self {
+        let mut sim = Simulation::new(NetworkModel::uniform(transport));
+        let backend_addr = |g: usize, r: usize| Addr((g * replication + r) as u32);
+        let mut backends = Vec::new();
+        let mut stores = Vec::new();
+        for g in 0..groups as usize {
+            for r in 0..replication {
+                let store = EngineKind::THt.build();
+                let repl_peers: Vec<Addr> = match style {
+                    // Redis master streams to its slaves.
+                    ProxyStyle::Twemproxy if r == 0 => {
+                        (1..replication).map(|s| backend_addr(g, s)).collect()
+                    }
+                    ProxyStyle::Twemproxy => Vec::new(),
+                    // Dynomite: every active replicates to the rest of the
+                    // group.
+                    ProxyStyle::Dynomite => (0..replication)
+                        .filter(|&p| p != r)
+                        .map(|p| backend_addr(g, p))
+                        .collect(),
+                };
+                let addr = sim.add_actor(Box::new(DataletServer::new(
+                    Arc::clone(&store),
+                    repl_peers,
+                    style.node_overhead(),
+                )));
+                assert_eq!(addr, backend_addr(g, r));
+                backends.push(addr);
+                stores.push(store);
+            }
+        }
+        let group_backends: Vec<Vec<Addr>> = (0..groups as usize)
+            .map(|g| (0..replication).map(|r| backend_addr(g, r)).collect())
+            .collect();
+        ProxyCluster {
+            sim,
+            backends,
+            stores,
+            clients: Vec::new(),
+            style,
+            group_backends,
+            next_client: 7000,
+        }
+    }
+
+    /// The modeled system.
+    pub fn style(&self) -> ProxyStyle {
+        self.style
+    }
+
+    /// Preloads data into every backend store.
+    pub fn preload<I: IntoIterator<Item = (bespokv_types::Key, bespokv_types::Value)>>(
+        &mut self,
+        items: I,
+    ) {
+        for (k, v) in items {
+            for s in &self.stores {
+                let _ = s.put(bespokv_datalet::DEFAULT_TABLE, k.clone(), v.clone(), 1);
+            }
+        }
+    }
+
+    /// Attaches a closed-loop client with deployment-faithful routing:
+    /// client-side sharding (Twemproxy sidecar) or a token-aware driver
+    /// (Dynomite).
+    pub fn add_client(
+        &mut self,
+        source: Box<dyn OpSource>,
+        concurrency: usize,
+        warmup: Duration,
+        timeline_bucket: Duration,
+    ) -> Addr {
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        let style = self.style;
+        let groups = self.group_backends.clone();
+        let n_groups = groups.len() as u32;
+        let map = bespokv_types::ShardMap::dense(
+            n_groups,
+            1,
+            bespokv_types::Mode::AA_EC,
+            bespokv_types::Partitioning::ConsistentHash { vnodes: 16 },
+        );
+        let router = move |req: &Request, rr: u64| -> Addr {
+            let g = match req.op.key() {
+                Some(key) => map.shard_for_key(key).raw() as usize,
+                None => (rr % n_groups as u64) as usize,
+            };
+            match style {
+                ProxyStyle::Twemproxy => {
+                    if req.op.is_write() {
+                        groups[g][0]
+                    } else {
+                        groups[g][rr as usize % groups[g].len()]
+                    }
+                }
+                // Token-aware: any node of the owning group serves.
+                ProxyStyle::Dynomite => groups[g][rr as usize % groups[g].len()],
+            }
+        };
+        let client = crate::client::BaselineClient::new(
+            id,
+            self.backends.clone(),
+            source,
+            concurrency,
+            warmup,
+            timeline_bucket,
+        )
+        .with_router(Box::new(router));
+        let addr = self.sim.add_actor(Box::new(client));
+        self.clients.push(addr);
+        addr
+    }
+
+    /// Runs and aggregates client stats.
+    pub fn run_and_collect(&mut self, warmup: Duration, window: Duration) -> RunStats {
+        self.sim.run_for(warmup + window);
+        let mut latency = bespokv_cluster::metrics::LatencyHistogram::new();
+        let mut timeline: Option<bespokv_cluster::metrics::Timeline> = None;
+        let mut completed = 0;
+        let mut errors = 0;
+        for &a in &self.clients.clone() {
+            let c = self.sim.actor_mut::<crate::client::BaselineClient>(a);
+            completed += c.completed;
+            errors += c.errors;
+            latency.merge(&c.latency);
+            match &mut timeline {
+                Some(t) => t.merge(&c.timeline),
+                None => timeline = Some(c.timeline.clone()),
+            }
+        }
+        RunStats {
+            completed,
+            errors,
+            window,
+            latency,
+            timeline: timeline.unwrap_or_else(|| {
+                bespokv_cluster::metrics::Timeline::new(Duration::from_millis(500))
+            }),
+        }
+    }
+
+    /// Crashes a backend node.
+    pub fn kill_backend(&mut self, index: usize) {
+        let addr = self.backends[index];
+        self.sim.kill(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::{ConsistencyLevel, Key, RequestId, Value};
+
+    fn source(n_keys: u64, get_frac: f64) -> Box<dyn OpSource> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        Box::new(move || {
+            let k = Key::from(format!("user{:012}", rng.gen_range(0..n_keys)));
+            let op = if rng.gen::<f64>() < get_frac {
+                Op::Get { key: k }
+            } else {
+                Op::Put {
+                    key: k,
+                    value: Value::from("y".repeat(32)),
+                }
+            };
+            (op, String::new(), ConsistencyLevel::Default)
+        })
+    }
+
+    fn preload_items(n: u64) -> Vec<(Key, Value)> {
+        (0..n)
+            .map(|i| (Key::from(format!("user{i:012}")), Value::from("v")))
+            .collect()
+    }
+
+    #[test]
+    fn twemproxy_routes_and_serves() {
+        let mut c = ProxyCluster::build(ProxyStyle::Twemproxy, 2, 3, TransportProfile::socket());
+        c.preload(preload_items(200));
+        c.add_client(
+            source(200, 0.95),
+            8,
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+        );
+        let stats = c.run_and_collect(Duration::from_millis(100), Duration::from_millis(500));
+        assert!(stats.completed > 100);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn twemproxy_writes_replicate_to_slaves() {
+        let mut c = ProxyCluster::build(ProxyStyle::Twemproxy, 1, 3, TransportProfile::socket());
+        let key = Key::from("user000000000042");
+        c.sim.inject(
+            Addr(999),
+            c.backends[0], // the group master
+            NetMsg::Client(Request::new(
+                RequestId::compose(ClientId(1), 0),
+                Op::Put {
+                    key: key.clone(),
+                    value: Value::from("z"),
+                },
+            )),
+        );
+        // Replication flushes on a 2 ms stream timer.
+        c.sim.run_for(Duration::from_millis(50));
+        let holders = c
+            .stores
+            .iter()
+            .filter(|s| s.get(bespokv_datalet::DEFAULT_TABLE, &key).is_ok())
+            .count();
+        assert_eq!(holders, 3, "master + 2 slaves");
+    }
+
+    #[test]
+    fn dynomite_serves_aa_and_replicates() {
+        let mut c = ProxyCluster::build(ProxyStyle::Dynomite, 2, 3, TransportProfile::socket());
+        c.preload(preload_items(200));
+        c.add_client(
+            source(200, 0.5),
+            8,
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+        );
+        let stats = c.run_and_collect(Duration::from_millis(100), Duration::from_millis(600));
+        assert!(stats.completed > 100, "completed {}", stats.completed);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn dynomite_any_group_node_takes_a_write() {
+        let mut c = ProxyCluster::build(ProxyStyle::Dynomite, 1, 3, TransportProfile::socket());
+        let key = Key::from("user000000000007");
+        // Hit the *last* node of the group, not the first.
+        c.sim.inject(
+            Addr(999),
+            c.backends[2],
+            NetMsg::Client(Request::new(
+                RequestId::compose(ClientId(1), 0),
+                Op::Put {
+                    key: key.clone(),
+                    value: Value::from("z"),
+                },
+            )),
+        );
+        c.sim.run_for(Duration::from_millis(50));
+        let holders = c
+            .stores
+            .iter()
+            .filter(|s| s.get(bespokv_datalet::DEFAULT_TABLE, &key).is_ok())
+            .count();
+        assert_eq!(holders, 3, "replicated to the whole group");
+    }
+}

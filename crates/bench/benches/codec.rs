@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks of the wire codecs and protocol parsers.
+
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_proto::text::{RespParser, SsdbParser};
+use bespokv_proto::wire::{Decode, Encode};
+use bespokv_types::{ClientId, Key, RequestId, Value, VersionedValue};
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sample_put() -> Request {
+    Request::new(
+        RequestId::compose(ClientId(1), 42),
+        Op::Put {
+            key: Key::from("user000000001234"),
+            value: Value::from("x".repeat(32)),
+        },
+    )
+}
+
+fn sample_response() -> Response {
+    Response::ok(
+        RequestId::compose(ClientId(1), 42),
+        RespBody::Value(VersionedValue::new(Value::from("y".repeat(32)), 7)),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let req = sample_put();
+    group.bench_function("binary/encode_request", |b| {
+        let mut buf = BytesMut::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            req.encode(&mut buf);
+            std::hint::black_box(&buf);
+        })
+    });
+    let encoded = req.to_bytes();
+    group.bench_function("binary/decode_request", |b| {
+        b.iter(|| {
+            let r = Request::from_bytes(std::hint::black_box(&encoded)).unwrap();
+            std::hint::black_box(r);
+        })
+    });
+
+    let resp = sample_response();
+    let resp_bytes = resp.to_bytes();
+    group.bench_function("binary/decode_response", |b| {
+        b.iter(|| {
+            let r = Response::from_bytes(std::hint::black_box(&resp_bytes)).unwrap();
+            std::hint::black_box(r);
+        })
+    });
+
+    // Full-duplex parser paths (what a connection actually runs).
+    group.bench_function("parser/binary_request_loop", |b| {
+        let mut client = BinaryParser::new();
+        let mut server = BinaryParser::new();
+        let mut wire = BytesMut::new();
+        b.iter(|| {
+            wire.clear();
+            client.encode_request(&req, &mut wire);
+            server.feed(&wire);
+            let got = server.next_request().unwrap().unwrap();
+            std::hint::black_box(got);
+        })
+    });
+
+    group.bench_function("parser/resp_request_loop", |b| {
+        let mut server = RespParser::new(ClientId(2));
+        let wire = b"*3\r\n$3\r\nSET\r\n$16\r\nuser000000001234\r\n$32\r\nxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\r\n";
+        b.iter(|| {
+            server.feed(wire);
+            let got = server.next_request().unwrap().unwrap();
+            std::hint::black_box(got);
+        })
+    });
+
+    group.bench_function("parser/ssdb_request_loop", |b| {
+        let mut server = SsdbParser::new(ClientId(3));
+        let wire = b"3\nset\n16\nuser000000001234\n32\nxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\n\n";
+        b.iter(|| {
+            server.feed(wire);
+            let got = server.next_request().unwrap().unwrap();
+            std::hint::black_box(got);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

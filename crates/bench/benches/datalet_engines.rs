@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the datalet engines.
+//!
+//! These are the calibration source for the simulator's per-engine cost
+//! models (`bespokv_runtime::CostModel`): the *ratios* between engines on
+//! puts/gets/scans are what the cluster experiments inherit.
+
+use bespokv_datalet::{Datalet, EngineKind, DEFAULT_TABLE};
+use bespokv_types::{Key, Value};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const KEYS: u64 = 50_000;
+
+fn key(i: u64) -> Key {
+    Key::from(format!("user{i:012}"))
+}
+
+fn loaded(kind: EngineKind) -> Arc<dyn Datalet> {
+    let d = kind.build();
+    for i in 0..KEYS {
+        d.put(DEFAULT_TABLE, key(i), Value::from("v".repeat(32)), i)
+            .unwrap();
+    }
+    d
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalet");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for kind in [
+        EngineKind::THt,
+        EngineKind::TMt,
+        EngineKind::TLog,
+        EngineKind::TLsm,
+    ] {
+        let d = loaded(kind);
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(format!("{}/get", kind.tag()), |b| {
+            b.iter_batched(
+                || key(rng.gen_range(0..KEYS)),
+                |k| {
+                    let _ = d.get(DEFAULT_TABLE, &k);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let mut version = KEYS;
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_function(format!("{}/put", kind.tag()), |b| {
+            b.iter_batched(
+                || {
+                    version += 1;
+                    (key(rng.gen_range(0..KEYS)), Value::from("w".repeat(32)), version)
+                },
+                |(k, v, ver)| {
+                    d.put(DEFAULT_TABLE, k, v, ver).unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        if d.capabilities().range_query {
+            let mut rng = StdRng::seed_from_u64(3);
+            group.bench_function(format!("{}/scan100", kind.tag()), |b| {
+                b.iter_batched(
+                    || {
+                        let start = rng.gen_range(0..KEYS - 200);
+                        (key(start), key(start + 200))
+                    },
+                    |(lo, hi)| {
+                        let _ = d.scan(DEFAULT_TABLE, &lo, &hi, 100);
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

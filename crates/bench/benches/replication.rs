@@ -1,0 +1,59 @@
+//! Criterion: ablations of the replication design choices (DESIGN.md §4).
+//!
+//! Measured as simulated end-to-end write latency on a single shard:
+//! chain replication (MS+SC) vs asynchronous propagation (MS+EC) vs
+//! shared-log ordering (AA+EC) vs DLM serialization (AA+SC), plus the
+//! effect of replication factor on the chain.
+
+use bespokv_cluster::script::{put, ScriptClient};
+use bespokv_cluster::{ClusterSpec, SimCluster};
+use bespokv_types::{Duration, Mode};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// Simulated completion time of 100 sequential writes on one shard.
+fn writes_virtual_time(mode: Mode, replication: u32) -> f64 {
+    let mut cluster = SimCluster::build(ClusterSpec::new(1, replication, mode));
+    let script: Vec<_> = (0..100).map(|i| put(&format!("k{i}"), "v")).collect();
+    let client = cluster.add_script_client(script);
+    cluster.run_for(Duration::from_secs(20));
+    let c = cluster.sim.actor_mut::<ScriptClient>(client);
+    assert!(c.done(), "script incomplete under {mode}");
+    assert!(c.results.iter().all(|r| r.is_ok()));
+    // Virtual seconds from first issue to last completion.
+    c.completed_at.last().unwrap().as_secs_f64()
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    // The wall time here is simulator execution cost; the *virtual* write
+    // latencies per mode are printed once for the ablation record.
+    for mode in Mode::ALL {
+        println!(
+            "ablation: 100 sequential writes under {mode} x3 replicas take {:.3} virtual ms",
+            writes_virtual_time(mode, 3) * 1e3
+        );
+    }
+    for repl in [1u32, 3, 5, 7] {
+        println!(
+            "ablation: chain length {repl}: {:.3} virtual ms for 100 writes",
+            writes_virtual_time(Mode::MS_SC, repl) * 1e3
+        );
+    }
+
+    group.bench_function("sim_msec_write_burst", |b| {
+        b.iter_batched(
+            || (),
+            |_| std::hint::black_box(writes_virtual_time(Mode::MS_EC, 3)),
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replication);
+criterion_main!(benches);

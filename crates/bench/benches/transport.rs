@@ -1,0 +1,74 @@
+//! Criterion: real TCP loopback vs in-process channel round trips.
+//!
+//! The live counterpart of the paper's DPDK experiment: the in-process
+//! channel path is what a kernel-bypass transport removes from the
+//! request path (syscalls, kernel buffers); TCP loopback is the socket
+//! path. Also benches a whole request through the wire format over TCP.
+
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_runtime::{TcpClient, TcpServer};
+use bespokv_types::{ClientId, Key, RequestId, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::channel::bounded;
+use std::sync::Arc;
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // In-process channel echo (kernel-bypass-class path).
+    {
+        let (tx_req, rx_req) = bounded::<u64>(64);
+        let (tx_resp, rx_resp) = bounded::<u64>(64);
+        let echo = std::thread::spawn(move || {
+            while let Ok(v) = rx_req.recv() {
+                if tx_resp.send(v).is_err() {
+                    break;
+                }
+            }
+        });
+        group.bench_function("channel_roundtrip", |b| {
+            b.iter(|| {
+                tx_req.send(7).unwrap();
+                std::hint::black_box(rx_resp.recv().unwrap());
+            })
+        });
+        drop(tx_req);
+        let _ = echo.join();
+    }
+
+    // TCP loopback echo through the full protocol stack (socket path).
+    {
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            Arc::new(|req: Request| Response::ok(req.id, RespBody::Done)),
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let mut seq = 0u32;
+        group.bench_function("tcp_roundtrip", |b| {
+            b.iter(|| {
+                seq = seq.wrapping_add(1);
+                let req = Request::new(
+                    RequestId::compose(ClientId(1), seq),
+                    Op::Put {
+                        key: Key::from("k"),
+                        value: Value::from("v"),
+                    },
+                );
+                std::hint::black_box(client.call(&req).unwrap());
+            })
+        });
+        server.stop();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

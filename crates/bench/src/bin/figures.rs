@@ -1,0 +1,69 @@
+//! Regenerates every table and figure of the SC'18 evaluation.
+//!
+//! Usage:
+//!   figures <experiment|all> [--full]
+//!
+//! Experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 sec8d fig16
+//! fig17 table-eng. Default scale is quick; `--full` runs the committed
+//! configuration recorded in EXPERIMENTS.md. CSVs land in `results/`.
+
+use bespokv_bench::experiments as exp;
+use bespokv_bench::{Report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let which = if which.is_empty() || which.contains(&"all") {
+        vec![
+            "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "sec8d",
+            "fig16", "fig17", "table-eng", "ablations",
+        ]
+    } else {
+        which
+    };
+    let out_dir = std::path::PathBuf::from("results");
+    type Runner = fn(Scale) -> Report;
+    let runners: &[(&str, Runner)] = &[
+        ("table1", exp::table1),
+        ("fig6", exp::fig6),
+        ("fig7", exp::fig7),
+        ("fig8", exp::fig8),
+        ("fig9", exp::fig9),
+        ("fig10", exp::fig10),
+        ("fig11", exp::fig11),
+        ("fig12", exp::fig12),
+        ("sec8d", exp::sec8d),
+        ("fig16", exp::fig16),
+        ("fig17", exp::fig17),
+        ("table-eng", exp::table_eng),
+        ("ablations", exp::ablations),
+    ];
+    let known: Vec<&str> = runners.iter().map(|(n, _)| *n).collect();
+    let unknown: Vec<&&str> = which.iter().filter(|w| !known.contains(w)).collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s): {unknown:?}; known: {known:?} or `all`");
+        std::process::exit(1);
+    }
+    for (name, f) in runners {
+        if !which.contains(name) {
+            continue;
+        }
+        eprintln!("running {name} ({scale:?}) ...");
+        let t0 = std::time::Instant::now();
+        let report = f(scale);
+        print!("{}", report.to_text());
+        match report.write_csv(&out_dir) {
+            Ok(p) => println!("  csv: {} ({:.1?})\n", p.display(), t0.elapsed()),
+            Err(e) => println!("  csv write failed: {e}\n"),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Diagnostic probe: MS+EC slave-kill failover under a GET-only workload.
+//!
+//! Prints per-node read counts during the outage window and the throughput
+//! timeline — the tool used to validate the Fig 16 measurement semantics
+//! (see EXPERIMENTS.md).
+
+use bespokv_cluster::{ClusterSpec, SimCluster};
+use bespokv_coordinator::CoordConfig;
+use bespokv_types::{ConsistencyLevel, Duration, Mode, NodeId};
+use bespokv_workloads::{Distribution, Mix, Workload, WorkloadConfig};
+
+fn main() {
+    let spec = ClusterSpec::new(3, 3, Mode::MS_EC)
+        .with_standbys(1)
+        .with_coord(CoordConfig {
+            failure_timeout: Duration::from_millis(1500),
+            check_every: Duration::from_millis(500),
+        });
+    let mut cluster = SimCluster::build(spec);
+    let wl_cfg = WorkloadConfig {
+        num_keys: 5_000,
+        ..WorkloadConfig::small(Mix::read_write(1.0), Distribution::Uniform)
+    };
+    let base = Workload::new(wl_cfg.clone());
+    let mut loader = base.fork(0x10AD);
+    cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+    for c in 0..18u64 {
+        let mut w = base.fork(c + 1);
+        cluster.add_client(
+            Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+            8,
+            Duration::ZERO,
+            Duration::from_millis(250),
+        );
+    }
+    cluster.run_for(Duration::from_secs(2));
+    let before: Vec<u64> = cluster.datalets.iter().map(|d| d.stats().reads).collect();
+    cluster.kill_node(NodeId(1));
+    cluster.run_for(Duration::from_secs(1));
+    let during: Vec<u64> = cluster.datalets.iter().map(|d| d.stats().reads).collect();
+    for i in 0..before.len() {
+        println!("node {i}: reads in outage window = {}", during[i] - before[i]);
+    }
+    cluster.run_for(Duration::from_secs(3));
+    let stats = cluster.collect_stats(Duration::from_secs(6));
+    println!(
+        "errors={} completed={} mean={:.3}ms p99={:.3}ms",
+        stats.errors,
+        stats.completed,
+        stats.mean_latency_ms(),
+        stats.latency.percentile(99.0).as_millis_f64()
+    );
+    for (t, q) in stats.timeline.series() {
+        println!("{t:>5.2}s {:>9.1} kqps", q / 1e3);
+    }
+}

@@ -1,0 +1,963 @@
+//! The experiments: one function per table/figure of the paper.
+//!
+//! Paper-vs-measured commentary lives in EXPERIMENTS.md; each function
+//! documents its configuration and any scaling applied.
+
+use crate::report::{Report, Row};
+use crate::runners::{BespokvRun, Scale};
+use bespokv_baselines::{DynamoCluster, DynamoStyle, ProxyCluster, ProxyStyle};
+use bespokv_cluster::{ClusterSpec, SimCluster};
+use bespokv_coordinator::CoordConfig;
+use bespokv_datalet::{Datalet, EngineKind, DEFAULT_TABLE};
+use bespokv_runtime::TransportProfile;
+use bespokv_types::{ConsistencyLevel, Duration, Mode, NodeId, ShardId};
+use bespokv_workloads::hpc::HpcTrace;
+use bespokv_workloads::{Distribution, Mix, Workload, WorkloadConfig};
+
+
+/// Storage-backed engine wrapper for Fig 6: charges device-class write
+/// latency per mutation. The paper's monitoring use case *persists* all
+/// collected data (section VI-A), and the LSM-vs-B+ trade-off it cites is
+/// a storage trade-off: LSM persists with sequential appends, a B+ tree
+/// updates pages in place (random writes). Reads are served from memory in
+/// both (hot working set), so analytics measures pure structure speed.
+/// Constants are SSD-class datasheet figures, not fitted outcomes.
+struct StorageBacked {
+    inner: std::sync::Arc<dyn Datalet>,
+    write_penalty: std::time::Duration,
+}
+
+impl StorageBacked {
+    fn spin(d: std::time::Duration) {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl Datalet for StorageBacked {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn capabilities(&self) -> bespokv_datalet::Capabilities {
+        bespokv_datalet::Capabilities {
+            persistent: true,
+            ..self.inner.capabilities()
+        }
+    }
+    fn put(
+        &self,
+        table: &str,
+        key: bespokv_types::Key,
+        value: bespokv_types::Value,
+        version: u64,
+    ) -> bespokv_types::KvResult<()> {
+        Self::spin(self.write_penalty);
+        self.inner.put(table, key, value, version)
+    }
+    fn get(
+        &self,
+        table: &str,
+        key: &bespokv_types::Key,
+    ) -> bespokv_types::KvResult<bespokv_types::VersionedValue> {
+        self.inner.get(table, key)
+    }
+    fn del(
+        &self,
+        table: &str,
+        key: &bespokv_types::Key,
+        version: u64,
+    ) -> bespokv_types::KvResult<()> {
+        Self::spin(self.write_penalty);
+        self.inner.del(table, key, version)
+    }
+    fn scan(
+        &self,
+        table: &str,
+        start: &bespokv_types::Key,
+        end: &bespokv_types::Key,
+        limit: usize,
+    ) -> bespokv_types::KvResult<Vec<(bespokv_types::Key, bespokv_types::VersionedValue)>> {
+        self.inner.scan(table, start, end, limit)
+    }
+    fn create_table(&self, name: &str) -> bespokv_types::KvResult<()> {
+        self.inner.create_table(name)
+    }
+    fn delete_table(&self, name: &str) -> bespokv_types::KvResult<()> {
+        self.inner.delete_table(name)
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn snapshot_chunk(&self, from: u64, max: usize) -> (Vec<bespokv_datalet::SnapshotEntry>, bool) {
+        self.inner.snapshot_chunk(from, max)
+    }
+    fn stats(&self) -> bespokv_datalet::DataletStats {
+        self.inner.stats()
+    }
+}
+
+/// Table I: the feature matrix.
+pub fn table1(_scale: Scale) -> Report {
+    let mut r = Report::new(
+        "table1",
+        "BespoKV vs state-of-the-art systems (Table I)",
+        ("column", "supported", ""),
+    );
+    let cols = ["S", "R", "MB", "MC", "MT", "AR", "P"];
+    for row in bespokv_baselines::feature_matrix() {
+        let vals = [
+            row.sharding,
+            row.replication,
+            row.multi_backend,
+            row.multi_consistency,
+            row.multi_topology,
+            row.auto_recovery,
+            row.programmable,
+        ];
+        for (i, v) in vals.iter().enumerate() {
+            r.rows.push(Row::point(
+                format!("{} {}", row.system, cols[i]),
+                i as f64,
+                *v as u8 as f64,
+            ));
+        }
+    }
+    r.note("S sharding, R replication, MB multi-backend, MC multi-consistency, MT multi-topology, AR auto-recovery, P programmable");
+    r
+}
+
+/// Fig 6: monitoring vs analytics throughput on LSM / B+ / Log datalets.
+///
+/// This one runs the *real engines* (no simulation): the Lustre-style
+/// monitoring trace (write-dominated, append-style series) and the
+/// analytics trace (read-only uniform) drive each engine directly and we
+/// measure wall-clock throughput.
+pub fn fig6(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig6",
+        "Effect of different data abstractions (Fig 6)",
+        ("workload(0=monitoring,1=analytics)", "kQPS", ""),
+    );
+    // The engine asymmetry only shows at volume (the paper issues 10 M
+    // requests): the B-tree must grow deep while the LSM memtable stays
+    // cache-resident.
+    let (ops, rounds) = match scale {
+        Scale::Quick => (400_000u64, 2),
+        Scale::Full => (1_000_000u64, 3),
+    };
+    type EngineFactory = fn() -> std::sync::Arc<dyn Datalet>;
+    let engines: [(&str, EngineFactory); 3] = [
+        // LSM persists with sequential appends (cheap per write).
+        ("LSM", || {
+            std::sync::Arc::new(StorageBacked {
+                inner: std::sync::Arc::new(bespokv_datalet::TLsm::default()),
+                write_penalty: std::time::Duration::from_micros(1),
+            })
+        }),
+        // A persistent B+ tree updates pages in place: random writes.
+        ("B+", || {
+            std::sync::Arc::new(StorageBacked {
+                inner: std::sync::Arc::new(bespokv_datalet::TMt::new()),
+                write_penalty: std::time::Duration::from_micros(3),
+            })
+        }),
+        ("Log", || {
+            // The paper's log datalet persists to disk; this testbed has
+            // no HDD, so the file device is wrapped in the HDD latency
+            // profile (DESIGN.md, substitution 6).
+            let dir = std::env::temp_dir().join("bespokv-fig6");
+            let _ = std::fs::create_dir_all(&dir);
+            let path = dir.join(format!("tlog-{}.dat", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            let dev = std::sync::Arc::new(bespokv_datalet::SlowDevice::hdd(
+                bespokv_datalet::FileDevice::open(&path).expect("open tlog file"),
+            ));
+            std::sync::Arc::new(
+                bespokv_datalet::TLog::open(dev, bespokv_datalet::SyncPolicy::EveryN(256))
+                    .expect("tlog"),
+            )
+        }),
+    ];
+    // The box shares a vCPU, so single-shot wall-clock numbers are noisy;
+    // interleave engines across rounds and keep each cell's best round.
+    let mut best = std::collections::HashMap::<String, f64>::new();
+    for _round in 0..rounds {
+        for (name, build) in engines {
+            for (wi, trace) in [HpcTrace::Monitoring, HpcTrace::Analytics]
+                .into_iter()
+                .enumerate()
+            {
+                let engine = build();
+                let mut wl = trace.workload(42);
+                // Preload so analytics reads hit.
+                for (k, v) in wl.load_keys(20_000) {
+                    let _ = engine.put(DEFAULT_TABLE, k, v, 1);
+                }
+                let mut version = 10u64;
+                let cpu0 = crate::report::process_cpu_time();
+                for _ in 0..ops {
+                    version += 1;
+                    match wl.next_op() {
+                        bespokv_proto::Op::Put { key, value } => {
+                            let _ = engine.put(DEFAULT_TABLE, key, value, version);
+                        }
+                        bespokv_proto::Op::Get { key } => {
+                            let _ = engine.get(DEFAULT_TABLE, &key);
+                        }
+                        bespokv_proto::Op::Scan { start, end, limit } => {
+                            let _ = engine.scan(DEFAULT_TABLE, &start, &end, limit as usize);
+                        }
+                        _ => {}
+                    }
+                }
+                let spent = crate::report::process_cpu_time() - cpu0;
+                let kqps = ops as f64 / spent.as_secs_f64().max(1e-9) / 1e3;
+                let cell = format!("{name} {}@{wi}", trace.tag());
+                let e = best.entry(cell).or_insert(0.0);
+                *e = e.max(kqps);
+            }
+        }
+    }
+    let mut cells: Vec<(String, f64)> = best.into_iter().collect();
+    cells.sort_by(|a, b| a.0.cmp(&b.0));
+    for (cell, kqps) in cells {
+        let (series, wi) = cell.rsplit_once('@').expect("cell format");
+        r.rows.push(Row::point(series, wi.parse().expect("index"), kqps));
+    }
+    r.note("real engines, single thread, rated by process CPU time (shared-vCPU steal immunity); paper shape: LSM wins monitoring (writes), B+ wins analytics (reads), Log slowest (disk)");
+    r
+}
+
+fn sweep_series(r: &mut Report, scale: Scale, series: &str, make: impl Fn(u32) -> BespokvRun) {
+    for nodes in scale.node_sweep() {
+        let stats = make(nodes).execute(scale);
+        r.rows.push(Row::with_latency(
+            series,
+            nodes as f64,
+            stats.kqps(),
+            stats.mean_latency_ms(),
+        ));
+    }
+}
+
+/// Fig 7: tHT scales horizontally under all four modes.
+pub fn fig7(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig7",
+        "BespoKV scales tHT horizontally (Fig 7)",
+        ("nodes", "kQPS", "mean ms"),
+    );
+    for mode in Mode::ALL {
+        for (mixname, mix) in [
+            ("95% GET", Mix::READ_MOSTLY),
+            ("50% GET", Mix::UPDATE_INTENSIVE),
+        ] {
+            for (dname, dist) in [
+                ("unif", Distribution::Uniform),
+                ("zipf", Distribution::Zipfian),
+            ] {
+                sweep_series(&mut r, scale, &format!("{mode} {dname} {mixname}"), |nodes| {
+                    BespokvRun::new(mode, nodes, mix, dist)
+                });
+            }
+        }
+    }
+    r.note("GCE-profile fabric (1 Gbps), replication 3, tHT datalets");
+    r
+}
+
+/// Fig 8: the HPC workloads (job launch, I/O forwarding) scale too.
+pub fn fig8(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig8",
+        "BespoKV scales HPC workloads (Fig 8)",
+        ("nodes", "kQPS", "mean ms"),
+    );
+    for mode in Mode::ALL {
+        for trace in [HpcTrace::JobLaunch, HpcTrace::IoForwarding] {
+            // HPC traces are Get/Put mixes over a metadata keyspace; the
+            // standard runner reproduces their measured mixes.
+            let mix = Mix::read_write(trace.get_fraction());
+            sweep_series(&mut r, scale, &format!("{mode} {}", trace.tag()), |nodes| {
+                BespokvRun::new(mode, nodes, mix, Distribution::Uniform)
+            });
+        }
+    }
+    r.note("paper: MS beats AA under SC; AA beats MS under EC; I/O-fwd slightly above job-launch (more reads)");
+    r
+}
+
+/// Fig 9: tSSDB, tLog and tMT under MS+EC, including scans.
+pub fn fig9(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig9",
+        "BespoKV scales tSSDB, tLog, tMT with MS+EC (Fig 9)",
+        ("nodes", "kQPS", "mean ms"),
+    );
+    let engines = [
+        ("tSSDB", EngineKind::TSsdb),
+        ("tLog", EngineKind::TLog),
+        ("tMT", EngineKind::TMt),
+    ];
+    for (name, engine) in engines {
+        for (mixname, mix) in [
+            ("95% GET", Mix::READ_MOSTLY),
+            ("50% GET", Mix::UPDATE_INTENSIVE),
+        ] {
+            for (dname, dist) in [
+                ("unif", Distribution::Uniform),
+                ("zipf", Distribution::Zipfian),
+            ] {
+                sweep_series(
+                    &mut r,
+                    scale,
+                    &format!("{name} {dname} {mixname}"),
+                    |nodes| BespokvRun::new(Mode::MS_EC, nodes, mix, dist).with_engines(vec![engine]),
+                );
+            }
+        }
+        // Scan-intensive workload only where the engine supports ranges.
+        if engine != EngineKind::TLog {
+            for (dname, dist) in [
+                ("unif", Distribution::Uniform),
+                ("zipf", Distribution::Zipfian),
+            ] {
+                sweep_series(
+                    &mut r,
+                    scale,
+                    &format!("{name} {dname} 95% SCAN"),
+                    |nodes| {
+                        BespokvRun::new(Mode::MS_EC, nodes, Mix::SCAN_INTENSIVE, dist)
+                            .with_engines(vec![engine])
+                    },
+                );
+            }
+        }
+    }
+    r.note("tLog's hash index cannot scan (as in the paper); scans land far below point ops");
+    r
+}
+
+/// Fig 10: seamless adaptation — throughput timeline through a transition.
+pub fn fig10(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig10",
+        "Seamless adaptation MS+EC -> {MS+SC, AA+EC, AA+SC} (Fig 10)",
+        ("time s", "kQPS", ""),
+    );
+    let (total, trigger) = match scale {
+        Scale::Quick => (Duration::from_secs(8), Duration::from_secs(4)),
+        Scale::Full => (Duration::from_secs(40), Duration::from_secs(20)),
+    };
+    for target in [Mode::MS_SC, Mode::AA_EC, Mode::AA_SC] {
+        let spec = ClusterSpec::new(3, 3, Mode::MS_EC);
+        let mut cluster = SimCluster::build(spec);
+        let wl_cfg = WorkloadConfig {
+            num_keys: scale.keyspace() / 2,
+            ..WorkloadConfig::small(Mix::READ_MOSTLY, Distribution::Zipfian)
+        };
+        let base = Workload::new(wl_cfg.clone());
+        let mut loader = base.fork(0x10AD);
+        cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+        for c in 0..9u64 {
+            let mut w = base.fork(c + 1);
+            cluster.add_client(
+                Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+                16,
+                Duration::ZERO,
+                Duration::from_millis(500),
+            );
+        }
+        cluster.run_for(trigger);
+        for shard in 0..3 {
+            cluster.start_transition(ShardId(shard), target);
+        }
+        cluster.run_for(total.saturating_sub(trigger));
+        let stats = cluster.collect_stats(total);
+        for (t, qps) in stats.timeline.series() {
+            r.rows
+                .push(Row::point(format!("ms+ec -> {target}"), t, qps / 1e3));
+        }
+    }
+    r.note(format!(
+        "transition triggered at {:.0} s; expect a dip as clients reconnect, stabilizing in ~seconds; no downtime, no data migration",
+        trigger.as_secs_f64()
+    ));
+    r
+}
+
+/// Fig 11: tRedis under bespoKV vs Twemproxy+Redis vs Dynomite+Redis.
+pub fn fig11(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig11",
+        "BespoKV adds MS+SC and AA+EC to Redis; proxy comparison (Fig 11)",
+        ("config index", "kQPS", "mean ms"),
+    );
+    let groups = 8u32;
+    let repl = 3u32;
+    let workloads = [
+        ("unif 95% GET", Mix::READ_MOSTLY, Distribution::Uniform),
+        ("zipf 95% GET", Mix::READ_MOSTLY, Distribution::Zipfian),
+        ("unif 50% GET", Mix::UPDATE_INTENSIVE, Distribution::Uniform),
+        ("zipf 50% GET", Mix::UPDATE_INTENSIVE, Distribution::Zipfian),
+    ];
+    // bespoKV + tRedis in three modes.
+    for (ci, mode) in [Mode::MS_SC, Mode::MS_EC, Mode::AA_EC].into_iter().enumerate() {
+        for (wname, mix, dist) in workloads {
+            let stats = BespokvRun::new(mode, groups * repl, mix, dist)
+                .with_engines(vec![EngineKind::TRedis])
+                .execute(scale);
+            r.rows.push(Row::with_latency(
+                format!("tRedis {mode} {wname}"),
+                ci as f64,
+                stats.kqps(),
+                stats.mean_latency_ms(),
+            ));
+        }
+    }
+    // Proxy baselines.
+    for (ci, style) in [ProxyStyle::Twemproxy, ProxyStyle::Dynomite]
+        .into_iter()
+        .enumerate()
+    {
+        for (wname, mix, dist) in workloads {
+            let mut cluster =
+                ProxyCluster::build(style, groups, repl as usize, TransportProfile::cloud_1g());
+            let wl_cfg = WorkloadConfig {
+                num_keys: scale.keyspace(),
+                ..WorkloadConfig::small(mix, dist)
+            };
+            let base = Workload::new(wl_cfg.clone());
+            let mut loader = base.fork(0x10AD);
+            cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+            for c in 0..(groups * repl) as u64 {
+                let mut w = base.fork(c + 1);
+                cluster.add_client(
+                    Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+                    16,
+                    scale.warmup(),
+                    Duration::from_millis(500),
+                );
+            }
+            let stats = cluster.run_and_collect(scale.warmup(), scale.window());
+            r.rows.push(Row::with_latency(
+                format!("{} {wname}", style.name()),
+                3.0 + ci as f64,
+                stats.kqps(),
+                stats.mean_latency_ms(),
+            ));
+        }
+    }
+    r.note("8 shards x 3 replicas (24 nodes); paper: Twem+Redis slightly above bespoKV MS+EC; Dynomite ~= bespoKV AA+EC; MS+SC below MS+EC");
+    r
+}
+
+/// Fig 12: latency vs throughput against Cassandra and Voldemort.
+pub fn fig12(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig12",
+        "Latency vs throughput: bespoKV modes vs Cassandra/Voldemort (Fig 12)",
+        ("kQPS", "mean latency ms", ""),
+    );
+    // The paper's 12-machine local testbed: 6 server nodes, 10 GbE.
+    let nodes = 6u32;
+    let load_points: &[usize] = match scale {
+        Scale::Quick => &[2, 8, 32, 64],
+        Scale::Full => &[1, 2, 4, 8, 16, 32, 48, 64],
+    };
+    for (wname, mix) in [
+        ("95% GET", Mix::READ_MOSTLY),
+        ("50% GET", Mix::UPDATE_INTENSIVE),
+    ] {
+        for mode in Mode::ALL {
+            for &clients in load_points {
+                let stats = run_fig12_bespokv(mode, nodes, mix, clients, scale);
+                r.rows.push(Row::point(
+                    format!("{mode} {wname}"),
+                    stats.kqps(),
+                    stats.mean_latency_ms(),
+                ));
+            }
+        }
+        for style in [DynamoStyle::Cassandra, DynamoStyle::Voldemort] {
+            for &clients in load_points {
+                let stats = run_fig12_dynamo(style, nodes, mix, clients, scale);
+                r.rows.push(Row::point(
+                    format!("{} {wname}", style.name()),
+                    stats.kqps(),
+                    stats.mean_latency_ms(),
+                ));
+            }
+        }
+    }
+    r.note("6 server nodes, 10 GbE local-testbed profile, zipfian; #clients varied to trace the curve");
+    r
+}
+
+fn run_fig12_bespokv(
+    mode: Mode,
+    nodes: u32,
+    mix: Mix,
+    clients: usize,
+    scale: Scale,
+) -> bespokv_cluster::RunStats {
+    let spec = ClusterSpec::new(nodes / 3, 3, mode).with_transport(TransportProfile::socket());
+    let mut cluster = SimCluster::build(spec);
+    let wl_cfg = WorkloadConfig {
+        num_keys: scale.keyspace(),
+        ..WorkloadConfig::small(mix, Distribution::Zipfian)
+    };
+    let base = Workload::new(wl_cfg.clone());
+    let mut loader = base.fork(0x10AD);
+    cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+    for c in 0..clients as u64 {
+        let mut w = base.fork(c + 1);
+        cluster.add_client(
+            Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+            4,
+            scale.warmup(),
+            Duration::from_millis(500),
+        );
+    }
+    cluster.run_for(scale.warmup() + scale.window());
+    cluster.collect_stats(scale.window())
+}
+
+fn run_fig12_dynamo(
+    style: DynamoStyle,
+    nodes: u32,
+    mix: Mix,
+    clients: usize,
+    scale: Scale,
+) -> bespokv_cluster::RunStats {
+    let mut cluster = DynamoCluster::build(style, nodes, 3, TransportProfile::socket());
+    let wl_cfg = WorkloadConfig {
+        num_keys: scale.keyspace(),
+        ..WorkloadConfig::small(mix, Distribution::Zipfian)
+    };
+    let base = Workload::new(wl_cfg.clone());
+    let mut loader = base.fork(0x10AD);
+    cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+    for c in 0..clients as u64 {
+        let mut w = base.fork(c + 1);
+        cluster.add_client(
+            Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+            4,
+            scale.warmup(),
+            Duration::from_millis(500),
+        );
+    }
+    cluster.run_and_collect(scale.warmup(), scale.window())
+}
+
+/// Section VIII-D: per-request consistency and polyglot persistence.
+pub fn sec8d(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "sec8d",
+        "Extensibility: per-request consistency + polyglot persistence (section VIII-D)",
+        ("config", "kQPS", "mean ms"),
+    );
+    // Per-request consistency: MS+SC store, reads 25% SC : 75% EC.
+    for (i, (wname, mix)) in [
+        ("95% GET", Mix::READ_MOSTLY),
+        ("50% GET", Mix::UPDATE_INTENSIVE),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut run = BespokvRun::new(Mode::MS_SC, 24, mix, Distribution::Zipfian);
+        run.strong_read_fraction = 0.25;
+        let stats = run.execute(scale);
+        r.rows.push(Row::with_latency(
+            format!("per-request 25%SC/75%EC {wname}"),
+            i as f64,
+            stats.kqps(),
+            stats.mean_latency_ms(),
+        ));
+    }
+    // Latency split: all-EC reads vs all-SC reads (paper: 0.67 vs 1.02 ms).
+    for (i, (lname, frac)) in [("EC reads", 0.001f64), ("SC reads", 1.0)].into_iter().enumerate() {
+        let mut run = BespokvRun::new(Mode::MS_SC, 24, Mix::READ_MOSTLY, Distribution::Zipfian);
+        run.strong_read_fraction = frac;
+        let stats = run.execute(scale);
+        r.rows.push(Row::with_latency(
+            format!("latency probe {lname}"),
+            2.0 + i as f64,
+            stats.kqps(),
+            stats.mean_latency_ms(),
+        ));
+    }
+    // Polyglot persistence: replicas in tHT / tLog / tMT under MS+EC.
+    for (i, (wname, mix)) in [
+        ("95% GET", Mix::READ_MOSTLY),
+        ("50% GET", Mix::UPDATE_INTENSIVE),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let stats = BespokvRun::new(Mode::MS_EC, 24, mix, Distribution::Uniform)
+            .with_engines(vec![EngineKind::THt, EngineKind::TLog, EngineKind::TMt])
+            .execute(scale);
+        r.rows.push(Row::with_latency(
+            format!("polyglot tHT+tLog+tMT {wname}"),
+            4.0 + i as f64,
+            stats.kqps(),
+            stats.mean_latency_ms(),
+        ));
+    }
+    r.note("paper: mixed consistency lands between MS+SC and MS+EC; EC reads 0.67 ms vs SC 1.02 ms; polyglot ~375k/200k QPS at 24 nodes");
+    r
+}
+
+/// Fig 16: failover timelines (appendix D).
+pub fn fig16(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig16",
+        "Throughput timeline on failover (Fig 16)",
+        ("time s", "kQPS", ""),
+    );
+    let (total, kill_at) = match scale {
+        Scale::Quick => (Duration::from_secs(10), Duration::from_secs(4)),
+        Scale::Full => (Duration::from_secs(40), Duration::from_secs(20)),
+    };
+    struct Case {
+        series: &'static str,
+        mode: Mode,
+        mix: Mix,
+        victim: NodeId,
+    }
+    // The paper plots the PUT and GET series separately (Fig 16's "SC
+    // PUT", "EC GET", ...), and its dip fractions assume balanced shards;
+    // so each case runs a pure op mix over a uniform keyspace, and each
+    // victim is a member of shard 0 (1/3 of the traffic).
+    let cases = [
+        // MS+SC: kill the head under writes, the tail under reads.
+        Case {
+            series: "ms+sc PUT (head fails)",
+            mode: Mode::MS_SC,
+            mix: Mix::read_write(0.0),
+            victim: NodeId(0),
+        },
+        Case {
+            series: "ms+sc GET (tail fails)",
+            mode: Mode::MS_SC,
+            mix: Mix::read_write(1.0),
+            victim: NodeId(2),
+        },
+        Case {
+            series: "ms+ec PUT (master fails)",
+            mode: Mode::MS_EC,
+            mix: Mix::read_write(0.0),
+            victim: NodeId(0),
+        },
+        Case {
+            series: "ms+ec GET (slave fails)",
+            mode: Mode::MS_EC,
+            mix: Mix::read_write(1.0),
+            victim: NodeId(1),
+        },
+        Case {
+            series: "aa+ec GET (node fails)",
+            mode: Mode::AA_EC,
+            mix: Mix::read_write(1.0),
+            victim: NodeId(1),
+        },
+        Case {
+            series: "aa+ec PUT (node fails)",
+            mode: Mode::AA_EC,
+            mix: Mix::read_write(0.0),
+            victim: NodeId(1),
+        },
+    ];
+    for case in cases {
+        let spec = ClusterSpec::new(3, 3, case.mode)
+            .with_standbys(3)
+            .with_coord(CoordConfig {
+                failure_timeout: Duration::from_millis(1500),
+                check_every: Duration::from_millis(500),
+            });
+        let mut cluster = SimCluster::build(spec);
+        let wl_cfg = WorkloadConfig {
+            num_keys: scale.keyspace() / 2,
+            ..WorkloadConfig::small(case.mix, Distribution::Uniform)
+        };
+        let base = Workload::new(wl_cfg.clone());
+        let mut loader = base.fork(0x10AD);
+        cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+        // The paper's failover clients are redis-benchmark style: fixed
+        // moderate demand, no transparent retries — a failed request IS
+        // the dip. Sub-saturation load keeps the dip equal to the failed
+        // fraction rather than a queueing artifact.
+        for c in 0..6u64 {
+            let mut w = base.fork(c + 1);
+            cluster.add_client_no_retry(
+                Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+                6,
+                Duration::ZERO,
+                Duration::from_millis(500),
+            );
+        }
+        cluster.run_for(kill_at);
+        cluster.kill_node(case.victim);
+        cluster.run_for(total.saturating_sub(kill_at));
+        let stats = cluster.collect_stats(total);
+        for (t, qps) in stats.timeline.series() {
+            r.rows.push(Row::point(case.series, t, qps / 1e3));
+        }
+    }
+    // Dynomite comparison: kill one backend.
+    for (sname, mix) in [
+        ("dynomite GET (node fails)", Mix::read_write(1.0)),
+        ("dynomite PUT (node fails)", Mix::read_write(0.0)),
+    ] {
+        let mut cluster =
+            ProxyCluster::build(ProxyStyle::Dynomite, 3, 3, TransportProfile::socket());
+        let wl_cfg = WorkloadConfig {
+            num_keys: scale.keyspace() / 2,
+            ..WorkloadConfig::small(mix, Distribution::Uniform)
+        };
+        let base = Workload::new(wl_cfg.clone());
+        let mut loader = base.fork(0x10AD);
+        cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+        for c in 0..9u64 {
+            let mut w = base.fork(c + 1);
+            cluster.add_client(
+                Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+                8,
+                Duration::ZERO,
+                Duration::from_millis(500),
+            );
+        }
+        cluster.sim.run_for(kill_at);
+        cluster.kill_backend(1);
+        let stats = cluster.run_and_collect(Duration::ZERO, total);
+        for (t, qps) in stats.timeline.series() {
+            r.rows.push(Row::point(sname, t, qps / 1e3));
+        }
+    }
+    r.note(format!(
+        "node killed at {:.0} s; 3 shards x 3 replicas; paper: ~1/3 dip on the affected path, ~1/9 for EC slave reads, level restored after recovery",
+        kill_at.as_secs_f64()
+    ));
+    r
+}
+
+/// Fig 17 (appendix E): DPDK vs socket latency and throughput.
+pub fn fig17(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig17",
+        "Kernel-bypass (DPDK) vs socket transport (Fig 17)",
+        ("time s", "kQPS", "mean ms"),
+    );
+    let window = match scale {
+        Scale::Quick => Duration::from_secs(2),
+        Scale::Full => Duration::from_secs(6),
+    };
+    let mut summary = Vec::new();
+    for (name, profile) in [
+        ("socket", TransportProfile::socket()),
+        ("dpdk", TransportProfile::dpdk()),
+    ] {
+        // Single shard like the paper; modest client count so we measure
+        // latency rather than saturation.
+        let spec = ClusterSpec::new(1, 3, Mode::MS_EC).with_transport(profile);
+        let mut cluster = SimCluster::build(spec);
+        let wl_cfg = WorkloadConfig {
+            num_keys: 10_000,
+            ..WorkloadConfig::small(Mix::READ_MOSTLY, Distribution::Uniform)
+        };
+        let base = Workload::new(wl_cfg.clone());
+        let mut loader = base.fork(0x10AD);
+        cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+        for c in 0..4u64 {
+            let mut w = base.fork(c + 1);
+            cluster.add_client(
+                Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+                8,
+                Duration::from_millis(100),
+                Duration::from_millis(250),
+            );
+        }
+        cluster.run_for(Duration::from_millis(100) + window);
+        let stats = cluster.collect_stats(window);
+        for (t, qps) in stats.timeline.series() {
+            r.rows
+                .push(Row::with_latency(name, t, qps / 1e3, stats.mean_latency_ms()));
+        }
+        summary.push((name, stats.kqps(), stats.mean_latency_ms()));
+    }
+    if summary.len() == 2 {
+        let (_, sq, sl) = summary[0];
+        let (_, dq, dl) = summary[1];
+        r.note(format!(
+            "dpdk latency -{:.0}% vs socket; throughput x{:.2} (paper: -65% latency, ~3x throughput, steadier)",
+            (1.0 - dl / sl) * 100.0,
+            dq / sq
+        ));
+    }
+    r
+}
+
+/// Engineering-effort proxy (section VII): line counts of the template vs
+/// the engines built on it.
+pub fn table_eng(_scale: Scale) -> Report {
+    let mut r = Report::new(
+        "table-eng",
+        "Template-based development effort (section VII)",
+        ("component index", "lines of code", ""),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let count = |rel: &str| -> f64 {
+        std::fs::read_to_string(root.join(rel))
+            .map(|s| {
+                s.lines()
+                    .filter(|l| {
+                        let t = l.trim();
+                        !t.is_empty() && !t.starts_with("//")
+                    })
+                    .count() as f64
+            })
+            .unwrap_or(0.0)
+    };
+    let components = [
+        ("datalet template (template.rs)", "crates/datalet/src/template.rs"),
+        ("tHT on template", "crates/datalet/src/tht.rs"),
+        ("tMT on template", "crates/datalet/src/tmt.rs"),
+        ("tLSM engine", "crates/datalet/src/tlsm.rs"),
+        ("tLog engine", "crates/datalet/src/tlog.rs"),
+        ("controlet common (mod.rs)", "crates/core/src/controlet/mod.rs"),
+        ("controlet modes", "crates/core/src/controlet/modes.rs"),
+        ("controlet maintenance", "crates/core/src/controlet/maintenance.rs"),
+    ];
+    for (i, (name, path)) in components.iter().enumerate() {
+        r.rows.push(Row::point(*name, i as f64, count(path)));
+    }
+    r.note("paper: 966-LoC datalet template, 150-LoC controlet template; engines on the template stay small");
+    r
+}
+
+/// Ablations of the design choices DESIGN.md calls out: propagation batch
+/// period (MS+EC), DLM lease length (AA+SC), consistent-hash virtual-node
+/// count (load balance), and chain length (MS+SC write latency).
+pub fn ablations(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "ablations",
+        "Design-choice ablations (propagation period, DLM lease, vnodes, chain length)",
+        ("x", "kQPS", "mean ms"),
+    );
+    let warmup = scale.warmup();
+    let window = scale.window();
+    // 1. MS+EC propagation flush period: larger batches cut replication
+    //    CPU but stretch the staleness window.
+    for flush_us in [500u64, 2_000, 8_000, 32_000] {
+        let mut spec = ClusterSpec::new(2, 3, Mode::MS_EC);
+        spec.prop_flush_every = Duration::from_micros(flush_us);
+        let mut cluster = SimCluster::build(spec);
+        let wl_cfg = WorkloadConfig {
+            num_keys: 20_000,
+            ..WorkloadConfig::small(Mix::UPDATE_INTENSIVE, Distribution::Uniform)
+        };
+        let base = Workload::new(wl_cfg.clone());
+        let mut loader = base.fork(0x10AD);
+        cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+        for c in 0..6u64 {
+            let mut w = base.fork(c + 1);
+            cluster.add_client(
+                Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+                16,
+                warmup,
+                Duration::from_millis(500),
+            );
+        }
+        cluster.run_for(warmup + window);
+        let stats = cluster.collect_stats(window);
+        r.rows.push(Row::with_latency(
+            "ms+ec prop flush period (us)",
+            flush_us as f64,
+            stats.kqps(),
+            stats.mean_latency_ms(),
+        ));
+    }
+    // 2. DLM lease length under AA+SC: long leases hurt nobody while
+    //    holders live; the cost shows on failures (not swept here) — but
+    //    the sweep verifies throughput is lease-insensitive.
+    for lease_ms in [100u64, 500, 2000] {
+        let mut spec = ClusterSpec::new(1, 3, Mode::AA_SC);
+        spec.dlm_lease = Duration::from_millis(lease_ms);
+        let mut cluster = SimCluster::build(spec);
+        let wl_cfg = WorkloadConfig {
+            num_keys: 20_000,
+            ..WorkloadConfig::small(Mix::UPDATE_INTENSIVE, Distribution::Uniform)
+        };
+        let base = Workload::new(wl_cfg.clone());
+        let mut loader = base.fork(0x10AD);
+        cluster.preload((0..wl_cfg.num_keys).map(|i| (loader.key_at(i), loader.value(i))));
+        for c in 0..4u64 {
+            let mut w = base.fork(c + 1);
+            cluster.add_client(
+                Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+                8,
+                warmup,
+                Duration::from_millis(500),
+            );
+        }
+        cluster.run_for(warmup + window);
+        let stats = cluster.collect_stats(window);
+        r.rows.push(Row::with_latency(
+            "aa+sc dlm lease (ms)",
+            lease_ms as f64,
+            stats.kqps(),
+            stats.mean_latency_ms(),
+        ));
+    }
+    // 3. Virtual-node count: shard load balance of the hash ring
+    //    (reported as max/min keys per shard over a uniform keyspace).
+    for vnodes in [1u32, 4, 16, 64, 256] {
+        let map = bespokv_types::ShardMap::dense(
+            8,
+            1,
+            Mode::MS_EC,
+            bespokv_types::Partitioning::ConsistentHash { vnodes },
+        );
+        let mut counts = vec![0u64; 8];
+        for i in 0..80_000u64 {
+            let k = bespokv_workloads::ycsb::make_key(i, 16);
+            counts[map.shard_for_key(&k).raw() as usize] += 1;
+        }
+        let max = *counts.iter().max().expect("shards") as f64;
+        let min = *counts.iter().min().expect("shards") as f64;
+        r.rows.push(Row::point(
+            "hash ring imbalance (max/min) vs vnodes",
+            vnodes as f64,
+            max / min.max(1.0),
+        ));
+    }
+    // 4. Chain length: MS+SC write latency grows with the chain.
+    for repl in [1u32, 2, 3, 5, 7] {
+        let mut cluster = SimCluster::build(ClusterSpec::new(1, repl, Mode::MS_SC));
+        let wl_cfg = WorkloadConfig {
+            num_keys: 5_000,
+            ..WorkloadConfig::small(Mix::read_write(0.0), Distribution::Uniform)
+        };
+        let base = Workload::new(wl_cfg.clone());
+        let mut w = base.fork(1);
+        cluster.add_client(
+            Box::new(move || (w.next_op(), String::new(), ConsistencyLevel::Default)),
+            1, // closed loop of one: measures pure chain latency
+            warmup,
+            Duration::from_millis(500),
+        );
+        cluster.run_for(warmup + window);
+        let stats = cluster.collect_stats(window);
+        r.rows.push(Row::with_latency(
+            "ms+sc chain length vs write latency",
+            repl as f64,
+            stats.kqps(),
+            stats.mean_latency_ms(),
+        ));
+    }
+    r.note("expect: bigger prop batches help write throughput slightly; AA+SC insensitive to lease; imbalance shrinks with vnodes; chain latency grows ~linearly with length");
+    r
+}

@@ -1,0 +1,16 @@
+//! Experiment runners regenerating the SC'18 evaluation.
+//!
+//! Each experiment function produces the rows behind one table or figure
+//! of the paper; the `figures` binary prints them and writes CSVs under
+//! `results/`. Runs execute on the deterministic simulator (cluster-scale
+//! sweeps, timelines) or on real engines/sockets (engine and transport
+//! microbenchmarks). `Scale::Quick` shrinks windows and sweeps for smoke
+//! runs; `Scale::Full` is the committed configuration reported in
+//! EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod report;
+pub mod runners;
+
+pub use report::{Report, Row};
+pub use runners::Scale;

@@ -1,0 +1,193 @@
+//! Result rows and report formatting for the figure harness.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Process CPU time consumed so far (utime + stime from /proc/self/stat).
+///
+/// Wall-clock on shared vCPUs suffers steal-time noise of several x; CPU
+/// time is what the engine actually burned and is stable, so the real-
+/// engine microbenchmarks rate by it.
+pub fn process_cpu_time() -> std::time::Duration {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    // Field 2 (comm) may contain spaces; skip past the closing paren.
+    let rest = stat.rsplit_once(national_paren()).map(|(_, r)| r).unwrap_or(&stat);
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // After the paren: field index 11 = utime, 12 = stime (0-based).
+    let utime: u64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let tick = 100u64; // _SC_CLK_TCK on Linux
+    std::time::Duration::from_nanos((utime + stime) * (1_000_000_000 / tick))
+}
+
+fn national_paren() -> char {
+    ')'
+}
+
+/// One data point of a figure or table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Series label (e.g. `"ms+sc zipf 95% GET"`).
+    pub series: String,
+    /// X value (node count, time in seconds, offered load, ...).
+    pub x: f64,
+    /// Primary Y value (usually kQPS).
+    pub y: f64,
+    /// Optional secondary value (usually latency in ms).
+    pub y2: Option<f64>,
+}
+
+impl Row {
+    /// Builds a throughput point.
+    pub fn point(series: impl Into<String>, x: f64, y: f64) -> Self {
+        Row {
+            series: series.into(),
+            x,
+            y,
+            y2: None,
+        }
+    }
+
+    /// Builds a throughput + latency point.
+    pub fn with_latency(series: impl Into<String>, x: f64, y: f64, lat_ms: f64) -> Self {
+        Row {
+            series: series.into(),
+            x,
+            y,
+            y2: Some(lat_ms),
+        }
+    }
+}
+
+/// A complete experiment result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment id (`"fig7"`, `"table1"`, ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Axis/unit annotations: (x, y, y2).
+    pub axes: (&'static str, &'static str, &'static str),
+    /// The data.
+    pub rows: Vec<Row>,
+    /// Free-form notes (substitutions, paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        id: &'static str,
+        title: &'static str,
+        axes: (&'static str, &'static str, &'static str),
+    ) -> Self {
+        Report {
+            id,
+            title,
+            axes,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders a fixed-width text table grouped by series.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let (x, y, y2) = self.axes;
+        let mut series: Vec<&str> = self.rows.iter().map(|r| r.series.as_str()).collect();
+        series.dedup();
+        let mut seen = std::collections::BTreeSet::new();
+        let series: Vec<&str> = self
+            .rows
+            .iter()
+            .map(|r| r.series.as_str())
+            .filter(|s| seen.insert(s.to_string()))
+            .collect();
+        for s in series {
+            let _ = writeln!(out, "  [{s}]");
+            let has_y2 = self
+                .rows
+                .iter()
+                .any(|r| r.series == s && r.y2.is_some());
+            if has_y2 {
+                let _ = writeln!(out, "    {x:>12} {y:>14} {y2:>14}");
+            } else {
+                let _ = writeln!(out, "    {x:>12} {y:>14}");
+            }
+            for r in self.rows.iter().filter(|r| r.series == s) {
+                match r.y2 {
+                    Some(v2) => {
+                        let _ = writeln!(out, "    {:>12.2} {:>14.2} {:>14.3}", r.x, r.y, v2);
+                    }
+                    None => {
+                        let _ = writeln!(out, "    {:>12.2} {:>14.2}", r.x, r.y);
+                    }
+                }
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Writes the rows as CSV to `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut body = String::new();
+        let (x, y, y2) = self.axes;
+        let _ = writeln!(body, "series,{x},{y},{y2}");
+        for r in &self.rows {
+            let _ = writeln!(
+                body,
+                "{},{},{},{}",
+                r.series.replace(',', ";"),
+                r.x,
+                r.y,
+                r.y2.map(|v| v.to_string()).unwrap_or_default()
+            );
+        }
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("figX", "sample", ("nodes", "kqps", "ms"));
+        r.rows.push(Row::point("a", 3.0, 10.0));
+        r.rows.push(Row::with_latency("a", 6.0, 19.5, 0.8));
+        r.rows.push(Row::point("b", 3.0, 5.0));
+        r.note("synthetic");
+        r
+    }
+
+    #[test]
+    fn text_render_groups_series() {
+        let txt = sample().to_text();
+        assert!(txt.contains("== figX"));
+        assert!(txt.contains("[a]"));
+        assert!(txt.contains("[b]"));
+        assert!(txt.contains("note: synthetic"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bespokv-report-{}", std::process::id()));
+        let path = sample().write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("series,nodes,kqps,ms"));
+        assert_eq!(body.lines().count(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! Reusable run configurations for the experiments.
+
+use bespokv_cluster::metrics::RunStats;
+use bespokv_cluster::{ClusterSpec, SimCluster};
+use bespokv_datalet::EngineKind;
+use bespokv_runtime::TransportProfile;
+use bespokv_types::{ConsistencyLevel, Duration, Mode};
+use bespokv_workloads::{Distribution, Mix, Workload, WorkloadConfig};
+
+/// Experiment scale: quick smoke runs vs the committed full configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sweeps and short windows (seconds per experiment).
+    Quick,
+    /// The configuration recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Warmup before the measurement window.
+    pub fn warmup(self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(150),
+            Scale::Full => Duration::from_millis(300),
+        }
+    }
+
+    /// Measurement window.
+    pub fn window(self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(400),
+            Scale::Full => Duration::from_millis(900),
+        }
+    }
+
+    /// Node counts for scalability sweeps (the paper uses 3-48).
+    pub fn node_sweep(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![3, 12, 48],
+            Scale::Full => vec![3, 6, 12, 24, 36, 48],
+        }
+    }
+
+    /// Keyspace size. The paper loads 10 M tuples; the simulator scales
+    /// this down (documented in EXPERIMENTS.md) — popularity shape, not
+    /// keyspace size, drives the routing and caching behaviour measured
+    /// here, and preloading is per-replica.
+    pub fn keyspace(self) -> u64 {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 100_000,
+        }
+    }
+}
+
+/// One bespoKV throughput run.
+#[derive(Clone)]
+pub struct BespokvRun {
+    /// Mode under test.
+    pub mode: Mode,
+    /// Number of nodes (shards = nodes / replication).
+    pub nodes: u32,
+    /// Replication factor (paper: 3).
+    pub replication: u32,
+    /// Engines per replica position.
+    pub engines: Vec<EngineKind>,
+    /// Workload mix.
+    pub mix: Mix,
+    /// Popularity distribution.
+    pub distribution: Distribution,
+    /// Network profile.
+    pub transport: TransportProfile,
+    /// Fraction of reads upgraded to per-request Strong (section VIII-D);
+    /// 0.0 for plain runs.
+    pub strong_read_fraction: f64,
+    /// Scan length if the mix scans.
+    pub scan_len: u32,
+}
+
+impl BespokvRun {
+    /// The standard GCE-style run the scalability figures use.
+    pub fn new(mode: Mode, nodes: u32, mix: Mix, distribution: Distribution) -> Self {
+        BespokvRun {
+            mode,
+            nodes,
+            replication: 3,
+            engines: vec![EngineKind::THt],
+            mix,
+            distribution,
+            transport: TransportProfile::cloud_1g(),
+            strong_read_fraction: 0.0,
+            scan_len: 100,
+        }
+    }
+
+    /// Sets the engines.
+    pub fn with_engines(mut self, engines: Vec<EngineKind>) -> Self {
+        self.engines = engines;
+        self
+    }
+
+    /// Sets the transport.
+    pub fn with_transport(mut self, t: TransportProfile) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Executes the run and returns merged client stats.
+    pub fn execute(&self, scale: Scale) -> RunStats {
+        let shards = (self.nodes / self.replication).max(1);
+        let spec = ClusterSpec::new(shards, self.replication, self.mode)
+            .with_engines(self.engines.clone())
+            .with_transport(self.transport);
+        let mut cluster = SimCluster::build(spec);
+        let keyspace = scale.keyspace();
+        let wl_cfg = WorkloadConfig {
+            num_keys: keyspace,
+            scan_len: self.scan_len,
+            ..WorkloadConfig::small(self.mix, self.distribution)
+        };
+        let base = Workload::new(wl_cfg);
+        // Preload so reads hit (paper loads the full tuple set first).
+        let mut loader = base.fork(0x10AD);
+        let items: Vec<_> = (0..keyspace)
+            .map(|i| (loader.key_at(i), loader.value(i)))
+            .collect();
+        cluster.preload(items);
+        let warmup = scale.warmup();
+        // Enough closed-loop demand to saturate the servers.
+        let clients = self.nodes.max(3) as usize;
+        let concurrency = 16;
+        for c in 0..clients {
+            let mut w = base.fork(c as u64 + 1);
+            let strong = self.strong_read_fraction;
+            let mut tick = 0u64;
+            cluster.add_client(
+                Box::new(move || {
+                    tick += 1;
+                    let op = w.next_op();
+                    let level = if strong > 0.0 && !op.is_write() {
+                        // Deterministic interleave of strong reads.
+                        if tick % 100 < (strong * 100.0) as u64 {
+                            ConsistencyLevel::Strong
+                        } else {
+                            ConsistencyLevel::Eventual
+                        }
+                    } else {
+                        ConsistencyLevel::Default
+                    };
+                    (op, String::new(), level)
+                }),
+                concurrency,
+                warmup,
+                Duration::from_millis(500),
+            );
+        }
+        let window = scale.window();
+        cluster.run_for(warmup + window);
+        cluster.collect_stats(window)
+    }
+}

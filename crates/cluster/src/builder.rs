@@ -1,0 +1,474 @@
+//! Cluster assembly on the discrete-event simulator.
+//!
+//! Builds the full bespoKV deployment the paper evaluates: one controlet
+//! per datalet (per shard replica), a coordinator, the optional DLM and
+//! shared-log services, standby pairs for failover, and closed-loop
+//! workload clients.
+//!
+//! Address layout (the coordinator's `NodeId(n) == Addr(n)` convention):
+//!
+//! ```text
+//! [0 .. shards*replication)             controlet-datalet pairs
+//! [.. + standbys)                       standby pairs
+//! next                                  coordinator
+//! next, next                            DLM, shared log
+//! remainder                             clients / transition controlets
+//! ```
+
+use crate::client_actor::{OpSource, WorkloadClient};
+use bespokv::client::ClientCore;
+use bespokv::controlet::{Controlet, ControletConfig};
+use bespokv_coordinator::{CoordConfig, CoordinatorActor};
+use bespokv_datalet::{Datalet, EngineKind};
+use bespokv_dlm::DlmActor;
+use bespokv_proto::{CoordMsg, NetMsg};
+use bespokv_runtime::{Addr, CostModel, NetworkModel, Simulation, TransportProfile};
+use bespokv_sharedlog::SharedLogActor;
+use bespokv_types::{
+    ClientId, Duration, Key, Mode, NodeId, Partitioning, ShardId, ShardInfo, ShardMap, Value,
+};
+use std::sync::Arc;
+
+/// Everything needed to stand up a cluster.
+#[derive(Clone)]
+pub struct ClusterSpec {
+    /// Number of shards.
+    pub shards: u32,
+    /// Replicas per shard.
+    pub replication: u32,
+    /// Topology + consistency for every shard.
+    pub mode: Mode,
+    /// Engine per replica position; replica `i` uses
+    /// `engines[i % engines.len()]` (one entry = homogeneous; several =
+    /// polyglot persistence, section IV-D).
+    pub engines: Vec<EngineKind>,
+    /// Key partitioning.
+    pub partitioning: Partitioning,
+    /// Network fabric profile.
+    pub transport: TransportProfile,
+    /// Standby controlet-datalet pairs for failover.
+    pub standbys: u32,
+    /// Coordinator tuning.
+    pub coord: CoordConfig,
+    /// Controlet heartbeat period.
+    pub heartbeat_every: Duration,
+    /// MS+EC propagation flush period.
+    pub prop_flush_every: Duration,
+    /// AA+EC log poll period.
+    pub log_poll_every: Duration,
+    /// DLM lease length (AA+SC).
+    pub dlm_lease: Duration,
+    /// P2P-style routing (section IV-E): clients send to any controlet,
+    /// controlets forward to the owner.
+    pub p2p: bool,
+    /// Per-shard mode overrides (hybrid topologies, section IV-E): shard
+    /// `i` runs `per_shard_modes[i]`; shards beyond the list use `mode`.
+    pub per_shard_modes: Vec<Mode>,
+}
+
+impl ClusterSpec {
+    /// A sane baseline: `shards x replication` nodes of `tHT` in `mode`.
+    pub fn new(shards: u32, replication: u32, mode: Mode) -> Self {
+        ClusterSpec {
+            shards,
+            replication,
+            mode,
+            engines: vec![EngineKind::THt],
+            partitioning: Partitioning::ConsistentHash { vnodes: 32 },
+            transport: TransportProfile::socket(),
+            standbys: 0,
+            coord: CoordConfig::default(),
+            heartbeat_every: Duration::from_millis(250),
+            prop_flush_every: Duration::from_millis(2),
+            log_poll_every: Duration::from_millis(2),
+            dlm_lease: Duration::from_millis(500),
+            p2p: false,
+            per_shard_modes: Vec::new(),
+        }
+    }
+
+    /// Gives each shard its own mode (hybrid topologies): e.g. an AA-MS
+    /// hybrid runs MS chains per shard under an active-active overlay.
+    pub fn with_per_shard_modes(mut self, modes: Vec<Mode>) -> Self {
+        self.per_shard_modes = modes;
+        self
+    }
+
+    /// Enables P2P routing.
+    pub fn with_p2p(mut self) -> Self {
+        self.p2p = true;
+        self
+    }
+
+    /// Sets the engines (single entry = homogeneous).
+    pub fn with_engines(mut self, engines: Vec<EngineKind>) -> Self {
+        assert!(!engines.is_empty());
+        self.engines = engines;
+        self
+    }
+
+    /// Sets the transport profile.
+    pub fn with_transport(mut self, t: TransportProfile) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Sets the number of standby pairs.
+    pub fn with_standbys(mut self, n: u32) -> Self {
+        self.standbys = n;
+        self
+    }
+
+    /// Sets coordinator failure detection parameters.
+    pub fn with_coord(mut self, coord: CoordConfig) -> Self {
+        self.coord = coord;
+        self
+    }
+
+    /// Total non-standby nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.shards * self.replication
+    }
+}
+
+/// Cost model matching an engine (calibrated constants; see netmodel docs).
+pub fn cost_for(engine: EngineKind) -> CostModel {
+    match engine {
+        EngineKind::THt | EngineKind::TRedis => CostModel::tht(),
+        EngineKind::TMt => CostModel::tmt(),
+        EngineKind::TLog => CostModel::tlog(),
+        EngineKind::TLsm | EngineKind::TSsdb => CostModel::tlsm(),
+    }
+}
+
+/// A running simulated cluster.
+pub struct SimCluster {
+    /// The simulator (step it, kill actors, inspect).
+    pub sim: Simulation,
+    /// Controlet addresses, indexed by `NodeId` raw value.
+    pub controlets: Vec<Addr>,
+    /// Standby controlet addresses.
+    pub standbys: Vec<Addr>,
+    /// Coordinator address.
+    pub coordinator: Addr,
+    /// DLM address.
+    pub dlm: Addr,
+    /// Shared log addresses, one per shard.
+    pub shared_logs: Vec<Addr>,
+    /// Workload client addresses.
+    pub clients: Vec<Addr>,
+    /// Scripted client addresses.
+    pub clients_scripted: Vec<Addr>,
+    /// Datalets, indexed like `controlets` (standbys included at the end).
+    pub datalets: Vec<Arc<dyn Datalet>>,
+    /// The initial shard map.
+    pub map: ShardMap,
+    spec: ClusterSpec,
+    next_client_id: u32,
+}
+
+impl SimCluster {
+    /// Builds the cluster described by `spec`.
+    pub fn build(spec: ClusterSpec) -> Self {
+        let mut map = ShardMap::dense(
+            spec.shards,
+            spec.replication,
+            spec.mode,
+            spec.partitioning.clone(),
+        );
+        for (i, &mode) in spec.per_shard_modes.iter().enumerate() {
+            if let Some(info) = map.shard_mut(ShardId(i as u32)) {
+                info.mode = mode;
+            }
+        }
+        let mut sim = Simulation::new(NetworkModel::uniform(spec.transport));
+        let num_nodes = spec.num_nodes();
+        let coordinator = Addr(num_nodes + spec.standbys);
+        let dlm = Addr(coordinator.0 + 1);
+        // The shared log scales with the cluster (the paper: "we need to
+        // scale the Shared Log setup as BESPOKV scales"): one log service
+        // instance per shard.
+        let shared_logs: Vec<Addr> = (0..spec.shards)
+            .map(|s| Addr(coordinator.0 + 2 + s))
+            .collect();
+
+        let mut controlets = Vec::new();
+        let mut datalets: Vec<Arc<dyn Datalet>> = Vec::new();
+        for shard in 0..spec.shards {
+            let info = map.shard(ShardId(shard)).expect("dense").clone();
+            for (pos, &node) in info.replicas.iter().enumerate() {
+                let engine = spec.engines[pos % spec.engines.len()];
+                let datalet = engine.build();
+                let mut cfg = ControletConfig::new(node, ShardId(shard), coordinator);
+                cfg.dlm = Some(dlm);
+                cfg.shared_log = Some(shared_logs[shard as usize]);
+                cfg.cost = cost_for(engine);
+                cfg.heartbeat_every = spec.heartbeat_every;
+                cfg.prop_flush_every = spec.prop_flush_every;
+                cfg.log_poll_every = spec.log_poll_every;
+                cfg.p2p_forwarding = spec.p2p;
+                let controlet = Controlet::with_info(cfg, Arc::clone(&datalet), info.clone())
+                    .with_cluster_map(map.clone());
+                let addr = sim.add_actor(Box::new(controlet));
+                assert_eq!(addr.0, node.raw(), "address/NodeId convention broken");
+                controlets.push(addr);
+                datalets.push(datalet);
+            }
+        }
+        // Standbys: fresh empty pairs awaiting StartRecovery.
+        let mut standbys = Vec::new();
+        for i in 0..spec.standbys {
+            let node = NodeId(num_nodes + i);
+            let engine = spec.engines[0];
+            let datalet = engine.build();
+            let mut cfg = ControletConfig::new(node, ShardId(u32::MAX), coordinator);
+            cfg.dlm = Some(dlm);
+            // Standbys learn their shard at StartRecovery; give them the
+            // first log instance and rebind on assignment below if needed.
+            cfg.shared_log = Some(shared_logs[0]);
+            cfg.cost = cost_for(engine);
+            cfg.heartbeat_every = spec.heartbeat_every;
+            cfg.prop_flush_every = spec.prop_flush_every;
+            cfg.log_poll_every = spec.log_poll_every;
+            let controlet = Controlet::new(cfg, Arc::clone(&datalet));
+            let addr = sim.add_actor(Box::new(controlet));
+            assert_eq!(addr.0, node.raw());
+            standbys.push(addr);
+            datalets.push(datalet);
+        }
+        // Coordinator, DLM, shared log.
+        let mut coord_actor = CoordinatorActor::new(spec.coord, map.clone());
+        for i in 0..spec.standbys {
+            coord_actor.core_mut().add_standby(NodeId(num_nodes + i));
+        }
+        let got = sim.add_actor(Box::new(coord_actor));
+        assert_eq!(got, coordinator);
+        let got = sim.add_actor(Box::new(DlmActor::new(
+            spec.dlm_lease,
+            Duration::from_millis(50),
+        )));
+        assert_eq!(got, dlm);
+        for &expected in &shared_logs {
+            let got = sim.add_actor(Box::new(SharedLogActor::new()));
+            assert_eq!(got, expected);
+        }
+        // Connection-refused semantics for client traffic: a request to a
+        // crashed node errors immediately (as a TCP connect would) instead
+        // of silently timing out; replication/control traffic to dead
+        // nodes still just vanishes (repair handles it).
+        sim.set_bounce(Box::new(|dead, msg| match msg {
+            NetMsg::Client(req) => Some(NetMsg::ClientResp(
+                bespokv_proto::client::Response::err(
+                    req.id,
+                    bespokv_types::KvError::WrongNode {
+                        node: NodeId(dead.0),
+                        hint: None,
+                    },
+                ),
+            )),
+            _ => None,
+        }));
+
+        SimCluster {
+            sim,
+            controlets,
+            standbys,
+            coordinator,
+            dlm,
+            shared_logs,
+            clients: Vec::new(),
+            clients_scripted: Vec::new(),
+            datalets,
+            map,
+            spec,
+            next_client_id: 1000,
+        }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Pre-loads key/value pairs into every replica of the owning shard
+    /// (version 1), so read workloads hit.
+    pub fn preload<I: IntoIterator<Item = (Key, Value)>>(&mut self, items: I) {
+        for (key, value) in items {
+            let shard = self.map.shard_for_key(&key);
+            let info = self.map.shard(shard).expect("dense");
+            for &node in &info.replicas {
+                let d = &self.datalets[node.raw() as usize];
+                let _ = d.put(bespokv_datalet::DEFAULT_TABLE, key.clone(), value.clone(), 1);
+            }
+        }
+    }
+
+    /// Attaches one closed-loop client; returns its address.
+    pub fn add_client(
+        &mut self,
+        source: Box<dyn OpSource>,
+        concurrency: usize,
+        warmup: Duration,
+        timeline_bucket: Duration,
+    ) -> Addr {
+        self.add_client_inner(source, concurrency, warmup, timeline_bucket, u32::MAX)
+    }
+
+    /// Attaches a closed-loop client that does NOT transparently retry:
+    /// failures surface immediately (redis-benchmark semantics, used by
+    /// the failover timelines).
+    pub fn add_client_no_retry(
+        &mut self,
+        source: Box<dyn OpSource>,
+        concurrency: usize,
+        warmup: Duration,
+        timeline_bucket: Duration,
+    ) -> Addr {
+        self.add_client_inner(source, concurrency, warmup, timeline_bucket, 1)
+    }
+
+    fn add_client_inner(
+        &mut self,
+        source: Box<dyn OpSource>,
+        concurrency: usize,
+        warmup: Duration,
+        timeline_bucket: Duration,
+        max_attempts: u32,
+    ) -> Addr {
+        let id = ClientId(self.next_client_id);
+        self.next_client_id += 1;
+        let mut core = ClientCore::new(id, self.coordinator)
+            .with_request_timeout(Duration::from_millis(500));
+        if max_attempts != u32::MAX {
+            core = core.with_max_attempts(max_attempts);
+        }
+        if self.spec.p2p {
+            core = core.with_p2p((0..self.spec.num_nodes()).map(NodeId).collect());
+        }
+        let client = WorkloadClient::new(core, source, concurrency, warmup, timeline_bucket);
+        let addr = self.sim.add_actor(Box::new(client));
+        self.clients.push(addr);
+        addr
+    }
+
+    /// Attaches a sequential scripted client; returns its address.
+    pub fn add_script_client(&mut self, script: Vec<crate::script::Step>) -> Addr {
+        let id = ClientId(self.next_client_id);
+        self.next_client_id += 1;
+        let core = ClientCore::new(id, self.coordinator)
+            .with_request_timeout(Duration::from_millis(300));
+        let addr = self
+            .sim
+            .add_actor(Box::new(crate::script::ScriptClient::new(core, script)));
+        self.clients_scripted.push(addr);
+        addr
+    }
+
+    /// Crashes a node (controlet + datalet, fail-stop).
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.sim.kill(Addr(node.raw()));
+    }
+
+    /// Injects a failure notification directly (deterministic failover in
+    /// tests, instead of waiting for heartbeat silence).
+    pub fn declare_failed(&mut self, node: NodeId) {
+        self.sim
+            .actor_mut::<CoordinatorActor>(self.coordinator)
+            .core_mut()
+            .fail_node(node);
+        self.flush_coordinator();
+    }
+
+    /// Sends the coordinator's queued directives (after driving its core
+    /// directly from the harness).
+    fn flush_coordinator(&mut self) {
+        let directives = self
+            .sim
+            .actor_mut::<CoordinatorActor>(self.coordinator)
+            .core_mut()
+            .take_directives();
+        for d in directives {
+            self.sim.inject(self.coordinator, d.to, d.msg);
+        }
+    }
+
+    /// Spawns new controlets over the *same datalets* of `shard` and starts
+    /// a transition to `new_mode` (section V: controlets are replaced, the
+    /// datalets stay). Returns the new node ids.
+    pub fn start_transition(&mut self, shard: ShardId, new_mode: Mode) -> Vec<NodeId> {
+        let current = self
+            .sim
+            .actor_mut::<CoordinatorActor>(self.coordinator)
+            .core()
+            .map()
+            .shard(shard)
+            .expect("shard exists")
+            .clone();
+        let mut new_nodes = Vec::new();
+        for (pos, &old) in current.replicas.iter().enumerate() {
+            let datalet = Arc::clone(&self.datalets[old.raw() as usize]);
+            // Address is assigned by the simulator; NodeId must match it.
+            let probe = NodeId(self.sim.num_actors() as u32);
+            let engine = self.spec.engines[pos % self.spec.engines.len()];
+            let mut cfg = ControletConfig::new(probe, shard, self.coordinator);
+            cfg.dlm = Some(self.dlm);
+            cfg.shared_log = Some(self.shared_logs[shard.raw() as usize % self.shared_logs.len()]);
+            cfg.cost = cost_for(engine);
+            cfg.heartbeat_every = self.spec.heartbeat_every;
+            cfg.prop_flush_every = self.spec.prop_flush_every;
+            cfg.log_poll_every = self.spec.log_poll_every;
+            let controlet = Controlet::new(cfg, Arc::clone(&datalet));
+            let addr = self.sim.add_actor(Box::new(controlet));
+            assert_eq!(addr.0, probe.raw());
+            self.datalets.push(datalet);
+            new_nodes.push(probe);
+        }
+        let target = ShardInfo {
+            shard,
+            mode: new_mode,
+            replicas: new_nodes.clone(),
+            epoch: current.epoch + 1,
+        };
+        self.sim.inject(
+            Addr(u32::MAX),
+            self.coordinator,
+            NetMsg::Coord(CoordMsg::BeginTransition { shard, target }),
+        );
+        new_nodes
+    }
+
+}
+
+impl SimCluster {
+    /// Runs the cluster for a span of virtual time.
+    pub fn run_for(&mut self, span: Duration) {
+        self.sim.run_for(span);
+    }
+
+    /// Merged statistics across all clients.
+    pub fn collect_stats(&mut self, window: Duration) -> crate::metrics::RunStats {
+        let mut latency = crate::metrics::LatencyHistogram::new();
+        let mut completed = 0;
+        let mut errors = 0;
+        let mut timeline: Option<crate::metrics::Timeline> = None;
+        for &addr in &self.clients.clone() {
+            let c = self.sim.actor_mut::<WorkloadClient>(addr);
+            let s = c.stats();
+            completed += s.completed;
+            errors += s.errors;
+            latency.merge(&s.latency);
+            match &mut timeline {
+                Some(t) => t.merge(&s.timeline),
+                None => timeline = Some(s.timeline.clone()),
+            }
+        }
+        crate::metrics::RunStats {
+            completed,
+            errors,
+            window,
+            latency,
+            timeline: timeline
+                .unwrap_or_else(|| crate::metrics::Timeline::new(Duration::from_millis(500))),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Closed-loop workload client actor.
+//!
+//! Wraps [`ClientCore`] with a workload generator: keeps `concurrency`
+//! operations in flight, records every completion after the warmup into a
+//! latency histogram and a throughput timeline, and periodically ticks the
+//! core so silent requests (dead targets during failover) are re-issued.
+
+use crate::metrics::{LatencyHistogram, Timeline};
+use bespokv::client::ClientCore;
+use bespokv_proto::client::Op;
+use bespokv_runtime::{Actor, Context, Event};
+use bespokv_types::{ConsistencyLevel, Duration, Instant};
+
+/// Produces the operation stream for one client.
+pub trait OpSource: Send {
+    /// The next operation plus its table and per-request level.
+    fn next(&mut self) -> (Op, String, ConsistencyLevel);
+}
+
+/// Blanket impl so plain closures work as sources.
+impl<F> OpSource for F
+where
+    F: FnMut() -> (Op, String, ConsistencyLevel) + Send,
+{
+    fn next(&mut self) -> (Op, String, ConsistencyLevel) {
+        self()
+    }
+}
+
+/// Timer token for the periodic tick.
+const TICK: u64 = 1;
+
+/// Recorded client-side statistics.
+#[derive(Clone, Debug)]
+pub struct ClientStats {
+    /// Completions inside the measurement window.
+    pub completed: u64,
+    /// Errors surfaced to the application (after retries).
+    pub errors: u64,
+    /// Latency histogram (measurement window only).
+    pub latency: LatencyHistogram,
+    /// Whole-run throughput timeline (including warmup).
+    pub timeline: Timeline,
+}
+
+/// The closed-loop client actor.
+pub struct WorkloadClient {
+    core: ClientCore,
+    source: Box<dyn OpSource>,
+    concurrency: usize,
+    warmup: Duration,
+    tick_every: Duration,
+    start: Option<Instant>,
+    pub(crate) stats: ClientStats,
+}
+
+impl WorkloadClient {
+    /// Creates a client that keeps `concurrency` requests in flight.
+    pub fn new(
+        core: ClientCore,
+        source: Box<dyn OpSource>,
+        concurrency: usize,
+        warmup: Duration,
+        timeline_bucket: Duration,
+    ) -> Self {
+        WorkloadClient {
+            core,
+            source,
+            concurrency: concurrency.max(1),
+            warmup,
+            tick_every: Duration::from_millis(100),
+            start: None,
+            stats: ClientStats {
+                completed: 0,
+                errors: 0,
+                latency: LatencyHistogram::new(),
+                timeline: Timeline::new(timeline_bucket),
+            },
+        }
+    }
+
+    /// Recorded statistics.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    fn pump(&mut self, now: Instant, ctx: &mut Context) {
+        if self.core.ready() {
+            while self.core.in_flight() < self.concurrency {
+                let (op, table, level) = self.source.next();
+                self.core.begin(op, table, level, now);
+            }
+        } else {
+            self.core.request_map(now);
+        }
+        for (to, msg) in self.core.take_outgoing() {
+            ctx.send(to, msg);
+        }
+    }
+
+    fn in_window(&self, now: Instant) -> bool {
+        match self.start {
+            Some(s) => now.saturating_since(s) >= self.warmup,
+            None => false,
+        }
+    }
+}
+
+impl Actor for WorkloadClient {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        match ev {
+            Event::Start => {
+                self.start = Some(ctx.now());
+                ctx.set_timer(self.tick_every, TICK);
+                self.pump(ctx.now(), ctx);
+            }
+            Event::Timer { token: TICK } => {
+                self.core.on_tick(ctx.now());
+                self.pump(ctx.now(), ctx);
+                ctx.set_timer(self.tick_every, TICK);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { msg, .. } => {
+                let now = ctx.now();
+                let completions = self.core.on_msg(msg, now);
+                let measuring = self.in_window(now);
+                for c in completions {
+                    // Timelines plot *successful* queries — during a
+                    // failover window failed requests must show as a dip.
+                    if c.result.is_ok() {
+                        self.stats.timeline.record(now);
+                    }
+                    if measuring {
+                        self.stats.completed += 1;
+                        if c.result.is_err() {
+                            self.stats.errors += 1;
+                        }
+                        self.stats.latency.record(now.saturating_since(c.issued_at));
+                    }
+                }
+                self.pump(now, ctx);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,156 @@
+//! Sequential scripted client, for correctness tests and examples.
+//!
+//! Issues a fixed list of operations strictly one at a time (each waits for
+//! the previous completion), which gives program-order semantics — exactly
+//! what consistency assertions need. Records every result.
+
+use bespokv::client::ClientCore;
+use bespokv_proto::client::{Op, RespBody};
+use bespokv_runtime::{Actor, Context, Event};
+use bespokv_types::{ConsistencyLevel, Duration, Instant, KvError};
+
+/// One scripted step.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Operation to perform.
+    pub op: Op,
+    /// Table.
+    pub table: String,
+    /// Per-request consistency.
+    pub level: ConsistencyLevel,
+}
+
+impl Step {
+    /// A step against the default table with default consistency.
+    pub fn new(op: Op) -> Self {
+        Step {
+            op,
+            table: String::new(),
+            level: ConsistencyLevel::Default,
+        }
+    }
+
+    /// Sets the consistency level.
+    pub fn with_level(mut self, level: ConsistencyLevel) -> Self {
+        self.level = level;
+        self
+    }
+}
+
+/// Timer token for the retry tick.
+const TICK: u64 = 1;
+
+/// The scripted client actor.
+pub struct ScriptClient {
+    core: ClientCore,
+    script: Vec<Step>,
+    next: usize,
+    in_flight: bool,
+    /// Results, in script order.
+    pub results: Vec<Result<RespBody, KvError>>,
+    /// Completion time of each step.
+    pub completed_at: Vec<Instant>,
+}
+
+impl ScriptClient {
+    /// Creates the client.
+    pub fn new(core: ClientCore, script: Vec<Step>) -> Self {
+        ScriptClient {
+            core,
+            script,
+            next: 0,
+            in_flight: false,
+            results: Vec::new(),
+            completed_at: Vec::new(),
+        }
+    }
+
+    /// Whether every step has completed.
+    pub fn done(&self) -> bool {
+        self.results.len() == self.script.len()
+    }
+
+    fn issue_next(&mut self, now: Instant, ctx: &mut Context) {
+        if self.in_flight || self.next >= self.script.len() {
+            return;
+        }
+        if !self.core.ready() {
+            self.core.request_map(now);
+        } else {
+            let step = self.script[self.next].clone();
+            self.next += 1;
+            self.in_flight = true;
+            self.core.begin(step.op, step.table, step.level, now);
+        }
+        for (to, msg) in self.core.take_outgoing() {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+impl Actor for ScriptClient {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        match ev {
+            Event::Start => {
+                ctx.set_timer(Duration::from_millis(100), TICK);
+                self.issue_next(ctx.now(), ctx);
+            }
+            Event::Timer { token: TICK } => {
+                self.core.on_tick(ctx.now());
+                self.issue_next(ctx.now(), ctx);
+                for (to, msg) in self.core.take_outgoing() {
+                    ctx.send(to, msg);
+                }
+                ctx.set_timer(Duration::from_millis(100), TICK);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { msg, .. } => {
+                let now = ctx.now();
+                for c in self.core.on_msg(msg, now) {
+                    self.results.push(c.result);
+                    self.completed_at.push(now);
+                    self.in_flight = false;
+                }
+                for (to, msg) in self.core.take_outgoing() {
+                    ctx.send(to, msg);
+                }
+                self.issue_next(now, ctx);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Builds a put step.
+pub fn put(key: &str, value: &str) -> Step {
+    Step::new(Op::Put {
+        key: bespokv_types::Key::from(key),
+        value: bespokv_types::Value::from(value),
+    })
+}
+
+/// Builds a get step.
+pub fn get(key: &str) -> Step {
+    Step::new(Op::Get {
+        key: bespokv_types::Key::from(key),
+    })
+}
+
+/// Builds a delete step.
+pub fn del(key: &str) -> Step {
+    Step::new(Op::Del {
+        key: bespokv_types::Key::from(key),
+    })
+}
+
+/// Builds a scan step.
+pub fn scan(start: &str, end: &str, limit: u32) -> Step {
+    Step::new(Op::Scan {
+        start: bespokv_types::Key::from(start),
+        end: bespokv_types::Key::from(end),
+        limit,
+    })
+}

@@ -1,0 +1,189 @@
+//! Failover end-to-end (paper section IV "Failover" and appendix D):
+//! nodes crash mid-run, the coordinator detects the silence, repairs the
+//! replica chain / replica set, and a standby pair recovers the data and
+//! rejoins. Clients keep operating throughout.
+
+use bespokv_cluster::script::{get, put, ScriptClient};
+use bespokv_cluster::{ClusterSpec, SimCluster};
+use bespokv_coordinator::{CoordConfig, CoordinatorActor};
+use bespokv_datalet::DEFAULT_TABLE;
+use bespokv_proto::client::RespBody;
+use bespokv_types::{ConsistencyLevel, Duration, Key, Mode, NodeId, ShardId, Value};
+
+fn spec(mode: Mode) -> ClusterSpec {
+    ClusterSpec::new(1, 3, mode)
+        .with_standbys(1)
+        .with_coord(CoordConfig {
+            failure_timeout: Duration::from_millis(600),
+            check_every: Duration::from_millis(200),
+        })
+}
+
+/// Writes survive a tail crash under MS+SC: the chain shortens, reads move
+/// to the new tail, and the standby eventually restores 3-way replication.
+#[test]
+fn ms_sc_tail_failure_recovers() {
+    let mut cluster = SimCluster::build(spec(Mode::MS_SC));
+    // Seed data.
+    let seed: Vec<_> = (0..20).map(|i| put(&format!("k{i}"), &format!("v{i}"))).collect();
+    let seeder = cluster.add_script_client(seed);
+    cluster.run_for(Duration::from_secs(2));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    // Kill the tail (node 2).
+    cluster.kill_node(NodeId(2));
+    // Let heartbeat silence trigger failover.
+    cluster.run_for(Duration::from_secs(2));
+    let info = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .unwrap()
+        .clone();
+    assert!(!info.replicas.contains(&NodeId(2)), "dead tail removed");
+    assert!(
+        info.replicas.contains(&NodeId(3)),
+        "standby joined: {:?}",
+        info.replicas
+    );
+    assert_eq!(info.replicas.len(), 3, "replication factor restored");
+
+    // The standby's datalet must hold the recovered data.
+    let standby_data = &cluster.datalets[3];
+    assert_eq!(standby_data.len(), 20, "standby recovered all keys");
+    assert_eq!(
+        standby_data.get(DEFAULT_TABLE, &Key::from("k7")).unwrap().value,
+        Value::from("v7")
+    );
+
+    // And the cluster still serves reads and writes.
+    let post = cluster.add_script_client(vec![
+        put("after", "1"),
+        get("after").with_level(ConsistencyLevel::Strong),
+        get("k3").with_level(ConsistencyLevel::Strong),
+    ]);
+    cluster.run_for(Duration::from_secs(3));
+    let c = cluster.sim.actor_mut::<ScriptClient>(post);
+    assert!(c.done(), "post-failover script finished");
+    assert_eq!(c.results[0], Ok(RespBody::Done));
+    assert!(matches!(&c.results[1], Ok(RespBody::Value(v)) if v.value == Value::from("1")));
+    assert!(matches!(&c.results[2], Ok(RespBody::Value(v)) if v.value == Value::from("v3")));
+}
+
+/// Head crash under MS+SC: the second node becomes head, clients reroute.
+#[test]
+fn ms_sc_head_failure_promotes_second() {
+    let mut cluster = SimCluster::build(spec(Mode::MS_SC));
+    let seeder = cluster.add_script_client(vec![put("x", "1")]);
+    cluster.run_for(Duration::from_secs(1));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    cluster.kill_node(NodeId(0));
+    cluster.run_for(Duration::from_secs(2));
+    let info = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .unwrap()
+        .clone();
+    assert_eq!(info.head(), Some(NodeId(1)), "second node promoted to head");
+
+    let post = cluster.add_script_client(vec![
+        put("y", "2"),
+        get("y").with_level(ConsistencyLevel::Strong),
+    ]);
+    cluster.run_for(Duration::from_secs(3));
+    let c = cluster.sim.actor_mut::<ScriptClient>(post);
+    assert!(c.done());
+    assert_eq!(c.results[0], Ok(RespBody::Done));
+    assert!(matches!(&c.results[1], Ok(RespBody::Value(v)) if v.value == Value::from("2")));
+}
+
+/// Master crash under MS+EC: the most up-to-date slave is elected; the
+/// cluster keeps accepting writes.
+#[test]
+fn ms_ec_master_failure_elects_slave() {
+    let mut cluster = SimCluster::build(spec(Mode::MS_EC));
+    let seed: Vec<_> = (0..30).map(|i| put(&format!("k{i}"), "v")).collect();
+    let seeder = cluster.add_script_client(seed);
+    cluster.run_for(Duration::from_secs(2));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    cluster.kill_node(NodeId(0));
+    cluster.run_for(Duration::from_secs(2));
+    let info = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .unwrap()
+        .clone();
+    assert_ne!(info.head(), Some(NodeId(0)));
+    assert!(info.replicas.len() >= 2);
+
+    let post = cluster.add_script_client(vec![
+        put("post", "1"),
+        get("post").with_level(ConsistencyLevel::Strong),
+    ]);
+    cluster.run_for(Duration::from_secs(3));
+    let c = cluster.sim.actor_mut::<ScriptClient>(post);
+    assert!(c.done());
+    assert!(c.results.iter().all(|r| r.is_ok()), "{:?}", c.results);
+}
+
+/// AA+EC tolerates the loss of any active: the survivors keep serving
+/// reads and writes through the shared log.
+#[test]
+fn aa_ec_active_failure_transparent() {
+    let mut cluster = SimCluster::build(spec(Mode::AA_EC));
+    let seeder = cluster.add_script_client(vec![put("a", "1"), put("b", "2")]);
+    cluster.run_for(Duration::from_secs(1));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    cluster.kill_node(NodeId(1));
+    cluster.run_for(Duration::from_secs(2));
+
+    let post = cluster.add_script_client(vec![
+        put("c", "3"),
+        get("a").with_level(ConsistencyLevel::Strong),
+        get("c").with_level(ConsistencyLevel::Strong),
+    ]);
+    cluster.run_for(Duration::from_secs(3));
+    let c = cluster.sim.actor_mut::<ScriptClient>(post);
+    assert!(c.done());
+    assert!(c.results.iter().all(|r| r.is_ok()), "{:?}", c.results);
+}
+
+/// The recovered standby state matches a surviving replica exactly,
+/// tombstones included.
+#[test]
+fn standby_recovery_preserves_tombstones() {
+    let mut cluster = SimCluster::build(spec(Mode::MS_SC));
+    let mut script = Vec::new();
+    for i in 0..10 {
+        script.push(put(&format!("k{i}"), "v"));
+    }
+    script.push(bespokv_cluster::script::del("k4"));
+    let seeder = cluster.add_script_client(script);
+    cluster.run_for(Duration::from_secs(2));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    cluster.kill_node(NodeId(2));
+    cluster.run_for(Duration::from_secs(3));
+
+    let standby = &cluster.datalets[3];
+    assert_eq!(standby.len(), 9, "9 live keys after one delete");
+    assert!(standby.get(DEFAULT_TABLE, &Key::from("k4")).is_err());
+    // A late write of k4 with an old version must not resurrect it —
+    // the tombstone version was carried over.
+    let _ = standby.put(DEFAULT_TABLE, Key::from("k4"), Value::from("zombie"), 1);
+    assert!(
+        standby.get(DEFAULT_TABLE, &Key::from("k4")).is_err(),
+        "tombstone version survived recovery"
+    );
+}

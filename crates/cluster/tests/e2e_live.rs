@@ -1,0 +1,75 @@
+//! The same controlet state machines on the live threaded runtime: real
+//! threads, real timers, nondeterministic interleavings.
+
+use bespokv_cluster::script::{del, get, put};
+use bespokv_cluster::{ClusterSpec, LiveCluster};
+use bespokv_datalet::DEFAULT_TABLE;
+use bespokv_proto::client::RespBody;
+use bespokv_types::{ConsistencyLevel, Key, KvError, Mode, Value};
+
+fn lifecycle_on_live(mode: Mode) {
+    let mut cluster = LiveCluster::build(ClusterSpec::new(2, 3, mode));
+    let client = cluster.add_script_client(vec![
+        put("alpha", "1"),
+        get("alpha").with_level(ConsistencyLevel::Strong),
+        put("alpha", "2"),
+        get("alpha").with_level(ConsistencyLevel::Strong),
+        del("alpha"),
+        get("alpha").with_level(ConsistencyLevel::Strong),
+    ]);
+    // Wall-clock budget: scripts take a handful of RTTs plus timers.
+    cluster.wait_for_script(client, std::time::Duration::from_millis(1500));
+    let results = cluster.take_script_results(client);
+    assert_eq!(results.len(), 6, "{mode}: script incomplete: {results:?}");
+    assert_eq!(results[0], Ok(RespBody::Done), "{mode}");
+    assert!(
+        matches!(&results[1], Ok(RespBody::Value(v)) if v.value == Value::from("1")),
+        "{mode}: {:?}",
+        results[1]
+    );
+    assert!(
+        matches!(&results[3], Ok(RespBody::Value(v)) if v.value == Value::from("2")),
+        "{mode}: {:?}",
+        results[3]
+    );
+    assert_eq!(results[5], Err(KvError::NotFound), "{mode}");
+}
+
+#[test]
+fn live_ms_sc_lifecycle() {
+    lifecycle_on_live(Mode::MS_SC);
+}
+
+#[test]
+fn live_ms_ec_lifecycle() {
+    lifecycle_on_live(Mode::MS_EC);
+}
+
+#[test]
+fn live_aa_sc_lifecycle() {
+    lifecycle_on_live(Mode::AA_SC);
+}
+
+#[test]
+fn live_aa_ec_lifecycle() {
+    lifecycle_on_live(Mode::AA_EC);
+}
+
+/// Chain replication converges on real threads too.
+#[test]
+fn live_replication_converges() {
+    let mut cluster = LiveCluster::build(ClusterSpec::new(1, 3, Mode::MS_SC));
+    let script: Vec<_> = (0..20).map(|i| put(&format!("k{i}"), "v")).collect();
+    let client = cluster.add_script_client(script);
+    cluster.wait_for_script(client, std::time::Duration::from_millis(2000));
+    let results = cluster.take_script_results(client);
+    assert_eq!(results.len(), 20);
+    assert!(results.iter().all(|r| r.is_ok()));
+    for d in &cluster.datalets {
+        assert_eq!(d.len(), 20, "replica diverged");
+    }
+    let v = cluster.datalets[2]
+        .get(DEFAULT_TABLE, &Key::from("k7"))
+        .unwrap();
+    assert_eq!(v.value, Value::from("v"));
+}

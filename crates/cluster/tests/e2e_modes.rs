@@ -1,0 +1,233 @@
+//! End-to-end correctness of the four pre-built modes on the simulator:
+//! a whole cluster (coordinator + controlets + DLM + shared log) serves a
+//! scripted client, and we assert both the client-visible results and the
+//! replica-state convergence behind them.
+
+use bespokv_cluster::script::{del, get, put, ScriptClient};
+use bespokv_cluster::{ClusterSpec, SimCluster};
+use bespokv_datalet::DEFAULT_TABLE;
+use bespokv_proto::client::RespBody;
+use bespokv_runtime::Addr;
+use bespokv_types::{
+    ConsistencyLevel, Duration, Key, KvError, Mode, Value, VersionedValue,
+};
+
+fn run_script(mode: Mode, script: Vec<bespokv_cluster::Step>) -> (SimCluster, Addr) {
+    let mut cluster = SimCluster::build(ClusterSpec::new(2, 3, mode));
+    let client = cluster.add_script_client(script);
+    // Generous budget; scripts are short.
+    cluster.run_for(Duration::from_secs(10));
+    (cluster, client)
+}
+
+fn results(cluster: &mut SimCluster, client: Addr) -> Vec<Result<RespBody, KvError>> {
+    let c = cluster.sim.actor_mut::<ScriptClient>(client);
+    assert!(c.done(), "script did not finish: {} results", c.results.len());
+    c.results.clone()
+}
+
+fn value_of(r: &Result<RespBody, KvError>) -> Value {
+    match r {
+        Ok(RespBody::Value(v)) => v.value.clone(),
+        other => panic!("expected value, got {other:?}"),
+    }
+}
+
+/// The standard lifecycle script: write, read, overwrite, read, delete,
+/// read-miss. Reads are per-request Strong so they are read-your-writes
+/// even under EC modes.
+fn lifecycle() -> Vec<bespokv_cluster::Step> {
+    vec![
+        put("alpha", "1"),
+        get("alpha").with_level(ConsistencyLevel::Strong),
+        put("alpha", "2"),
+        get("alpha").with_level(ConsistencyLevel::Strong),
+        del("alpha"),
+        get("alpha").with_level(ConsistencyLevel::Strong),
+    ]
+}
+
+fn assert_lifecycle(mode: Mode) {
+    let (mut cluster, client) = run_script(mode, lifecycle());
+    let rs = results(&mut cluster, client);
+    assert_eq!(rs[0], Ok(RespBody::Done), "{mode}: put");
+    assert_eq!(value_of(&rs[1]), Value::from("1"), "{mode}: first read");
+    assert_eq!(rs[2], Ok(RespBody::Done), "{mode}: overwrite");
+    assert_eq!(value_of(&rs[3]), Value::from("2"), "{mode}: second read");
+    assert_eq!(rs[4], Ok(RespBody::Done), "{mode}: del");
+    assert_eq!(rs[5], Err(KvError::NotFound), "{mode}: read after delete");
+}
+
+#[test]
+fn ms_sc_lifecycle() {
+    assert_lifecycle(Mode::MS_SC);
+}
+
+#[test]
+fn ms_ec_lifecycle() {
+    assert_lifecycle(Mode::MS_EC);
+}
+
+#[test]
+fn aa_sc_lifecycle() {
+    assert_lifecycle(Mode::AA_SC);
+}
+
+#[test]
+fn aa_ec_lifecycle() {
+    assert_lifecycle(Mode::AA_EC);
+}
+
+/// After the run, every replica of the owning shard holds the same data —
+/// replication actually happened in all four modes.
+fn assert_replicas_converge(mode: Mode) {
+    let script: Vec<_> = (0..40).map(|i| put(&format!("k{i:02}"), &format!("v{i}"))).collect();
+    let (mut cluster, client) = run_script(mode, script);
+    let rs = results(&mut cluster, client);
+    assert!(rs.iter().all(|r| r.is_ok()), "{mode}: all puts succeed");
+    // Extra time so asynchronous propagation / log fetch finishes.
+    cluster.run_for(Duration::from_secs(2));
+    for i in 0..40 {
+        let key = Key::from(format!("k{i:02}"));
+        let shard = cluster.map.shard_for_key(&key);
+        let info = cluster.map.shard(shard).unwrap();
+        let mut seen: Vec<VersionedValue> = Vec::new();
+        for &node in &info.replicas {
+            let d = &cluster.datalets[node.raw() as usize];
+            let v = d
+                .get(DEFAULT_TABLE, &key)
+                .unwrap_or_else(|e| panic!("{mode}: {node} missing {key:?}: {e}"));
+            seen.push(v);
+        }
+        assert!(
+            seen.windows(2).all(|w| w[0] == w[1]),
+            "{mode}: replicas diverge on {key:?}: {seen:?}"
+        );
+        assert_eq!(seen[0].value, Value::from(format!("v{i}")));
+    }
+}
+
+#[test]
+fn ms_sc_replicas_converge() {
+    assert_replicas_converge(Mode::MS_SC);
+}
+
+#[test]
+fn ms_ec_replicas_converge() {
+    assert_replicas_converge(Mode::MS_EC);
+}
+
+#[test]
+fn aa_sc_replicas_converge() {
+    assert_replicas_converge(Mode::AA_SC);
+}
+
+#[test]
+fn aa_ec_replicas_converge() {
+    assert_replicas_converge(Mode::AA_EC);
+}
+
+/// Two clients writing the same key concurrently under AA+EC: the shared
+/// log picks a winner and every replica agrees on it.
+#[test]
+fn aa_ec_concurrent_writers_converge() {
+    let mut cluster = SimCluster::build(ClusterSpec::new(1, 3, Mode::AA_EC));
+    let c1: Vec<_> = (0..30).map(|i| put("hot", &format!("a{i}"))).collect();
+    let c2: Vec<_> = (0..30).map(|i| put("hot", &format!("b{i}"))).collect();
+    let a1 = cluster.add_script_client(c1);
+    let a2 = cluster.add_script_client(c2);
+    cluster.run_for(Duration::from_secs(10));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(a1).done());
+    assert!(cluster.sim.actor_mut::<ScriptClient>(a2).done());
+    cluster.run_for(Duration::from_secs(2));
+    let key = Key::from("hot");
+    let info = cluster.map.shard(cluster.map.shard_for_key(&key)).unwrap().clone();
+    let versions: Vec<VersionedValue> = info
+        .replicas
+        .iter()
+        .map(|n| {
+            cluster.datalets[n.raw() as usize]
+                .get(DEFAULT_TABLE, &key)
+                .expect("key present")
+        })
+        .collect();
+    assert!(
+        versions.windows(2).all(|w| w[0] == w[1]),
+        "divergent replicas: {versions:?}"
+    );
+}
+
+/// AA+SC: concurrent writers to the same key serialize through the DLM;
+/// replicas agree and the final version carries the highest fencing token.
+#[test]
+fn aa_sc_concurrent_writers_serialize() {
+    let mut cluster = SimCluster::build(ClusterSpec::new(1, 3, Mode::AA_SC));
+    let c1: Vec<_> = (0..20).map(|i| put("hot", &format!("a{i}"))).collect();
+    let c2: Vec<_> = (0..20).map(|i| put("hot", &format!("b{i}"))).collect();
+    let a1 = cluster.add_script_client(c1);
+    let a2 = cluster.add_script_client(c2);
+    cluster.run_for(Duration::from_secs(10));
+    for a in [a1, a2] {
+        let c = cluster.sim.actor_mut::<ScriptClient>(a);
+        assert!(c.done());
+        assert!(c.results.iter().all(|r| r.is_ok()), "no lock failures expected");
+    }
+    let key = Key::from("hot");
+    let info = cluster.map.shard(cluster.map.shard_for_key(&key)).unwrap().clone();
+    let versions: Vec<VersionedValue> = info
+        .replicas
+        .iter()
+        .map(|n| {
+            cluster.datalets[n.raw() as usize]
+                .get(DEFAULT_TABLE, &key)
+                .expect("key present")
+        })
+        .collect();
+    assert!(versions.windows(2).all(|w| w[0] == w[1]), "{versions:?}");
+}
+
+/// MS+SC serves strongly consistent reads from the tail immediately after
+/// the write completes — no per-request override needed.
+#[test]
+fn ms_sc_reads_are_strong_by_default() {
+    let script = vec![put("x", "1"), get("x"), put("x", "2"), get("x")];
+    let (mut cluster, client) = run_script(Mode::MS_SC, script);
+    let rs = results(&mut cluster, client);
+    assert_eq!(value_of(&rs[1]), Value::from("1"));
+    assert_eq!(value_of(&rs[3]), Value::from("2"));
+}
+
+/// Tables namespace data end to end.
+#[test]
+fn tables_isolate_data() {
+    use bespokv_cluster::script::Step;
+    use bespokv_proto::client::Op;
+    let mk = |table: &str, op: Op| Step {
+        op,
+        table: table.to_string(),
+        level: ConsistencyLevel::Strong,
+    };
+    let script = vec![
+        Step::new(Op::CreateTable { name: "t1".into() }),
+        mk(
+            "t1",
+            Op::Put {
+                key: Key::from("k"),
+                value: Value::from("in-t1"),
+            },
+        ),
+        mk(
+            "",
+            Op::Put {
+                key: Key::from("k"),
+                value: Value::from("in-default"),
+            },
+        ),
+        mk("t1", Op::Get { key: Key::from("k") }),
+        mk("", Op::Get { key: Key::from("k") }),
+    ];
+    let (mut cluster, client) = run_script(Mode::MS_SC, script);
+    let rs = results(&mut cluster, client);
+    assert_eq!(value_of(&rs[3]), Value::from("in-t1"));
+    assert_eq!(value_of(&rs[4]), Value::from("in-default"));
+}

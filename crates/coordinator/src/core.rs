@@ -1,0 +1,598 @@
+//! The coordinator's decision core: pure state machine, fully unit-testable
+//! without a runtime. The actor wrapper feeds it messages and drains
+//! [`Directive`]s.
+
+use bespokv_proto::{CoordMsg, NetMsg};
+use bespokv_runtime::Addr;
+use bespokv_types::{
+    Consistency, Duration, Instant, Mode, NodeId, ShardId, ShardInfo, ShardMap, Topology,
+};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Coordinator tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct CoordConfig {
+    /// Declare a node failed after this much heartbeat silence.
+    pub failure_timeout: Duration,
+    /// How often the liveness check runs.
+    pub check_every: Duration,
+}
+
+impl Default for CoordConfig {
+    fn default() -> Self {
+        // The paper's production deployment heartbeats every 5 s; our
+        // experiments compress time, so the defaults are snappier and the
+        // harness overrides them to match each figure's timeline.
+        CoordConfig {
+            failure_timeout: Duration::from_millis(1500),
+            check_every: Duration::from_millis(500),
+        }
+    }
+}
+
+/// An outgoing instruction: send `msg` to `to`.
+#[derive(Debug)]
+pub struct Directive {
+    /// Destination actor.
+    pub to: Addr,
+    /// Message to deliver.
+    pub msg: NetMsg,
+}
+
+#[derive(Debug)]
+struct Liveness {
+    last_seen: Instant,
+    applied: u64,
+}
+
+#[derive(Debug)]
+struct Transition {
+    target: ShardInfo,
+    waiting_on: BTreeSet<NodeId>,
+}
+
+/// The pure coordinator state machine.
+pub struct CoordCore {
+    cfg: CoordConfig,
+    map: ShardMap,
+    liveness: HashMap<NodeId, Liveness>,
+    failed: BTreeSet<NodeId>,
+    subscribers: BTreeSet<Addr>,
+    standbys: VecDeque<NodeId>,
+    /// Outstanding standby recoveries: (shard, recovering node).
+    recovering: BTreeSet<(ShardId, NodeId)>,
+    transitions: HashMap<ShardId, Transition>,
+    out: Vec<Directive>,
+}
+
+impl CoordCore {
+    /// Creates the core over an initial map.
+    pub fn new(cfg: CoordConfig, map: ShardMap) -> Self {
+        CoordCore {
+            cfg,
+            map,
+            liveness: HashMap::new(),
+            failed: BTreeSet::new(),
+            subscribers: BTreeSet::new(),
+            standbys: VecDeque::new(),
+            recovering: BTreeSet::new(),
+            transitions: HashMap::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Configuration.
+    pub fn cfg(&self) -> &CoordConfig {
+        &self.cfg
+    }
+
+    /// Current authoritative map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Nodes currently considered failed.
+    pub fn failed_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.failed
+    }
+
+    /// Registers standby controlet-datalet pairs available for failover.
+    pub fn add_standby(&mut self, node: NodeId) {
+        self.standbys.push_back(node);
+    }
+
+    /// Drains pending outgoing messages.
+    pub fn take_directives(&mut self) -> Vec<Directive> {
+        std::mem::take(&mut self.out)
+    }
+
+    fn node_addr(node: NodeId) -> Addr {
+        Addr(node.raw())
+    }
+
+    fn broadcast_map(&mut self) {
+        self.map.epoch += 1;
+        for &sub in &self.subscribers {
+            self.out.push(Directive {
+                to: sub,
+                msg: NetMsg::Coord(CoordMsg::ShardMapUpdate {
+                    map: self.map.clone(),
+                }),
+            });
+        }
+    }
+
+    /// Handles one coordinator message.
+    pub fn handle(&mut self, from: Addr, msg: CoordMsg, now: Instant) {
+        match msg {
+            CoordMsg::Heartbeat { node, applied } => {
+                self.subscribers.insert(from);
+                self.liveness.insert(
+                    node,
+                    Liveness {
+                        last_seen: now,
+                        applied,
+                    },
+                );
+            }
+            CoordMsg::GetShardMap => {
+                self.subscribers.insert(from);
+                self.out.push(Directive {
+                    to: from,
+                    msg: NetMsg::Coord(CoordMsg::ShardMapUpdate {
+                        map: self.map.clone(),
+                    }),
+                });
+            }
+            CoordMsg::RecoveryDone { shard, node } => {
+                self.finish_recovery(shard, node);
+            }
+            CoordMsg::BeginTransition { shard, target } => {
+                self.begin_transition(shard, target);
+            }
+            CoordMsg::TransitionDrained { shard, node } => {
+                self.transition_drained(shard, node);
+            }
+            // The remaining variants are coordinator -> controlet.
+            CoordMsg::ShardMapUpdate { .. }
+            | CoordMsg::Reconfigure { .. }
+            | CoordMsg::StartRecovery { .. } => {}
+        }
+    }
+
+    /// Runs the liveness check; failed nodes trigger failover.
+    pub fn check_liveness(&mut self, now: Instant) {
+        let timeout = self.cfg.failure_timeout;
+        let newly_failed: Vec<NodeId> = self
+            .liveness
+            .iter()
+            .filter(|(node, l)| {
+                !self.failed.contains(node)
+                    && now.saturating_since(l.last_seen) > timeout
+            })
+            .map(|(node, _)| *node)
+            .collect();
+        for node in newly_failed {
+            self.fail_node(node);
+        }
+    }
+
+    /// Declares `node` failed and repairs every shard it participated in.
+    /// Public so harnesses can inject failures deterministically.
+    pub fn fail_node(&mut self, node: NodeId) {
+        if !self.failed.insert(node) {
+            return;
+        }
+        let affected: Vec<ShardId> = self
+            .map
+            .shards
+            .iter()
+            .filter(|s| s.replicas.contains(&node))
+            .map(|s| s.shard)
+            .collect();
+        let mut changed = false;
+        for shard in affected {
+            changed |= self.repair_shard(shard, node);
+        }
+        if changed {
+            self.broadcast_map();
+        }
+    }
+
+    /// Removes `failed` from `shard`'s replica set per the mode's rules and
+    /// kicks off standby recovery. Returns whether the map changed.
+    fn repair_shard(&mut self, shard: ShardId, failed: NodeId) -> bool {
+        let applied_of = |liveness: &HashMap<NodeId, Liveness>, n: NodeId| {
+            liveness.get(&n).map(|l| l.applied).unwrap_or(0)
+        };
+        let Some(info) = self.map.shard_mut(shard) else {
+            return false;
+        };
+        let Some(pos) = info.position(failed) else {
+            return false;
+        };
+        info.replicas.remove(pos);
+        info.epoch += 1;
+        if info.replicas.is_empty() {
+            return true; // shard lost; nothing to elect
+        }
+        // Mode-specific promotion.
+        match (info.mode.topology, info.mode.consistency) {
+            (Topology::MasterSlave, Consistency::Strong) => {
+                // Chain replication: the order itself encodes head/mid/tail;
+                // removal already promoted the right node (second becomes
+                // head if the head died; predecessor becomes tail if the
+                // tail died). Nothing else to do.
+            }
+            (Topology::MasterSlave, Consistency::Eventual) => {
+                if pos == 0 {
+                    // Master died: elect the slave with the highest applied
+                    // sequence (it has the most complete state).
+                    let liveness = &self.liveness;
+                    let best = info
+                        .replicas
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .max_by_key(|(i, n)| (applied_of(liveness, *n), usize::MAX - *i))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    info.replicas.swap(0, best);
+                }
+            }
+            (Topology::ActiveActive, _) => {
+                // All replicas are equals; removal is the whole repair.
+            }
+        }
+        // Launch a standby pair to restore the replication factor.
+        if let Some(standby) = self.standbys.pop_front() {
+            let source = info.replicas[0];
+            let role_position = info.replicas.len() as u32;
+            let mut future = info.clone();
+            future.replicas.push(standby);
+            future.epoch += 1;
+            self.recovering.insert((shard, standby));
+            self.out.push(Directive {
+                to: Self::node_addr(standby),
+                msg: NetMsg::Coord(CoordMsg::StartRecovery {
+                    shard,
+                    source,
+                    role_position,
+                    info: future,
+                }),
+            });
+        }
+        true
+    }
+
+    fn finish_recovery(&mut self, shard: ShardId, node: NodeId) {
+        if !self.recovering.remove(&(shard, node)) {
+            return; // duplicate or unsolicited
+        }
+        if let Some(info) = self.map.shard_mut(shard) {
+            if !info.replicas.contains(&node) {
+                // Joins at the end: new tail under MS+SC, new slave under
+                // MS+EC, new active under AA.
+                info.replicas.push(node);
+                info.epoch += 1;
+            }
+        }
+        self.broadcast_map();
+    }
+
+    /// Starts a topology/consistency transition for one shard (section V).
+    ///
+    /// The new controlets are told their configuration first (Reconfigure),
+    /// then the old controlets are told to enter drain-and-forward mode
+    /// (BeginTransition). The map flips only when every old controlet
+    /// reports drained.
+    pub fn begin_transition(&mut self, shard: ShardId, target: ShardInfo) {
+        let Some(current) = self.map.shard(shard) else {
+            return;
+        };
+        let old_nodes: BTreeSet<NodeId> = current.replicas.iter().copied().collect();
+        for &n in &target.replicas {
+            self.out.push(Directive {
+                to: Self::node_addr(n),
+                msg: NetMsg::Coord(CoordMsg::Reconfigure {
+                    info: target.clone(),
+                }),
+            });
+        }
+        for &n in &old_nodes {
+            self.out.push(Directive {
+                to: Self::node_addr(n),
+                msg: NetMsg::Coord(CoordMsg::BeginTransition {
+                    shard,
+                    target: target.clone(),
+                }),
+            });
+        }
+        self.transitions.insert(
+            shard,
+            Transition {
+                target,
+                waiting_on: old_nodes,
+            },
+        );
+    }
+
+    fn transition_drained(&mut self, shard: ShardId, node: NodeId) {
+        let done = {
+            let Some(t) = self.transitions.get_mut(&shard) else {
+                return;
+            };
+            t.waiting_on.remove(&node);
+            t.waiting_on.is_empty()
+        };
+        if done {
+            let t = self.transitions.remove(&shard).expect("present");
+            if let Some(info) = self.map.shard_mut(shard) {
+                *info = t.target;
+                info.epoch += 1;
+            }
+            self.broadcast_map();
+        }
+    }
+
+    /// Whether a transition is in flight for `shard`.
+    pub fn transition_pending(&self, shard: ShardId) -> bool {
+        self.transitions.contains_key(&shard)
+    }
+
+    /// Elects a mode-appropriate writer for `shard` (test/diagnostic helper):
+    /// head under MS, first active under AA.
+    pub fn writer_of(&self, shard: ShardId) -> Option<NodeId> {
+        self.map.shard(shard).and_then(|s| s.head())
+    }
+}
+
+/// Convenience: builds the mode-matching shard info for transitions.
+pub fn transition_target(
+    current: &ShardInfo,
+    new_mode: Mode,
+    new_replicas: Vec<NodeId>,
+) -> ShardInfo {
+    ShardInfo {
+        shard: current.shard,
+        mode: new_mode,
+        replicas: new_replicas,
+        epoch: current.epoch + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::Partitioning;
+
+    fn core_with(mode: Mode, shards: u32, repl: u32) -> CoordCore {
+        CoordCore::new(
+            CoordConfig::default(),
+            ShardMap::dense(shards, repl, mode, Partitioning::ConsistentHash { vnodes: 16 }),
+        )
+    }
+
+    fn hb(core: &mut CoordCore, node: u32, applied: u64, at: Instant) {
+        core.handle(
+            Addr(node),
+            CoordMsg::Heartbeat {
+                node: NodeId(node),
+                applied,
+            },
+            at,
+        );
+    }
+
+    const T0: Instant = Instant::ZERO;
+
+    #[test]
+    fn get_shard_map_subscribes_and_answers() {
+        let mut core = core_with(Mode::MS_SC, 2, 3);
+        core.handle(Addr(100), CoordMsg::GetShardMap, T0);
+        let ds = core.take_directives();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].to, Addr(100));
+        assert!(matches!(
+            ds[0].msg,
+            NetMsg::Coord(CoordMsg::ShardMapUpdate { .. })
+        ));
+    }
+
+    #[test]
+    fn silence_triggers_failure_after_timeout() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        for n in 0..3 {
+            hb(&mut core, n, 0, T0);
+        }
+        // At T0+1s nobody has failed yet.
+        core.check_liveness(T0 + Duration::from_millis(1000));
+        assert!(core.failed_nodes().is_empty());
+        // Nodes 1 and 2 keep heartbeating; node 0 goes silent.
+        hb(&mut core, 1, 5, T0 + Duration::from_millis(1400));
+        hb(&mut core, 2, 5, T0 + Duration::from_millis(1400));
+        core.check_liveness(T0 + Duration::from_millis(2000));
+        assert_eq!(
+            core.failed_nodes().iter().copied().collect::<Vec<_>>(),
+            vec![NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn chain_head_failure_promotes_second() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        core.handle(Addr(10), CoordMsg::GetShardMap, T0); // subscriber
+        core.take_directives();
+        core.fail_node(NodeId(0));
+        let info = core.map().shard(ShardId(0)).unwrap();
+        assert_eq!(info.replicas, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(info.head(), Some(NodeId(1)));
+        assert_eq!(info.tail(), Some(NodeId(2)));
+        // Subscribers were told.
+        let ds = core.take_directives();
+        assert!(ds
+            .iter()
+            .any(|d| matches!(d.msg, NetMsg::Coord(CoordMsg::ShardMapUpdate { .. }))));
+    }
+
+    #[test]
+    fn chain_mid_and_tail_failures_splice() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        core.fail_node(NodeId(1)); // mid
+        assert_eq!(
+            core.map().shard(ShardId(0)).unwrap().replicas,
+            vec![NodeId(0), NodeId(2)]
+        );
+        core.fail_node(NodeId(2)); // now the tail
+        assert_eq!(
+            core.map().shard(ShardId(0)).unwrap().replicas,
+            vec![NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn msec_master_failure_elects_highest_applied() {
+        let mut core = core_with(Mode::MS_EC, 1, 3);
+        hb(&mut core, 0, 100, T0);
+        hb(&mut core, 1, 40, T0);
+        hb(&mut core, 2, 90, T0);
+        core.fail_node(NodeId(0));
+        let info = core.map().shard(ShardId(0)).unwrap();
+        assert_eq!(info.head(), Some(NodeId(2)), "highest applied wins");
+    }
+
+    #[test]
+    fn aa_failure_just_removes() {
+        let mut core = core_with(Mode::AA_EC, 1, 3);
+        core.fail_node(NodeId(1));
+        let info = core.map().shard(ShardId(0)).unwrap();
+        assert_eq!(info.replicas, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(info.mode, Mode::AA_EC);
+    }
+
+    #[test]
+    fn standby_recovery_lifecycle() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        core.add_standby(NodeId(9));
+        core.fail_node(NodeId(2)); // tail dies
+        let ds = core.take_directives();
+        // The standby was told to recover from the new head.
+        let start = ds
+            .iter()
+            .find_map(|d| match &d.msg {
+                NetMsg::Coord(CoordMsg::StartRecovery { shard, source, .. }) => {
+                    Some((d.to, *shard, *source))
+                }
+                _ => None,
+            })
+            .expect("StartRecovery sent");
+        assert_eq!(start.0, Addr(9));
+        assert_eq!(start.1, ShardId(0));
+        assert_eq!(start.2, NodeId(0));
+        // Until recovery completes the shard runs short.
+        assert_eq!(core.map().shard(ShardId(0)).unwrap().replicas.len(), 2);
+        // Standby reports done: spliced in as the new tail.
+        core.handle(
+            Addr(9),
+            CoordMsg::RecoveryDone {
+                shard: ShardId(0),
+                node: NodeId(9),
+            },
+            T0,
+        );
+        let info = core.map().shard(ShardId(0)).unwrap();
+        assert_eq!(info.replicas, vec![NodeId(0), NodeId(1), NodeId(9)]);
+        assert_eq!(info.tail(), Some(NodeId(9)));
+    }
+
+    #[test]
+    fn unsolicited_recovery_done_is_ignored() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        core.handle(
+            Addr(9),
+            CoordMsg::RecoveryDone {
+                shard: ShardId(0),
+                node: NodeId(9),
+            },
+            T0,
+        );
+        assert_eq!(core.map().shard(ShardId(0)).unwrap().replicas.len(), 3);
+    }
+
+    #[test]
+    fn double_failure_of_same_node_is_idempotent() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        core.fail_node(NodeId(1));
+        let epoch_after_first = core.map().epoch;
+        core.fail_node(NodeId(1));
+        assert_eq!(core.map().epoch, epoch_after_first);
+    }
+
+    #[test]
+    fn transition_commits_only_when_all_old_nodes_drain() {
+        let mut core = core_with(Mode::MS_EC, 1, 3);
+        core.handle(Addr(50), CoordMsg::GetShardMap, T0);
+        core.take_directives();
+        let current = core.map().shard(ShardId(0)).unwrap().clone();
+        let target = transition_target(
+            &current,
+            Mode::MS_SC,
+            vec![NodeId(10), NodeId(11), NodeId(12)],
+        );
+        core.begin_transition(ShardId(0), target.clone());
+        assert!(core.transition_pending(ShardId(0)));
+        let ds = core.take_directives();
+        // New controlets got Reconfigure; old ones got BeginTransition.
+        assert_eq!(
+            ds.iter()
+                .filter(|d| matches!(d.msg, NetMsg::Coord(CoordMsg::Reconfigure { .. })))
+                .count(),
+            3
+        );
+        assert_eq!(
+            ds.iter()
+                .filter(|d| matches!(d.msg, NetMsg::Coord(CoordMsg::BeginTransition { .. })))
+                .count(),
+            3
+        );
+        // Two of three drain: still pending, old config still live.
+        for n in [0, 1] {
+            core.handle(
+                Addr(n),
+                CoordMsg::TransitionDrained {
+                    shard: ShardId(0),
+                    node: NodeId(n),
+                },
+                T0,
+            );
+        }
+        assert!(core.transition_pending(ShardId(0)));
+        assert_eq!(core.map().shard(ShardId(0)).unwrap().mode, Mode::MS_EC);
+        // Third drains: committed and broadcast.
+        core.handle(
+            Addr(2),
+            CoordMsg::TransitionDrained {
+                shard: ShardId(0),
+                node: NodeId(2),
+            },
+            T0,
+        );
+        assert!(!core.transition_pending(ShardId(0)));
+        let info = core.map().shard(ShardId(0)).unwrap();
+        assert_eq!(info.mode, Mode::MS_SC);
+        assert_eq!(info.replicas, vec![NodeId(10), NodeId(11), NodeId(12)]);
+        let ds = core.take_directives();
+        assert!(ds
+            .iter()
+            .any(|d| matches!(d.msg, NetMsg::Coord(CoordMsg::ShardMapUpdate { .. }))));
+    }
+
+    #[test]
+    fn epoch_increases_on_every_reconfiguration() {
+        let mut core = core_with(Mode::MS_SC, 2, 3);
+        core.handle(Addr(77), CoordMsg::GetShardMap, T0);
+        let e0 = core.map().epoch;
+        core.fail_node(NodeId(0));
+        assert!(core.map().epoch > e0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Cluster coordinator (the paper's ZooKeeper-backed control-plane module).
+//!
+//! Provides the three functions section III lists:
+//!
+//! 1. **Metadata service** — owns the epoch-stamped [`ShardMap`]; answers
+//!    `GetShardMap`; pushes `ShardMapUpdate` to every subscriber (controlets
+//!    and client libraries) on each reconfiguration.
+//! 2. **Liveness** — tracks controlet heartbeats (the paper exchanges them
+//!    every 5 s; the interval is configurable) and declares a node failed
+//!    after `failure_timeout` of silence.
+//! 3. **Failover** — on failure, repairs each affected shard according to
+//!    its mode (chain splice for MS+SC, leader election by highest applied
+//!    sequence for MS+EC, membership removal for AA), then directs a
+//!    standby controlet-datalet pair to recover state from a surviving
+//!    replica and rejoin the replica set.
+//!
+//! It also commits mode **transitions** (section V): it tells the old
+//! controlets to drain-and-forward, waits for every one to report drained,
+//! then atomically publishes the new configuration.
+//!
+//! Address convention: controlet `NodeId(n)` lives at runtime `Addr(n)`;
+//! the cluster assembly layer guarantees this.
+
+pub mod core;
+
+pub use crate::core::{CoordConfig, CoordCore, Directive};
+
+use bespokv_proto::NetMsg;
+use bespokv_runtime::{Actor, Context, Event};
+use bespokv_types::ShardMap;
+
+/// Timer token for the periodic liveness check.
+const LIVENESS_TIMER: u64 = 1;
+
+/// The coordinator as a runtime actor. All decision logic lives in
+/// [`CoordCore`]; this wrapper only moves messages.
+pub struct CoordinatorActor {
+    core: CoordCore,
+}
+
+impl CoordinatorActor {
+    /// Creates a coordinator owning `map`.
+    pub fn new(cfg: CoordConfig, map: ShardMap) -> Self {
+        CoordinatorActor {
+            core: CoordCore::new(cfg, map),
+        }
+    }
+
+    /// Read access to the decision core (tests, harnesses).
+    pub fn core(&self) -> &CoordCore {
+        &self.core
+    }
+
+    /// Mutable access to the decision core (harness-driven transitions).
+    pub fn core_mut(&mut self) -> &mut CoordCore {
+        &mut self.core
+    }
+
+    fn emit(&mut self, ctx: &mut Context) {
+        for d in self.core.take_directives() {
+            ctx.send(d.to, d.msg);
+        }
+    }
+}
+
+impl Actor for CoordinatorActor {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        match ev {
+            Event::Start => ctx.set_timer(self.core.cfg().check_every, LIVENESS_TIMER),
+            Event::Timer {
+                token: LIVENESS_TIMER,
+            } => {
+                self.core.check_liveness(ctx.now());
+                self.emit(ctx);
+                ctx.set_timer(self.core.cfg().check_every, LIVENESS_TIMER);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { from, msg } => {
+                if let NetMsg::Coord(m) = msg {
+                    self.core.handle(from, m, ctx.now());
+                    self.emit(ctx);
+                }
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,809 @@
+//! The client library (paper section III "Client library", Table II).
+//!
+//! [`ClientCore`] is a driver-agnostic state machine: the application (or a
+//! workload actor) calls [`ClientCore::begin`] to issue operations, feeds
+//! every incoming message to [`ClientCore::on_msg`], and receives
+//! [`Completion`]s. The core:
+//!
+//! * fetches and caches the shard map from the coordinator, refreshing it
+//!   whenever a routing error reveals staleness;
+//! * routes requests by partitioning scheme and role — writes to the
+//!   master/head (MS) or any active (AA, round-robin), strong reads to the
+//!   mode's designated replica, eventual reads round-robin across all
+//!   replicas — honouring per-request consistency overrides (section IV-C);
+//! * scatter-gathers range queries across shards under range partitioning
+//!   (section IV-B) and merges the results in key order;
+//! * transparently retries retryable failures (wrong node, failover
+//!   windows, lock contention) with bounded attempts, and re-issues
+//!   requests that outlive `request_timeout` (e.g. sent to a node that
+//!   died before replying).
+
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::{CoordMsg, NetMsg};
+use bespokv_runtime::Addr;
+use bespokv_types::{
+    Consistency, ConsistencyLevel, ClientId, Duration, Instant, Key, KvError, NodeId,
+    RequestId, ShardMap, Topology,
+};
+use std::collections::HashMap;
+
+/// Default maximum transparent retries before surfacing the error.
+const MAX_ATTEMPTS: u32 = 5;
+
+/// A finished operation.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The id returned by [`ClientCore::begin`].
+    pub rid: RequestId,
+    /// Outcome.
+    pub result: Result<RespBody, KvError>,
+    /// When the operation was first issued (for latency accounting).
+    pub issued_at: Instant,
+    /// How many sends it took (1 = no retry).
+    pub attempts: u32,
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    req: Request,
+    issued_at: Instant,
+    last_sent: Instant,
+    attempts: u32,
+    /// Present when this is one leg of a scatter-gather scan.
+    parent: Option<RequestId>,
+}
+
+#[derive(Debug)]
+struct Scatter {
+    remaining: usize,
+    entries: Vec<(Key, bespokv_types::VersionedValue)>,
+    first_error: Option<KvError>,
+    issued_at: Instant,
+    limit: u32,
+}
+
+/// The client-side routing state machine.
+pub struct ClientCore {
+    id: ClientId,
+    coordinator: Addr,
+    map: Option<ShardMap>,
+    next_seq: u32,
+    outstanding: HashMap<RequestId, Outstanding>,
+    scatters: HashMap<RequestId, Scatter>,
+    deferred: Vec<Request>,
+    out: Vec<(Addr, NetMsg)>,
+    rr: u64,
+    request_timeout: Duration,
+    map_requested: bool,
+    /// Requests awaiting a re-route (failed without an authoritative
+    /// hint); retried on the next tick or map update, which bounds retry
+    /// storms against dead nodes.
+    parked: Vec<RequestId>,
+    /// Circuit breaker: nodes that refused a connection recently are
+    /// routed around until the cooldown passes (or a map update clears
+    /// them).
+    dead_until: HashMap<NodeId, Instant>,
+    /// Last time a map fetch went out (fetches are rate-limited: during a
+    /// failure storm every failed request would otherwise refresh the map
+    /// at wire speed and saturate the coordinator).
+    last_map_fetch: Option<Instant>,
+    /// P2P mode: send every request to an arbitrary controlet from this
+    /// set; the receiving controlet forwards to the owner (section IV-E).
+    p2p_targets: Option<Vec<NodeId>>,
+    /// Send attempts per operation (1 = fail fast, no transparent retry —
+    /// the behaviour of benchmark clients like redis-benchmark).
+    max_attempts: u32,
+}
+
+impl ClientCore {
+    /// Creates a client that will fetch its map from `coordinator`.
+    pub fn new(id: ClientId, coordinator: Addr) -> Self {
+        ClientCore {
+            id,
+            coordinator,
+            map: None,
+            next_seq: 0,
+            outstanding: HashMap::new(),
+            scatters: HashMap::new(),
+            deferred: Vec::new(),
+            out: Vec::new(),
+            rr: id.raw() as u64, // decorrelate round-robin across clients
+            request_timeout: Duration::from_millis(2000),
+            map_requested: false,
+            parked: Vec::new(),
+            dead_until: HashMap::new(),
+            last_map_fetch: None,
+            p2p_targets: None,
+            max_attempts: MAX_ATTEMPTS,
+        }
+    }
+
+    /// Overrides the per-operation attempt budget (1 disables transparent
+    /// retries).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Enables P2P routing: requests go to any of `targets`, which forward
+    /// to the owning controlet themselves.
+    pub fn with_p2p(mut self, targets: Vec<NodeId>) -> Self {
+        self.p2p_targets = Some(targets);
+        self
+    }
+
+    /// Overrides the re-issue timeout.
+    pub fn with_request_timeout(mut self, t: Duration) -> Self {
+        self.request_timeout = t;
+        self
+    }
+
+    /// Seeds the map directly (harnesses; skips the coordinator fetch).
+    pub fn with_map(mut self, map: ShardMap) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Whether requests can be issued (a routing map is available, or P2P
+    /// mode makes one unnecessary).
+    pub fn ready(&self) -> bool {
+        self.map.is_some() || self.p2p_targets.is_some()
+    }
+
+    /// Number of requests in flight (scatter legs counted individually).
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Messages to transmit; the caller drains and sends them.
+    pub fn take_outgoing(&mut self) -> Vec<(Addr, NetMsg)> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Asks the coordinator for the shard map (idempotent and rate-limited
+    /// to one fetch per 50 ms; called automatically on first use and on
+    /// routing errors).
+    pub fn request_map(&mut self, now: Instant) {
+        let recently = self
+            .last_map_fetch
+            .map(|t| now.saturating_since(t) < Duration::from_millis(50))
+            .unwrap_or(false);
+        if !self.map_requested && !recently {
+            self.map_requested = true;
+            self.last_map_fetch = Some(now);
+            self.out
+                .push((self.coordinator, NetMsg::Coord(CoordMsg::GetShardMap)));
+        }
+    }
+
+    fn fresh_rid(&mut self) -> RequestId {
+        let rid = RequestId::compose(self.id, self.next_seq);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        rid
+    }
+
+    /// Issues an operation. Returns the request id that the eventual
+    /// [`Completion`] will carry.
+    pub fn begin(
+        &mut self,
+        op: Op,
+        table: impl Into<String>,
+        level: ConsistencyLevel,
+        now: Instant,
+    ) -> RequestId {
+        let rid = self.fresh_rid();
+        let req = Request {
+            id: rid,
+            table: table.into(),
+            op,
+            level,
+        };
+        self.dispatch(req, now, None);
+        rid
+    }
+
+    fn dispatch(&mut self, req: Request, now: Instant, parent: Option<RequestId>) {
+        if self.p2p_targets.is_some() {
+            let target = self.route(&req, now);
+            self.track_and_send(req, target, now, parent);
+            return;
+        }
+        let Some(map) = &self.map else {
+            self.request_map(now);
+            self.deferred.push(req);
+            return;
+        };
+        // Scatter-gather: a scan spanning multiple shards fans out.
+        if parent.is_none() {
+            if let Op::Scan { start, end, limit } = &req.op {
+                let shards = map.shards_for_range(start, end);
+                if shards.len() > 1 {
+                    let legs: Vec<Request> = shards
+                        .iter()
+                        .map(|_| Request {
+                            id: RequestId::default(), // assigned below
+                            table: req.table.clone(),
+                            op: req.op.clone(),
+                            level: req.level,
+                        })
+                        .collect();
+                    self.scatters.insert(
+                        req.id,
+                        Scatter {
+                            remaining: legs.len(),
+                            entries: Vec::new(),
+                            first_error: None,
+                            issued_at: now,
+                            limit: *limit,
+                        },
+                    );
+                    for (shard, mut leg) in shards.into_iter().zip(legs) {
+                        leg.id = self.fresh_rid();
+                        let target = self.pick_node_for_shard(shard, &leg, now);
+                        self.track_and_send(leg, target, now, Some(req.id));
+                    }
+                    return;
+                }
+            }
+        }
+        let target = self.route(&req, now);
+        self.track_and_send(req, target, now, parent);
+    }
+
+    fn track_and_send(
+        &mut self,
+        req: Request,
+        target: Option<NodeId>,
+        now: Instant,
+        parent: Option<RequestId>,
+    ) {
+        let Some(node) = target else {
+            let resp = Response::err(req.id, KvError::Unavailable(bespokv_types::ShardId(0)));
+            self.finish(resp, now);
+            return;
+        };
+        self.outstanding.insert(
+            req.id,
+            Outstanding {
+                req: req.clone(),
+                issued_at: now,
+                last_sent: now,
+                attempts: 1,
+                parent,
+            },
+        );
+        self.out.push((Addr(node.raw()), NetMsg::Client(req)));
+    }
+
+    /// Picks the destination node for a request under the current map.
+    fn route(&mut self, req: &Request, now: Instant) -> Option<NodeId> {
+        if let Some(targets) = &self.p2p_targets {
+            if !targets.is_empty() {
+                self.rr = self.rr.wrapping_add(1);
+                return Some(targets[(self.rr % targets.len() as u64) as usize]);
+            }
+        }
+        let map = self.map.as_ref()?;
+        let shard = match req.op.key() {
+            Some(key) => map.shard_for_key(key),
+            None => match &req.op {
+                Op::Scan { start, .. } => *map.shards_for_range(start, start).first()?,
+                // Table ops go anywhere; spread them.
+                _ => bespokv_types::ShardId((self.rr % map.num_shards() as u64) as u32),
+            },
+        };
+        self.pick_node_for_shard(shard, req, now)
+    }
+
+    fn pick_node_for_shard(
+        &mut self,
+        shard: bespokv_types::ShardId,
+        req: &Request,
+        now: Instant,
+    ) -> Option<NodeId> {
+        let map = self.map.as_ref()?;
+        let info = map.shard(shard)?;
+        if info.replicas.is_empty() {
+            return None;
+        }
+        // Circuit breaker: prefer replicas that have not recently refused
+        // a connection. Role-pinned targets (head/tail) have no
+        // alternative, so they are returned regardless — their failure
+        // resolves via the coordinator's repair, not rerouting.
+        let alive: Vec<NodeId> = info
+            .replicas
+            .iter()
+            .copied()
+            .filter(|n| {
+                self.dead_until
+                    .get(n)
+                    .map(|&until| now >= until)
+                    .unwrap_or(true)
+            })
+            .collect();
+        let pool: &[NodeId] = if alive.is_empty() {
+            &info.replicas
+        } else {
+            &alive
+        };
+        self.rr = self.rr.wrapping_add(1);
+        let pick = (self.rr % pool.len() as u64) as usize;
+        if req.op.is_write() {
+            return match info.mode.topology {
+                Topology::MasterSlave => info.head(),
+                Topology::ActiveActive => Some(pool[pick]),
+            };
+        }
+        let effective = req.level.resolve(info.mode.consistency);
+        match effective {
+            Consistency::Eventual => Some(pool[pick]),
+            Consistency::Strong => match (info.mode.topology, info.mode.consistency) {
+                (Topology::MasterSlave, Consistency::Strong) => info.tail(),
+                (Topology::MasterSlave, Consistency::Eventual) => info.head(),
+                (Topology::ActiveActive, _) => Some(pool[pick]),
+            },
+        }
+    }
+
+    /// Feeds one incoming message; returns completions it produced.
+    pub fn on_msg(&mut self, msg: NetMsg, now: Instant) -> Vec<Completion> {
+        match msg {
+            NetMsg::Coord(CoordMsg::ShardMapUpdate { map }) => {
+                let advanced = self
+                    .map
+                    .as_ref()
+                    .map(|m| map.epoch > m.epoch)
+                    .unwrap_or(true);
+                if self
+                    .map
+                    .as_ref()
+                    .map(|m| map.epoch >= m.epoch)
+                    .unwrap_or(true)
+                {
+                    self.map = Some(map);
+                }
+                self.map_requested = false;
+                let deferred = std::mem::take(&mut self.deferred);
+                for req in deferred {
+                    let parent = self.outstanding.get(&req.id).and_then(|o| o.parent);
+                    self.dispatch(req, now, parent);
+                }
+                // Parked retries only fire when the routing actually
+                // changed (epoch advance) or on the periodic tick; a
+                // same-epoch refresh would re-bounce at wire speed. A new
+                // epoch also resets the circuit breakers: the repaired map
+                // no longer lists dead nodes.
+                if advanced {
+                    self.dead_until.clear();
+                    self.retry_parked(now);
+                }
+                Vec::new()
+            }
+            NetMsg::ClientResp(resp) => self.finish(resp, now),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Completes or retries one response.
+    fn finish(&mut self, resp: Response, now: Instant) -> Vec<Completion> {
+        let Some(mut o) = self.outstanding.remove(&resp.id) else {
+            return Vec::new(); // duplicate or post-timeout straggler
+        };
+        // Transparent retry on retryable errors.
+        if let Err(e) = &resp.result {
+            if e.is_retryable() && o.attempts < self.max_attempts {
+                o.attempts += 1;
+                o.last_sent = now;
+                // A wrong-node hint is authoritative: retry there. A
+                // hintless failure (dead target, stale map) re-routes via
+                // the current map immediately — failing fast after
+                // MAX_ATTEMPTS, exactly like a client whose TCP connects
+                // are refused — while a *single* outstanding map fetch
+                // (gated by `map_requested`) refreshes the routing.
+                let target = match e {
+                    KvError::WrongNode { hint: Some(h), .. } => Some(*h),
+                    KvError::Forwarded(n) => Some(*n),
+                    other => {
+                        // Connection refused / unroutable: open the
+                        // breaker on the refusing node and re-route.
+                        if let KvError::WrongNode { node, hint: None } = other {
+                            self.dead_until
+                                .insert(*node, now + Duration::from_millis(500));
+                        }
+                        self.request_map(now);
+                        self.route(&o.req, now)
+                    }
+                };
+                match target {
+                    Some(node) => {
+                        self.out
+                            .push((Addr(node.raw()), NetMsg::Client(o.req.clone())));
+                    }
+                    None => self.parked.push(resp.id),
+                }
+                self.outstanding.insert(resp.id, o);
+                return Vec::new();
+            }
+        }
+        // Scatter leg?
+        if let Some(parent) = o.parent {
+            return self.finish_scatter_leg(parent, resp, o, now);
+        }
+        vec![Completion {
+            rid: resp.id,
+            result: resp.result,
+            issued_at: o.issued_at,
+            attempts: o.attempts,
+        }]
+    }
+
+    fn finish_scatter_leg(
+        &mut self,
+        parent: RequestId,
+        resp: Response,
+        leg: Outstanding,
+        _now: Instant,
+    ) -> Vec<Completion> {
+        let done = {
+            let Some(s) = self.scatters.get_mut(&parent) else {
+                return Vec::new();
+            };
+            match resp.result {
+                Ok(RespBody::Entries(es)) => s.entries.extend(es),
+                Ok(_) => {}
+                Err(e) => {
+                    if s.first_error.is_none() {
+                        s.first_error = Some(e);
+                    }
+                }
+            }
+            s.remaining -= 1;
+            s.remaining == 0
+        };
+        let _ = leg;
+        if !done {
+            return Vec::new();
+        }
+        let mut s = self.scatters.remove(&parent).expect("present");
+        let result = match s.first_error {
+            Some(e) => Err(e),
+            None => {
+                s.entries.sort_by(|a, b| a.0.cmp(&b.0));
+                if s.limit > 0 {
+                    s.entries.truncate(s.limit as usize);
+                }
+                Ok(RespBody::Entries(s.entries))
+            }
+        };
+        vec![Completion {
+            rid: parent,
+            result,
+            issued_at: s.issued_at,
+            attempts: 1,
+        }]
+    }
+
+    /// Re-routes requests parked after a retryable failure.
+    fn retry_parked(&mut self, now: Instant) {
+        let parked = std::mem::take(&mut self.parked);
+        for rid in parked {
+            let Some(o) = self.outstanding.get_mut(&rid) else {
+                continue;
+            };
+            o.last_sent = now;
+            let req = o.req.clone();
+            if let Some(node) = self.route(&req, now) {
+                self.out.push((Addr(node.raw()), NetMsg::Client(req)));
+            } else {
+                self.parked.push(rid);
+            }
+        }
+    }
+
+    /// Re-issues requests that have been silent longer than the timeout
+    /// (their target likely died before replying) and retries parked
+    /// failures. Call periodically.
+    pub fn on_tick(&mut self, now: Instant) {
+        self.retry_parked(now);
+        let stale: Vec<RequestId> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| now.saturating_since(o.last_sent) > self.request_timeout)
+            .map(|(rid, _)| *rid)
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        // The silence probably means our map is stale too.
+        self.map_requested = false;
+        self.request_map(now);
+        for rid in stale {
+            let (req, give_up) = {
+                let o = self.outstanding.get_mut(&rid).expect("listed");
+                o.attempts += 1;
+                o.last_sent = now;
+                (o.req.clone(), o.attempts > self.max_attempts)
+            };
+            if give_up {
+                self.outstanding.remove(&rid);
+                continue;
+            }
+            if let Some(node) = self.route(&req, now) {
+                self.out.push((Addr(node.raw()), NetMsg::Client(req)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::{Mode, Partitioning, Value};
+
+    fn map(mode: Mode) -> ShardMap {
+        ShardMap::dense(2, 3, mode, Partitioning::ConsistentHash { vnodes: 16 })
+    }
+
+    fn now() -> Instant {
+        Instant::ZERO + Duration::from_millis(1)
+    }
+
+    fn put_op() -> Op {
+        Op::Put {
+            key: Key::from("k"),
+            value: Value::from("v"),
+        }
+    }
+
+    fn target_of(core: &mut ClientCore) -> Addr {
+        let out = core.take_outgoing();
+        assert_eq!(out.len(), 1, "{out:?}");
+        out[0].0
+    }
+
+    #[test]
+    fn writes_route_to_head_under_ms() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m.clone());
+        core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        let target = target_of(&mut core);
+        let shard = m.shard_for_key(&Key::from("k"));
+        assert_eq!(
+            target,
+            Addr(m.shard(shard).unwrap().head().unwrap().raw())
+        );
+    }
+
+    #[test]
+    fn strong_reads_route_to_tail_under_ms_sc() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m.clone());
+        core.begin(
+            Op::Get { key: Key::from("k") },
+            "",
+            ConsistencyLevel::Default,
+            now(),
+        );
+        let target = target_of(&mut core);
+        let shard = m.shard_for_key(&Key::from("k"));
+        assert_eq!(target, Addr(m.shard(shard).unwrap().tail().unwrap().raw()));
+    }
+
+    #[test]
+    fn eventual_reads_spread_across_replicas() {
+        let m = map(Mode::MS_EC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..30 {
+            core.begin(
+                Op::Get { key: Key::from("k") },
+                "",
+                ConsistencyLevel::Default,
+                now(),
+            );
+            seen.insert(target_of(&mut core).0);
+        }
+        assert!(seen.len() >= 3, "round robin should hit all replicas: {seen:?}");
+    }
+
+    #[test]
+    fn per_request_strong_read_under_ms_ec_goes_to_master() {
+        let m = map(Mode::MS_EC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m.clone());
+        core.begin(
+            Op::Get { key: Key::from("k") },
+            "",
+            ConsistencyLevel::Strong,
+            now(),
+        );
+        let target = target_of(&mut core);
+        let shard = m.shard_for_key(&Key::from("k"));
+        assert_eq!(target, Addr(m.shard(shard).unwrap().head().unwrap().raw()));
+    }
+
+    #[test]
+    fn aa_writes_round_robin() {
+        let m = map(Mode::AA_EC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..30 {
+            core.begin(put_op(), "", ConsistencyLevel::Default, now());
+            seen.insert(target_of(&mut core).0);
+        }
+        assert!(seen.len() >= 3, "AA writes should spread: {seen:?}");
+    }
+
+    #[test]
+    fn no_map_defers_and_requests_it() {
+        let mut core = ClientCore::new(ClientId(1), Addr(99));
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        let out = core.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Addr(99));
+        assert!(matches!(out[0].1, NetMsg::Coord(CoordMsg::GetShardMap)));
+        // Map arrives: the deferred op goes out.
+        let comps = core.on_msg(
+            NetMsg::Coord(CoordMsg::ShardMapUpdate { map: map(Mode::MS_SC) }),
+            now(),
+        );
+        assert!(comps.is_empty());
+        let out = core.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0].1, NetMsg::Client(r) if r.id == rid));
+    }
+
+    #[test]
+    fn wrong_node_hint_retries_directly() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m);
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        let comps = core.on_msg(
+            NetMsg::ClientResp(Response::err(
+                rid,
+                KvError::WrongNode {
+                    node: NodeId(0),
+                    hint: Some(NodeId(4)),
+                },
+            )),
+            now(),
+        );
+        assert!(comps.is_empty(), "retried, not completed");
+        let out = core.take_outgoing();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Addr(4));
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m);
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        let mut completions = Vec::new();
+        for _ in 0..MAX_ATTEMPTS + 1 {
+            completions = core.on_msg(
+                NetMsg::ClientResp(Response::err(
+                    rid,
+                    KvError::WrongNode {
+                        node: NodeId(0),
+                        hint: Some(NodeId(1)),
+                    },
+                )),
+                now(),
+            );
+            core.take_outgoing();
+            if !completions.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(completions.len(), 1);
+        assert!(completions[0].result.is_err());
+        assert_eq!(completions[0].attempts, MAX_ATTEMPTS);
+    }
+
+    #[test]
+    fn success_completes_with_latency_base() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m);
+        let t0 = now();
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, t0);
+        core.take_outgoing();
+        let comps = core.on_msg(
+            NetMsg::ClientResp(Response::ok(rid, RespBody::Done)),
+            t0 + Duration::from_millis(3),
+        );
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].issued_at, t0);
+        assert_eq!(comps[0].attempts, 1);
+    }
+
+    #[test]
+    fn scan_scatters_across_range_shards_and_merges() {
+        let m = ShardMap::dense(
+            3,
+            1,
+            Mode::MS_EC,
+            Partitioning::Range {
+                split_points: vec![Key::from("h"), Key::from("p")],
+            },
+        );
+        let mut core = ClientCore::new(ClientId(1), Addr(99)).with_map(m);
+        let rid = core.begin(
+            Op::Scan {
+                start: Key::from("a"),
+                end: Key::from("z"),
+                limit: 0,
+            },
+            "",
+            ConsistencyLevel::Default,
+            now(),
+        );
+        let out = core.take_outgoing();
+        assert_eq!(out.len(), 3, "one leg per shard");
+        // Answer each leg out of order with one entry.
+        let legs: Vec<RequestId> = out
+            .iter()
+            .map(|(_, m)| match m {
+                NetMsg::Client(r) => r.id,
+                _ => panic!("unexpected"),
+            })
+            .collect();
+        let vv = |s: &str| bespokv_types::VersionedValue::new(Value::from(s), 1);
+        let mut comps = core.on_msg(
+            NetMsg::ClientResp(Response::ok(
+                legs[2],
+                RespBody::Entries(vec![(Key::from("r"), vv("3"))]),
+            )),
+            now(),
+        );
+        assert!(comps.is_empty());
+        comps = core.on_msg(
+            NetMsg::ClientResp(Response::ok(
+                legs[0],
+                RespBody::Entries(vec![(Key::from("b"), vv("1"))]),
+            )),
+            now(),
+        );
+        assert!(comps.is_empty());
+        comps = core.on_msg(
+            NetMsg::ClientResp(Response::ok(
+                legs[1],
+                RespBody::Entries(vec![(Key::from("j"), vv("2"))]),
+            )),
+            now(),
+        );
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].rid, rid);
+        match comps[0].result.clone().unwrap() {
+            RespBody::Entries(es) => {
+                let keys: Vec<Key> = es.into_iter().map(|(k, _)| k).collect();
+                assert_eq!(keys, vec![Key::from("b"), Key::from("j"), Key::from("r")]);
+            }
+            other => panic!("wrong shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tick_reissues_silent_requests() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_request_timeout(Duration::from_millis(10));
+        core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        core.on_tick(now() + Duration::from_millis(50));
+        let out = core.take_outgoing();
+        // A map refresh plus the re-issued request.
+        assert!(out
+            .iter()
+            .any(|(a, m)| *a == Addr(99) && matches!(m, NetMsg::Coord(CoordMsg::GetShardMap))));
+        assert!(out.iter().any(|(_, m)| matches!(m, NetMsg::Client(_))));
+        assert_eq!(core.in_flight(), 1);
+    }
+}

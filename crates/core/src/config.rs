@@ -1,0 +1,185 @@
+//! Control-plane configuration (the paper's Appendix A-E JSON format).
+//!
+//! Each controlet takes (1) a JSON configuration file with the deployment
+//! parameters — topology, consistency model, replica count, coordinator
+//! address — and (2) a datalet host file listing the datalets to manage.
+//! We parse the same shapes.
+
+use bespokv_types::{Consistency, KvError, KvResult, Mode, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The JSON controlet configuration (paper example:
+/// `{"zk": ..., "consistency_model": "strong", "consistency_tech": "cr",
+///   "topology": "ms", "num_replicas": "2"}`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneConfig {
+    /// Coordinator (ZooKeeper in the paper) endpoint.
+    #[serde(default)]
+    pub zk: String,
+    /// Message-queue / shared-log endpoint, when the mode needs one.
+    #[serde(default)]
+    pub mq: String,
+    /// `"strong"` or `"eventual"`.
+    pub consistency_model: String,
+    /// Implementation technique hint (`"cr"` for chain replication,
+    /// `"async"`, `"dlm"`, `"sharedlog"`). Informational; the mode decides.
+    #[serde(default)]
+    pub consistency_tech: String,
+    /// `"ms"` or `"aa"`.
+    pub topology: String,
+    /// Number of replicas *excluding* the master, as a string — the
+    /// paper's format quotes it and documents the exclusive meaning.
+    pub num_replicas: String,
+}
+
+impl ControlPlaneConfig {
+    /// Parses the JSON text.
+    pub fn from_json(json: &str) -> KvResult<Self> {
+        serde_json::from_str(json).map_err(|e| KvError::Protocol(format!("bad config: {e}")))
+    }
+
+    /// The (topology, consistency) mode this config selects.
+    pub fn mode(&self) -> KvResult<Mode> {
+        let topology = match self.topology.to_ascii_lowercase().as_str() {
+            "ms" | "master-slave" | "master_slave" => Topology::MasterSlave,
+            "aa" | "active-active" | "active_active" => Topology::ActiveActive,
+            other => {
+                return Err(KvError::Protocol(format!("unknown topology {other:?}")))
+            }
+        };
+        let consistency = match self.consistency_model.to_ascii_lowercase().as_str() {
+            "strong" | "sc" => Consistency::Strong,
+            "eventual" | "ec" => Consistency::Eventual,
+            other => {
+                return Err(KvError::Protocol(format!(
+                    "unknown consistency {other:?}"
+                )))
+            }
+        };
+        Ok(Mode {
+            topology,
+            consistency,
+        })
+    }
+
+    /// Total replication factor (the paper's `num_replicas` excludes the
+    /// master).
+    pub fn replication_factor(&self) -> KvResult<usize> {
+        let n: usize = self
+            .num_replicas
+            .parse()
+            .map_err(|_| KvError::Protocol(format!("bad num_replicas {:?}", self.num_replicas)))?;
+        Ok(n + 1)
+    }
+}
+
+/// One line of the datalet host file: `host:port:role` where role 0 is
+/// master and 1 is slave (paper Appendix A-E).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataletHost {
+    /// Host name or address.
+    pub host: String,
+    /// Port.
+    pub port: u16,
+    /// `0` = master, `1` = slave.
+    pub role: u8,
+}
+
+/// Parses a datalet host file. `#` starts a comment; blank lines skipped.
+pub fn parse_datalet_hosts(text: &str) -> KvResult<Vec<DataletHost>> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(':').collect();
+        if parts.len() != 3 {
+            return Err(KvError::Protocol(format!(
+                "host file line {}: expected host:port:role, got {raw:?}",
+                lineno + 1
+            )));
+        }
+        let port: u16 = parts[1]
+            .parse()
+            .map_err(|_| KvError::Protocol(format!("bad port {:?}", parts[1])))?;
+        let role: u8 = parts[2]
+            .parse()
+            .map_err(|_| KvError::Protocol(format!("bad role {:?}", parts[2])))?;
+        if role > 1 {
+            return Err(KvError::Protocol(format!("role must be 0 or 1: {role}")));
+        }
+        out.push(DataletHost {
+            host: parts[0].to_string(),
+            port,
+            role,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_EXAMPLE: &str = r#"{
+        "zk": "192.168.0.173:2181",
+        "mq": "192.168.0.173:9092",
+        "consistency_model": "strong",
+        "consistency_tech": "cr",
+        "topology": "ms",
+        "num_replicas": "2"
+    }"#;
+
+    #[test]
+    fn parses_the_papers_example_config() {
+        let cfg = ControlPlaneConfig::from_json(PAPER_EXAMPLE).unwrap();
+        assert_eq!(cfg.mode().unwrap(), Mode::MS_SC);
+        assert_eq!(cfg.replication_factor().unwrap(), 3);
+        assert_eq!(cfg.zk, "192.168.0.173:2181");
+        assert_eq!(cfg.consistency_tech, "cr");
+    }
+
+    #[test]
+    fn parses_all_modes() {
+        for (t, c, expect) in [
+            ("ms", "strong", Mode::MS_SC),
+            ("ms", "eventual", Mode::MS_EC),
+            ("aa", "strong", Mode::AA_SC),
+            ("aa", "eventual", Mode::AA_EC),
+        ] {
+            let json = format!(
+                r#"{{"consistency_model":"{c}","topology":"{t}","num_replicas":"1"}}"#
+            );
+            assert_eq!(
+                ControlPlaneConfig::from_json(&json).unwrap().mode().unwrap(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_fields_values() {
+        let json = r#"{"consistency_model":"linearizable","topology":"ms","num_replicas":"1"}"#;
+        assert!(ControlPlaneConfig::from_json(json).unwrap().mode().is_err());
+        let json = r#"{"consistency_model":"strong","topology":"ring","num_replicas":"1"}"#;
+        assert!(ControlPlaneConfig::from_json(json).unwrap().mode().is_err());
+    }
+
+    #[test]
+    fn parses_the_papers_host_file() {
+        let text = "# 0: master; 1: slave\n192.168.0.171:11111:0\n192.168.0.171:11112:1\n192.168.0.171:11113:1\n";
+        let hosts = parse_datalet_hosts(text).unwrap();
+        assert_eq!(hosts.len(), 3);
+        assert_eq!(hosts[0].role, 0);
+        assert_eq!(hosts[1].port, 11112);
+        assert_eq!(hosts.iter().filter(|h| h.role == 1).count(), 2);
+    }
+
+    #[test]
+    fn host_file_rejects_malformed_lines() {
+        assert!(parse_datalet_hosts("nonsense").is_err());
+        assert!(parse_datalet_hosts("h:notaport:0").is_err());
+        assert!(parse_datalet_hosts("h:1:7").is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Controlet maintenance paths: failover recovery, configuration adoption,
+//! and mode transitions (paper sections IV "Failover" and V).
+
+use super::{Controlet, RecoveryState, TransitionState, RECOVERY_CHUNK};
+use bespokv_datalet::SnapshotEntry;
+use bespokv_proto::{CoordMsg, LogEntry, NetMsg, ReplMsg};
+use bespokv_runtime::{Addr, Context};
+use bespokv_types::{Consistency, Duration, NodeId, ShardId, ShardInfo, Topology};
+use std::collections::HashMap;
+
+impl Controlet {
+    pub(crate) fn handle_coord(&mut self, _from: Addr, msg: CoordMsg, ctx: &mut Context) {
+        match msg {
+            CoordMsg::ShardMapUpdate { map } => {
+                let Some(info) = map.shard(self.cfg.shard).cloned() else {
+                    return;
+                };
+                self.cluster_map = Some(map);
+                self.maybe_adopt(info, ctx);
+            }
+            // Direct instruction (transitions hand the new controlets
+            // their configuration this way).
+            CoordMsg::Reconfigure { info } if info.shard == self.cfg.shard => {
+                self.adopt_info(info);
+                self.serving = true;
+            }
+            CoordMsg::StartRecovery {
+                shard,
+                source,
+                role_position: _,
+                info,
+            } => {
+                if shard != self.cfg.shard && self.info.is_some() {
+                    return;
+                }
+                // A standby may be assigned to any shard; rebind.
+                self.cfg.shard = shard;
+                self.serving = false;
+                self.recovery = Some(RecoveryState {
+                    source,
+                    next_from: 0,
+                    info,
+                });
+                ctx.send(
+                    Self::addr_of(source),
+                    NetMsg::Repl(ReplMsg::RecoveryReq { shard, from: 0 }),
+                );
+            }
+            CoordMsg::BeginTransition { shard, target } if shard == self.cfg.shard => {
+                self.begin_transition(target, ctx);
+            }
+            _ => {}
+        }
+    }
+
+    /// Adopts a map update if it is newer than what we have; reacts to
+    /// role changes.
+    fn maybe_adopt(&mut self, info: ShardInfo, ctx: &mut Context) {
+        let newer = match &self.info {
+            None => true,
+            Some(cur) => info.epoch > cur.epoch,
+        };
+        if !newer {
+            return;
+        }
+        let was_member = self
+            .info
+            .as_ref()
+            .map(|i| i.position(self.cfg.node).is_some())
+            .unwrap_or(false);
+        let is_member = info.position(self.cfg.node).is_some();
+        self.adopt_info(info.clone());
+        if is_member && self.recovery.is_none() {
+            self.serving = true;
+        }
+        if was_member && !is_member && self.transition.is_none() {
+            // Removed from the replica set outside a transition (we were
+            // presumed failed). Stop serving; a human or the harness
+            // decides what to do with this controlet.
+            self.serving = false;
+        }
+        // Chain repair: the head re-propagates in-flight writes so
+        // whatever the dead node was holding reaches the new chain
+        // (paper: "every node maintains a list of requests received but
+        // not yet processed by the tail, which is used to resolve
+        // in-flight requests").
+        if info.mode.topology == Topology::MasterSlave
+            && info.mode.consistency == Consistency::Strong
+        {
+            self.resend_in_flight(ctx);
+        }
+    }
+
+    // --- recovery: source side ------------------------------------------------
+
+    /// Streams one snapshot chunk to a recovering peer.
+    pub(crate) fn serve_recovery_chunk(
+        &mut self,
+        shard: ShardId,
+        from: u64,
+        requester: Addr,
+        ctx: &mut Context,
+    ) {
+        if shard != self.cfg.shard {
+            return;
+        }
+        let (entries, done) = self.datalet.snapshot_chunk(from, RECOVERY_CHUNK);
+        // Reading and serializing a chunk is real work.
+        ctx.charge(Duration::from_micros(2 * entries.len().max(1) as u64));
+        let entries: Vec<LogEntry> = entries.into_iter().map(snapshot_to_log).collect();
+        ctx.send(
+            requester,
+            NetMsg::Repl(ReplMsg::RecoveryChunk {
+                shard,
+                from,
+                entries,
+                done,
+                snapshot_seq: self.applied_seq,
+            }),
+        );
+    }
+
+    // --- recovery: joining side -------------------------------------------------
+
+    pub(crate) fn on_recovery_chunk(
+        &mut self,
+        shard: ShardId,
+        from: u64,
+        entries: Vec<LogEntry>,
+        done: bool,
+        snapshot_seq: u64,
+        ctx: &mut Context,
+    ) {
+        if shard != self.cfg.shard || self.recovery.is_none() {
+            return;
+        }
+        let count = entries.len() as u64;
+        for e in &entries {
+            self.apply_entry(e, ctx);
+        }
+        let source = self.recovery.as_ref().expect("checked").source;
+        if done {
+            let rec = self.recovery.take().expect("checked");
+            self.applied_seq = self.applied_seq.max(snapshot_seq);
+            // Resume shared-log consumption where the snapshot left off
+            // (AA+EC: entries at or below snapshot_seq are in the data).
+            self.log.fetch_pos = snapshot_seq + 1;
+            self.prop.next_seq = snapshot_seq + 1;
+            self.adopt_info(rec.info);
+            self.serving = true;
+            ctx.send(
+                self.cfg.coordinator,
+                NetMsg::Coord(CoordMsg::RecoveryDone {
+                    shard,
+                    node: self.cfg.node,
+                }),
+            );
+        } else {
+            let next_from = from + count;
+            if let Some(rec) = &mut self.recovery {
+                rec.next_from = next_from;
+            }
+            ctx.send(
+                Self::addr_of(source),
+                NetMsg::Repl(ReplMsg::RecoveryReq {
+                    shard,
+                    from: next_from,
+                }),
+            );
+        }
+    }
+
+    // --- transitions (section V) -------------------------------------------------
+
+    /// Old-controlet side: enter drain-and-forward mode.
+    fn begin_transition(&mut self, target: ShardInfo, ctx: &mut Context) {
+        // Only replica-set members participate; the new controlets get
+        // Reconfigure instead.
+        let Some(info) = &self.info else { return };
+        if info.position(self.cfg.node).is_none() {
+            return;
+        }
+        // Flush any pending propagation right away (MS+EC -> * requires
+        // the old master to push out everything it has).
+        self.transition = Some(TransitionState {
+            target,
+            reported: false,
+            forwarded: HashMap::new(),
+        });
+        self.flush_propagation(ctx);
+        self.check_transition_drained(ctx);
+    }
+
+    /// True when this controlet has no obligations left from its old role.
+    fn drained(&self) -> bool {
+        let Some(info) = &self.info else { return true };
+        let writer = match info.mode.topology {
+            Topology::MasterSlave => info.head() == Some(self.cfg.node),
+            Topology::ActiveActive => true,
+        };
+        if !writer {
+            return true;
+        }
+        match (info.mode.topology, info.mode.consistency) {
+            // MS+SC head: all chain writes acked.
+            (Topology::MasterSlave, Consistency::Strong) => self.in_flight.is_empty(),
+            // MS+EC master: every slave acked the whole buffer.
+            (Topology::MasterSlave, Consistency::Eventual) => self.prop.buffer.is_empty(),
+            // AA+SC active: no locks in flight.
+            (Topology::ActiveActive, Consistency::Strong) => self.pending.is_empty(),
+            // AA+EC active: no appends waiting on the log.
+            (Topology::ActiveActive, Consistency::Eventual) => self.pending.is_empty(),
+        }
+    }
+
+    /// Reports drained once, when the transition state allows.
+    pub(crate) fn check_transition_drained(&mut self, ctx: &mut Context) {
+        let Some(t) = &self.transition else { return };
+        if t.reported || !self.drained() {
+            return;
+        }
+        if let Some(t) = &mut self.transition {
+            t.reported = true;
+        }
+        ctx.send(
+            self.cfg.coordinator,
+            NetMsg::Coord(CoordMsg::TransitionDrained {
+                shard: self.cfg.shard,
+                node: self.cfg.node,
+            }),
+        );
+    }
+
+    /// Clears transition bookkeeping once the new configuration (which no
+    /// longer includes this node) has been adopted and no forwarded
+    /// replies are owed. Harnesses may call this to retire old controlets.
+    pub fn transition_complete(&self) -> bool {
+        match &self.transition {
+            None => true,
+            Some(t) => t.reported && t.forwarded.is_empty(),
+        }
+    }
+}
+
+fn snapshot_to_log(e: SnapshotEntry) -> LogEntry {
+    LogEntry {
+        table: e.table,
+        key: e.key,
+        value: e.value,
+        version: e.version,
+    }
+}
+
+/// Helper for harnesses: which node id the transition should forward
+/// writes to for a given target configuration.
+pub fn transition_writer(target: &ShardInfo) -> Option<NodeId> {
+    target.head()
+}

@@ -1,0 +1,503 @@
+//! The controlet: bespoKV's per-node control-plane proxy.
+//!
+//! A controlet pairs with one datalet and gives it distributed behaviour:
+//! it terminates client requests, enforces the shard's topology +
+//! consistency mode, replicates writes to its peers, participates in
+//! failover, and (during a mode transition) drains and forwards traffic to
+//! its successor. The four pre-built modes of the paper are implemented in
+//! [`modes`]; recovery and transitions live in [`maintenance`].
+//!
+//! One controlet serves one shard (the paper's default one-to-one
+//! controlet-datalet mapping).
+
+pub mod maintenance;
+pub mod modes;
+
+#[cfg(test)]
+mod tests;
+
+use bespokv_datalet::Datalet;
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::{CoordMsg, LogEntry, NetMsg, ReplMsg};
+use bespokv_runtime::{Actor, Addr, Context, CostModel, Event};
+use bespokv_types::{
+    Consistency, Duration, KvError, NodeId, RequestId, ShardId, ShardInfo, Topology, Version,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Timer tokens.
+pub(crate) const HEARTBEAT_TIMER: u64 = 1;
+pub(crate) const PROP_FLUSH_TIMER: u64 = 2;
+pub(crate) const LOG_POLL_TIMER: u64 = 3;
+
+/// Entries per recovery chunk.
+pub(crate) const RECOVERY_CHUNK: usize = 512;
+
+/// Static controlet deployment parameters.
+#[derive(Clone, Debug)]
+pub struct ControletConfig {
+    /// This node's identity (its runtime address is `Addr(node.raw())`).
+    pub node: NodeId,
+    /// The shard this controlet serves.
+    pub shard: ShardId,
+    /// Coordinator address.
+    pub coordinator: Addr,
+    /// DLM address (required for AA+SC).
+    pub dlm: Option<Addr>,
+    /// Shared-log address (required for AA+EC).
+    pub shared_log: Option<Addr>,
+    /// Simulated CPU cost of datalet operations (ignored by the live
+    /// driver).
+    pub cost: CostModel,
+    /// Heartbeat period.
+    pub heartbeat_every: Duration,
+    /// MS+EC asynchronous propagation flush period.
+    pub prop_flush_every: Duration,
+    /// AA+EC shared-log poll period.
+    pub log_poll_every: Duration,
+    /// P2P-style routing (section IV-E): a request for a key this shard
+    /// does not own is forwarded to the owning controlet instead of being
+    /// rejected with `WrongNode`. Clients may then send requests to *any*
+    /// controlet.
+    pub p2p_forwarding: bool,
+}
+
+impl ControletConfig {
+    /// Reasonable defaults for tests and examples.
+    pub fn new(node: NodeId, shard: ShardId, coordinator: Addr) -> Self {
+        ControletConfig {
+            node,
+            shard,
+            coordinator,
+            dlm: None,
+            shared_log: None,
+            cost: CostModel::tht(),
+            heartbeat_every: Duration::from_millis(500),
+            prop_flush_every: Duration::from_millis(2),
+            log_poll_every: Duration::from_millis(2),
+            p2p_forwarding: false,
+        }
+    }
+}
+
+/// A client request the controlet has not yet answered.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// Where the eventual [`Response`] goes.
+    pub reply: ReplyPath,
+    /// The original request (needed when completion happens in a later
+    /// event, e.g. after a lock grant or an append ack).
+    pub req: Request,
+    /// Outstanding peer acknowledgements (AA+SC fan-out).
+    pub acks_needed: usize,
+    /// Fencing token held (AA+SC), doubling as the write version.
+    pub fencing: u64,
+}
+
+/// How to deliver a response: directly to a client connection, or back
+/// through the old controlet that forwarded the request mid-transition.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ReplyPath {
+    /// Reply straight to this address.
+    Client(Addr),
+    /// Wrap in [`ReplMsg::ForwardedResp`] and send to this relay.
+    Relay(Addr),
+}
+
+/// MS+EC asynchronous propagation state (master side).
+#[derive(Debug, Default)]
+pub(crate) struct PropState {
+    /// Unacknowledged entries, keyed by contiguous propagation sequence.
+    pub buffer: BTreeMap<u64, LogEntry>,
+    /// Next propagation sequence to assign.
+    pub next_seq: u64,
+    /// Cumulative ack per slave.
+    pub acked: HashMap<NodeId, u64>,
+}
+
+impl PropState {
+    pub(crate) fn new() -> Self {
+        PropState {
+            buffer: BTreeMap::new(),
+            next_seq: 1,
+            acked: HashMap::new(),
+        }
+    }
+
+    /// Lowest sequence every slave has acknowledged.
+    pub(crate) fn min_acked(&self, slaves: &[NodeId]) -> u64 {
+        slaves
+            .iter()
+            .map(|s| self.acked.get(s).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(self.next_seq.saturating_sub(1))
+    }
+
+    /// Drops entries every slave has.
+    pub(crate) fn trim(&mut self, slaves: &[NodeId]) {
+        let upto = self.min_acked(slaves);
+        self.buffer.retain(|&seq, _| seq > upto);
+    }
+}
+
+/// AA+EC shared-log consumption state.
+#[derive(Debug)]
+pub(crate) struct LogState {
+    /// Next log sequence to fetch.
+    pub fetch_pos: u64,
+}
+
+/// A strong read parked until this replica catches up with the shared log
+/// (AA+EC per-request consistency upgrade).
+#[derive(Debug)]
+pub(crate) struct ParkedRead {
+    pub req: bespokv_proto::client::Request,
+    pub reply: ReplyPath,
+    /// Log sequence this read must observe; `None` until the first fetch
+    /// response reveals the tail.
+    pub target: Option<u64>,
+}
+
+/// State while this node recovers a shard from a peer (standby takeover).
+#[derive(Debug)]
+pub(crate) struct RecoveryState {
+    pub source: NodeId,
+    pub next_from: u64,
+    /// Configuration this node will serve once recovered.
+    pub info: ShardInfo,
+}
+
+/// State while this (old) controlet drains during a mode transition.
+#[derive(Debug)]
+pub(crate) struct TransitionState {
+    /// The configuration taking over.
+    pub target: ShardInfo,
+    /// Whether we already reported drained to the coordinator.
+    pub reported: bool,
+    /// Requests we forwarded to the new controlets: rid -> original client.
+    pub forwarded: HashMap<RequestId, Addr>,
+}
+
+/// The controlet actor.
+pub struct Controlet {
+    pub(crate) cfg: ControletConfig,
+    pub(crate) datalet: Arc<dyn Datalet>,
+    /// Current shard configuration; `None` until the first map update or
+    /// an explicit bootstrap.
+    pub(crate) info: Option<ShardInfo>,
+    pub(crate) serving: bool,
+    /// Monotonic write-version source; rebased on every epoch change so
+    /// versions stay monotonic across failovers and transitions.
+    pub(crate) next_version: Version,
+    /// Highest replication sequence applied locally (reported in
+    /// heartbeats; used for master election).
+    pub(crate) applied_seq: u64,
+    pub(crate) pending: HashMap<RequestId, Pending>,
+    /// MS+SC: in-flight chain writes not yet acked by the tail.
+    pub(crate) in_flight: BTreeMap<Version, (RequestId, LogEntry)>,
+    pub(crate) prop: PropState,
+    pub(crate) log: LogState,
+    pub(crate) parked_reads: Vec<ParkedRead>,
+    pub(crate) recovery: Option<RecoveryState>,
+    pub(crate) transition: Option<TransitionState>,
+    /// Whole-cluster map (for ownership checks and P2P forwarding).
+    pub(crate) cluster_map: Option<bespokv_types::ShardMap>,
+    /// Requests this controlet relayed to another controlet (P2P routing):
+    /// rid -> original client.
+    pub(crate) relayed: HashMap<RequestId, Addr>,
+}
+
+impl Controlet {
+    /// Creates a controlet that learns its configuration from the
+    /// coordinator (sends `GetShardMap` at start).
+    pub fn new(cfg: ControletConfig, datalet: Arc<dyn Datalet>) -> Self {
+        Controlet {
+            cfg,
+            datalet,
+            info: None,
+            serving: false,
+            next_version: 1,
+            applied_seq: 0,
+            pending: HashMap::new(),
+            in_flight: BTreeMap::new(),
+            prop: PropState::new(),
+            log: LogState { fetch_pos: 1 },
+            parked_reads: Vec::new(),
+            recovery: None,
+            transition: None,
+            cluster_map: None,
+            relayed: HashMap::new(),
+        }
+    }
+
+    /// Creates a controlet pre-loaded with its shard configuration
+    /// (skips the startup round trip; used by harnesses and benches).
+    pub fn with_info(cfg: ControletConfig, datalet: Arc<dyn Datalet>, info: ShardInfo) -> Self {
+        let mut c = Self::new(cfg, datalet);
+        c.adopt_info(info);
+        c.serving = true;
+        c
+    }
+
+    /// Seeds the whole-cluster map (ownership checks + P2P forwarding);
+    /// later `ShardMapUpdate`s refresh it.
+    pub fn with_cluster_map(mut self, map: bespokv_types::ShardMap) -> Self {
+        self.cluster_map = Some(map);
+        self
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.cfg.node
+    }
+
+    /// The wrapped datalet (shared with any co-mapped controlet).
+    pub fn datalet(&self) -> &Arc<dyn Datalet> {
+        &self.datalet
+    }
+
+    /// Current shard configuration, if known.
+    pub fn shard_info(&self) -> Option<&ShardInfo> {
+        self.info.as_ref()
+    }
+
+    /// Whether a transition is draining through this controlet.
+    pub fn in_transition(&self) -> bool {
+        self.transition.is_some()
+    }
+
+    // --- shared helpers -----------------------------------------------------
+
+    pub(crate) fn addr_of(node: NodeId) -> Addr {
+        Addr(node.raw())
+    }
+
+    /// Installs a (newer) shard configuration and rebases the version
+    /// counter so writes ordered under the new epoch supersede the old.
+    pub(crate) fn adopt_info(&mut self, info: ShardInfo) {
+        let rebase = (info.epoch + 1) << 40;
+        if rebase >= self.next_version {
+            self.next_version = rebase + 1;
+        }
+        self.info = Some(info);
+    }
+
+    pub(crate) fn fresh_version(&mut self) -> Version {
+        let v = self.next_version;
+        self.next_version += 1;
+        v
+    }
+
+    /// Applies one replicated entry to the local datalet (auto-creating
+    /// the table so replication never races table creation).
+    pub(crate) fn apply_entry(&mut self, entry: &LogEntry, ctx: &mut Context) {
+        let _ = self.datalet.create_table(&entry.table);
+        let cost = self.cfg.cost.put;
+        match &entry.value {
+            Some(v) => {
+                let _ = self
+                    .datalet
+                    .put(&entry.table, entry.key.clone(), v.clone(), entry.version);
+            }
+            None => {
+                let _ = self.datalet.del(&entry.table, &entry.key, entry.version);
+            }
+        }
+        ctx.charge(cost);
+    }
+
+    /// Builds the replication entry for a client write.
+    pub(crate) fn entry_for(req: &Request, version: Version) -> Option<LogEntry> {
+        match &req.op {
+            Op::Put { key, value } => Some(LogEntry {
+                table: req.table.clone(),
+                key: key.clone(),
+                value: Some(value.clone()),
+                version,
+            }),
+            Op::Del { key } => Some(LogEntry {
+                table: req.table.clone(),
+                key: key.clone(),
+                value: None,
+                version,
+            }),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn respond(&mut self, reply: ReplyPath, resp: Response, ctx: &mut Context) {
+        match reply {
+            ReplyPath::Client(addr) => ctx.send(addr, NetMsg::ClientResp(resp)),
+            ReplyPath::Relay(addr) => {
+                ctx.send(addr, NetMsg::Repl(ReplMsg::ForwardedResp { resp }))
+            }
+        }
+    }
+
+    pub(crate) fn reply_err(
+        &mut self,
+        reply: ReplyPath,
+        rid: RequestId,
+        e: KvError,
+        ctx: &mut Context,
+    ) {
+        self.respond(reply, Response::err(rid, e), ctx);
+    }
+
+    /// Serves a read (Get/Scan) from the local datalet.
+    pub(crate) fn serve_local_read(
+        &mut self,
+        req: &Request,
+        reply: ReplyPath,
+        ctx: &mut Context,
+    ) {
+        let result = match &req.op {
+            Op::Get { key } => {
+                ctx.charge(self.cfg.cost.get);
+                self.datalet.get(&req.table, key).map(RespBody::Value)
+            }
+            Op::Scan { start, end, limit } => {
+                let r = self
+                    .datalet
+                    .scan(&req.table, start, end, *limit as usize);
+                let n = r.as_ref().map(|v| v.len()).unwrap_or(0);
+                ctx.charge(
+                    self.cfg.cost.scan_base
+                        + Duration::from_nanos(
+                            self.cfg.cost.scan_per_entry.as_nanos() * n as u64,
+                        ),
+                );
+                r.map(RespBody::Entries)
+            }
+            _ => Err(KvError::Rejected("not a read".into())),
+        };
+        self.respond(
+            reply,
+            Response {
+                id: req.id,
+                result,
+            },
+            ctx,
+        );
+    }
+
+    /// Executes a table-management op locally and fans it out to peers
+    /// (fire-and-forget; tables converge via the auto-create apply path).
+    pub(crate) fn handle_table_op(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        let result = match &req.op {
+            Op::CreateTable { name } => self.datalet.create_table(name).map(|()| RespBody::Done),
+            Op::DeleteTable { name } => self.datalet.delete_table(name).map(|()| RespBody::Done),
+            _ => unreachable!("caller checked"),
+        };
+        ctx.charge(self.cfg.cost.controlet_overhead);
+        if let Some(info) = self.info.clone() {
+            for &peer in &info.replicas {
+                if peer != self.cfg.node {
+                    ctx.send(
+                        Self::addr_of(peer),
+                        NetMsg::Repl(ReplMsg::ForwardedReq {
+                            req: req.clone(),
+                            reply_via: NodeId::UNASSIGNED, // no reply wanted
+                        }),
+                    );
+                }
+            }
+        }
+        self.respond(
+            reply,
+            Response {
+                id: req.id,
+                result,
+            },
+            ctx,
+        );
+    }
+
+    /// Role checks.
+    pub(crate) fn is_writer(&self) -> bool {
+        match &self.info {
+            None => false,
+            Some(info) => match info.mode.topology {
+                Topology::MasterSlave => info.head() == Some(self.cfg.node),
+                Topology::ActiveActive => info.position(self.cfg.node).is_some(),
+            },
+        }
+    }
+
+    pub(crate) fn strong_read_target(&self) -> Option<NodeId> {
+        let info = self.info.as_ref()?;
+        match (info.mode.topology, info.mode.consistency) {
+            // Chain replication serves SC reads at the tail.
+            (Topology::MasterSlave, Consistency::Strong) => info.tail(),
+            // MS+EC strong reads (per-request upgrade) go to the master.
+            (Topology::MasterSlave, Consistency::Eventual) => info.head(),
+            // AA: any active (AA+SC serializes via read locks).
+            (Topology::ActiveActive, _) => Some(self.cfg.node),
+        }
+    }
+}
+
+impl Actor for Controlet {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        match ev {
+            Event::Start => {
+                ctx.set_timer(self.cfg.heartbeat_every, HEARTBEAT_TIMER);
+                if self.info.is_none() {
+                    ctx.send(self.cfg.coordinator, NetMsg::Coord(CoordMsg::GetShardMap));
+                }
+                self.arm_mode_timers(ctx);
+            }
+            Event::Timer { token } => self.on_timer(token, ctx),
+            Event::Msg { from, msg } => match msg {
+                NetMsg::Client(req) => {
+                    ctx.charge(self.cfg.cost.controlet_overhead);
+                    self.handle_client(req, ReplyPath::Client(from), ctx);
+                }
+                NetMsg::Repl(m) => self.handle_repl(from, m, ctx),
+                NetMsg::Coord(m) => self.handle_coord(from, m, ctx),
+                NetMsg::Log(m) => self.handle_log(m, ctx),
+                NetMsg::Dlm(m) => self.handle_dlm(m, ctx),
+                NetMsg::ClientResp(_) => {} // controlets never receive these
+            },
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+impl Controlet {
+    fn on_timer(&mut self, token: u64, ctx: &mut Context) {
+        match token {
+            HEARTBEAT_TIMER => {
+                ctx.send(
+                    self.cfg.coordinator,
+                    NetMsg::Coord(CoordMsg::Heartbeat {
+                        node: self.cfg.node,
+                        applied: self.applied_seq,
+                    }),
+                );
+                ctx.set_timer(self.cfg.heartbeat_every, HEARTBEAT_TIMER);
+            }
+            PROP_FLUSH_TIMER => {
+                self.flush_propagation(ctx);
+                ctx.set_timer(self.cfg.prop_flush_every, PROP_FLUSH_TIMER);
+            }
+            LOG_POLL_TIMER => {
+                self.poll_shared_log(ctx);
+                ctx.set_timer(self.cfg.log_poll_every, LOG_POLL_TIMER);
+            }
+            _ => {}
+        }
+    }
+
+    fn arm_mode_timers(&mut self, ctx: &mut Context) {
+        // Arm both; the handlers are no-ops when the mode doesn't use them,
+        // and modes can change at runtime (transitions), so keeping both
+        // armed is the simplest correct choice.
+        ctx.set_timer(self.cfg.prop_flush_every, PROP_FLUSH_TIMER);
+        ctx.set_timer(self.cfg.log_poll_every, LOG_POLL_TIMER);
+    }
+}

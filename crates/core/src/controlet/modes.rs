@@ -1,0 +1,811 @@
+//! The four pre-built controlet modes (paper section IV and appendix C).
+//!
+//! * **MS+SC** — chain replication: the head orders writes and pushes them
+//!   down the chain; the tail's ack releases the client reply (CRAQ-style
+//!   head reply, as the paper does); SC reads are served by the tail.
+//! * **MS+EC** — the master commits locally, acks the client, and
+//!   propagates asynchronously in batches; any replica serves reads.
+//! * **AA+SC** — any active takes writes, serialized through the DLM with
+//!   leases and fencing tokens; reads take shared locks.
+//! * **AA+EC** — any active takes writes, globally ordered by the shared
+//!   log; every active asynchronously fetches and applies the stream.
+
+use super::{Controlet, Pending, ReplyPath};
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::{DlmMsg, LockMode, LogMsg, NetMsg, ReplMsg};
+use bespokv_runtime::{Addr, Context};
+use bespokv_types::{
+    Consistency, KvError, NodeId, Topology,
+};
+
+impl Controlet {
+    /// Entry point for a client request (or a forwarded one via `reply`).
+    pub(crate) fn handle_client(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        if !self.serving || self.recovery.is_some() {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::NotServing, ctx);
+            return;
+        }
+        let Some(info) = self.info.clone() else {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::NotServing, ctx);
+            return;
+        };
+        // Ownership check: a point op for a key another shard owns is
+        // either forwarded (P2P topology, section IV-E) or bounced with a
+        // routing hint, so stale-mapped clients cannot write to the wrong
+        // shard.
+        if let (Some(map), Some(key)) = (&self.cluster_map, req.op.key()) {
+            let owner = map.shard_for_key(key);
+            if owner != self.cfg.shard {
+                let owner_head = map.shard(owner).and_then(|i| i.head());
+                if self.cfg.p2p_forwarding {
+                    if let Some(target) = owner_head {
+                        if let ReplyPath::Client(client) = reply {
+                            self.relayed.insert(req.id, client);
+                        }
+                        ctx.send(
+                            Self::addr_of(target),
+                            NetMsg::Repl(ReplMsg::ForwardedReq {
+                                req,
+                                reply_via: self.cfg.node,
+                            }),
+                        );
+                        return;
+                    }
+                }
+                let id = req.id;
+                self.reply_err(
+                    reply,
+                    id,
+                    KvError::WrongNode {
+                        node: self.cfg.node,
+                        hint: owner_head,
+                    },
+                    ctx,
+                );
+                return;
+            }
+        }
+        match &req.op {
+            Op::CreateTable { .. } | Op::DeleteTable { .. } => {
+                self.handle_table_op(req, reply, ctx);
+            }
+            Op::Put { .. } | Op::Del { .. } => {
+                // Mid-transition, the old controlet forwards all writes to
+                // the new configuration (section V).
+                if let Some(t) = &self.transition {
+                    let target_writer = t.target.head().unwrap_or(NodeId::UNASSIGNED);
+                    self.forward_to(target_writer, req, reply, ctx);
+                    return;
+                }
+                if !self.is_writer() {
+                    let hint = info.head();
+                    let id = req.id;
+                    self.reply_err(
+                        reply,
+                        id,
+                        KvError::WrongNode {
+                            node: self.cfg.node,
+                            hint,
+                        },
+                        ctx,
+                    );
+                    return;
+                }
+                match (info.mode.topology, info.mode.consistency) {
+                    (Topology::MasterSlave, Consistency::Strong) => {
+                        self.ms_sc_write(req, reply, ctx)
+                    }
+                    (Topology::MasterSlave, Consistency::Eventual) => {
+                        self.ms_ec_write(req, reply, ctx)
+                    }
+                    (Topology::ActiveActive, Consistency::Strong) => {
+                        self.aa_sc_write(req, reply, ctx)
+                    }
+                    (Topology::ActiveActive, Consistency::Eventual) => {
+                        self.aa_ec_write(req, reply, ctx)
+                    }
+                }
+            }
+            Op::Get { .. } | Op::Scan { .. } => {
+                let effective = req.level.resolve(info.mode.consistency);
+                // During a transition reads stay on the old replicas with
+                // EC guarantees (the paper: "any node may respond to Get
+                // requests, providing EC guarantee" until the switch ends).
+                if self.transition.is_some() || effective == Consistency::Eventual {
+                    self.serve_local_read(&req, reply, ctx);
+                    return;
+                }
+                match (info.mode.topology, info.mode.consistency) {
+                    (Topology::ActiveActive, Consistency::Strong) => {
+                        // AA+SC: strong reads take a shared lock first.
+                        self.aa_sc_read(req, reply, ctx)
+                    }
+                    (Topology::ActiveActive, Consistency::Eventual) => {
+                        // Per-request strong read under AA+EC: park until
+                        // this replica has applied the log up to the tail
+                        // observed after the read arrived (read-after-sync).
+                        // Without a shared log there is nothing to sync
+                        // against; serve locally rather than parking a
+                        // request that can never complete.
+                        if self.cfg.shared_log.is_none() {
+                            self.serve_local_read(&req, reply, ctx);
+                        } else {
+                            self.parked_reads.push(super::ParkedRead {
+                                req,
+                                reply,
+                                target: None,
+                            });
+                            self.poll_shared_log(ctx);
+                        }
+                    }
+                    _ => {
+                        // SC read placement: only the designated node may
+                        // answer (tail under MS+SC; master for per-request
+                        // strong reads under MS+EC).
+                        let target = self.strong_read_target();
+                        if target == Some(self.cfg.node) {
+                            self.serve_local_read(&req, reply, ctx);
+                        } else {
+                            let id = req.id;
+                            self.reply_err(
+                                reply,
+                                id,
+                                KvError::WrongNode {
+                                    node: self.cfg.node,
+                                    hint: target,
+                                },
+                                ctx,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn forward_to(&mut self, node: NodeId, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        if node.is_unassigned() {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::NotServing, ctx);
+            return;
+        }
+        if let Some(t) = &mut self.transition {
+            if let ReplyPath::Client(addr) = reply {
+                t.forwarded.insert(req.id, addr);
+            }
+        }
+        ctx.send(
+            Self::addr_of(node),
+            NetMsg::Repl(ReplMsg::ForwardedReq {
+                req,
+                reply_via: self.cfg.node,
+            }),
+        );
+    }
+
+    // --- MS+SC: chain replication -------------------------------------------
+
+    fn ms_sc_write(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        let info = self.info.clone().expect("writer has info");
+        let version = self.fresh_version();
+        let Some(entry) = Self::entry_for(&req, version) else {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::Rejected("not a write".into()), ctx);
+            return;
+        };
+        self.apply_entry(&entry, ctx);
+        self.applied_seq = self.applied_seq.max(version);
+        if info.replicas.len() == 1 {
+            // Single-replica chain: head is also tail.
+            let resp = Response::ok(req.id, RespBody::Done);
+            self.respond(reply, resp, ctx);
+            return;
+        }
+        self.pending.insert(
+            req.id,
+            Pending {
+                reply,
+                req: req.clone(),
+                acks_needed: 0,
+                fencing: 0,
+            },
+        );
+        self.in_flight.insert(version, (req.id, entry.clone()));
+        let successor = info.successor(self.cfg.node).expect("head has successor");
+        ctx.send(
+            Self::addr_of(successor),
+            NetMsg::Repl(ReplMsg::ChainPut {
+                shard: self.cfg.shard,
+                epoch: info.epoch,
+                rid: req.id,
+                entry,
+            }),
+        );
+    }
+
+    pub(crate) fn on_chain_put(
+        &mut self,
+        shard: bespokv_types::ShardId,
+        epoch: u64,
+        rid: bespokv_types::RequestId,
+        entry: bespokv_proto::LogEntry,
+        ctx: &mut Context,
+    ) {
+        let Some(info) = self.info.clone() else { return };
+        if shard != self.cfg.shard || epoch < info.epoch {
+            return; // stale chain traffic from an old configuration
+        }
+        self.apply_entry(&entry, ctx);
+        self.applied_seq = self.applied_seq.max(entry.version);
+        match info.successor(self.cfg.node) {
+            Some(next) => {
+                self.in_flight.insert(entry.version, (rid, entry.clone()));
+                ctx.send(
+                    Self::addr_of(next),
+                    NetMsg::Repl(ReplMsg::ChainPut {
+                        shard,
+                        epoch: info.epoch,
+                        rid,
+                        entry,
+                    }),
+                );
+            }
+            None => {
+                // Tail: ack flows back up.
+                if let Some(prev) = info.predecessor(self.cfg.node) {
+                    ctx.send(
+                        Self::addr_of(prev),
+                        NetMsg::Repl(ReplMsg::ChainAck {
+                            shard,
+                            epoch: info.epoch,
+                            rid,
+                            version: entry.version,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    pub(crate) fn on_chain_ack(
+        &mut self,
+        shard: bespokv_types::ShardId,
+        epoch: u64,
+        rid: bespokv_types::RequestId,
+        version: u64,
+        ctx: &mut Context,
+    ) {
+        let Some(info) = self.info.clone() else { return };
+        if shard != self.cfg.shard || epoch < info.epoch {
+            return;
+        }
+        self.in_flight.remove(&version);
+        match info.predecessor(self.cfg.node) {
+            Some(prev) => {
+                ctx.send(
+                    Self::addr_of(prev),
+                    NetMsg::Repl(ReplMsg::ChainAck {
+                        shard,
+                        epoch: info.epoch,
+                        rid,
+                        version,
+                    }),
+                );
+            }
+            None => {
+                // Head: the write is committed end to end.
+                if let Some(p) = self.pending.remove(&rid) {
+                    let resp = Response::ok(rid, RespBody::Done);
+                    self.respond(p.reply, resp, ctx);
+                }
+                self.check_transition_drained(ctx);
+            }
+        }
+    }
+
+    /// After a chain reconfiguration the head resends every in-flight
+    /// write so entries lost with a dead mid/tail are re-propagated
+    /// (idempotent: versions make replays harmless).
+    pub(crate) fn resend_in_flight(&mut self, ctx: &mut Context) {
+        let Some(info) = self.info.clone() else { return };
+        if info.head() != Some(self.cfg.node) {
+            return;
+        }
+        let Some(successor) = info.successor(self.cfg.node) else {
+            // Chain of one: everything in flight is trivially committed.
+            let rids: Vec<_> = self.in_flight.values().map(|(rid, _)| *rid).collect();
+            self.in_flight.clear();
+            for rid in rids {
+                if let Some(p) = self.pending.remove(&rid) {
+                    let resp = Response::ok(rid, RespBody::Done);
+                    self.respond(p.reply, resp, ctx);
+                }
+            }
+            self.check_transition_drained(ctx);
+            return;
+        };
+        for (version, (rid, entry)) in self.in_flight.clone() {
+            let _ = version;
+            ctx.send(
+                Self::addr_of(successor),
+                NetMsg::Repl(ReplMsg::ChainPut {
+                    shard: self.cfg.shard,
+                    epoch: info.epoch,
+                    rid,
+                    entry,
+                }),
+            );
+        }
+    }
+
+    // --- MS+EC: asynchronous propagation --------------------------------------
+
+    fn ms_ec_write(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        let version = self.fresh_version();
+        let Some(entry) = Self::entry_for(&req, version) else {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::Rejected("not a write".into()), ctx);
+            return;
+        };
+        // Commit locally, ack immediately (the paper: the master does not
+        // wait for propagation), then batch-propagate on the flush timer.
+        self.apply_entry(&entry, ctx);
+        let seq = self.prop.next_seq;
+        self.prop.next_seq += 1;
+        self.prop.buffer.insert(seq, entry);
+        self.applied_seq = self.applied_seq.max(seq);
+        let resp = Response::ok(req.id, RespBody::Done);
+        self.respond(reply, resp, ctx);
+    }
+
+    /// Periodic flush of the propagation buffer to every slave.
+    pub(crate) fn flush_propagation(&mut self, ctx: &mut Context) {
+        let Some(info) = self.info.clone() else { return };
+        if info.mode != bespokv_types::Mode::MS_EC
+            || info.head() != Some(self.cfg.node)
+            || self.prop.buffer.is_empty()
+        {
+            self.check_transition_drained(ctx);
+            return;
+        }
+        for &slave in info.replicas.iter().skip(1) {
+            let from = self.prop.acked.get(&slave).copied().unwrap_or(0) + 1;
+            let entries: Vec<_> = self
+                .prop
+                .buffer
+                .range(from..)
+                .map(|(_, e)| e.clone())
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let first_seq = *self
+                .prop
+                .buffer
+                .range(from..)
+                .next()
+                .map(|(s, _)| s)
+                .expect("nonempty");
+            ctx.send(
+                Self::addr_of(slave),
+                NetMsg::Repl(ReplMsg::PropBatch {
+                    shard: self.cfg.shard,
+                    epoch: info.epoch,
+                    first_seq,
+                    entries,
+                }),
+            );
+        }
+    }
+
+    pub(crate) fn on_prop_batch(
+        &mut self,
+        from: Addr,
+        shard: bespokv_types::ShardId,
+        first_seq: u64,
+        entries: Vec<bespokv_proto::LogEntry>,
+        ctx: &mut Context,
+    ) {
+        if shard != self.cfg.shard {
+            return;
+        }
+        let count = entries.len() as u64;
+        for e in &entries {
+            self.apply_entry(e, ctx);
+        }
+        let upto = first_seq + count.saturating_sub(1);
+        self.applied_seq = self.applied_seq.max(upto);
+        ctx.send(
+            from,
+            NetMsg::Repl(ReplMsg::PropAck { shard, upto }),
+        );
+    }
+
+    pub(crate) fn on_prop_ack(&mut self, from: Addr, upto: u64, ctx: &mut Context) {
+        let Some(info) = self.info.clone() else { return };
+        let slave = NodeId(from.0);
+        let e = self.prop.acked.entry(slave).or_insert(0);
+        *e = (*e).max(upto);
+        let slaves: Vec<NodeId> = info.replicas.iter().skip(1).copied().collect();
+        self.prop.trim(&slaves);
+        self.check_transition_drained(ctx);
+    }
+
+    // --- AA+SC: DLM-serialized writes -----------------------------------------
+
+    fn aa_sc_write(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        let Some(dlm) = self.cfg.dlm else {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::Rejected("no DLM configured".into()), ctx);
+            return;
+        };
+        let Some(key) = req.op.key().cloned() else {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::Rejected("not a point op".into()), ctx);
+            return;
+        };
+        self.pending.insert(
+            req.id,
+            Pending {
+                reply,
+                req: req.clone(),
+                acks_needed: 0,
+                fencing: 0,
+            },
+        );
+        ctx.send(
+            dlm,
+            NetMsg::Dlm(DlmMsg::Lock {
+                key,
+                owner: self.cfg.node,
+                rid: req.id,
+                mode: LockMode::Exclusive,
+            }),
+        );
+    }
+
+    fn aa_sc_read(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        let Some(dlm) = self.cfg.dlm else {
+            self.serve_local_read(&req, reply, ctx);
+            return;
+        };
+        let Some(key) = req.op.key().cloned() else {
+            // Range scans are served locally (the paper locks point ops).
+            self.serve_local_read(&req, reply, ctx);
+            return;
+        };
+        self.pending.insert(
+            req.id,
+            Pending {
+                reply,
+                req: req.clone(),
+                acks_needed: 0,
+                fencing: 0,
+            },
+        );
+        ctx.send(
+            dlm,
+            NetMsg::Dlm(DlmMsg::Lock {
+                key,
+                owner: self.cfg.node,
+                rid: req.id,
+                mode: LockMode::Shared,
+            }),
+        );
+    }
+
+    pub(crate) fn handle_dlm(&mut self, msg: DlmMsg, ctx: &mut Context) {
+        match msg {
+            DlmMsg::Granted { key, rid, fencing, .. } => {
+                let Some(p) = self.pending.get_mut(&rid) else {
+                    // We no longer care (e.g. failed over); release at once.
+                    if let Some(dlm) = self.cfg.dlm {
+                        ctx.send(
+                            dlm,
+                            NetMsg::Dlm(DlmMsg::Unlock {
+                                key,
+                                owner: self.cfg.node,
+                                fencing,
+                            }),
+                        );
+                    }
+                    return;
+                };
+                p.fencing = fencing;
+                let is_write = p.req.op.is_write();
+                if is_write {
+                    // Fencing tokens are globally monotonic: use them as
+                    // the write version so concurrent writers serialize.
+                    let entry = Self::entry_for(&p.req, fencing).expect("write op");
+                    let info = self.info.clone().expect("serving");
+                    let peers: Vec<NodeId> = info
+                        .replicas
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != self.cfg.node)
+                        .collect();
+                    let rid_copy = rid;
+                    self.pending.get_mut(&rid).expect("present").acks_needed = peers.len();
+                    self.apply_entry(&entry, ctx);
+                    self.applied_seq = self.applied_seq.max(fencing);
+                    if peers.is_empty() {
+                        self.finish_aa_sc(rid_copy, ctx);
+                    } else {
+                        for peer in peers {
+                            ctx.send(
+                                Self::addr_of(peer),
+                                NetMsg::Repl(ReplMsg::PeerWrite {
+                                    shard: self.cfg.shard,
+                                    epoch: info.epoch,
+                                    rid,
+                                    entry: entry.clone(),
+                                }),
+                            );
+                        }
+                    }
+                } else {
+                    // Shared lock held: read locally, release, reply.
+                    let p = self.pending.remove(&rid).expect("present");
+                    let req = p.req.clone();
+                    self.serve_local_read(&req, p.reply, ctx);
+                    if let Some(dlm) = self.cfg.dlm {
+                        ctx.send(
+                            dlm,
+                            NetMsg::Dlm(DlmMsg::Unlock {
+                                key,
+                                owner: self.cfg.node,
+                                fencing,
+                            }),
+                        );
+                    }
+                    self.check_transition_drained(ctx);
+                }
+            }
+            DlmMsg::Denied { rid, .. } => {
+                if let Some(p) = self.pending.remove(&rid) {
+                    self.reply_err(p.reply, rid, KvError::LockContended, ctx);
+                }
+                self.check_transition_drained(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn on_peer_write(
+        &mut self,
+        from: Addr,
+        shard: bespokv_types::ShardId,
+        rid: bespokv_types::RequestId,
+        entry: bespokv_proto::LogEntry,
+        ctx: &mut Context,
+    ) {
+        if shard != self.cfg.shard {
+            return;
+        }
+        self.apply_entry(&entry, ctx);
+        self.applied_seq = self.applied_seq.max(entry.version);
+        ctx.send(
+            from,
+            NetMsg::Repl(ReplMsg::PeerWriteAck { shard, rid }),
+        );
+    }
+
+    pub(crate) fn on_peer_write_ack(
+        &mut self,
+        rid: bespokv_types::RequestId,
+        ctx: &mut Context,
+    ) {
+        let done = {
+            let Some(p) = self.pending.get_mut(&rid) else { return };
+            p.acks_needed = p.acks_needed.saturating_sub(1);
+            p.acks_needed == 0
+        };
+        if done {
+            self.finish_aa_sc(rid, ctx);
+        }
+    }
+
+    fn finish_aa_sc(&mut self, rid: bespokv_types::RequestId, ctx: &mut Context) {
+        let Some(p) = self.pending.remove(&rid) else { return };
+        if let (Some(dlm), Some(key)) = (self.cfg.dlm, p.req.op.key().cloned()) {
+            ctx.send(
+                dlm,
+                NetMsg::Dlm(DlmMsg::Unlock {
+                    key,
+                    owner: self.cfg.node,
+                    fencing: p.fencing,
+                }),
+            );
+        }
+        let resp = Response::ok(rid, RespBody::Done);
+        self.respond(p.reply, resp, ctx);
+        self.check_transition_drained(ctx);
+    }
+
+    // --- AA+EC: shared-log ordering --------------------------------------------
+
+    fn aa_ec_write(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        let Some(log) = self.cfg.shared_log else {
+            let id = req.id;
+            self.reply_err(
+                reply,
+                id,
+                KvError::Rejected("no shared log configured".into()),
+                ctx,
+            );
+            return;
+        };
+        let Some(entry) = Self::entry_for(&req, 0) else {
+            let id = req.id;
+            self.reply_err(reply, id, KvError::Rejected("not a write".into()), ctx);
+            return;
+        };
+        let rid = req.id;
+        self.pending.insert(
+            rid,
+            Pending {
+                reply,
+                req,
+                acks_needed: 0,
+                fencing: 0,
+            },
+        );
+        ctx.send(
+            log,
+            NetMsg::Log(LogMsg::Append {
+                shard: self.cfg.shard,
+                rid,
+                entry,
+            }),
+        );
+    }
+
+    pub(crate) fn handle_log(&mut self, msg: LogMsg, ctx: &mut Context) {
+        match msg {
+            LogMsg::AppendAck { rid, seq, .. } => {
+                if let Some(p) = self.pending.remove(&rid) {
+                    // Apply our own write eagerly at its assigned order.
+                    if let Some(entry) = Self::entry_for(&p.req, seq) {
+                        self.apply_entry(&entry, ctx);
+                    }
+                    let resp = Response::ok(rid, RespBody::Done);
+                    self.respond(p.reply, resp, ctx);
+                }
+                self.check_transition_drained(ctx);
+            }
+            LogMsg::FetchResp {
+                first_seq,
+                entries,
+                tail_seq,
+                ..
+            } => {
+                if first_seq > self.log.fetch_pos {
+                    // Entries below first_seq were trimmed; skip forward.
+                    self.log.fetch_pos = first_seq;
+                }
+                for e in &entries {
+                    self.apply_entry(e, ctx);
+                }
+                self.log.fetch_pos += entries.len() as u64;
+                self.applied_seq = self.log.fetch_pos.saturating_sub(1);
+                // Strong reads park until we observe the log tail they
+                // arrived behind; serve the ones now satisfied.
+                if !self.parked_reads.is_empty() {
+                    let fetch_pos = self.log.fetch_pos;
+                    let mut parked = std::mem::take(&mut self.parked_reads);
+                    for p in &mut parked {
+                        if p.target.is_none() {
+                            p.target = Some(tail_seq);
+                        }
+                    }
+                    let (ready, waiting): (Vec<_>, Vec<_>) = parked
+                        .into_iter()
+                        .partition(|p| p.target.expect("set above") <= fetch_pos);
+                    self.parked_reads = waiting;
+                    for p in ready {
+                        self.serve_local_read(&p.req, p.reply, ctx);
+                    }
+                    if !self.parked_reads.is_empty() {
+                        self.poll_shared_log(ctx);
+                    }
+                }
+                self.check_transition_drained(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    /// Periodic shared-log catch-up (AA+EC replicas).
+    pub(crate) fn poll_shared_log(&mut self, ctx: &mut Context) {
+        let Some(info) = &self.info else { return };
+        if info.mode != bespokv_types::Mode::AA_EC {
+            return;
+        }
+        let Some(log) = self.cfg.shared_log else { return };
+        ctx.send(
+            log,
+            NetMsg::Log(LogMsg::Fetch {
+                shard: self.cfg.shard,
+                from_seq: self.log.fetch_pos,
+                max: 1024,
+            }),
+        );
+    }
+
+    // --- message dispatch -------------------------------------------------------
+
+    pub(crate) fn handle_repl(&mut self, from: Addr, msg: ReplMsg, ctx: &mut Context) {
+        match msg {
+            ReplMsg::ChainPut {
+                shard,
+                epoch,
+                rid,
+                entry,
+            } => self.on_chain_put(shard, epoch, rid, entry, ctx),
+            ReplMsg::ChainAck {
+                shard,
+                epoch,
+                rid,
+                version,
+            } => self.on_chain_ack(shard, epoch, rid, version, ctx),
+            ReplMsg::PropBatch {
+                shard,
+                first_seq,
+                entries,
+                ..
+            } => self.on_prop_batch(from, shard, first_seq, entries, ctx),
+            ReplMsg::PropAck { upto, .. } => self.on_prop_ack(from, upto, ctx),
+            ReplMsg::PeerWrite {
+                shard, rid, entry, ..
+            } => self.on_peer_write(from, shard, rid, entry, ctx),
+            ReplMsg::PeerWriteAck { rid, .. } => self.on_peer_write_ack(rid, ctx),
+            ReplMsg::ForwardedReq { req, reply_via } => {
+                ctx.charge(self.cfg.cost.controlet_overhead);
+                let reply = if reply_via.is_unassigned() {
+                    // Fire-and-forget fan-out (table ops): apply locally
+                    // without replying or re-fanning out.
+                    match &req.op {
+                        Op::CreateTable { name } => {
+                            let _ = self.datalet.create_table(name);
+                        }
+                        Op::DeleteTable { name } => {
+                            let _ = self.datalet.delete_table(name);
+                        }
+                        _ => {}
+                    }
+                    return;
+                } else {
+                    ReplyPath::Relay(Self::addr_of(reply_via))
+                };
+                self.handle_client(req, reply, ctx);
+            }
+            ReplMsg::ForwardedResp { resp } => {
+                // We are the relay: hand the response to the client that
+                // asked us before/during the transition.
+                // An unknown rid is a late response after transition
+                // cleanup; drop it.
+                if let Some(client) = self
+                    .transition
+                    .as_mut()
+                    .and_then(|t| t.forwarded.remove(&resp.id))
+                {
+                    ctx.send(client, NetMsg::ClientResp(resp));
+                }
+            }
+            ReplMsg::RecoveryReq { shard, from: pos } => {
+                self.serve_recovery_chunk(shard, pos, from, ctx);
+            }
+            ReplMsg::RecoveryChunk {
+                shard,
+                from: pos,
+                entries,
+                done,
+                snapshot_seq,
+            } => {
+                self.on_recovery_chunk(shard, pos, entries, done, snapshot_seq, ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Direct state-machine tests of the controlet: drive events by hand and
+//! inspect the emitted actions, without a runtime driver.
+
+use super::*;
+use bespokv_datalet::{EngineKind, DEFAULT_TABLE};
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::{CoordMsg, LogEntry, NetMsg, ReplMsg};
+use bespokv_runtime::{Action, Actor, Addr, Context, Event};
+use bespokv_types::{
+    ClientId, Instant, Key, KvError, Mode, NodeId, RequestId, ShardId, ShardInfo, Value,
+};
+
+const COORD: Addr = Addr(100);
+
+fn info(mode: Mode, nodes: &[u32]) -> ShardInfo {
+    ShardInfo {
+        shard: ShardId(0),
+        mode,
+        replicas: nodes.iter().map(|&n| NodeId(n)).collect(),
+        epoch: 1,
+    }
+}
+
+fn controlet(node: u32, mode: Mode, nodes: &[u32]) -> Controlet {
+    let cfg = ControletConfig::new(NodeId(node), ShardId(0), COORD);
+    Controlet::with_info(cfg, EngineKind::THt.build(), info(mode, nodes))
+}
+
+/// Drives one event, returning the actions it produced.
+fn drive(c: &mut Controlet, ev: Event) -> Vec<Action> {
+    let mut ctx = Context::new(Instant::ZERO, Addr(c.node().raw()));
+    c.on_event(ev, &mut ctx);
+    ctx.take_actions()
+}
+
+fn client_put(seq: u32, key: &str, val: &str) -> Event {
+    Event::Msg {
+        from: Addr(999),
+        msg: NetMsg::Client(Request::new(
+            RequestId::compose(ClientId(9), seq),
+            Op::Put {
+                key: Key::from(key),
+                value: Value::from(val),
+            },
+        )),
+    }
+}
+
+fn sent_to(actions: &[Action]) -> Vec<(Addr, &NetMsg)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send { to, msg } => Some((*to, msg)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn non_writer_rejects_writes_with_hint() {
+    let mut slave = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    let actions = drive(&mut slave, client_put(0, "k", "v"));
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    match sends[0].1 {
+        NetMsg::ClientResp(Response {
+            result: Err(KvError::WrongNode { node, hint }),
+            ..
+        }) => {
+            assert_eq!(*node, NodeId(1));
+            assert_eq!(*hint, Some(NodeId(0)));
+        }
+        other => panic!("expected WrongNode, got {other:?}"),
+    }
+}
+
+#[test]
+fn chain_head_applies_locally_and_forwards_down() {
+    let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    let actions = drive(&mut head, client_put(0, "k", "v"));
+    // Applied locally before forwarding.
+    assert_eq!(
+        head.datalet().get(DEFAULT_TABLE, &Key::from("k")).unwrap().value,
+        Value::from("v")
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1, "exactly one chain forward");
+    assert_eq!(sends[0].0, Addr(1), "to the successor");
+    assert!(matches!(sends[0].1, NetMsg::Repl(ReplMsg::ChainPut { .. })));
+    // No reply yet: the client waits for the tail ack.
+    assert_eq!(head.pending.len(), 1);
+    assert_eq!(head.in_flight.len(), 1);
+}
+
+#[test]
+fn stale_epoch_chain_traffic_is_dropped() {
+    let mut mid = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    let entry = LogEntry {
+        table: String::new(),
+        key: Key::from("k"),
+        value: Some(Value::from("v")),
+        version: 5,
+    };
+    // Epoch 0 < configured epoch 1: must be ignored entirely.
+    let actions = drive(
+        &mut mid,
+        Event::Msg {
+            from: Addr(0),
+            msg: NetMsg::Repl(ReplMsg::ChainPut {
+                shard: ShardId(0),
+                epoch: 0,
+                rid: RequestId::compose(ClientId(9), 0),
+                entry,
+            }),
+        },
+    );
+    assert!(sent_to(&actions).is_empty(), "stale traffic forwarded");
+    assert!(mid.datalet().get(DEFAULT_TABLE, &Key::from("k")).is_err());
+}
+
+#[test]
+fn tail_acks_upstream_and_mid_relays() {
+    let entry = LogEntry {
+        table: String::new(),
+        key: Key::from("k"),
+        value: Some(Value::from("v")),
+        version: 7,
+    };
+    let rid = RequestId::compose(ClientId(9), 0);
+    let chain_put = |e: LogEntry| {
+        NetMsg::Repl(ReplMsg::ChainPut {
+            shard: ShardId(0),
+            epoch: 1,
+            rid,
+            entry: e,
+        })
+    };
+    // Tail: applies and acks to its predecessor.
+    let mut tail = controlet(2, Mode::MS_SC, &[0, 1, 2]);
+    let actions = drive(
+        &mut tail,
+        Event::Msg {
+            from: Addr(1),
+            msg: chain_put(entry.clone()),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(1));
+    assert!(matches!(sends[0].1, NetMsg::Repl(ReplMsg::ChainAck { .. })));
+    // Mid: relays the ack upstream and clears its in-flight entry.
+    let mut mid = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    drive(
+        &mut mid,
+        Event::Msg {
+            from: Addr(0),
+            msg: chain_put(entry),
+        },
+    );
+    assert_eq!(mid.in_flight.len(), 1);
+    let actions = drive(
+        &mut mid,
+        Event::Msg {
+            from: Addr(2),
+            msg: NetMsg::Repl(ReplMsg::ChainAck {
+                shard: ShardId(0),
+                epoch: 1,
+                rid,
+                version: 7,
+            }),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(0), "ack relayed to the head");
+    assert!(mid.in_flight.is_empty());
+}
+
+#[test]
+fn ms_ec_master_acks_immediately_and_buffers() {
+    let mut master = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    let actions = drive(&mut master, client_put(0, "k", "v"));
+    let sends = sent_to(&actions);
+    // Immediate client ack, no synchronous replication traffic.
+    assert_eq!(sends.len(), 1);
+    assert!(matches!(
+        sends[0].1,
+        NetMsg::ClientResp(Response { result: Ok(RespBody::Done), .. })
+    ));
+    assert_eq!(master.prop.buffer.len(), 1);
+    // The flush timer pushes a batch to each slave.
+    let actions = drive(&mut master, Event::Timer { token: super::PROP_FLUSH_TIMER });
+    let batches: Vec<_> = sent_to(&actions)
+        .into_iter()
+        .filter(|(_, m)| matches!(m, NetMsg::Repl(ReplMsg::PropBatch { .. })))
+        .collect();
+    assert_eq!(batches.len(), 2, "one batch per slave");
+}
+
+#[test]
+fn prop_buffer_trims_after_all_slaves_ack() {
+    let mut master = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    drive(&mut master, client_put(0, "a", "1"));
+    drive(&mut master, client_put(1, "b", "2"));
+    assert_eq!(master.prop.buffer.len(), 2);
+    let ack = |from: u32, upto: u64| Event::Msg {
+        from: Addr(from),
+        msg: NetMsg::Repl(ReplMsg::PropAck {
+            shard: ShardId(0),
+            upto,
+        }),
+    };
+    drive(&mut master, ack(1, 2));
+    assert_eq!(master.prop.buffer.len(), 2, "slave 2 still behind");
+    drive(&mut master, ack(2, 2));
+    assert!(master.prop.buffer.is_empty(), "everyone acked: trimmed");
+}
+
+#[test]
+fn version_rebase_is_monotonic_across_epochs() {
+    let mut c = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    drive(&mut c, client_put(0, "k", "v1"));
+    let v1 = c
+        .datalet()
+        .get(DEFAULT_TABLE, &Key::from("k"))
+        .unwrap()
+        .version;
+    // Adopt a newer configuration (failover happened elsewhere).
+    let mut newer = info(Mode::MS_EC, &[0, 2]);
+    newer.epoch = 5;
+    drive(
+        &mut c,
+        Event::Msg {
+            from: COORD,
+            msg: NetMsg::Coord(CoordMsg::Reconfigure { info: newer }),
+        },
+    );
+    drive(&mut c, client_put(1, "k", "v2"));
+    let v2 = c
+        .datalet()
+        .get(DEFAULT_TABLE, &Key::from("k"))
+        .unwrap()
+        .version;
+    assert!(v2 > v1, "epoch-rebased version must supersede: {v1} vs {v2}");
+    assert_eq!(
+        c.datalet().get(DEFAULT_TABLE, &Key::from("k")).unwrap().value,
+        Value::from("v2")
+    );
+}
+
+#[test]
+fn not_serving_while_recovering() {
+    let cfg = ControletConfig::new(NodeId(5), ShardId(u32::MAX), COORD);
+    let mut standby = Controlet::new(cfg, EngineKind::THt.build());
+    // Assignment puts it into recovery mode.
+    let actions = drive(
+        &mut standby,
+        Event::Msg {
+            from: COORD,
+            msg: NetMsg::Coord(CoordMsg::StartRecovery {
+                shard: ShardId(0),
+                source: NodeId(1),
+                role_position: 2,
+                info: info(Mode::MS_SC, &[0, 1, 5]),
+            }),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(1), "recovery stream requested from source");
+    // Client traffic is rejected mid-recovery.
+    let actions = drive(&mut standby, client_put(0, "k", "v"));
+    assert!(matches!(
+        sent_to(&actions)[0].1,
+        NetMsg::ClientResp(Response { result: Err(KvError::NotServing), .. })
+    ));
+}
+
+#[test]
+fn recovery_completion_reports_to_coordinator() {
+    let cfg = ControletConfig::new(NodeId(5), ShardId(u32::MAX), COORD);
+    let mut standby = Controlet::new(cfg, EngineKind::THt.build());
+    drive(
+        &mut standby,
+        Event::Msg {
+            from: COORD,
+            msg: NetMsg::Coord(CoordMsg::StartRecovery {
+                shard: ShardId(0),
+                source: NodeId(1),
+                role_position: 2,
+                info: info(Mode::MS_SC, &[0, 1, 5]),
+            }),
+        },
+    );
+    let entries = vec![LogEntry {
+        table: String::new(),
+        key: Key::from("recovered"),
+        value: Some(Value::from("state")),
+        version: 3,
+    }];
+    let actions = drive(
+        &mut standby,
+        Event::Msg {
+            from: Addr(1),
+            msg: NetMsg::Repl(ReplMsg::RecoveryChunk {
+                shard: ShardId(0),
+                from: 0,
+                entries,
+                done: true,
+                snapshot_seq: 42,
+            }),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert!(sends.iter().any(|(to, m)| *to == COORD
+        && matches!(m, NetMsg::Coord(CoordMsg::RecoveryDone { node, .. }) if *node == NodeId(5))));
+    assert_eq!(
+        standby
+            .datalet()
+            .get(DEFAULT_TABLE, &Key::from("recovered"))
+            .unwrap()
+            .value,
+        Value::from("state")
+    );
+    assert_eq!(standby.applied_seq, 42);
+}
+
+#[test]
+fn recovery_source_streams_chunks_with_done_flag() {
+    let mut source = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    for i in 0..10 {
+        source
+            .datalet()
+            .put(DEFAULT_TABLE, Key::from(format!("k{i}")), Value::from("v"), i)
+            .unwrap();
+    }
+    let actions = drive(
+        &mut source,
+        Event::Msg {
+            from: Addr(5),
+            msg: NetMsg::Repl(ReplMsg::RecoveryReq {
+                shard: ShardId(0),
+                from: 0,
+            }),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    match sends[0].1 {
+        NetMsg::Repl(ReplMsg::RecoveryChunk { entries, done, .. }) => {
+            assert_eq!(entries.len(), 10);
+            assert!(done);
+        }
+        other => panic!("expected chunk, got {other:?}"),
+    }
+}
+
+#[test]
+fn transition_forwards_writes_and_reports_drained() {
+    let mut master = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    let target = ShardInfo {
+        shard: ShardId(0),
+        mode: Mode::MS_SC,
+        replicas: vec![NodeId(10), NodeId(11), NodeId(12)],
+        epoch: 2,
+    };
+    let actions = drive(
+        &mut master,
+        Event::Msg {
+            from: COORD,
+            msg: NetMsg::Coord(CoordMsg::BeginTransition {
+                shard: ShardId(0),
+                target,
+            }),
+        },
+    );
+    // Nothing buffered: drains immediately.
+    assert!(sent_to(&actions).iter().any(|(to, m)| *to == COORD
+        && matches!(m, NetMsg::Coord(CoordMsg::TransitionDrained { .. }))));
+    // Writes now forward to the new head.
+    let actions = drive(&mut master, client_put(0, "k", "v"));
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(10));
+    assert!(matches!(
+        sends[0].1,
+        NetMsg::Repl(ReplMsg::ForwardedReq { .. })
+    ));
+    // The relayed response reaches the original client.
+    let actions = drive(
+        &mut master,
+        Event::Msg {
+            from: Addr(10),
+            msg: NetMsg::Repl(ReplMsg::ForwardedResp {
+                resp: Response::ok(RequestId::compose(ClientId(9), 0), RespBody::Done),
+            }),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(999), "relayed to the original client");
+}
+
+#[test]
+fn reads_still_served_locally_during_transition() {
+    let mut master = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    drive(&mut master, client_put(0, "k", "v"));
+    let target = ShardInfo {
+        shard: ShardId(0),
+        mode: Mode::MS_SC,
+        replicas: vec![NodeId(10), NodeId(11), NodeId(12)],
+        epoch: 2,
+    };
+    drive(
+        &mut master,
+        Event::Msg {
+            from: COORD,
+            msg: NetMsg::Coord(CoordMsg::BeginTransition {
+                shard: ShardId(0),
+                target,
+            }),
+        },
+    );
+    let actions = drive(
+        &mut master,
+        Event::Msg {
+            from: Addr(999),
+            msg: NetMsg::Client(Request::new(
+                RequestId::compose(ClientId(9), 1),
+                Op::Get { key: Key::from("k") },
+            )),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert!(
+        matches!(
+            sends[0].1,
+            NetMsg::ClientResp(Response { result: Ok(RespBody::Value(_)), .. })
+        ),
+        "reads keep flowing locally (EC) during the transition"
+    );
+}
+
+#[test]
+fn table_ops_fan_out_to_peers() {
+    let mut master = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    let actions = drive(
+        &mut master,
+        Event::Msg {
+            from: Addr(999),
+            msg: NetMsg::Client(Request::new(
+                RequestId::compose(ClientId(9), 0),
+                Op::CreateTable {
+                    name: "users".into(),
+                },
+            )),
+        },
+    );
+    let sends = sent_to(&actions);
+    let fanout = sends
+        .iter()
+        .filter(|(_, m)| matches!(m, NetMsg::Repl(ReplMsg::ForwardedReq { .. })))
+        .count();
+    assert_eq!(fanout, 2, "both peers told");
+    assert!(sends
+        .iter()
+        .any(|(_, m)| matches!(m, NetMsg::ClientResp(Response { result: Ok(_), .. }))));
+}

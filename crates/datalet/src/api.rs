@@ -1,0 +1,107 @@
+//! The datalet API (Table II of the paper).
+//!
+//! A datalet is a *single-server* KV store, completely unaware of
+//! distribution. Controlets drive it through this trait. Version numbers are
+//! attached by the control plane's ordering authority; datalets apply writes
+//! with last-writer-wins semantics so that replaying or re-ordering
+//! propagation batches converges.
+
+use bespokv_types::{Key, KvResult, Value, Version, VersionedValue};
+
+/// What a given engine can do; controlets and the client library consult
+/// this to route range queries and to pick recovery strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Supports `scan` (ordered range queries).
+    pub range_query: bool,
+    /// Survives restart (writes reach a durable device).
+    pub persistent: bool,
+}
+
+/// Counters every datalet maintains; cheap, monotonically increasing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DataletStats {
+    /// Number of applied writes (puts + deletes), including replayed ones.
+    pub writes: u64,
+    /// Number of writes ignored because a newer version was present.
+    pub stale_writes: u64,
+    /// Number of reads served.
+    pub reads: u64,
+    /// Number of scans served.
+    pub scans: u64,
+}
+
+/// A single-server KV store engine.
+///
+/// All methods take `&self`: engines are internally synchronized so a
+/// controlet can serve reads while recovery streams a snapshot.
+pub trait Datalet: Send + Sync {
+    /// Engine name (`"tHT"`, `"tLog"`, `"tMT"`, `"tLSM"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// What this engine supports.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Writes `{key, value}` at `version` into `table`.
+    ///
+    /// Last-writer-wins: if the stored version is newer, the write is
+    /// silently ignored (convergence under replay). Returns `Ok` either way.
+    fn put(&self, table: &str, key: Key, value: Value, version: Version) -> KvResult<()>;
+
+    /// Reads the value of `key` from `table`.
+    fn get(&self, table: &str, key: &Key) -> KvResult<VersionedValue>;
+
+    /// Deletes `key` from `table` at `version` (a tombstone is retained so
+    /// late-arriving older writes cannot resurrect the key).
+    fn del(&self, table: &str, key: &Key, version: Version) -> KvResult<()>;
+
+    /// Ordered range query over `[start, end)`, at most `limit` entries
+    /// (`limit == 0` means unlimited). Engines without ordered storage
+    /// return `KvError::Rejected`.
+    fn scan(
+        &self,
+        table: &str,
+        start: &Key,
+        end: &Key,
+        limit: usize,
+    ) -> KvResult<Vec<(Key, VersionedValue)>>;
+
+    /// Creates a table. Creating an existing table is a no-op.
+    fn create_table(&self, name: &str) -> KvResult<()>;
+
+    /// Deletes a table and all of its contents.
+    fn delete_table(&self, name: &str) -> KvResult<()>;
+
+    /// Number of live (non-tombstone) keys across all tables.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no live keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Streams a chunk of the store's state for failover recovery:
+    /// entries `[from, from + max)` in the engine's stable iteration order,
+    /// including tombstones. Returns the chunk and whether the snapshot is
+    /// exhausted.
+    fn snapshot_chunk(&self, from: u64, max: usize) -> (Vec<SnapshotEntry>, bool);
+
+    /// Operation counters.
+    fn stats(&self) -> DataletStats;
+}
+
+/// One entry of a recovery snapshot (tombstones included).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Owning table.
+    pub table: String,
+    /// Key.
+    pub key: Key,
+    /// Value, or `None` for a tombstone.
+    pub value: Option<Value>,
+    /// Version of the entry.
+    pub version: Version,
+}
+
+/// The name of the default table, which always exists.
+pub const DEFAULT_TABLE: &str = "";

@@ -1,0 +1,296 @@
+//! Append-only log devices.
+//!
+//! `tLog` and the `tLSM` write-ahead log persist through this abstraction so
+//! the same engine code runs against a real file (durable, production path)
+//! or an in-memory buffer (tests and simulation).
+
+use bespokv_types::{KvError, KvResult};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An append-only byte device.
+pub trait LogDevice: Send + Sync {
+    /// Appends `buf`, returning the offset it was written at.
+    fn append(&self, buf: &[u8]) -> KvResult<u64>;
+
+    /// Reads `len` bytes at `offset`.
+    fn read_at(&self, offset: u64, len: usize) -> KvResult<Vec<u8>>;
+
+    /// Current device length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the device is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forces buffered writes to stable storage.
+    fn sync(&self) -> KvResult<()>;
+}
+
+/// In-memory device (tests, simulation, volatile caches).
+#[derive(Default)]
+pub struct MemDevice {
+    buf: Mutex<Vec<u8>>,
+}
+
+impl MemDevice {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogDevice for MemDevice {
+    fn append(&self, buf: &[u8]) -> KvResult<u64> {
+        let mut b = self.buf.lock();
+        let off = b.len() as u64;
+        b.extend_from_slice(buf);
+        Ok(off)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> KvResult<Vec<u8>> {
+        let b = self.buf.lock();
+        let start = offset as usize;
+        let end = start
+            .checked_add(len)
+            .ok_or_else(|| KvError::Corrupt("offset overflow".into()))?;
+        if end > b.len() {
+            return Err(KvError::Corrupt(format!(
+                "read [{start}, {end}) beyond device of {} bytes",
+                b.len()
+            )));
+        }
+        Ok(b[start..end].to_vec())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.lock().len() as u64
+    }
+
+    fn sync(&self) -> KvResult<()> {
+        Ok(())
+    }
+}
+
+/// File-backed device (the durable path).
+pub struct FileDevice {
+    file: Mutex<File>,
+    len: AtomicU64,
+}
+
+impl FileDevice {
+    /// Opens (or creates) the file at `path` in append mode.
+    pub fn open(path: &Path) -> KvResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileDevice {
+            file: Mutex::new(file),
+            len: AtomicU64::new(len),
+        })
+    }
+}
+
+impl LogDevice for FileDevice {
+    fn append(&self, buf: &[u8]) -> KvResult<u64> {
+        let mut f = self.file.lock();
+        f.write_all(buf)?;
+        // fetch_add returns the previous length == offset written at.
+        Ok(self.len.fetch_add(buf.len() as u64, Ordering::SeqCst))
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> KvResult<Vec<u8>> {
+        use std::os::unix::fs::FileExt;
+        let f = self.file.lock();
+        let mut out = vec![0u8; len];
+        f.read_exact_at(&mut out, offset)
+            .map_err(|e| KvError::Io(format!("read_at({offset}, {len}): {e}")))?;
+        Ok(out)
+    }
+
+    fn len(&self) -> u64 {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    fn sync(&self) -> KvResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+/// Wraps any device with per-operation latency, modeling a slower storage
+/// class (the paper's log datalet stores on HDD, hardware this testbed
+/// does not have — see DESIGN.md "simulation substitutions"). Latency is
+/// spent as busy-wait so wall-clock benchmarks observe it.
+pub struct SlowDevice<D: LogDevice> {
+    inner: D,
+    read_latency: std::time::Duration,
+    append_latency: std::time::Duration,
+}
+
+impl<D: LogDevice> SlowDevice<D> {
+    /// Wraps `inner` with the given per-op latencies.
+    pub fn new(
+        inner: D,
+        read_latency: std::time::Duration,
+        append_latency: std::time::Duration,
+    ) -> Self {
+        SlowDevice {
+            inner,
+            read_latency,
+            append_latency,
+        }
+    }
+
+    /// An HDD-class profile: random reads pay a (page-cache-amortized)
+    /// seek share; sequential appends are cheap.
+    pub fn hdd(inner: D) -> Self {
+        Self::new(
+            inner,
+            std::time::Duration::from_micros(12),
+            std::time::Duration::from_micros(3),
+        )
+    }
+
+    fn spin(d: std::time::Duration) {
+        let t0 = std::time::Instant::now();
+        while t0.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl<D: LogDevice> LogDevice for SlowDevice<D> {
+    fn append(&self, buf: &[u8]) -> KvResult<u64> {
+        Self::spin(self.append_latency);
+        self.inner.append(buf)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> KvResult<Vec<u8>> {
+        Self::spin(self.read_latency);
+        self.inner.read_at(offset, len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> KvResult<()> {
+        self.inner.sync()
+    }
+}
+
+/// When to force writes to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` on every append (safest, slowest).
+    Always,
+    /// `fsync` every `n` appends (group commit).
+    EveryN(u32),
+    /// Never `fsync` explicitly (rely on the OS; fastest).
+    Never,
+}
+
+impl SyncPolicy {
+    /// Whether the `count`-th append should sync.
+    pub fn should_sync(self, count: u64) -> bool {
+        match self {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => n != 0 && count.is_multiple_of(n as u64),
+            SyncPolicy::Never => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(dev: &dyn LogDevice) {
+        assert!(dev.is_empty());
+        let o1 = dev.append(b"hello").unwrap();
+        let o2 = dev.append(b"world!").unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 5);
+        assert_eq!(dev.len(), 11);
+        assert_eq!(dev.read_at(0, 5).unwrap(), b"hello");
+        assert_eq!(dev.read_at(5, 6).unwrap(), b"world!");
+        assert!(dev.read_at(9, 5).is_err());
+        dev.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_device() {
+        exercise(&MemDevice::new());
+    }
+
+    #[test]
+    fn file_device() {
+        let dir = std::env::temp_dir().join(format!("bespokv-dev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.log");
+        let _ = std::fs::remove_file(&path);
+        exercise(&FileDevice::open(&path).unwrap());
+        // Re-open sees the existing length.
+        let dev = FileDevice::open(&path).unwrap();
+        assert_eq!(dev.len(), 11);
+        assert_eq!(dev.read_at(0, 5).unwrap(), b"hello");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_policy_cadence() {
+        assert!(SyncPolicy::Always.should_sync(1));
+        assert!(SyncPolicy::Always.should_sync(17));
+        assert!(!SyncPolicy::Never.should_sync(1));
+        let p = SyncPolicy::EveryN(4);
+        assert!(!p.should_sync(1));
+        assert!(p.should_sync(4));
+        assert!(!p.should_sync(5));
+        assert!(p.should_sync(8));
+        assert!(!SyncPolicy::EveryN(0).should_sync(10));
+    }
+
+    #[test]
+    fn slow_device_adds_latency_but_preserves_data() {
+        let dev = SlowDevice::new(
+            MemDevice::new(),
+            std::time::Duration::from_micros(200),
+            std::time::Duration::from_micros(50),
+        );
+        let t0 = std::time::Instant::now();
+        dev.append(b"hello").unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(50));
+        let t0 = std::time::Instant::now();
+        assert_eq!(dev.read_at(0, 5).unwrap(), b"hello");
+        assert!(t0.elapsed() >= std::time::Duration::from_micros(200));
+    }
+
+    #[test]
+    fn concurrent_appends_get_distinct_offsets() {
+        use std::sync::Arc;
+        let dev = Arc::new(MemDevice::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let dev = Arc::clone(&dev);
+                std::thread::spawn(move || {
+                    (0..100).map(|_| dev.append(b"x").unwrap()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut offsets: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets.len(), 800);
+    }
+}

@@ -1,0 +1,142 @@
+//! Datalet engines — the bespoKV data plane.
+//!
+//! A *datalet* is a single-server KV store that knows nothing about
+//! distribution; the control plane (see the `bespokv` crate) composes
+//! datalets into distributed stores. This crate provides:
+//!
+//! * [`api::Datalet`] — the datalet API (Table II of the paper) plus
+//!   snapshot streaming for failover recovery;
+//! * [`template`] — the reusable engine template (table management, LWW
+//!   record semantics, stats) that makes a new engine a small exercise;
+//! * four engines:
+//!   [`THt`] (lock-striped hash table), [`TMt`] (ordered tree with range
+//!   queries), [`TLog`] (persistent append-only log + hash index), and
+//!   [`TLsm`] (LSM tree with real compaction and optional WAL);
+//! * [`adapters`] — the porting path for existing stores: `tRedis` (RESP)
+//!   and `tSSDB` (SSDB protocol) speak their native protocols through
+//!   pluggable parsers, as in section VII of the paper.
+
+pub mod adapters;
+pub mod api;
+pub mod device;
+pub mod record;
+pub mod template;
+pub mod tht;
+pub mod tlog;
+pub mod tlsm;
+pub mod tmt;
+
+pub use adapters::{t_redis, t_ssdb, ProtocolDatalet};
+pub use api::{Capabilities, Datalet, DataletStats, SnapshotEntry, DEFAULT_TABLE};
+pub use device::{FileDevice, LogDevice, MemDevice, SlowDevice, SyncPolicy};
+pub use template::{lww_applies, Record, TableRegistry, TableStore};
+pub use tht::{apply_snapshot_entry, THt};
+pub use tlog::TLog;
+pub use tlsm::{LsmConfig, TLsm};
+pub use tmt::TMt;
+
+use std::sync::Arc;
+
+/// Engine selector used by configuration files and the bench harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// In-memory hash table.
+    THt,
+    /// Ordered tree (Masstree stand-in).
+    TMt,
+    /// Persistent log + hash index.
+    TLog,
+    /// LSM tree.
+    TLsm,
+    /// Redis-alike behind the RESP parser.
+    TRedis,
+    /// SSDB-alike behind the SSDB parser.
+    TSsdb,
+}
+
+impl EngineKind {
+    /// All engine kinds.
+    pub const ALL: [EngineKind; 6] = [
+        EngineKind::THt,
+        EngineKind::TMt,
+        EngineKind::TLog,
+        EngineKind::TLsm,
+        EngineKind::TRedis,
+        EngineKind::TSsdb,
+    ];
+
+    /// Stable tag used in configs and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EngineKind::THt => "tHT",
+            EngineKind::TMt => "tMT",
+            EngineKind::TLog => "tLog",
+            EngineKind::TLsm => "tLSM",
+            EngineKind::TRedis => "tRedis",
+            EngineKind::TSsdb => "tSSDB",
+        }
+    }
+
+    /// Parses a tag (case-insensitive).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "tht" | "ht" => Some(EngineKind::THt),
+            "tmt" | "mt" | "masstree" => Some(EngineKind::TMt),
+            "tlog" | "log" => Some(EngineKind::TLog),
+            "tlsm" | "lsm" => Some(EngineKind::TLsm),
+            "tredis" | "redis" => Some(EngineKind::TRedis),
+            "tssdb" | "ssdb" => Some(EngineKind::TSsdb),
+            _ => None,
+        }
+    }
+
+    /// Instantiates a fresh engine of this kind (volatile defaults).
+    pub fn build(self) -> Arc<dyn Datalet> {
+        match self {
+            EngineKind::THt => Arc::new(THt::new()),
+            EngineKind::TMt => Arc::new(TMt::new()),
+            EngineKind::TLog => Arc::new(TLog::in_memory()),
+            EngineKind::TLsm => Arc::new(TLsm::default()),
+            EngineKind::TRedis => Arc::new(t_redis(bespokv_types::ClientId(0))),
+            EngineKind::TSsdb => Arc::new(t_ssdb(bespokv_types::ClientId(0))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_tags_roundtrip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.tag()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("mongodb"), None);
+    }
+
+    #[test]
+    fn every_engine_builds_and_serves() {
+        use bespokv_types::{Key, Value};
+        for kind in EngineKind::ALL {
+            let d = kind.build();
+            d.put(DEFAULT_TABLE, Key::from("k"), Value::from("v"), 1)
+                .unwrap();
+            assert_eq!(
+                d.get(DEFAULT_TABLE, &Key::from("k")).unwrap().value,
+                Value::from("v"),
+                "engine {}",
+                kind.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn capability_matrix_matches_design() {
+        assert!(!EngineKind::THt.build().capabilities().range_query);
+        assert!(EngineKind::TMt.build().capabilities().range_query);
+        assert!(!EngineKind::TLog.build().capabilities().range_query);
+        assert!(EngineKind::TLsm.build().capabilities().range_query);
+        assert!(EngineKind::TLog.build().capabilities().persistent);
+    }
+}

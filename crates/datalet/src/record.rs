@@ -1,0 +1,121 @@
+//! Shared on-log record codec used by `tLog` and the `tLSM` WAL.
+//!
+//! Layout:
+//! `magic u8 | table_len u16 | table | key_len u32 | key | tag u8 |
+//!  [val_len u32 | val] | version u64 | checksum u64`
+//! where `tag` is 1 for a live value and 0 for a tombstone, and the checksum
+//! is FNV-1a over everything before it.
+
+use bespokv_types::kv::fnv1a;
+use bespokv_types::{Key, KvError, KvResult, Value, Version};
+
+const RECORD_MAGIC: u8 = 0xB5;
+
+/// Serializes one record.
+pub fn encode(table: &str, key: &Key, value: Option<&Value>, version: Version) -> Vec<u8> {
+    let cap = 24 + table.len() + key.len() + value.map_or(0, |v| v.len() + 4);
+    let mut buf = Vec::with_capacity(cap);
+    buf.push(RECORD_MAGIC);
+    buf.extend_from_slice(&(table.len() as u16).to_le_bytes());
+    buf.extend_from_slice(table.as_bytes());
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key.as_bytes());
+    match value {
+        Some(v) => {
+            buf.push(1);
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v.as_bytes());
+        }
+        None => buf.push(0),
+    }
+    buf.extend_from_slice(&version.to_le_bytes());
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// A decoded record plus the number of bytes it occupied.
+pub struct DecodedRecord {
+    /// Owning table.
+    pub table: String,
+    /// Key.
+    pub key: Key,
+    /// Value, or `None` for a tombstone.
+    pub value: Option<Value>,
+    /// Version.
+    pub version: Version,
+    /// Total encoded length, so callers can advance their cursor.
+    pub total_len: usize,
+}
+
+/// Decodes one record from the front of `buf`, verifying the checksum.
+pub fn decode(buf: &[u8]) -> KvResult<DecodedRecord> {
+    let err = |m: &str| KvError::Corrupt(format!("log record: {m}"));
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> KvResult<&[u8]> {
+        if buf.len() < *pos + n {
+            return Err(err("truncated"));
+        }
+        let s = &buf[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if *take(&mut pos, 1)?.first().unwrap() != RECORD_MAGIC {
+        return Err(err("bad magic"));
+    }
+    let tlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+    let table = String::from_utf8(take(&mut pos, tlen)?.to_vec())
+        .map_err(|_| err("non-utf8 table name"))?;
+    let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let key = Key::from(take(&mut pos, klen)?.to_vec());
+    let tag = take(&mut pos, 1)?[0];
+    let value = match tag {
+        0 => None,
+        1 => {
+            let vlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            Some(Value::from(take(&mut pos, vlen)?.to_vec()))
+        }
+        _ => return Err(err("bad value tag")),
+    };
+    let version = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let body_end = pos;
+    let sum = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    if fnv1a(&buf[..body_end]) != sum {
+        return Err(err("checksum mismatch"));
+    }
+    Ok(DecodedRecord {
+        table,
+        key,
+        value,
+        version,
+        total_len: pos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_live_and_tombstone() {
+        for value in [Some(Value::from("v")), None] {
+            let rec = encode("tbl", &Key::from("k"), value.as_ref(), 7);
+            let d = decode(&rec).unwrap();
+            assert_eq!(d.table, "tbl");
+            assert_eq!(d.key, Key::from("k"));
+            assert_eq!(d.value, value);
+            assert_eq!(d.version, 7);
+            assert_eq!(d.total_len, rec.len());
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mut rec = encode("", &Key::from("k"), Some(&Value::from("v")), 1);
+        let mid = rec.len() / 2;
+        rec[mid] ^= 0xFF;
+        assert!(decode(&rec).is_err());
+        assert!(decode(&rec[..rec.len() - 1]).is_err());
+        assert!(decode(&[0x00, 0x01]).is_err());
+    }
+}

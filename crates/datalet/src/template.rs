@@ -1,0 +1,475 @@
+//! The datalet template (the paper's 966-LoC common base, section VII).
+//!
+//! Engines embed [`TableRegistry`] to get table management, statistics,
+//! tombstone-aware record semantics and snapshot plumbing for free; they
+//! supply only the per-table storage structure by implementing
+//! [`TableStore`]. This is what makes a new datalet a few-hundred-line
+//! exercise, mirroring the paper's template-based development story.
+
+use crate::api::{DataletStats, SnapshotEntry, DEFAULT_TABLE};
+use bespokv_types::{Key, KvError, KvResult, Value, Version, VersionedValue};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A stored record: live value or tombstone, with its version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// `None` encodes a tombstone.
+    pub value: Option<Value>,
+    /// Version of the last applied write.
+    pub version: Version,
+}
+
+impl Record {
+    /// Whether this record is a live value.
+    pub fn is_live(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Converts to the client-visible representation, if live.
+    pub fn to_versioned(&self) -> Option<VersionedValue> {
+        self.value
+            .clone()
+            .map(|v| VersionedValue::new(v, self.version))
+    }
+}
+
+/// Per-table storage backend supplied by each engine.
+pub trait TableStore: Send + Sync {
+    /// Creates an empty store.
+    fn empty() -> Self
+    where
+        Self: Sized;
+
+    /// Applies a write if `version` is not older than the stored record.
+    /// Returns `true` if applied, `false` if ignored as stale.
+    fn apply(&self, key: Key, record: Record) -> bool;
+
+    /// Reads a record (tombstones included).
+    fn read(&self, key: &Key) -> Option<Record>;
+
+    /// Ordered scan over `[start, end)`; `None` if unordered.
+    fn range(&self, start: &Key, end: &Key, limit: usize)
+        -> Option<Vec<(Key, VersionedValue)>>;
+
+    /// Number of live records.
+    fn live_len(&self) -> usize;
+
+    /// All entries (tombstones included) in a stable order, for snapshots.
+    fn dump(&self) -> Vec<(Key, Record)>;
+}
+
+/// Shared statistics block, updated with relaxed atomics (hot path).
+#[derive(Default)]
+pub struct StatsBlock {
+    writes: AtomicU64,
+    stale_writes: AtomicU64,
+    reads: AtomicU64,
+    scans: AtomicU64,
+}
+
+/// Which counter a datalet operation bumps (used by engines that manage
+/// their own storage instead of embedding [`TableRegistry`]).
+#[derive(Clone, Copy, Debug)]
+pub enum StatKind {
+    /// An applied write.
+    Write,
+    /// A write ignored as stale.
+    Stale,
+    /// A point read.
+    Read,
+    /// A range scan.
+    Scan,
+}
+
+impl StatsBlock {
+    /// Bumps one counter.
+    pub fn note(&self, kind: StatKind) {
+        let c = match kind {
+            StatKind::Write => &self.writes,
+            StatKind::Stale => &self.stale_writes,
+            StatKind::Read => &self.reads,
+            StatKind::Scan => &self.scans,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn load(&self) -> DataletStats {
+        DataletStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            stale_writes: self.stale_writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Table management + record semantics shared by all engines.
+pub struct TableRegistry<S: TableStore> {
+    tables: RwLock<HashMap<String, Arc<S>>>,
+    stats: StatsBlock,
+}
+
+impl<S: TableStore> Default for TableRegistry<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: TableStore> TableRegistry<S> {
+    /// Creates a registry with the default table present.
+    pub fn new() -> Self {
+        let mut tables = HashMap::new();
+        tables.insert(DEFAULT_TABLE.to_string(), Arc::new(S::empty()));
+        TableRegistry {
+            tables: RwLock::new(tables),
+            stats: StatsBlock::default(),
+        }
+    }
+
+    /// Resolves a table, erroring if absent.
+    pub fn table(&self, name: &str) -> KvResult<Arc<S>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| KvError::NoSuchTable(name.to_string()))
+    }
+
+    /// Creates a table if missing.
+    pub fn create_table(&self, name: &str) -> KvResult<()> {
+        self.tables
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(S::empty()));
+        Ok(())
+    }
+
+    /// Drops a table. The default table is recreated empty rather than
+    /// removed, so it always exists.
+    pub fn delete_table(&self, name: &str) -> KvResult<()> {
+        let mut tables = self.tables.write();
+        if tables.remove(name).is_none() {
+            return Err(KvError::NoSuchTable(name.to_string()));
+        }
+        if name == DEFAULT_TABLE {
+            tables.insert(DEFAULT_TABLE.to_string(), Arc::new(S::empty()));
+        }
+        Ok(())
+    }
+
+    /// Template implementation of `Datalet::put`.
+    pub fn put(&self, table: &str, key: Key, value: Value, version: Version) -> KvResult<()> {
+        let t = self.table(table)?;
+        let applied = t.apply(
+            key,
+            Record {
+                value: Some(value),
+                version,
+            },
+        );
+        if applied {
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.stale_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Template implementation of `Datalet::get`.
+    pub fn get(&self, table: &str, key: &Key) -> KvResult<VersionedValue> {
+        let t = self.table(table)?;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        t.read(key)
+            .and_then(|r| r.to_versioned())
+            .ok_or(KvError::NotFound)
+    }
+
+    /// Template implementation of `Datalet::del`.
+    pub fn del(&self, table: &str, key: &Key, version: Version) -> KvResult<()> {
+        let t = self.table(table)?;
+        let applied = t.apply(
+            key.clone(),
+            Record {
+                value: None,
+                version,
+            },
+        );
+        if applied {
+            self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.stale_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Template implementation of `Datalet::scan`.
+    pub fn scan(
+        &self,
+        table: &str,
+        start: &Key,
+        end: &Key,
+        limit: usize,
+    ) -> KvResult<Vec<(Key, VersionedValue)>> {
+        let t = self.table(table)?;
+        self.stats.scans.fetch_add(1, Ordering::Relaxed);
+        t.range(start, end, limit).ok_or_else(|| {
+            KvError::Rejected("engine does not support range queries".to_string())
+        })
+    }
+
+    /// Template implementation of `Datalet::len`.
+    pub fn len(&self) -> usize {
+        self.tables.read().values().map(|t| t.live_len()).sum()
+    }
+
+    /// Whether the registry holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Template implementation of `Datalet::snapshot_chunk`.
+    ///
+    /// Iterates tables in sorted-name order, each table in its store's
+    /// stable dump order, and serves out entries `[from, from + max)`.
+    /// O(total) per call — recovery streams are not the hot path, and this
+    /// keeps engines free of snapshot cursors.
+    pub fn snapshot_chunk(&self, from: u64, max: usize) -> (Vec<SnapshotEntry>, bool) {
+        let tables = self.tables.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        let mut entries = Vec::with_capacity(max.min(1024));
+        let mut index = 0u64;
+        let mut exhausted = true;
+        'outer: for name in names {
+            for (key, record) in tables[name.as_str()].dump() {
+                if index >= from {
+                    if entries.len() >= max {
+                        exhausted = false;
+                        break 'outer;
+                    }
+                    entries.push(SnapshotEntry {
+                        table: name.clone(),
+                        key,
+                        value: record.value,
+                        version: record.version,
+                    });
+                }
+                index += 1;
+            }
+        }
+        (entries, exhausted)
+    }
+
+    /// Applies a snapshot entry (recovery path).
+    pub fn apply_snapshot_entry(&self, e: SnapshotEntry) -> KvResult<()> {
+        self.create_table(&e.table)?;
+        match e.value {
+            Some(v) => self.put(&e.table, e.key, v, e.version),
+            None => self.del(&e.table, &e.key, e.version),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DataletStats {
+        self.stats.load()
+    }
+}
+
+/// Standard last-writer-wins merge: apply iff `incoming >= current`.
+///
+/// `>=` (not `>`) so that an idempotent replay of the same version
+/// re-applies harmlessly and identical-version conflicts resolve to the
+/// last arrival, matching the paper's EC convergence semantics.
+#[inline]
+pub fn lww_applies(current: Option<Version>, incoming: Version) -> bool {
+    match current {
+        None => true,
+        Some(cur) => incoming >= cur,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Minimal ordered store used to exercise the template itself.
+    struct MiniStore(RwLock<BTreeMap<Key, Record>>);
+
+    impl TableStore for MiniStore {
+        fn empty() -> Self {
+            MiniStore(RwLock::new(BTreeMap::new()))
+        }
+        fn apply(&self, key: Key, record: Record) -> bool {
+            let mut m = self.0.write();
+            let cur = m.get(&key).map(|r| r.version);
+            if lww_applies(cur, record.version) {
+                m.insert(key, record);
+                true
+            } else {
+                false
+            }
+        }
+        fn read(&self, key: &Key) -> Option<Record> {
+            self.0.read().get(key).cloned()
+        }
+        fn range(
+            &self,
+            start: &Key,
+            end: &Key,
+            limit: usize,
+        ) -> Option<Vec<(Key, VersionedValue)>> {
+            let m = self.0.read();
+            let it = m
+                .range(start.clone()..end.clone())
+                .filter_map(|(k, r)| r.to_versioned().map(|v| (k.clone(), v)));
+            Some(if limit == 0 {
+                it.collect()
+            } else {
+                it.take(limit).collect()
+            })
+        }
+        fn live_len(&self) -> usize {
+            self.0.read().values().filter(|r| r.is_live()).count()
+        }
+        fn dump(&self) -> Vec<(Key, Record)> {
+            self.0
+                .read()
+                .iter()
+                .map(|(k, r)| (k.clone(), r.clone()))
+                .collect()
+        }
+    }
+
+    fn reg() -> TableRegistry<MiniStore> {
+        TableRegistry::new()
+    }
+
+    #[test]
+    fn default_table_exists() {
+        let r = reg();
+        assert!(r.table(DEFAULT_TABLE).is_ok());
+        assert!(matches!(
+            r.get("nope", &Key::from("k")),
+            Err(KvError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn put_get_del_cycle() {
+        let r = reg();
+        r.put(DEFAULT_TABLE, Key::from("k"), Value::from("v"), 1)
+            .unwrap();
+        assert_eq!(
+            r.get(DEFAULT_TABLE, &Key::from("k")).unwrap(),
+            VersionedValue::new(Value::from("v"), 1)
+        );
+        r.del(DEFAULT_TABLE, &Key::from("k"), 2).unwrap();
+        assert_eq!(
+            r.get(DEFAULT_TABLE, &Key::from("k")),
+            Err(KvError::NotFound)
+        );
+    }
+
+    #[test]
+    fn stale_write_ignored_tombstone_wins() {
+        let r = reg();
+        r.del(DEFAULT_TABLE, &Key::from("k"), 5).unwrap();
+        // An older write must not resurrect the key.
+        r.put(DEFAULT_TABLE, Key::from("k"), Value::from("old"), 3)
+            .unwrap();
+        assert_eq!(
+            r.get(DEFAULT_TABLE, &Key::from("k")),
+            Err(KvError::NotFound)
+        );
+        assert_eq!(r.stats().stale_writes, 1);
+    }
+
+    #[test]
+    fn equal_version_applies() {
+        let r = reg();
+        r.put(DEFAULT_TABLE, Key::from("k"), Value::from("a"), 7)
+            .unwrap();
+        r.put(DEFAULT_TABLE, Key::from("k"), Value::from("b"), 7)
+            .unwrap();
+        assert_eq!(
+            r.get(DEFAULT_TABLE, &Key::from("k")).unwrap().value,
+            Value::from("b")
+        );
+    }
+
+    #[test]
+    fn tables_are_isolated() {
+        let r = reg();
+        r.create_table("t1").unwrap();
+        r.put("t1", Key::from("k"), Value::from("v1"), 1).unwrap();
+        r.put(DEFAULT_TABLE, Key::from("k"), Value::from("v0"), 1)
+            .unwrap();
+        assert_eq!(r.get("t1", &Key::from("k")).unwrap().value, Value::from("v1"));
+        assert_eq!(
+            r.get(DEFAULT_TABLE, &Key::from("k")).unwrap().value,
+            Value::from("v0")
+        );
+        r.delete_table("t1").unwrap();
+        assert!(r.get("t1", &Key::from("k")).is_err());
+    }
+
+    #[test]
+    fn deleting_default_table_recreates_it_empty() {
+        let r = reg();
+        r.put(DEFAULT_TABLE, Key::from("k"), Value::from("v"), 1)
+            .unwrap();
+        r.delete_table(DEFAULT_TABLE).unwrap();
+        assert_eq!(r.get(DEFAULT_TABLE, &Key::from("k")), Err(KvError::NotFound));
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn snapshot_chunks_cover_everything_once() {
+        let r = reg();
+        r.create_table("aux").unwrap();
+        for i in 0..25 {
+            r.put(DEFAULT_TABLE, Key::from(format!("k{i:02}")), Value::from("v"), 1)
+                .unwrap();
+        }
+        r.put("aux", Key::from("x"), Value::from("y"), 1).unwrap();
+        r.del("aux", &Key::from("x2"), 2).unwrap(); // tombstone included
+        let mut all = Vec::new();
+        let mut from = 0;
+        loop {
+            let (chunk, done) = r.snapshot_chunk(from, 10);
+            from += chunk.len() as u64;
+            all.extend(chunk);
+            if done {
+                break;
+            }
+        }
+        assert_eq!(all.len(), 27);
+        // Replay into a fresh registry and compare.
+        let r2 = reg();
+        for e in all {
+            r2.apply_snapshot_entry(e).unwrap();
+        }
+        assert_eq!(r2.len(), r.len());
+        assert_eq!(
+            r2.get(DEFAULT_TABLE, &Key::from("k07")).unwrap().value,
+            Value::from("v")
+        );
+        assert!(r2.get("aux", &Key::from("x2")).is_err());
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let r = reg();
+        r.put(DEFAULT_TABLE, Key::from("k"), Value::from("v"), 1)
+            .unwrap();
+        let _ = r.get(DEFAULT_TABLE, &Key::from("k"));
+        let _ = r.scan(DEFAULT_TABLE, &Key::from("a"), &Key::from("z"), 0);
+        let s = r.stats();
+        assert_eq!((s.writes, s.reads, s.scans), (1, 1, 1));
+    }
+}

@@ -1,0 +1,279 @@
+//! `tHT` — the in-memory hash-table datalet.
+//!
+//! The paper's reference datalet: a lock-striped hash table tuned for point
+//! operations. Striping bounds contention: each key maps to one of
+//! `STRIPES` independently locked sub-maps via its stable hash, so readers
+//! and writers on different stripes never serialize.
+
+use crate::api::{Capabilities, Datalet, DataletStats, SnapshotEntry};
+use crate::template::{lww_applies, Record, TableRegistry, TableStore};
+use bespokv_types::{Key, KvResult, Value, Version, VersionedValue};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Number of lock stripes; power of two so the hash folds with a mask.
+const STRIPES: usize = 64;
+
+/// One lock-striped hash table (per-table storage).
+pub struct StripedMap {
+    stripes: Vec<RwLock<HashMap<Key, Record>>>,
+}
+
+impl StripedMap {
+    #[inline]
+    fn stripe(&self, key: &Key) -> &RwLock<HashMap<Key, Record>> {
+        let h = key.stable_hash() as usize;
+        &self.stripes[h & (STRIPES - 1)]
+    }
+}
+
+impl TableStore for StripedMap {
+    fn empty() -> Self {
+        StripedMap {
+            stripes: (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn apply(&self, key: Key, record: Record) -> bool {
+        let mut m = self.stripe(&key).write();
+        let cur = m.get(&key).map(|r| r.version);
+        if lww_applies(cur, record.version) {
+            m.insert(key, record);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read(&self, key: &Key) -> Option<Record> {
+        self.stripe(key).read().get(key).cloned()
+    }
+
+    fn range(
+        &self,
+        _start: &Key,
+        _end: &Key,
+        _limit: usize,
+    ) -> Option<Vec<(Key, VersionedValue)>> {
+        None // hash tables are unordered
+    }
+
+    fn live_len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.read().values().filter(|r| r.is_live()).count())
+            .sum()
+    }
+
+    fn dump(&self) -> Vec<(Key, Record)> {
+        // Stable order: collect then sort by key, so snapshot cursors are
+        // meaningful across calls.
+        let mut all: Vec<(Key, Record)> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, r)| (k.clone(), r.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+/// The `tHT` engine.
+pub struct THt {
+    registry: TableRegistry<StripedMap>,
+}
+
+impl THt {
+    /// Creates an empty `tHT`.
+    pub fn new() -> Self {
+        THt {
+            registry: TableRegistry::new(),
+        }
+    }
+}
+
+impl Default for THt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Datalet for THt {
+    fn name(&self) -> &'static str {
+        "tHT"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            range_query: false,
+            persistent: false,
+        }
+    }
+
+    fn put(&self, table: &str, key: Key, value: Value, version: Version) -> KvResult<()> {
+        self.registry.put(table, key, value, version)
+    }
+
+    fn get(&self, table: &str, key: &Key) -> KvResult<VersionedValue> {
+        self.registry.get(table, key)
+    }
+
+    fn del(&self, table: &str, key: &Key, version: Version) -> KvResult<()> {
+        self.registry.del(table, key, version)
+    }
+
+    fn scan(
+        &self,
+        table: &str,
+        start: &Key,
+        end: &Key,
+        limit: usize,
+    ) -> KvResult<Vec<(Key, VersionedValue)>> {
+        self.registry.scan(table, start, end, limit)
+    }
+
+    fn create_table(&self, name: &str) -> KvResult<()> {
+        self.registry.create_table(name)
+    }
+
+    fn delete_table(&self, name: &str) -> KvResult<()> {
+        self.registry.delete_table(name)
+    }
+
+    fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    fn snapshot_chunk(&self, from: u64, max: usize) -> (Vec<SnapshotEntry>, bool) {
+        self.registry.snapshot_chunk(from, max)
+    }
+
+    fn stats(&self) -> DataletStats {
+        self.registry.stats()
+    }
+}
+
+/// Applies one snapshot entry to any datalet (shared recovery helper).
+pub fn apply_snapshot_entry(d: &dyn Datalet, e: SnapshotEntry) -> KvResult<()> {
+    d.create_table(&e.table)?;
+    match e.value {
+        Some(v) => d.put(&e.table, e.key, v, e.version),
+        None => d.del(&e.table, &e.key, e.version),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::DEFAULT_TABLE;
+    use bespokv_types::KvError;
+    use std::sync::Arc;
+
+    #[test]
+    fn point_ops() {
+        let d = THt::new();
+        d.put(DEFAULT_TABLE, Key::from("a"), Value::from("1"), 1)
+            .unwrap();
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("a")).unwrap().value,
+            Value::from("1")
+        );
+        assert_eq!(d.len(), 1);
+        d.del(DEFAULT_TABLE, &Key::from("a"), 2).unwrap();
+        assert_eq!(d.get(DEFAULT_TABLE, &Key::from("a")), Err(KvError::NotFound));
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn scan_unsupported() {
+        let d = THt::new();
+        assert!(matches!(
+            d.scan(DEFAULT_TABLE, &Key::from("a"), &Key::from("z"), 0),
+            Err(KvError::Rejected(_))
+        ));
+        assert!(!d.capabilities().range_query);
+    }
+
+    #[test]
+    fn lww_replay_converges() {
+        let d = THt::new();
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("new"), 10)
+            .unwrap();
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("old"), 5)
+            .unwrap();
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("k")).unwrap(),
+            VersionedValue::new(Value::from("new"), 10)
+        );
+        assert_eq!(d.stats().stale_writes, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let d = Arc::new(THt::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        let k = Key::from(format!("t{t}-k{i}"));
+                        d.put(DEFAULT_TABLE, k, Value::from("v"), 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(d.len(), 8 * 500);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_via_helper() {
+        let src = THt::new();
+        for i in 0..100 {
+            src.put(DEFAULT_TABLE, Key::from(format!("k{i}")), Value::from(format!("v{i}")), i)
+                .unwrap();
+        }
+        src.del(DEFAULT_TABLE, &Key::from("k5"), 200).unwrap();
+        let dst = THt::new();
+        let mut from = 0;
+        loop {
+            let (chunk, done) = src.snapshot_chunk(from, 7);
+            from += chunk.len() as u64;
+            for e in chunk {
+                apply_snapshot_entry(&dst, e).unwrap();
+            }
+            if done {
+                break;
+            }
+        }
+        assert_eq!(dst.len(), src.len());
+        assert_eq!(dst.get(DEFAULT_TABLE, &Key::from("k5")), Err(KvError::NotFound));
+        assert_eq!(
+            dst.get(DEFAULT_TABLE, &Key::from("k42")).unwrap().value,
+            Value::from("v42")
+        );
+    }
+
+    #[test]
+    fn dump_order_is_stable() {
+        let d = THt::new();
+        for i in [3, 1, 2] {
+            d.put(DEFAULT_TABLE, Key::from(format!("k{i}")), Value::from("v"), 1)
+                .unwrap();
+        }
+        let (c1, _) = d.snapshot_chunk(0, 10);
+        let (c2, _) = d.snapshot_chunk(0, 10);
+        assert_eq!(c1, c2);
+        let keys: Vec<_> = c1.iter().map(|e| e.key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,477 @@
+//! `tLog` — the persistent log-structured datalet.
+//!
+//! The paper's tLog "uses tHT as the in-memory index" over an append-only
+//! persistent log. Every mutation is serialized as a checksummed record and
+//! appended to a [`LogDevice`]; a striped hash index maps each key to the
+//! offset of its newest record. Reads hit the index then fetch the value
+//! from the device; recovery replays the log to rebuild the index.
+
+use crate::api::{Capabilities, Datalet, DataletStats, SnapshotEntry, DEFAULT_TABLE};
+use crate::device::{LogDevice, MemDevice, SyncPolicy};
+use crate::template::lww_applies;
+use bespokv_types::{Key, KvError, KvResult, Value, Version, VersionedValue};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Index entry: where the newest record for a key lives.
+#[derive(Clone, Copy, Debug)]
+struct IndexEntry {
+    offset: u64,
+    len: u32,
+    version: Version,
+    live: bool,
+}
+
+const STRIPES: usize = 64;
+
+/// The `tLog` engine.
+pub struct TLog {
+    device: Arc<dyn LogDevice>,
+    sync_policy: SyncPolicy,
+    appends: AtomicU64,
+    /// table name -> striped key index.
+    index: RwLock<HashMap<String, Arc<StripedIndex>>>,
+    own_stats: OwnStats,
+}
+
+struct StripedIndex {
+    stripes: Vec<RwLock<HashMap<Key, IndexEntry>>>,
+}
+
+impl StripedIndex {
+    fn new() -> Self {
+        StripedIndex {
+            stripes: (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self, key: &Key) -> &RwLock<HashMap<Key, IndexEntry>> {
+        &self.stripes[(key.stable_hash() as usize) & (STRIPES - 1)]
+    }
+}
+
+impl TLog {
+    /// Creates a `tLog` over the given device, replaying any existing
+    /// contents to rebuild the index.
+    pub fn open(device: Arc<dyn LogDevice>, sync_policy: SyncPolicy) -> KvResult<Self> {
+        let log = TLog {
+            device,
+            sync_policy,
+            appends: AtomicU64::new(0),
+            index: RwLock::new(HashMap::from([(
+                DEFAULT_TABLE.to_string(),
+                Arc::new(StripedIndex::new()),
+            )])),
+            own_stats: OwnStats::default(),
+        };
+        log.replay()?;
+        Ok(log)
+    }
+
+    /// Creates an in-memory `tLog` (tests, volatile deployments).
+    pub fn in_memory() -> Self {
+        Self::open(Arc::new(MemDevice::new()), SyncPolicy::Never)
+            .expect("empty in-memory log cannot fail to replay")
+    }
+
+    /// Replays the device, rebuilding the index. Later records win (they
+    /// are, by construction, newer or equal versions).
+    fn replay(&self) -> KvResult<()> {
+        let len = self.device.len();
+        if len == 0 {
+            return Ok(());
+        }
+        // Read whole device once; logs are replayed at open only.
+        let buf = self.device.read_at(0, len as usize)?;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let rec = crate::record::decode(&buf[pos..])?;
+            let entry = IndexEntry {
+                offset: pos as u64,
+                len: rec.total_len as u32,
+                version: rec.version,
+                live: rec.value.is_some(),
+            };
+            self.index_table(&rec.table).stripe(&rec.key).write().insert(rec.key, entry);
+            pos += rec.total_len;
+        }
+        Ok(())
+    }
+
+    fn index_table(&self, table: &str) -> Arc<StripedIndex> {
+        if let Some(t) = self.index.read().get(table) {
+            return Arc::clone(t);
+        }
+        let mut w = self.index.write();
+        Arc::clone(
+            w.entry(table.to_string())
+                .or_insert_with(|| Arc::new(StripedIndex::new())),
+        )
+    }
+
+    fn lookup_table(&self, table: &str) -> KvResult<Arc<StripedIndex>> {
+        self.index
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| KvError::NoSuchTable(table.to_string()))
+    }
+
+    fn append_record(
+        &self,
+        table: &str,
+        key: &Key,
+        value: Option<&Value>,
+        version: Version,
+    ) -> KvResult<(u64, u32)> {
+        let rec = crate::record::encode(table, key, value, version);
+        let offset = self.device.append(&rec)?;
+        let n = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.sync_policy.should_sync(n) {
+            self.device.sync()?;
+        }
+        Ok((offset, rec.len() as u32))
+    }
+
+    fn write(
+        &self,
+        table: &str,
+        key: Key,
+        value: Option<Value>,
+        version: Version,
+    ) -> KvResult<()> {
+        let idx = self.lookup_table(table)?;
+        // Append first, index second: on crash the replay sees the record
+        // and rebuilds the same (or newer) index state.
+        let stripe = idx.stripe(&key);
+        {
+            // Check staleness under the stripe lock to avoid interleaving
+            // two writers' append/index steps out of order.
+            let mut m = stripe.write();
+            let cur = m.get(&key).map(|e| e.version);
+            if !lww_applies(cur, version) {
+                drop(m);
+                self.note_stale();
+                return Ok(());
+            }
+            let (offset, len) = self.append_record(table, &key, value.as_ref(), version)?;
+            m.insert(
+                key,
+                IndexEntry {
+                    offset,
+                    len,
+                    version,
+                    live: value.is_some(),
+                },
+            );
+        }
+        self.note_write();
+        Ok(())
+    }
+
+    fn note_write(&self) {
+        self.own_stats.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_stale(&self) {
+        self.own_stats.stale_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_read(&self) {
+        self.own_stats.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_scan(&self) {
+        self.own_stats.scans.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `tLog` keeps its own counter block because it does not embed
+/// `TableRegistry` (its storage is the shared log + per-table index).
+#[derive(Default)]
+struct OwnStats {
+    writes: AtomicU64,
+    stale_writes: AtomicU64,
+    reads: AtomicU64,
+    scans: AtomicU64,
+}
+
+impl Datalet for TLog {
+    fn name(&self) -> &'static str {
+        "tLog"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            range_query: false,
+            persistent: true,
+        }
+    }
+
+    fn put(&self, table: &str, key: Key, value: Value, version: Version) -> KvResult<()> {
+        self.write(table, key, Some(value), version)
+    }
+
+    fn get(&self, table: &str, key: &Key) -> KvResult<VersionedValue> {
+        let idx = self.lookup_table(table)?;
+        self.note_read();
+        let entry = {
+            let m = idx.stripe(key).read();
+            match m.get(key) {
+                Some(e) if e.live => *e,
+                _ => return Err(KvError::NotFound),
+            }
+        };
+        let raw = self.device.read_at(entry.offset, entry.len as usize)?;
+        let rec = crate::record::decode(&raw)?;
+        match rec.value {
+            Some(v) => Ok(VersionedValue::new(v, rec.version)),
+            None => Err(KvError::Corrupt("index points at tombstone".into())),
+        }
+    }
+
+    fn del(&self, table: &str, key: &Key, version: Version) -> KvResult<()> {
+        self.write(table, key.clone(), None, version)
+    }
+
+    fn scan(
+        &self,
+        _table: &str,
+        _start: &Key,
+        _end: &Key,
+        _limit: usize,
+    ) -> KvResult<Vec<(Key, VersionedValue)>> {
+        self.note_scan();
+        Err(KvError::Rejected(
+            "tLog's hash index does not support range queries".to_string(),
+        ))
+    }
+
+    fn create_table(&self, name: &str) -> KvResult<()> {
+        let _ = self.index_table(name);
+        Ok(())
+    }
+
+    fn delete_table(&self, name: &str) -> KvResult<()> {
+        let mut w = self.index.write();
+        if w.remove(name).is_none() {
+            return Err(KvError::NoSuchTable(name.to_string()));
+        }
+        if name == DEFAULT_TABLE {
+            w.insert(DEFAULT_TABLE.to_string(), Arc::new(StripedIndex::new()));
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.index
+            .read()
+            .values()
+            .map(|idx| {
+                idx.stripes
+                    .iter()
+                    .map(|s| s.read().values().filter(|e| e.live).count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    fn snapshot_chunk(&self, from: u64, max: usize) -> (Vec<SnapshotEntry>, bool) {
+        // Stable order: tables sorted by name, keys sorted within a table.
+        let tables = self.index.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        let mut entries = Vec::new();
+        let mut cursor = 0u64;
+        let mut exhausted = true;
+        'outer: for name in names {
+            let idx = &tables[name.as_str()];
+            let mut keys: Vec<(Key, IndexEntry)> = idx
+                .stripes
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .iter()
+                        .map(|(k, e)| (k.clone(), *e))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            keys.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, entry) in keys {
+                if cursor >= from {
+                    if entries.len() >= max {
+                        exhausted = false;
+                        break 'outer;
+                    }
+                    let value = if entry.live {
+                        match self
+                            .device
+                            .read_at(entry.offset, entry.len as usize)
+                            .and_then(|raw| crate::record::decode(&raw))
+                        {
+                            Ok(rec) => rec.value,
+                            Err(_) => None,
+                        }
+                    } else {
+                        None
+                    };
+                    entries.push(SnapshotEntry {
+                        table: name.clone(),
+                        key,
+                        value,
+                        version: entry.version,
+                    });
+                }
+                cursor += 1;
+            }
+        }
+        (entries, exhausted)
+    }
+
+    fn stats(&self) -> DataletStats {
+        DataletStats {
+            writes: self.own_stats.writes.load(Ordering::Relaxed),
+            stale_writes: self.own_stats.stale_writes.load(Ordering::Relaxed),
+            reads: self.own_stats.reads.load(Ordering::Relaxed),
+            scans: self.own_stats.scans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FileDevice;
+
+    #[test]
+    fn put_get_del_cycle() {
+        let d = TLog::in_memory();
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("v"), 1)
+            .unwrap();
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("k")).unwrap(),
+            VersionedValue::new(Value::from("v"), 1)
+        );
+        d.del(DEFAULT_TABLE, &Key::from("k"), 2).unwrap();
+        assert_eq!(d.get(DEFAULT_TABLE, &Key::from("k")), Err(KvError::NotFound));
+    }
+
+    #[test]
+    fn overwrite_reads_newest() {
+        let d = TLog::in_memory();
+        for v in 1..=10u64 {
+            d.put(DEFAULT_TABLE, Key::from("k"), Value::from(format!("v{v}")), v)
+                .unwrap();
+        }
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("k")).unwrap(),
+            VersionedValue::new(Value::from("v10"), 10)
+        );
+    }
+
+    #[test]
+    fn stale_write_ignored() {
+        let d = TLog::in_memory();
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("new"), 9)
+            .unwrap();
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("old"), 3)
+            .unwrap();
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("k")).unwrap().value,
+            Value::from("new")
+        );
+        assert_eq!(d.stats().stale_writes, 1);
+    }
+
+    #[test]
+    fn replay_rebuilds_index_from_device() {
+        let dev = Arc::new(MemDevice::new());
+        {
+            let d = TLog::open(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never)
+                .unwrap();
+            d.create_table("t").unwrap();
+            d.put("t", Key::from("a"), Value::from("1"), 1).unwrap();
+            d.put("t", Key::from("b"), Value::from("2"), 2).unwrap();
+            d.del("t", &Key::from("a"), 3).unwrap();
+            d.put(DEFAULT_TABLE, Key::from("c"), Value::from("3"), 4)
+                .unwrap();
+        }
+        let d2 = TLog::open(dev as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+        assert_eq!(d2.get("t", &Key::from("a")), Err(KvError::NotFound));
+        assert_eq!(d2.get("t", &Key::from("b")).unwrap().value, Value::from("2"));
+        assert_eq!(
+            d2.get(DEFAULT_TABLE, &Key::from("c")).unwrap().value,
+            Value::from("3")
+        );
+        assert_eq!(d2.len(), 2);
+    }
+
+    #[test]
+    fn persists_across_file_reopen() {
+        let dir = std::env::temp_dir().join(format!("bespokv-tlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let dev = Arc::new(FileDevice::open(&path).unwrap());
+            let d = TLog::open(dev, SyncPolicy::EveryN(2)).unwrap();
+            for i in 0..50u64 {
+                d.put(DEFAULT_TABLE, Key::from(format!("k{i}")), Value::from(format!("v{i}")), i)
+                    .unwrap();
+            }
+        }
+        let dev = Arc::new(FileDevice::open(&path).unwrap());
+        let d = TLog::open(dev, SyncPolicy::Never).unwrap();
+        assert_eq!(d.len(), 50);
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("k31")).unwrap().value,
+            Value::from("v31")
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_log_detected() {
+        let dev = Arc::new(MemDevice::new());
+        dev.append(&crate::record::encode("", &Key::from("k"), Some(&Value::from("v")), 1))
+            .unwrap();
+        // Truncate the tail by appending a short garbage record.
+        dev.append(&[0xB5, 0, 0]).unwrap();
+        assert!(TLog::open(dev, SyncPolicy::Never).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let src = TLog::in_memory();
+        for i in 0..30 {
+            src.put(DEFAULT_TABLE, Key::from(format!("k{i:02}")), Value::from("v"), i)
+                .unwrap();
+        }
+        src.del(DEFAULT_TABLE, &Key::from("k03"), 99).unwrap();
+        let dst = TLog::in_memory();
+        let mut from = 0;
+        loop {
+            let (chunk, done) = src.snapshot_chunk(from, 8);
+            from += chunk.len() as u64;
+            for e in chunk {
+                crate::tht::apply_snapshot_entry(&dst, e).unwrap();
+            }
+            if done {
+                break;
+            }
+        }
+        assert_eq!(dst.len(), 29);
+        assert_eq!(dst.get(DEFAULT_TABLE, &Key::from("k03")), Err(KvError::NotFound));
+    }
+
+    #[test]
+    fn scan_unsupported() {
+        let d = TLog::in_memory();
+        assert!(d
+            .scan(DEFAULT_TABLE, &Key::from("a"), &Key::from("z"), 0)
+            .is_err());
+    }
+}

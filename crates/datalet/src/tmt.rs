@@ -1,0 +1,214 @@
+//! `tMT` — the ordered-tree datalet (Masstree stand-in).
+//!
+//! The paper's tree-based template, used for read-intensive and range-query
+//! workloads (Fig 6 "B+", Fig 9 tMT, and the range-query extension of
+//! section IV-B). We back it with a reader/writer-locked B-tree; like
+//! Masstree it keeps keys in lexicographic order and serves ordered scans.
+
+use crate::api::{Capabilities, Datalet, DataletStats, SnapshotEntry};
+use crate::template::{lww_applies, Record, TableRegistry, TableStore};
+use bespokv_types::{Key, KvResult, Value, Version, VersionedValue};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Ordered per-table storage.
+pub struct OrderedMap {
+    map: RwLock<BTreeMap<Key, Record>>,
+}
+
+impl TableStore for OrderedMap {
+    fn empty() -> Self {
+        OrderedMap {
+            map: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn apply(&self, key: Key, record: Record) -> bool {
+        let mut m = self.map.write();
+        let cur = m.get(&key).map(|r| r.version);
+        if lww_applies(cur, record.version) {
+            m.insert(key, record);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read(&self, key: &Key) -> Option<Record> {
+        self.map.read().get(key).cloned()
+    }
+
+    fn range(&self, start: &Key, end: &Key, limit: usize) -> Option<Vec<(Key, VersionedValue)>> {
+        let m = self.map.read();
+        let it = m
+            .range((Bound::Included(start.clone()), Bound::Excluded(end.clone())))
+            .filter_map(|(k, r)| r.to_versioned().map(|v| (k.clone(), v)));
+        Some(if limit == 0 {
+            it.collect()
+        } else {
+            it.take(limit).collect()
+        })
+    }
+
+    fn live_len(&self) -> usize {
+        self.map.read().values().filter(|r| r.is_live()).count()
+    }
+
+    fn dump(&self) -> Vec<(Key, Record)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect()
+    }
+}
+
+/// The `tMT` engine.
+pub struct TMt {
+    registry: TableRegistry<OrderedMap>,
+}
+
+impl TMt {
+    /// Creates an empty `tMT`.
+    pub fn new() -> Self {
+        TMt {
+            registry: TableRegistry::new(),
+        }
+    }
+}
+
+impl Default for TMt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Datalet for TMt {
+    fn name(&self) -> &'static str {
+        "tMT"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            range_query: true,
+            persistent: false,
+        }
+    }
+
+    fn put(&self, table: &str, key: Key, value: Value, version: Version) -> KvResult<()> {
+        self.registry.put(table, key, value, version)
+    }
+
+    fn get(&self, table: &str, key: &Key) -> KvResult<VersionedValue> {
+        self.registry.get(table, key)
+    }
+
+    fn del(&self, table: &str, key: &Key, version: Version) -> KvResult<()> {
+        self.registry.del(table, key, version)
+    }
+
+    fn scan(
+        &self,
+        table: &str,
+        start: &Key,
+        end: &Key,
+        limit: usize,
+    ) -> KvResult<Vec<(Key, VersionedValue)>> {
+        self.registry.scan(table, start, end, limit)
+    }
+
+    fn create_table(&self, name: &str) -> KvResult<()> {
+        self.registry.create_table(name)
+    }
+
+    fn delete_table(&self, name: &str) -> KvResult<()> {
+        self.registry.delete_table(name)
+    }
+
+    fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    fn snapshot_chunk(&self, from: u64, max: usize) -> (Vec<SnapshotEntry>, bool) {
+        self.registry.snapshot_chunk(from, max)
+    }
+
+    fn stats(&self) -> DataletStats {
+        self.registry.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::DEFAULT_TABLE;
+    use bespokv_types::KvError;
+
+    fn seeded() -> TMt {
+        let d = TMt::new();
+        for (i, k) in ["apple", "banana", "cherry", "date", "elderberry"]
+            .iter()
+            .enumerate()
+        {
+            d.put(DEFAULT_TABLE, Key::from(*k), Value::from(format!("v{i}")), 1)
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn scan_returns_ordered_window() {
+        let d = seeded();
+        let hits = d
+            .scan(DEFAULT_TABLE, &Key::from("b"), &Key::from("d"), 0)
+            .unwrap();
+        let keys: Vec<_> = hits.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![Key::from("banana"), Key::from("cherry")]);
+    }
+
+    #[test]
+    fn scan_respects_limit() {
+        let d = seeded();
+        let hits = d
+            .scan(DEFAULT_TABLE, &Key::from("a"), &Key::from("z"), 2)
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, Key::from("apple"));
+    }
+
+    #[test]
+    fn scan_excludes_tombstones() {
+        let d = seeded();
+        d.del(DEFAULT_TABLE, &Key::from("cherry"), 9).unwrap();
+        let hits = d
+            .scan(DEFAULT_TABLE, &Key::from("a"), &Key::from("z"), 0)
+            .unwrap();
+        assert!(hits.iter().all(|(k, _)| k != &Key::from("cherry")));
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn scan_empty_window() {
+        let d = seeded();
+        assert!(d
+            .scan(DEFAULT_TABLE, &Key::from("x"), &Key::from("y"), 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn get_and_not_found() {
+        let d = seeded();
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("banana")).unwrap().value,
+            Value::from("v1")
+        );
+        assert_eq!(d.get(DEFAULT_TABLE, &Key::from("fig")), Err(KvError::NotFound));
+    }
+
+    #[test]
+    fn capabilities_advertise_range() {
+        assert!(TMt::new().capabilities().range_query);
+    }
+}

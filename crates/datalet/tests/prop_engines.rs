@@ -1,0 +1,213 @@
+//! Model-based property tests: every engine agrees with a reference
+//! last-writer-wins model under arbitrary operation sequences, and
+//! snapshot-streaming a store into a fresh engine reproduces it exactly.
+
+use bespokv_datalet::{apply_snapshot_entry, EngineKind, DEFAULT_TABLE};
+use bespokv_types::{Key, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A scripted engine operation over a small key universe.
+#[derive(Clone, Debug)]
+enum ModelOp {
+    Put { key: u8, val: u16, version: u64 },
+    Del { key: u8, version: u64 },
+    Get { key: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<ModelOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u16>(), 1u64..1000).prop_map(|(key, val, version)| {
+                ModelOp::Put { key, val, version }
+            }),
+            (any::<u8>(), 1u64..1000).prop_map(|(key, version)| ModelOp::Del { key, version }),
+            any::<u8>().prop_map(|key| ModelOp::Get { key }),
+        ],
+        1..120,
+    )
+}
+
+fn key_of(k: u8) -> Key {
+    Key::from(format!("key{k:03}"))
+}
+
+fn val_of(v: u16) -> Value {
+    Value::from(format!("val{v:05}"))
+}
+
+/// Reference model: per-key (version, live value), last-writer-wins with
+/// ties going to the later arrival.
+#[derive(Default)]
+struct Model {
+    state: HashMap<u8, (u64, Option<u16>)>,
+}
+
+impl Model {
+    fn put(&mut self, key: u8, val: u16, version: u64) {
+        match self.state.get(&key) {
+            Some((cur, _)) if *cur > version => {}
+            _ => {
+                self.state.insert(key, (version, Some(val)));
+            }
+        }
+    }
+
+    fn del(&mut self, key: u8, version: u64) {
+        match self.state.get(&key) {
+            Some((cur, _)) if *cur > version => {}
+            _ => {
+                self.state.insert(key, (version, None));
+            }
+        }
+    }
+
+    fn get(&self, key: u8) -> Option<u16> {
+        self.state.get(&key).and_then(|(_, v)| *v)
+    }
+
+    fn live_count(&self) -> usize {
+        self.state.values().filter(|(_, v)| v.is_some()).count()
+    }
+}
+
+fn check_engine_against_model(kind: EngineKind, ops: &[ModelOp]) {
+    let engine = kind.build();
+    let mut model = Model::default();
+    for op in ops {
+        match *op {
+            ModelOp::Put { key, val, version } => {
+                engine
+                    .put(DEFAULT_TABLE, key_of(key), val_of(val), version)
+                    .unwrap();
+                model.put(key, val, version);
+            }
+            ModelOp::Del { key, version } => {
+                engine.del(DEFAULT_TABLE, &key_of(key), version).unwrap();
+                model.del(key, version);
+            }
+            ModelOp::Get { key } => {
+                let got = engine.get(DEFAULT_TABLE, &key_of(key)).ok();
+                let expect = model.get(key);
+                match (got, expect) {
+                    (None, None) => {}
+                    (Some(v), Some(e)) => {
+                        assert_eq!(v.value, val_of(e), "{}: wrong value for {key}", kind.tag())
+                    }
+                    (got, expect) => panic!(
+                        "{}: divergence on key {key}: engine {got:?} vs model {expect:?}",
+                        kind.tag()
+                    ),
+                }
+            }
+        }
+    }
+    // Final state must agree exactly.
+    assert_eq!(engine.len(), model.live_count(), "{}: live count", kind.tag());
+    for k in 0..=255u8 {
+        let got = engine.get(DEFAULT_TABLE, &key_of(k)).ok().map(|v| v.value);
+        let expect = model.get(k).map(val_of);
+        assert_eq!(got, expect, "{}: final state of key {k}", kind.tag());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tht_matches_model(ops in arb_ops()) {
+        check_engine_against_model(EngineKind::THt, &ops);
+    }
+
+    #[test]
+    fn tmt_matches_model(ops in arb_ops()) {
+        check_engine_against_model(EngineKind::TMt, &ops);
+    }
+
+    #[test]
+    fn tlog_matches_model(ops in arb_ops()) {
+        check_engine_against_model(EngineKind::TLog, &ops);
+    }
+
+    #[test]
+    fn tlsm_matches_model(ops in arb_ops()) {
+        check_engine_against_model(EngineKind::TLsm, &ops);
+    }
+
+    /// Snapshot-streaming any engine state into any other engine kind
+    /// reproduces every live key and keeps tombstone versions effective.
+    #[test]
+    fn snapshot_transfers_between_engine_kinds(
+        ops in arb_ops(),
+        src_kind in prop_oneof![
+            Just(EngineKind::THt), Just(EngineKind::TMt),
+            Just(EngineKind::TLog), Just(EngineKind::TLsm)],
+        dst_kind in prop_oneof![
+            Just(EngineKind::THt), Just(EngineKind::TMt),
+            Just(EngineKind::TLog), Just(EngineKind::TLsm)],
+        chunk in 1usize..64,
+    ) {
+        let src = src_kind.build();
+        for op in &ops {
+            match *op {
+                ModelOp::Put { key, val, version } => {
+                    src.put(DEFAULT_TABLE, key_of(key), val_of(val), version).unwrap();
+                }
+                ModelOp::Del { key, version } => {
+                    src.del(DEFAULT_TABLE, &key_of(key), version).unwrap();
+                }
+                ModelOp::Get { .. } => {}
+            }
+        }
+        let dst = dst_kind.build();
+        let mut from = 0u64;
+        loop {
+            let (entries, done) = src.snapshot_chunk(from, chunk);
+            from += entries.len() as u64;
+            for e in entries {
+                apply_snapshot_entry(dst.as_ref(), e).unwrap();
+            }
+            if done {
+                break;
+            }
+        }
+        prop_assert_eq!(dst.len(), src.len());
+        for k in 0..=255u8 {
+            let a = src.get(DEFAULT_TABLE, &key_of(k)).ok().map(|v| (v.value, v.version));
+            let b = dst.get(DEFAULT_TABLE, &key_of(k)).ok().map(|v| (v.value, v.version));
+            prop_assert_eq!(a, b, "key {}", k);
+        }
+    }
+
+    /// Ordered engines return scans sorted, deduplicated and consistent
+    /// with point reads.
+    #[test]
+    fn scans_agree_with_point_reads(
+        ops in arb_ops(),
+        kind in prop_oneof![Just(EngineKind::TMt), Just(EngineKind::TLsm)],
+    ) {
+        let engine = kind.build();
+        for op in &ops {
+            match *op {
+                ModelOp::Put { key, val, version } => {
+                    engine.put(DEFAULT_TABLE, key_of(key), val_of(val), version).unwrap();
+                }
+                ModelOp::Del { key, version } => {
+                    engine.del(DEFAULT_TABLE, &key_of(key), version).unwrap();
+                }
+                ModelOp::Get { .. } => {}
+            }
+        }
+        let hits = engine
+            .scan(DEFAULT_TABLE, &Key::from("key"), &Key::from("kez"), 0)
+            .unwrap();
+        // Sorted, unique keys.
+        prop_assert!(hits.windows(2).all(|w| w[0].0 < w[1].0));
+        // Exactly the live keys, with the same values point reads give.
+        prop_assert_eq!(hits.len(), engine.len());
+        for (k, v) in &hits {
+            let point = engine.get(DEFAULT_TABLE, k).unwrap();
+            prop_assert_eq!(&point, v);
+        }
+    }
+}

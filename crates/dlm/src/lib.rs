@@ -1,0 +1,539 @@
+//! Distributed lock manager (the paper's Redlock-based DLM, Table III).
+//!
+//! Serializes AA+SC writes: controlets acquire a per-key lock before
+//! updating all replicas. Locks are leased — the paper guarantees deadlock
+//! freedom by auto-releasing locks "after a configurable period of time" —
+//! and every grant carries a monotonically increasing *fencing token* so a
+//! holder that lost its lease can be detected and rejected.
+//!
+//! [`LockTable`] is the pure core (unit-testable, driver-agnostic);
+//! [`DlmActor`] wraps it as a runtime actor speaking
+//! [`bespokv_proto::DlmMsg`].
+
+use bespokv_proto::{DlmMsg, LockMode, NetMsg};
+use bespokv_runtime::{Actor, Addr, Context, Event};
+use bespokv_types::{Duration, Instant, Key, NodeId, RequestId};
+use std::collections::{HashMap, VecDeque};
+
+/// Identity of one lock request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Requester {
+    /// The node asking.
+    pub owner: NodeId,
+    /// The request it is serving.
+    pub rid: RequestId,
+    /// Runtime address to answer at.
+    pub reply_to: Addr,
+}
+
+#[derive(Debug)]
+struct Holder {
+    owner: NodeId,
+    fencing: u64,
+    expires: Instant,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    requester: Requester,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct KeyLock {
+    /// Current holders: one exclusive or any number of shared.
+    holders: Vec<Holder>,
+    exclusive: bool,
+    queue: VecDeque<Waiter>,
+}
+
+/// The outcome of an acquire attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// Granted with this fencing token.
+    Granted(u64),
+    /// Queued behind current holders.
+    Queued,
+    /// Rejected (queue full).
+    Denied,
+}
+
+/// Pure lock table with leases, shared/exclusive modes and FIFO queueing.
+pub struct LockTable {
+    locks: HashMap<Key, KeyLock>,
+    lease: Duration,
+    max_queue: usize,
+    next_fencing: u64,
+    /// Grants produced by operations that release locks (unlock/expiry);
+    /// drained by the caller to notify the new holders.
+    pending_grants: Vec<(Requester, Key, u64)>,
+}
+
+impl LockTable {
+    /// Creates a table; `lease` bounds how long a grant lives, `max_queue`
+    /// bounds waiters per key.
+    pub fn new(lease: Duration, max_queue: usize) -> Self {
+        LockTable {
+            locks: HashMap::new(),
+            lease,
+            max_queue,
+            next_fencing: 1,
+            pending_grants: Vec::new(),
+        }
+    }
+
+    /// The configured lease duration.
+    pub fn lease(&self) -> Duration {
+        self.lease
+    }
+
+    /// Attempts to acquire `key` in `mode` at time `now`.
+    pub fn acquire(
+        &mut self,
+        key: &Key,
+        requester: Requester,
+        mode: LockMode,
+        now: Instant,
+    ) -> Acquire {
+        let lock = self.locks.entry(key.clone()).or_default();
+        // Lazily expire dead holders before deciding.
+        lock.holders.retain(|h| h.expires > now);
+        if lock.holders.is_empty() {
+            lock.exclusive = false;
+        }
+        let compatible = lock.holders.is_empty()
+            || (!lock.exclusive && mode == LockMode::Shared && lock.queue.is_empty());
+        if compatible {
+            let fencing = self.next_fencing;
+            self.next_fencing += 1;
+            lock.exclusive = mode == LockMode::Exclusive;
+            lock.holders.push(Holder {
+                owner: requester.owner,
+                fencing,
+                expires: now + self.lease,
+            });
+            Acquire::Granted(fencing)
+        } else if lock.queue.len() >= self.max_queue {
+            Acquire::Denied
+        } else {
+            lock.queue.push_back(Waiter { requester, mode });
+            Acquire::Queued
+        }
+    }
+
+    /// Releases a grant. A stale fencing token (expired and reassigned) is
+    /// ignored, which is exactly the fencing property.
+    pub fn release(&mut self, key: &Key, owner: NodeId, fencing: u64, now: Instant) {
+        let Some(lock) = self.locks.get_mut(key) else {
+            return;
+        };
+        lock.holders
+            .retain(|h| !(h.owner == owner && h.fencing == fencing));
+        if lock.holders.is_empty() {
+            lock.exclusive = false;
+        }
+        Self::promote_waiters(
+            key,
+            lock,
+            &mut self.next_fencing,
+            self.lease,
+            now,
+            &mut self.pending_grants,
+        );
+        if lock.holders.is_empty() && lock.queue.is_empty() {
+            self.locks.remove(key);
+        }
+    }
+
+    /// Expires overdue leases across all keys, promoting waiters.
+    /// Returns how many leases were expired.
+    pub fn expire(&mut self, now: Instant) -> usize {
+        let mut expired = 0;
+        let keys: Vec<Key> = self.locks.keys().cloned().collect();
+        for key in keys {
+            let lock = self.locks.get_mut(&key).expect("key just listed");
+            let before = lock.holders.len();
+            lock.holders.retain(|h| h.expires > now);
+            expired += before - lock.holders.len();
+            if lock.holders.is_empty() {
+                lock.exclusive = false;
+            }
+            Self::promote_waiters(
+                &key,
+                lock,
+                &mut self.next_fencing,
+                self.lease,
+                now,
+                &mut self.pending_grants,
+            );
+            if lock.holders.is_empty() && lock.queue.is_empty() {
+                self.locks.remove(&key);
+            }
+        }
+        expired
+    }
+
+    fn promote_waiters(
+        key: &Key,
+        lock: &mut KeyLock,
+        next_fencing: &mut u64,
+        lease: Duration,
+        now: Instant,
+        grants: &mut Vec<(Requester, Key, u64)>,
+    ) {
+        while let Some(front) = lock.queue.front() {
+            let compatible = lock.holders.is_empty()
+                || (!lock.exclusive && front.mode == LockMode::Shared);
+            if !compatible {
+                break;
+            }
+            let w = lock.queue.pop_front().expect("front just peeked");
+            let fencing = *next_fencing;
+            *next_fencing += 1;
+            lock.exclusive = w.mode == LockMode::Exclusive;
+            lock.holders.push(Holder {
+                owner: w.requester.owner,
+                fencing,
+                expires: now + lease,
+            });
+            grants.push((w.requester, key.clone(), fencing));
+            if lock.exclusive {
+                break;
+            }
+        }
+    }
+
+    /// Drains grants produced by releases/expiries since the last call.
+    pub fn take_pending_grants(&mut self) -> Vec<(Requester, Key, u64)> {
+        std::mem::take(&mut self.pending_grants)
+    }
+
+    /// Number of keys with live lock state.
+    pub fn active_keys(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+/// Timer token used for the periodic expiry sweep.
+const EXPIRY_TIMER: u64 = 1;
+
+/// The DLM as a runtime actor.
+pub struct DlmActor {
+    table: LockTable,
+    sweep_every: Duration,
+}
+
+impl DlmActor {
+    /// Creates the actor; `lease` per grant, sweeping expiries every
+    /// `sweep_every`.
+    pub fn new(lease: Duration, sweep_every: Duration) -> Self {
+        DlmActor {
+            table: LockTable::new(lease, 1024),
+            sweep_every,
+        }
+    }
+
+    fn flush_grants(&mut self, ctx: &mut Context) {
+        for (req, key, fencing) in self.table.take_pending_grants() {
+            ctx.send(
+                req.reply_to,
+                NetMsg::Dlm(DlmMsg::Granted {
+                    key,
+                    rid: req.rid,
+                    lease: self.table.lease(),
+                    fencing,
+                }),
+            );
+        }
+    }
+}
+
+impl Actor for DlmActor {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        match ev {
+            Event::Start => ctx.set_timer(self.sweep_every, EXPIRY_TIMER),
+            Event::Timer {
+                token: EXPIRY_TIMER,
+            } => {
+                self.table.expire(ctx.now());
+                self.flush_grants(ctx);
+                ctx.set_timer(self.sweep_every, EXPIRY_TIMER);
+            }
+            Event::Timer { .. } => {}
+            Event::Msg { from, msg } => {
+                // The lock table's bookkeeping is cheap but real; charge a
+                // small fixed cost so the simulator sees DLM capacity.
+                ctx.charge(Duration::from_micros(2));
+                match msg {
+                    NetMsg::Dlm(DlmMsg::Lock {
+                        key,
+                        owner,
+                        rid,
+                        mode,
+                    }) => {
+                        let requester = Requester {
+                            owner,
+                            rid,
+                            reply_to: from,
+                        };
+                        match self.table.acquire(&key, requester, mode, ctx.now()) {
+                            Acquire::Granted(fencing) => ctx.send(
+                                from,
+                                NetMsg::Dlm(DlmMsg::Granted {
+                                    key,
+                                    rid,
+                                    lease: self.table.lease(),
+                                    fencing,
+                                }),
+                            ),
+                            Acquire::Queued => {} // answered on promotion
+                            Acquire::Denied => {
+                                ctx.send(from, NetMsg::Dlm(DlmMsg::Denied { key, rid }))
+                            }
+                        }
+                    }
+                    NetMsg::Dlm(DlmMsg::Unlock {
+                        key,
+                        owner,
+                        fencing,
+                    }) => {
+                        self.table.release(&key, owner, fencing, ctx.now());
+                        self.flush_grants(ctx);
+                    }
+                    _ => {} // not for us
+                }
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::ClientId;
+
+    fn req(owner: u32, seq: u32) -> Requester {
+        Requester {
+            owner: NodeId(owner),
+            rid: RequestId::compose(ClientId(owner), seq),
+            reply_to: Addr(owner),
+        }
+    }
+
+    fn table() -> LockTable {
+        LockTable::new(Duration::from_millis(100), 4)
+    }
+
+    const T0: Instant = Instant::ZERO;
+
+    #[test]
+    fn exclusive_excludes() {
+        let mut t = table();
+        let k = Key::from("k");
+        assert!(matches!(
+            t.acquire(&k, req(1, 0), LockMode::Exclusive, T0),
+            Acquire::Granted(_)
+        ));
+        assert_eq!(
+            t.acquire(&k, req(2, 0), LockMode::Exclusive, T0),
+            Acquire::Queued
+        );
+        assert_eq!(
+            t.acquire(&k, req(3, 0), LockMode::Shared, T0),
+            Acquire::Queued
+        );
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut t = table();
+        let k = Key::from("k");
+        assert!(matches!(
+            t.acquire(&k, req(1, 0), LockMode::Shared, T0),
+            Acquire::Granted(_)
+        ));
+        assert!(matches!(
+            t.acquire(&k, req(2, 0), LockMode::Shared, T0),
+            Acquire::Granted(_)
+        ));
+        // A writer queues behind readers...
+        assert_eq!(
+            t.acquire(&k, req(3, 0), LockMode::Exclusive, T0),
+            Acquire::Queued
+        );
+        // ...and once a writer waits, new readers queue too (no writer
+        // starvation).
+        assert_eq!(
+            t.acquire(&k, req(4, 0), LockMode::Shared, T0),
+            Acquire::Queued
+        );
+    }
+
+    #[test]
+    fn release_promotes_in_fifo_order() {
+        let mut t = table();
+        let k = Key::from("k");
+        let Acquire::Granted(f1) = t.acquire(&k, req(1, 0), LockMode::Exclusive, T0) else {
+            panic!("grant");
+        };
+        t.acquire(&k, req(2, 0), LockMode::Exclusive, T0);
+        t.acquire(&k, req(3, 0), LockMode::Exclusive, T0);
+        t.release(&k, NodeId(1), f1, T0);
+        let grants = t.take_pending_grants();
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].0.owner, NodeId(2));
+    }
+
+    #[test]
+    fn release_promotes_reader_batch() {
+        let mut t = table();
+        let k = Key::from("k");
+        let Acquire::Granted(f1) = t.acquire(&k, req(1, 0), LockMode::Exclusive, T0) else {
+            panic!("grant");
+        };
+        t.acquire(&k, req(2, 0), LockMode::Shared, T0);
+        t.acquire(&k, req(3, 0), LockMode::Shared, T0);
+        t.release(&k, NodeId(1), f1, T0);
+        let grants = t.take_pending_grants();
+        assert_eq!(grants.len(), 2, "both readers promoted together");
+    }
+
+    #[test]
+    fn lease_expiry_frees_the_lock() {
+        let mut t = table();
+        let k = Key::from("k");
+        t.acquire(&k, req(1, 0), LockMode::Exclusive, T0);
+        t.acquire(&k, req(2, 0), LockMode::Exclusive, T0);
+        let late = T0 + Duration::from_millis(200);
+        assert_eq!(t.expire(late), 1);
+        let grants = t.take_pending_grants();
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].0.owner, NodeId(2));
+    }
+
+    #[test]
+    fn stale_fencing_release_is_ignored() {
+        let mut t = table();
+        let k = Key::from("k");
+        let Acquire::Granted(f1) = t.acquire(&k, req(1, 0), LockMode::Exclusive, T0) else {
+            panic!("grant");
+        };
+        // Lease expires; node 2 takes the lock.
+        let late = T0 + Duration::from_millis(200);
+        t.expire(late);
+        let Acquire::Granted(f2) = t.acquire(&k, req(2, 0), LockMode::Exclusive, late) else {
+            panic!("grant 2");
+        };
+        assert!(f2 > f1);
+        // Node 1 wakes up and releases with its stale token: no effect.
+        t.release(&k, NodeId(1), f1, late);
+        assert_eq!(
+            t.acquire(&k, req(3, 0), LockMode::Exclusive, late),
+            Acquire::Queued,
+            "node 2 still holds the lock"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_denies() {
+        let mut t = table();
+        let k = Key::from("k");
+        t.acquire(&k, req(1, 0), LockMode::Exclusive, T0);
+        for i in 2..6 {
+            assert_eq!(
+                t.acquire(&k, req(i, 0), LockMode::Exclusive, T0),
+                Acquire::Queued
+            );
+        }
+        assert_eq!(
+            t.acquire(&k, req(9, 0), LockMode::Exclusive, T0),
+            Acquire::Denied
+        );
+    }
+
+    #[test]
+    fn fencing_tokens_strictly_increase() {
+        let mut t = table();
+        let mut last = 0;
+        for i in 0..10 {
+            let k = Key::from(format!("k{i}"));
+            let Acquire::Granted(f) = t.acquire(&k, req(1, i), LockMode::Exclusive, T0) else {
+                panic!("grant");
+            };
+            assert!(f > last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn state_garbage_collected() {
+        let mut t = table();
+        let k = Key::from("k");
+        let Acquire::Granted(f) = t.acquire(&k, req(1, 0), LockMode::Exclusive, T0) else {
+            panic!("grant");
+        };
+        assert_eq!(t.active_keys(), 1);
+        t.release(&k, NodeId(1), f, T0);
+        assert_eq!(t.active_keys(), 0);
+    }
+
+    #[test]
+    fn actor_grants_and_releases_via_messages() {
+        use bespokv_runtime::{NetworkModel, Simulation};
+        use std::any::Any;
+
+        struct Locker {
+            dlm: Addr,
+            granted: Vec<u64>,
+        }
+        impl Actor for Locker {
+            fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+                match ev {
+                    Event::Start => ctx.send(
+                        self.dlm,
+                        NetMsg::Dlm(DlmMsg::Lock {
+                            key: Key::from("k"),
+                            owner: NodeId(5),
+                            rid: RequestId::compose(ClientId(5), 0),
+                            mode: LockMode::Exclusive,
+                        }),
+                    ),
+                    Event::Msg {
+                        msg: NetMsg::Dlm(DlmMsg::Granted { key, fencing, .. }),
+                        ..
+                    } => {
+                        self.granted.push(fencing);
+                        ctx.send(
+                            self.dlm,
+                            NetMsg::Dlm(DlmMsg::Unlock {
+                                key,
+                                owner: NodeId(5),
+                                fencing,
+                            }),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut sim = Simulation::new(NetworkModel::default());
+        let dlm = sim.add_actor(Box::new(DlmActor::new(
+            Duration::from_millis(500),
+            Duration::from_millis(50),
+        )));
+        let locker = sim.add_actor(Box::new(Locker {
+            dlm,
+            granted: vec![],
+        }));
+        sim.run_for(Duration::from_millis(20));
+        assert_eq!(sim.actor_mut::<Locker>(locker).granted.len(), 1);
+    }
+}

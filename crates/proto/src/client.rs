@@ -1,0 +1,421 @@
+//! Client-facing request/response types (the paper's Client API, Table II).
+//!
+//! A [`Request`] is what the client library sends to a controlet; a
+//! [`Response`] is what comes back. Tables give applications namespaces
+//! (`CreateTable`/`DeleteTable`); `Scan` is the range-query extension
+//! (section IV-B); `level` is the per-request consistency override
+//! (section IV-C).
+
+use crate::{wire, wire_enum, wire_struct};
+use bespokv_types::{
+    ConsistencyLevel, Key, KvError, NodeId, RequestId, Value, Version, VersionedValue,
+};
+use bytes::{Bytes, BytesMut};
+
+/// A single KV operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Write a key/value pair.
+    Put {
+        /// Key to write.
+        key: Key,
+        /// Value to store.
+        value: Value,
+    },
+    /// Read the value of a key.
+    Get {
+        /// Key to read.
+        key: Key,
+    },
+    /// Delete a key/value pair.
+    Del {
+        /// Key to delete.
+        key: Key,
+    },
+    /// Range query over `[start, end)`, returning at most `limit` entries
+    /// (0 = unlimited). Requires a range-capable datalet (tMT/tLSM).
+    Scan {
+        /// Inclusive lower bound.
+        start: Key,
+        /// Exclusive upper bound.
+        end: Key,
+        /// Maximum entries to return; 0 means no limit.
+        limit: u32,
+    },
+    /// Create a table (namespace).
+    CreateTable {
+        /// Table name.
+        name: String,
+    },
+    /// Delete a table and all its contents.
+    DeleteTable {
+        /// Table name.
+        name: String,
+    },
+}
+
+impl Op {
+    /// The key this operation targets, if it is a point operation.
+    pub fn key(&self) -> Option<&Key> {
+        match self {
+            Op::Put { key, .. } | Op::Get { key } | Op::Del { key } => Some(key),
+            _ => None,
+        }
+    }
+
+    /// Whether this operation mutates state (drives routing: writes go to
+    /// the ordering authority, reads may be relaxed).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Op::Put { .. } | Op::Del { .. } | Op::CreateTable { .. } | Op::DeleteTable { .. }
+        )
+    }
+
+    /// Short operation name, for stats and tracing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Put { .. } => "put",
+            Op::Get { .. } => "get",
+            Op::Del { .. } => "del",
+            Op::Scan { .. } => "scan",
+            Op::CreateTable { .. } => "create_table",
+            Op::DeleteTable { .. } => "delete_table",
+        }
+    }
+}
+
+/// A client request as routed to a controlet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// Unique id (client id + sequence); echoed in the [`Response`].
+    pub id: RequestId,
+    /// Target table. The default table is `""`.
+    pub table: String,
+    /// The operation.
+    pub op: Op,
+    /// Per-request consistency override (section IV-C).
+    pub level: ConsistencyLevel,
+}
+
+impl Request {
+    /// Builds a request against the default table with default consistency.
+    pub fn new(id: RequestId, op: Op) -> Self {
+        Request {
+            id,
+            table: String::new(),
+            op,
+            level: ConsistencyLevel::Default,
+        }
+    }
+
+    /// Sets the table.
+    pub fn with_table(mut self, table: impl Into<String>) -> Self {
+        self.table = table.into();
+        self
+    }
+
+    /// Sets the per-request consistency level.
+    pub fn with_level(mut self, level: ConsistencyLevel) -> Self {
+        self.level = level;
+        self
+    }
+}
+
+/// Successful response payloads.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RespBody {
+    /// Mutation acknowledged (Put/Del/CreateTable/DeleteTable).
+    Done,
+    /// Value read by a Get.
+    Value(VersionedValue),
+    /// Entries returned by a Scan, in key order.
+    Entries(Vec<(Key, VersionedValue)>),
+}
+
+/// A response to a [`Request`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: RequestId,
+    /// Outcome.
+    pub result: Result<RespBody, KvError>,
+}
+
+impl Response {
+    /// Builds a success response.
+    pub fn ok(id: RequestId, body: RespBody) -> Self {
+        Response {
+            id,
+            result: Ok(body),
+        }
+    }
+
+    /// Builds an error response.
+    pub fn err(id: RequestId, e: KvError) -> Self {
+        Response { id, result: Err(e) }
+    }
+}
+
+// --- Wire encodings ---------------------------------------------------------
+
+wire_enum!(Op {
+    0 => Put { key, value },
+    1 => Get { key },
+    2 => Del { key },
+    3 => Scan { start, end, limit },
+    4 => CreateTable { name },
+    5 => DeleteTable { name },
+});
+
+// ConsistencyLevel is a foreign plain enum; encode as a tag byte.
+impl wire::Encode for ConsistencyLevel {
+    fn encode(&self, buf: &mut BytesMut) {
+        let tag: u8 = match self {
+            ConsistencyLevel::Default => 0,
+            ConsistencyLevel::Strong => 1,
+            ConsistencyLevel::Eventual => 2,
+        };
+        tag.encode(buf);
+    }
+}
+
+impl wire::Decode for ConsistencyLevel {
+    fn decode(buf: &mut Bytes) -> wire::DecodeResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(ConsistencyLevel::Default),
+            1 => Ok(ConsistencyLevel::Strong),
+            2 => Ok(ConsistencyLevel::Eventual),
+            n => Err(wire::DecodeError(format!("invalid consistency level {n}"))),
+        }
+    }
+}
+
+wire_struct!(Request { id, table, op, level });
+
+impl wire::Encode for VersionedValue {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.value.encode(buf);
+        self.version.encode(buf);
+    }
+}
+
+impl wire::Decode for VersionedValue {
+    fn decode(buf: &mut Bytes) -> wire::DecodeResult<Self> {
+        Ok(VersionedValue {
+            value: Value::decode(buf)?,
+            version: Version::decode(buf)?,
+        })
+    }
+}
+
+wire_enum!(RespBody {
+    0 => Done,
+    1 => Value(v),
+    2 => Entries(entries),
+});
+
+impl wire::Encode for KvError {
+    fn encode(&self, buf: &mut BytesMut) {
+        use wire::Encode as E;
+        match self {
+            KvError::NotFound => E::encode(&0u8, buf),
+            KvError::NoSuchTable(t) => {
+                E::encode(&1u8, buf);
+                E::encode(t, buf);
+            }
+            KvError::WrongNode { node, hint } => {
+                E::encode(&2u8, buf);
+                E::encode(node, buf);
+                E::encode(hint, buf);
+            }
+            KvError::Unavailable(s) => {
+                E::encode(&3u8, buf);
+                E::encode(s, buf);
+            }
+            KvError::Timeout => E::encode(&4u8, buf),
+            KvError::LockContended => E::encode(&5u8, buf),
+            KvError::LeaseExpired => E::encode(&6u8, buf),
+            KvError::NotServing => E::encode(&7u8, buf),
+            KvError::Forwarded(n) => {
+                E::encode(&8u8, buf);
+                E::encode(n, buf);
+            }
+            KvError::Io(m) => {
+                E::encode(&9u8, buf);
+                E::encode(m, buf);
+            }
+            KvError::Corrupt(m) => {
+                E::encode(&10u8, buf);
+                E::encode(m, buf);
+            }
+            KvError::Protocol(m) => {
+                E::encode(&11u8, buf);
+                E::encode(m, buf);
+            }
+            KvError::Rejected(m) => {
+                E::encode(&12u8, buf);
+                E::encode(m, buf);
+            }
+        }
+    }
+}
+
+impl wire::Decode for KvError {
+    fn decode(buf: &mut Bytes) -> wire::DecodeResult<Self> {
+        use wire::Decode as D;
+        Ok(match u8::decode(buf)? {
+            0 => KvError::NotFound,
+            1 => KvError::NoSuchTable(D::decode(buf)?),
+            2 => KvError::WrongNode {
+                node: D::decode(buf)?,
+                hint: D::decode(buf)?,
+            },
+            3 => KvError::Unavailable(D::decode(buf)?),
+            4 => KvError::Timeout,
+            5 => KvError::LockContended,
+            6 => KvError::LeaseExpired,
+            7 => KvError::NotServing,
+            8 => KvError::Forwarded(NodeId::decode(buf)?),
+            9 => KvError::Io(D::decode(buf)?),
+            10 => KvError::Corrupt(D::decode(buf)?),
+            11 => KvError::Protocol(D::decode(buf)?),
+            12 => KvError::Rejected(D::decode(buf)?),
+            n => return Err(wire::DecodeError(format!("invalid KvError tag {n}"))),
+        })
+    }
+}
+
+impl wire::Encode for Response {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        match &self.result {
+            Ok(body) => {
+                1u8.encode(buf);
+                body.encode(buf);
+            }
+            Err(e) => {
+                0u8.encode(buf);
+                e.encode(buf);
+            }
+        }
+    }
+}
+
+impl wire::Decode for Response {
+    fn decode(buf: &mut Bytes) -> wire::DecodeResult<Self> {
+        let id = RequestId::decode(buf)?;
+        let result = match u8::decode(buf)? {
+            1 => Ok(RespBody::decode(buf)?),
+            0 => Err(KvError::decode(buf)?),
+            n => return Err(wire::DecodeError(format!("invalid result tag {n}"))),
+        };
+        Ok(Response { id, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Decode, Encode};
+    use bespokv_types::ClientId;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let b = v.to_bytes();
+        assert_eq!(T::from_bytes(&b).unwrap(), v);
+    }
+
+    fn rid() -> RequestId {
+        RequestId::compose(ClientId(3), 17)
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip(
+            Request::new(
+                rid(),
+                Op::Put {
+                    key: Key::from("k"),
+                    value: Value::from("v"),
+                },
+            )
+            .with_table("t1")
+            .with_level(ConsistencyLevel::Eventual),
+        );
+        roundtrip(Request::new(rid(), Op::Get { key: Key::from("k") }));
+        roundtrip(Request::new(
+            rid(),
+            Op::Scan {
+                start: Key::from("a"),
+                end: Key::from("z"),
+                limit: 10,
+            },
+        ));
+        roundtrip(Request::new(
+            rid(),
+            Op::CreateTable {
+                name: "users".into(),
+            },
+        ));
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip(Response::ok(rid(), RespBody::Done));
+        roundtrip(Response::ok(
+            rid(),
+            RespBody::Value(VersionedValue::new(Value::from("x"), 9)),
+        ));
+        roundtrip(Response::ok(
+            rid(),
+            RespBody::Entries(vec![
+                (Key::from("a"), VersionedValue::new(Value::from("1"), 1)),
+                (Key::from("b"), VersionedValue::new(Value::from("2"), 2)),
+            ]),
+        ));
+        roundtrip(Response::err(rid(), KvError::NotFound));
+        roundtrip(Response::err(
+            rid(),
+            KvError::WrongNode {
+                node: NodeId(4),
+                hint: Some(NodeId(5)),
+            },
+        ));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::Put {
+            key: Key::from("k"),
+            value: Value::from("v")
+        }
+        .is_write());
+        assert!(!Op::Get { key: Key::from("k") }.is_write());
+        assert!(!Op::Scan {
+            start: Key::from("a"),
+            end: Key::from("b"),
+            limit: 0
+        }
+        .is_write());
+        assert_eq!(Op::Del { key: Key::from("k") }.name(), "del");
+    }
+
+    #[test]
+    fn op_key_access() {
+        let op = Op::Get { key: Key::from("k") };
+        assert_eq!(op.key(), Some(&Key::from("k")));
+        assert_eq!(
+            Op::CreateTable {
+                name: "t".to_string()
+            }
+            .key(),
+            None
+        );
+    }
+
+    #[test]
+    fn corrupt_tags_rejected() {
+        assert!(Op::from_bytes(&[99]).is_err());
+        assert!(RespBody::from_bytes(&[77]).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Length-prefixed framing for stream transports (TCP).
+//!
+//! Each frame is `u32 little-endian length` followed by that many payload
+//! bytes. [`FrameDecoder`] is an incremental decoder: feed it arbitrary
+//! chunks as they arrive from a socket and pop complete frames.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted frame size; larger frames indicate corruption or abuse.
+pub const MAX_FRAME: usize = 64 << 20; // 64 MiB
+
+/// Appends one framed payload to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut BytesMut) {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    out.put_u32_le(payload.len() as u32);
+    out.put_slice(payload);
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds raw bytes from the stream.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    ///
+    /// Returns `Err` if the stream is corrupt (oversized frame) — the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+            as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Bytes currently buffered but not yet framed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Framing-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut out = BytesMut::new();
+        encode_frame(b"hello", &mut out);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&out);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn handles_partial_delivery() {
+        let mut out = BytesMut::new();
+        encode_frame(b"abcdef", &mut out);
+        let mut dec = FrameDecoder::new();
+        // Deliver byte by byte; frame must only appear at the end.
+        for (i, b) in out.iter().enumerate() {
+            dec.feed(&[*b]);
+            let fr = dec.next_frame().unwrap();
+            if i + 1 < out.len() {
+                assert!(fr.is_none());
+            } else {
+                assert_eq!(fr.unwrap(), Bytes::from_static(b"abcdef"));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let mut out = BytesMut::new();
+        encode_frame(b"one", &mut out);
+        encode_frame(b"two", &mut out);
+        encode_frame(b"", &mut out);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&out);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), &b"one"[..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), &b"two"[..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), &b""[..]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+}

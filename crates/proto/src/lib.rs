@@ -1,0 +1,26 @@
+//! Wire protocol for bespoKV.
+//!
+//! Defines every message that crosses a node boundary:
+//!
+//! * [`client`] — the client-facing request/response API (Table II of the
+//!   paper), including range queries and per-request consistency levels.
+//! * [`messages`] — replication, coordinator, shared-log and DLM traffic,
+//!   all wrapped in the single [`messages::NetMsg`] envelope.
+//! * [`wire`] — the hand-rolled binary encoding (the paper's "bespoKV
+//!   protocol" option) with incremental decode and corruption detection.
+//! * [`frame`] — length-prefixed stream framing for TCP transports.
+//! * [`parser`]/[`text`] — pluggable protocol parsers: the binary parser
+//!   for new datalets, and RESP/SSDB text parsers for porting existing
+//!   stores (tRedis / tSSDB).
+
+pub mod client;
+pub mod frame;
+pub mod messages;
+pub mod parser;
+pub mod text;
+pub mod wire;
+
+pub use client::{Op, Request, RespBody, Response};
+pub use messages::{CoordMsg, DlmMsg, LockMode, LogEntry, LogMsg, NetMsg, ReplMsg};
+pub use parser::{BinaryParser, ProtocolParser};
+pub use text::{RespParser, SsdbParser};

@@ -1,0 +1,372 @@
+//! Binary wire encoding.
+//!
+//! A compact, hand-rolled, deterministic binary format (the paper's
+//! "bespoKV-defined protocol" option, which it implements with Protocol
+//! Buffers; we implement an equivalent from scratch). Integers are
+//! little-endian fixed width; byte strings and collections are
+//! length-prefixed with `u32`. Every message type implements [`Encode`] and
+//! [`Decode`], and the `wire_struct!`/`wire_enum!` macros generate the
+//! mechanical field-by-field impls.
+
+use bespokv_types::{
+    ids::{ClientId, NodeId, RequestId, ShardId},
+    Duration, Instant, Key, KvError, Value,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors produced while decoding.
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+/// A malformed or truncated wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for KvError {
+    fn from(e: DecodeError) -> Self {
+        KvError::Protocol(e.0)
+    }
+}
+
+/// Serializes `self` onto a growable buffer.
+pub trait Encode {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+}
+
+/// Deserializes a value by consuming bytes from the front of `buf`.
+pub trait Decode: Sized {
+    /// Consumes and decodes one value.
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self>;
+
+    /// Convenience: decodes from a slice, requiring full consumption.
+    fn from_bytes(bytes: &[u8]) -> DecodeResult<Self> {
+        let mut b = Bytes::copy_from_slice(bytes);
+        let v = Self::decode(&mut b)?;
+        if !b.is_empty() {
+            return Err(DecodeError(format!("{} trailing bytes", b.len())));
+        }
+        Ok(v)
+    }
+}
+
+#[inline]
+fn need(buf: &Bytes, n: usize, what: &str) -> DecodeResult<()> {
+    if buf.remaining() < n {
+        Err(DecodeError(format!(
+            "truncated {what}: need {n}, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! int_wire {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Encode for $ty {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+        }
+        impl Decode for $ty {
+            #[inline]
+            fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+                need(buf, std::mem::size_of::<$ty>(), stringify!($ty))?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+int_wire!(u8, put_u8, get_u8);
+int_wire!(u16, put_u16_le, get_u16_le);
+int_wire!(u32, put_u32_le, get_u32_le);
+int_wire!(u64, put_u64_le, get_u64_le);
+int_wire!(i64, put_i64_le, get_i64_le);
+
+impl Encode for bool {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    #[inline]
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(DecodeError(format!("invalid bool byte {n}"))),
+        }
+    }
+}
+
+impl Encode for f64 {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+}
+
+impl Decode for f64 {
+    #[inline]
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        need(buf, 8, "f64")?;
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self);
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        need(buf, len, "bytes body")?;
+        Ok(buf.split_to(len))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        let b = Bytes::decode(buf)?;
+        String::from_utf8(b.to_vec()).map_err(|e| DecodeError(format!("invalid utf8: {e}")))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            n => Err(DecodeError(format!("invalid option tag {n}"))),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        // Guard against absurd lengths from corrupt frames: each element
+        // takes at least one byte on the wire.
+        need(buf, len, "vec elements")?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::decode(buf)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+macro_rules! newtype_wire {
+    ($ty:ty, $inner:ty) => {
+        impl Encode for $ty {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                self.0.encode(buf);
+            }
+        }
+        impl Decode for $ty {
+            #[inline]
+            fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
+                Ok(Self(<$inner>::decode(buf)?))
+            }
+        }
+    };
+}
+
+newtype_wire!(NodeId, u32);
+newtype_wire!(ShardId, u32);
+newtype_wire!(ClientId, u32);
+newtype_wire!(RequestId, u64);
+newtype_wire!(Key, Bytes);
+newtype_wire!(Value, Bytes);
+newtype_wire!(Instant, u64);
+newtype_wire!(Duration, u64);
+
+/// Generates [`Encode`]/[`Decode`] for a struct with named fields.
+#[macro_export]
+macro_rules! wire_struct {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::wire::Encode for $ty {
+            fn encode(&self, buf: &mut bytes::BytesMut) {
+                $( $crate::wire::Encode::encode(&self.$field, buf); )*
+            }
+        }
+        impl $crate::wire::Decode for $ty {
+            fn decode(buf: &mut bytes::Bytes) -> $crate::wire::DecodeResult<Self> {
+                Ok($ty { $( $field: $crate::wire::Decode::decode(buf)?, )* })
+            }
+        }
+    };
+}
+
+/// Generates [`Encode`]/[`Decode`] for an enum whose variants carry either
+/// nothing, named-struct fields, or a single tuple payload.
+#[macro_export]
+macro_rules! wire_enum {
+    ($ty:ident { $($tag:literal => $variant:ident $({ $($field:ident),* $(,)? })? $(( $tuple:ident ))? ),* $(,)? }) => {
+        impl $crate::wire::Encode for $ty {
+            fn encode(&self, buf: &mut bytes::BytesMut) {
+                match self {
+                    $(
+                        $ty::$variant $({ $($field),* })? $(( $tuple ))? => {
+                            $crate::wire::Encode::encode(&($tag as u8), buf);
+                            $( $( $crate::wire::Encode::encode($field, buf); )* )?
+                            $( $crate::wire::Encode::encode($tuple, buf); )?
+                        }
+                    )*
+                }
+            }
+        }
+        impl $crate::wire::Decode for $ty {
+            fn decode(buf: &mut bytes::Bytes) -> $crate::wire::DecodeResult<Self> {
+                let tag = <u8 as $crate::wire::Decode>::decode(buf)?;
+                match tag {
+                    $(
+                        $tag => Ok($ty::$variant $({ $($field: $crate::wire::Decode::decode(buf)?),* })? $(( {
+                            let $tuple = $crate::wire::Decode::decode(buf)?;
+                            $tuple
+                        } ))?),
+                    )*
+                    other => Err($crate::wire::DecodeError(format!(
+                        concat!("invalid ", stringify!($ty), " tag {}"), other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(42u32);
+        roundtrip(u64::MAX);
+        roundtrip(-7i64);
+        roundtrip(true);
+        roundtrip(3.5f64);
+        roundtrip("hello".to_string());
+        roundtrip(Bytes::from_static(b"\x00\x01\x02"));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Some(5u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip((Key::from("k"), Value::from("v")));
+        roundtrip(vec![(1u32, "a".to_string()), (2, "b".to_string())]);
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        roundtrip(NodeId(7));
+        roundtrip(RequestId::compose(ClientId(1), 2));
+        roundtrip(ShardId(0));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert!(u64::from_bytes(&[1, 2, 3]).is_err());
+        assert!(String::from_bytes(&[4, 0, 0, 0, b'a']).is_err());
+        // Vec claiming a billion elements on a short buffer must not OOM.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1_000_000_000);
+        assert!(Vec::<u64>::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = BytesMut::new();
+        5u32.encode(&mut buf);
+        buf.put_u8(0xff);
+        assert!(u32::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        assert!(String::from_bytes(&buf).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests: every wire encoding round-trips, under any payload and
+//! any packetization.
+
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::frame::{encode_frame, FrameDecoder};
+use bespokv_proto::messages::{LogEntry, NetMsg, ReplMsg};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_proto::wire::{Decode, Encode};
+use bespokv_types::{
+    ClientId, ConsistencyLevel, Key, KvError, NodeId, RequestId, ShardId, Value,
+};
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Key::from)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    proptest::collection::vec(any::<u8>(), 0..256).prop_map(Value::from)
+}
+
+fn arb_rid() -> impl Strategy<Value = RequestId> {
+    (any::<u32>(), any::<u32>()).prop_map(|(c, s)| RequestId::compose(ClientId(c), s))
+}
+
+fn arb_level() -> impl Strategy<Value = ConsistencyLevel> {
+    prop_oneof![
+        Just(ConsistencyLevel::Default),
+        Just(ConsistencyLevel::Strong),
+        Just(ConsistencyLevel::Eventual),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), arb_value()).prop_map(|(key, value)| Op::Put { key, value }),
+        arb_key().prop_map(|key| Op::Get { key }),
+        arb_key().prop_map(|key| Op::Del { key }),
+        (arb_key(), arb_key(), any::<u32>())
+            .prop_map(|(start, end, limit)| Op::Scan { start, end, limit }),
+        "[a-z]{0,16}".prop_map(|name| Op::CreateTable { name }),
+        "[a-z]{0,16}".prop_map(|name| Op::DeleteTable { name }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (arb_rid(), "[a-z]{0,8}", arb_op(), arb_level()).prop_map(|(id, table, op, level)| Request {
+        id,
+        table,
+        op,
+        level,
+    })
+}
+
+fn arb_error() -> impl Strategy<Value = KvError> {
+    prop_oneof![
+        Just(KvError::NotFound),
+        Just(KvError::Timeout),
+        Just(KvError::LockContended),
+        "[ -~]{0,32}".prop_map(KvError::Io),
+        (any::<u32>(), proptest::option::of(any::<u32>())).prop_map(|(n, h)| {
+            KvError::WrongNode {
+                node: NodeId(n),
+                hint: h.map(NodeId),
+            }
+        }),
+        any::<u32>().prop_map(|s| KvError::Unavailable(ShardId(s))),
+    ]
+}
+
+fn arb_body() -> impl Strategy<Value = RespBody> {
+    prop_oneof![
+        Just(RespBody::Done),
+        (arb_value(), any::<u64>()).prop_map(|(v, ver)| {
+            RespBody::Value(bespokv_types::VersionedValue::new(v, ver))
+        }),
+        proptest::collection::vec((arb_key(), arb_value(), any::<u64>()), 0..8).prop_map(|es| {
+            RespBody::Entries(
+                es.into_iter()
+                    .map(|(k, v, ver)| (k, bespokv_types::VersionedValue::new(v, ver)))
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        arb_rid(),
+        prop_oneof![arb_body().prop_map(Ok), arb_error().prop_map(Err)],
+    )
+        .prop_map(|(id, result)| Response { id, result })
+}
+
+fn arb_entry() -> impl Strategy<Value = LogEntry> {
+    (
+        "[a-z]{0,8}",
+        arb_key(),
+        proptest::option::of(arb_value()),
+        any::<u64>(),
+    )
+        .prop_map(|(table, key, value, version)| LogEntry {
+            table,
+            key,
+            value,
+            version,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_wire_roundtrip(req in arb_request()) {
+        let bytes = req.to_bytes();
+        prop_assert_eq!(Request::from_bytes(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_wire_roundtrip(resp in arb_response()) {
+        let bytes = resp.to_bytes();
+        prop_assert_eq!(Response::from_bytes(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn repl_msg_roundtrip(
+        entries in proptest::collection::vec(arb_entry(), 0..8),
+        shard in any::<u32>(),
+        seq in any::<u64>(),
+    ) {
+        let msg = NetMsg::Repl(ReplMsg::PropBatch {
+            shard: ShardId(shard),
+            epoch: 1,
+            first_seq: seq,
+            entries,
+        });
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(NetMsg::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    /// The frame decoder reassembles identically regardless of how the
+    /// byte stream is chopped into delivery chunks.
+    #[test]
+    fn framing_is_chunking_invariant(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128), 1..6),
+        cuts in proptest::collection::vec(1usize..64, 0..32),
+    ) {
+        let mut wire = BytesMut::new();
+        for p in &payloads {
+            encode_frame(p, &mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        let mut cuts = cuts.into_iter();
+        while pos < wire.len() {
+            let step = cuts.next().unwrap_or(13).min(wire.len() - pos);
+            dec.feed(&wire[pos..pos + step]);
+            pos += step;
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+    }
+
+    /// The binary parser round-trips pipelined request batches under any
+    /// chunking.
+    #[test]
+    fn binary_parser_pipelining(
+        reqs in proptest::collection::vec(arb_request(), 1..8),
+        chunk in 1usize..96,
+    ) {
+        let mut client = BinaryParser::new();
+        let mut wire = BytesMut::new();
+        for r in &reqs {
+            client.encode_request(r, &mut wire);
+        }
+        let mut server = BinaryParser::new();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            server.feed(piece);
+            while let Some(r) = server.next_request().unwrap() {
+                got.push(r);
+            }
+        }
+        prop_assert_eq!(got, reqs);
+    }
+
+    /// Truncating any encoded request never panics and never yields a
+    /// bogus success for a strict prefix.
+    #[test]
+    fn truncation_is_safe(req in arb_request(), keep in 0usize..64) {
+        let bytes = req.to_bytes();
+        if keep < bytes.len() {
+            // Decoding a strict prefix must error (self-delimiting format).
+            prop_assert!(Request::from_bytes(&bytes[..keep]).is_err());
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Network and CPU cost models for the discrete-event simulator.
+//!
+//! The simulator needs two things per message: how long the wire takes
+//! (latency + serialization at a given bandwidth) and how much CPU the
+//! endpoints burn moving it through the stack. The second is what the
+//! paper's DPDK experiment (section E) changes: kernel-bypass removes most
+//! of the per-message syscall/interrupt cost, cutting latency ~65% and
+//! tripling throughput. We model exactly that knob.
+
+use crate::actor::Addr;
+use bespokv_types::shardmap::splitmix64;
+use bespokv_types::Duration;
+
+/// Transport profile: what it costs to move one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportProfile {
+    /// One-way propagation latency (switch + wire).
+    pub base_latency: Duration,
+    /// Link bandwidth in bytes/second (serialization delay = size/bw).
+    pub bandwidth_bps: u64,
+    /// Per-message CPU charged to *each* endpoint (syscalls, interrupts,
+    /// memcpy through the kernel). This is the DPDK knob.
+    pub per_msg_cpu: Duration,
+    /// Bounded deterministic jitter added to latency (max value; actual
+    /// jitter is derived from the message sequence number).
+    pub jitter_max: Duration,
+}
+
+impl TransportProfile {
+    /// Kernel TCP sockets on a 10 GbE datacenter network — calibrated to
+    /// produce the paper's local-testbed RTTs (~100-200 us round trips).
+    pub fn socket() -> Self {
+        TransportProfile {
+            base_latency: Duration::from_micros(25),
+            bandwidth_bps: 10_000_000_000 / 8, // 10 Gbps
+            per_msg_cpu: Duration::from_micros(12),
+            jitter_max: Duration::from_micros(6),
+        }
+    }
+
+    /// Kernel-bypass (DPDK) on the same fabric: same wire, a fraction of
+    /// the per-message CPU and no kernel scheduling noise.
+    pub fn dpdk() -> Self {
+        TransportProfile {
+            base_latency: Duration::from_micros(8),
+            bandwidth_bps: 10_000_000_000 / 8,
+            per_msg_cpu: Duration::from_micros(2),
+            jitter_max: Duration::from_micros(1),
+        }
+    }
+
+    /// A 1 Gbps cloud network (the paper's GCE setup).
+    pub fn cloud_1g() -> Self {
+        TransportProfile {
+            base_latency: Duration::from_micros(80),
+            bandwidth_bps: 1_000_000_000 / 8,
+            per_msg_cpu: Duration::from_micros(12),
+            jitter_max: Duration::from_micros(20),
+        }
+    }
+
+    /// Wire time for a message of `size` bytes (latency + serialization +
+    /// deterministic jitter keyed by `seq`).
+    pub fn wire_time(&self, size: usize, seq: u64) -> Duration {
+        let ser = Duration::from_nanos(
+            (size as u128 * 1_000_000_000u128 / self.bandwidth_bps as u128) as u64,
+        );
+        let jitter = if self.jitter_max == Duration::ZERO {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(splitmix64(seq) % self.jitter_max.as_nanos().max(1))
+        };
+        self.base_latency + ser + jitter
+    }
+}
+
+/// Network model: resolves the profile for a (from, to) pair.
+///
+/// The default is a uniform fabric; tests and the DPDK experiment install
+/// overrides. Messages an actor sends to itself skip the network entirely.
+pub struct NetworkModel {
+    default: TransportProfile,
+    overrides: Vec<(Addr, Addr, TransportProfile)>,
+}
+
+impl NetworkModel {
+    /// Uniform fabric with the given profile.
+    pub fn uniform(profile: TransportProfile) -> Self {
+        NetworkModel {
+            default: profile,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Installs a per-pair override (directional).
+    pub fn with_override(mut self, from: Addr, to: Addr, profile: TransportProfile) -> Self {
+        self.overrides.push((from, to, profile));
+        self
+    }
+
+    /// Profile used between `from` and `to`.
+    pub fn profile(&self, from: Addr, to: Addr) -> TransportProfile {
+        self.overrides
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, p)| *p)
+            .unwrap_or(self.default)
+    }
+
+    /// Total one-way delivery delay for a message.
+    pub fn delivery_delay(&self, from: Addr, to: Addr, size: usize, seq: u64) -> Duration {
+        if from == to {
+            return Duration::ZERO;
+        }
+        self.profile(from, to).wire_time(size, seq)
+    }
+
+    /// Per-endpoint CPU charge for a message on this link.
+    pub fn endpoint_cpu(&self, from: Addr, to: Addr) -> Duration {
+        if from == to {
+            return Duration::ZERO;
+        }
+        self.profile(from, to).per_msg_cpu
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::uniform(TransportProfile::socket())
+    }
+}
+
+/// CPU cost model for datalet operations, used by controlets to charge the
+/// simulator for local work. Calibrated from the real engine
+/// microbenchmarks (see `crates/bench/benches/datalet_engines.rs` and
+/// EXPERIMENTS.md); the *ratios* between engines are what matter for the
+/// paper's figures.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cost of a point read.
+    pub get: Duration,
+    /// Cost of a point write.
+    pub put: Duration,
+    /// Fixed cost of a scan plus per-returned-entry cost.
+    pub scan_base: Duration,
+    /// Per-entry scan cost.
+    pub scan_per_entry: Duration,
+    /// Controlet request-handling overhead (parse, route, bookkeeping).
+    pub controlet_overhead: Duration,
+}
+
+impl CostModel {
+    /// In-memory hash table (`tHT`, `tRedis`): sub-microsecond point ops.
+    pub fn tht() -> Self {
+        CostModel {
+            get: Duration::from_nanos(600),
+            put: Duration::from_nanos(800),
+            scan_base: Duration::from_micros(50),
+            scan_per_entry: Duration::from_nanos(200),
+            controlet_overhead: Duration::from_micros(3),
+        }
+    }
+
+    /// Ordered tree (`tMT`): fast reads, slower writes than a hash table,
+    /// cheap ordered scans.
+    pub fn tmt() -> Self {
+        CostModel {
+            get: Duration::from_nanos(900),
+            put: Duration::from_micros(2),
+            scan_base: Duration::from_micros(4),
+            scan_per_entry: Duration::from_nanos(150),
+            controlet_overhead: Duration::from_micros(3),
+        }
+    }
+
+    /// Persistent log (`tLog`): appends buffered to disk, reads hit the
+    /// device; both carry I/O cost.
+    pub fn tlog() -> Self {
+        CostModel {
+            get: Duration::from_micros(9),
+            put: Duration::from_micros(6),
+            scan_base: Duration::from_micros(50),
+            scan_per_entry: Duration::from_micros(1),
+            controlet_overhead: Duration::from_micros(3),
+        }
+    }
+
+    /// LSM tree (`tLSM`, `tSSDB`): cheap writes (memtable append), reads
+    /// pay run-search amplification, scans pay merge cost.
+    pub fn tlsm() -> Self {
+        CostModel {
+            get: Duration::from_micros(3),
+            put: Duration::from_nanos(1400),
+            scan_base: Duration::from_micros(10),
+            scan_per_entry: Duration::from_nanos(400),
+            controlet_overhead: Duration::from_micros(3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_scales_with_size() {
+        let p = TransportProfile::socket();
+        let small = p.wire_time(64, 0);
+        let big = p.wire_time(1 << 20, 0);
+        assert!(big > small);
+        // 1 MiB at 10 Gbps is ~839 us of serialization.
+        assert!(big.as_micros() > 800, "{big:?}");
+    }
+
+    #[test]
+    fn dpdk_beats_socket() {
+        let s = TransportProfile::socket();
+        let d = TransportProfile::dpdk();
+        assert!(d.wire_time(128, 0) < s.wire_time(128, 0));
+        assert!(d.per_msg_cpu < s.per_msg_cpu);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = TransportProfile::socket();
+        for seq in 0..1000 {
+            let t1 = p.wire_time(100, seq);
+            let t2 = p.wire_time(100, seq);
+            assert_eq!(t1, t2);
+            assert!(t1 <= p.base_latency + p.wire_time(100, seq));
+            assert!(
+                t1.as_nanos()
+                    <= (p.base_latency + p.jitter_max).as_nanos()
+                        + 1_000_000 // serialization slack
+            );
+        }
+    }
+
+    #[test]
+    fn self_sends_are_free() {
+        let net = NetworkModel::default();
+        assert_eq!(net.delivery_delay(Addr(1), Addr(1), 4096, 0), Duration::ZERO);
+        assert_eq!(net.endpoint_cpu(Addr(1), Addr(1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn overrides_apply_directionally() {
+        let net = NetworkModel::uniform(TransportProfile::socket()).with_override(
+            Addr(1),
+            Addr(2),
+            TransportProfile::dpdk(),
+        );
+        assert_eq!(net.profile(Addr(1), Addr(2)), TransportProfile::dpdk());
+        assert_eq!(net.profile(Addr(2), Addr(1)), TransportProfile::socket());
+    }
+
+    #[test]
+    fn cost_models_encode_engine_tradeoffs() {
+        // LSM writes cheaper than B-tree writes; B-tree reads cheaper than
+        // LSM reads — the asymmetry behind Fig 6.
+        assert!(CostModel::tlsm().put < CostModel::tmt().put);
+        assert!(CostModel::tmt().get < CostModel::tlsm().get);
+        // The persistent log is the slowest at both.
+        assert!(CostModel::tlog().get > CostModel::tlsm().get);
+        assert!(CostModel::tlog().put > CostModel::tlsm().put);
+    }
+}

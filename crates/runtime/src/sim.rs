@@ -1,0 +1,530 @@
+//! Deterministic discrete-event simulator (virtual time driver).
+//!
+//! Executes a set of [`Actor`]s under a virtual clock with a network model:
+//! message delivery costs wire time (latency + serialization + bounded
+//! deterministic jitter), endpoints pay per-message CPU, and each actor is a
+//! single-core server — events queue behind its `busy_until` horizon. That
+//! busy-server model is what produces saturation curves, so the cluster
+//! sweeps in the paper's figures (throughput vs node count, latency vs
+//! offered load) come out of the same controlet code that runs live.
+//!
+//! Determinism: the event queue is totally ordered by (time, sequence);
+//! jitter is derived from the sequence number; actors may use their own
+//! seeded RNGs. Two runs with the same inputs produce identical histories.
+
+use crate::actor::{Action, Actor, Addr, Context, Event};
+use crate::netmodel::NetworkModel;
+use bespokv_types::{Duration, Instant};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+struct Scheduled {
+    at: Instant,
+    seq: u64,
+    target: Addr,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Slot {
+    actor: Option<Box<dyn Actor>>,
+    busy_until: Instant,
+    alive: bool,
+}
+
+/// Aggregate counters for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched to actors.
+    pub events: u64,
+    /// Messages delivered (subset of events).
+    pub messages: u64,
+    /// Events dropped because the target was dead.
+    pub dropped: u64,
+    /// Messages bounced back to their sender (connection refused).
+    pub bounced: u64,
+}
+
+/// Translates a message sent to a dead actor into an error reply for the
+/// sender (TCP connection-refused semantics). Return `None` to drop
+/// silently instead.
+pub type BounceFn =
+    Box<dyn Fn(Addr, &bespokv_proto::NetMsg) -> Option<bespokv_proto::NetMsg> + Send>;
+
+/// The discrete-event simulator.
+pub struct Simulation {
+    now: Instant,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    slots: Vec<Slot>,
+    net: NetworkModel,
+    /// FIFO clamp per directed (from, to) pair, mirroring TCP ordering.
+    last_arrival: HashMap<(u32, u32), Instant>,
+    stats: SimStats,
+    bounce: Option<BounceFn>,
+}
+
+impl Simulation {
+    /// Creates a simulator over the given network model.
+    pub fn new(net: NetworkModel) -> Self {
+        Simulation {
+            now: Instant::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            net,
+            last_arrival: HashMap::new(),
+            stats: SimStats::default(),
+            bounce: None,
+        }
+    }
+
+    /// Installs connection-refused semantics: a message to a dead actor is
+    /// translated by `f` into an immediate error reply to the sender
+    /// (instead of vanishing, which would leave closed-loop clients
+    /// waiting out their timeouts).
+    pub fn set_bounce(&mut self, f: BounceFn) {
+        self.bounce = Some(f);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Number of actor slots ever created (dead ones included); also the
+    /// next address [`Self::add_actor`] will assign.
+    pub fn num_actors(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds an actor; it receives [`Event::Start`] at the current time.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> Addr {
+        let addr = Addr(self.slots.len() as u32);
+        self.slots.push(Slot {
+            actor: Some(actor),
+            busy_until: self.now,
+            alive: true,
+        });
+        self.schedule(self.now, addr, Event::Start);
+        addr
+    }
+
+    /// Marks an actor dead: pending and future events to it are dropped.
+    /// Models a node crash (fail-stop).
+    pub fn kill(&mut self, addr: Addr) {
+        if let Some(slot) = self.slots.get_mut(addr.0 as usize) {
+            slot.alive = false;
+        }
+    }
+
+    /// Revives a previously killed slot with a fresh actor (a standby
+    /// taking over the address). The actor receives [`Event::Start`].
+    pub fn revive(&mut self, addr: Addr, actor: Box<dyn Actor>) {
+        let slot = &mut self.slots[addr.0 as usize];
+        slot.actor = Some(actor);
+        slot.alive = true;
+        slot.busy_until = self.now;
+        self.schedule(self.now, addr, Event::Start);
+    }
+
+    /// Whether the actor at `addr` is alive.
+    pub fn is_alive(&self, addr: Addr) -> bool {
+        self.slots
+            .get(addr.0 as usize)
+            .map(|s| s.alive)
+            .unwrap_or(false)
+    }
+
+    /// Injects a message from the outside world (tests).
+    pub fn inject(&mut self, from: Addr, to: Addr, msg: bespokv_proto::NetMsg) {
+        let size = msg.wire_size();
+        let seq = self.seq;
+        let delay = self.net.delivery_delay(from, to, size, seq);
+        let at = self.clamp_fifo(from, to, self.now + delay);
+        self.schedule(at, to, Event::Msg { from, msg });
+    }
+
+    /// Mutable access to a concrete actor (after or between runs).
+    ///
+    /// # Panics
+    /// Panics if the address is unknown or the type does not match.
+    pub fn actor_mut<T: Actor + 'static>(&mut self, addr: Addr) -> &mut T {
+        self.slots[addr.0 as usize]
+            .actor
+            .as_mut()
+            .expect("actor present")
+            .as_any()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch")
+    }
+
+    fn schedule(&mut self, at: Instant, target: Addr, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            target,
+            ev,
+        }));
+    }
+
+    fn clamp_fifo(&mut self, from: Addr, to: Addr, arrival: Instant) -> Instant {
+        let entry = self
+            .last_arrival
+            .entry((from.0, to.0))
+            .or_insert(Instant::ZERO);
+        let clamped = arrival.max(*entry);
+        *entry = clamped;
+        clamped
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(item)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(item.at >= self.now, "time went backwards");
+        self.now = item.at;
+        let idx = item.target.0 as usize;
+        let Some(slot) = self.slots.get_mut(idx) else {
+            self.stats.dropped += 1;
+            return true;
+        };
+        if !slot.alive {
+            if let (Some(bounce), Event::Msg { from, msg }) = (&self.bounce, &item.ev) {
+                if let Some(reply) = bounce(item.target, msg) {
+                    let from = *from;
+                    let size = reply.wire_size();
+                    let seq = self.seq;
+                    let delay = self.net.delivery_delay(item.target, from, size, seq);
+                    let at = self.clamp_fifo(item.target, from, self.now + delay);
+                    self.schedule(
+                        at,
+                        from,
+                        Event::Msg {
+                            from: item.target,
+                            msg: reply,
+                        },
+                    );
+                    self.stats.bounced += 1;
+                    return true;
+                }
+            }
+            self.stats.dropped += 1;
+            return true;
+        }
+        // The single-core server model: if the actor is still busy with a
+        // previous event, requeue this one for when it frees up. Requeued
+        // events keep their relative order because seq grows monotonically.
+        if slot.busy_until > self.now {
+            let at = slot.busy_until;
+            self.schedule(at, item.target, item.ev);
+            return true;
+        }
+        let is_msg = matches!(item.ev, Event::Msg { .. });
+        let recv_cpu = if let Event::Msg { from, .. } = item.ev {
+            self.net.endpoint_cpu(from, item.target)
+        } else {
+            Duration::ZERO
+        };
+        let mut actor = self.slots[idx].actor.take().expect("actor present");
+        let mut ctx = Context::new(self.now, item.target);
+        actor.on_event(item.ev, &mut ctx);
+        let actions = ctx.take_actions();
+        // Total busy time: handler charge + receive-side CPU + send-side
+        // CPU for every outgoing message.
+        let send_cpu: Duration = actions
+            .iter()
+            .map(|a| match a {
+                Action::Send { to, .. } => self.net.endpoint_cpu(item.target, *to),
+                _ => Duration::ZERO,
+            })
+            .sum();
+        let cost = ctx.charged() + recv_cpu + send_cpu;
+        let completion = self.now + cost;
+        {
+            let slot = &mut self.slots[idx];
+            slot.actor = Some(actor);
+            slot.busy_until = completion;
+        }
+        self.stats.events += 1;
+        if is_msg {
+            self.stats.messages += 1;
+        }
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let size = msg.wire_size();
+                    let seq = self.seq;
+                    let delay = self.net.delivery_delay(item.target, to, size, seq);
+                    let at = self.clamp_fifo(item.target, to, completion + delay);
+                    self.schedule(at, to, Event::Msg { from: item.target, msg });
+                }
+                Action::Timer { delay, token } => {
+                    self.schedule(self.now + delay, item.target, Event::Timer { token });
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until virtual time reaches `until` or the queue drains.
+    pub fn run_until(&mut self, until: Instant) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, span: Duration) {
+        let until = self.now + span;
+        self.run_until(until);
+    }
+
+    /// Runs until no events remain (or `max_events` is hit, to bound
+    /// runaway feedback loops).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
+        let start = self.stats.events;
+        while self.stats.events - start < max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new(NetworkModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::TransportProfile;
+    use bespokv_proto::{CoordMsg, NetMsg};
+    use std::any::Any;
+
+    /// Replies to every heartbeat with GetShardMap; counts receipts.
+    struct Ponger {
+        received: Vec<(Addr, Instant)>,
+    }
+
+    impl Actor for Ponger {
+        fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+            if let Event::Msg { from, .. } = ev {
+                self.received.push((from, ctx.now()));
+                ctx.send(from, NetMsg::Coord(CoordMsg::GetShardMap));
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `count` messages to a target at Start, records replies.
+    struct Pinger {
+        target: Addr,
+        count: usize,
+        replies: Vec<Instant>,
+    }
+
+    impl Actor for Pinger {
+        fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+            match ev {
+                Event::Start => {
+                    for _ in 0..self.count {
+                        ctx.send(
+                            self.target,
+                            NetMsg::Coord(CoordMsg::Heartbeat {
+                                node: bespokv_types::NodeId(0),
+                                applied: 0,
+                            }),
+                        );
+                    }
+                }
+                Event::Msg { .. } => self.replies.push(ctx.now()),
+                _ => {}
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn quiet_net() -> NetworkModel {
+        NetworkModel::uniform(TransportProfile {
+            jitter_max: Duration::ZERO,
+            ..TransportProfile::socket()
+        })
+    }
+
+    #[test]
+    fn ping_pong_roundtrip_advances_time() {
+        let mut sim = Simulation::new(quiet_net());
+        let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            target: ponger,
+            count: 1,
+            replies: vec![],
+        }));
+        sim.run_for(Duration::from_millis(10));
+        let p = sim.actor_mut::<Pinger>(pinger);
+        assert_eq!(p.replies.len(), 1);
+        // A round trip must take at least two base latencies.
+        assert!(p.replies[0].as_nanos() >= 2 * 25_000);
+    }
+
+    #[test]
+    fn deterministic_histories() {
+        let run = || {
+            let mut sim = Simulation::default();
+            let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+            let pinger = sim.add_actor(Box::new(Pinger {
+                target: ponger,
+                count: 50,
+                replies: vec![],
+            }));
+            sim.run_for(Duration::from_millis(100));
+            sim.actor_mut::<Pinger>(pinger).replies.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fifo_per_link_preserved() {
+        let mut sim = Simulation::default(); // with jitter
+        let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            target: ponger,
+            count: 200,
+            replies: vec![],
+        }));
+        sim.run_for(Duration::from_millis(100));
+        let p = sim.actor_mut::<Ponger>(ponger);
+        assert_eq!(p.received.len(), 200);
+        // Arrival times never decrease: FIFO held despite jitter.
+        assert!(p.received.windows(2).all(|w| w[0].1 <= w[1].1));
+        let _ = pinger;
+    }
+
+    #[test]
+    fn busy_server_serializes_and_saturates() {
+        /// An actor that charges 1 ms per message: capacity 1000 msg/s.
+        struct Slow;
+        impl Actor for Slow {
+            fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+                if matches!(ev, Event::Msg { .. }) {
+                    ctx.charge(Duration::from_millis(1));
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(quiet_net());
+        let slow = sim.add_actor(Box::new(Slow));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            target: slow,
+            count: 100,
+            replies: vec![],
+        }));
+        let _ = pinger;
+        sim.run_to_quiescence(100_000);
+        // 100 messages x 1 ms service = at least 100 ms of virtual time.
+        assert!(sim.now().as_secs_f64() >= 0.1, "{:?}", sim.now());
+    }
+
+    #[test]
+    fn killed_actor_drops_messages() {
+        let mut sim = Simulation::new(quiet_net());
+        let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            target: ponger,
+            count: 5,
+            replies: vec![],
+        }));
+        sim.kill(ponger);
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.actor_mut::<Pinger>(pinger).replies.len(), 0);
+        assert!(sim.stats().dropped >= 5);
+        assert!(!sim.is_alive(ponger));
+    }
+
+    #[test]
+    fn revive_installs_fresh_actor() {
+        let mut sim = Simulation::new(quiet_net());
+        let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+        sim.kill(ponger);
+        sim.run_for(Duration::from_millis(1));
+        sim.revive(ponger, Box::new(Ponger { received: vec![] }));
+        assert!(sim.is_alive(ponger));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            target: ponger,
+            count: 3,
+            replies: vec![],
+        }));
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.actor_mut::<Pinger>(pinger).replies.len(), 3);
+    }
+
+    #[test]
+    fn timers_fire_at_requested_time() {
+        struct TimerUser {
+            fired: Vec<Instant>,
+        }
+        impl Actor for TimerUser {
+            fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+                match ev {
+                    Event::Start => ctx.set_timer(Duration::from_millis(5), 1),
+                    Event::Timer { token: 1 } => {
+                        self.fired.push(ctx.now());
+                        if self.fired.len() < 3 {
+                            ctx.set_timer(Duration::from_millis(5), 1);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(quiet_net());
+        let t = sim.add_actor(Box::new(TimerUser { fired: vec![] }));
+        sim.run_for(Duration::from_millis(100));
+        let fired = &sim.actor_mut::<TimerUser>(t).fired;
+        assert_eq!(fired.len(), 3);
+        assert_eq!(fired[0], Instant::ZERO + Duration::from_millis(5));
+        assert_eq!(fired[2], Instant::ZERO + Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,367 @@
+//! Real TCP transport for the client edge.
+//!
+//! The simulator and the live runtime move messages in-process; this module
+//! is the genuine network path: a thread-per-connection TCP server that
+//! speaks any [`ProtocolParser`] (binary, RESP, or SSDB), and a blocking
+//! client. The quickstart example serves a store over it, and the
+//! socket-vs-kernel-bypass benchmark (paper section E) measures it against
+//! the in-process fast path.
+
+use bespokv_proto::client::{Request, Response};
+use bespokv_proto::parser::ProtocolParser;
+use bespokv_types::{KvError, KvResult};
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Produces a fresh parser per connection.
+pub type ParserFactory = dyn Fn() -> Box<dyn ProtocolParser> + Send + Sync;
+
+/// Handles one request, producing the response. Shared across connections.
+pub type Handler = dyn Fn(Request) -> Response + Send + Sync;
+
+/// A thread-per-connection TCP server.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    pub fn bind(
+        addr: &str,
+        make_parser: Arc<ParserFactory>,
+        handler: Arc<Handler>,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("bespokv-accept".into())
+            .spawn(move || {
+                // A short accept timeout lets the loop observe `stop`.
+                listener
+                    .set_nonblocking(true)
+                    .expect("set_nonblocking on listener");
+                let mut conn_threads = Vec::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let parser = make_parser();
+                            let handler = Arc::clone(&handler);
+                            let stop3 = Arc::clone(&stop2);
+                            conn_threads.push(
+                                std::thread::Builder::new()
+                                    .name("bespokv-conn".into())
+                                    .spawn(move || {
+                                        let _ = serve_connection(stream, parser, handler, stop3);
+                                    })
+                                    .expect("spawn connection thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            })?;
+        Ok(TcpServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and waits for the accept loop to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    mut parser: Box<dyn ProtocolParser>,
+    handler: Arc<Handler>,
+    stop: Arc<AtomicBool>,
+) -> KvResult<()> {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+        .map_err(KvError::from)?;
+    stream.set_nodelay(true).map_err(KvError::from)?;
+    let mut buf = [0u8; 16 * 1024];
+    let mut out = BytesMut::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => {
+                parser.feed(&buf[..n]);
+                out.clear();
+                loop {
+                    match parser.next_request() {
+                        Ok(Some(req)) => {
+                            let resp = handler(req);
+                            parser.encode_response(&resp, &mut out);
+                        }
+                        Ok(None) => break,
+                        Err(_) => return Ok(()), // protocol error: drop conn
+                    }
+                }
+                if !out.is_empty() {
+                    stream.write_all(&out)?;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// A blocking TCP client speaking any [`ProtocolParser`].
+pub struct TcpClient {
+    stream: TcpStream,
+    parser: Box<dyn ProtocolParser>,
+    scratch: BytesMut,
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpServer`].
+    pub fn connect(addr: SocketAddr, parser: Box<dyn ProtocolParser>) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            stream,
+            parser,
+            scratch: BytesMut::new(),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, req: &Request) -> KvResult<Response> {
+        self.scratch.clear();
+        self.parser.encode_request(req, &mut self.scratch);
+        self.stream
+            .write_all(&self.scratch)
+            .map_err(KvError::from)?;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(resp) = self.parser.next_response()? {
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut buf).map_err(KvError::from)?;
+            if n == 0 {
+                return Err(KvError::Io("connection closed mid-response".into()));
+            }
+            self.parser.feed(&buf[..n]);
+        }
+    }
+
+    /// Sends a batch of pipelined requests, then collects all responses.
+    pub fn call_pipelined(&mut self, reqs: &[Request]) -> KvResult<Vec<Response>> {
+        self.scratch.clear();
+        for r in reqs {
+            self.parser.encode_request(r, &mut self.scratch);
+        }
+        self.stream
+            .write_all(&self.scratch)
+            .map_err(KvError::from)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut buf = [0u8; 16 * 1024];
+        while out.len() < reqs.len() {
+            while let Some(resp) = self.parser.next_response()? {
+                out.push(resp);
+                if out.len() == reqs.len() {
+                    return Ok(out);
+                }
+            }
+            let n = self.stream.read(&mut buf).map_err(KvError::from)?;
+            if n == 0 {
+                return Err(KvError::Io("connection closed mid-batch".into()));
+            }
+            self.parser.feed(&buf[..n]);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_proto::client::{Op, RespBody};
+    use bespokv_proto::parser::BinaryParser;
+    use bespokv_proto::text::RespParser;
+    use bespokv_types::{ClientId, Key, RequestId, Value, VersionedValue};
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    fn kv_handler() -> Arc<Handler> {
+        let store: Mutex<HashMap<Key, Value>> = Mutex::new(HashMap::new());
+        Arc::new(move |req: Request| {
+            let result = match &req.op {
+                Op::Put { key, value } => {
+                    store.lock().insert(key.clone(), value.clone());
+                    Ok(RespBody::Done)
+                }
+                Op::Get { key } => store
+                    .lock()
+                    .get(key)
+                    .cloned()
+                    .map(|v| RespBody::Value(VersionedValue::new(v, 1)))
+                    .ok_or(KvError::NotFound),
+                _ => Err(KvError::Rejected("unsupported".into())),
+            };
+            Response {
+                id: req.id,
+                result,
+            }
+        })
+    }
+
+    fn rid(seq: u32) -> RequestId {
+        RequestId::compose(ClientId(1), seq)
+    }
+
+    #[test]
+    fn binary_protocol_over_tcp() {
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let put = Request::new(
+            rid(0),
+            Op::Put {
+                key: Key::from("k"),
+                value: Value::from("v"),
+            },
+        );
+        assert_eq!(client.call(&put).unwrap().result, Ok(RespBody::Done));
+        let get = Request::new(rid(1), Op::Get { key: Key::from("k") });
+        let resp = client.call(&get).unwrap();
+        assert_eq!(
+            resp.result,
+            Ok(RespBody::Value(VersionedValue::new(Value::from("v"), 1)))
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn resp_protocol_over_tcp() {
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(RespParser::new(ClientId(0))) as Box<dyn ProtocolParser>),
+            kv_handler(),
+        )
+        .unwrap();
+        // Talk raw RESP like a redis-cli would.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"*3\r\n$3\r\nSET\r\n$1\r\na\r\n$1\r\n1\r\n*2\r\n$3\r\nGET\r\n$1\r\na\r\n")
+            .unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 1024];
+        while got.len() < b"+OK\r\n$1\r\n1\r\n".len() {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0);
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(&got[..], b"+OK\r\n$1\r\n1\r\n");
+        server.stop();
+    }
+
+    #[test]
+    fn pipelined_batch_roundtrip() {
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let reqs: Vec<Request> = (0..32)
+            .map(|i| {
+                Request::new(
+                    rid(i),
+                    Op::Put {
+                        key: Key::from(format!("k{i}")),
+                        value: Value::from(format!("v{i}")),
+                    },
+                )
+            })
+            .collect();
+        let resps = client.call_pipelined(&reqs).unwrap();
+        assert_eq!(resps.len(), 32);
+        assert!(resps.iter().all(|r| r.result == Ok(RespBody::Done)));
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_connections() {
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c =
+                        TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+                    for i in 0..50u32 {
+                        let r = Request::new(
+                            RequestId::compose(ClientId(t), i),
+                            Op::Put {
+                                key: Key::from(format!("t{t}-{i}")),
+                                value: Value::from("x"),
+                            },
+                        );
+                        assert_eq!(c.call(&r).unwrap().result, Ok(RespBody::Done));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        server.stop();
+    }
+}

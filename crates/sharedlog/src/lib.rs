@@ -1,0 +1,287 @@
+//! Shared log ordering service (the paper's ZLog/CORFU stand-in).
+//!
+//! Under AA+EC every active master can accept a `Put`, so conflicting
+//! concurrent writes need a global order. bespoKV routes all writes through
+//! a shared log: the log's sequencer assigns each append a global, gapless
+//! sequence number (which doubles as the entry's version), and every
+//! replica asynchronously fetches and applies the ordered stream.
+//!
+//! [`LogCore`] is the pure per-shard log (sequencer + storage + trim);
+//! [`SharedLogActor`] exposes it over [`bespokv_proto::LogMsg`].
+
+use bespokv_proto::{LogEntry, LogMsg, NetMsg};
+use bespokv_runtime::{Actor, Context, Event};
+use bespokv_types::{Duration, ShardId};
+use std::collections::HashMap;
+
+/// One shard's ordered log.
+pub struct LogCore {
+    /// Sequence of the first retained entry (everything before is trimmed).
+    base: u64,
+    /// Retained entries; entry `i` has sequence `base + i`.
+    entries: Vec<LogEntry>,
+}
+
+impl Default for LogCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogCore {
+    /// Creates an empty log starting at sequence 1 (0 means "nothing
+    /// applied" for consumers).
+    pub fn new() -> Self {
+        LogCore {
+            base: 1,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends an entry; the log assigns and returns its sequence number
+    /// and stamps it into the entry's `version` field.
+    pub fn append(&mut self, mut entry: LogEntry) -> u64 {
+        let seq = self.base + self.entries.len() as u64;
+        entry.version = seq;
+        self.entries.push(entry);
+        seq
+    }
+
+    /// Next sequence to be assigned (the log tail).
+    pub fn tail(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    /// Sequence of the oldest retained entry.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Fetches up to `max` entries starting at `from` (clamped to the
+    /// retained window). Returns `(first_seq, entries)`.
+    pub fn fetch(&self, from: u64, max: usize) -> (u64, Vec<LogEntry>) {
+        let start = from.max(self.base);
+        if start >= self.tail() {
+            return (self.tail(), Vec::new());
+        }
+        let idx = (start - self.base) as usize;
+        let end = (idx + max).min(self.entries.len());
+        (start, self.entries[idx..end].to_vec())
+    }
+
+    /// Discards entries with sequence `< upto` (all replicas applied them).
+    pub fn trim(&mut self, upto: u64) {
+        let upto = upto.min(self.tail());
+        if upto <= self.base {
+            return;
+        }
+        let n = (upto - self.base) as usize;
+        self.entries.drain(..n);
+        self.base = upto;
+    }
+
+    /// Number of retained entries.
+    pub fn retained(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The shared log service as a runtime actor (one log stream per shard).
+#[derive(Default)]
+pub struct SharedLogActor {
+    logs: HashMap<ShardId, LogCore>,
+}
+
+impl SharedLogActor {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn log(&mut self, shard: ShardId) -> &mut LogCore {
+        self.logs.entry(shard).or_default()
+    }
+}
+
+impl Actor for SharedLogActor {
+    fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+        let Event::Msg { from, msg } = ev else {
+            return;
+        };
+        match msg {
+            NetMsg::Log(LogMsg::Append { shard, rid, entry }) => {
+                // Appending is a sequencer bump + a buffer push.
+                ctx.charge(Duration::from_micros(2));
+                let seq = self.log(shard).append(entry);
+                ctx.send(from, NetMsg::Log(LogMsg::AppendAck { shard, rid, seq }));
+            }
+            NetMsg::Log(LogMsg::Fetch {
+                shard,
+                from_seq,
+                max,
+            }) => {
+                ctx.charge(Duration::from_micros(2));
+                let log = self.log(shard);
+                let (first_seq, entries) = log.fetch(from_seq, max as usize);
+                let tail_seq = log.tail();
+                ctx.send(
+                    from,
+                    NetMsg::Log(LogMsg::FetchResp {
+                        shard,
+                        first_seq,
+                        entries,
+                        tail_seq,
+                    }),
+                );
+            }
+            NetMsg::Log(LogMsg::Trim { shard, upto }) => {
+                self.log(shard).trim(upto);
+            }
+            _ => {} // not for us
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::{Key, Value};
+
+    fn entry(k: &str) -> LogEntry {
+        LogEntry {
+            table: String::new(),
+            key: Key::from(k),
+            value: Some(Value::from("v")),
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn append_assigns_gapless_sequences() {
+        let mut log = LogCore::new();
+        assert_eq!(log.append(entry("a")), 1);
+        assert_eq!(log.append(entry("b")), 2);
+        assert_eq!(log.append(entry("c")), 3);
+        assert_eq!(log.tail(), 4);
+    }
+
+    #[test]
+    fn append_stamps_version() {
+        let mut log = LogCore::new();
+        log.append(entry("a"));
+        log.append(entry("b"));
+        let (_, got) = log.fetch(1, 10);
+        assert_eq!(got[0].version, 1);
+        assert_eq!(got[1].version, 2);
+    }
+
+    #[test]
+    fn fetch_windows() {
+        let mut log = LogCore::new();
+        for i in 0..10 {
+            log.append(entry(&format!("k{i}")));
+        }
+        let (first, got) = log.fetch(4, 3);
+        assert_eq!(first, 4);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].key, Key::from("k3")); // seq 4 = 4th entry
+        // Fetch past the tail returns empty at tail.
+        let (first, got) = log.fetch(100, 5);
+        assert_eq!(first, log.tail());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn trim_discards_prefix_and_clamps_fetch() {
+        let mut log = LogCore::new();
+        for i in 0..10 {
+            log.append(entry(&format!("k{i}")));
+        }
+        log.trim(6);
+        assert_eq!(log.base(), 6);
+        assert_eq!(log.retained(), 5);
+        // Fetching below the base is clamped up to it.
+        let (first, got) = log.fetch(1, 100);
+        assert_eq!(first, 6);
+        assert_eq!(got.len(), 5);
+        // Sequences keep counting after a trim.
+        assert_eq!(log.append(entry("new")), 11);
+    }
+
+    #[test]
+    fn trim_beyond_tail_is_safe() {
+        let mut log = LogCore::new();
+        log.append(entry("a"));
+        log.trim(999);
+        assert_eq!(log.retained(), 0);
+        assert_eq!(log.append(entry("b")), 2);
+    }
+
+    #[test]
+    fn actor_orders_concurrent_appenders() {
+        use bespokv_proto::LogMsg;
+        use bespokv_runtime::{Addr, NetworkModel, Simulation};
+        use bespokv_types::{ClientId, RequestId};
+        use std::any::Any;
+
+        struct Appender {
+            log: Addr,
+            count: u32,
+            acks: Vec<u64>,
+        }
+        impl Actor for Appender {
+            fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+                match ev {
+                    Event::Start => {
+                        for i in 0..self.count {
+                            ctx.send(
+                                self.log,
+                                NetMsg::Log(LogMsg::Append {
+                                    shard: ShardId(0),
+                                    rid: RequestId::compose(ClientId(1), i),
+                                    entry: LogEntry {
+                                        table: String::new(),
+                                        key: Key::from(format!("k{i}")),
+                                        value: Some(Value::from("v")),
+                                        version: 0,
+                                    },
+                                }),
+                            );
+                        }
+                    }
+                    Event::Msg {
+                        msg: NetMsg::Log(LogMsg::AppendAck { seq, .. }),
+                        ..
+                    } => self.acks.push(seq),
+                    _ => {}
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut sim = Simulation::new(NetworkModel::default());
+        let log = sim.add_actor(Box::new(SharedLogActor::new()));
+        let a1 = sim.add_actor(Box::new(Appender {
+            log,
+            count: 20,
+            acks: vec![],
+        }));
+        let a2 = sim.add_actor(Box::new(Appender {
+            log,
+            count: 20,
+            acks: vec![],
+        }));
+        sim.run_to_quiescence(100_000);
+        let mut all: Vec<u64> = sim.actor_mut::<Appender>(a1).acks.clone();
+        all.extend(sim.actor_mut::<Appender>(a2).acks.clone());
+        all.sort_unstable();
+        // Global order: every sequence 1..=40 assigned exactly once.
+        assert_eq!(all, (1..=40).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types shared across the framework.
+
+use crate::ids::{NodeId, ShardId};
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// Errors surfaced by datalets, controlets, the client library and the
+/// coordinator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KvError {
+    /// The key does not exist.
+    NotFound,
+    /// The table does not exist (client API is table-scoped).
+    NoSuchTable(String),
+    /// The request was routed to a node that does not own the key; the hint
+    /// (if any) names a better target. Clients refresh their routing map.
+    WrongNode {
+        /// Node that rejected the request.
+        node: NodeId,
+        /// Better target, when the rejecting node knows one.
+        hint: Option<NodeId>,
+    },
+    /// The shard has no live replica able to serve the request.
+    Unavailable(ShardId),
+    /// The request timed out.
+    Timeout,
+    /// A lock could not be acquired (AA+SC path).
+    LockContended,
+    /// A lease or lock expired while the holder was still working.
+    LeaseExpired,
+    /// The node is shutting down or mid-failover and cannot serve.
+    NotServing,
+    /// A transition is in progress and this operation must be retried at the
+    /// new controlet.
+    Forwarded(NodeId),
+    /// Persistent storage failed (message carries detail).
+    Io(String),
+    /// On-disk or in-flight data failed validation.
+    Corrupt(String),
+    /// Protocol violation: malformed or unexpected message.
+    Protocol(String),
+    /// The request was rejected because an invariant would be violated.
+    Rejected(String),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::NotFound => write!(f, "key not found"),
+            KvError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            KvError::WrongNode { node, hint } => match hint {
+                Some(h) => write!(f, "wrong node {node}, retry at {h}"),
+                None => write!(f, "wrong node {node}"),
+            },
+            KvError::Unavailable(s) => write!(f, "shard {s} unavailable"),
+            KvError::Timeout => write!(f, "request timed out"),
+            KvError::LockContended => write!(f, "lock contended"),
+            KvError::LeaseExpired => write!(f, "lease expired"),
+            KvError::NotServing => write!(f, "node not serving"),
+            KvError::Forwarded(n) => write!(f, "forwarded to {n} during transition"),
+            KvError::Io(m) => write!(f, "i/o error: {m}"),
+            KvError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            KvError::Protocol(m) => write!(f, "protocol error: {m}"),
+            KvError::Rejected(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<std::io::Error> for KvError {
+    fn from(e: std::io::Error) -> Self {
+        KvError::Io(e.to_string())
+    }
+}
+
+impl KvError {
+    /// Whether a client should transparently retry this error (possibly
+    /// after refreshing its routing metadata).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            KvError::WrongNode { .. }
+                | KvError::Unavailable(_)
+                | KvError::Timeout
+                | KvError::LockContended
+                | KvError::NotServing
+                | KvError::Forwarded(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_hint() {
+        let e = KvError::WrongNode {
+            node: NodeId(1),
+            hint: Some(NodeId(2)),
+        };
+        assert_eq!(e.to_string(), "wrong node n1, retry at n2");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let e: KvError = io.into();
+        assert!(matches!(e, KvError::Io(ref m) if m.contains("disk on fire")));
+    }
+
+    #[test]
+    fn retryability_partition() {
+        assert!(KvError::Timeout.is_retryable());
+        assert!(KvError::Forwarded(NodeId(3)).is_retryable());
+        assert!(!KvError::NotFound.is_retryable());
+        assert!(!KvError::Corrupt("x".into()).is_retryable());
+    }
+}

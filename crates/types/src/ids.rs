@@ -1,0 +1,156 @@
+//! Strongly-typed identifiers for cluster entities.
+//!
+//! All identifiers are small `Copy` newtypes over integers so they can be
+//! hashed, compared and serialized cheaply. Wrapping them prevents the
+//! classic bug of passing a shard index where a node index was expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Builds an id from a raw integer value.
+            #[inline]
+            pub const fn from_raw(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one controlet-datalet pair (a "node" in the paper's sense).
+    ///
+    /// The paper allows arbitrary controlet-to-datalet mappings but evaluates
+    /// one-to-one pairs; we follow suit, so a `NodeId` names both halves.
+    NodeId,
+    u32,
+    "n"
+);
+
+id_type!(
+    /// Identifies a data shard (one replica chain / replica group).
+    ShardId,
+    u32,
+    "s"
+);
+
+id_type!(
+    /// Identifies a client application instance.
+    ClientId,
+    u32,
+    "c"
+);
+
+id_type!(
+    /// Identifies one in-flight request, unique per client.
+    RequestId,
+    u64,
+    "r"
+);
+
+impl NodeId {
+    /// Sentinel used before a node has been assigned (e.g. an un-elected
+    /// master slot).
+    pub const UNASSIGNED: NodeId = NodeId(u32::MAX);
+
+    /// Whether this id is the [`Self::UNASSIGNED`] sentinel.
+    #[inline]
+    pub fn is_unassigned(self) -> bool {
+        self == Self::UNASSIGNED
+    }
+}
+
+impl RequestId {
+    /// Combines a client id and a per-client sequence number into a globally
+    /// unique request id (client in the high 32 bits).
+    #[inline]
+    pub fn compose(client: ClientId, seq: u32) -> Self {
+        RequestId(((client.raw() as u64) << 32) | seq as u64)
+    }
+
+    /// The client that issued this request.
+    #[inline]
+    pub fn client(self) -> ClientId {
+        ClientId((self.0 >> 32) as u32)
+    }
+
+    /// The per-client sequence number.
+    #[inline]
+    pub fn seq(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ShardId(1).to_string(), "s1");
+        assert_eq!(ClientId(9).to_string(), "c9");
+        assert_eq!(RequestId(42).to_string(), "r42");
+    }
+
+    #[test]
+    fn request_id_composition_roundtrips() {
+        let rid = RequestId::compose(ClientId(7), 99);
+        assert_eq!(rid.client(), ClientId(7));
+        assert_eq!(rid.seq(), 99);
+    }
+
+    #[test]
+    fn unassigned_sentinel() {
+        assert!(NodeId::UNASSIGNED.is_unassigned());
+        assert!(!NodeId(0).is_unassigned());
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(RequestId::compose(ClientId(1), 0) < RequestId::compose(ClientId(1), 1));
+        assert!(RequestId::compose(ClientId(1), u32::MAX) < RequestId::compose(ClientId(2), 0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let n = NodeId(5);
+        let json = serde_json::to_string(&n).unwrap();
+        assert_eq!(json, "5");
+        let back: NodeId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, n);
+    }
+}

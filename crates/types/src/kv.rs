@@ -1,0 +1,266 @@
+//! Key/value payload types.
+//!
+//! Keys and values are thin wrappers over [`bytes::Bytes`] so that routing a
+//! request through several controlets never copies the payload: clones are
+//! reference-count bumps. Versions are monotonically increasing `u64`s
+//! assigned by the write path that owns ordering for a given mode (the chain
+//! head under MS+SC, the shared log under AA+EC, ...).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A key in the store. Ordered lexicographically (used by range partitioning
+/// and the tree/LSM datalets).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub Bytes);
+
+/// A value in the store. Opaque bytes.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Value(pub Bytes);
+
+/// Monotonic version number for conflict resolution and replica reconciliation.
+pub type Version = u64;
+
+/// A value together with the version assigned by the ordering authority.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VersionedValue {
+    /// The payload.
+    pub value: Value,
+    /// Write version; larger supersedes smaller (last-writer-wins under EC).
+    pub version: Version,
+}
+
+impl VersionedValue {
+    /// Convenience constructor.
+    pub fn new(value: Value, version: Version) -> Self {
+        Self { value, version }
+    }
+}
+
+impl Key {
+    /// Builds a key from anything byte-like, copying once.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        Key(Bytes::copy_from_slice(bytes))
+    }
+
+    /// Zero-copy view of the key bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the key in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// A stable 64-bit hash of the key (FNV-1a), used for consistent hashing.
+    ///
+    /// We deliberately do not use `std::hash::Hash` here: routing decisions
+    /// must be identical across processes and runs, while the std hasher is
+    /// randomly seeded.
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a(self.as_bytes())
+    }
+}
+
+impl Value {
+    /// Builds a value from anything byte-like, copying once.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        Value(Bytes::copy_from_slice(bytes))
+    }
+
+    /// Zero-copy view of the value bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// FNV-1a 64-bit hash: tiny, allocation-free, and stable across runs.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key(Bytes::from(s.into_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Key {
+    fn from(v: Vec<u8>) -> Self {
+        Key(Bytes::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value(Bytes::from(s.into_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(Bytes::from(v))
+    }
+}
+
+impl Borrow<[u8]> for Key {
+    fn borrow(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", EscapedBytes(self.as_bytes()))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 32 {
+            write!(f, "Value({})", EscapedBytes(self.as_bytes()))
+        } else {
+            write!(
+                f,
+                "Value({}.. {} bytes)",
+                EscapedBytes(&self.as_bytes()[..32]),
+                self.len()
+            )
+        }
+    }
+}
+
+/// Helper that renders bytes as mostly-ASCII with escapes, for debugging.
+struct EscapedBytes<'a>(&'a [u8]);
+
+impl fmt::Display for EscapedBytes<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in self.0 {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// Serde passthrough as byte sequences (Bytes has no built-in serde here).
+impl Serialize for Key {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(self.as_bytes())
+    }
+}
+
+impl<'de> Deserialize<'de> for Key {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Key::from(v))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(self.as_bytes())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Value::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_orders_lexicographically() {
+        assert!(Key::from("a") < Key::from("b"));
+        assert!(Key::from("ab") < Key::from("b"));
+        assert!(Key::from("a") < Key::from("aa"));
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic() {
+        let k = Key::from("user:1001");
+        assert_eq!(k.stable_hash(), Key::from("user:1001").stable_hash());
+        assert_ne!(k.stable_hash(), Key::from("user:1002").stable_hash());
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // And "a" is a well-known vector.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn clone_is_cheap_refcount_bump() {
+        let v = Value::from(vec![0u8; 1024]);
+        let v2 = v.clone();
+        // Bytes clones share the same backing buffer.
+        assert_eq!(v.as_bytes().as_ptr(), v2.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn debug_escapes_binary() {
+        let k = Key::from(vec![b'a', 0x00, b'b']);
+        assert_eq!(format!("{k:?}"), "Key(a\\x00b)");
+    }
+
+    #[test]
+    fn versioned_value_supersedes() {
+        let old = VersionedValue::new(Value::from("x"), 1);
+        let new = VersionedValue::new(Value::from("y"), 2);
+        assert!(new.version > old.version);
+    }
+}

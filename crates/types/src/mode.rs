@@ -1,0 +1,182 @@
+//! The topology/consistency mode lattice.
+//!
+//! The paper's central abstraction is that a distributed KV store is defined
+//! by a (topology, consistency) pair, and that bespoKV can instantiate — and
+//! transition between — all four combinations: MS+SC, MS+EC, AA+SC, AA+EC.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Cluster replication topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Topology {
+    /// Master-slave: one replica owns writes, the rest follow.
+    MasterSlave,
+    /// Active-active (multi-master): every replica accepts writes.
+    ActiveActive,
+}
+
+/// Data consistency model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Consistency {
+    /// Strong consistency: reads observe the latest completed write.
+    Strong,
+    /// Eventual consistency: replicas converge; reads may be stale.
+    Eventual,
+}
+
+/// A deployable (topology, consistency) combination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Mode {
+    /// Replication topology.
+    pub topology: Topology,
+    /// Consistency model.
+    pub consistency: Consistency,
+}
+
+impl Mode {
+    /// Master-slave, strong consistency (chain replication in bespoKV).
+    pub const MS_SC: Mode = Mode {
+        topology: Topology::MasterSlave,
+        consistency: Consistency::Strong,
+    };
+    /// Master-slave, eventual consistency (async propagation).
+    pub const MS_EC: Mode = Mode {
+        topology: Topology::MasterSlave,
+        consistency: Consistency::Eventual,
+    };
+    /// Active-active, strong consistency (DLM-serialized).
+    pub const AA_SC: Mode = Mode {
+        topology: Topology::ActiveActive,
+        consistency: Consistency::Strong,
+    };
+    /// Active-active, eventual consistency (shared-log ordered).
+    pub const AA_EC: Mode = Mode {
+        topology: Topology::ActiveActive,
+        consistency: Consistency::Eventual,
+    };
+
+    /// All four pre-built combinations, in the order the paper lists them.
+    pub const ALL: [Mode; 4] = [Mode::MS_SC, Mode::MS_EC, Mode::AA_SC, Mode::AA_EC];
+
+    /// Short identifier, e.g. `"ms+sc"`. Stable; used in configs and reports.
+    pub fn tag(&self) -> &'static str {
+        match (self.topology, self.consistency) {
+            (Topology::MasterSlave, Consistency::Strong) => "ms+sc",
+            (Topology::MasterSlave, Consistency::Eventual) => "ms+ec",
+            (Topology::ActiveActive, Consistency::Strong) => "aa+sc",
+            (Topology::ActiveActive, Consistency::Eventual) => "aa+ec",
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Error returned when parsing a [`Mode`] from its tag fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModeError(pub String);
+
+impl fmt::Display for ParseModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown mode {:?}; expected one of ms+sc, ms+ec, aa+sc, aa+ec",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseModeError {}
+
+impl FromStr for Mode {
+    type Err = ParseModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ms+sc" | "ms-sc" | "ms_sc" => Ok(Mode::MS_SC),
+            "ms+ec" | "ms-ec" | "ms_ec" => Ok(Mode::MS_EC),
+            "aa+sc" | "aa-sc" | "aa_sc" => Ok(Mode::AA_SC),
+            "aa+ec" | "aa-ec" | "aa_ec" => Ok(Mode::AA_EC),
+            other => Err(ParseModeError(other.to_owned())),
+        }
+    }
+}
+
+/// Per-request consistency override (section IV-C of the paper).
+///
+/// The client API lets an individual `GET` relax (or insist on) a consistency
+/// level regardless of the store-wide mode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ConsistencyLevel {
+    /// Use the store-wide default.
+    #[default]
+    Default,
+    /// Force a strongly consistent read (routed to the ordering authority).
+    Strong,
+    /// Allow an eventually consistent read (any replica may answer).
+    Eventual,
+}
+
+impl ConsistencyLevel {
+    /// Resolves the effective consistency given the store-wide mode.
+    pub fn resolve(self, store: Consistency) -> Consistency {
+        match self {
+            ConsistencyLevel::Default => store,
+            ConsistencyLevel::Strong => Consistency::Strong,
+            ConsistencyLevel::Eventual => Consistency::Eventual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for m in Mode::ALL {
+            assert_eq!(m.tag().parse::<Mode>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_separator_variants() {
+        assert_eq!("MS-SC".parse::<Mode>().unwrap(), Mode::MS_SC);
+        assert_eq!("aa_ec".parse::<Mode>().unwrap(), Mode::AA_EC);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("p2p+sc".parse::<Mode>().is_err());
+    }
+
+    #[test]
+    fn per_request_resolution() {
+        assert_eq!(
+            ConsistencyLevel::Default.resolve(Consistency::Eventual),
+            Consistency::Eventual
+        );
+        assert_eq!(
+            ConsistencyLevel::Strong.resolve(Consistency::Eventual),
+            Consistency::Strong
+        );
+        assert_eq!(
+            ConsistencyLevel::Eventual.resolve(Consistency::Strong),
+            Consistency::Eventual
+        );
+    }
+
+    #[test]
+    fn serde_uses_snake_case() {
+        let json = serde_json::to_string(&Topology::MasterSlave).unwrap();
+        assert_eq!(json, "\"master_slave\"");
+    }
+}

@@ -1,0 +1,343 @@
+//! Cluster metadata: the shard map.
+//!
+//! The coordinator owns an epoch-stamped [`ShardMap`] describing, for every
+//! shard, its mode (topology + consistency), its replica set (ordered — the
+//! order *is* the chain order under MS+SC, and position 0 is the master under
+//! MS), and the partitioning scheme clients use to route keys. Controlets and
+//! the client library cache the map and refresh it when they observe a stale
+//! epoch (`WrongNode` / `NotServing` errors carry the signal).
+
+use crate::ids::{NodeId, ShardId};
+use crate::kv::Key;
+use crate::mode::Mode;
+use serde::{Deserialize, Serialize};
+
+/// How keys are assigned to shards.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Partitioning {
+    /// Consistent hashing over a ring with `vnodes` virtual nodes per shard.
+    ConsistentHash {
+        /// Virtual nodes per shard; more vnodes = smoother balance.
+        vnodes: u32,
+    },
+    /// Range partitioning: shard `i` owns keys in `[split_points[i-1],
+    /// split_points[i])` (lexicographic), with open ends at the extremes.
+    /// `split_points.len() == num_shards - 1`.
+    Range {
+        /// Sorted, exclusive upper bounds for each shard except the last.
+        split_points: Vec<Key>,
+    },
+}
+
+/// Per-shard replica-set description.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// The shard this entry describes.
+    pub shard: ShardId,
+    /// Topology + consistency this shard currently runs.
+    pub mode: Mode,
+    /// Ordered replica set. Under MS the first entry is the master (chain
+    /// head under SC) and the last is the chain tail; under AA every entry
+    /// is an active master.
+    pub replicas: Vec<NodeId>,
+    /// Monotonic per-shard configuration epoch; bumped on every
+    /// reconfiguration (failover, transition, chain splice).
+    pub epoch: u64,
+}
+
+impl ShardInfo {
+    /// The master (MS) / chain head (MS+SC). Under AA this is just the first
+    /// active and carries no special meaning.
+    pub fn head(&self) -> Option<NodeId> {
+        self.replicas.first().copied()
+    }
+
+    /// The chain tail (MS+SC serves strongly consistent reads here).
+    pub fn tail(&self) -> Option<NodeId> {
+        self.replicas.last().copied()
+    }
+
+    /// Position of `node` in the replica order, if present.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.replicas.iter().position(|&n| n == node)
+    }
+
+    /// Successor of `node` in the chain, if any.
+    pub fn successor(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.position(node)?;
+        self.replicas.get(i + 1).copied()
+    }
+
+    /// Predecessor of `node` in the chain, if any.
+    pub fn predecessor(&self, node: NodeId) -> Option<NodeId> {
+        let i = self.position(node)?;
+        i.checked_sub(1).map(|p| self.replicas[p])
+    }
+
+    /// Replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+/// The whole-cluster routing map.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ShardMap {
+    /// Global map epoch; any change to any shard bumps it.
+    pub epoch: u64,
+    /// How keys map to shards.
+    pub partitioning: Partitioning,
+    /// Shard descriptors, indexed by `ShardId::raw() as usize`.
+    pub shards: Vec<ShardInfo>,
+}
+
+impl ShardMap {
+    /// Builds a map with `num_shards` shards of `replication` replicas each,
+    /// numbering nodes densely (`shard i` gets nodes `i*r .. i*r+r`).
+    pub fn dense(num_shards: u32, replication: u32, mode: Mode, partitioning: Partitioning) -> Self {
+        let shards = (0..num_shards)
+            .map(|s| ShardInfo {
+                shard: ShardId(s),
+                mode,
+                replicas: (0..replication)
+                    .map(|r| NodeId(s * replication + r))
+                    .collect(),
+                epoch: 0,
+            })
+            .collect();
+        ShardMap {
+            epoch: 0,
+            partitioning,
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of (controlet, datalet) node pairs referenced.
+    pub fn num_nodes(&self) -> usize {
+        self.shards.iter().map(|s| s.replicas.len()).sum()
+    }
+
+    /// Looks up a shard descriptor.
+    pub fn shard(&self, id: ShardId) -> Option<&ShardInfo> {
+        self.shards.get(id.raw() as usize)
+    }
+
+    /// Mutable shard lookup (coordinator-side reconfiguration).
+    pub fn shard_mut(&mut self, id: ShardId) -> Option<&mut ShardInfo> {
+        self.shards.get_mut(id.raw() as usize)
+    }
+
+    /// Routes a key to its owning shard.
+    ///
+    /// Consistent hashing maps the key's stable hash onto the ring;
+    /// range partitioning walks the split points. Both are deterministic
+    /// across processes (see [`Key::stable_hash`]).
+    pub fn shard_for_key(&self, key: &Key) -> ShardId {
+        match &self.partitioning {
+            Partitioning::ConsistentHash { vnodes } => {
+                ring_lookup(key.stable_hash(), self.shards.len() as u32, *vnodes)
+            }
+            Partitioning::Range { split_points } => {
+                let idx = split_points
+                    .iter()
+                    .position(|sp| key.as_bytes() < sp.as_bytes())
+                    .unwrap_or(split_points.len());
+                self.shards[idx.min(self.shards.len() - 1)].shard
+            }
+        }
+    }
+
+    /// The shards whose ranges intersect `[start, end)` under range
+    /// partitioning; under hashing every shard may hold keys in the range,
+    /// so all shards are returned (scatter/gather).
+    pub fn shards_for_range(&self, start: &Key, end: &Key) -> Vec<ShardId> {
+        match &self.partitioning {
+            Partitioning::ConsistentHash { .. } => {
+                self.shards.iter().map(|s| s.shard).collect()
+            }
+            Partitioning::Range { split_points } => {
+                let first = split_points
+                    .iter()
+                    .position(|sp| start.as_bytes() < sp.as_bytes())
+                    .unwrap_or(split_points.len());
+                let last = split_points
+                    .iter()
+                    .position(|sp| end.as_bytes() <= sp.as_bytes())
+                    .unwrap_or(split_points.len());
+                (first..=last.min(self.shards.len() - 1))
+                    .map(|i| self.shards[i].shard)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Deterministic consistent-hash ring lookup.
+///
+/// Each shard contributes `vnodes` points derived by hashing
+/// `(shard, replica_index)`; the key goes to the shard owning the first ring
+/// point clockwise of the key hash. Implemented without materializing the
+/// ring for small vnode counts would be O(shards*vnodes) per lookup, so we
+/// use the standard trick of hashing and taking the best (minimum distance)
+/// point — equivalent and allocation-free.
+fn ring_lookup(key_hash: u64, num_shards: u32, vnodes: u32) -> ShardId {
+    debug_assert!(num_shards > 0);
+    let mut best_dist = u64::MAX;
+    let mut best_shard = 0u32;
+    for s in 0..num_shards {
+        for v in 0..vnodes.max(1) {
+            let point = splitmix64(((s as u64) << 32) | v as u64);
+            // Clockwise distance from key to point on the u64 ring.
+            let dist = point.wrapping_sub(key_hash);
+            if dist < best_dist {
+                best_dist = dist;
+                best_shard = s;
+            }
+        }
+    }
+    ShardId(best_shard)
+}
+
+/// SplitMix64: cheap, well-distributed 64-bit mixer for ring points.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(shards: u32, repl: u32) -> ShardMap {
+        ShardMap::dense(
+            shards,
+            repl,
+            Mode::MS_SC,
+            Partitioning::ConsistentHash { vnodes: 32 },
+        )
+    }
+
+    #[test]
+    fn dense_numbering() {
+        let m = map(3, 3);
+        assert_eq!(m.num_shards(), 3);
+        assert_eq!(m.num_nodes(), 9);
+        assert_eq!(
+            m.shard(ShardId(1)).unwrap().replicas,
+            vec![NodeId(3), NodeId(4), NodeId(5)]
+        );
+    }
+
+    #[test]
+    fn chain_navigation() {
+        let m = map(1, 3);
+        let s = m.shard(ShardId(0)).unwrap();
+        assert_eq!(s.head(), Some(NodeId(0)));
+        assert_eq!(s.tail(), Some(NodeId(2)));
+        assert_eq!(s.successor(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(s.predecessor(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(s.successor(NodeId(2)), None);
+        assert_eq!(s.predecessor(NodeId(0)), None);
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_total() {
+        let m = map(8, 3);
+        for i in 0..1000 {
+            let k = Key::from(format!("key{i}"));
+            let s1 = m.shard_for_key(&k);
+            let s2 = m.shard_for_key(&k);
+            assert_eq!(s1, s2);
+            assert!((s1.raw() as usize) < m.num_shards());
+        }
+    }
+
+    #[test]
+    fn hash_routing_is_reasonably_balanced() {
+        let m = map(4, 1);
+        let mut counts = [0usize; 4];
+        for i in 0..40_000 {
+            let k = Key::from(format!("user:{i}"));
+            counts[m.shard_for_key(&k).raw() as usize] += 1;
+        }
+        for &c in &counts {
+            // Each shard should get 25% +- 10 points.
+            assert!(c > 6_000 && c < 14_000, "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_routing_respects_split_points() {
+        let m = ShardMap::dense(
+            3,
+            1,
+            Mode::MS_EC,
+            Partitioning::Range {
+                split_points: vec![Key::from("h"), Key::from("p")],
+            },
+        );
+        assert_eq!(m.shard_for_key(&Key::from("apple")), ShardId(0));
+        assert_eq!(m.shard_for_key(&Key::from("h")), ShardId(1));
+        assert_eq!(m.shard_for_key(&Key::from("mango")), ShardId(1));
+        assert_eq!(m.shard_for_key(&Key::from("zebra")), ShardId(2));
+    }
+
+    #[test]
+    fn range_scatter_selects_overlapping_shards() {
+        let m = ShardMap::dense(
+            3,
+            1,
+            Mode::MS_EC,
+            Partitioning::Range {
+                split_points: vec![Key::from("h"), Key::from("p")],
+            },
+        );
+        assert_eq!(
+            m.shards_for_range(&Key::from("a"), &Key::from("c")),
+            vec![ShardId(0)]
+        );
+        assert_eq!(
+            m.shards_for_range(&Key::from("a"), &Key::from("z")),
+            vec![ShardId(0), ShardId(1), ShardId(2)]
+        );
+        assert_eq!(
+            m.shards_for_range(&Key::from("i"), &Key::from("j")),
+            vec![ShardId(1)]
+        );
+    }
+
+    #[test]
+    fn hash_scatter_returns_all_shards() {
+        let m = map(4, 1);
+        assert_eq!(
+            m.shards_for_range(&Key::from("a"), &Key::from("b")).len(),
+            4
+        );
+    }
+
+    #[test]
+    fn adding_shards_moves_bounded_fraction_of_keys() {
+        // The consistent-hashing property: growing 8 -> 9 shards should move
+        // roughly 1/9 of keys, far less than rehash-everything (~8/9).
+        let m8 = map(8, 1);
+        let m9 = map(9, 1);
+        let total = 20_000;
+        let moved = (0..total)
+            .filter(|i| {
+                let k = Key::from(format!("key{i}"));
+                m8.shard_for_key(&k) != m9.shard_for_key(&k)
+            })
+            .count();
+        let frac = moved as f64 / total as f64;
+        assert!(frac < 0.30, "moved {frac}, expected ~1/9");
+    }
+}

@@ -1,0 +1,263 @@
+//! Time representation shared by the simulator and the live runtime.
+//!
+//! The discrete-event simulator advances a virtual clock; the live runtime
+//! reads the OS monotonic clock. Both express time as nanoseconds in a
+//! [`Instant`] newtype so protocol code (timeouts, heartbeats, leases) is
+//! oblivious to which driver is executing it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time, in nanoseconds since an arbitrary epoch.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Instant(pub u64);
+
+/// A span of time, in nanoseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Instant {
+    /// The epoch (t = 0).
+    pub const ZERO: Instant = Instant(0);
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Builds a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Builds a duration from fractional seconds (panics on negative/NaN).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be non-negative");
+        Duration((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds in this duration.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds in this duration (truncated).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds in this duration (truncated).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds in this duration.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds in this duration (common latency unit).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the duration by a factor (used by the DES to model load).
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        assert!(factor.is_finite() && factor >= 0.0);
+        Duration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "instant subtraction underflow");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "duration subtraction underflow");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<std::time::Duration> for Duration {
+    fn from(d: std::time::Duration) -> Self {
+        Duration(d.as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+impl From<Duration> for std::time::Duration {
+    fn from(d: Duration) -> Self {
+        std::time::Duration::from_nanos(d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t0 = Instant::ZERO;
+        let t1 = t0 + Duration::from_millis(5);
+        assert_eq!(t1 - t0, Duration::from_millis(5));
+        assert_eq!(t1.as_secs_f64(), 0.005);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs(1).as_millis(), 1000);
+        assert_eq!(Duration::from_millis(2).as_micros(), 2000);
+        assert_eq!(Duration::from_micros(3).as_nanos(), 3000);
+        assert_eq!(Duration::from_secs_f64(0.25).as_millis(), 250);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let d = Duration::from_millis(1);
+        assert_eq!(d.saturating_sub(Duration::from_secs(1)), Duration::ZERO);
+        assert_eq!(
+            Instant::ZERO.saturating_since(Instant(100)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn std_roundtrip() {
+        let d: Duration = std::time::Duration::from_millis(7).into();
+        assert_eq!(d, Duration::from_millis(7));
+        let back: std::time::Duration = d.into();
+        assert_eq!(back, std::time::Duration::from_millis(7));
+    }
+
+    #[test]
+    fn debug_picks_unit() {
+        assert_eq!(format!("{:?}", Duration::from_nanos(5)), "5ns");
+        assert_eq!(format!("{:?}", Duration::from_micros(5)), "5.000us");
+        assert_eq!(format!("{:?}", Duration::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{:?}", Duration::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn mul_scales() {
+        assert_eq!(
+            Duration::from_millis(10).mul_f64(1.5),
+            Duration::from_millis(15)
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests on routing: total, deterministic, balanced, and
+//! range-covering.
+
+use bespokv_types::{Key, Mode, Partitioning, ShardMap};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(Key::from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hash routing always lands on a valid shard and twice on the same.
+    #[test]
+    fn hash_routing_total_and_stable(
+        key in arb_key(),
+        shards in 1u32..64,
+        vnodes in 1u32..64,
+    ) {
+        let map = ShardMap::dense(
+            shards, 3, Mode::MS_SC,
+            Partitioning::ConsistentHash { vnodes },
+        );
+        let s1 = map.shard_for_key(&key);
+        let s2 = map.shard_for_key(&key);
+        prop_assert_eq!(s1, s2);
+        prop_assert!((s1.raw() as usize) < map.num_shards());
+    }
+
+    /// Range routing: the owner of any key inside [start, end) is among
+    /// the shards returned for that range.
+    #[test]
+    fn range_scatter_covers_owners(
+        mut points in proptest::collection::vec("[a-z]{1,8}", 3..12),
+        probe in "[a-z]{1,8}",
+    ) {
+        points.sort();
+        points.dedup();
+        prop_assume!(points.len() >= 3);
+        let split_points: Vec<Key> =
+            points[1..points.len() - 1].iter().map(|s| Key::from(s.as_str())).collect();
+        let shards = split_points.len() as u32 + 1;
+        let map = ShardMap::dense(
+            shards, 1, Mode::MS_EC,
+            Partitioning::Range { split_points },
+        );
+        let lo = Key::from(points.first().unwrap().as_str());
+        let hi = Key::from(points.last().unwrap().as_str());
+        prop_assume!(lo < hi);
+        let covered = map.shards_for_range(&lo, &hi);
+        let probe_key = Key::from(probe.as_str());
+        if probe_key >= lo && probe_key < hi {
+            let owner = map.shard_for_key(&probe_key);
+            prop_assert!(
+                covered.contains(&owner),
+                "owner {owner:?} of {probe:?} missing from {covered:?}"
+            );
+        }
+    }
+
+    /// Adding one shard moves a bounded fraction of keys (consistent
+    /// hashing), never more than half.
+    #[test]
+    fn growth_moves_bounded_fraction(shards in 2u32..24) {
+        let before = ShardMap::dense(
+            shards, 1, Mode::MS_SC,
+            Partitioning::ConsistentHash { vnodes: 32 },
+        );
+        let after = ShardMap::dense(
+            shards + 1, 1, Mode::MS_SC,
+            Partitioning::ConsistentHash { vnodes: 32 },
+        );
+        let total = 2000;
+        let moved = (0..total)
+            .filter(|i| {
+                let k = Key::from(format!("key{i}"));
+                before.shard_for_key(&k) != after.shard_for_key(&k)
+            })
+            .count();
+        prop_assert!(
+            (moved as f64) < total as f64 * 0.5,
+            "moved {moved}/{total} adding 1 shard to {shards}"
+        );
+    }
+
+    /// Chain navigation is consistent: successor/predecessor invert each
+    /// other and head/tail sit at the ends.
+    #[test]
+    fn chain_navigation_consistent(replication in 1u32..8) {
+        let map = ShardMap::dense(1, replication, Mode::MS_SC,
+            Partitioning::ConsistentHash { vnodes: 8 });
+        let info = map.shard(bespokv_types::ShardId(0)).unwrap();
+        let head = info.head().unwrap();
+        let tail = info.tail().unwrap();
+        prop_assert!(info.predecessor(head).is_none());
+        prop_assert!(info.successor(tail).is_none());
+        let mut walk = vec![head];
+        while let Some(next) = info.successor(*walk.last().unwrap()) {
+            prop_assert_eq!(info.predecessor(next), Some(*walk.last().unwrap()));
+            walk.push(next);
+        }
+        prop_assert_eq!(walk, info.replicas.clone());
+    }
+}

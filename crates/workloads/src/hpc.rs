@@ -1,0 +1,250 @@
+//! HPC workloads (paper sections VI-A and VIII-A/B).
+//!
+//! The paper derives two control-plane workloads from real HPC services and
+//! two storage workloads from a Lustre monitoring deployment:
+//!
+//! * **Job launch** — messages captured around an MPI job launch; control
+//!   messages from the servers are Gets, results flowing back are Puts.
+//!   Section VIII-B gives the effective balance (~50% Get).
+//! * **I/O forwarding** — SeaweedFS metadata traffic: create 10,000 files,
+//!   then read or write each with 50% probability; measured Get:Put ratio
+//!   62%:38%.
+//! * **Monitoring** — Lustre stats collection (MDS/OSS/OST/MDT counters as
+//!   time-series KV pairs): write-dominated.
+//! * **Analytics** — the I/O load-balancer model reading the collected
+//!   series: "completely read-intensive with uniform distribution".
+
+use crate::ycsb::{make_key, make_value, Distribution, Mix, Workload, WorkloadConfig};
+use bespokv_proto::client::Op;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which HPC trace to synthesize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HpcTrace {
+    /// MPI job launch (Get:Put 50:50).
+    JobLaunch,
+    /// I/O forwarding metadata (Get:Put 62:38).
+    IoForwarding,
+    /// Lustre monitoring collection (Put-dominated, sequential series).
+    Monitoring,
+    /// Analytics over collected series (read-only, uniform).
+    Analytics,
+}
+
+impl HpcTrace {
+    /// Stable tag for reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            HpcTrace::JobLaunch => "job-launch",
+            HpcTrace::IoForwarding => "io-forwarding",
+            HpcTrace::Monitoring => "monitoring",
+            HpcTrace::Analytics => "analytics",
+        }
+    }
+
+    /// The Get fraction the paper reports for this trace.
+    pub fn get_fraction(self) -> f64 {
+        match self {
+            HpcTrace::JobLaunch => 0.50,
+            HpcTrace::IoForwarding => 0.62,
+            HpcTrace::Monitoring => 0.10,
+            HpcTrace::Analytics => 1.00,
+        }
+    }
+
+    /// Builds the generator.
+    pub fn workload(self, seed: u64) -> HpcWorkload {
+        HpcWorkload::new(self, seed)
+    }
+}
+
+/// Synthetic HPC trace generator.
+///
+/// Job launch and I/O forwarding reuse the YCSB machinery with the traces'
+/// measured mixes (time-serialized request streams over a metadata-sized
+/// keyspace). Monitoring emits append-style writes to per-source series
+/// keys (`mon/<component>/<source>/<seq>`), mimicking the Lustre collector;
+/// analytics reads those series uniformly.
+pub struct HpcWorkload {
+    trace: HpcTrace,
+    inner: Workload,
+    rng: StdRng,
+    /// Monitoring sequence per source component.
+    mon_seq: Vec<u64>,
+}
+
+/// Monitored Lustre components (paper: MDS/OSS system stats plus OST/MDT
+/// metadata).
+pub const LUSTRE_COMPONENTS: [&str; 4] = ["mds", "oss", "ost", "mdt"];
+
+/// Monitored sources per component.
+const SOURCES_PER_COMPONENT: usize = 16;
+
+impl HpcWorkload {
+    /// Creates the generator.
+    pub fn new(trace: HpcTrace, seed: u64) -> Self {
+        let mix = match trace {
+            HpcTrace::JobLaunch => Mix::read_write(0.50),
+            HpcTrace::IoForwarding => Mix::read_write(0.62),
+            HpcTrace::Monitoring => Mix::read_write(0.10),
+            HpcTrace::Analytics => Mix::read_write(1.0),
+        };
+        // Metadata keyspaces are small next to YCSB data (10k files in the
+        // paper's SeaweedFS run, extended to 10M requests).
+        let cfg = WorkloadConfig {
+            num_keys: 10_000,
+            key_len: 24,
+            value_len: 64,
+            mix,
+            distribution: Distribution::Uniform,
+            scan_len: 0,
+            seed,
+        };
+        HpcWorkload {
+            trace,
+            inner: Workload::new(cfg),
+            rng: StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A),
+            mon_seq: vec![0; LUSTRE_COMPONENTS.len() * SOURCES_PER_COMPONENT],
+        }
+    }
+
+    /// Which trace this generates.
+    pub fn trace(&self) -> HpcTrace {
+        self.trace
+    }
+
+    fn monitoring_op(&mut self) -> Op {
+        let is_put = self.rng.gen::<f64>() >= self.trace.get_fraction();
+        let src = self.rng.gen_range(0..self.mon_seq.len());
+        let comp = LUSTRE_COMPONENTS[src / SOURCES_PER_COMPONENT];
+        if is_put {
+            let seq = self.mon_seq[src];
+            self.mon_seq[src] += 1;
+            Op::Put {
+                key: series_key(comp, src, seq),
+                value: make_value(seq, 64),
+            }
+        } else {
+            // Collector-side readback of a recent sample.
+            let seq = self.mon_seq[src].saturating_sub(1 + self.rng.gen_range(0..8));
+            Op::Get {
+                key: series_key(comp, src, seq),
+            }
+        }
+    }
+
+    fn analytics_op(&mut self) -> Op {
+        // Uniform reads over the collected series (stripe counts and byte
+        // counts consumed by the load-balancer model).
+        let src = self.rng.gen_range(0..self.mon_seq.len());
+        let comp = LUSTRE_COMPONENTS[src / SOURCES_PER_COMPONENT];
+        let horizon = self.mon_seq[src].max(1024);
+        let seq = self.rng.gen_range(0..horizon);
+        Op::Get {
+            key: series_key(comp, src, seq),
+        }
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> Op {
+        match self.trace {
+            HpcTrace::Monitoring => self.monitoring_op(),
+            HpcTrace::Analytics => self.analytics_op(),
+            _ => self.inner.next_op(),
+        }
+    }
+
+    /// Pre-populates `n` keys so read paths hit (loader helper).
+    pub fn load_keys(&self, n: u64) -> Vec<(bespokv_types::Key, bespokv_types::Value)> {
+        match self.trace {
+            HpcTrace::Monitoring | HpcTrace::Analytics => {
+                let per = (n as usize / self.mon_seq.len()).max(1);
+                let mut out = Vec::new();
+                for src in 0..self.mon_seq.len() {
+                    let comp = LUSTRE_COMPONENTS[src / SOURCES_PER_COMPONENT];
+                    for seq in 0..per as u64 {
+                        out.push((series_key(comp, src, seq), make_value(seq, 64)));
+                    }
+                }
+                out
+            }
+            _ => (0..n)
+                .map(|i| (make_key(i % 10_000, 24), make_value(i, 64)))
+                .collect(),
+        }
+    }
+}
+
+fn series_key(component: &str, source: usize, seq: u64) -> bespokv_types::Key {
+    bespokv_types::Key::from(format!("mon/{component}/{source:03}/{seq:012}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measure_get_fraction(trace: HpcTrace) -> f64 {
+        let mut w = trace.workload(11);
+        let total = 20_000;
+        let gets = (0..total)
+            .filter(|_| matches!(w.next_op(), Op::Get { .. }))
+            .count();
+        gets as f64 / total as f64
+    }
+
+    #[test]
+    fn job_launch_is_balanced() {
+        let f = measure_get_fraction(HpcTrace::JobLaunch);
+        assert!((0.48..=0.52).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn io_forwarding_reads_62_percent() {
+        let f = measure_get_fraction(HpcTrace::IoForwarding);
+        assert!((0.60..=0.64).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn monitoring_is_write_dominated() {
+        let f = measure_get_fraction(HpcTrace::Monitoring);
+        assert!(f < 0.15, "{f}");
+    }
+
+    #[test]
+    fn analytics_is_read_only() {
+        assert_eq!(measure_get_fraction(HpcTrace::Analytics), 1.0);
+    }
+
+    #[test]
+    fn monitoring_writes_are_append_style() {
+        let mut w = HpcTrace::Monitoring.workload(5);
+        let mut per_series: std::collections::HashMap<String, Vec<String>> =
+            std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            if let Op::Put { key, .. } = w.next_op() {
+                let s = String::from_utf8_lossy(key.as_bytes()).to_string();
+                let (series, seq) = s.rsplit_once('/').unwrap();
+                per_series
+                    .entry(series.to_string())
+                    .or_default()
+                    .push(seq.to_string());
+            }
+        }
+        // Within each series, sequence numbers strictly increase.
+        for (series, seqs) in per_series {
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "series {series} not monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn loader_produces_keys_for_reads() {
+        let w = HpcTrace::Analytics.workload(1);
+        let loaded = w.load_keys(4096);
+        assert!(!loaded.is_empty());
+        assert!(loaded.iter().all(|(k, _)| k.as_bytes().starts_with(b"mon/")));
+    }
+}

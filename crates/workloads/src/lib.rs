@@ -1,0 +1,19 @@
+//! Workload generators for the bespoKV evaluation.
+//!
+//! * [`ycsb`] — YCSB-style key/value workloads (section VIII-A of the
+//!   paper): 16-byte keys, 32-byte values, uniform and Zipfian(0.99)
+//!   popularity, configurable Get/Put/Scan mixes (95% GET read-mostly,
+//!   50% GET update-intensive, 95% SCAN scan-intensive).
+//! * [`hpc`] — the HPC-derived workloads: MPI job launch (Get:Put
+//!   50%:50%), I/O forwarding (62%:38%, from SeaweedFS metadata traces),
+//!   and the Lustre monitoring/analytics pair from the use case in
+//!   section VI-A.
+//! * [`zipf`] — a YCSB-faithful Zipfian generator (Gray et al.), with the
+//!   scrambled variant used to spread hot keys across the keyspace.
+
+pub mod hpc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use ycsb::{Distribution, Mix, OpKind, Workload, WorkloadConfig};
+pub use zipf::Zipfian;

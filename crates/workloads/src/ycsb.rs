@@ -1,0 +1,313 @@
+//! YCSB-style workload generation (paper section VIII-A).
+//!
+//! "All workloads consist of 10 million unique KV tuples, each with 16 B
+//! key and 32 B value ... following a balanced uniform KV popularity
+//! distribution and a skewed Zipfian distribution (Zipfian constant =
+//! 0.99)." The three named mixes are read-mostly (95% GET), update-
+//! intensive (50% GET) and scan-intensive (95% SCAN, 5% PUT).
+
+use crate::zipf::Zipfian;
+use bespokv_proto::client::Op;
+use bespokv_types::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Operation classes the mix chooses between.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read.
+    Get,
+    /// Point write.
+    Put,
+    /// Range scan.
+    Scan,
+}
+
+/// An operation mix (fractions must sum to 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mix {
+    /// Fraction of Gets.
+    pub get: f64,
+    /// Fraction of Puts.
+    pub put: f64,
+    /// Fraction of Scans.
+    pub scan: f64,
+}
+
+impl Mix {
+    /// YCSB read-mostly: 95% GET / 5% PUT.
+    pub const READ_MOSTLY: Mix = Mix {
+        get: 0.95,
+        put: 0.05,
+        scan: 0.0,
+    };
+    /// YCSB update-intensive: 50% GET / 50% PUT.
+    pub const UPDATE_INTENSIVE: Mix = Mix {
+        get: 0.50,
+        put: 0.50,
+        scan: 0.0,
+    };
+    /// YCSB scan-intensive: 95% SCAN / 5% PUT.
+    pub const SCAN_INTENSIVE: Mix = Mix {
+        get: 0.0,
+        put: 0.05,
+        scan: 0.95,
+    };
+
+    /// Builds a custom Get/Put mix.
+    pub fn read_write(get: f64) -> Mix {
+        Mix {
+            get,
+            put: 1.0 - get,
+            scan: 0.0,
+        }
+    }
+
+    fn pick(&self, r: f64) -> OpKind {
+        if r < self.get {
+            OpKind::Get
+        } else if r < self.get + self.put {
+            OpKind::Put
+        } else {
+            OpKind::Scan
+        }
+    }
+}
+
+/// Key popularity distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Balanced uniform.
+    Uniform,
+    /// Skewed Zipfian with constant 0.99 (scrambled, YCSB-style).
+    Zipfian,
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Unique keys in the keyspace (paper: 10 million).
+    pub num_keys: u64,
+    /// Key size in bytes (paper: 16).
+    pub key_len: usize,
+    /// Value size in bytes (paper: 32).
+    pub value_len: usize,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Popularity distribution.
+    pub distribution: Distribution,
+    /// Entries a scan asks for.
+    pub scan_len: u32,
+    /// RNG seed (workloads are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's configuration with a chosen mix and distribution.
+    pub fn paper(mix: Mix, distribution: Distribution) -> Self {
+        WorkloadConfig {
+            num_keys: 10_000_000,
+            key_len: 16,
+            value_len: 32,
+            mix,
+            distribution,
+            scan_len: 100,
+            seed: 0xBE5B0CF,
+        }
+    }
+
+    /// A scaled-down keyspace for unit tests and simulation runs.
+    pub fn small(mix: Mix, distribution: Distribution) -> Self {
+        WorkloadConfig {
+            num_keys: 100_000,
+            ..Self::paper(mix, distribution)
+        }
+    }
+}
+
+/// A deterministic stream of operations.
+pub struct Workload {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    zipf: Option<Zipfian>,
+    issued: u64,
+}
+
+impl Workload {
+    /// Creates the stream.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let zipf = match cfg.distribution {
+            Distribution::Uniform => None,
+            Distribution::Zipfian => Some(Zipfian::ycsb(cfg.num_keys).scrambled()),
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Workload {
+            cfg,
+            rng,
+            zipf,
+            issued: 0,
+        }
+    }
+
+    /// Derives a second stream with a different seed (per-client streams).
+    pub fn fork(&self, salt: u64) -> Workload {
+        let mut cfg = self.cfg.clone();
+        cfg.seed = cfg.seed.wrapping_add(salt.wrapping_mul(0x9E37_79B9));
+        Workload::new(cfg)
+    }
+
+    /// The `i`-th key of the keyspace (shared with loaders).
+    pub fn key_at(&self, rank: u64) -> Key {
+        make_key(rank, self.cfg.key_len)
+    }
+
+    /// A value of the configured size, varying with `salt`.
+    pub fn value(&mut self, salt: u64) -> Value {
+        make_value(salt, self.cfg.value_len)
+    }
+
+    /// Number of operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    fn next_rank(&mut self) -> u64 {
+        match &self.zipf {
+            Some(z) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.cfg.num_keys),
+        }
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> Op {
+        self.issued += 1;
+        let kind = self.cfg.mix.pick(self.rng.gen::<f64>());
+        let rank = self.next_rank();
+        match kind {
+            OpKind::Get => Op::Get {
+                key: make_key(rank, self.cfg.key_len),
+            },
+            OpKind::Put => Op::Put {
+                key: make_key(rank, self.cfg.key_len),
+                value: make_value(self.issued, self.cfg.value_len),
+            },
+            OpKind::Scan => {
+                let start = make_key(rank, self.cfg.key_len);
+                // End bound: a key comfortably past `scan_len` successors.
+                let end_rank = (rank + self.cfg.scan_len as u64 * 2).min(self.cfg.num_keys);
+                Op::Scan {
+                    start,
+                    end: make_key(end_rank, self.cfg.key_len),
+                    limit: self.cfg.scan_len,
+                }
+            }
+        }
+    }
+}
+
+/// Formats the canonical fixed-width key for a rank (`user` + zero-padded
+/// decimal, like YCSB's `user########`).
+pub fn make_key(rank: u64, key_len: usize) -> Key {
+    let digits = key_len.saturating_sub(4).max(1);
+    let s = format!("user{rank:0width$}", width = digits);
+    Key::from(s)
+}
+
+/// Builds a deterministic value of `len` bytes derived from `salt`.
+pub fn make_value(salt: u64, len: usize) -> Value {
+    let mut v = Vec::with_capacity(len);
+    let mut x = salt | 1;
+    while v.len() < len {
+        x = bespokv_types::shardmap::splitmix64(x);
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.truncate(len);
+    Value::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_have_configured_length() {
+        assert_eq!(make_key(0, 16).len(), 16);
+        assert_eq!(make_key(9_999_999, 16).len(), 16);
+        assert_eq!(make_value(7, 32).len(), 32);
+    }
+
+    #[test]
+    fn mixes_hit_configured_ratios() {
+        let mut w = Workload::new(WorkloadConfig::small(
+            Mix::READ_MOSTLY,
+            Distribution::Uniform,
+        ));
+        let mut gets = 0;
+        let total = 20_000;
+        for _ in 0..total {
+            if matches!(w.next_op(), Op::Get { .. }) {
+                gets += 1;
+            }
+        }
+        let frac = gets as f64 / total as f64;
+        assert!((0.94..=0.96).contains(&frac), "get fraction {frac}");
+    }
+
+    #[test]
+    fn scan_mix_produces_scans_with_limits() {
+        let mut w = Workload::new(WorkloadConfig::small(
+            Mix::SCAN_INTENSIVE,
+            Distribution::Uniform,
+        ));
+        let mut scans = 0;
+        for _ in 0..1000 {
+            if let Op::Scan { start, end, limit } = w.next_op() {
+                scans += 1;
+                assert!(start < end);
+                assert_eq!(limit, 100);
+            }
+        }
+        assert!(scans > 900);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = || {
+            let mut w = Workload::new(WorkloadConfig::small(
+                Mix::UPDATE_INTENSIVE,
+                Distribution::Zipfian,
+            ));
+            (0..50).map(|_| format!("{:?}", w.next_op())).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(), gen());
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let base = Workload::new(WorkloadConfig::small(
+            Mix::UPDATE_INTENSIVE,
+            Distribution::Uniform,
+        ));
+        let mut a = base.fork(1);
+        let mut b = base.fork(2);
+        let sa: Vec<String> = (0..20).map(|_| format!("{:?}", a.next_op())).collect();
+        let sb: Vec<String> = (0..20).map(|_| format!("{:?}", b.next_op())).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn zipfian_workload_reuses_hot_keys() {
+        let mut w = Workload::new(WorkloadConfig::small(
+            Mix::READ_MOSTLY,
+            Distribution::Zipfian,
+        ));
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            if let Op::Get { key } = w.next_op() {
+                *seen.entry(key).or_insert(0u32) += 1;
+            }
+        }
+        let max = seen.values().max().copied().unwrap_or(0);
+        assert!(max > 100, "hot key repeated {max} times");
+    }
+}

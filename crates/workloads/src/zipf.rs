@@ -1,0 +1,176 @@
+//! Zipfian popularity distribution, YCSB-style.
+//!
+//! Implements the Gray et al. "Quickly generating billion-record synthetic
+//! databases" algorithm that YCSB uses: constant-time sampling after an
+//! O(n) zeta precomputation. The default skew is theta = 0.99, matching
+//! the paper's "skewed Zipfian distribution (where Zipfian constant =
+//! 0.99)".
+//!
+//! The scrambled variant hashes the rank so popular items spread uniformly
+//! over the keyspace instead of clustering at low ids — this is what YCSB
+//! does, and it matters for shard balance.
+
+use bespokv_types::shardmap::splitmix64;
+use rand::Rng;
+
+/// Zipfian sampler over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `0..n` with skew `theta` (YCSB default 0.99).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty keyspace");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            scramble: false,
+        }
+    }
+
+    /// YCSB's default skew.
+    pub fn ycsb(n: u64) -> Self {
+        Self::new(n, 0.99)
+    }
+
+    /// Enables rank scrambling (spread hot items across the id space).
+    pub fn scrambled(mut self) -> Self {
+        self.scramble = true;
+        self
+    }
+
+    /// The keyspace size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen::<f64>();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scramble {
+            splitmix64(rank) % self.n
+        } else {
+            rank
+        }
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct summation; keyspaces in the experiments are <= 10M and this
+    // runs once per workload. For much larger n, the YCSB incremental
+    // approximation would be the next step.
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::ycsb(1000);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_few_keys() {
+        let n = 10_000u64;
+        let z = Zipfian::ycsb(n);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; n as usize];
+        let samples = 200_000;
+        for _ in 0..samples {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 must be by far the hottest; with theta=0.99 over 10k keys
+        // it draws around 10% of all accesses.
+        let hot = counts[0] as f64 / samples as f64;
+        assert!(hot > 0.05, "rank-0 share {hot}");
+        // The top 1% of ranks should cover well over half the accesses.
+        let top1pct: u32 = counts[..(n as usize / 100)].iter().sum();
+        assert!(
+            top1pct as f64 / samples as f64 > 0.5,
+            "top-1% share {}",
+            top1pct as f64 / samples as f64
+        );
+    }
+
+    #[test]
+    fn uniform_limit_when_theta_zero() {
+        let n = 100u64;
+        let z = Zipfian::new(n, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "theta=0 should be near uniform");
+    }
+
+    #[test]
+    fn scramble_moves_hot_key_but_preserves_skew() {
+        let n = 10_000u64;
+        let plain = Zipfian::ycsb(n);
+        let scrambled = Zipfian::ycsb(n).scrambled();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..100_000 {
+            counts[scrambled.sample(&mut rng) as usize] += 1;
+        }
+        let hottest = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i as u64)
+            .unwrap();
+        assert_eq!(hottest, splitmix64(0) % n, "hot rank lands at hash(0)");
+        let _ = plain;
+        let hot_share = *counts.iter().max().unwrap() as f64 / 100_000.0;
+        assert!(hot_share > 0.05);
+    }
+
+    #[test]
+    fn deterministic_with_seeded_rng() {
+        let z = Zipfian::ycsb(500);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Distributed cache for deep-learning training (paper section VI-B).
+//!
+//! DL ingestion hammers the storage tier with parallel reads of many small
+//! objects (image tiles); parallel file systems choke on that, so the
+//! paper builds a bespoKV-based distributed cache with kernel-bypass
+//! transport. This example stands up that cache (AA+EC over tHT — every
+//! node serves reads), preloads a training epoch's dataset, replays
+//! multi-worker epoch reads, and compares socket vs DPDK-class transport.
+//!
+//! Run with: `cargo run --example dl_cache`
+
+use bespokv_suite::cluster::{ClusterSpec, SimCluster};
+use bespokv_suite::runtime::TransportProfile;
+use bespokv_suite::types::{ConsistencyLevel, Duration, Key, Mode, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One epoch's dataset: image tiles of ~8 KiB.
+const IMAGES: u64 = 4_000;
+const TILE_BYTES: usize = 8 << 10;
+
+fn image_key(i: u64) -> Key {
+    Key::from(format!("img/{i:08}"))
+}
+
+fn run_cache(transport: TransportProfile) -> (f64, f64) {
+    // 4 cache nodes, 2-way replication, active-active: any node serves.
+    let spec = ClusterSpec::new(2, 2, Mode::AA_EC).with_transport(transport);
+    let mut cluster = SimCluster::build(spec);
+    cluster.preload(
+        (0..IMAGES).map(|i| (image_key(i), Value::from(vec![0xAB; TILE_BYTES]))),
+    );
+    // 8 data-loader workers, each streaming a shuffled epoch.
+    for w in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(w);
+        cluster.add_client(
+            Box::new(move || {
+                (
+                    bespokv_suite::proto::Op::Get {
+                        key: image_key(rng.gen_range(0..IMAGES)),
+                    },
+                    String::new(),
+                    ConsistencyLevel::Default,
+                )
+            }),
+            8,
+            Duration::from_millis(100),
+            Duration::from_millis(500),
+        );
+    }
+    let window = Duration::from_millis(1500);
+    cluster.run_for(Duration::from_millis(100) + window);
+    let stats = cluster.collect_stats(window);
+    (stats.qps(), stats.mean_latency_ms())
+}
+
+fn main() {
+    println!("== distributed DL training cache (section VI-B) ==\n");
+    println!(
+        "dataset: {IMAGES} tiles x {} KiB; 8 loader workers, 4 cache nodes (AA+EC)\n",
+        TILE_BYTES >> 10
+    );
+    let (sock_qps, sock_lat) = run_cache(TransportProfile::socket());
+    println!(
+        "kernel sockets : {:>9.0} images/s   mean latency {:.3} ms",
+        sock_qps, sock_lat
+    );
+    let (dpdk_qps, dpdk_lat) = run_cache(TransportProfile::dpdk());
+    println!(
+        "kernel bypass  : {:>9.0} images/s   mean latency {:.3} ms",
+        dpdk_qps, dpdk_lat
+    );
+    println!(
+        "\nspeedup x{:.1} (the paper's cache trained 4x faster: 40 vs 10 images/s/GPU)",
+        dpdk_qps / sock_qps
+    );
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the bespoKV workspace.
+//!
+//! Re-exports every sub-crate under one roof so that `examples/` and the
+//! cross-crate integration tests in `tests/` can use a single dependency.
+//! Downstream users should depend on the individual crates (most commonly
+//! [`bespokv`]) directly.
+
+pub use bespokv;
+pub use bespokv_baselines as baselines;
+pub use bespokv_cluster as cluster;
+pub use bespokv_coordinator as coordinator;
+pub use bespokv_datalet as datalet;
+pub use bespokv_dlm as dlm;
+pub use bespokv_proto as proto;
+pub use bespokv_runtime as runtime;
+pub use bespokv_sharedlog as sharedlog;
+pub use bespokv_types as types;
+pub use bespokv_workloads as workloads;
