@@ -1,0 +1,218 @@
+//! Hot-path probe: measures the three legs of a request's journey —
+//! wire codec, datalet table, TCP edge — and prints one JSON object.
+//!
+//! Used to produce `BENCH_hotpath.json` (before/after numbers for the
+//! zero-copy codec, O(1) tHT bookkeeping, and coalesced TCP work). Run
+//! with `cargo run --release --bin hotpath`.
+
+use bespokv_datalet::{EngineKind, DEFAULT_TABLE};
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_proto::wire::{Decode, Encode};
+use bespokv_runtime::tcp::{Handler, TcpClient, TcpServer};
+use bespokv_types::{ClientId, Key, KvError, RequestId, Value, VersionedValue};
+use bytes::BytesMut;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn sample_put(seq: u32) -> Request {
+    Request::new(
+        RequestId::compose(ClientId(1), seq),
+        Op::Put {
+            key: Key::from("user000000001234"),
+            value: Value::from("x".repeat(32)),
+        },
+    )
+}
+
+fn sample_response() -> Response {
+    Response::ok(
+        RequestId::compose(ClientId(1), 42),
+        RespBody::Value(VersionedValue::new(Value::from("y".repeat(32)), 7)),
+    )
+}
+
+/// Times `f` in a calibrated loop; returns ns per call.
+fn ns_per_call<R>(mut f: impl FnMut() -> R) -> f64 {
+    // Warm up and estimate.
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_millis() < 50 {
+        std::hint::black_box(f());
+        calls += 1;
+    }
+    let per_call = (start.elapsed().as_nanos() as f64 / calls as f64).max(1.0);
+    // Target ~200ms of measurement, 5 samples; report the median.
+    let iters = ((40_000_000.0 / per_call) as u64).clamp(1, 50_000_000);
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_codec() -> String {
+    let req = sample_put(42);
+    let mut buf = BytesMut::with_capacity(256);
+    let encode_ns = ns_per_call(|| {
+        buf.clear();
+        req.encode(&mut buf);
+    });
+    let encoded = req.to_bytes();
+    let decode_req_ns = ns_per_call(|| Request::from_bytes(std::hint::black_box(&encoded)).unwrap());
+    let resp_bytes = sample_response().to_bytes();
+    let decode_resp_ns =
+        ns_per_call(|| Response::from_bytes(std::hint::black_box(&resp_bytes)).unwrap());
+
+    // Full parser loop: frame + encode on one side, feed + decode on the other.
+    let mut client = BinaryParser::new();
+    let mut server = BinaryParser::new();
+    let mut wire = BytesMut::new();
+    let parser_loop_ns = ns_per_call(|| {
+        wire.clear();
+        client.encode_request(&req, &mut wire);
+        server.feed(&wire);
+        server.next_request().unwrap().unwrap()
+    });
+
+    format!(
+        "{{\"encode_request_ns\":{encode_ns:.1},\"decode_request_ns\":{decode_req_ns:.1},\
+         \"decode_response_ns\":{decode_resp_ns:.1},\"parser_request_loop_ns\":{parser_loop_ns:.1}}}"
+    )
+}
+
+fn bench_tht() -> String {
+    let engine = EngineKind::THt.build();
+    const KEYS: u64 = 100_000;
+    for i in 0..KEYS {
+        engine
+            .put(
+                DEFAULT_TABLE,
+                Key::from(format!("user{i:012}")),
+                Value::from("w".repeat(32)),
+                1,
+            )
+            .unwrap();
+    }
+    let keys: Vec<Key> = (0..KEYS).map(|i| Key::from(format!("user{i:012}"))).collect();
+
+    let mut i = 0usize;
+    let get_ns = ns_per_call(|| {
+        i = (i + 7) % keys.len();
+        engine.get(DEFAULT_TABLE, &keys[i]).unwrap()
+    });
+    let mut ver = 2u64;
+    let mut j = 0usize;
+    let put_ns = ns_per_call(|| {
+        j = (j + 13) % keys.len();
+        ver += 1;
+        engine
+            .put(DEFAULT_TABLE, keys[j].clone(), Value::from("z".repeat(32)), ver)
+            .unwrap()
+    });
+    let live_len_ns = ns_per_call(|| engine.len());
+    let stats_ns = ns_per_call(|| engine.stats());
+
+    // Multithreaded mixed workload: 4 threads, 90/10 get/put, 200k ops each.
+    let eng = Arc::clone(&engine);
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let eng = Arc::clone(&eng);
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                let mut v = 1000 + t;
+                for n in 0..200_000u64 {
+                    let k = &keys[((n * 31 + t * 7919) % KEYS) as usize];
+                    if n % 10 == 0 {
+                        v += 4;
+                        eng.put(DEFAULT_TABLE, k.clone(), Value::from("m".repeat(32)), v)
+                            .unwrap();
+                    } else {
+                        let _ = eng.get(DEFAULT_TABLE, k);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mt_ops_per_sec = 800_000.0 / t0.elapsed().as_secs_f64();
+
+    format!(
+        "{{\"get_ns\":{get_ns:.1},\"put_ns\":{put_ns:.1},\"live_len_ns\":{live_len_ns:.1},\
+         \"stats_ns\":{stats_ns:.1},\"mt_4thread_ops_per_sec\":{mt_ops_per_sec:.0}}}"
+    )
+}
+
+fn kv_handler() -> Arc<Handler> {
+    let engine = EngineKind::THt.build();
+    Arc::new(move |req: Request| {
+        let result = match &req.op {
+            Op::Put { key, value } => {
+                let version = req.id.raw();
+                engine
+                    .put(DEFAULT_TABLE, key.clone(), value.clone(), version)
+                    .map(|_| RespBody::Done)
+            }
+            Op::Get { key } => engine.get(DEFAULT_TABLE, key).map(RespBody::Value),
+            _ => Err(KvError::Rejected("unsupported".into())),
+        };
+        Response {
+            id: req.id,
+            result,
+        }
+    })
+}
+
+fn bench_tcp() -> String {
+    let server = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+        kv_handler(),
+    )
+    .unwrap();
+    let mut client = TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+
+    // Sequential RTT distribution.
+    let mut rtts_us: Vec<f64> = Vec::with_capacity(20_000);
+    for seq in 0..20_000u32 {
+        let req = sample_put(seq);
+        let t = Instant::now();
+        client.call(&req).unwrap();
+        rtts_us.push(t.elapsed().as_nanos() as f64 / 1e3);
+    }
+    rtts_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = rtts_us[rtts_us.len() / 2];
+    let p99 = rtts_us[rtts_us.len() * 99 / 100];
+
+    // Pipelined throughput: batches of 64 for ~1s.
+    let reqs: Vec<Request> = (0..64u32).map(sample_put).collect();
+    let t0 = Instant::now();
+    let mut done = 0u64;
+    while t0.elapsed().as_millis() < 1000 {
+        let resps = client.call_pipelined(&reqs).unwrap();
+        assert_eq!(resps.len(), reqs.len());
+        done += reqs.len() as u64;
+    }
+    let pipelined_qps = done as f64 / t0.elapsed().as_secs_f64();
+    server.stop();
+
+    format!(
+        "{{\"rtt_p50_us\":{p50:.1},\"rtt_p99_us\":{p99:.1},\"pipelined_qps\":{pipelined_qps:.0}}}"
+    )
+}
+
+fn main() {
+    let codec = bench_codec();
+    let tht = bench_tht();
+    let tcp = bench_tcp();
+    println!("{{\"codec\":{codec},\"tht\":{tht},\"tcp\":{tcp}}}");
+}

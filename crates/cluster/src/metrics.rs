@@ -1,6 +1,7 @@
-//! Measurement primitives: latency histograms, throughput timelines, and
-//! aggregated run statistics.
+//! Measurement primitives: latency histograms, throughput timelines,
+//! transport edge counters, and aggregated run statistics.
 
+use bespokv_runtime::tcp::{TcpServer, TcpServerStats};
 use bespokv_types::{Duration, Instant};
 
 /// Geometric-bucket latency histogram.
@@ -153,6 +154,46 @@ impl Timeline {
     }
 }
 
+/// Aggregated TCP edge counters across a cluster's controlet servers.
+///
+/// A connection dropped for a malformed stream is invisible to the request
+/// metrics above (no request ever parsed), so the edge exports it as its
+/// own counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Connections accepted across all servers.
+    pub connections_accepted: u64,
+    /// Connections dropped because the peer sent a malformed stream.
+    pub protocol_error_drops: u64,
+}
+
+impl EdgeStats {
+    /// Folds one server's counters into the aggregate.
+    pub fn absorb(&mut self, s: TcpServerStats) {
+        self.connections_accepted += s.connections_accepted;
+        self.protocol_error_drops += s.protocol_error_drops;
+    }
+
+    /// Snapshots and sums the counters of every given server.
+    pub fn collect<'a>(servers: impl IntoIterator<Item = &'a TcpServer>) -> EdgeStats {
+        let mut agg = EdgeStats::default();
+        for s in servers {
+            agg.absorb(s.stats());
+        }
+        agg
+    }
+}
+
+impl std::fmt::Display for EdgeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "edge: {} conns accepted, {} dropped on protocol errors",
+            self.connections_accepted, self.protocol_error_drops
+        )
+    }
+}
+
 /// Aggregated results of one measured run.
 #[derive(Clone, Debug)]
 pub struct RunStats {
@@ -241,6 +282,47 @@ mod tests {
         };
         assert_eq!(stats.qps(), 1000.0);
         assert_eq!(stats.kqps(), 1.0);
+    }
+
+    #[test]
+    fn edge_stats_aggregate_server_counters() {
+        let mut agg = EdgeStats::default();
+        agg.absorb(TcpServerStats {
+            connections_accepted: 3,
+            protocol_error_drops: 1,
+        });
+        agg.absorb(TcpServerStats {
+            connections_accepted: 2,
+            protocol_error_drops: 0,
+        });
+        assert_eq!(agg.connections_accepted, 5);
+        assert_eq!(agg.protocol_error_drops, 1);
+        assert!(agg.to_string().contains("1 dropped"));
+    }
+
+    #[test]
+    fn edge_stats_collect_from_live_server() {
+        use bespokv_proto::client::{RespBody, Response};
+        use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+        use std::io::Write;
+        use std::sync::Arc;
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            Arc::new(|req| Response::ok(req.id, RespBody::Done)),
+        )
+        .unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while EdgeStats::collect([&server]).protocol_error_drops == 0 {
+            assert!(std::time::Instant::now() < deadline, "drop never surfaced");
+            std::thread::yield_now();
+        }
+        let agg = EdgeStats::collect([&server]);
+        assert_eq!(agg.connections_accepted, 1);
+        assert_eq!(agg.protocol_error_drops, 1);
+        server.stop();
     }
 
     #[test]

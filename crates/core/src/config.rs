@@ -6,24 +6,20 @@
 //! We parse the same shapes.
 
 use bespokv_types::{Consistency, KvError, KvResult, Mode, Topology};
-use serde::{Deserialize, Serialize};
 
 /// The JSON controlet configuration (paper example:
 /// `{"zk": ..., "consistency_model": "strong", "consistency_tech": "cr",
 ///   "topology": "ms", "num_replicas": "2"}`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ControlPlaneConfig {
     /// Coordinator (ZooKeeper in the paper) endpoint.
-    #[serde(default)]
     pub zk: String,
     /// Message-queue / shared-log endpoint, when the mode needs one.
-    #[serde(default)]
     pub mq: String,
     /// `"strong"` or `"eventual"`.
     pub consistency_model: String,
     /// Implementation technique hint (`"cr"` for chain replication,
     /// `"async"`, `"dlm"`, `"sharedlog"`). Informational; the mode decides.
-    #[serde(default)]
     pub consistency_tech: String,
     /// `"ms"` or `"aa"`.
     pub topology: String,
@@ -31,6 +27,20 @@ pub struct ControlPlaneConfig {
     /// paper's format quotes it and documents the exclusive meaning.
     pub num_replicas: String,
 }
+
+// `#[default]` mirrors the optional fields of the paper's format
+// (`#[serde(default)]` under the real derive).
+serde::impl_serde_struct!(ControlPlaneConfig {
+    #[default]
+    zk: String,
+    #[default]
+    mq: String,
+    consistency_model: String,
+    #[default]
+    consistency_tech: String,
+    topology: String,
+    num_replicas: String,
+});
 
 impl ControlPlaneConfig {
     /// Parses the JSON text.

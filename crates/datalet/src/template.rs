@@ -50,6 +50,13 @@ pub trait TableStore: Send + Sync {
     /// Reads a record (tombstones included).
     fn read(&self, key: &Key) -> Option<Record>;
 
+    /// Reads the live value for `key`; tombstones and missing keys both
+    /// return `None`. Engines should override this to serve reads without
+    /// materializing an intermediate [`Record`] clone.
+    fn read_live(&self, key: &Key) -> Option<VersionedValue> {
+        self.read(key).and_then(|r| r.to_versioned())
+    }
+
     /// Ordered scan over `[start, end)`; `None` if unordered.
     fn range(&self, start: &Key, end: &Key, limit: usize)
         -> Option<Vec<(Key, VersionedValue)>>;
@@ -183,9 +190,7 @@ impl<S: TableStore> TableRegistry<S> {
     pub fn get(&self, table: &str, key: &Key) -> KvResult<VersionedValue> {
         let t = self.table(table)?;
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
-        t.read(key)
-            .and_then(|r| r.to_versioned())
-            .ok_or(KvError::NotFound)
+        t.read_live(key).ok_or(KvError::NotFound)
     }
 
     /// Template implementation of `Datalet::del`.

@@ -9,44 +9,106 @@ use crate::api::{Capabilities, Datalet, DataletStats, SnapshotEntry};
 use crate::template::{lww_applies, Record, TableRegistry, TableStore};
 use bespokv_types::{Key, KvResult, Value, Version, VersionedValue};
 use parking_lot::RwLock;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of lock stripes; power of two so the hash folds with a mask.
 const STRIPES: usize = 64;
 
+/// One lock stripe: its sub-map plus counters maintained on every write,
+/// so table-wide sizes never require walking the keys.
+struct Stripe {
+    map: RwLock<HashMap<Key, Record>>,
+    live: AtomicUsize,
+    tombstones: AtomicUsize,
+}
+
 /// One lock-striped hash table (per-table storage).
 pub struct StripedMap {
-    stripes: Vec<RwLock<HashMap<Key, Record>>>,
+    stripes: Vec<Stripe>,
 }
 
 impl StripedMap {
     #[inline]
-    fn stripe(&self, key: &Key) -> &RwLock<HashMap<Key, Record>> {
+    fn stripe(&self, key: &Key) -> &Stripe {
         let h = key.stable_hash() as usize;
         &self.stripes[h & (STRIPES - 1)]
+    }
+
+    /// Number of tombstoned keys, O(STRIPES).
+    pub fn tombstone_len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.tombstones.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
 impl TableStore for StripedMap {
     fn empty() -> Self {
         StripedMap {
-            stripes: (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+            stripes: (0..STRIPES)
+                .map(|_| Stripe {
+                    map: RwLock::new(HashMap::new()),
+                    live: AtomicUsize::new(0),
+                    tombstones: AtomicUsize::new(0),
+                })
+                .collect(),
         }
     }
 
     fn apply(&self, key: Key, record: Record) -> bool {
-        let mut m = self.stripe(&key).write();
-        let cur = m.get(&key).map(|r| r.version);
-        if lww_applies(cur, record.version) {
-            m.insert(key, record);
-            true
-        } else {
-            false
+        let s = self.stripe(&key);
+        let mut m = s.map.write();
+        // Entry API: one hash lookup covers both the version check and the
+        // insert. Counter updates happen under the stripe's write lock, so
+        // their relaxed ordering is only about cross-stripe visibility.
+        match m.entry(key) {
+            Entry::Occupied(mut e) => {
+                if !lww_applies(Some(e.get().version), record.version) {
+                    return false;
+                }
+                let was_live = e.get().is_live();
+                let now_live = record.is_live();
+                e.insert(record);
+                match (was_live, now_live) {
+                    (false, true) => {
+                        s.live.fetch_add(1, Ordering::Relaxed);
+                        s.tombstones.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    (true, false) => {
+                        s.live.fetch_sub(1, Ordering::Relaxed);
+                        s.tombstones.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                true
+            }
+            Entry::Vacant(e) => {
+                if record.is_live() {
+                    s.live.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    s.tombstones.fetch_add(1, Ordering::Relaxed);
+                }
+                e.insert(record);
+                true
+            }
         }
     }
 
     fn read(&self, key: &Key) -> Option<Record> {
-        self.stripe(key).read().get(key).cloned()
+        self.stripe(key).map.read().get(key).cloned()
+    }
+
+    fn read_live(&self, key: &Key) -> Option<VersionedValue> {
+        // Straight to the client representation: no Record clone, and
+        // tombstones never allocate anything.
+        self.stripe(key)
+            .map
+            .read()
+            .get(key)
+            .and_then(Record::to_versioned)
     }
 
     fn range(
@@ -59,9 +121,10 @@ impl TableStore for StripedMap {
     }
 
     fn live_len(&self) -> usize {
+        // O(STRIPES): counters are maintained by `apply`.
         self.stripes
             .iter()
-            .map(|s| s.read().values().filter(|r| r.is_live()).count())
+            .map(|s| s.live.load(Ordering::Relaxed))
             .sum()
     }
 
@@ -72,7 +135,8 @@ impl TableStore for StripedMap {
             .stripes
             .iter()
             .flat_map(|s| {
-                s.read()
+                s.map
+                    .read()
                     .iter()
                     .map(|(k, r)| (k.clone(), r.clone()))
                     .collect::<Vec<_>>()
@@ -231,6 +295,38 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(d.len(), 8 * 500);
+    }
+
+    #[test]
+    fn stripe_counters_match_brute_force() {
+        use crate::template::TableStore;
+        let m = StripedMap::empty();
+        // A deterministic mix of inserts, overwrites, deletes, stale
+        // writes, and tombstone-overwrites across many stripes.
+        for i in 0..1000u64 {
+            let key = Key::from(format!("k{}", i % 157));
+            let version = (i * 2654435761) % 50;
+            let record = if i % 3 == 0 {
+                Record {
+                    value: None,
+                    version,
+                }
+            } else {
+                Record {
+                    value: Some(Value::from("v")),
+                    version,
+                }
+            };
+            m.apply(key, record);
+        }
+        let dump = m.dump();
+        let brute_live = dump.iter().filter(|(_, r)| r.is_live()).count();
+        assert_eq!(m.live_len(), brute_live, "live counter drifted");
+        assert_eq!(
+            m.tombstone_len(),
+            dump.len() - brute_live,
+            "tombstone counter drifted"
+        );
     }
 
     #[test]

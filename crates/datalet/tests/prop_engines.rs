@@ -1,11 +1,20 @@
 //! Model-based property tests: every engine agrees with a reference
 //! last-writer-wins model under arbitrary operation sequences, and
 //! snapshot-streaming a store into a fresh engine reproduces it exactly.
+//! Seeded-random loops, deterministic across runs.
 
 use bespokv_datalet::{apply_snapshot_entry, EngineKind, DEFAULT_TABLE};
 use bespokv_types::{Key, Value};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+const ALL_KINDS: [EngineKind; 4] = [
+    EngineKind::THt,
+    EngineKind::TMt,
+    EngineKind::TLog,
+    EngineKind::TLsm,
+];
 
 /// A scripted engine operation over a small key universe.
 #[derive(Clone, Debug)]
@@ -15,17 +24,22 @@ enum ModelOp {
     Get { key: u8 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<ModelOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (any::<u8>(), any::<u16>(), 1u64..1000).prop_map(|(key, val, version)| {
-                ModelOp::Put { key, val, version }
-            }),
-            (any::<u8>(), 1u64..1000).prop_map(|(key, version)| ModelOp::Del { key, version }),
-            any::<u8>().prop_map(|key| ModelOp::Get { key }),
-        ],
-        1..120,
-    )
+fn rand_ops(rng: &mut StdRng) -> Vec<ModelOp> {
+    let n = rng.gen_range(1..120);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => ModelOp::Put {
+                key: rng.gen::<u8>(),
+                val: rng.gen::<u16>(),
+                version: rng.gen_range(1..1000u64),
+            },
+            1 => ModelOp::Del {
+                key: rng.gen::<u8>(),
+                version: rng.gen_range(1..1000u64),
+            },
+            _ => ModelOp::Get { key: rng.gen::<u8>() },
+        })
+        .collect()
 }
 
 fn key_of(k: u8) -> Key {
@@ -111,47 +125,54 @@ fn check_engine_against_model(kind: EngineKind, ops: &[ModelOp]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn tht_matches_model(ops in arb_ops()) {
-        check_engine_against_model(EngineKind::THt, &ops);
+#[test]
+fn tht_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x7417);
+    for _ in 0..48 {
+        check_engine_against_model(EngineKind::THt, &rand_ops(&mut rng));
     }
+}
 
-    #[test]
-    fn tmt_matches_model(ops in arb_ops()) {
-        check_engine_against_model(EngineKind::TMt, &ops);
+#[test]
+fn tmt_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x7447);
+    for _ in 0..48 {
+        check_engine_against_model(EngineKind::TMt, &rand_ops(&mut rng));
     }
+}
 
-    #[test]
-    fn tlog_matches_model(ops in arb_ops()) {
-        check_engine_against_model(EngineKind::TLog, &ops);
+#[test]
+fn tlog_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x7406);
+    for _ in 0..48 {
+        check_engine_against_model(EngineKind::TLog, &rand_ops(&mut rng));
     }
+}
 
-    #[test]
-    fn tlsm_matches_model(ops in arb_ops()) {
-        check_engine_against_model(EngineKind::TLsm, &ops);
+#[test]
+fn tlsm_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0x7457);
+    for _ in 0..48 {
+        check_engine_against_model(EngineKind::TLsm, &rand_ops(&mut rng));
     }
+}
 
-    /// Snapshot-streaming any engine state into any other engine kind
-    /// reproduces every live key and keeps tombstone versions effective.
-    #[test]
-    fn snapshot_transfers_between_engine_kinds(
-        ops in arb_ops(),
-        src_kind in prop_oneof![
-            Just(EngineKind::THt), Just(EngineKind::TMt),
-            Just(EngineKind::TLog), Just(EngineKind::TLsm)],
-        dst_kind in prop_oneof![
-            Just(EngineKind::THt), Just(EngineKind::TMt),
-            Just(EngineKind::TLog), Just(EngineKind::TLsm)],
-        chunk in 1usize..64,
-    ) {
+/// Snapshot-streaming any engine state into any other engine kind
+/// reproduces every live key and keeps tombstone versions effective.
+#[test]
+fn snapshot_transfers_between_engine_kinds() {
+    let mut rng = StdRng::seed_from_u64(0x54a9);
+    for _ in 0..48 {
+        let ops = rand_ops(&mut rng);
+        let src_kind = ALL_KINDS[rng.gen_range(0..ALL_KINDS.len())];
+        let dst_kind = ALL_KINDS[rng.gen_range(0..ALL_KINDS.len())];
+        let chunk = rng.gen_range(1..64usize);
         let src = src_kind.build();
         for op in &ops {
             match *op {
                 ModelOp::Put { key, val, version } => {
-                    src.put(DEFAULT_TABLE, key_of(key), val_of(val), version).unwrap();
+                    src.put(DEFAULT_TABLE, key_of(key), val_of(val), version)
+                        .unwrap();
                 }
                 ModelOp::Del { key, version } => {
                     src.del(DEFAULT_TABLE, &key_of(key), version).unwrap();
@@ -171,26 +192,40 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(dst.len(), src.len());
+        assert_eq!(dst.len(), src.len());
         for k in 0..=255u8 {
-            let a = src.get(DEFAULT_TABLE, &key_of(k)).ok().map(|v| (v.value, v.version));
-            let b = dst.get(DEFAULT_TABLE, &key_of(k)).ok().map(|v| (v.value, v.version));
-            prop_assert_eq!(a, b, "key {}", k);
+            let a = src
+                .get(DEFAULT_TABLE, &key_of(k))
+                .ok()
+                .map(|v| (v.value, v.version));
+            let b = dst
+                .get(DEFAULT_TABLE, &key_of(k))
+                .ok()
+                .map(|v| (v.value, v.version));
+            assert_eq!(a, b, "key {}", k);
         }
     }
+}
 
-    /// Ordered engines return scans sorted, deduplicated and consistent
-    /// with point reads.
-    #[test]
-    fn scans_agree_with_point_reads(
-        ops in arb_ops(),
-        kind in prop_oneof![Just(EngineKind::TMt), Just(EngineKind::TLsm)],
-    ) {
+/// Ordered engines return scans sorted, deduplicated and consistent with
+/// point reads.
+#[test]
+fn scans_agree_with_point_reads() {
+    let mut rng = StdRng::seed_from_u64(0x5ca9);
+    for _ in 0..48 {
+        let ops = rand_ops(&mut rng);
+        let kind = if rng.gen::<bool>() {
+            EngineKind::TMt
+        } else {
+            EngineKind::TLsm
+        };
         let engine = kind.build();
         for op in &ops {
             match *op {
                 ModelOp::Put { key, val, version } => {
-                    engine.put(DEFAULT_TABLE, key_of(key), val_of(val), version).unwrap();
+                    engine
+                        .put(DEFAULT_TABLE, key_of(key), val_of(val), version)
+                        .unwrap();
                 }
                 ModelOp::Del { key, version } => {
                     engine.del(DEFAULT_TABLE, &key_of(key), version).unwrap();
@@ -202,12 +237,12 @@ proptest! {
             .scan(DEFAULT_TABLE, &Key::from("key"), &Key::from("kez"), 0)
             .unwrap();
         // Sorted, unique keys.
-        prop_assert!(hits.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(hits.windows(2).all(|w| w[0].0 < w[1].0));
         // Exactly the live keys, with the same values point reads give.
-        prop_assert_eq!(hits.len(), engine.len());
+        assert_eq!(hits.len(), engine.len());
         for (k, v) in &hits {
             let point = engine.get(DEFAULT_TABLE, k).unwrap();
-            prop_assert_eq!(&point, v);
+            assert_eq!(&point, v);
         }
     }
 }

@@ -1,11 +1,13 @@
-//! Property tests on the lock table's safety invariants under arbitrary
-//! acquire/release/expire interleavings.
+//! Property-style tests on the lock table's safety invariants under
+//! arbitrary acquire/release/expire interleavings. Seeded-random loops,
+//! deterministic across runs.
 
 use bespokv_dlm::{Acquire, LockTable, Requester};
 use bespokv_proto::LockMode;
 use bespokv_runtime::Addr;
 use bespokv_types::{ClientId, Duration, Instant, Key, NodeId, RequestId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 #[derive(Clone, Debug)]
@@ -15,114 +17,119 @@ enum LockOp {
     Advance { ms: u16 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<LockOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..6, 0u8..4, any::<bool>()).prop_map(|(node, key, exclusive)| {
-                LockOp::Acquire {
-                    node,
-                    key,
-                    exclusive,
-                }
-            }),
-            (any::<usize>()).prop_map(|index| LockOp::ReleaseHeld { index }),
-            (1u16..400).prop_map(|ms| LockOp::Advance { ms }),
-        ],
-        1..80,
-    )
+fn rand_ops(rng: &mut StdRng) -> Vec<LockOp> {
+    let n = rng.gen_range(1..80);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => LockOp::Acquire {
+                node: rng.gen_range(0..6u8),
+                key: rng.gen_range(0..4u8),
+                exclusive: rng.gen::<bool>(),
+            },
+            1 => LockOp::ReleaseHeld {
+                index: rng.gen::<usize>(),
+            },
+            _ => LockOp::Advance {
+                ms: rng.gen_range(1..400u16),
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Mutual exclusion: at any instant, per key, either at most one
+/// exclusive holder or any number of shared holders — never both;
+/// fencing tokens are globally unique and increasing.
+#[test]
+fn mutual_exclusion_and_fencing() {
+    let mut rng = StdRng::seed_from_u64(0x10c5);
+    for _ in 0..128 {
+        run_case(rand_ops(&mut rng));
+    }
+}
 
-    /// Mutual exclusion: at any instant, per key, either at most one
-    /// exclusive holder or any number of shared holders — never both;
-    /// fencing tokens are globally unique and increasing.
-    #[test]
-    fn mutual_exclusion_and_fencing(ops in arb_ops()) {
-        let lease = Duration::from_millis(100);
-        let mut table = LockTable::new(lease, 16);
-        let mut now = Instant::ZERO;
-        let mut seq = 0u32;
-        // (key, node, fencing, exclusive, grant_time) for live grants.
-        let mut held: Vec<(u8, u8, u64, bool, Instant)> = Vec::new();
-        let mut all_fencing: HashSet<u64> = HashSet::new();
-        let mut max_fencing = 0u64;
+fn run_case(ops: Vec<LockOp>) {
+    let lease = Duration::from_millis(100);
+    let mut table = LockTable::new(lease, 16);
+    let mut now = Instant::ZERO;
+    let mut seq = 0u32;
+    // (key, node, fencing, exclusive, grant_time) for live grants.
+    let mut held: Vec<(u8, u8, u64, bool, Instant)> = Vec::new();
+    let mut all_fencing: HashSet<u64> = HashSet::new();
+    let mut max_fencing = 0u64;
 
-        let collect_grants =
-            |table: &mut LockTable, held: &mut Vec<(u8, u8, u64, bool, Instant)>, now: Instant,
-             all: &mut HashSet<u64>, max: &mut u64, modes: &HashMap<RequestId, (u8, u8, bool)>| {
-                for (req, _key, fencing) in table.take_pending_grants() {
-                    assert!(all.insert(fencing), "fencing token reuse: {fencing}");
-                    assert!(fencing > *max, "fencing not increasing");
-                    *max = fencing;
-                    if let Some(&(node, key, exclusive)) = modes.get(&req.rid) {
-                        held.push((key, node, fencing, exclusive, now));
-                    }
-                }
-            };
-        let mut modes: HashMap<RequestId, (u8, u8, bool)> = HashMap::new();
-
-        for op in ops {
-            match op {
-                LockOp::Acquire { node, key, exclusive } => {
-                    seq += 1;
-                    let rid = RequestId::compose(ClientId(node as u32), seq);
-                    let requester = Requester {
-                        owner: NodeId(node as u32),
-                        rid,
-                        reply_to: Addr(node as u32),
-                    };
-                    let mode = if exclusive {
-                        LockMode::Exclusive
-                    } else {
-                        LockMode::Shared
-                    };
-                    modes.insert(rid, (node, key, exclusive));
-                    match table.acquire(&Key::from(format!("k{key}")), requester, mode, now) {
-                        Acquire::Granted(f) => {
-                            prop_assert!(all_fencing.insert(f), "fencing reuse");
-                            prop_assert!(f > max_fencing);
-                            max_fencing = f;
-                            held.push((key, node, f, exclusive, now));
-                        }
-                        Acquire::Queued | Acquire::Denied => {}
-                    }
-                }
-                LockOp::ReleaseHeld { index } => {
-                    if held.is_empty() {
-                        continue;
-                    }
-                    let (key, node, fencing, _, _) = held.remove(index % held.len());
-                    table.release(&Key::from(format!("k{key}")), NodeId(node as u32), fencing, now);
-                    collect_grants(&mut table, &mut held, now, &mut all_fencing, &mut max_fencing, &modes);
-                }
-                LockOp::Advance { ms } => {
-                    now += Duration::from_millis(ms as u64);
-                    table.expire(now);
-                    // Leases that passed their expiry are gone.
-                    held.retain(|&(_, _, _, _, granted)| {
-                        now.saturating_since(granted) < lease
-                    });
-                    collect_grants(&mut table, &mut held, now, &mut all_fencing, &mut max_fencing, &modes);
+    let collect_grants =
+        |table: &mut LockTable, held: &mut Vec<(u8, u8, u64, bool, Instant)>, now: Instant,
+         all: &mut HashSet<u64>, max: &mut u64, modes: &HashMap<RequestId, (u8, u8, bool)>| {
+            for (req, _key, fencing) in table.take_pending_grants() {
+                assert!(all.insert(fencing), "fencing token reuse: {fencing}");
+                assert!(fencing > *max, "fencing not increasing");
+                *max = fencing;
+                if let Some(&(node, key, exclusive)) = modes.get(&req.rid) {
+                    held.push((key, node, fencing, exclusive, now));
                 }
             }
-            // Invariant: per key, exclusive grants are alone.
-            let mut per_key: HashMap<u8, (usize, usize)> = HashMap::new();
-            for &(key, _, _, exclusive, _) in &held {
-                let e = per_key.entry(key).or_insert((0, 0));
-                if exclusive {
-                    e.0 += 1;
+        };
+    let mut modes: HashMap<RequestId, (u8, u8, bool)> = HashMap::new();
+
+    for op in ops {
+        match op {
+            LockOp::Acquire { node, key, exclusive } => {
+                seq += 1;
+                let rid = RequestId::compose(ClientId(node as u32), seq);
+                let requester = Requester {
+                    owner: NodeId(node as u32),
+                    rid,
+                    reply_to: Addr(node as u32),
+                };
+                let mode = if exclusive {
+                    LockMode::Exclusive
                 } else {
-                    e.1 += 1;
+                    LockMode::Shared
+                };
+                modes.insert(rid, (node, key, exclusive));
+                match table.acquire(&Key::from(format!("k{key}")), requester, mode, now) {
+                    Acquire::Granted(f) => {
+                        assert!(all_fencing.insert(f), "fencing reuse");
+                        assert!(f > max_fencing);
+                        max_fencing = f;
+                        held.push((key, node, f, exclusive, now));
+                    }
+                    Acquire::Queued | Acquire::Denied => {}
                 }
             }
-            for (key, (ex, sh)) in per_key {
-                prop_assert!(
-                    ex == 0 || (ex == 1 && sh == 0),
-                    "key {key}: {ex} exclusive + {sh} shared held together"
-                );
+            LockOp::ReleaseHeld { index } => {
+                if held.is_empty() {
+                    continue;
+                }
+                let (key, node, fencing, _, _) = held.remove(index % held.len());
+                table.release(&Key::from(format!("k{key}")), NodeId(node as u32), fencing, now);
+                collect_grants(&mut table, &mut held, now, &mut all_fencing, &mut max_fencing, &modes);
             }
+            LockOp::Advance { ms } => {
+                now += Duration::from_millis(ms as u64);
+                table.expire(now);
+                // Leases that passed their expiry are gone.
+                held.retain(|&(_, _, _, _, granted)| {
+                    now.saturating_since(granted) < lease
+                });
+                collect_grants(&mut table, &mut held, now, &mut all_fencing, &mut max_fencing, &modes);
+            }
+        }
+        // Invariant: per key, exclusive grants are alone.
+        let mut per_key: HashMap<u8, (usize, usize)> = HashMap::new();
+        for &(key, _, _, exclusive, _) in &held {
+            let e = per_key.entry(key).or_insert((0, 0));
+            if exclusive {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        for (key, (ex, sh)) in per_key {
+            assert!(
+                ex == 0 || (ex == 1 && sh == 0),
+                "key {key}: {ex} exclusive + {sh} shared held together"
+            );
         }
     }
 }

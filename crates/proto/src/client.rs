@@ -178,6 +178,9 @@ impl wire::Encode for ConsistencyLevel {
         };
         tag.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl wire::Decode for ConsistencyLevel {
@@ -197,6 +200,9 @@ impl wire::Encode for VersionedValue {
     fn encode(&self, buf: &mut BytesMut) {
         self.value.encode(buf);
         self.version.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.value.encoded_len() + self.version.encoded_len()
     }
 }
 
@@ -259,6 +265,24 @@ impl wire::Encode for KvError {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        use wire::Encode as E;
+        1 + match self {
+            KvError::NotFound
+            | KvError::Timeout
+            | KvError::LockContended
+            | KvError::LeaseExpired
+            | KvError::NotServing => 0,
+            KvError::NoSuchTable(t) => E::encoded_len(t),
+            KvError::WrongNode { node, hint } => E::encoded_len(node) + E::encoded_len(hint),
+            KvError::Forwarded(n) => E::encoded_len(n),
+            KvError::Unavailable(s) => E::encoded_len(s),
+            KvError::Io(s)
+            | KvError::Corrupt(s)
+            | KvError::Protocol(s)
+            | KvError::Rejected(s) => E::encoded_len(s),
+        }
+    }
 }
 
 impl wire::Decode for KvError {
@@ -299,6 +323,14 @@ impl wire::Encode for Response {
                 e.encode(buf);
             }
         }
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + 1
+            + match &self.result {
+                Ok(body) => body.encoded_len(),
+                Err(e) => e.encoded_len(),
+            }
     }
 }
 

@@ -12,14 +12,26 @@ pub const MAX_FRAME: usize = 64 << 20; // 64 MiB
 /// Appends one framed payload to `out`.
 pub fn encode_frame(payload: &[u8], out: &mut BytesMut) {
     debug_assert!(payload.len() <= MAX_FRAME);
+    out.reserve(4 + payload.len());
     out.put_u32_le(payload.len() as u32);
     out.put_slice(payload);
 }
 
 /// Incremental frame decoder.
+///
+/// Bytes enter once through [`FrameDecoder::feed`] (the unavoidable
+/// socket-to-buffer copy) and are served back as O(1) refcounted [`Bytes`]
+/// views — popping a frame never copies its payload. Internally the decoder
+/// keeps two regions: `frozen`, an immutable shared buffer frames are carved
+/// out of, and `tail`, the growable accumulator new chunks land in. When
+/// `frozen` runs out mid-frame the tail is frozen (a move, not a copy) and
+/// at most one partial frame prefix is re-staged.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
-    buf: BytesMut,
+    /// Immutable region currently being carved into frames.
+    frozen: Bytes,
+    /// Bytes received after `frozen` was sealed.
+    tail: BytesMut,
 }
 
 impl FrameDecoder {
@@ -30,32 +42,55 @@ impl FrameDecoder {
 
     /// Feeds raw bytes from the stream.
     pub fn feed(&mut self, chunk: &[u8]) {
-        self.buf.extend_from_slice(chunk);
+        // Reserve up front: one allocation per read batch, and `reserve`
+        // reclaims any consumed prefix so long-lived connections don't creep.
+        self.tail.reserve(chunk.len());
+        self.tail.extend_from_slice(chunk);
     }
 
     /// Pops the next complete frame, if one is buffered.
     ///
-    /// Returns `Err` if the stream is corrupt (oversized frame) — the
-    /// connection should be dropped.
+    /// The returned [`Bytes`] is a zero-copy view into the decoder's shared
+    /// buffer. Returns `Err` if the stream is corrupt (oversized frame) —
+    /// the connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
-        if self.buf.len() < 4 {
-            return Ok(None);
+        loop {
+            if self.frozen.len() >= 4 {
+                let len = u32::from_le_bytes([
+                    self.frozen[0],
+                    self.frozen[1],
+                    self.frozen[2],
+                    self.frozen[3],
+                ]) as usize;
+                if len > MAX_FRAME {
+                    return Err(FrameError::TooLarge(len));
+                }
+                if self.frozen.len() >= 4 + len {
+                    self.frozen.advance(4);
+                    return Ok(Some(self.frozen.split_to(len)));
+                }
+            }
+            // `frozen` holds less than one frame. Pull in the tail: the
+            // common case (frozen fully consumed) is a pure move; a partial
+            // frame prefix is copied at most once per frame.
+            if self.tail.is_empty() {
+                return Ok(None);
+            }
+            if self.frozen.is_empty() {
+                self.frozen = std::mem::take(&mut self.tail).freeze();
+            } else {
+                let mut merged = BytesMut::with_capacity(self.frozen.len() + self.tail.len());
+                merged.extend_from_slice(&self.frozen);
+                merged.extend_from_slice(&self.tail);
+                self.tail.clear();
+                self.frozen = merged.freeze();
+            }
         }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-            as usize;
-        if len > MAX_FRAME {
-            return Err(FrameError::TooLarge(len));
-        }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        self.buf.advance(4);
-        Ok(Some(self.buf.split_to(len).freeze()))
     }
 
     /// Bytes currently buffered but not yet framed.
     pub fn pending(&self) -> usize {
-        self.buf.len()
+        self.frozen.len() + self.tail.len()
     }
 }
 

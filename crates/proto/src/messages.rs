@@ -460,6 +460,9 @@ impl wire::Encode for Topology {
     fn encode(&self, buf: &mut BytesMut) {
         (matches!(self, Topology::ActiveActive) as u8).encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl wire::Decode for Topology {
@@ -475,6 +478,9 @@ impl wire::Decode for Topology {
 impl wire::Encode for Consistency {
     fn encode(&self, buf: &mut BytesMut) {
         (matches!(self, Consistency::Eventual) as u8).encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -492,6 +498,9 @@ impl wire::Encode for Mode {
     fn encode(&self, buf: &mut BytesMut) {
         self.topology.encode(buf);
         self.consistency.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.topology.encoded_len() + self.consistency.encoded_len()
     }
 }
 
@@ -517,6 +526,12 @@ impl wire::Encode for Partitioning {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            Partitioning::ConsistentHash { vnodes } => 1 + vnodes.encoded_len(),
+            Partitioning::Range { split_points } => 1 + split_points.encoded_len(),
+        }
+    }
 }
 
 impl wire::Decode for Partitioning {
@@ -540,6 +555,12 @@ impl wire::Encode for ShardInfo {
         self.replicas.encode(buf);
         self.epoch.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.shard.encoded_len()
+            + self.mode.encoded_len()
+            + self.replicas.encoded_len()
+            + self.epoch.encoded_len()
+    }
 }
 
 impl wire::Decode for ShardInfo {
@@ -558,6 +579,11 @@ impl wire::Encode for ShardMap {
         self.epoch.encode(buf);
         self.partitioning.encode(buf);
         self.shards.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.epoch.encoded_len()
+            + self.partitioning.encoded_len()
+            + self.shards.encoded_len()
     }
 }
 

@@ -8,10 +8,10 @@
 //! [`crate::text`] are option 2.
 
 use crate::client::{Request, Response};
-use crate::frame::{encode_frame, FrameDecoder};
+use crate::frame::{FrameDecoder, MAX_FRAME};
 use crate::wire::{Decode, Encode};
 use bespokv_types::{KvError, KvResult};
-use bytes::BytesMut;
+use bytes::{BufMut, BytesMut};
 
 /// Incremental, full-duplex protocol codec for one connection.
 ///
@@ -64,7 +64,10 @@ impl ProtocolParser for BinaryParser {
 
     fn next_request(&mut self) -> KvResult<Option<Request>> {
         match self.frames.next_frame() {
-            Ok(Some(frame)) => Ok(Some(Request::from_bytes(&frame)?)),
+            // `frame` is a refcounted view into the decoder's buffer, and
+            // `from_bytes` decodes payloads as sub-views of it: no copies
+            // between the socket read and the Request's Key/Value bytes.
+            Ok(Some(frame)) => Ok(Some(Request::from_bytes(frame)?)),
             Ok(None) => Ok(None),
             Err(e) => Err(KvError::Protocol(e.to_string())),
         }
@@ -72,27 +75,39 @@ impl ProtocolParser for BinaryParser {
 
     fn next_response(&mut self) -> KvResult<Option<Response>> {
         match self.frames.next_frame() {
-            Ok(Some(frame)) => Ok(Some(Response::from_bytes(&frame)?)),
+            Ok(Some(frame)) => Ok(Some(Response::from_bytes(frame)?)),
             Ok(None) => Ok(None),
             Err(e) => Err(KvError::Protocol(e.to_string())),
         }
     }
 
     fn encode_request(&mut self, req: &Request, out: &mut BytesMut) {
-        let body = req.to_bytes();
-        encode_frame(&body, out);
+        encode_framed(req, out);
     }
 
     fn encode_response(&mut self, resp: &Response, out: &mut BytesMut) {
-        let body = resp.to_bytes();
-        encode_frame(&body, out);
+        encode_framed(resp, out);
     }
+}
+
+/// Frames a wire message directly into `out`: reserve once, write the length
+/// prefix from [`Encode::encoded_len`], encode in place. No intermediate
+/// per-message buffer.
+fn encode_framed<T: Encode>(msg: &T, out: &mut BytesMut) {
+    let body_len = msg.encoded_len();
+    debug_assert!(body_len <= MAX_FRAME);
+    out.reserve(4 + body_len);
+    out.put_u32_le(body_len as u32);
+    let before = out.len();
+    msg.encode(out);
+    debug_assert_eq!(out.len() - before, body_len, "encoded_len out of sync");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::{Op, RespBody};
+    use crate::frame::encode_frame;
     use bespokv_types::{ClientId, Key, RequestId, Value, VersionedValue};
 
     fn rid(seq: u32) -> RequestId {
@@ -144,6 +159,35 @@ mod tests {
         client.feed(&wire);
         assert_eq!(client.next_response().unwrap(), Some(resp));
         assert_eq!(client.next_response().unwrap(), None);
+    }
+
+    #[test]
+    fn decoded_payloads_alias_the_popped_frame() {
+        use crate::frame::FrameDecoder;
+        let req = Request::new(
+            rid(5),
+            Op::Put {
+                key: Key::from(vec![b'k'; 64]),
+                value: Value::from(vec![b'v'; 4096]),
+            },
+        );
+        let mut wire = BytesMut::new();
+        BinaryParser::new().encode_request(&req, &mut wire);
+        let mut frames = FrameDecoder::new();
+        frames.feed(&wire);
+        let frame = frames.next_frame().unwrap().unwrap();
+        let got = Request::from_bytes(&frame).unwrap();
+        let (fp, fl) = (frame.as_ptr() as usize, frame.len());
+        let Op::Put { key, value } = &got.op else {
+            panic!("wrong op");
+        };
+        for payload in [key.as_bytes(), value.as_bytes()] {
+            let p = payload.as_ptr() as usize;
+            assert!(
+                p >= fp && p + payload.len() <= fp + fl,
+                "decoded payload was copied out of the frame buffer"
+            );
+        }
     }
 
     #[test]

@@ -134,6 +134,8 @@ impl ProtocolParser for RespParser {
     }
 
     fn feed(&mut self, bytes: &[u8]) {
+        // Reserving first lets the buffer reclaim its consumed prefix.
+        self.buf.reserve(bytes.len());
         self.buf.extend_from_slice(bytes);
     }
 
@@ -141,7 +143,7 @@ impl ProtocolParser for RespParser {
         let Some((used, args)) = Self::parse_array(&self.buf)? else {
             return Ok(None);
         };
-        let _ = self.buf.split_to(used);
+        self.buf.advance(used);
         if args.is_empty() {
             return Err(KvError::Protocol("empty command".into()));
         }
@@ -265,7 +267,7 @@ impl ProtocolParser for RespParser {
                 )))
             }
         };
-        let _ = self.buf.split_to(consumed);
+        self.buf.advance(consumed);
         self.pending_ops.pop_front();
         // `shape` is consumed above only to disambiguate reply framing; the
         // decoded result is surfaced as-is.
@@ -394,6 +396,8 @@ impl ProtocolParser for SsdbParser {
     }
 
     fn feed(&mut self, bytes: &[u8]) {
+        // Reserving first lets the buffer reclaim its consumed prefix.
+        self.buf.reserve(bytes.len());
         self.buf.extend_from_slice(bytes);
     }
 
@@ -401,7 +405,7 @@ impl ProtocolParser for SsdbParser {
         let Some((used, blocks)) = Self::parse_packet(&self.buf)? else {
             return Ok(None);
         };
-        let _ = self.buf.split_to(used);
+        self.buf.advance(used);
         if blocks.is_empty() {
             return Err(KvError::Protocol("empty ssdb packet".into()));
         }
@@ -440,7 +444,7 @@ impl ProtocolParser for SsdbParser {
         let Some((used, blocks)) = Self::parse_packet(&self.buf)? else {
             return Ok(None);
         };
-        let _ = self.buf.split_to(used);
+        self.buf.advance(used);
         if blocks.is_empty() {
             return Err(KvError::Protocol("empty ssdb reply".into()));
         }

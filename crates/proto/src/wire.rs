@@ -40,9 +40,15 @@ pub trait Encode {
     /// Appends the encoding of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
 
-    /// Convenience: encodes into a fresh buffer.
+    /// Exact number of bytes [`Encode::encode`] will append.
+    ///
+    /// Used to size buffers up front so the hot encode path never
+    /// reallocates mid-message.
+    fn encoded_len(&self) -> usize;
+
+    /// Convenience: encodes into a fresh, exactly-sized buffer.
     fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
         self.encode(&mut buf);
         buf.freeze()
     }
@@ -53,9 +59,14 @@ pub trait Decode: Sized {
     /// Consumes and decodes one value.
     fn decode(buf: &mut Bytes) -> DecodeResult<Self>;
 
-    /// Convenience: decodes from a slice, requiring full consumption.
-    fn from_bytes(bytes: &[u8]) -> DecodeResult<Self> {
-        let mut b = Bytes::copy_from_slice(bytes);
+    /// Convenience: decodes one value, requiring full consumption.
+    ///
+    /// Accepts anything convertible to [`Bytes`]. Passing `&Bytes` (e.g. a
+    /// frame popped from a `FrameDecoder`) is zero-copy: decoded `Bytes`
+    /// payloads are refcounted views into the caller's buffer. Passing a
+    /// plain `&[u8]` copies once, unavoidably.
+    fn from_bytes(bytes: impl Into<Bytes>) -> DecodeResult<Self> {
+        let mut b = bytes.into();
         let v = Self::decode(&mut b)?;
         if !b.is_empty() {
             return Err(DecodeError(format!("{} trailing bytes", b.len())));
@@ -83,6 +94,10 @@ macro_rules! int_wire {
             fn encode(&self, buf: &mut BytesMut) {
                 buf.$put(*self);
             }
+            #[inline]
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$ty>()
+            }
         }
         impl Decode for $ty {
             #[inline]
@@ -105,6 +120,10 @@ impl Encode for bool {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u8(*self as u8);
     }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Decode for bool {
@@ -123,6 +142,10 @@ impl Encode for f64 {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_f64_le(*self);
     }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Decode for f64 {
@@ -137,6 +160,10 @@ impl Encode for Bytes {
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u32_le(self.len() as u32);
         buf.put_slice(self);
+    }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -153,12 +180,20 @@ impl Encode for String {
         buf.put_u32_le(self.len() as u32);
         buf.put_slice(self.as_bytes());
     }
+    #[inline]
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
 }
 
 impl Decode for String {
     fn decode(buf: &mut Bytes) -> DecodeResult<Self> {
         let b = Bytes::decode(buf)?;
-        String::from_utf8(b.to_vec()).map_err(|e| DecodeError(format!("invalid utf8: {e}")))
+        // Validate in place, then allocate the String directly — no
+        // intermediate Vec.
+        std::str::from_utf8(&b)
+            .map(str::to_owned)
+            .map_err(|e| DecodeError(format!("invalid utf8: {e}")))
     }
 }
 
@@ -171,6 +206,9 @@ impl<T: Encode> Encode for Option<T> {
                 v.encode(buf);
             }
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
     }
 }
 
@@ -190,6 +228,9 @@ impl<T: Encode> Encode for Vec<T> {
         for item in self {
             item.encode(buf);
         }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Encode::encoded_len).sum::<usize>()
     }
 }
 
@@ -212,6 +253,9 @@ impl<A: Encode, B: Encode> Encode for (A, B) {
         self.0.encode(buf);
         self.1.encode(buf);
     }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
 }
 
 impl<A: Decode, B: Decode> Decode for (A, B) {
@@ -226,6 +270,10 @@ macro_rules! newtype_wire {
             #[inline]
             fn encode(&self, buf: &mut BytesMut) {
                 self.0.encode(buf);
+            }
+            #[inline]
+            fn encoded_len(&self) -> usize {
+                self.0.encoded_len()
             }
         }
         impl Decode for $ty {
@@ -254,6 +302,9 @@ macro_rules! wire_struct {
             fn encode(&self, buf: &mut bytes::BytesMut) {
                 $( $crate::wire::Encode::encode(&self.$field, buf); )*
             }
+            fn encoded_len(&self) -> usize {
+                0 $( + $crate::wire::Encode::encoded_len(&self.$field) )*
+            }
         }
         impl $crate::wire::Decode for $ty {
             fn decode(buf: &mut bytes::Bytes) -> $crate::wire::DecodeResult<Self> {
@@ -276,6 +327,17 @@ macro_rules! wire_enum {
                             $crate::wire::Encode::encode(&($tag as u8), buf);
                             $( $( $crate::wire::Encode::encode($field, buf); )* )?
                             $( $crate::wire::Encode::encode($tuple, buf); )?
+                        }
+                    )*
+                }
+            }
+            fn encoded_len(&self) -> usize {
+                match self {
+                    $(
+                        $ty::$variant $({ $($field),* })? $(( $tuple ))? => {
+                            1usize
+                            $( $( + $crate::wire::Encode::encoded_len($field) )* )?
+                            $( + $crate::wire::Encode::encoded_len($tuple) )?
                         }
                     )*
                 }
@@ -306,6 +368,11 @@ mod tests {
 
     fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
+        assert_eq!(
+            bytes.len(),
+            v.encoded_len(),
+            "encoded_len must be exact for {v:?}"
+        );
         let back = T::from_bytes(&bytes).unwrap();
         assert_eq!(back, v);
     }
@@ -360,6 +427,32 @@ mod tests {
     fn invalid_bool_and_option_tags() {
         assert!(bool::from_bytes(&[2]).is_err());
         assert!(Option::<u8>::from_bytes(&[9]).is_err());
+    }
+
+    /// Whether `inner` is a sub-slice of `outer`'s memory (no heap copy).
+    fn is_view_into(inner: &[u8], outer: &[u8]) -> bool {
+        let (ip, op) = (inner.as_ptr() as usize, outer.as_ptr() as usize);
+        ip >= op && ip + inner.len() <= op + outer.len()
+    }
+
+    #[test]
+    fn decode_from_bytes_is_zero_copy() {
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let encoded = payload.to_bytes();
+        // &Bytes input: the decoded payload must be a refcounted view into
+        // the encoded buffer, not a fresh allocation.
+        let decoded = Bytes::from_bytes(&encoded).unwrap();
+        assert_eq!(decoded, payload);
+        assert!(
+            is_view_into(&decoded, &encoded),
+            "Bytes::decode copied the payload"
+        );
+        // Same through the newtype wrappers used on the hot path.
+        let kv = (Key::from(vec![1u8; 64]), Value::from(vec![2u8; 256]));
+        let enc = kv.to_bytes();
+        let back = <(Key, Value)>::from_bytes(&enc).unwrap();
+        assert!(is_view_into(back.0.as_bytes(), &enc));
+        assert!(is_view_into(back.1.as_bytes(), &enc));
     }
 
     #[test]

@@ -1,5 +1,9 @@
-//! Property tests: every wire encoding round-trips, under any payload and
-//! any packetization.
+//! Property-style tests: every wire encoding round-trips, under any payload
+//! and any packetization.
+//!
+//! Implemented as seeded exhaustive-random loops (deterministic across
+//! runs) rather than a proptest dependency; each case is generated from a
+//! fixed-seed `StdRng` so failures reproduce exactly.
 
 use bespokv_proto::client::{Op, Request, RespBody, Response};
 use bespokv_proto::frame::{encode_frame, FrameDecoder};
@@ -10,143 +14,196 @@ use bespokv_types::{
     ClientId, ConsistencyLevel, Key, KvError, NodeId, RequestId, ShardId, Value,
 };
 use bytes::BytesMut;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_key() -> impl Strategy<Value = Key> {
-    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Key::from)
+const CASES: usize = 256;
+
+fn rand_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    proptest::collection::vec(any::<u8>(), 0..256).prop_map(Value::from)
+fn rand_name(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
 }
 
-fn arb_rid() -> impl Strategy<Value = RequestId> {
-    (any::<u32>(), any::<u32>()).prop_map(|(c, s)| RequestId::compose(ClientId(c), s))
+fn rand_key(rng: &mut StdRng) -> Key {
+    Key::from(rand_bytes(rng, 64))
 }
 
-fn arb_level() -> impl Strategy<Value = ConsistencyLevel> {
-    prop_oneof![
-        Just(ConsistencyLevel::Default),
-        Just(ConsistencyLevel::Strong),
-        Just(ConsistencyLevel::Eventual),
-    ]
+fn rand_value(rng: &mut StdRng) -> Value {
+    Value::from(rand_bytes(rng, 256))
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_key(), arb_value()).prop_map(|(key, value)| Op::Put { key, value }),
-        arb_key().prop_map(|key| Op::Get { key }),
-        arb_key().prop_map(|key| Op::Del { key }),
-        (arb_key(), arb_key(), any::<u32>())
-            .prop_map(|(start, end, limit)| Op::Scan { start, end, limit }),
-        "[a-z]{0,16}".prop_map(|name| Op::CreateTable { name }),
-        "[a-z]{0,16}".prop_map(|name| Op::DeleteTable { name }),
-    ]
+fn rand_rid(rng: &mut StdRng) -> RequestId {
+    RequestId::compose(ClientId(rng.gen::<u32>()), rng.gen::<u32>())
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    (arb_rid(), "[a-z]{0,8}", arb_op(), arb_level()).prop_map(|(id, table, op, level)| Request {
-        id,
-        table,
-        op,
-        level,
-    })
+fn rand_level(rng: &mut StdRng) -> ConsistencyLevel {
+    match rng.gen_range(0..3) {
+        0 => ConsistencyLevel::Default,
+        1 => ConsistencyLevel::Strong,
+        _ => ConsistencyLevel::Eventual,
+    }
 }
 
-fn arb_error() -> impl Strategy<Value = KvError> {
-    prop_oneof![
-        Just(KvError::NotFound),
-        Just(KvError::Timeout),
-        Just(KvError::LockContended),
-        "[ -~]{0,32}".prop_map(KvError::Io),
-        (any::<u32>(), proptest::option::of(any::<u32>())).prop_map(|(n, h)| {
-            KvError::WrongNode {
-                node: NodeId(n),
-                hint: h.map(NodeId),
-            }
-        }),
-        any::<u32>().prop_map(|s| KvError::Unavailable(ShardId(s))),
-    ]
+/// Covers every `Op` variant.
+fn rand_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..6) {
+        0 => Op::Put {
+            key: rand_key(rng),
+            value: rand_value(rng),
+        },
+        1 => Op::Get { key: rand_key(rng) },
+        2 => Op::Del { key: rand_key(rng) },
+        3 => Op::Scan {
+            start: rand_key(rng),
+            end: rand_key(rng),
+            limit: rng.gen::<u32>(),
+        },
+        4 => Op::CreateTable {
+            name: rand_name(rng, 16),
+        },
+        _ => Op::DeleteTable {
+            name: rand_name(rng, 16),
+        },
+    }
 }
 
-fn arb_body() -> impl Strategy<Value = RespBody> {
-    prop_oneof![
-        Just(RespBody::Done),
-        (arb_value(), any::<u64>()).prop_map(|(v, ver)| {
-            RespBody::Value(bespokv_types::VersionedValue::new(v, ver))
-        }),
-        proptest::collection::vec((arb_key(), arb_value(), any::<u64>()), 0..8).prop_map(|es| {
-            RespBody::Entries(
-                es.into_iter()
-                    .map(|(k, v, ver)| (k, bespokv_types::VersionedValue::new(v, ver)))
+fn rand_request(rng: &mut StdRng) -> Request {
+    Request {
+        id: rand_rid(rng),
+        table: rand_name(rng, 8),
+        op: rand_op(rng),
+        level: rand_level(rng),
+    }
+}
+
+fn rand_error(rng: &mut StdRng) -> KvError {
+    match rng.gen_range(0..6) {
+        0 => KvError::NotFound,
+        1 => KvError::Timeout,
+        2 => KvError::LockContended,
+        3 => {
+            let len = rng.gen_range(0..32);
+            KvError::Io(
+                (0..len)
+                    .map(|_| (b' ' + rng.gen_range(0..95u8)) as char)
                     .collect(),
             )
-        }),
-    ]
+        }
+        4 => KvError::WrongNode {
+            node: NodeId(rng.gen::<u32>()),
+            hint: if rng.gen::<bool>() {
+                Some(NodeId(rng.gen::<u32>()))
+            } else {
+                None
+            },
+        },
+        _ => KvError::Unavailable(ShardId(rng.gen::<u32>())),
+    }
 }
 
-fn arb_response() -> impl Strategy<Value = Response> {
-    (
-        arb_rid(),
-        prop_oneof![arb_body().prop_map(Ok), arb_error().prop_map(Err)],
-    )
-        .prop_map(|(id, result)| Response { id, result })
+fn rand_body(rng: &mut StdRng) -> RespBody {
+    match rng.gen_range(0..3) {
+        0 => RespBody::Done,
+        1 => RespBody::Value(bespokv_types::VersionedValue::new(
+            rand_value(rng),
+            rng.gen::<u64>(),
+        )),
+        _ => RespBody::Entries(
+            (0..rng.gen_range(0..8))
+                .map(|_| {
+                    (
+                        rand_key(rng),
+                        bespokv_types::VersionedValue::new(rand_value(rng), rng.gen::<u64>()),
+                    )
+                })
+                .collect(),
+        ),
+    }
 }
 
-fn arb_entry() -> impl Strategy<Value = LogEntry> {
-    (
-        "[a-z]{0,8}",
-        arb_key(),
-        proptest::option::of(arb_value()),
-        any::<u64>(),
-    )
-        .prop_map(|(table, key, value, version)| LogEntry {
-            table,
-            key,
-            value,
-            version,
-        })
+fn rand_response(rng: &mut StdRng) -> Response {
+    Response {
+        id: rand_rid(rng),
+        result: if rng.gen::<bool>() {
+            Ok(rand_body(rng))
+        } else {
+            Err(rand_error(rng))
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn rand_entry(rng: &mut StdRng) -> LogEntry {
+    LogEntry {
+        table: rand_name(rng, 8),
+        key: rand_key(rng),
+        value: if rng.gen::<bool>() {
+            Some(rand_value(rng))
+        } else {
+            None
+        },
+        version: rng.gen::<u64>(),
+    }
+}
 
-    #[test]
-    fn request_wire_roundtrip(req in arb_request()) {
+#[test]
+fn request_wire_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5ec0de);
+    for _ in 0..CASES {
+        let req = rand_request(&mut rng);
         let bytes = req.to_bytes();
-        prop_assert_eq!(Request::from_bytes(&bytes).unwrap(), req);
+        let back = Request::from_bytes(&bytes).unwrap();
+        assert_eq!(back, req);
+        // Re-encoding the decoded value must be byte-identical.
+        assert_eq!(back.to_bytes(), bytes);
     }
+}
 
-    #[test]
-    fn response_wire_roundtrip(resp in arb_response()) {
+#[test]
+fn response_wire_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xa11ce);
+    for _ in 0..CASES {
+        let resp = rand_response(&mut rng);
         let bytes = resp.to_bytes();
-        prop_assert_eq!(Response::from_bytes(&bytes).unwrap(), resp);
+        let back = Response::from_bytes(&bytes).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.to_bytes(), bytes);
     }
+}
 
-    #[test]
-    fn repl_msg_roundtrip(
-        entries in proptest::collection::vec(arb_entry(), 0..8),
-        shard in any::<u32>(),
-        seq in any::<u64>(),
-    ) {
+#[test]
+fn repl_msg_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x2e91);
+    for _ in 0..CASES {
+        let entries: Vec<LogEntry> = (0..rng.gen_range(0..8))
+            .map(|_| rand_entry(&mut rng))
+            .collect();
         let msg = NetMsg::Repl(ReplMsg::PropBatch {
-            shard: ShardId(shard),
+            shard: ShardId(rng.gen::<u32>()),
             epoch: 1,
-            first_seq: seq,
+            first_seq: rng.gen::<u64>(),
             entries,
         });
         let bytes = msg.to_bytes();
-        prop_assert_eq!(NetMsg::from_bytes(&bytes).unwrap(), msg);
+        assert_eq!(NetMsg::from_bytes(&bytes).unwrap(), msg);
     }
+}
 
-    /// The frame decoder reassembles identically regardless of how the
-    /// byte stream is chopped into delivery chunks.
-    #[test]
-    fn framing_is_chunking_invariant(
-        payloads in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..128), 1..6),
-        cuts in proptest::collection::vec(1usize..64, 0..32),
-    ) {
+/// The frame decoder reassembles identically regardless of how the byte
+/// stream is chopped into delivery chunks.
+#[test]
+fn framing_is_chunking_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xf4a3e);
+    for _ in 0..CASES {
+        let payloads: Vec<Vec<u8>> = (0..rng.gen_range(1..6))
+            .map(|_| rand_bytes(&mut rng, 128))
+            .collect();
         let mut wire = BytesMut::new();
         for p in &payloads {
             encode_frame(p, &mut wire);
@@ -154,25 +211,29 @@ proptest! {
         let mut dec = FrameDecoder::new();
         let mut got = Vec::new();
         let mut pos = 0usize;
-        let mut cuts = cuts.into_iter();
         while pos < wire.len() {
-            let step = cuts.next().unwrap_or(13).min(wire.len() - pos);
+            let step = rng.gen_range(1..64usize).min(wire.len() - pos);
             dec.feed(&wire[pos..pos + step]);
             pos += step;
             while let Some(frame) = dec.next_frame().unwrap() {
                 got.push(frame.to_vec());
             }
         }
-        prop_assert_eq!(got, payloads);
+        assert_eq!(got, payloads);
+        assert_eq!(dec.pending(), 0);
     }
+}
 
-    /// The binary parser round-trips pipelined request batches under any
-    /// chunking.
-    #[test]
-    fn binary_parser_pipelining(
-        reqs in proptest::collection::vec(arb_request(), 1..8),
-        chunk in 1usize..96,
-    ) {
+/// The binary parser round-trips pipelined request batches under any
+/// chunking.
+#[test]
+fn binary_parser_pipelining() {
+    let mut rng = StdRng::seed_from_u64(0xb17e5);
+    for _ in 0..CASES {
+        let reqs: Vec<Request> = (0..rng.gen_range(1..8))
+            .map(|_| rand_request(&mut rng))
+            .collect();
+        let chunk = rng.gen_range(1..96usize);
         let mut client = BinaryParser::new();
         let mut wire = BytesMut::new();
         for r in &reqs {
@@ -186,17 +247,33 @@ proptest! {
                 got.push(r);
             }
         }
-        prop_assert_eq!(got, reqs);
+        assert_eq!(got, reqs);
     }
+}
 
-    /// Truncating any encoded request never panics and never yields a
-    /// bogus success for a strict prefix.
-    #[test]
-    fn truncation_is_safe(req in arb_request(), keep in 0usize..64) {
+/// Truncating an encoded request at ANY offset never panics and never
+/// yields a bogus success for a strict prefix (the format is
+/// self-delimiting).
+#[test]
+fn truncation_is_safe_at_every_offset() {
+    let mut rng = StdRng::seed_from_u64(0x7c4ac);
+    for _ in 0..64 {
+        let req = rand_request(&mut rng);
         let bytes = req.to_bytes();
-        if keep < bytes.len() {
-            // Decoding a strict prefix must error (self-delimiting format).
-            prop_assert!(Request::from_bytes(&bytes[..keep]).is_err());
+        for keep in 0..bytes.len() {
+            assert!(
+                Request::from_bytes(&bytes[..keep]).is_err(),
+                "decoding a {keep}-byte prefix of a {}-byte request must fail",
+                bytes.len()
+            );
+        }
+    }
+    // Same for responses.
+    for _ in 0..64 {
+        let resp = rand_response(&mut rng);
+        let bytes = resp.to_bytes();
+        for keep in 0..bytes.len() {
+            assert!(Response::from_bytes(&bytes[..keep]).is_err());
         }
     }
 }

@@ -168,7 +168,12 @@ fn actor_loop(
 
     dispatch(&mut actor, Event::Start, &mut timers, &mut timer_seq);
 
-    loop {
+    // Cap on messages drained per wakeup before timers are re-checked:
+    // large enough to amortize the clock read and timer-heap probe across a
+    // burst, small enough that a flooded actor still services timers.
+    const BURST: usize = 128;
+
+    'outer: loop {
         // Fire all due timers first.
         let t = now(epoch);
         while timers.peek().is_some_and(|p| p.due <= t) {
@@ -195,16 +200,26 @@ fn actor_loop(
                 Err(_) => break,
             },
         };
-        match env {
-            Envelope::Msg { from, msg } => {
-                dispatch(
-                    &mut actor,
-                    Event::Msg { from, msg },
-                    &mut timers,
-                    &mut timer_seq,
-                );
+        // Drain any burst that queued up behind the first message without
+        // re-arming the timer machinery per message.
+        let mut env = Some(env);
+        let mut drained = 0;
+        while let Some(e) = env.take() {
+            match e {
+                Envelope::Msg { from, msg } => {
+                    dispatch(
+                        &mut actor,
+                        Event::Msg { from, msg },
+                        &mut timers,
+                        &mut timer_seq,
+                    );
+                }
+                Envelope::Stop => break 'outer,
             }
-            Envelope::Stop => break,
+            drained += 1;
+            if drained < BURST {
+                env = rx.try_recv().ok();
+            }
         }
     }
     actor

@@ -11,10 +11,13 @@ use bespokv_proto::client::{Request, Response};
 use bespokv_proto::parser::ProtocolParser;
 use bespokv_types::{KvError, KvResult};
 use bytes::BytesMut;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// Produces a fresh parser per connection.
@@ -23,52 +26,116 @@ pub type ParserFactory = dyn Fn() -> Box<dyn ProtocolParser> + Send + Sync;
 /// Handles one request, producing the response. Shared across connections.
 pub type Handler = dyn Fn(Request) -> Response + Send + Sync;
 
-/// A thread-per-connection TCP server.
+/// Tuning knobs for [`TcpServer::bind_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// When `Some(n)`, request handling runs on a bounded pool of `n`
+    /// workers instead of inline on the connection thread. Per-connection
+    /// response order is preserved; the bounded queue applies backpressure
+    /// when all workers are busy.
+    pub worker_threads: Option<usize>,
+}
+
+/// Counters exported by a running [`TcpServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpServerStats {
+    /// Connections accepted since bind.
+    pub connections_accepted: u64,
+    /// Connections dropped because the peer sent a malformed stream.
+    pub protocol_error_drops: u64,
+}
+
+/// State shared between the accept loop, connection threads, and the handle.
+struct Shared {
+    stop: AtomicBool,
+    /// Clones of live connection streams, used to unblock reads on stop.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    accepted: AtomicU64,
+    protocol_errors: AtomicU64,
+    pool: Option<WorkerPool>,
+}
+
+/// A thread-per-connection TCP server with blocking I/O.
+///
+/// No polling anywhere: the accept loop blocks in `accept()` and is woken
+/// for shutdown by a self-connection; connection threads block in `read()`
+/// and are woken by `shutdown()` on a registered clone of their stream.
 pub struct TcpServer {
     local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
 impl TcpServer {
-    /// Binds to `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"`) and starts accepting, with
+    /// inline request handling.
     pub fn bind(
         addr: &str,
         make_parser: Arc<ParserFactory>,
         handler: Arc<Handler>,
     ) -> std::io::Result<TcpServer> {
+        Self::bind_with(addr, make_parser, handler, ServerOptions::default())
+    }
+
+    /// Binds with explicit [`ServerOptions`].
+    pub fn bind_with(
+        addr: &str,
+        make_parser: Arc<ParserFactory>,
+        handler: Arc<Handler>,
+        options: ServerOptions,
+    ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            accepted: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            pool: options.worker_threads.map(WorkerPool::new),
+        });
+        let shared2 = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("bespokv-accept".into())
             .spawn(move || {
-                // A short accept timeout lets the loop observe `stop`.
-                listener
-                    .set_nonblocking(true)
-                    .expect("set_nonblocking on listener");
                 let mut conn_threads = Vec::new();
-                while !stop2.load(Ordering::Relaxed) {
+                let mut next_id = 0u64;
+                loop {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
+                            if shared2.stop.load(Ordering::Acquire) {
+                                break; // the wake connection from stop()
+                            }
+                            let id = next_id;
+                            next_id += 1;
+                            if let Ok(clone) = stream.try_clone() {
+                                shared2.conns.lock().insert(id, clone);
+                            }
+                            shared2.accepted.fetch_add(1, Ordering::Relaxed);
                             let parser = make_parser();
                             let handler = Arc::clone(&handler);
-                            let stop3 = Arc::clone(&stop2);
+                            let shared3 = Arc::clone(&shared2);
                             conn_threads.push(
                                 std::thread::Builder::new()
                                     .name("bespokv-conn".into())
                                     .spawn(move || {
-                                        let _ = serve_connection(stream, parser, handler, stop3);
+                                        let _ =
+                                            serve_connection(stream, parser, handler, &shared3);
+                                        shared3.conns.lock().remove(&id);
                                     })
                                     .expect("spawn connection thread"),
                             );
                         }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        Err(_) => {
+                            if shared2.stop.load(Ordering::Acquire) {
+                                break;
+                            }
                         }
-                        Err(_) => break,
                     }
+                }
+                // Unblock any connection registered after stop() drained the
+                // registry, then wait for all of them.
+                for (_, s) in shared2.conns.lock().drain() {
+                    let _ = s.shutdown(Shutdown::Both);
                 }
                 for t in conn_threads {
                     let _ = t.join();
@@ -76,7 +143,7 @@ impl TcpServer {
             })?;
         Ok(TcpServer {
             local_addr,
-            stop,
+            shared,
             accept_thread: Some(accept_thread),
         })
     }
@@ -86,9 +153,30 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// Stops accepting and waits for the accept loop to exit.
+    /// Current server counters.
+    pub fn stats(&self) -> TcpServerStats {
+        TcpServerStats {
+            connections_accepted: self.shared.accepted.load(Ordering::Relaxed),
+            protocol_error_drops: self.shared.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, closes live connections, and waits for all server
+    /// threads to exit.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if !self.shared.stop.swap(true, Ordering::AcqRel) {
+            // Wake the blocking accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.local_addr);
+            // Wake blocking reads by closing both directions of every
+            // registered connection.
+            for (_, s) in self.shared.conns.lock().drain() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -97,10 +185,7 @@ impl TcpServer {
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -108,44 +193,105 @@ fn serve_connection(
     mut stream: TcpStream,
     mut parser: Box<dyn ProtocolParser>,
     handler: Arc<Handler>,
-    stop: Arc<AtomicBool>,
+    shared: &Shared,
 ) -> KvResult<()> {
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
-        .map_err(KvError::from)?;
     stream.set_nodelay(true).map_err(KvError::from)?;
     let mut buf = [0u8; 16 * 1024];
-    let mut out = BytesMut::new();
+    // Persistent per-connection response buffer: every response in a read
+    // batch is encoded into it and flushed with a single write.
+    let mut out = BytesMut::with_capacity(16 * 1024);
+    let mut pending: VecDeque<mpsc::Receiver<Response>> = VecDeque::new();
     loop {
-        if stop.load(Ordering::Relaxed) {
-            return Ok(());
-        }
-        match stream.read(&mut buf) {
+        let n = match stream.read(&mut buf) {
             Ok(0) => return Ok(()), // peer closed
-            Ok(n) => {
-                parser.feed(&buf[..n]);
-                out.clear();
-                loop {
-                    match parser.next_request() {
-                        Ok(Some(req)) => {
-                            let resp = handler(req);
-                            parser.encode_response(&resp, &mut out);
-                        }
-                        Ok(None) => break,
-                        Err(_) => return Ok(()), // protocol error: drop conn
-                    }
-                }
-                if !out.is_empty() {
-                    stream.write_all(&out)?;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Includes the error a stop()-initiated shutdown() produces.
             Err(_) => return Ok(()),
+        };
+        parser.feed(&buf[..n]);
+        out.clear();
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => match &shared.pool {
+                    None => {
+                        let resp = handler(req);
+                        parser.encode_response(&resp, &mut out);
+                    }
+                    Some(pool) => {
+                        // Fan the request out to the pool; the FIFO of
+                        // receivers preserves response order.
+                        let (tx, rx) = mpsc::channel();
+                        let handler = Arc::clone(&handler);
+                        pool.submit(Box::new(move || {
+                            let _ = tx.send(handler(req));
+                        }));
+                        pending.push_back(rx);
+                    }
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    // Malformed stream: count it and drop the connection.
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+        }
+        while let Some(rx) = pending.pop_front() {
+            let resp = rx
+                .recv()
+                .map_err(|_| KvError::Io("worker pool dropped a request".into()))?;
+            parser.encode_response(&resp, &mut out);
+        }
+        if !out.is_empty() {
+            stream.write_all(&out)?;
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed-size pool of worker threads fed by a bounded queue.
+struct WorkerPool {
+    tx: Option<channel::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let (tx, rx) = channel::bounded::<Job>(n * 64);
+        let workers = (0..n)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("bespokv-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx = None; // disconnect: workers drain and exit
+        for t in self.workers.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -330,6 +476,183 @@ mod tests {
         assert_eq!(resps.len(), 32);
         assert!(resps.iter().all(|r| r.result == Ok(RespBody::Done)));
         server.stop();
+    }
+
+    #[test]
+    fn worker_pool_mode_preserves_per_connection_order() {
+        let server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+            ServerOptions {
+                worker_threads: Some(4),
+            },
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let reqs: Vec<Request> = (0..128)
+            .map(|i| {
+                Request::new(
+                    rid(i),
+                    Op::Put {
+                        key: Key::from(format!("k{i}")),
+                        value: Value::from(format!("v{i}")),
+                    },
+                )
+            })
+            .collect();
+        let resps = client.call_pipelined(&reqs).unwrap();
+        assert_eq!(resps.len(), reqs.len());
+        for (req, resp) in reqs.iter().zip(&resps) {
+            assert_eq!(resp.id, req.id, "responses reordered by worker pool");
+            assert_eq!(resp.result, Ok(RespBody::Done));
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn protocol_error_drops_are_counted() {
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // An impossible frame length: the binary parser must reject it and
+        // the server must drop the connection.
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut buf = [0u8; 16];
+        // Read returns 0 (or an error) once the server closes our socket.
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("unexpected {n} response bytes to a corrupt frame"),
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.stats().protocol_error_drops == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "protocol error drop never counted"
+            );
+            std::thread::yield_now();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.protocol_error_drops, 1);
+        assert_eq!(stats.connections_accepted, 1);
+        server.stop();
+    }
+
+    /// Satellite: >=4 concurrent pipelined clients with mixed binary/RESP
+    /// parsers; every client must see its own responses, complete and in
+    /// order.
+    #[test]
+    fn concurrent_pipelined_mixed_parsers() {
+        let store: Arc<Mutex<HashMap<Key, Value>>> = Arc::new(Mutex::new(HashMap::new()));
+        let handler_for = |store: Arc<Mutex<HashMap<Key, Value>>>| -> Arc<Handler> {
+            Arc::new(move |req: Request| {
+                let result = match &req.op {
+                    Op::Put { key, value } => {
+                        store.lock().insert(key.clone(), value.clone());
+                        Ok(RespBody::Done)
+                    }
+                    Op::Get { key } => store
+                        .lock()
+                        .get(key)
+                        .cloned()
+                        .map(|v| RespBody::Value(VersionedValue::new(v, 1)))
+                        .ok_or(KvError::NotFound),
+                    _ => Err(KvError::Rejected("unsupported".into())),
+                };
+                Response {
+                    id: req.id,
+                    result,
+                }
+            })
+        };
+        // One store, two protocol edges — as a controlet would expose both
+        // the native binary protocol and a Redis-compatible one.
+        let bin_server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler_for(Arc::clone(&store)),
+        )
+        .unwrap();
+        let resp_server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(RespParser::new(ClientId(0))) as Box<dyn ProtocolParser>),
+            handler_for(Arc::clone(&store)),
+        )
+        .unwrap();
+        let bin_addr = bin_server.local_addr();
+        let resp_addr = resp_server.local_addr();
+
+        let mut threads = Vec::new();
+        // 4 binary clients, each pipelining batches of distinct keys.
+        for t in 0..4u32 {
+            threads.push(std::thread::spawn(move || {
+                let mut c = TcpClient::connect(bin_addr, Box::new(BinaryParser::new())).unwrap();
+                for round in 0..10u32 {
+                    let reqs: Vec<Request> = (0..32)
+                        .map(|i| {
+                            let seq = round * 32 + i;
+                            Request::new(
+                                RequestId::compose(ClientId(t), seq),
+                                Op::Put {
+                                    key: Key::from(format!("bin-{t}-{seq}")),
+                                    value: Value::from(format!("val-{t}-{seq}")),
+                                },
+                            )
+                        })
+                        .collect();
+                    let resps = c.call_pipelined(&reqs).unwrap();
+                    assert_eq!(resps.len(), reqs.len(), "lost responses");
+                    for (req, resp) in reqs.iter().zip(&resps) {
+                        assert_eq!(resp.id, req.id, "responses reordered");
+                        assert_eq!(resp.result, Ok(RespBody::Done));
+                    }
+                }
+            }));
+        }
+        // 2 raw RESP clients, pipelining SETs and counting +OK replies.
+        for t in 0..2u32 {
+            threads.push(std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(resp_addr).unwrap();
+                stream.set_nodelay(true).unwrap();
+                for round in 0..10u32 {
+                    let mut wire = Vec::new();
+                    for i in 0..16u32 {
+                        let key = format!("resp-{t}-{round}-{i}");
+                        let val = format!("rv-{t}-{round}-{i}");
+                        wire.extend_from_slice(
+                            format!(
+                                "*3\r\n$3\r\nSET\r\n${}\r\n{key}\r\n${}\r\n{val}\r\n",
+                                key.len(),
+                                val.len()
+                            )
+                            .as_bytes(),
+                        );
+                    }
+                    stream.write_all(&wire).unwrap();
+                    let want = b"+OK\r\n".repeat(16);
+                    let mut got = Vec::new();
+                    let mut buf = [0u8; 1024];
+                    while got.len() < want.len() {
+                        let n = stream.read(&mut buf).unwrap();
+                        assert!(n > 0, "connection closed early");
+                        got.extend_from_slice(&buf[..n]);
+                    }
+                    assert_eq!(got, want, "RESP responses lost or corrupted");
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Every write from every client must have landed.
+        assert_eq!(store.lock().len(), 4 * 10 * 32 + 2 * 10 * 16);
+        bin_server.stop();
+        resp_server.stop();
     }
 
     #[test]

@@ -4,16 +4,15 @@
 //! hashed, compared and serialized cheaply. Wrapping them prevents the
 //! classic bug of passing a shard index where a node index was expected.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub $inner);
+
+        serde::impl_serde_newtype!($name, $inner);
 
         impl $name {
             /// Returns the raw integer value.

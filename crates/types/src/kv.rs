@@ -192,28 +192,26 @@ impl fmt::Display for EscapedBytes<'_> {
 
 // Serde passthrough as byte sequences (Bytes has no built-in serde here).
 impl Serialize for Key {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(self.as_bytes())
+    fn to_value(&self) -> serde::Value {
+        self.as_bytes().to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for Key {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Key::from(v))
+impl Deserialize for Key {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<u8>::from_value(v).map(Key::from)
     }
 }
 
 impl Serialize for Value {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(self.as_bytes())
+    fn to_value(&self) -> serde::Value {
+        self.as_bytes().to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for Value {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Value::from(v))
+impl Deserialize for Value {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<u8>::from_value(v).map(Value::from)
     }
 }
 

@@ -4,13 +4,11 @@
 //! by a (topology, consistency) pair, and that bespoKV can instantiate — and
 //! transition between — all four combinations: MS+SC, MS+EC, AA+SC, AA+EC.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// Cluster replication topology.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Topology {
     /// Master-slave: one replica owns writes, the rest follow.
     MasterSlave,
@@ -18,9 +16,14 @@ pub enum Topology {
     ActiveActive,
 }
 
+// snake_case spellings, matching serde's `rename_all = "snake_case"`.
+serde::impl_serde_unit_enum!(Topology {
+    MasterSlave => "master_slave",
+    ActiveActive => "active_active",
+});
+
 /// Data consistency model.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Consistency {
     /// Strong consistency: reads observe the latest completed write.
     Strong,
@@ -28,14 +31,24 @@ pub enum Consistency {
     Eventual,
 }
 
+serde::impl_serde_unit_enum!(Consistency {
+    Strong => "strong",
+    Eventual => "eventual",
+});
+
 /// A deployable (topology, consistency) combination.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Mode {
     /// Replication topology.
     pub topology: Topology,
     /// Consistency model.
     pub consistency: Consistency,
 }
+
+serde::impl_serde_struct!(Mode {
+    topology: Topology,
+    consistency: Consistency,
+});
 
 impl Mode {
     /// Master-slave, strong consistency (chain replication in bespoKV).
@@ -113,8 +126,7 @@ impl FromStr for Mode {
 ///
 /// The client API lets an individual `GET` relax (or insist on) a consistency
 /// level regardless of the store-wide mode.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum ConsistencyLevel {
     /// Use the store-wide default.
     #[default]
@@ -124,6 +136,12 @@ pub enum ConsistencyLevel {
     /// Allow an eventually consistent read (any replica may answer).
     Eventual,
 }
+
+serde::impl_serde_unit_enum!(ConsistencyLevel {
+    Default => "default",
+    Strong => "strong",
+    Eventual => "eventual",
+});
 
 impl ConsistencyLevel {
     /// Resolves the effective consistency given the store-wide mode.

@@ -10,11 +10,9 @@
 use crate::ids::{NodeId, ShardId};
 use crate::kv::Key;
 use crate::mode::Mode;
-use serde::{Deserialize, Serialize};
 
 /// How keys are assigned to shards.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Partitioning {
     /// Consistent hashing over a ring with `vnodes` virtual nodes per shard.
     ConsistentHash {
@@ -30,8 +28,14 @@ pub enum Partitioning {
     },
 }
 
+// Externally tagged with snake_case tags, e.g. {"consistent_hash":{"vnodes":3}}.
+serde::impl_serde_enum!(Partitioning {
+    ConsistentHash => "consistent_hash" { vnodes: u32 },
+    Range => "range" { split_points: Vec<Key> },
+});
+
 /// Per-shard replica-set description.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ShardInfo {
     /// The shard this entry describes.
     pub shard: ShardId,
@@ -45,6 +49,13 @@ pub struct ShardInfo {
     /// reconfiguration (failover, transition, chain splice).
     pub epoch: u64,
 }
+
+serde::impl_serde_struct!(ShardInfo {
+    shard: ShardId,
+    mode: Mode,
+    replicas: Vec<NodeId>,
+    epoch: u64,
+});
 
 impl ShardInfo {
     /// The master (MS) / chain head (MS+SC). Under AA this is just the first
@@ -82,7 +93,7 @@ impl ShardInfo {
 }
 
 /// The whole-cluster routing map.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ShardMap {
     /// Global map epoch; any change to any shard bumps it.
     pub epoch: u64,
@@ -91,6 +102,12 @@ pub struct ShardMap {
     /// Shard descriptors, indexed by `ShardId::raw() as usize`.
     pub shards: Vec<ShardInfo>,
 }
+
+serde::impl_serde_struct!(ShardMap {
+    epoch: u64,
+    partitioning: Partitioning,
+    shards: Vec<ShardInfo>,
+});
 
 impl ShardMap {
     /// Builds a map with `num_shards` shards of `replication` replicas each,

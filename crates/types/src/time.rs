@@ -5,21 +5,19 @@
 //! [`Instant`] newtype so protocol code (timeouts, heartbeats, leases) is
 //! oblivious to which driver is executing it.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in time, in nanoseconds since an arbitrary epoch.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Instant(pub u64);
 
 /// A span of time, in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(pub u64);
+
+serde::impl_serde_newtype!(Instant, u64);
+serde::impl_serde_newtype!(Duration, u64);
 
 impl Instant {
     /// The epoch (t = 0).

@@ -1,74 +1,96 @@
-//! Property tests on routing: total, deterministic, balanced, and
-//! range-covering.
+//! Property-style tests on routing: total, deterministic, balanced, and
+//! range-covering. Seeded-random loops, deterministic across runs.
 
 use bespokv_types::{Key, Mode, Partitioning, ShardMap};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_key() -> impl Strategy<Value = Key> {
-    proptest::collection::vec(any::<u8>(), 0..32).prop_map(Key::from)
+fn rand_key(rng: &mut StdRng) -> Key {
+    let len = rng.gen_range(0..32);
+    Key::from((0..len).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rand_word(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..=8);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
 
-    /// Hash routing always lands on a valid shard and twice on the same.
-    #[test]
-    fn hash_routing_total_and_stable(
-        key in arb_key(),
-        shards in 1u32..64,
-        vnodes in 1u32..64,
-    ) {
+/// Hash routing always lands on a valid shard and twice on the same.
+#[test]
+fn hash_routing_total_and_stable() {
+    let mut rng = StdRng::seed_from_u64(0x51a2d);
+    for _ in 0..128 {
+        let key = rand_key(&mut rng);
+        let shards = rng.gen_range(1..64u32);
+        let vnodes = rng.gen_range(1..64u32);
         let map = ShardMap::dense(
-            shards, 3, Mode::MS_SC,
+            shards,
+            3,
+            Mode::MS_SC,
             Partitioning::ConsistentHash { vnodes },
         );
         let s1 = map.shard_for_key(&key);
         let s2 = map.shard_for_key(&key);
-        prop_assert_eq!(s1, s2);
-        prop_assert!((s1.raw() as usize) < map.num_shards());
+        assert_eq!(s1, s2);
+        assert!((s1.raw() as usize) < map.num_shards());
     }
+}
 
-    /// Range routing: the owner of any key inside [start, end) is among
-    /// the shards returned for that range.
-    #[test]
-    fn range_scatter_covers_owners(
-        mut points in proptest::collection::vec("[a-z]{1,8}", 3..12),
-        probe in "[a-z]{1,8}",
-    ) {
+/// Range routing: the owner of any key inside [start, end) is among the
+/// shards returned for that range.
+#[test]
+fn range_scatter_covers_owners() {
+    let mut rng = StdRng::seed_from_u64(0xc0ffee);
+    let mut checked = 0;
+    while checked < 128 {
+        let mut points: Vec<String> = (0..rng.gen_range(3..12)).map(|_| rand_word(&mut rng)).collect();
         points.sort();
         points.dedup();
-        prop_assume!(points.len() >= 3);
-        let split_points: Vec<Key> =
-            points[1..points.len() - 1].iter().map(|s| Key::from(s.as_str())).collect();
+        if points.len() < 3 {
+            continue;
+        }
+        let probe = rand_word(&mut rng);
+        let split_points: Vec<Key> = points[1..points.len() - 1]
+            .iter()
+            .map(|s| Key::from(s.as_str()))
+            .collect();
         let shards = split_points.len() as u32 + 1;
-        let map = ShardMap::dense(
-            shards, 1, Mode::MS_EC,
-            Partitioning::Range { split_points },
-        );
+        let map = ShardMap::dense(shards, 1, Mode::MS_EC, Partitioning::Range { split_points });
         let lo = Key::from(points.first().unwrap().as_str());
         let hi = Key::from(points.last().unwrap().as_str());
-        prop_assume!(lo < hi);
+        if lo >= hi {
+            continue;
+        }
+        checked += 1;
         let covered = map.shards_for_range(&lo, &hi);
         let probe_key = Key::from(probe.as_str());
         if probe_key >= lo && probe_key < hi {
             let owner = map.shard_for_key(&probe_key);
-            prop_assert!(
+            assert!(
                 covered.contains(&owner),
                 "owner {owner:?} of {probe:?} missing from {covered:?}"
             );
         }
     }
+}
 
-    /// Adding one shard moves a bounded fraction of keys (consistent
-    /// hashing), never more than half.
-    #[test]
-    fn growth_moves_bounded_fraction(shards in 2u32..24) {
+/// Adding one shard moves a bounded fraction of keys (consistent
+/// hashing), never more than half.
+#[test]
+fn growth_moves_bounded_fraction() {
+    for shards in 2u32..24 {
         let before = ShardMap::dense(
-            shards, 1, Mode::MS_SC,
+            shards,
+            1,
+            Mode::MS_SC,
             Partitioning::ConsistentHash { vnodes: 32 },
         );
         let after = ShardMap::dense(
-            shards + 1, 1, Mode::MS_SC,
+            shards + 1,
+            1,
+            Mode::MS_SC,
             Partitioning::ConsistentHash { vnodes: 32 },
         );
         let total = 2000;
@@ -78,28 +100,34 @@ proptest! {
                 before.shard_for_key(&k) != after.shard_for_key(&k)
             })
             .count();
-        prop_assert!(
+        assert!(
             (moved as f64) < total as f64 * 0.5,
             "moved {moved}/{total} adding 1 shard to {shards}"
         );
     }
+}
 
-    /// Chain navigation is consistent: successor/predecessor invert each
-    /// other and head/tail sit at the ends.
-    #[test]
-    fn chain_navigation_consistent(replication in 1u32..8) {
-        let map = ShardMap::dense(1, replication, Mode::MS_SC,
-            Partitioning::ConsistentHash { vnodes: 8 });
+/// Chain navigation is consistent: successor/predecessor invert each
+/// other and head/tail sit at the ends.
+#[test]
+fn chain_navigation_consistent() {
+    for replication in 1u32..8 {
+        let map = ShardMap::dense(
+            1,
+            replication,
+            Mode::MS_SC,
+            Partitioning::ConsistentHash { vnodes: 8 },
+        );
         let info = map.shard(bespokv_types::ShardId(0)).unwrap();
         let head = info.head().unwrap();
         let tail = info.tail().unwrap();
-        prop_assert!(info.predecessor(head).is_none());
-        prop_assert!(info.successor(tail).is_none());
+        assert!(info.predecessor(head).is_none());
+        assert!(info.successor(tail).is_none());
         let mut walk = vec![head];
         while let Some(next) = info.successor(*walk.last().unwrap()) {
-            prop_assert_eq!(info.predecessor(next), Some(*walk.last().unwrap()));
+            assert_eq!(info.predecessor(next), Some(*walk.last().unwrap()));
             walk.push(next);
         }
-        prop_assert_eq!(walk, info.replicas.clone());
+        assert_eq!(walk, info.replicas.clone());
     }
 }

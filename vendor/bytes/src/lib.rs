@@ -1,0 +1,616 @@
+//! Vendored, dependency-free reimplementation of the subset of the
+//! [`bytes`](https://docs.rs/bytes) API that bespoKV uses.
+//!
+//! The container this repo builds in has no access to crates.io, so the
+//! workspace resolves `bytes` to this shim (see `vendor/README.md`). The
+//! semantics the codebase relies on are preserved:
+//!
+//! * [`Bytes`] is a cheaply clonable, reference-counted view into an
+//!   immutable buffer. `clone`/`split_to`/`slice` are O(1) and share the
+//!   backing allocation — the zero-copy decode path depends on this.
+//! * [`BytesMut`] is a growable buffer with an amortized consumed-prefix
+//!   reclaim in [`BytesMut::reserve`], so long-lived connection buffers do
+//!   not creep.
+//! * [`Buf`]/[`BufMut`] carry the little-endian integer accessors the wire
+//!   codec uses.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// A cheaply clonable, immutable, reference-counted byte buffer view.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    #[inline]
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wraps a static slice without allocating.
+    #[inline]
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(s),
+            start: 0,
+            end: s.len(),
+        }
+    }
+
+    /// Copies a slice into a fresh owned buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => &s[self.start..self.end],
+            Repr::Shared(v) => &v[self.start..self.end],
+        }
+    }
+
+    /// Splits off and returns the first `n` bytes; `self` keeps the rest.
+    /// O(1): both halves share the backing buffer.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            repr: self.repr.clone(),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+
+    /// Splits off and returns the bytes after `n`; `self` keeps the prefix.
+    pub fn split_off(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            repr: self.repr.clone(),
+            start: self.start + n,
+            end: self.end,
+        };
+        self.end = self.start + n;
+        tail
+    }
+
+    /// A sub-view over `range` (O(1), shared backing buffer).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            repr: self.repr.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&Bytes> for Bytes {
+    fn from(b: &Bytes) -> Self {
+        b.clone()
+    }
+}
+
+impl From<&BytesMut> for Bytes {
+    fn from(b: &BytesMut) -> Self {
+        Bytes::copy_from_slice(b)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for &[u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------------
+
+/// A growable byte buffer with consumed-prefix reclaim.
+///
+/// `advance`/`split_to` move a logical read cursor instead of shifting data;
+/// [`BytesMut::reserve`] compacts the consumed prefix away once it dominates
+/// the buffer, so a long-lived connection buffer stays bounded by its live
+/// contents rather than its history.
+#[derive(Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[inline]
+    pub const fn new() -> Self {
+        BytesMut {
+            vec: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// An empty buffer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Bytes currently readable.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vec.len() - self.start
+    }
+
+    /// Whether no bytes are readable.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writable capacity remaining before reallocation.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity() - self.start
+    }
+
+    /// Drops all contents (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.vec.clear();
+        self.start = 0;
+    }
+
+    /// Ensures space for `additional` more bytes, reclaiming the consumed
+    /// prefix when it outweighs the live contents.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.start > 0 && (self.start >= self.vec.len() || self.start > self.vec.capacity() / 2)
+        {
+            self.compact();
+        }
+        self.vec.reserve(additional);
+    }
+
+    fn compact(&mut self) {
+        self.vec.drain(..self.start);
+        self.start = 0;
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+
+    /// Consumes the first `n` readable bytes (O(1) cursor move).
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+        if self.start == self.vec.len() {
+            // Everything consumed: reset for free instead of compacting later.
+            self.vec.clear();
+            self.start = 0;
+        }
+    }
+
+    /// Removes and returns the first `n` bytes as a new buffer.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.vec[self.start..self.start + n].to_vec();
+        self.advance(n);
+        BytesMut {
+            vec: head,
+            start: 0,
+        }
+    }
+
+    /// Shortens the readable contents to `n` bytes.
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len() {
+            self.vec.truncate(self.start + n);
+        }
+    }
+
+    /// Resizes the readable contents to `n` bytes, filling with `value`.
+    pub fn resize(&mut self, n: usize, value: u8) {
+        self.vec.resize(self.start + n, value);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying the contents.
+    pub fn freeze(mut self) -> Bytes {
+        if self.start > 0 {
+            self.compact();
+        }
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.vec[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let s = self.start;
+        &mut self.vec[s..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(self), f)
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for BytesMut {}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        BytesMut {
+            vec: self[..].to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.vec.extend(iter);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Buf / BufMut
+// ---------------------------------------------------------------------------
+
+macro_rules! get_le {
+    ($name:ident, $ty:ty) => {
+        /// Reads a little-endian integer and advances past it.
+        fn $name(&mut self) -> $ty {
+            const N: usize = std::mem::size_of::<$ty>();
+            let mut raw = [0u8; N];
+            raw.copy_from_slice(&self.chunk()[..N]);
+            self.advance(N);
+            <$ty>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// Read access to a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The readable contents.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte and advances past it.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    get_le!(get_u16_le, u16);
+    get_le!(get_u32_le, u32);
+    get_le!(get_u64_le, u64);
+    get_le!(get_i64_le, i64);
+
+    /// Reads a little-endian `f64` and advances past it.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    /// Copies `dst.len()` bytes out and advances past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+macro_rules! put_le {
+    ($name:ident, $ty:ty) => {
+        /// Appends a little-endian integer.
+        fn $name(&mut self, v: $ty) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Append access to a growable buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le!(put_u16_le, u16);
+    put_le!(put_u32_le, u32);
+    put_le!(put_u64_le, u64);
+    put_le!(put_i64_le, i64);
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_split_shares_backing() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let base = b.as_slice().as_ptr();
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        assert_eq!(head.as_slice().as_ptr(), base);
+        assert_eq!(b.as_slice().as_ptr(), unsafe { base.add(2) });
+    }
+
+    #[test]
+    fn bytes_clone_is_refcount_bump() {
+        let b = Bytes::from(vec![9u8; 64]);
+        let c = b.clone();
+        assert_eq!(b.as_slice().as_ptr(), c.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn bytesmut_roundtrip_ints() {
+        let mut m = BytesMut::new();
+        m.put_u32_le(0xdead_beef);
+        m.put_u8(7);
+        m.put_u64_le(u64::MAX);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u64_le(), u64::MAX);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bytesmut_reserve_reclaims_consumed_prefix() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(&[0u8; 48]);
+        m.advance(40);
+        assert_eq!(m.len(), 8);
+        m.reserve(16);
+        // After compaction the live bytes moved to the front.
+        assert_eq!(m.start, 0);
+        assert_eq!(m.len(), 8);
+    }
+
+    #[test]
+    fn bytesmut_advance_resets_when_emptied() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"abcdef");
+        m.advance(6);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.vec.len(), 0);
+    }
+
+    #[test]
+    fn freeze_after_advance_drops_prefix() {
+        let mut m = BytesMut::new();
+        m.extend_from_slice(b"xxhello");
+        m.advance(2);
+        assert_eq!(&m.freeze()[..], b"hello");
+    }
+}

@@ -1,0 +1,260 @@
+//! Vendored, dependency-free shim of the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness surface that bespoKV's `benches/` use: groups,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! No statistics engine or HTML reports — each benchmark warms up, picks
+//! an iteration count sized to the measurement window, collects
+//! `sample_size` samples, and prints min/median/mean ns per iteration.
+//! Good enough to compare before/after on the same machine, which is all
+//! the hot-path work needs.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost across timed calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many inputs pre-built per sample; routine calls timed as one block.
+    SmallInput,
+    /// Fewer inputs per sample (memory-heavy input values).
+    LargeInput,
+    /// One input per timed call; each call timed individually.
+    PerIteration,
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named benchmark group with its own sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples_ns_per_iter: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, name);
+        self
+    }
+
+    /// Criterion requires an explicit finish; nothing to flush here.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timing loops.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns_per_iter: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly; the routine's return value is black-boxed so
+    /// the work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up, also used to estimate per-call cost.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_calls == 0 {
+            black_box(f());
+            warm_calls += 1;
+        }
+        let per_call_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_calls as f64).max(1.0);
+
+        let target_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((target_sample_ns / per_call_ns) as u64).clamp(1, 100_000_000);
+        self.iters_per_sample = iters;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples_ns_per_iter.push(ns);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let batch = match size {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        };
+
+        // Warm-up: one batch.
+        for _ in 0..batch {
+            black_box(routine(setup()));
+        }
+
+        // Estimate per-call cost to size the sample count sanely.
+        let est_start = Instant::now();
+        black_box(routine(setup()));
+        let per_call = est_start.elapsed();
+        let budget = self.measurement_time;
+        let max_samples = if per_call.is_zero() {
+            self.sample_size
+        } else {
+            ((budget.as_nanos() / per_call.as_nanos().max(1)) as usize / batch)
+                .clamp(2, self.sample_size)
+        };
+        self.iters_per_sample = batch as u64;
+
+        for _ in 0..max_samples {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns_per_iter.push(ns);
+        }
+    }
+
+    fn report(&mut self, group: &str, name: &str) {
+        if self.samples_ns_per_iter.is_empty() {
+            println!("bench: {group}/{name}: no samples collected");
+            return;
+        }
+        self.samples_ns_per_iter
+            .sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = self.samples_ns_per_iter.len();
+        let min = self.samples_ns_per_iter[0];
+        let median = self.samples_ns_per_iter[n / 2];
+        let mean: f64 = self.samples_ns_per_iter.iter().sum::<f64>() / n as f64;
+        println!(
+            "bench: {group}/{name}: min {min:.1} ns, median {median:.1} ns, \
+             mean {mean:.1} ns per iter ({n} samples x {} iters)",
+            self.iters_per_sample
+        );
+    }
+}
+
+/// Declares a runnable group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| black_box(v.iter().map(|&x| x as u32).sum::<u32>()),
+                BatchSize::PerIteration,
+            );
+        });
+        g.finish();
+    }
+}

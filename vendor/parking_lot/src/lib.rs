@@ -1,0 +1,125 @@
+//! Vendored, dependency-free shim of the subset of
+//! [`parking_lot`](https://docs.rs/parking_lot) that bespoKV uses.
+//!
+//! Wraps the std synchronization primitives with `parking_lot`'s
+//! poison-free API: `lock()`/`read()`/`write()` return guards directly. A
+//! panicked holder does not poison the lock for everyone else — matching
+//! `parking_lot` semantics that the codebase assumes.
+
+use std::sync::{self, TryLockError};
+
+/// Mutual exclusion lock with a poison-free API.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Reader-writer lock with a poison-free API.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// RAII read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// RAII write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Condition variable re-export (std's is already poison-free in use).
+pub use std::sync::Condvar;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1]);
+        assert_eq!(l.read().len(), 1);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn lock_survives_panicked_holder() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: no poisoning.
+        assert_eq!(*m.lock(), 0);
+    }
+}

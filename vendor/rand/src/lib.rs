@@ -1,0 +1,277 @@
+//! Vendored, dependency-free shim of the subset of
+//! [`rand`](https://docs.rs/rand) that bespoKV uses: the [`Rng`] trait
+//! (`gen`, `gen_range`, `gen_bool`, `fill_bytes`), [`SeedableRng`], and a
+//! deterministic [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256++ seeded via SplitMix64 — NOT the same
+//! stream as upstream rand's ChaCha-based `StdRng`, but every use in this
+//! workspace seeds explicitly with `seed_from_u64` and only relies on
+//! determinism within a build, not on matching upstream streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness. Object-safe core (`next_u64`) plus generic
+/// convenience methods usable through `R: Rng + ?Sized` receivers.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Samples a value of type `T` from the "standard" distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// Panics on empty ranges, like upstream rand.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the standard distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integers sampled by mapping 64 random bits onto a span with a widening
+/// multiply (negligible bias for spans far below 2^64).
+pub trait UniformInt: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn sample_span<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "gen_range called with empty range");
+        let span = (hi - lo) as u64;
+        T::from_i128(lo + sample_span(rng, span) as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "gen_range called with empty range");
+        match (hi - lo).checked_add(1) {
+            Some(span) if span as u128 <= u64::MAX as u128 => {
+                T::from_i128(lo + sample_span(rng, span as u64) as i128)
+            }
+            // Span covers the full u64 domain: raw bits are already uniform.
+            _ => T::from_i128(lo + rng.next_u64() as i128),
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (seeded via SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0..8usize);
+            seen[v] = true;
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets of 0..8 hit");
+    }
+
+    #[test]
+    fn works_through_unsized_receiver() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,501 @@
+//! Vendored, dependency-free shim of the slice of `serde` that bespoKV
+//! uses, built around an intermediate [`Value`] tree instead of serde's
+//! visitor machinery.
+//!
+//! Since offline builds cannot compile serde's proc-macro derive, types
+//! opt in with declarative macros instead:
+//!
+//! - [`impl_serde_newtype!`] — tuple newtypes, transparent like derived
+//!   newtype structs (`NodeId(7)` ⇄ `7`)
+//! - [`impl_serde_unit_enum!`] — fieldless enums with explicit tag
+//!   strings (the `rename_all = "snake_case"` spellings are written out)
+//! - [`impl_serde_struct!`] — named-field structs; `#[default]` before a
+//!   field mirrors `#[serde(default)]`
+//! - [`impl_serde_enum!`] — externally tagged enums with struct variants
+//!   (`{"consistent_hash":{"vnodes":3}}`)
+//!
+//! `serde_json` (also vendored) converts [`Value`] to/from JSON text.
+
+use std::fmt;
+
+/// A self-describing data tree — the interchange format between typed
+/// values and concrete encodings like JSON.
+///
+/// Objects keep insertion order so encodings are deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an `Obj` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "number",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message, serde-style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    pub fn missing_field(name: &str) -> Self {
+        Error(format!("missing field `{name}`"))
+    }
+
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!(
+                            "number {n} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(Error::unexpected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, u128, i128);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::unexpected("array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::unexpected("2-element array", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impl-generator macros (the derive replacement)
+// ---------------------------------------------------------------------------
+
+/// Transparent serde for a tuple newtype: `NodeId(7)` ⇄ `7`.
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident, $inner:ty) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                <$inner as $crate::Deserialize>::from_value(v).map($ty)
+            }
+        }
+    };
+}
+
+/// Serde for a fieldless enum with explicit tag strings:
+/// `Topology::MasterSlave` ⇄ `"master_slave"`.
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident => $tag:literal),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $($ty::$variant => $crate::Value::Str($tag.to_owned()),)*
+                }
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                match v {
+                    $crate::Value::Str(s) => match s.as_str() {
+                        $($tag => Ok($ty::$variant),)*
+                        other => Err($crate::Error::custom(format!(
+                            "unknown {} variant `{other}`", stringify!($ty)
+                        ))),
+                    },
+                    other => Err($crate::Error::unexpected("string", other)),
+                }
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __serde_field_or_default {
+    (#[$_dmark:ident] $fty:ty, $name:expr, $slot:expr) => {
+        match $slot {
+            Some(v) => <$fty as $crate::Deserialize>::from_value(v)?,
+            None => <$fty as Default>::default(),
+        }
+    };
+    ($fty:ty, $name:expr, $slot:expr) => {
+        match $slot {
+            Some(v) => <$fty as $crate::Deserialize>::from_value(v)?,
+            None => return Err($crate::Error::missing_field($name)),
+        }
+    };
+}
+
+/// Serde for a named-field struct. Prefix a field with `#[default]` to
+/// mirror `#[serde(default)]`: absent keys fall back to
+/// `Default::default()` instead of erroring.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($(#[$dmark:ident])? $field:ident : $fty:ty),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Obj(vec![
+                    $( (stringify!($field).to_owned(),
+                        $crate::Serialize::to_value(&self.$field)), )*
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                if !matches!(v, $crate::Value::Obj(_)) {
+                    return Err($crate::Error::unexpected("object", v));
+                }
+                Ok($ty {
+                    $($field: $crate::__serde_field_or_default!(
+                        $(#[$dmark])? $fty,
+                        stringify!($field),
+                        v.get(stringify!($field))
+                    ),)*
+                })
+            }
+        }
+    };
+}
+
+/// Serde for an externally tagged enum whose variants have named fields:
+/// `Partitioning::ConsistentHash { vnodes: 3 }` ⇄
+/// `{"consistent_hash":{"vnodes":3}}`.
+#[macro_export]
+macro_rules! impl_serde_enum {
+    ($ty:ident { $($variant:ident => $tag:literal { $($field:ident : $fty:ty),* $(,)? }),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $($ty::$variant { $($field),* } => $crate::Value::Obj(vec![(
+                        $tag.to_owned(),
+                        $crate::Value::Obj(vec![
+                            $( (stringify!($field).to_owned(),
+                                $crate::Serialize::to_value($field)), )*
+                        ]),
+                    )]),)*
+                }
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                let fields = match v {
+                    $crate::Value::Obj(fields) if fields.len() == 1 => fields,
+                    other => {
+                        return Err($crate::Error::unexpected(
+                            "single-key object", other,
+                        ))
+                    }
+                };
+                let (tag, body) = &fields[0];
+                match tag.as_str() {
+                    $($tag => Ok($ty::$variant {
+                        $($field: match body.get(stringify!($field)) {
+                            Some(v) => <$fty as $crate::Deserialize>::from_value(v)?,
+                            None => {
+                                return Err($crate::Error::missing_field(
+                                    stringify!($field),
+                                ))
+                            }
+                        },)*
+                    }),)*
+                    other => Err($crate::Error::custom(format!(
+                        "unknown {} variant `{other}`", stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Default)]
+    struct Plain {
+        a: u32,
+        b: String,
+    }
+    impl_serde_struct!(Plain { a: u32, b: String });
+
+    #[derive(Debug, PartialEq, Default)]
+    struct WithDefault {
+        req: u32,
+        opt: String,
+    }
+    impl_serde_struct!(WithDefault {
+        req: u32,
+        #[default]
+        opt: String,
+    });
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        DarkBlue,
+    }
+    impl_serde_unit_enum!(Color { Red => "red", DarkBlue => "dark_blue" });
+
+    #[derive(Debug, PartialEq)]
+    enum Shape {
+        Circle { radius: u32 },
+        Rect { w: u32, h: u32 },
+    }
+    impl_serde_enum!(Shape {
+        Circle => "circle" { radius: u32 },
+        Rect => "rect" { w: u32, h: u32 },
+    });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrapped(u64);
+    impl_serde_newtype!(Wrapped, u64);
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Plain {
+            a: 7,
+            b: "hey".into(),
+        };
+        assert_eq!(Plain::from_value(&p.to_value()).unwrap(), p);
+    }
+
+    #[test]
+    fn default_marker_fills_missing_field() {
+        let v = Value::Obj(vec![("req".into(), Value::Int(3))]);
+        assert_eq!(
+            WithDefault::from_value(&v).unwrap(),
+            WithDefault {
+                req: 3,
+                opt: String::new()
+            }
+        );
+        // But a missing *required* field still errors.
+        let v = Value::Obj(vec![("opt".into(), Value::Str("x".into()))]);
+        assert!(WithDefault::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn unit_enum_uses_tag_strings() {
+        assert_eq!(Color::DarkBlue.to_value(), Value::Str("dark_blue".into()));
+        assert_eq!(
+            Color::from_value(&Value::Str("red".into())).unwrap(),
+            Color::Red
+        );
+        assert!(Color::from_value(&Value::Str("green".into())).is_err());
+    }
+
+    #[test]
+    fn tagged_enum_roundtrip() {
+        for s in [Shape::Circle { radius: 9 }, Shape::Rect { w: 2, h: 4 }] {
+            assert_eq!(Shape::from_value(&s.to_value()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(Wrapped(12).to_value(), Value::Int(12));
+        assert_eq!(Wrapped::from_value(&Value::Int(12)).unwrap(), Wrapped(12));
+    }
+
+    #[test]
+    fn int_range_checked() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(u8::from_value(&Value::Int(255)).unwrap(), 255);
+    }
+}
