@@ -23,9 +23,11 @@ pub fn encode_frame(payload: &[u8], out: &mut BytesMut) {
 /// socket-to-buffer copy) and are served back as O(1) refcounted [`Bytes`]
 /// views — popping a frame never copies its payload. Internally the decoder
 /// keeps two regions: `frozen`, an immutable shared buffer frames are carved
-/// out of, and `tail`, the growable accumulator new chunks land in. When
-/// `frozen` runs out mid-frame the tail is frozen (a move, not a copy) and
-/// at most one partial frame prefix is re-staged.
+/// out of, and `tail`, the growable accumulator new chunks land in. The
+/// frame length is peeked across both regions, so a frame trickling in over
+/// many reads costs nothing until it is complete; only a complete frame
+/// straddling the boundary triggers a merge (a pure move when `frozen` is
+/// drained, otherwise one copy per such frame).
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     /// Immutable region currently being carved into frames.
@@ -55,31 +57,42 @@ impl FrameDecoder {
     /// the connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
         loop {
-            if self.frozen.len() >= 4 {
-                let len = u32::from_le_bytes([
-                    self.frozen[0],
-                    self.frozen[1],
-                    self.frozen[2],
-                    self.frozen[3],
-                ]) as usize;
-                if len > MAX_FRAME {
-                    return Err(FrameError::TooLarge(len));
-                }
-                if self.frozen.len() >= 4 + len {
-                    self.frozen.advance(4);
-                    return Ok(Some(self.frozen.split_to(len)));
-                }
-            }
-            // `frozen` holds less than one frame. Pull in the tail: the
-            // common case (frozen fully consumed) is a pure move; a partial
-            // frame prefix is copied at most once per frame.
-            if self.tail.is_empty() {
+            let frozen_len = self.frozen.len();
+            let total = frozen_len + self.tail.len();
+            if total < 4 {
                 return Ok(None);
             }
+            // Peek the length prefix without merging, even when it straddles
+            // the frozen/tail boundary — an incomplete frame must cost no
+            // copies no matter how many reads deliver it.
+            let mut hdr = [0u8; 4];
+            for (i, b) in hdr.iter_mut().enumerate() {
+                *b = if i < frozen_len {
+                    self.frozen[i]
+                } else {
+                    self.tail[i - frozen_len]
+                };
+            }
+            let len = u32::from_le_bytes(hdr) as usize;
+            if len > MAX_FRAME {
+                return Err(FrameError::TooLarge(len));
+            }
+            let needed = 4 + len;
+            if total < needed {
+                return Ok(None);
+            }
+            if frozen_len >= needed {
+                self.frozen.advance(4);
+                return Ok(Some(self.frozen.split_to(len)));
+            }
+            // A complete frame straddles the boundary. Pull in the tail: a
+            // pure move when frozen is drained, otherwise one merge copy —
+            // the frame is carved on the next loop iteration, so this runs
+            // at most once per frame.
             if self.frozen.is_empty() {
                 self.frozen = std::mem::take(&mut self.tail).freeze();
             } else {
-                let mut merged = BytesMut::with_capacity(self.frozen.len() + self.tail.len());
+                let mut merged = BytesMut::with_capacity(total);
                 merged.extend_from_slice(&self.frozen);
                 merged.extend_from_slice(&self.tail);
                 self.tail.clear();
@@ -155,6 +168,51 @@ mod tests {
         assert_eq!(dec.next_frame().unwrap().unwrap(), &b""[..]);
         assert_eq!(dec.next_frame().unwrap(), None);
         assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn frame_straddling_frozen_tail_boundary() {
+        // Carve frame one, leaving part of frame two's header in `frozen`,
+        // then trickle the rest in; the decoder must peek the length across
+        // both regions and produce the frame only once it is complete.
+        let mut one = BytesMut::new();
+        encode_frame(b"first", &mut one);
+        let mut two = BytesMut::new();
+        encode_frame(&b"x".repeat(1000), &mut two);
+        let mut dec = FrameDecoder::new();
+        let mut chunk = one.to_vec();
+        chunk.extend_from_slice(&two[..2]); // 2 of frame two's 4 header bytes
+        dec.feed(&chunk);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), &b"first"[..]);
+        for piece in two[2..].chunks(100) {
+            assert_eq!(dec.next_frame().unwrap(), None);
+            dec.feed(piece);
+        }
+        assert_eq!(dec.next_frame().unwrap().unwrap(), &b"x".repeat(1000)[..]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn incomplete_large_frame_buffers_without_merging() {
+        // A slow peer trickling a large frame must not trigger repeated
+        // re-copies of the accumulated prefix: while incomplete, bytes stay
+        // in `tail` (or `frozen`) untouched.
+        let mut out = BytesMut::new();
+        encode_frame(&vec![7u8; 1 << 20], &mut out);
+        let mut dec = FrameDecoder::new();
+        let (head, rest) = out.split_at(8);
+        dec.feed(head);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        for piece in rest.chunks(16 * 1024) {
+            dec.feed(piece);
+            if dec.pending() < out.len() {
+                assert_eq!(dec.next_frame().unwrap(), None);
+            }
+        }
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(frame.len(), 1 << 20);
+        assert!(frame.iter().all(|&b| b == 7));
     }
 
     #[test]

@@ -54,6 +54,62 @@ pub trait Encode {
     }
 }
 
+/// Input accepted by [`Decode::from_bytes`]: anything convertible into the
+/// decoder's working [`Bytes`] buffer.
+///
+/// This lives here, on repo-owned code, rather than as extra `From` impls
+/// on the vendored `bytes` shim: every impl below uses only the real
+/// `bytes` 1.x API (`clone`, `copy_from_slice`, `From<Vec<u8>>`), so the
+/// workspace compiles unchanged against the upstream crate.
+pub trait IntoWireBytes {
+    /// Converts into an owned [`Bytes`] buffer.
+    fn into_wire_bytes(self) -> Bytes;
+}
+
+impl IntoWireBytes for Bytes {
+    #[inline]
+    fn into_wire_bytes(self) -> Bytes {
+        self
+    }
+}
+
+/// Zero-copy: a refcount bump; decoded `Bytes` payloads are views into the
+/// caller's buffer.
+impl IntoWireBytes for &Bytes {
+    #[inline]
+    fn into_wire_bytes(self) -> Bytes {
+        self.clone()
+    }
+}
+
+impl IntoWireBytes for Vec<u8> {
+    #[inline]
+    fn into_wire_bytes(self) -> Bytes {
+        Bytes::from(self)
+    }
+}
+
+impl IntoWireBytes for &BytesMut {
+    #[inline]
+    fn into_wire_bytes(self) -> Bytes {
+        Bytes::copy_from_slice(self)
+    }
+}
+
+impl IntoWireBytes for &[u8] {
+    #[inline]
+    fn into_wire_bytes(self) -> Bytes {
+        Bytes::copy_from_slice(self)
+    }
+}
+
+impl<const N: usize> IntoWireBytes for &[u8; N] {
+    #[inline]
+    fn into_wire_bytes(self) -> Bytes {
+        Bytes::copy_from_slice(self)
+    }
+}
+
 /// Deserializes a value by consuming bytes from the front of `buf`.
 pub trait Decode: Sized {
     /// Consumes and decodes one value.
@@ -61,12 +117,12 @@ pub trait Decode: Sized {
 
     /// Convenience: decodes one value, requiring full consumption.
     ///
-    /// Accepts anything convertible to [`Bytes`]. Passing `&Bytes` (e.g. a
-    /// frame popped from a `FrameDecoder`) is zero-copy: decoded `Bytes`
-    /// payloads are refcounted views into the caller's buffer. Passing a
-    /// plain `&[u8]` copies once, unavoidably.
-    fn from_bytes(bytes: impl Into<Bytes>) -> DecodeResult<Self> {
-        let mut b = bytes.into();
+    /// Passing `Bytes` or `&Bytes` (e.g. a frame popped from a
+    /// `FrameDecoder`) is zero-copy: decoded `Bytes` payloads are
+    /// refcounted views into the caller's buffer. Passing a plain `&[u8]`
+    /// copies once, unavoidably.
+    fn from_bytes(bytes: impl IntoWireBytes) -> DecodeResult<Self> {
+        let mut b = bytes.into_wire_bytes();
         let v = Self::decode(&mut b)?;
         if !b.is_empty() {
             return Err(DecodeError(format!("{} trailing bytes", b.len())));

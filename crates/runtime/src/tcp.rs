@@ -105,6 +105,11 @@ impl TcpServer {
                             if shared2.stop.load(Ordering::Acquire) {
                                 break; // the wake connection from stop()
                             }
+                            // Reap threads of connections that already hung
+                            // up, so a long-lived server accepting many
+                            // short-lived connections doesn't grow this Vec
+                            // without bound.
+                            conn_threads.retain(|t: &JoinHandle<()>| !t.is_finished());
                             let id = next_id;
                             next_id += 1;
                             if let Ok(clone) = stream.try_clone() {
@@ -268,7 +273,11 @@ impl WorkerPool {
                     .name(format!("bespokv-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            job();
+                            // A panicking handler must cost one request, not
+                            // one worker: the connection waiting on the job's
+                            // dropped sender sees an error and is dropped,
+                            // but pool capacity is preserved.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
                     })
                     .expect("spawn worker thread")
@@ -509,6 +518,22 @@ mod tests {
             assert_eq!(resp.result, Ok(RespBody::Done));
         }
         server.stop();
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_job() {
+        let pool = WorkerPool::new(1);
+        pool.submit(Box::new(|| panic!("handler panic")));
+        // With a single worker, this job only runs if that worker survived
+        // the panic above.
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            let _ = tx.send(());
+        }));
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).is_ok(),
+            "panicking job killed the only pool worker"
+        );
     }
 
     #[test]

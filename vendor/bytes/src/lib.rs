@@ -148,29 +148,11 @@ impl From<String> for Bytes {
     }
 }
 
-impl From<&[u8]> for Bytes {
-    fn from(s: &[u8]) -> Self {
-        Bytes::copy_from_slice(s)
-    }
-}
-
-impl<const N: usize> From<&[u8; N]> for Bytes {
-    fn from(s: &[u8; N]) -> Self {
-        Bytes::copy_from_slice(s)
-    }
-}
-
-impl From<&Bytes> for Bytes {
-    fn from(b: &Bytes) -> Self {
-        b.clone()
-    }
-}
-
-impl From<&BytesMut> for Bytes {
-    fn from(b: &BytesMut) -> Self {
-        Bytes::copy_from_slice(b)
-    }
-}
+// Deliberately NOT implemented: `From<&[u8]>` (upstream only has
+// `From<&'static [u8]>`), `From<&Bytes>`, `From<&BytesMut>`. Convenience
+// conversions beyond the real `bytes` 1.x API live in repo-owned code
+// (`bespokv_proto::wire::IntoWireBytes`) so the workspace never drifts onto
+// shim-only surface and can still build against the upstream crate.
 
 impl Deref for Bytes {
     type Target = [u8];

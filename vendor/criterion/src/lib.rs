@@ -81,8 +81,13 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark and prints its timing line.
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    ///
+    /// Generic over the name like the real criterion (which takes
+    /// `impl Into<BenchmarkId>`): both `&str` and `format!(...)` Strings
+    /// are accepted.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
     where
+        N: AsRef<str>,
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
@@ -93,7 +98,7 @@ impl BenchmarkGroup<'_> {
             iters_per_sample: 0,
         };
         f(&mut b);
-        b.report(&self.name, name);
+        b.report(&self.name, name.as_ref());
         self
     }
 
