@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge.
+# Mirrors .github/workflows/ci.yml so the same commands run locally.
+set -euxo pipefail
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

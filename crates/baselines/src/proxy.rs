@@ -171,6 +171,7 @@ impl DataletServer {
                     shard: ShardId(0),
                     epoch: 0,
                     first_seq,
+                    floor: 0,
                     entries: entries.clone(),
                 }),
             );

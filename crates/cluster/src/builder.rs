@@ -22,7 +22,7 @@ use bespokv_coordinator::{CoordConfig, CoordinatorActor};
 use bespokv_datalet::{Datalet, EngineKind};
 use bespokv_dlm::DlmActor;
 use bespokv_proto::{CoordMsg, NetMsg};
-use bespokv_runtime::{Addr, CostModel, NetworkModel, Simulation, TransportProfile};
+use bespokv_runtime::{Addr, CostModel, FaultPlan, NetworkModel, Simulation, TransportProfile};
 use bespokv_sharedlog::SharedLogActor;
 use bespokv_types::{
     ClientId, Duration, Key, Mode, NodeId, Partitioning, ShardId, ShardInfo, ShardMap, Value,
@@ -64,6 +64,8 @@ pub struct ClusterSpec {
     /// Per-shard mode overrides (hybrid topologies, section IV-E): shard
     /// `i` runs `per_shard_modes[i]`; shards beyond the list use `mode`.
     pub per_shard_modes: Vec<Mode>,
+    /// Deterministic fault-injection plan applied to the network fabric.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterSpec {
@@ -84,7 +86,15 @@ impl ClusterSpec {
             dlm_lease: Duration::from_millis(500),
             p2p: false,
             per_shard_modes: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches a seeded fault plan: the same spec + seed replays the exact
+    /// same drop/duplicate/reorder/partition schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Gives each shard its own mode (hybrid topologies): e.g. an AA-MS
@@ -181,7 +191,11 @@ impl SimCluster {
                 info.mode = mode;
             }
         }
-        let mut sim = Simulation::new(NetworkModel::uniform(spec.transport));
+        let mut net = NetworkModel::uniform(spec.transport);
+        if let Some(plan) = &spec.faults {
+            net = net.with_faults(plan.clone());
+        }
+        let mut sim = Simulation::new(net);
         let num_nodes = spec.num_nodes();
         let coordinator = Addr(num_nodes + spec.standbys);
         let dlm = Addr(coordinator.0 + 1);
@@ -367,6 +381,31 @@ impl SimCluster {
     /// Crashes a node (controlet + datalet, fail-stop).
     pub fn kill_node(&mut self, node: NodeId) {
         self.sim.kill(Addr(node.raw()));
+    }
+
+    /// Restarts a previously killed node as a blank standby: a fresh
+    /// controlet over a fresh (empty) datalet takes over the address. The
+    /// new controlet announces itself via `StandbyAvailable` heartbeats;
+    /// the coordinator re-registers it and re-replicates any short shard
+    /// onto it through the normal recovery flow — all via real message
+    /// traffic, no harness back-channel.
+    pub fn restart_as_standby(&mut self, node: NodeId) {
+        assert!(
+            !self.sim.is_alive(Addr(node.raw())),
+            "restart_as_standby({node}): node is still alive"
+        );
+        let engine = self.spec.engines[0];
+        let datalet = engine.build();
+        let mut cfg = ControletConfig::new(node, ShardId(u32::MAX), self.coordinator);
+        cfg.dlm = Some(self.dlm);
+        cfg.shared_log = Some(self.shared_logs[0]);
+        cfg.cost = cost_for(engine);
+        cfg.heartbeat_every = self.spec.heartbeat_every;
+        cfg.prop_flush_every = self.spec.prop_flush_every;
+        cfg.log_poll_every = self.spec.log_poll_every;
+        let controlet = Controlet::new(cfg, Arc::clone(&datalet));
+        self.sim.revive(Addr(node.raw()), Box::new(controlet));
+        self.datalets[node.raw() as usize] = datalet;
     }
 
     /// Injects a failure notification directly (deterministic failover in

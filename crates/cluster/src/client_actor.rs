@@ -115,7 +115,17 @@ impl Actor for WorkloadClient {
                 self.pump(ctx.now(), ctx);
             }
             Event::Timer { token: TICK } => {
-                self.core.on_tick(ctx.now());
+                let now = ctx.now();
+                let measuring = self.in_window(now);
+                for c in self.core.on_tick(now) {
+                    // Exhausted-retry timeouts count as application-visible
+                    // errors (and free a concurrency slot for pump below).
+                    if measuring {
+                        self.stats.completed += 1;
+                        self.stats.errors += 1;
+                        self.stats.latency.record(now.saturating_since(c.issued_at));
+                    }
+                }
                 self.pump(ctx.now(), ctx);
                 ctx.set_timer(self.tick_every, TICK);
             }

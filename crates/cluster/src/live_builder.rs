@@ -30,6 +30,9 @@ pub struct LiveCluster {
     /// The initial map.
     pub map: ShardMap,
     next_client_id: u32,
+    /// Per-client (completed-step counter, script length), registered at
+    /// spawn time so progress is observable while the actor runs.
+    script_progress: std::collections::HashMap<Addr, (Arc<std::sync::atomic::AtomicUsize>, usize)>,
 }
 
 impl LiveCluster {
@@ -106,6 +109,7 @@ impl LiveCluster {
             datalets,
             map,
             next_client_id: 3000,
+            script_progress: std::collections::HashMap::new(),
         }
     }
 
@@ -115,8 +119,12 @@ impl LiveCluster {
         self.next_client_id += 1;
         let core = ClientCore::new(id, self.coordinator)
             .with_request_timeout(Duration::from_millis(300));
-        self.rt
-            .spawn(Box::new(crate::script::ScriptClient::new(core, script)))
+        let client = crate::script::ScriptClient::new(core, script);
+        let progress = client.progress_handle();
+        let len = client.script_len();
+        let addr = self.rt.spawn(Box::new(client));
+        self.script_progress.insert(addr, (progress, len));
+        addr
     }
 
     /// Crashes a node.
@@ -138,12 +146,23 @@ impl LiveCluster {
             .clone()
     }
 
-    /// Waits (wall-clock) until a predicate on a client's progress holds
-    /// or the timeout expires. Returns whether it held.
-    pub fn wait_for_script(&mut self, _client: Addr, timeout: std::time::Duration) -> bool {
-        // The live runtime has no non-invasive peek; poll with sleeps.
-        // Callers check results via `take_script_results` afterwards.
-        std::thread::sleep(timeout);
-        true
+    /// Waits (wall-clock) until the client has completed every scripted
+    /// step or the timeout expires. Returns whether it finished — callers
+    /// must check, a `false` means the script is still mid-run.
+    pub fn wait_for_script(&mut self, client: Addr, timeout: std::time::Duration) -> bool {
+        let Some((progress, len)) = self.script_progress.get(&client) else {
+            return false;
+        };
+        let (progress, len) = (Arc::clone(progress), *len);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if progress.load(std::sync::atomic::Ordering::Acquire) >= len {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
     }
 }

@@ -8,6 +8,8 @@ use bespokv::client::ClientCore;
 use bespokv_proto::client::{Op, RespBody};
 use bespokv_runtime::{Actor, Context, Event};
 use bespokv_types::{ConsistencyLevel, Duration, Instant, KvError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One scripted step.
 #[derive(Clone, Debug)]
@@ -50,6 +52,10 @@ pub struct ScriptClient {
     pub results: Vec<Result<RespBody, KvError>>,
     /// Completion time of each step.
     pub completed_at: Vec<Instant>,
+    /// Completed-step count, shared so the outside world (live-runtime
+    /// tests, which cannot peek into an actor on another thread) can watch
+    /// progress without stopping the client.
+    progress: Arc<AtomicUsize>,
 }
 
 impl ScriptClient {
@@ -62,12 +68,30 @@ impl ScriptClient {
             in_flight: false,
             results: Vec::new(),
             completed_at: Vec::new(),
+            progress: Arc::new(AtomicUsize::new(0)),
         }
     }
 
     /// Whether every step has completed.
     pub fn done(&self) -> bool {
         self.results.len() == self.script.len()
+    }
+
+    /// Number of scripted steps.
+    pub fn script_len(&self) -> usize {
+        self.script.len()
+    }
+
+    /// Shared handle to the completed-step counter.
+    pub fn progress_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.progress)
+    }
+
+    fn record(&mut self, result: Result<RespBody, KvError>, now: Instant) {
+        self.results.push(result);
+        self.completed_at.push(now);
+        self.in_flight = false;
+        self.progress.store(self.results.len(), Ordering::Release);
     }
 
     fn issue_next(&mut self, now: Instant, ctx: &mut Context) {
@@ -96,7 +120,12 @@ impl Actor for ScriptClient {
                 self.issue_next(ctx.now(), ctx);
             }
             Event::Timer { token: TICK } => {
-                self.core.on_tick(ctx.now());
+                let now = ctx.now();
+                for c in self.core.on_tick(now) {
+                    // A step that exhausted its retries completes with
+                    // Timeout; the script moves on instead of wedging.
+                    self.record(c.result, now);
+                }
                 self.issue_next(ctx.now(), ctx);
                 for (to, msg) in self.core.take_outgoing() {
                     ctx.send(to, msg);
@@ -107,9 +136,7 @@ impl Actor for ScriptClient {
             Event::Msg { msg, .. } => {
                 let now = ctx.now();
                 for c in self.core.on_msg(msg, now) {
-                    self.results.push(c.result);
-                    self.completed_at.push(now);
-                    self.in_flight = false;
+                    self.record(c.result, now);
                 }
                 for (to, msg) in self.core.take_outgoing() {
                     ctx.send(to, msg);

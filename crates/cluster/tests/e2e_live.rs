@@ -18,7 +18,10 @@ fn lifecycle_on_live(mode: Mode) {
         get("alpha").with_level(ConsistencyLevel::Strong),
     ]);
     // Wall-clock budget: scripts take a handful of RTTs plus timers.
-    cluster.wait_for_script(client, std::time::Duration::from_millis(1500));
+    assert!(
+        cluster.wait_for_script(client, std::time::Duration::from_secs(10)),
+        "{mode}: script did not finish in time"
+    );
     let results = cluster.take_script_results(client);
     assert_eq!(results.len(), 6, "{mode}: script incomplete: {results:?}");
     assert_eq!(results[0], Ok(RespBody::Done), "{mode}");
@@ -61,7 +64,10 @@ fn live_replication_converges() {
     let mut cluster = LiveCluster::build(ClusterSpec::new(1, 3, Mode::MS_SC));
     let script: Vec<_> = (0..20).map(|i| put(&format!("k{i}"), "v")).collect();
     let client = cluster.add_script_client(script);
-    cluster.wait_for_script(client, std::time::Duration::from_millis(2000));
+    assert!(
+        cluster.wait_for_script(client, std::time::Duration::from_secs(10)),
+        "script did not finish in time"
+    );
     let results = cluster.take_script_results(client);
     assert_eq!(results.len(), 20);
     assert!(results.iter().all(|r| r.is_ok()));

@@ -1,0 +1,365 @@
+//! Failover under deterministic fault injection (the tentpole scenario):
+//! for every mode the paper evaluates, a scripted workload runs while the
+//! head/master/an active is killed under a seeded drop/duplicate/reorder
+//! plan. Assertions:
+//!
+//! * SC modes: no acknowledged write is lost — every put the client saw
+//!   `Ok` for is present on every replica of the repaired shard.
+//! * EC modes: replicas converge after the dust settles — all replicas of
+//!   the repaired shard agree on every key.
+//! * All modes: the cluster keeps serving reads throughout the failure.
+//! * Determinism: re-running the identical scenario with the same seed
+//!   reproduces the exact same event schedule ([`SimStats`] equality) and
+//!   the exact same client-visible results.
+
+use bespokv_cluster::script::{get, put, ScriptClient};
+use bespokv_cluster::{ClusterSpec, SimCluster};
+use bespokv_coordinator::{CoordConfig, CoordinatorActor};
+use bespokv_datalet::DEFAULT_TABLE;
+use bespokv_proto::client::RespBody;
+use bespokv_runtime::{FaultPlan, LinkFaults, SimStats};
+use bespokv_types::{
+    Consistency, ConsistencyLevel, Duration, Instant, Key, KvError, Mode, NodeId, ShardId, Value,
+};
+
+const PRELOADED: usize = 20;
+const WRITES: usize = 30;
+const READS: usize = 40;
+
+/// Everything a scenario run produces, for assertions and replay checks.
+#[derive(Debug)]
+struct Outcome {
+    stats: SimStats,
+    writer_results: Vec<Result<RespBody, KvError>>,
+    reader_ok: usize,
+    /// SC only: acked keys missing from some final replica.
+    acked_missing: Vec<String>,
+    /// EC only: keys on which the final replicas disagree.
+    diverged: Vec<String>,
+    final_replicas: Vec<NodeId>,
+}
+
+fn faulty_spec(mode: Mode, seed: u64, drop_p: f64) -> ClusterSpec {
+    ClusterSpec::new(1, 3, mode)
+        .with_standbys(1)
+        .with_coord(CoordConfig {
+            // Generous relative to the heartbeat period so a burst of
+            // dropped heartbeats cannot masquerade as a crash.
+            failure_timeout: Duration::from_millis(1200),
+            check_every: Duration::from_millis(200),
+        })
+        .with_faults(FaultPlan::new(seed).with_default(LinkFaults::lossy(drop_p)))
+}
+
+/// Runs one kill-under-faults scenario: preload, start a writer and a
+/// reader, crash node 0 (head / master / an active) mid-workload, let the
+/// coordinator repair, then audit the final replica set.
+fn run_scenario(mode: Mode, seed: u64, drop_p: f64) -> Outcome {
+    let mut cluster = SimCluster::build(faulty_spec(mode, seed, drop_p));
+    cluster.preload(
+        (0..PRELOADED).map(|i| (Key::from(format!("p{i}").as_str()), Value::from("seed"))),
+    );
+    let writer = cluster.add_script_client(
+        (0..WRITES)
+            .map(|i| put(&format!("w{i}"), &format!("x{i}")))
+            .collect(),
+    );
+    let reader = cluster.add_script_client(
+        (0..READS)
+            .map(|i| get(&format!("p{}", i % PRELOADED)))
+            .collect(),
+    );
+    // Let the workload get going, then crash node 0 mid-flight.
+    cluster.run_for(Duration::from_millis(400));
+    cluster.kill_node(NodeId(0));
+    // Failure detection + repair + standby recovery + retries, all under
+    // continuing packet loss. Generous: a write caught mid-failover can
+    // burn several capped-backoff gaps (~2 s each) before it lands.
+    cluster.run_for(Duration::from_secs(20));
+
+    let writer_results = cluster.sim.actor_mut::<ScriptClient>(writer).results.clone();
+    let reader_results = cluster.sim.actor_mut::<ScriptClient>(reader).results.clone();
+    let reader_ok = reader_results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(
+        writer_results.len(),
+        WRITES,
+        "{mode:?}: writer script must run to completion (timeouts surface, never wedge)"
+    );
+    assert_eq!(reader_results.len(), READS, "{mode:?}: reader must finish");
+    // Every successful read returned the preloaded value.
+    for r in reader_results.iter().flatten() {
+        if let RespBody::Value(v) = r {
+            assert_eq!(v.value, Value::from("seed"), "{mode:?}: read wrong value");
+        }
+    }
+
+    let final_replicas = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .expect("shard 0")
+        .replicas
+        .clone();
+    assert!(
+        !final_replicas.contains(&NodeId(0)),
+        "{mode:?}: dead node still in the map: {final_replicas:?}"
+    );
+
+    let mut acked_missing = Vec::new();
+    let mut diverged = Vec::new();
+    match mode.consistency {
+        Consistency::Strong => {
+            // An acked write is durable: present on every current replica.
+            for (i, res) in writer_results.iter().enumerate() {
+                if res.is_err() {
+                    continue;
+                }
+                let key = Key::from(format!("w{i}").as_str());
+                for &node in &final_replicas {
+                    let d = &cluster.datalets[node.raw() as usize];
+                    let ok = d
+                        .get(DEFAULT_TABLE, &key)
+                        .map(|v| v.value == Value::from(format!("x{i}").as_str()))
+                        .unwrap_or(false);
+                    if !ok {
+                        acked_missing.push(format!("w{i}@{node}"));
+                    }
+                }
+            }
+        }
+        Consistency::Eventual => {
+            // After the heal window the replicas must agree on every key
+            // the workload may have written.
+            for i in 0..WRITES {
+                let key = Key::from(format!("w{i}").as_str());
+                let values: Vec<Option<Value>> = final_replicas
+                    .iter()
+                    .map(|&n| {
+                        cluster.datalets[n.raw() as usize]
+                            .get(DEFAULT_TABLE, &key)
+                            .ok()
+                            .map(|v| v.value)
+                    })
+                    .collect();
+                if values.windows(2).any(|w| w[0] != w[1]) {
+                    diverged.push(format!("w{i}: {values:?}"));
+                }
+            }
+        }
+    }
+
+    Outcome {
+        stats: cluster.sim.stats(),
+        writer_results,
+        reader_ok,
+        acked_missing,
+        diverged,
+        final_replicas,
+    }
+}
+
+/// Shared assertions + the same-seed replay check for one mode.
+fn check_mode(mode: Mode, seed: u64, drop_p: f64) {
+    let a = run_scenario(mode, seed, drop_p);
+    let acked = a.writer_results.iter().filter(|r| r.is_ok()).count();
+    assert!(
+        acked >= WRITES / 2,
+        "{mode:?}: too few acked writes ({acked}/{WRITES}) — cluster never recovered"
+    );
+    assert!(
+        a.reader_ok * 10 >= READS * 9,
+        "{mode:?}: reads starved during failover: {}/{READS} ok",
+        a.reader_ok
+    );
+    assert_eq!(
+        a.final_replicas.len(),
+        3,
+        "{mode:?}: replication factor not restored: {:?}",
+        a.final_replicas
+    );
+    assert!(
+        a.acked_missing.is_empty(),
+        "{mode:?}: acknowledged writes lost: {:?}",
+        a.acked_missing
+    );
+    assert!(
+        a.diverged.is_empty(),
+        "{mode:?}: replicas diverged after heal: {:?}",
+        a.diverged
+    );
+    // The plan actually injected faults (the scenario is not vacuous).
+    assert!(
+        a.stats.faults_dropped > 0,
+        "{mode:?}: fault plan never dropped anything"
+    );
+
+    // Determinism: same seed => identical event schedule and results.
+    let b = run_scenario(mode, seed, drop_p);
+    assert_eq!(
+        a.stats, b.stats,
+        "{mode:?}: same-seed replay diverged (SimStats mismatch)"
+    );
+    assert_eq!(
+        a.writer_results, b.writer_results,
+        "{mode:?}: same-seed replay produced different client results"
+    );
+
+    // And a different seed gives a different schedule (the plan is live).
+    let c = run_scenario(mode, seed + 1, drop_p);
+    assert_ne!(
+        a.stats, c.stats,
+        "{mode:?}: different seeds produced identical schedules"
+    );
+}
+
+#[test]
+fn ms_sc_head_killed_under_faults() {
+    check_mode(Mode::MS_SC, 7, 0.02);
+}
+
+#[test]
+fn ms_ec_master_killed_under_faults() {
+    check_mode(Mode::MS_EC, 11, 0.02);
+}
+
+#[test]
+fn aa_sc_active_killed_under_faults() {
+    check_mode(Mode::AA_SC, 13, 0.02);
+}
+
+#[test]
+fn aa_ec_active_killed_under_faults() {
+    check_mode(Mode::AA_EC, 17, 0.02);
+}
+
+/// A symmetric partition isolates the head; the coordinator declares it
+/// dead and repairs. After the partition heals, the stale head observes
+/// the newer epoch and steps down instead of split-braining.
+#[test]
+fn partition_isolates_head_then_heals() {
+    let t0 = Instant::ZERO;
+    let everyone_else: Vec<bespokv_runtime::Addr> =
+        (1..8).map(bespokv_runtime::Addr).collect();
+    let plan = FaultPlan::new(23).with_symmetric_partition(
+        vec![bespokv_runtime::Addr(0)],
+        everyone_else,
+        t0 + Duration::from_millis(800),
+        t0 + Duration::from_millis(3000),
+    );
+    let spec = ClusterSpec::new(1, 3, Mode::MS_SC)
+        .with_standbys(1)
+        .with_coord(CoordConfig {
+            failure_timeout: Duration::from_millis(600),
+            check_every: Duration::from_millis(200),
+        })
+        .with_faults(plan);
+    let mut cluster = SimCluster::build(spec);
+    let seeder = cluster.add_script_client(vec![put("pre", "1")]);
+    cluster.run_for(Duration::from_millis(700));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    // Ride through the partition and its heal.
+    cluster.run_for(Duration::from_secs(5));
+    let info = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .unwrap()
+        .clone();
+    assert!(
+        !info.replicas.contains(&NodeId(0)),
+        "partitioned head must be replaced: {:?}",
+        info.replicas
+    );
+    assert_eq!(info.replicas.len(), 3, "standby restored replication");
+    assert!(
+        cluster.sim.stats().partition_drops > 0,
+        "the partition never blocked a message"
+    );
+
+    // The cluster serves strong reads and writes after the heal.
+    let post = cluster.add_script_client(vec![
+        put("post", "2"),
+        get("post").with_level(ConsistencyLevel::Strong),
+        get("pre").with_level(ConsistencyLevel::Strong),
+    ]);
+    cluster.run_for(Duration::from_secs(3));
+    let c = cluster.sim.actor_mut::<ScriptClient>(post);
+    assert!(c.done());
+    assert_eq!(c.results[0], Ok(RespBody::Done));
+    assert!(matches!(&c.results[1], Ok(RespBody::Value(v)) if v.value == Value::from("2")));
+    assert!(matches!(&c.results[2], Ok(RespBody::Value(v)) if v.value == Value::from("1")));
+}
+
+/// Restart-from-standby, end to end via real message flow: with no spare
+/// standbys, a crashed node is restarted blank, announces itself, and the
+/// coordinator re-replicates the short shard onto it.
+#[test]
+fn restarted_node_rejoins_and_recovers_data() {
+    let spec = ClusterSpec::new(1, 3, Mode::MS_SC).with_coord(CoordConfig {
+        failure_timeout: Duration::from_millis(600),
+        check_every: Duration::from_millis(200),
+    });
+    let mut cluster = SimCluster::build(spec);
+    let seeder = cluster.add_script_client(
+        (0..15)
+            .map(|i| put(&format!("k{i}"), &format!("v{i}")))
+            .collect(),
+    );
+    cluster.run_for(Duration::from_secs(2));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    // Crash the head; with zero standbys the shard runs short.
+    cluster.kill_node(NodeId(0));
+    cluster.run_for(Duration::from_secs(2));
+    let short = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .unwrap()
+        .replicas
+        .clone();
+    assert_eq!(short.len(), 2, "no standby: shard stays short: {short:?}");
+
+    // Restart the node blank. Its StandbyAvailable heartbeats re-register
+    // it; the coordinator notices the short shard and re-replicates.
+    cluster.restart_as_standby(NodeId(0));
+    cluster.run_for(Duration::from_secs(4));
+    let info = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .unwrap()
+        .clone();
+    assert_eq!(
+        info.replicas.len(),
+        3,
+        "restarted node restored replication: {:?}",
+        info.replicas
+    );
+    assert!(info.replicas.contains(&NodeId(0)), "{:?}", info.replicas);
+    let d = &cluster.datalets[0];
+    assert_eq!(d.len(), 15, "restarted node recovered the full keyspace");
+    assert_eq!(
+        d.get(DEFAULT_TABLE, &Key::from("k9")).unwrap().value,
+        Value::from("v9")
+    );
+
+    // And it serves again as a chain member.
+    let post = cluster.add_script_client(vec![
+        put("post", "1"),
+        get("post").with_level(ConsistencyLevel::Strong),
+    ]);
+    cluster.run_for(Duration::from_secs(2));
+    let c = cluster.sim.actor_mut::<ScriptClient>(post);
+    assert!(c.done());
+    assert!(c.results.iter().all(|r| r.is_ok()), "{:?}", c.results);
+}

@@ -61,6 +61,9 @@ pub struct CoordCore {
     standbys: VecDeque<NodeId>,
     /// Outstanding standby recoveries: (shard, recovering node).
     recovering: BTreeSet<(ShardId, NodeId)>,
+    /// Replication factor each shard should be restored to (taken from the
+    /// initial map).
+    desired_repl: usize,
     transitions: HashMap<ShardId, Transition>,
     out: Vec<Directive>,
 }
@@ -68,6 +71,12 @@ pub struct CoordCore {
 impl CoordCore {
     /// Creates the core over an initial map.
     pub fn new(cfg: CoordConfig, map: ShardMap) -> Self {
+        let desired_repl = map
+            .shards
+            .iter()
+            .map(|s| s.replicas.len())
+            .max()
+            .unwrap_or(0);
         CoordCore {
             cfg,
             map,
@@ -76,6 +85,7 @@ impl CoordCore {
             subscribers: BTreeSet::new(),
             standbys: VecDeque::new(),
             recovering: BTreeSet::new(),
+            desired_repl,
             transitions: HashMap::new(),
             out: Vec::new(),
         }
@@ -153,6 +163,10 @@ impl CoordCore {
             CoordMsg::TransitionDrained { shard, node } => {
                 self.transition_drained(shard, node);
             }
+            CoordMsg::StandbyAvailable { node } => {
+                self.subscribers.insert(from);
+                self.register_standby(node, now);
+            }
             // The remaining variants are coordinator -> controlet.
             CoordMsg::ShardMapUpdate { .. }
             | CoordMsg::Reconfigure { .. }
@@ -160,9 +174,131 @@ impl CoordCore {
         }
     }
 
+    /// Handles a (re)started node announcing itself as a standby.
+    ///
+    /// Idempotent under re-announcement: a node already queued, already
+    /// recovering, or already serving a shard is not double-registered. A
+    /// node mid-recovery gets its `StartRecovery` directive re-sent, which
+    /// makes the recovery handshake survive message loss.
+    pub fn register_standby(&mut self, node: NodeId, now: Instant) {
+        if self.recovering.iter().any(|(_, n)| *n == node) {
+            self.resend_recovery(node);
+            return;
+        }
+        if self.map.shards.iter().any(|s| s.replicas.contains(&node)) {
+            return; // already serving; stale announcement
+        }
+        // Readmit: the node is fresh, so clear its failure record and give
+        // it a new liveness grace period.
+        self.failed.remove(&node);
+        self.liveness.insert(
+            node,
+            Liveness {
+                last_seen: now,
+                applied: 0,
+            },
+        );
+        if !self.standbys.contains(&node) {
+            self.standbys.push_back(node);
+        }
+        self.restore_replication();
+    }
+
+    /// Launches standby recoveries for every shard running below the
+    /// desired replication factor, as long as standbys are available.
+    fn restore_replication(&mut self) {
+        let under: Vec<ShardId> = self
+            .map
+            .shards
+            .iter()
+            .filter(|s| {
+                !s.replicas.is_empty()
+                    && s.replicas.len() < self.desired_repl
+                    && !self.recovering.iter().any(|(sh, _)| *sh == s.shard)
+            })
+            .map(|s| s.shard)
+            .collect();
+        for shard in under {
+            if !self.launch_recovery(shard) {
+                break; // out of standbys
+            }
+        }
+    }
+
+    /// Pops a standby and directs it to recover `shard` from the current
+    /// writer. Returns false when no standby is available or the shard has
+    /// no surviving source.
+    fn launch_recovery(&mut self, shard: ShardId) -> bool {
+        let Some(info) = self.map.shard(shard) else {
+            return false;
+        };
+        if info.replicas.is_empty() {
+            return false;
+        }
+        let Some(standby) = self.standbys.pop_front() else {
+            return false;
+        };
+        let source = info.replicas[0];
+        let role_position = info.replicas.len() as u32;
+        let mut future = info.clone();
+        future.replicas.push(standby);
+        future.epoch += 1;
+        self.recovering.insert((shard, standby));
+        self.out.push(Directive {
+            to: Self::node_addr(standby),
+            msg: NetMsg::Coord(CoordMsg::StartRecovery {
+                shard,
+                source,
+                role_position,
+                info: future,
+            }),
+        });
+        true
+    }
+
+    /// Re-sends the `StartRecovery` directive for a node already marked as
+    /// recovering (its original directive may have been lost).
+    fn resend_recovery(&mut self, node: NodeId) {
+        let Some(&(shard, _)) = self.recovering.iter().find(|(_, n)| *n == node) else {
+            return;
+        };
+        let Some(info) = self.map.shard(shard) else {
+            return;
+        };
+        if info.replicas.is_empty() || info.replicas.contains(&node) {
+            return;
+        }
+        let source = info.replicas[0];
+        let role_position = info.replicas.len() as u32;
+        let mut future = info.clone();
+        future.replicas.push(node);
+        future.epoch += 1;
+        self.out.push(Directive {
+            to: Self::node_addr(node),
+            msg: NetMsg::Coord(CoordMsg::StartRecovery {
+                shard,
+                source,
+                role_position,
+                info: future,
+            }),
+        });
+    }
+
     /// Runs the liveness check; failed nodes trigger failover.
     pub fn check_liveness(&mut self, now: Instant) {
         let timeout = self.cfg.failure_timeout;
+        // Every mapped replica is on the clock from the first check, not
+        // from its first heartbeat: a node that dies (or whose every
+        // heartbeat is lost) before the coordinator hears from it once
+        // must still be detected.
+        for shard in &self.map.shards {
+            for &node in &shard.replicas {
+                self.liveness.entry(node).or_insert(Liveness {
+                    last_seen: now,
+                    applied: 0,
+                });
+            }
+        }
         let newly_failed: Vec<NodeId> = self
             .liveness
             .iter()
@@ -245,23 +381,7 @@ impl CoordCore {
             }
         }
         // Launch a standby pair to restore the replication factor.
-        if let Some(standby) = self.standbys.pop_front() {
-            let source = info.replicas[0];
-            let role_position = info.replicas.len() as u32;
-            let mut future = info.clone();
-            future.replicas.push(standby);
-            future.epoch += 1;
-            self.recovering.insert((shard, standby));
-            self.out.push(Directive {
-                to: Self::node_addr(standby),
-                msg: NetMsg::Coord(CoordMsg::StartRecovery {
-                    shard,
-                    source,
-                    role_position,
-                    info: future,
-                }),
-            });
-        }
+        self.launch_recovery(shard);
         true
     }
 
@@ -278,6 +398,8 @@ impl CoordCore {
             }
         }
         self.broadcast_map();
+        // Another shard may still be short and a standby queued.
+        self.restore_replication();
     }
 
     /// Starts a topology/consistency transition for one shard (section V).
@@ -517,6 +639,73 @@ mod tests {
             T0,
         );
         assert_eq!(core.map().shard(ShardId(0)).unwrap().replicas.len(), 3);
+    }
+
+    #[test]
+    fn restarted_node_rejoins_as_standby_and_recovers_short_shard() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        // No standby queued: the failure leaves the shard at 2/3.
+        core.fail_node(NodeId(2));
+        core.take_directives();
+        assert_eq!(core.map().shard(ShardId(0)).unwrap().replicas.len(), 2);
+        // The node restarts and announces itself.
+        core.handle(
+            Addr(2),
+            CoordMsg::StandbyAvailable { node: NodeId(2) },
+            T0 + Duration::from_millis(100),
+        );
+        assert!(!core.failed_nodes().contains(&NodeId(2)));
+        // Under-replication triggers an immediate StartRecovery.
+        let ds = core.take_directives();
+        let start = ds
+            .iter()
+            .find(|d| matches!(d.msg, NetMsg::Coord(CoordMsg::StartRecovery { .. })))
+            .expect("StartRecovery sent");
+        assert_eq!(start.to, Addr(2));
+        // Completion splices it back in as the tail.
+        core.handle(
+            Addr(2),
+            CoordMsg::RecoveryDone {
+                shard: ShardId(0),
+                node: NodeId(2),
+            },
+            T0 + Duration::from_millis(200),
+        );
+        assert_eq!(
+            core.map().shard(ShardId(0)).unwrap().replicas,
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn standby_reannouncement_is_idempotent_and_resends_recovery() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        core.fail_node(NodeId(2));
+        core.take_directives();
+        core.handle(Addr(2), CoordMsg::StandbyAvailable { node: NodeId(2) }, T0);
+        let first = core.take_directives();
+        assert_eq!(
+            first
+                .iter()
+                .filter(|d| matches!(d.msg, NetMsg::Coord(CoordMsg::StartRecovery { .. })))
+                .count(),
+            1
+        );
+        // Re-announcement while recovering re-sends the directive (covers a
+        // lost StartRecovery) instead of double-queuing the node.
+        core.handle(Addr(2), CoordMsg::StandbyAvailable { node: NodeId(2) }, T0);
+        let again = core.take_directives();
+        assert_eq!(
+            again
+                .iter()
+                .filter(|d| matches!(d.msg, NetMsg::Coord(CoordMsg::StartRecovery { .. })))
+                .count(),
+            1
+        );
+        // An announcement from a node already serving is ignored.
+        core.handle(Addr(0), CoordMsg::StandbyAvailable { node: NodeId(0) }, T0);
+        assert!(core.take_directives().is_empty());
+        assert_eq!(core.map().shard(ShardId(0)).unwrap().replicas.len(), 2);
     }
 
     #[test]

@@ -30,6 +30,10 @@ use std::collections::HashMap;
 /// Default maximum transparent retries before surfacing the error.
 const MAX_ATTEMPTS: u32 = 5;
 
+/// Cap on the exponential re-issue backoff, as a multiple of the base
+/// request timeout.
+const BACKOFF_CAP_FACTOR: u64 = 8;
+
 /// A finished operation.
 #[derive(Clone, Debug)]
 pub struct Completion {
@@ -49,6 +53,10 @@ struct Outstanding {
     issued_at: Instant,
     last_sent: Instant,
     attempts: u32,
+    /// Current re-issue timeout: doubles on every silent re-issue (capped
+    /// exponential backoff) so a dead or partitioned target is not hammered
+    /// at a fixed cadence.
+    cur_timeout: Duration,
     /// Present when this is one leg of a scatter-gather scan.
     parent: Option<RequestId>,
 }
@@ -274,6 +282,7 @@ impl ClientCore {
                 issued_at: now,
                 last_sent: now,
                 attempts: 1,
+                cur_timeout: self.request_timeout,
                 parent,
             },
         );
@@ -505,38 +514,68 @@ impl ClientCore {
         }
     }
 
-    /// Re-issues requests that have been silent longer than the timeout
-    /// (their target likely died before replying) and retries parked
-    /// failures. Call periodically.
-    pub fn on_tick(&mut self, now: Instant) {
+    /// Re-issues requests that have been silent longer than their current
+    /// backoff (their target likely died before replying) and retries
+    /// parked failures. Call periodically. Operations that exhaust their
+    /// attempt budget complete with [`KvError::Timeout`] — they are
+    /// surfaced, never silently dropped.
+    pub fn on_tick(&mut self, now: Instant) -> Vec<Completion> {
         self.retry_parked(now);
+        // A lost GetShardMap (or its response) must not wedge the client
+        // forever: once the outstanding fetch has been silent past the
+        // request timeout, clear the gate and fetch again.
+        if self.map_requested
+            && self
+                .last_map_fetch
+                .map(|t| now.saturating_since(t) > self.request_timeout)
+                .unwrap_or(false)
+        {
+            self.map_requested = false;
+            self.request_map(now);
+        }
         let stale: Vec<RequestId> = self
             .outstanding
             .iter()
-            .filter(|(_, o)| now.saturating_since(o.last_sent) > self.request_timeout)
+            .filter(|(_, o)| now.saturating_since(o.last_sent) > o.cur_timeout)
             .map(|(rid, _)| *rid)
             .collect();
         if stale.is_empty() {
-            return;
+            return Vec::new();
         }
         // The silence probably means our map is stale too.
         self.map_requested = false;
         self.request_map(now);
+        let cap = Duration(self.request_timeout.0.saturating_mul(BACKOFF_CAP_FACTOR));
+        let mut completions = Vec::new();
         for rid in stale {
             let (req, give_up) = {
                 let o = self.outstanding.get_mut(&rid).expect("listed");
                 o.attempts += 1;
                 o.last_sent = now;
+                o.cur_timeout = Duration(o.cur_timeout.0.saturating_mul(2)).min(cap);
                 (o.req.clone(), o.attempts > self.max_attempts)
             };
             if give_up {
-                self.outstanding.remove(&rid);
+                let o = self.outstanding.remove(&rid).expect("listed");
+                let resp = Response::err(rid, KvError::Timeout);
+                match o.parent {
+                    Some(parent) => {
+                        completions.extend(self.finish_scatter_leg(parent, resp, o, now))
+                    }
+                    None => completions.push(Completion {
+                        rid,
+                        result: Err(KvError::Timeout),
+                        issued_at: o.issued_at,
+                        attempts: o.attempts,
+                    }),
+                }
                 continue;
             }
             if let Some(node) = self.route(&req, now) {
                 self.out.push((Addr(node.raw()), NetMsg::Client(req)));
             }
         }
+        completions
     }
 }
 
@@ -797,7 +836,8 @@ mod tests {
             .with_request_timeout(Duration::from_millis(10));
         core.begin(put_op(), "", ConsistencyLevel::Default, now());
         core.take_outgoing();
-        core.on_tick(now() + Duration::from_millis(50));
+        let comps = core.on_tick(now() + Duration::from_millis(50));
+        assert!(comps.is_empty(), "first re-issue, not a give-up");
         let out = core.take_outgoing();
         // A map refresh plus the re-issued request.
         assert!(out
@@ -805,5 +845,68 @@ mod tests {
             .any(|(a, m)| *a == Addr(99) && matches!(m, NetMsg::Coord(CoordMsg::GetShardMap))));
         assert!(out.iter().any(|(_, m)| matches!(m, NetMsg::Client(_))));
         assert_eq!(core.in_flight(), 1);
+    }
+
+    #[test]
+    fn reissue_backoff_doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_request_timeout(base)
+            .with_max_attempts(u32::MAX);
+        core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        let mut t = now();
+        let mut reissues = 0;
+        let mut gaps = Vec::new();
+        // Tick every 1 ms for a while; count when re-issues actually fire.
+        let mut last_reissue = t;
+        for _ in 0..2000 {
+            t += Duration::from_millis(1);
+            core.on_tick(t);
+            let sent = core
+                .take_outgoing()
+                .iter()
+                .any(|(_, m)| matches!(m, NetMsg::Client(_)));
+            if sent {
+                gaps.push(t.saturating_since(last_reissue));
+                last_reissue = t;
+                reissues += 1;
+            }
+        }
+        assert!(reissues >= 5, "expected several re-issues, got {reissues}");
+        // Gaps grow (exponential): 10, 20, 40, 80, cap at 80 = 8 * base.
+        assert!(gaps[1] > gaps[0], "backoff must grow: {gaps:?}");
+        assert!(gaps[2] > gaps[1], "backoff must grow: {gaps:?}");
+        let cap = Duration(base.0 * super::BACKOFF_CAP_FACTOR) + Duration::from_millis(2);
+        for g in &gaps[1..] {
+            assert!(*g <= cap, "gap {g:?} exceeds cap {cap:?}: {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_timeout() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_request_timeout(Duration::from_millis(10))
+            .with_max_attempts(2);
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        let mut t = now();
+        let mut comps = Vec::new();
+        for _ in 0..200 {
+            t += Duration::from_millis(25);
+            comps = core.on_tick(t);
+            core.take_outgoing();
+            if !comps.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(comps.len(), 1, "give-up must surface a completion");
+        assert_eq!(comps[0].rid, rid);
+        assert_eq!(comps[0].result, Err(KvError::Timeout));
+        assert_eq!(core.in_flight(), 0);
     }
 }

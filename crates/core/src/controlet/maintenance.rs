@@ -36,6 +36,7 @@ impl Controlet {
                 // A standby may be assigned to any shard; rebind.
                 self.cfg.shard = shard;
                 self.serving = false;
+                self.recovery_delta = None;
                 self.recovery = Some(RecoveryState {
                     source,
                     next_from: 0,
@@ -45,6 +46,9 @@ impl Controlet {
                     Self::addr_of(source),
                     NetMsg::Repl(ReplMsg::RecoveryReq { shard, from: 0 }),
                 );
+                // The pull loop dies if a request or chunk is lost; the
+                // retry timer re-issues the current request until done.
+                ctx.set_timer(self.cfg.heartbeat_every, super::RECOVERY_RETRY_TIMER);
             }
             CoordMsg::BeginTransition { shard, target } if shard == self.cfg.shard => {
                 self.begin_transition(target, ctx);
@@ -56,12 +60,28 @@ impl Controlet {
     /// Adopts a map update if it is newer than what we have; reacts to
     /// role changes.
     fn maybe_adopt(&mut self, info: ShardInfo, ctx: &mut Context) {
+        // The coordinator has acknowledged our recovery once the published
+        // map includes us; stop re-reporting RecoveryDone. (Checked before
+        // the staleness gate: the recovering node adopted the future info
+        // early, so the confirming map may not be strictly newer.)
+        if self.pending_recovery_done == Some(info.shard)
+            && info.position(self.cfg.node).is_some()
+        {
+            self.pending_recovery_done = None;
+        }
         let newer = match &self.info {
             None => true,
             Some(cur) => info.epoch > cur.epoch,
         };
         if !newer {
             return;
+        }
+        // If our delta-feed source left the replica set (it died), there is
+        // nothing left to drain from it; stop polling.
+        if let Some((source, _)) = self.recovery_delta {
+            if info.position(source).is_none() {
+                self.recovery_delta = None;
+            }
         }
         let was_member = self
             .info
@@ -104,6 +124,18 @@ impl Controlet {
         if shard != self.cfg.shard {
             return;
         }
+        if from & super::RECOVERY_DELTA_FLAG != 0 {
+            self.serve_recovery_delta(shard, from, requester, ctx);
+            return;
+        }
+        // First request: start recording concurrently applied entries. The
+        // snapshot cursor is an index into the sorted keyspace, so a write
+        // landing in the already-streamed prefix would otherwise be lost.
+        // (A retried `from == 0` request must NOT reset an existing feed —
+        // the feed has been recording since the true start.)
+        if from == 0 {
+            self.recovery_feeds.entry(requester).or_default();
+        }
         let (entries, done) = self.datalet.snapshot_chunk(from, RECOVERY_CHUNK);
         // Reading and serializing a chunk is real work.
         ctx.charge(Duration::from_micros(2 * entries.len().max(1) as u64));
@@ -120,6 +152,46 @@ impl Controlet {
         );
     }
 
+    /// Serves one cursor-addressed slice of the delta feed. Responds
+    /// `done: true` only when the feed is drained *and* this node's map
+    /// already lists the requester as a replica — from that point normal
+    /// replication covers it, so both sides can forget the feed.
+    fn serve_recovery_delta(&mut self, shard: ShardId, from: u64, requester: Addr, ctx: &mut Context) {
+        let cursor = (from & !super::RECOVERY_DELTA_FLAG) as usize;
+        let feed_entries: Vec<LogEntry> = self
+            .recovery_feeds
+            .get(&requester)
+            .map(|f| {
+                f.entries
+                    .iter()
+                    .skip(cursor)
+                    .take(RECOVERY_CHUNK)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let member = self
+            .info
+            .as_ref()
+            .map(|i| i.position(NodeId(requester.0)).is_some())
+            .unwrap_or(false);
+        let finished = feed_entries.is_empty() && member;
+        ctx.charge(Duration::from_micros(2 * feed_entries.len().max(1) as u64));
+        ctx.send(
+            requester,
+            NetMsg::Repl(ReplMsg::RecoveryChunk {
+                shard,
+                from,
+                entries: feed_entries,
+                done: finished,
+                snapshot_seq: self.applied_seq,
+            }),
+        );
+        if finished {
+            self.recovery_feeds.remove(&requester);
+        }
+    }
+
     // --- recovery: joining side -------------------------------------------------
 
     pub(crate) fn on_recovery_chunk(
@@ -131,7 +203,33 @@ impl Controlet {
         snapshot_seq: u64,
         ctx: &mut Context,
     ) {
-        if shard != self.cfg.shard || self.recovery.is_none() {
+        if shard != self.cfg.shard {
+            return;
+        }
+        // Delta responses (post-snapshot feed drain) are cursor-matched so
+        // duplicates, reorders and drops are all safe to replay.
+        if from & super::RECOVERY_DELTA_FLAG != 0 {
+            if let Some((source, cursor)) = self.recovery_delta {
+                if from == super::RECOVERY_DELTA_FLAG | cursor {
+                    for e in &entries {
+                        self.apply_entry(e, ctx);
+                    }
+                    if done {
+                        self.recovery_delta = None;
+                    } else {
+                        self.recovery_delta = Some((source, cursor + entries.len() as u64));
+                    }
+                }
+            }
+            return;
+        }
+        if self.recovery.is_none() {
+            return;
+        }
+        // Only the chunk for the current position advances the pull loop;
+        // duplicated or stale chunks (fault injection, retry overlap) are
+        // ignored so the cursor never regresses.
+        if from != self.recovery.as_ref().expect("checked").next_from {
             return;
         }
         let count = entries.len() as u64;
@@ -143,11 +241,34 @@ impl Controlet {
             let rec = self.recovery.take().expect("checked");
             self.applied_seq = self.applied_seq.max(snapshot_seq);
             // Resume shared-log consumption where the snapshot left off
-            // (AA+EC: entries at or below snapshot_seq are in the data).
+            // (AA+EC: log positions are global, so the source's sequence is
+            // meaningful here).
             self.log.fetch_pos = snapshot_seq + 1;
-            self.prop.next_seq = snapshot_seq + 1;
+            // Joining an MS+EC chain as a slave: the snapshot's sequence is
+            // numbered in the *source's* stream, which need not be the
+            // stream the current master sends (a promoted master starts a
+            // fresh one at 1). Guessing a cursor here is poison — a stale
+            // high cursor silently skips every new-stream entry and its
+            // cumulative ack makes the master trim them unreplicated. Start
+            // from nothing; the batch floor fast-forwards us over the
+            // prefix our snapshot already covers.
+            self.prop_applied = 0;
+            self.prop_epoch = 0;
+            self.prop_master = None;
             self.adopt_info(rec.info);
             self.serving = true;
+            // Keep re-reporting on the heartbeat until the map shows us.
+            self.pending_recovery_done = Some(shard);
+            // The fuzzy snapshot missed writes applied concurrently with
+            // the stream: drain the source's delta feed from cursor 0.
+            self.recovery_delta = Some((rec.source, 0));
+            ctx.send(
+                Self::addr_of(rec.source),
+                NetMsg::Repl(ReplMsg::RecoveryReq {
+                    shard,
+                    from: super::RECOVERY_DELTA_FLAG,
+                }),
+            );
             ctx.send(
                 self.cfg.coordinator,
                 NetMsg::Coord(CoordMsg::RecoveryDone {

@@ -30,6 +30,11 @@ use std::sync::Arc;
 pub(crate) const HEARTBEAT_TIMER: u64 = 1;
 pub(crate) const PROP_FLUSH_TIMER: u64 = 2;
 pub(crate) const LOG_POLL_TIMER: u64 = 3;
+pub(crate) const RECOVERY_RETRY_TIMER: u64 = 4;
+
+/// Map refresh cadence: every Nth heartbeat a serving controlet re-pulls
+/// the shard map, so a dropped `ShardMapUpdate` broadcast heals itself.
+pub(crate) const MAP_REFRESH_BEATS: u64 = 4;
 
 /// Entries per recovery chunk.
 pub(crate) const RECOVERY_CHUNK: usize = 512;
@@ -89,8 +94,11 @@ pub(crate) struct Pending {
     /// The original request (needed when completion happens in a later
     /// event, e.g. after a lock grant or an append ack).
     pub req: Request,
-    /// Outstanding peer acknowledgements (AA+SC fan-out).
-    pub acks_needed: usize,
+    /// Peers whose acknowledgement is still outstanding (AA+SC fan-out).
+    /// Tracked per peer, not as a counter: a duplicated `PeerWriteAck`
+    /// (retry, fault injection) must not count twice and ack the client
+    /// while another peer has not applied the write.
+    pub awaiting: std::collections::HashSet<NodeId>,
     /// Fencing token held (AA+SC), doubling as the write version.
     pub fencing: u64,
 }
@@ -114,6 +122,10 @@ pub(crate) struct PropState {
     pub next_seq: u64,
     /// Cumulative ack per slave.
     pub acked: HashMap<NodeId, u64>,
+    /// Highest sequence dropped from `buffer`: every current slave at trim
+    /// time had acknowledged it. Sent as the batch floor so later joiners
+    /// (whose snapshot covers the trimmed prefix) can fast-forward.
+    pub trimmed_upto: u64,
 }
 
 impl PropState {
@@ -122,6 +134,7 @@ impl PropState {
             buffer: BTreeMap::new(),
             next_seq: 1,
             acked: HashMap::new(),
+            trimmed_upto: 0,
         }
     }
 
@@ -137,6 +150,7 @@ impl PropState {
     /// Drops entries every slave has.
     pub(crate) fn trim(&mut self, slaves: &[NodeId]) {
         let upto = self.min_acked(slaves);
+        self.trimmed_upto = self.trimmed_upto.max(upto);
         self.buffer.retain(|&seq, _| seq > upto);
     }
 }
@@ -168,6 +182,22 @@ pub(crate) struct RecoveryState {
     pub info: ShardInfo,
 }
 
+/// High bit of `RecoveryReq::from` marks a *delta* pull: the requester has
+/// finished the snapshot and is draining the source's feed of entries
+/// applied concurrently with the stream (low bits = feed cursor).
+pub(crate) const RECOVERY_DELTA_FLAG: u64 = 1 << 63;
+
+/// Source-side feed for one in-progress recovery: every entry applied
+/// locally while the snapshot streams is recorded here, because the
+/// snapshot cursor (a sorted-key index) silently skips keys that sort into
+/// the already-streamed prefix. The joiner drains the feed with cursor
+/// polls after the snapshot; the feed freezes once this node's map shows
+/// the joiner as a replica (from then on normal replication reaches it).
+#[derive(Debug, Default)]
+pub(crate) struct RecoveryFeed {
+    pub entries: Vec<LogEntry>,
+}
+
 /// State while this (old) controlet drains during a mode transition.
 #[derive(Debug)]
 pub(crate) struct TransitionState {
@@ -197,9 +227,29 @@ pub struct Controlet {
     /// MS+SC: in-flight chain writes not yet acked by the tail.
     pub(crate) in_flight: BTreeMap<Version, (RequestId, LogEntry)>,
     pub(crate) prop: PropState,
+    /// Slave-side propagation cursor: highest contiguous propagation
+    /// sequence applied, scoped to `prop_epoch`. Duplicated or overlapping
+    /// `PropBatch` deliveries below this are skipped; a batch from a newer
+    /// epoch *and* a new master (fresh stream numbering) resets it.
+    pub(crate) prop_applied: u64,
+    pub(crate) prop_epoch: u64,
+    /// Sender of the propagation stream `prop_applied` counts against.
+    pub(crate) prop_master: Option<Addr>,
     pub(crate) log: LogState,
     pub(crate) parked_reads: Vec<ParkedRead>,
     pub(crate) recovery: Option<RecoveryState>,
+    /// Joining side, after the snapshot: (source, feed cursor) for delta
+    /// polls covering writes the fuzzy snapshot missed. Cleared when the
+    /// source reports the feed drained and this node a member.
+    pub(crate) recovery_delta: Option<(NodeId, u64)>,
+    /// Source side: one delta feed per in-flight recovery requester.
+    pub(crate) recovery_feeds: HashMap<Addr, RecoveryFeed>,
+    /// Set after recovery completes until the coordinator's map shows this
+    /// node in the replica set; `RecoveryDone` is re-sent on each heartbeat
+    /// while set, so a lost completion report cannot wedge the join.
+    pub(crate) pending_recovery_done: Option<ShardId>,
+    /// Heartbeats sent since start (drives the periodic map re-pull).
+    pub(crate) heartbeats_sent: u64,
     pub(crate) transition: Option<TransitionState>,
     /// Whole-cluster map (for ownership checks and P2P forwarding).
     pub(crate) cluster_map: Option<bespokv_types::ShardMap>,
@@ -222,9 +272,16 @@ impl Controlet {
             pending: HashMap::new(),
             in_flight: BTreeMap::new(),
             prop: PropState::new(),
+            prop_applied: 0,
+            prop_epoch: 0,
+            prop_master: None,
             log: LogState { fetch_pos: 1 },
             parked_reads: Vec::new(),
             recovery: None,
+            recovery_delta: None,
+            recovery_feeds: HashMap::new(),
+            pending_recovery_done: None,
+            heartbeats_sent: 0,
             transition: None,
             cluster_map: None,
             relayed: HashMap::new(),
@@ -292,6 +349,21 @@ impl Controlet {
     /// Applies one replicated entry to the local datalet (auto-creating
     /// the table so replication never races table creation).
     pub(crate) fn apply_entry(&mut self, entry: &LogEntry, ctx: &mut Context) {
+        // Record into active recovery feeds (fuzzy-snapshot repair): once
+        // the requester is a replica in our map, normal replication covers
+        // it and its feed freezes where it is.
+        if !self.recovery_feeds.is_empty() {
+            let info = self.info.clone();
+            for (&requester, feed) in self.recovery_feeds.iter_mut() {
+                let member = info
+                    .as_ref()
+                    .map(|i| i.position(NodeId(requester.0)).is_some())
+                    .unwrap_or(false);
+                if !member {
+                    feed.entries.push(entry.clone());
+                }
+            }
+        }
         let _ = self.datalet.create_table(&entry.table);
         let cost = self.cfg.cost.put;
         match &entry.value {
@@ -479,6 +551,34 @@ impl Controlet {
                         applied: self.applied_seq,
                     }),
                 );
+                self.heartbeats_sent += 1;
+                // An unassigned, non-recovering controlet is a standby;
+                // re-announce every beat so the offer survives message
+                // loss (the coordinator registers it idempotently).
+                if self.info.is_none() && self.recovery.is_none() {
+                    ctx.send(
+                        self.cfg.coordinator,
+                        NetMsg::Coord(CoordMsg::StandbyAvailable {
+                            node: self.cfg.node,
+                        }),
+                    );
+                }
+                // A completed recovery whose report may have been lost is
+                // re-reported until the map confirms membership.
+                if let Some(shard) = self.pending_recovery_done {
+                    ctx.send(
+                        self.cfg.coordinator,
+                        NetMsg::Coord(CoordMsg::RecoveryDone {
+                            shard,
+                            node: self.cfg.node,
+                        }),
+                    );
+                }
+                // Periodic map re-pull: a dropped broadcast otherwise
+                // leaves this controlet on a stale epoch indefinitely.
+                if self.heartbeats_sent.is_multiple_of(MAP_REFRESH_BEATS) {
+                    ctx.send(self.cfg.coordinator, NetMsg::Coord(CoordMsg::GetShardMap));
+                }
                 ctx.set_timer(self.cfg.heartbeat_every, HEARTBEAT_TIMER);
             }
             PROP_FLUSH_TIMER => {
@@ -488,6 +588,31 @@ impl Controlet {
             LOG_POLL_TIMER => {
                 self.poll_shared_log(ctx);
                 ctx.set_timer(self.cfg.log_poll_every, LOG_POLL_TIMER);
+            }
+            RECOVERY_RETRY_TIMER => {
+                // A lost RecoveryReq/RecoveryChunk would wedge the pull
+                // loop forever; re-issue the request for the current
+                // position while recovery is in progress.
+                if let Some(rec) = &self.recovery {
+                    let shard = self.cfg.shard;
+                    let from = rec.next_from;
+                    ctx.send(
+                        Self::addr_of(rec.source),
+                        NetMsg::Repl(ReplMsg::RecoveryReq { shard, from }),
+                    );
+                    ctx.set_timer(self.cfg.heartbeat_every, RECOVERY_RETRY_TIMER);
+                } else if let Some((source, cursor)) = self.recovery_delta {
+                    // Snapshot done: drain the source's delta feed until it
+                    // confirms we are a member and the feed is dry.
+                    ctx.send(
+                        Self::addr_of(source),
+                        NetMsg::Repl(ReplMsg::RecoveryReq {
+                            shard: self.cfg.shard,
+                            from: RECOVERY_DELTA_FLAG | cursor,
+                        }),
+                    );
+                    ctx.set_timer(self.cfg.heartbeat_every, RECOVERY_RETRY_TIMER);
+                }
             }
             _ => {}
         }

@@ -189,6 +189,33 @@ impl Controlet {
 
     fn ms_sc_write(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
         let info = self.info.clone().expect("writer has info");
+        // Client retry of a write still in flight (its timeout fired while
+        // our chain ack was delayed or a ChainPut was dropped): do not
+        // order it again — that would leak the old in-flight entry forever.
+        // Refresh the reply path and re-push the existing entry instead.
+        if self.pending.contains_key(&req.id) {
+            self.pending.get_mut(&req.id).expect("checked").reply = reply;
+            if let Some((version, (_, entry))) = self
+                .in_flight
+                .iter()
+                .find(|(_, (rid, _))| *rid == req.id)
+                .map(|(v, p)| (*v, p.clone()))
+            {
+                let _ = version;
+                if let Some(successor) = info.successor(self.cfg.node) {
+                    ctx.send(
+                        Self::addr_of(successor),
+                        NetMsg::Repl(ReplMsg::ChainPut {
+                            shard: self.cfg.shard,
+                            epoch: info.epoch,
+                            rid: req.id,
+                            entry,
+                        }),
+                    );
+                }
+            }
+            return;
+        }
         let version = self.fresh_version();
         let Some(entry) = Self::entry_for(&req, version) else {
             let id = req.id;
@@ -208,7 +235,7 @@ impl Controlet {
             Pending {
                 reply,
                 req: req.clone(),
-                acks_needed: 0,
+                awaiting: Default::default(),
                 fencing: 0,
             },
         );
@@ -394,37 +421,90 @@ impl Controlet {
                     shard: self.cfg.shard,
                     epoch: info.epoch,
                     first_seq,
+                    floor: self.prop.trimmed_upto,
                     entries,
                 }),
             );
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the PropBatch wire message field-for-field
     pub(crate) fn on_prop_batch(
         &mut self,
         from: Addr,
         shard: bespokv_types::ShardId,
+        epoch: u64,
         first_seq: u64,
+        floor: u64,
         entries: Vec<bespokv_proto::LogEntry>,
         ctx: &mut Context,
     ) {
         if shard != self.cfg.shard {
             return;
         }
-        let count = entries.len() as u64;
-        for e in &entries {
-            self.apply_entry(e, ctx);
+        // Propagation streams are epoch-scoped: a batch from an older epoch
+        // (delayed/duplicated across a failover) is discarded. A newer
+        // epoch from a *new* master restarts the sequence numbering, so the
+        // cursor resets; a newer epoch from the same master (e.g. a
+        // recovered tail joined) continues the same stream.
+        if epoch < self.prop_epoch {
+            return;
         }
-        let upto = first_seq + count.saturating_sub(1);
-        self.applied_seq = self.applied_seq.max(upto);
+        if epoch > self.prop_epoch {
+            self.prop_epoch = epoch;
+            if self.prop_master != Some(from) {
+                self.prop_applied = 0;
+            }
+        }
+        self.prop_master = Some(from);
+        // Entries at or below the floor were trimmed from the master's
+        // buffer — acknowledged by an earlier configuration's replica set
+        // and thus contained in this node's recovery snapshot. They will
+        // never be resent, so waiting for them would stall the cursor
+        // forever; fast-forward past them. The floor is monotonic per
+        // stream, so duplicated or reordered batches cannot regress it.
+        self.prop_applied = self.prop_applied.max(floor);
+        let count = entries.len() as u64;
+        if count > 0 && first_seq > self.prop_applied + 1 {
+            // Gap: an earlier batch was lost. Entries are version-guarded,
+            // so applying them early is safe, but the cumulative cursor
+            // must not jump the hole — the master will resend from ack+1.
+            for e in &entries {
+                self.apply_entry(e, ctx);
+            }
+        } else if count > 0 {
+            // Skip the already-applied prefix of an overlapping resend.
+            let skip = self.prop_applied.saturating_sub(first_seq.saturating_sub(1));
+            for e in entries.iter().skip(skip as usize) {
+                self.apply_entry(e, ctx);
+            }
+            self.prop_applied = self.prop_applied.max(first_seq + count - 1);
+        }
+        self.applied_seq = self.applied_seq.max(self.prop_applied);
+        // Ack is cumulative over the contiguous prefix actually applied.
         ctx.send(
             from,
-            NetMsg::Repl(ReplMsg::PropAck { shard, upto }),
+            NetMsg::Repl(ReplMsg::PropAck {
+                shard,
+                epoch: self.prop_epoch,
+                upto: self.prop_applied,
+            }),
         );
     }
 
-    pub(crate) fn on_prop_ack(&mut self, from: Addr, upto: u64, ctx: &mut Context) {
+    pub(crate) fn on_prop_ack(&mut self, from: Addr, epoch: u64, upto: u64, ctx: &mut Context) {
         let Some(info) = self.info.clone() else { return };
+        // An ack for an old stream (sent before the slave learned about a
+        // failover) must not mark this master's entries as replicated.
+        if epoch != info.epoch {
+            return;
+        }
+        // An ack beyond this stream's high-water mark counts sequences from
+        // some other stream (e.g. a cursor a joiner carried over); trusting
+        // it would trim entries the slave never applied.
+        if upto >= self.prop.next_seq {
+            return;
+        }
         let slave = NodeId(from.0);
         let e = self.prop.acked.entry(slave).or_insert(0);
         *e = (*e).max(upto);
@@ -451,7 +531,7 @@ impl Controlet {
             Pending {
                 reply,
                 req: req.clone(),
-                acks_needed: 0,
+                awaiting: Default::default(),
                 fencing: 0,
             },
         );
@@ -481,7 +561,7 @@ impl Controlet {
             Pending {
                 reply,
                 req: req.clone(),
-                acks_needed: 0,
+                awaiting: Default::default(),
                 fencing: 0,
             },
         );
@@ -527,7 +607,8 @@ impl Controlet {
                         .filter(|&n| n != self.cfg.node)
                         .collect();
                     let rid_copy = rid;
-                    self.pending.get_mut(&rid).expect("present").acks_needed = peers.len();
+                    self.pending.get_mut(&rid).expect("present").awaiting =
+                        peers.iter().copied().collect();
                     self.apply_entry(&entry, ctx);
                     self.applied_seq = self.applied_seq.max(fencing);
                     if peers.is_empty() {
@@ -594,13 +675,14 @@ impl Controlet {
 
     pub(crate) fn on_peer_write_ack(
         &mut self,
+        from: Addr,
         rid: bespokv_types::RequestId,
         ctx: &mut Context,
     ) {
         let done = {
             let Some(p) = self.pending.get_mut(&rid) else { return };
-            p.acks_needed = p.acks_needed.saturating_sub(1);
-            p.acks_needed == 0
+            p.awaiting.remove(&NodeId(from.0));
+            p.awaiting.is_empty()
         };
         if done {
             self.finish_aa_sc(rid, ctx);
@@ -648,7 +730,7 @@ impl Controlet {
             Pending {
                 reply,
                 req,
-                acks_needed: 0,
+                awaiting: Default::default(),
                 fencing: 0,
             },
         );
@@ -685,11 +767,18 @@ impl Controlet {
                     // Entries below first_seq were trimmed; skip forward.
                     self.log.fetch_pos = first_seq;
                 }
+                // A duplicated or reordered response (fault injection, an
+                // extra poll for parked reads) may overlap or sit entirely
+                // below the cursor. Applying entries twice is harmless
+                // (version-guarded), but the cursor must only advance to
+                // the end of THIS response's range — blindly adding the
+                // length would jump past log positions never fetched.
                 for e in &entries {
                     self.apply_entry(e, ctx);
                 }
-                self.log.fetch_pos += entries.len() as u64;
-                self.applied_seq = self.log.fetch_pos.saturating_sub(1);
+                let resp_end = first_seq + entries.len() as u64;
+                self.log.fetch_pos = self.log.fetch_pos.max(resp_end);
+                self.applied_seq = self.applied_seq.max(self.log.fetch_pos.saturating_sub(1));
                 // Strong reads park until we observe the log tail they
                 // arrived behind; serve the ones now satisfied.
                 if !self.parked_reads.is_empty() {
@@ -752,15 +841,16 @@ impl Controlet {
             } => self.on_chain_ack(shard, epoch, rid, version, ctx),
             ReplMsg::PropBatch {
                 shard,
+                epoch,
                 first_seq,
+                floor,
                 entries,
-                ..
-            } => self.on_prop_batch(from, shard, first_seq, entries, ctx),
-            ReplMsg::PropAck { upto, .. } => self.on_prop_ack(from, upto, ctx),
+            } => self.on_prop_batch(from, shard, epoch, first_seq, floor, entries, ctx),
+            ReplMsg::PropAck { epoch, upto, .. } => self.on_prop_ack(from, epoch, upto, ctx),
             ReplMsg::PeerWrite {
                 shard, rid, entry, ..
             } => self.on_peer_write(from, shard, rid, entry, ctx),
-            ReplMsg::PeerWriteAck { rid, .. } => self.on_peer_write_ack(rid, ctx),
+            ReplMsg::PeerWriteAck { rid, .. } => self.on_peer_write_ack(from, rid, ctx),
             ReplMsg::ForwardedReq { req, reply_via } => {
                 ctx.charge(self.cfg.cost.controlet_overhead);
                 let reply = if reply_via.is_unassigned() {

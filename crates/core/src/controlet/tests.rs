@@ -177,6 +177,93 @@ fn tail_acks_upstream_and_mid_relays() {
 }
 
 #[test]
+fn retried_write_reuses_in_flight_entry() {
+    // A client retry of a write whose ack is still in flight must not be
+    // ordered again: same version, same single in-flight slot, and the
+    // chain put is re-pushed so a dropped one is recovered.
+    let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    drive(&mut head, client_put(0, "k", "v"));
+    let version = *head.in_flight.keys().next().expect("one in flight");
+    let actions = drive(&mut head, client_put(0, "k", "v"));
+    assert_eq!(head.in_flight.len(), 1, "retry must not order a second entry");
+    assert_eq!(head.pending.len(), 1);
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1, "retry re-pushes the chain put");
+    match sends[0].1 {
+        NetMsg::Repl(ReplMsg::ChainPut { entry, .. }) => {
+            assert_eq!(entry.version, version, "same ordering as the original");
+        }
+        other => panic!("expected ChainPut, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicated_chain_put_applies_once() {
+    // Fault injection can deliver the same ChainPut twice; versions make
+    // the re-apply idempotent and the in-flight table must not grow.
+    let mut mid = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    let rid = RequestId::compose(ClientId(9), 0);
+    let msg = || Event::Msg {
+        from: Addr(0),
+        msg: NetMsg::Repl(ReplMsg::ChainPut {
+            shard: ShardId(0),
+            epoch: 1,
+            rid,
+            entry: LogEntry {
+                table: String::new(),
+                key: Key::from("k"),
+                value: Some(Value::from("v")),
+                version: 7,
+            },
+        }),
+    };
+    drive(&mut mid, msg());
+    drive(&mut mid, msg());
+    assert_eq!(mid.in_flight.len(), 1, "duplicate must not double-track");
+    let got = mid.datalet().get(DEFAULT_TABLE, &Key::from("k")).unwrap();
+    assert_eq!(got.value, Value::from("v"));
+    assert_eq!(got.version, 7);
+}
+
+#[test]
+fn out_of_order_and_duplicate_chain_acks_resolve_cleanly() {
+    // Two writes in flight at the head; the acks arrive tail-first in
+    // reverse order, then one is duplicated. Each client must be answered
+    // exactly once and nothing may stay wedged for resend_in_flight.
+    let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    drive(&mut head, client_put(0, "a", "1"));
+    drive(&mut head, client_put(1, "b", "2"));
+    assert_eq!(head.in_flight.len(), 2);
+    let versions: Vec<u64> = head.in_flight.keys().copied().collect();
+    let rids: Vec<RequestId> = head.in_flight.values().map(|(r, _)| *r).collect();
+    let ack = |rid, version| Event::Msg {
+        from: Addr(1),
+        msg: NetMsg::Repl(ReplMsg::ChainAck {
+            shard: ShardId(0),
+            epoch: 1,
+            rid,
+            version,
+        }),
+    };
+    // Second write acked first.
+    let actions = drive(&mut head, ack(rids[1], versions[1]));
+    assert_eq!(sent_to(&actions).len(), 1, "client 2 answered");
+    assert_eq!(head.in_flight.len(), 1);
+    // Then the first.
+    let actions = drive(&mut head, ack(rids[0], versions[0]));
+    assert_eq!(sent_to(&actions).len(), 1, "client 1 answered");
+    assert!(head.in_flight.is_empty());
+    assert!(head.pending.is_empty());
+    // A duplicated ack is absorbed without answering anyone twice.
+    let actions = drive(&mut head, ack(rids[1], versions[1]));
+    assert!(sent_to(&actions).is_empty(), "duplicate ack re-answered a client");
+    // Nothing left for the post-reconfiguration resend path to chew on.
+    let mut ctx = Context::new(Instant::ZERO, Addr(0));
+    head.resend_in_flight(&mut ctx);
+    assert!(ctx.take_actions().is_empty(), "resend_in_flight found stale state");
+}
+
+#[test]
 fn ms_ec_master_acks_immediately_and_buffers() {
     let mut master = controlet(0, Mode::MS_EC, &[0, 1, 2]);
     let actions = drive(&mut master, client_put(0, "k", "v"));
@@ -207,6 +294,7 @@ fn prop_buffer_trims_after_all_slaves_ack() {
         from: Addr(from),
         msg: NetMsg::Repl(ReplMsg::PropAck {
             shard: ShardId(0),
+            epoch: 1,
             upto,
         }),
     };

@@ -77,6 +77,13 @@ pub enum ReplMsg {
         epoch: u64,
         /// Sequence number of the first entry in the batch.
         first_seq: u64,
+        /// Highest sequence the master has trimmed from its resend buffer.
+        /// Everything at or below it was acknowledged by the replica set of
+        /// an earlier configuration and is therefore covered by any later
+        /// joiner's recovery snapshot; a slave whose cursor is below the
+        /// floor fast-forwards to it instead of waiting for entries the
+        /// master can no longer send.
+        floor: u64,
         /// The mutations, in sequence order.
         entries: Vec<LogEntry>,
     },
@@ -84,6 +91,10 @@ pub enum ReplMsg {
     PropAck {
         /// Shard.
         shard: ShardId,
+        /// Epoch of the propagation stream being acknowledged; the master
+        /// ignores acks from a stale epoch (a delayed ack from before a
+        /// failover must not mark new-stream entries as replicated).
+        epoch: u64,
         /// Highest contiguous sequence applied by the sender.
         upto: u64,
     },
@@ -143,8 +154,8 @@ pub enum ReplMsg {
 wire_enum!(ReplMsg {
     0 => ChainPut { shard, epoch, rid, entry },
     1 => ChainAck { shard, epoch, rid, version },
-    2 => PropBatch { shard, epoch, first_seq, entries },
-    3 => PropAck { shard, upto },
+    2 => PropBatch { shard, epoch, first_seq, floor, entries },
+    3 => PropAck { shard, epoch, upto },
     4 => PeerWrite { shard, epoch, rid, entry },
     5 => PeerWriteAck { shard, rid },
     6 => ForwardedReq { req, reply_via },
@@ -210,6 +221,15 @@ pub enum CoordMsg {
         /// Reporting node.
         node: NodeId,
     },
+    /// A freshly (re)started controlet with no shard assignment announces
+    /// itself as a standby. Sent on start and re-sent on every heartbeat
+    /// until the coordinator assigns it work, so the announcement survives
+    /// message loss. The coordinator readmits the node and, if any shard is
+    /// under-replicated, immediately directs it to recover.
+    StandbyAvailable {
+        /// The announcing node.
+        node: NodeId,
+    },
 }
 
 wire_enum!(CoordMsg {
@@ -221,6 +241,7 @@ wire_enum!(CoordMsg {
     5 => RecoveryDone { shard, node },
     6 => BeginTransition { shard, target },
     7 => TransitionDrained { shard, node },
+    8 => StandbyAvailable { node },
 });
 
 /// Shared-log messages (controlet <-> shared log; AA+EC ordering).
@@ -647,6 +668,7 @@ mod tests {
             shard: ShardId(1),
             epoch: 0,
             first_seq: 10,
+            floor: 4,
             entries: vec![entry(), entry()],
         });
         roundtrip(ReplMsg::RecoveryChunk {
@@ -722,9 +744,11 @@ mod tests {
         )));
         roundtrip(NetMsg::Repl(ReplMsg::PropAck {
             shard: ShardId(0),
+            epoch: 2,
             upto: 3,
         }));
         roundtrip(NetMsg::Coord(CoordMsg::GetShardMap));
+        roundtrip(NetMsg::Coord(CoordMsg::StandbyAvailable { node: NodeId(6) }));
     }
 
     #[test]

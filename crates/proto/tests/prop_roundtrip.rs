@@ -188,6 +188,7 @@ fn repl_msg_roundtrip() {
             shard: ShardId(rng.gen::<u32>()),
             epoch: 1,
             first_seq: rng.gen::<u64>(),
+            floor: rng.gen::<u64>(),
             entries,
         });
         let bytes = msg.to_bytes();

@@ -26,6 +26,8 @@ pub mod tcp;
 
 pub use actor::{Action, Actor, Addr, Context, Event};
 pub use live::LiveRuntime;
-pub use netmodel::{CostModel, NetworkModel, TransportProfile};
+pub use netmodel::{
+    CostModel, FaultOutcome, FaultPlan, LinkFaults, NetworkModel, Partition, TransportProfile,
+};
 pub use sim::{SimStats, Simulation};
 pub use tcp::{TcpClient, TcpServer};

@@ -231,6 +231,23 @@ mod tests {
     use bespokv_proto::CoordMsg;
     use bespokv_types::Duration;
     use std::any::Any;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Polls a shared counter until it reaches `want` or five seconds pass.
+    /// Condition-based instead of a fixed sleep: fast when the runtime is
+    /// fast, and a real failure (not a scheduling hiccup) when it's not.
+    fn wait_for_count(counter: &AtomicUsize, want: usize, what: &str) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while counter.load(Ordering::Acquire) < want {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{what}: stuck at {} of {want}",
+                counter.load(Ordering::Acquire)
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
 
     struct Ponger {
         seen: usize,
@@ -250,7 +267,7 @@ mod tests {
 
     struct Pinger {
         target: Addr,
-        replies: usize,
+        replies: Arc<AtomicUsize>,
         to_send: usize,
     }
 
@@ -262,7 +279,9 @@ mod tests {
                         ctx.send(self.target, NetMsg::Coord(CoordMsg::GetShardMap));
                     }
                 }
-                Event::Msg { .. } => self.replies += 1,
+                Event::Msg { .. } => {
+                    self.replies.fetch_add(1, Ordering::AcqRel);
+                }
                 _ => {}
             }
         }
@@ -274,18 +293,15 @@ mod tests {
     #[test]
     fn live_ping_pong() {
         let mut rt = LiveRuntime::new();
+        let replies = Arc::new(AtomicUsize::new(0));
         let ponger = rt.spawn(Box::new(Ponger { seen: 0 }));
         let pinger = rt.spawn(Box::new(Pinger {
             target: ponger,
-            replies: 0,
+            replies: Arc::clone(&replies),
             to_send: 100,
         }));
-        // No non-invasive peek; give the exchange a moment, then check at
-        // join time.
-        std::thread::sleep(std::time::Duration::from_millis(200));
-        let mut pinger_box = rt.kill(pinger).expect("pinger state");
-        let p = pinger_box.as_any().downcast_mut::<Pinger>().unwrap();
-        assert_eq!(p.replies, 100);
+        wait_for_count(&replies, 100, "ping-pong replies");
+        rt.kill(pinger).expect("pinger state");
         let mut ponger_box = rt.kill(ponger).expect("ponger state");
         let q = ponger_box.as_any().downcast_mut::<Ponger>().unwrap();
         assert_eq!(q.seen, 100);
@@ -294,15 +310,15 @@ mod tests {
     #[test]
     fn timers_fire_in_live_mode() {
         struct Beeper {
-            beeps: usize,
+            beeps: Arc<AtomicUsize>,
         }
         impl Actor for Beeper {
             fn on_event(&mut self, ev: Event, ctx: &mut Context) {
                 match ev {
                     Event::Start => ctx.set_timer(Duration::from_millis(5), 7),
                     Event::Timer { token: 7 } => {
-                        self.beeps += 1;
-                        if self.beeps < 5 {
+                        let done = self.beeps.fetch_add(1, Ordering::AcqRel) + 1;
+                        if done < 5 {
                             ctx.set_timer(Duration::from_millis(5), 7);
                         }
                     }
@@ -314,10 +330,13 @@ mod tests {
             }
         }
         let mut rt = LiveRuntime::new();
-        let b = rt.spawn(Box::new(Beeper { beeps: 0 }));
-        std::thread::sleep(std::time::Duration::from_millis(300));
-        let mut bx = rt.kill(b).unwrap();
-        assert_eq!(bx.as_any().downcast_mut::<Beeper>().unwrap().beeps, 5);
+        let beeps = Arc::new(AtomicUsize::new(0));
+        let b = rt.spawn(Box::new(Beeper {
+            beeps: Arc::clone(&beeps),
+        }));
+        wait_for_count(&beeps, 5, "timer beeps");
+        rt.kill(b).unwrap();
+        assert_eq!(beeps.load(Ordering::Acquire), 5, "timer re-armed past its stop");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::actor::Addr;
 use bespokv_types::shardmap::splitmix64;
-use bespokv_types::Duration;
+use bespokv_types::{Duration, Instant};
 
 /// Transport profile: what it costs to move one message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,13 +74,250 @@ impl TransportProfile {
     }
 }
 
+/// Per-link fault probabilities. All probabilities are in `[0, 1]`; a
+/// message draws once per transmission using the plan's seed and the
+/// simulator's monotonically increasing event sequence, so the same seed
+/// reproduces the exact same fault schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability the message is silently dropped.
+    pub drop_p: f64,
+    /// Probability an extra (delayed) copy of the message is delivered.
+    pub dup_p: f64,
+    /// Probability the message is held back long enough to arrive after
+    /// messages sent later on the same link (FIFO violation).
+    pub reorder_p: f64,
+    /// Maximum extra delay applied to duplicated/reordered copies; the
+    /// actual delay is drawn deterministically in `(0, reorder_delay_max]`.
+    pub reorder_delay_max: Duration,
+}
+
+impl LinkFaults {
+    /// A perfectly reliable link.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_p: 0.0,
+        dup_p: 0.0,
+        reorder_p: 0.0,
+        reorder_delay_max: Duration::from_millis(2),
+    };
+
+    /// Drop-only faults at probability `p`.
+    pub fn drop(p: f64) -> Self {
+        LinkFaults { drop_p: p, ..Self::NONE }
+    }
+
+    /// A generally lossy link: drops at `p`, duplicates and reorders at
+    /// half that rate each.
+    pub fn lossy(p: f64) -> Self {
+        LinkFaults {
+            drop_p: p,
+            dup_p: p / 2.0,
+            reorder_p: p / 2.0,
+            reorder_delay_max: Duration::from_millis(2),
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        self.drop_p <= 0.0 && self.dup_p <= 0.0 && self.reorder_p <= 0.0
+    }
+}
+
+/// A network partition separating two groups of actors for a window of
+/// virtual time. While active, messages from side `a` to side `b` are
+/// dropped; if `symmetric`, the reverse direction is cut too.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: Vec<Addr>,
+    /// The other side.
+    pub b: Vec<Addr>,
+    /// When the partition starts.
+    pub from: Instant,
+    /// When it heals; `None` means it never heals.
+    pub until: Option<Instant>,
+    /// Whether traffic is cut in both directions (true) or only a→b.
+    pub symmetric: bool,
+}
+
+impl Partition {
+    fn blocks(&self, src: Addr, dst: Addr, now: Instant) -> bool {
+        if now < self.from || self.until.is_some_and(|u| now >= u) {
+            return false;
+        }
+        let fwd = self.a.contains(&src) && self.b.contains(&dst);
+        let rev = self.b.contains(&src) && self.a.contains(&dst);
+        fwd || (self.symmetric && rev)
+    }
+}
+
+/// What the fault layer decided for one transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver normally (in FIFO order, nominal delay).
+    Deliver,
+    /// Drop silently because of link loss.
+    Drop,
+    /// Drop silently because an active partition cuts the link.
+    PartitionDrop,
+    /// Deliver normally, plus an extra copy arriving `dup_extra` later
+    /// (the copy bypasses the FIFO clamp, so it may also be reordered).
+    Duplicate {
+        /// Extra delay of the duplicate copy past the original arrival.
+        dup_extra: Duration,
+    },
+    /// Deliver late and outside the link's FIFO order: the message is held
+    /// for `extra` beyond its nominal delay while later sends overtake it.
+    Reorder {
+        /// Extra holding delay past the nominal wire time.
+        extra: Duration,
+    },
+}
+
+/// A seeded, replayable fault schedule attached to the [`NetworkModel`].
+///
+/// Decisions are pure functions of `(seed, seq)` where `seq` is the
+/// simulator's event sequence number, so a run with the same seed and the
+/// same workload replays the identical failure schedule — drops, duplicate
+/// copies, reorderings, and partition windows all land on the same
+/// messages.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    default: Option<LinkFaults>,
+    link_overrides: Vec<(Addr, Addr, LinkFaults)>,
+    partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            default: None,
+            link_overrides: Vec::new(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Applies `faults` to every link without a more specific override.
+    pub fn with_default(mut self, faults: LinkFaults) -> Self {
+        self.default = Some(faults);
+        self
+    }
+
+    /// Applies `faults` to the directional link `from → to` only.
+    pub fn with_link(mut self, from: Addr, to: Addr, faults: LinkFaults) -> Self {
+        self.link_overrides.push((from, to, faults));
+        self
+    }
+
+    /// Adds a partition window.
+    pub fn with_partition(mut self, p: Partition) -> Self {
+        self.partitions.push(p);
+        self
+    }
+
+    /// Convenience: symmetric partition between `a` and `b` from `from`
+    /// until `until`.
+    pub fn with_symmetric_partition(
+        self,
+        a: Vec<Addr>,
+        b: Vec<Addr>,
+        from: Instant,
+        until: Instant,
+    ) -> Self {
+        self.with_partition(Partition {
+            a,
+            b,
+            from,
+            until: Some(until),
+            symmetric: true,
+        })
+    }
+
+    /// Convenience: one-way partition dropping `a → b` traffic only.
+    pub fn with_one_way_partition(
+        self,
+        a: Vec<Addr>,
+        b: Vec<Addr>,
+        from: Instant,
+        until: Instant,
+    ) -> Self {
+        self.with_partition(Partition {
+            a,
+            b,
+            from,
+            until: Some(until),
+            symmetric: false,
+        })
+    }
+
+    /// The seed this plan draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn faults_for(&self, from: Addr, to: Addr) -> LinkFaults {
+        self.link_overrides
+            .iter()
+            .find(|(f, t, _)| *f == from && *t == to)
+            .map(|(_, _, lf)| *lf)
+            .or(self.default)
+            .unwrap_or(LinkFaults::NONE)
+    }
+
+    /// Whether an active partition currently cuts `from → to`.
+    pub fn partitioned(&self, from: Addr, to: Addr, now: Instant) -> bool {
+        self.partitions.iter().any(|p| p.blocks(from, to, now))
+    }
+
+    /// Decides the fate of one transmission. `seq` must be unique per
+    /// transmission and deterministic across runs (the simulator's event
+    /// sequence number qualifies).
+    pub fn decide(&self, from: Addr, to: Addr, now: Instant, seq: u64) -> FaultOutcome {
+        if from == to {
+            return FaultOutcome::Deliver; // self-sends skip the network
+        }
+        if self.partitioned(from, to, now) {
+            return FaultOutcome::PartitionDrop;
+        }
+        let lf = self.faults_for(from, to);
+        if lf.is_none() {
+            return FaultOutcome::Deliver;
+        }
+        // Three independent uniform draws from a splitmix chain keyed on
+        // (seed, seq); stateless, so replay order never matters.
+        let mut s = splitmix64(self.seed ^ splitmix64(seq.wrapping_add(0x9e37_79b9_7f4a_7c15)));
+        let mut draw = || {
+            s = splitmix64(s);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let (u_drop, u_dup, u_reorder, u_delay) = (draw(), draw(), draw(), draw());
+        let extra = Duration::from_nanos(
+            1 + (u_delay * lf.reorder_delay_max.as_nanos().max(1) as f64) as u64,
+        );
+        if u_drop < lf.drop_p {
+            FaultOutcome::Drop
+        } else if u_dup < lf.dup_p {
+            FaultOutcome::Duplicate { dup_extra: extra }
+        } else if u_reorder < lf.reorder_p {
+            FaultOutcome::Reorder { extra }
+        } else {
+            FaultOutcome::Deliver
+        }
+    }
+}
+
 /// Network model: resolves the profile for a (from, to) pair.
 ///
 /// The default is a uniform fabric; tests and the DPDK experiment install
 /// overrides. Messages an actor sends to itself skip the network entirely.
+/// An optional [`FaultPlan`] layers deterministic drop/duplicate/reorder
+/// faults and partitions on top of the latency model.
 pub struct NetworkModel {
     default: TransportProfile,
     overrides: Vec<(Addr, Addr, TransportProfile)>,
+    faults: Option<FaultPlan>,
 }
 
 impl NetworkModel {
@@ -89,6 +326,7 @@ impl NetworkModel {
         NetworkModel {
             default: profile,
             overrides: Vec::new(),
+            faults: None,
         }
     }
 
@@ -96,6 +334,26 @@ impl NetworkModel {
     pub fn with_override(mut self, from: Addr, to: Addr, profile: TransportProfile) -> Self {
         self.overrides.push((from, to, profile));
         self
+    }
+
+    /// Attaches a fault plan; the simulator consults it per transmission.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Fault decision for one transmission ([`FaultOutcome::Deliver`] when
+    /// no plan is attached).
+    pub fn fault_decision(&self, from: Addr, to: Addr, now: Instant, seq: u64) -> FaultOutcome {
+        match &self.faults {
+            Some(plan) => plan.decide(from, to, now, seq),
+            None => FaultOutcome::Deliver,
+        }
     }
 
     /// Profile used between `from` and `to`.
@@ -252,6 +510,97 @@ mod tests {
         );
         assert_eq!(net.profile(Addr(1), Addr(2)), TransportProfile::dpdk());
         assert_eq!(net.profile(Addr(2), Addr(1)), TransportProfile::socket());
+    }
+
+    #[test]
+    fn fault_decisions_replay_exactly() {
+        let plan = FaultPlan::new(42).with_default(LinkFaults::lossy(0.10));
+        let a = Addr(1);
+        let b = Addr(2);
+        let first: Vec<FaultOutcome> = (0..10_000)
+            .map(|seq| plan.decide(a, b, Instant::ZERO, seq))
+            .collect();
+        let second: Vec<FaultOutcome> = (0..10_000)
+            .map(|seq| plan.decide(a, b, Instant::ZERO, seq))
+            .collect();
+        assert_eq!(first, second);
+        // Observed rates land near the configured probabilities.
+        let drops = first.iter().filter(|o| **o == FaultOutcome::Drop).count();
+        assert!((500..1500).contains(&drops), "drops = {drops}");
+        assert!(first
+            .iter()
+            .any(|o| matches!(o, FaultOutcome::Duplicate { .. })));
+        assert!(first
+            .iter()
+            .any(|o| matches!(o, FaultOutcome::Reorder { .. })));
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let p1 = FaultPlan::new(1).with_default(LinkFaults::drop(0.05));
+        let p2 = FaultPlan::new(2).with_default(LinkFaults::drop(0.05));
+        let s1: Vec<_> = (0..2000).map(|s| p1.decide(Addr(0), Addr(1), Instant::ZERO, s)).collect();
+        let s2: Vec<_> = (0..2000).map(|s| p2.decide(Addr(0), Addr(1), Instant::ZERO, s)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn link_overrides_beat_default() {
+        let plan = FaultPlan::new(7)
+            .with_default(LinkFaults::drop(1.0))
+            .with_link(Addr(1), Addr(2), LinkFaults::NONE);
+        // Clean override link always delivers; default link always drops.
+        for seq in 0..100 {
+            assert_eq!(
+                plan.decide(Addr(1), Addr(2), Instant::ZERO, seq),
+                FaultOutcome::Deliver
+            );
+            assert_eq!(
+                plan.decide(Addr(2), Addr(1), Instant::ZERO, seq),
+                FaultOutcome::Drop
+            );
+        }
+        // Self-sends never fault.
+        assert_eq!(
+            plan.decide(Addr(3), Addr(3), Instant::ZERO, 0),
+            FaultOutcome::Deliver
+        );
+    }
+
+    #[test]
+    fn partitions_respect_direction_and_heal_time() {
+        let t0 = Instant::ZERO + Duration::from_millis(100);
+        let t1 = Instant::ZERO + Duration::from_millis(200);
+        let one_way = FaultPlan::new(0).with_one_way_partition(
+            vec![Addr(0)],
+            vec![Addr(1)],
+            t0,
+            t1,
+        );
+        let mid = Instant::ZERO + Duration::from_millis(150);
+        assert_eq!(
+            one_way.decide(Addr(0), Addr(1), mid, 0),
+            FaultOutcome::PartitionDrop
+        );
+        // Reverse direction unaffected by a one-way cut.
+        assert_eq!(one_way.decide(Addr(1), Addr(0), mid, 0), FaultOutcome::Deliver);
+        // Before start and after heal the link is clean.
+        assert_eq!(
+            one_way.decide(Addr(0), Addr(1), Instant::ZERO, 0),
+            FaultOutcome::Deliver
+        );
+        assert_eq!(one_way.decide(Addr(0), Addr(1), t1, 0), FaultOutcome::Deliver);
+
+        let sym = FaultPlan::new(0).with_symmetric_partition(
+            vec![Addr(0)],
+            vec![Addr(1)],
+            t0,
+            t1,
+        );
+        assert_eq!(
+            sym.decide(Addr(1), Addr(0), mid, 0),
+            FaultOutcome::PartitionDrop
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! seeded RNGs. Two runs with the same inputs produce identical histories.
 
 use crate::actor::{Action, Actor, Addr, Context, Event};
-use crate::netmodel::NetworkModel;
+use crate::netmodel::{FaultOutcome, NetworkModel};
 use bespokv_types::{Duration, Instant};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -59,6 +59,14 @@ pub struct SimStats {
     pub dropped: u64,
     /// Messages bounced back to their sender (connection refused).
     pub bounced: u64,
+    /// Messages dropped by the fault plan (link loss).
+    pub faults_dropped: u64,
+    /// Messages duplicated by the fault plan.
+    pub faults_duplicated: u64,
+    /// Messages reordered (held past their FIFO slot) by the fault plan.
+    pub faults_reordered: u64,
+    /// Messages dropped by an active partition window.
+    pub partition_drops: u64,
 }
 
 /// Translates a message sent to a dead actor into an error reply for the
@@ -159,11 +167,7 @@ impl Simulation {
 
     /// Injects a message from the outside world (tests).
     pub fn inject(&mut self, from: Addr, to: Addr, msg: bespokv_proto::NetMsg) {
-        let size = msg.wire_size();
-        let seq = self.seq;
-        let delay = self.net.delivery_delay(from, to, size, seq);
-        let at = self.clamp_fifo(from, to, self.now + delay);
-        self.schedule(at, to, Event::Msg { from, msg });
+        self.transmit(from, to, msg, self.now);
     }
 
     /// Mutable access to a concrete actor (after or between runs).
@@ -201,6 +205,47 @@ impl Simulation {
         clamped
     }
 
+    /// Puts one message on the wire no earlier than `earliest`, consulting
+    /// the fault plan. Normal deliveries go through the per-link FIFO
+    /// clamp; faulted copies (duplicates, reordered holds) bypass it so
+    /// they can violate link ordering, which is the point.
+    fn transmit(&mut self, from: Addr, to: Addr, msg: bespokv_proto::NetMsg, earliest: Instant) {
+        // Every transmission consumes a sequence number for its fault draw,
+        // even if it is then dropped; otherwise two consecutive sends could
+        // share a draw and a drop would repeat forever.
+        let seq = self.seq;
+        self.seq += 1;
+        match self.net.fault_decision(from, to, self.now, seq) {
+            FaultOutcome::Drop => {
+                self.stats.faults_dropped += 1;
+            }
+            FaultOutcome::PartitionDrop => {
+                self.stats.partition_drops += 1;
+            }
+            FaultOutcome::Deliver => {
+                let delay = self.net.delivery_delay(from, to, msg.wire_size(), seq);
+                let at = self.clamp_fifo(from, to, earliest + delay);
+                self.schedule(at, to, Event::Msg { from, msg });
+            }
+            FaultOutcome::Duplicate { dup_extra } => {
+                self.stats.faults_duplicated += 1;
+                let delay = self.net.delivery_delay(from, to, msg.wire_size(), seq);
+                let at = self.clamp_fifo(from, to, earliest + delay);
+                self.schedule(at, to, Event::Msg { from, msg: msg.clone() });
+                // The extra copy models a spurious retransmission: it does
+                // not advance the FIFO clamp and may itself be overtaken.
+                self.schedule(at + dup_extra, to, Event::Msg { from, msg });
+            }
+            FaultOutcome::Reorder { extra } => {
+                self.stats.faults_reordered += 1;
+                let delay = self.net.delivery_delay(from, to, msg.wire_size(), seq);
+                // Held past its FIFO slot without updating the clamp, so
+                // messages sent later on this link can arrive first.
+                self.schedule(earliest + delay + extra, to, Event::Msg { from, msg });
+            }
+        }
+    }
+
     /// Processes a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(item)) = self.queue.pop() else {
@@ -217,18 +262,8 @@ impl Simulation {
             if let (Some(bounce), Event::Msg { from, msg }) = (&self.bounce, &item.ev) {
                 if let Some(reply) = bounce(item.target, msg) {
                     let from = *from;
-                    let size = reply.wire_size();
-                    let seq = self.seq;
-                    let delay = self.net.delivery_delay(item.target, from, size, seq);
-                    let at = self.clamp_fifo(item.target, from, self.now + delay);
-                    self.schedule(
-                        at,
-                        from,
-                        Event::Msg {
-                            from: item.target,
-                            msg: reply,
-                        },
-                    );
+                    let target = item.target;
+                    self.transmit(target, from, reply, self.now);
                     self.stats.bounced += 1;
                     return true;
                 }
@@ -277,11 +312,7 @@ impl Simulation {
         for action in actions {
             match action {
                 Action::Send { to, msg } => {
-                    let size = msg.wire_size();
-                    let seq = self.seq;
-                    let delay = self.net.delivery_delay(item.target, to, size, seq);
-                    let at = self.clamp_fifo(item.target, to, completion + delay);
-                    self.schedule(at, to, Event::Msg { from: item.target, msg });
+                    self.transmit(item.target, to, msg, completion);
                 }
                 Action::Timer { delay, token } => {
                     self.schedule(self.now + delay, item.target, Event::Timer { token });
@@ -495,6 +526,108 @@ mod tests {
         }));
         sim.run_to_quiescence(10_000);
         assert_eq!(sim.actor_mut::<Pinger>(pinger).replies.len(), 3);
+    }
+
+    #[test]
+    fn fault_plan_drops_messages_deterministically() {
+        use crate::netmodel::{FaultPlan, LinkFaults};
+        let run = || {
+            let net = quiet_net().with_faults(
+                FaultPlan::new(99).with_default(LinkFaults::drop(0.2)),
+            );
+            let mut sim = Simulation::new(net);
+            let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+            let pinger = sim.add_actor(Box::new(Pinger {
+                target: ponger,
+                count: 500,
+                replies: vec![],
+            }));
+            sim.run_to_quiescence(100_000);
+            let got = sim.actor_mut::<Ponger>(ponger).received.len();
+            let _ = pinger;
+            (got, sim.stats())
+        };
+        let (got1, stats1) = run();
+        let (got2, stats2) = run();
+        assert_eq!(got1, got2);
+        assert_eq!(stats1, stats2, "same seed must replay the same schedule");
+        assert!(stats1.faults_dropped > 0);
+        // Roughly 20% of the 500 pings (plus some replies) dropped.
+        assert!(got1 < 500 && got1 > 300, "delivered = {got1}");
+    }
+
+    #[test]
+    fn fault_plan_duplicates_deliver_extra_copies() {
+        use crate::netmodel::{FaultPlan, LinkFaults};
+        let net = quiet_net().with_faults(FaultPlan::new(7).with_default(LinkFaults {
+            dup_p: 1.0,
+            ..LinkFaults::NONE
+        }));
+        let mut sim = Simulation::new(net);
+        let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+        sim.inject(
+            Addr(9),
+            ponger,
+            NetMsg::Coord(CoordMsg::GetShardMap),
+        );
+        sim.run_to_quiescence(10_000);
+        // The injected message and the ponger's two replies all duplicate.
+        assert_eq!(sim.stats().faults_duplicated, 3);
+        assert_eq!(sim.actor_mut::<Ponger>(ponger).received.len(), 2);
+    }
+
+    #[test]
+    fn reordered_messages_bypass_fifo_clamp() {
+        use crate::netmodel::{FaultPlan, LinkFaults};
+        // Reorder every message with a large hold window; with many
+        // back-to-back sends some must arrive out of order.
+        let net = quiet_net().with_faults(FaultPlan::new(3).with_default(LinkFaults {
+            reorder_p: 0.5,
+            reorder_delay_max: Duration::from_millis(5),
+            ..LinkFaults::NONE
+        }));
+        let mut sim = Simulation::new(net);
+        let sink = sim.add_actor(Box::new(Ponger { received: vec![] }));
+        for i in 0..50 {
+            sim.inject(
+                Addr(9),
+                sink,
+                NetMsg::Coord(CoordMsg::Heartbeat {
+                    node: bespokv_types::NodeId(i),
+                    applied: i as u64,
+                }),
+            );
+        }
+        sim.run_to_quiescence(100_000);
+        assert!(sim.stats().faults_reordered > 0);
+        assert_eq!(sim.actor_mut::<Ponger>(sink).received.len(), 50);
+    }
+
+    #[test]
+    fn partition_cuts_and_heals() {
+        use crate::netmodel::FaultPlan;
+        let heal = Instant::ZERO + Duration::from_millis(50);
+        let net = quiet_net().with_faults(FaultPlan::new(0).with_symmetric_partition(
+            vec![Addr(1)],
+            vec![Addr(0)],
+            Instant::ZERO,
+            heal,
+        ));
+        let mut sim = Simulation::new(net);
+        let ponger = sim.add_actor(Box::new(Ponger { received: vec![] }));
+        let pinger = sim.add_actor(Box::new(Pinger {
+            target: ponger,
+            count: 5,
+            replies: vec![],
+        }));
+        sim.run_for(Duration::from_millis(40));
+        assert_eq!(sim.actor_mut::<Ponger>(ponger).received.len(), 0);
+        assert_eq!(sim.stats().partition_drops, 5);
+        // After heal, traffic flows again.
+        sim.run_until(heal);
+        sim.inject(pinger, ponger, NetMsg::Coord(CoordMsg::GetShardMap));
+        sim.run_to_quiescence(10_000);
+        assert_eq!(sim.actor_mut::<Ponger>(ponger).received.len(), 1);
     }
 
     #[test]

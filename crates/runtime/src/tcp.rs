@@ -312,11 +312,26 @@ pub struct TcpClient {
     scratch: BytesMut,
 }
 
+/// Default per-call read deadline. A server that accepts the connection
+/// but never answers (hung handler, half-open socket) must surface as a
+/// retryable [`KvError::Timeout`], not block the caller forever.
+const DEFAULT_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
 impl TcpClient {
-    /// Connects to a [`TcpServer`].
+    /// Connects to a [`TcpServer`] with the default read timeout.
     pub fn connect(addr: SocketAddr, parser: Box<dyn ProtocolParser>) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, parser, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// Connects with an explicit per-read deadline (`None` blocks forever).
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        parser: Box<dyn ProtocolParser>,
+        read_timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(read_timeout)?;
         Ok(TcpClient {
             stream,
             parser,
@@ -324,7 +339,16 @@ impl TcpClient {
         })
     }
 
-    /// Sends one request and blocks for its response.
+    /// Changes the per-read deadline on the live connection.
+    pub fn set_read_timeout(
+        &mut self,
+        read_timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<()> {
+        self.stream.set_read_timeout(read_timeout)
+    }
+
+    /// Sends one request and blocks for its response, at most the
+    /// configured read timeout per read ([`KvError::Timeout`] after that).
     pub fn call(&mut self, req: &Request) -> KvResult<Response> {
         self.scratch.clear();
         self.parser.encode_request(req, &mut self.scratch);
@@ -678,6 +702,39 @@ mod tests {
         assert_eq!(store.lock().len(), 4 * 10 * 32 + 2 * 10 * 16);
         bin_server.stop();
         resp_server.stop();
+    }
+
+    #[test]
+    fn unresponsive_server_surfaces_timeout() {
+        // A listener that accepts and then goes silent: the client call
+        // must come back with a retryable Timeout, not block forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Keep the socket open without ever responding.
+            std::thread::sleep(std::time::Duration::from_secs(2));
+            drop(stream);
+        });
+        let mut client = TcpClient::connect_with_timeout(
+            addr,
+            Box::new(BinaryParser::new()),
+            Some(std::time::Duration::from_millis(100)),
+        )
+        .unwrap();
+        let req = Request::new(rid(0), Op::Get { key: Key::from("k") });
+        let started = std::time::Instant::now();
+        assert_eq!(client.call(&req), Err(KvError::Timeout));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "call blocked until the server hung up instead of timing out"
+        );
+        // Pipelined calls hit the same deadline.
+        assert_eq!(
+            client.call_pipelined(std::slice::from_ref(&req)),
+            Err(KvError::Timeout)
+        );
+        hold.join().unwrap();
     }
 
     #[test]

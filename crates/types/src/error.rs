@@ -72,7 +72,14 @@ impl std::error::Error for KvError {}
 
 impl From<std::io::Error> for KvError {
     fn from(e: std::io::Error) -> Self {
-        KvError::Io(e.to_string())
+        match e.kind() {
+            // Both kinds signal an elapsed socket read/write deadline —
+            // which one depends on the platform. Surfacing them as Timeout
+            // (retryable) instead of an opaque Io error lets callers back
+            // off and retry.
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => KvError::Timeout,
+            _ => KvError::Io(e.to_string()),
+        }
     }
 }
 
