@@ -6,3 +6,8 @@ set -euxo pipefail
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Consistency oracle: checker unit tests + the full mode x seed sweep
+# (linearizability for SC, convergence for EC, transition, teeth test).
+cargo test -p bespokv-checker -q
+cargo test --test consistency_oracle -q

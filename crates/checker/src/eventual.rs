@@ -1,0 +1,348 @@
+//! Eventual-consistency oracle: replica convergence after quiescence, plus
+//! the session guarantees (monotonic reads, read-your-writes) that make EC
+//! usable in practice.
+//!
+//! Convergence is a pure state comparison: after the workload stops and the
+//! anti-entropy machinery (MS+EC propagation, AA+EC shared-log consumption)
+//! drains, every replica of a shard must expose the same live key/value map.
+//!
+//! Session checks lean on versions: every write is stamped by its ordering
+//! authority with a monotonically increasing version (epoch-rebased across
+//! failovers, so versions never regress). Within one sequential client
+//! session, the version observed for a key must never decrease (monotonic
+//! reads), and a read issued after the client's own acked write must observe
+//! a version at least as new as that write (read-your-writes) — the write's
+//! version is recovered from the controlets' [`ApplyEvent`] stream.
+
+use bespokv_types::{
+    ApplyEvent, ClientId, HistoryEvent, HistoryOp, HistoryOutcome, Key, NodeId, Value, Version,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// The live contents of one replica: node id plus its key→value map
+/// (tombstones already removed).
+pub type ReplicaState = (NodeId, BTreeMap<Key, Value>);
+
+/// One replica's opinion of a key (`None` = absent), for divergence reports.
+pub type ReplicaView = (NodeId, Option<Value>);
+
+/// Builds a live key→value map from dump entries (`None` value = tombstone).
+pub fn replica_live_map(entries: impl IntoIterator<Item = (Key, Option<Value>)>) -> BTreeMap<Key, Value> {
+    entries
+        .into_iter()
+        .filter_map(|(k, v)| v.map(|v| (k, v)))
+        .collect()
+}
+
+/// Result of [`check_convergence`].
+#[derive(Debug, Default)]
+pub struct ConvergenceReport {
+    /// Number of replicas compared.
+    pub replicas: usize,
+    /// Number of distinct keys across all replicas.
+    pub keys: usize,
+    /// Keys on which replicas disagree, with each replica's view.
+    pub divergent: Vec<(Key, Vec<ReplicaView>)>,
+}
+
+impl ConvergenceReport {
+    /// Whether every replica exposes the same live state.
+    pub fn ok(&self) -> bool {
+        self.divergent.is_empty()
+    }
+}
+
+/// Compares the live state of all replicas of one shard.
+pub fn check_convergence(replicas: &[ReplicaState]) -> ConvergenceReport {
+    let mut keys: BTreeMap<Key, ()> = BTreeMap::new();
+    for (_, map) in replicas {
+        for k in map.keys() {
+            keys.insert(k.clone(), ());
+        }
+    }
+    let mut report = ConvergenceReport {
+        replicas: replicas.len(),
+        keys: keys.len(),
+        divergent: Vec::new(),
+    };
+    for (key, ()) in &keys {
+        let views: Vec<(NodeId, Option<Value>)> = replicas
+            .iter()
+            .map(|(n, map)| (*n, map.get(key).cloned()))
+            .collect();
+        if views.windows(2).any(|w| w[0].1 != w[1].1) {
+            report.divergent.push((key.clone(), views));
+        }
+    }
+    report
+}
+
+/// Result of [`check_sessions`].
+#[derive(Debug, Default)]
+pub struct SessionReport {
+    /// Number of client sessions audited.
+    pub clients: usize,
+    /// Successful reads that were checked against a version floor.
+    pub reads_checked: usize,
+    /// Monotonic-reads violations (version regressed within a session).
+    pub monotonic_violations: Vec<String>,
+    /// Read-your-writes violations (read older than the session's own
+    /// acked write).
+    pub ryw_violations: Vec<String>,
+}
+
+impl SessionReport {
+    /// Whether both session guarantees held for every client.
+    pub fn ok(&self) -> bool {
+        self.monotonic_violations.is_empty() && self.ryw_violations.is_empty()
+    }
+}
+
+/// Audits monotonic reads and read-your-writes per client session.
+///
+/// Sessions are replayed in invocation-tick order, which equals program
+/// order for the sequential clients the oracle tests use (for clients with
+/// internal concurrency the ordering is still the real-time issue order,
+/// which is the strongest claim such a session can make).
+///
+/// Known limits, chosen to avoid false positives:
+/// * Reads observing "absent" are not checked and reset the monotonic
+///   floor — a concurrent delete (possibly by another client) legitimately
+///   makes versions unobservable.
+/// * A write's version is recovered as the *smallest* version any replica
+///   applied for exactly that (key, value) payload; if another client wrote
+///   the same payload earlier, the floor is merely weaker (never wrong).
+pub fn check_sessions(events: &[HistoryEvent], applies: &[ApplyEvent]) -> SessionReport {
+    // (key, payload) -> smallest version the cluster assigned it.
+    let mut write_version: HashMap<(Key, Option<Value>), Version> = HashMap::new();
+    for ap in applies {
+        let slot = write_version
+            .entry((ap.key.clone(), ap.value.clone()))
+            .or_insert(ap.version);
+        *slot = (*slot).min(ap.version);
+    }
+
+    let mut sessions: BTreeMap<ClientId, Vec<&HistoryEvent>> = BTreeMap::new();
+    for ev in events {
+        sessions.entry(ev.client).or_default().push(ev);
+    }
+
+    let mut report = SessionReport::default();
+    for (client, mut evs) in sessions {
+        report.clients += 1;
+        evs.sort_by_key(|e| e.inv_tick);
+        // Highest version this session has observed by reading, per key.
+        let mut read_floor: HashMap<Key, Version> = HashMap::new();
+        // Version of this session's latest acked write, per key.
+        let mut own_write_floor: HashMap<Key, Version> = HashMap::new();
+        for ev in evs {
+            match (&ev.op, &ev.outcome) {
+                (HistoryOp::Get { key }, HistoryOutcome::Ok { value: Some(vv) }) => {
+                    report.reads_checked += 1;
+                    if let Some(&floor) = read_floor.get(key) {
+                        if vv.version < floor {
+                            report.monotonic_violations.push(format!(
+                                "{client} read {key:?} at version {} after observing version {floor}",
+                                vv.version
+                            ));
+                        }
+                    }
+                    if let Some(&floor) = own_write_floor.get(key) {
+                        if vv.version < floor {
+                            report.ryw_violations.push(format!(
+                                "{client} read {key:?} at version {} after its own acked \
+                                 write at version {floor}",
+                                vv.version
+                            ));
+                        }
+                    }
+                    let slot = read_floor.entry(key.clone()).or_insert(0);
+                    *slot = (*slot).max(vv.version);
+                }
+                (HistoryOp::Get { key }, HistoryOutcome::Ok { value: None }) => {
+                    // Absent reads carry no version; a delete (ours or a
+                    // peer's) may have intervened. Reset rather than guess.
+                    read_floor.remove(key);
+                    own_write_floor.remove(key);
+                }
+                (HistoryOp::Put { key, value }, HistoryOutcome::Ok { .. }) => {
+                    if let Some(&v) = write_version.get(&(key.clone(), Some(value.clone()))) {
+                        let slot = own_write_floor.entry(key.clone()).or_insert(0);
+                        *slot = (*slot).max(v);
+                    }
+                }
+                (HistoryOp::Del { key }, HistoryOutcome::Ok { .. }) => {
+                    if let Some(&v) = write_version.get(&(key.clone(), None)) {
+                        let slot = own_write_floor.entry(key.clone()).or_insert(0);
+                        *slot = (*slot).max(v);
+                    }
+                }
+                // Failed/ambiguous ops neither raise nor lower floors.
+                _ => {}
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::{ConsistencyLevel, Instant, ShardId, VersionedValue};
+
+    fn replica(node: u32, pairs: &[(&str, &str)]) -> ReplicaState {
+        (
+            NodeId(node),
+            pairs
+                .iter()
+                .map(|(k, v)| (Key::from(*k), Value::from(*v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_replicas_converge() {
+        let r = check_convergence(&[
+            replica(0, &[("a", "1"), ("b", "2")]),
+            replica(1, &[("a", "1"), ("b", "2")]),
+            replica(2, &[("a", "1"), ("b", "2")]),
+        ]);
+        assert!(r.ok());
+        assert_eq!(r.replicas, 3);
+        assert_eq!(r.keys, 2);
+    }
+
+    #[test]
+    fn value_mismatch_and_missing_key_are_divergence() {
+        let r = check_convergence(&[
+            replica(0, &[("a", "1"), ("b", "2")]),
+            replica(1, &[("a", "X"), ("b", "2")]),
+        ]);
+        assert_eq!(r.divergent.len(), 1);
+        assert_eq!(r.divergent[0].0, Key::from("a"));
+
+        let r = check_convergence(&[replica(0, &[("a", "1")]), replica(1, &[])]);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn live_map_drops_tombstones() {
+        let map = replica_live_map(vec![
+            (Key::from("a"), Some(Value::from("1"))),
+            (Key::from("b"), None),
+        ]);
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key(&Key::from("a")));
+    }
+
+    // --- session checks -----------------------------------------------------
+
+    fn read_ev(client: u32, tick: u64, key: &str, val: &str, version: Version) -> HistoryEvent {
+        HistoryEvent {
+            client: ClientId(client),
+            seq: tick + 1,
+            inv_tick: tick,
+            op: HistoryOp::Get { key: Key::from(key) },
+            level: ConsistencyLevel::Default,
+            invoked_at: Instant(tick),
+            completed_at: Instant(tick + 1),
+            outcome: HistoryOutcome::Ok {
+                value: Some(VersionedValue::new(Value::from(val), version)),
+            },
+        }
+    }
+
+    fn write_ev(client: u32, tick: u64, key: &str, val: &str) -> HistoryEvent {
+        HistoryEvent {
+            client: ClientId(client),
+            seq: tick + 1,
+            inv_tick: tick,
+            op: HistoryOp::Put {
+                key: Key::from(key),
+                value: Value::from(val),
+            },
+            level: ConsistencyLevel::Default,
+            invoked_at: Instant(tick),
+            completed_at: Instant(tick + 1),
+            outcome: HistoryOutcome::Ok { value: None },
+        }
+    }
+
+    fn apply_ev(key: &str, val: &str, version: Version) -> ApplyEvent {
+        ApplyEvent {
+            node: NodeId(0),
+            shard: ShardId(0),
+            table: String::new(),
+            key: Key::from(key),
+            value: Some(Value::from(val)),
+            version,
+            at: Instant(0),
+        }
+    }
+
+    #[test]
+    fn monotonic_reads_catch_version_regression() {
+        let events = vec![
+            read_ev(1, 0, "k", "new", 9),
+            read_ev(1, 2, "k", "old", 4),
+        ];
+        let r = check_sessions(&events, &[]);
+        assert_eq!(r.monotonic_violations.len(), 1, "{r:?}");
+        assert!(r.monotonic_violations[0].contains("version 4"));
+    }
+
+    #[test]
+    fn monotonic_reads_accept_nondecreasing_versions() {
+        let events = vec![
+            read_ev(1, 0, "k", "a", 3),
+            read_ev(1, 2, "k", "a", 3),
+            read_ev(1, 4, "k", "b", 7),
+        ];
+        assert!(check_sessions(&events, &[]).ok());
+    }
+
+    #[test]
+    fn regression_across_clients_is_not_a_session_violation() {
+        // Different sessions may observe different replicas.
+        let events = vec![
+            read_ev(1, 0, "k", "new", 9),
+            read_ev(2, 2, "k", "old", 4),
+        ];
+        assert!(check_sessions(&events, &[]).ok());
+    }
+
+    #[test]
+    fn read_your_writes_catches_stale_read_after_own_write() {
+        let events = vec![
+            write_ev(1, 0, "k", "mine"),
+            read_ev(1, 2, "k", "before", 2),
+        ];
+        let applies = vec![apply_ev("k", "before", 2), apply_ev("k", "mine", 5)];
+        let r = check_sessions(&events, &applies);
+        assert_eq!(r.ryw_violations.len(), 1, "{r:?}");
+    }
+
+    #[test]
+    fn read_your_writes_accepts_reading_own_or_newer_write() {
+        let events = vec![
+            write_ev(1, 0, "k", "mine"),
+            read_ev(1, 2, "k", "mine", 5),
+            read_ev(1, 4, "k", "newer", 8),
+        ];
+        let applies = vec![apply_ev("k", "mine", 5), apply_ev("k", "newer", 8)];
+        assert!(check_sessions(&events, &applies).ok());
+    }
+
+    #[test]
+    fn write_version_uses_smallest_apply() {
+        // The same payload applied on three replicas with the same version:
+        // the floor is that version, not anything larger.
+        let events = vec![write_ev(1, 0, "k", "v"), read_ev(1, 2, "k", "v", 5)];
+        let applies = vec![
+            apply_ev("k", "v", 5),
+            apply_ev("k", "v", 5),
+            apply_ev("k", "v", 5),
+        ];
+        assert!(check_sessions(&events, &applies).ok());
+    }
+}

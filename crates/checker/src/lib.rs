@@ -1,0 +1,28 @@
+//! Consistency oracle for bespoKV histories.
+//!
+//! The cluster harness records every client operation (invocation/response
+//! interval + observed result) and every datalet apply into a
+//! [`bespokv_types::HistoryRecorder`]; this crate decides, after the fact,
+//! whether the history honours the guarantee the active mode advertises:
+//!
+//! * **SC modes** (MS+SC, AA+SC, or per-request `ConsistencyLevel::Strong`):
+//!   [`check_linearizable`] runs a Wing & Gill-style search per key —
+//!   keys are independent registers, so the history partitions and each
+//!   partition is searched separately with memoization on (linearized-set,
+//!   register state).
+//! * **EC modes**: [`check_convergence`] compares replica dumps after
+//!   quiescence, and [`check_sessions`] audits the session guarantees the
+//!   paper's EC discussion leans on — monotonic reads (observed versions
+//!   never regress within a session) and read-your-writes (a read issued
+//!   after an acked write never observes a version older than that write).
+//!
+//! All checkers are pure functions over recorded data: no cluster types, no
+//! I/O, deterministic given the same history.
+
+mod eventual;
+mod linearize;
+
+pub use eventual::{
+    check_convergence, check_sessions, replica_live_map, ConvergenceReport, SessionReport,
+};
+pub use linearize::{check_linearizable, LinReport, LinViolation};

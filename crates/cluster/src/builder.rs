@@ -25,9 +25,15 @@ use bespokv_proto::{CoordMsg, NetMsg};
 use bespokv_runtime::{Addr, CostModel, FaultPlan, NetworkModel, Simulation, TransportProfile};
 use bespokv_sharedlog::SharedLogActor;
 use bespokv_types::{
-    ClientId, Duration, Key, Mode, NodeId, Partitioning, ShardId, ShardInfo, ShardMap, Value,
+    ClientId, Duration, HistoryRecorder, Key, Mode, NodeId, Partitioning, ShardId, ShardInfo,
+    ShardMap, Value,
 };
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// One replica's dumped default-table contents: key -> value, with
+/// tombstones as `None` (see [`SimCluster::dump_replicas`]).
+pub type ReplicaEntries = Vec<(Key, Option<Value>)>;
 
 /// Everything needed to stand up a cluster.
 #[derive(Clone)]
@@ -66,6 +72,10 @@ pub struct ClusterSpec {
     pub per_shard_modes: Vec<Mode>,
     /// Deterministic fault-injection plan applied to the network fabric.
     pub faults: Option<FaultPlan>,
+    /// When true, a shared [`HistoryRecorder`] is created and plumbed into
+    /// every client and controlet so the consistency oracle can audit the
+    /// run (see `bespokv-checker`).
+    pub history: bool,
 }
 
 impl ClusterSpec {
@@ -87,6 +97,7 @@ impl ClusterSpec {
             p2p: false,
             per_shard_modes: Vec::new(),
             faults: None,
+            history: false,
         }
     }
 
@@ -94,6 +105,12 @@ impl ClusterSpec {
     /// same drop/duplicate/reorder/partition schedule.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Enables history capture for the consistency oracle.
+    pub fn with_history(mut self) -> Self {
+        self.history = true;
         self
     }
 
@@ -175,6 +192,11 @@ pub struct SimCluster {
     pub map: ShardMap,
     spec: ClusterSpec,
     next_client_id: u32,
+    /// Consistency-oracle recorder (present when the spec enabled history).
+    recorder: Option<HistoryRecorder>,
+    /// Datalet per node id — unlike `datalets` (indexed by original node
+    /// order), this also covers transition controlets with high node ids.
+    datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>>,
 }
 
 impl SimCluster {
@@ -206,6 +228,8 @@ impl SimCluster {
             .map(|s| Addr(coordinator.0 + 2 + s))
             .collect();
 
+        let recorder = spec.history.then(HistoryRecorder::new);
+        let mut datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>> = HashMap::new();
         let mut controlets = Vec::new();
         let mut datalets: Vec<Arc<dyn Datalet>> = Vec::new();
         for shard in 0..spec.shards {
@@ -221,11 +245,13 @@ impl SimCluster {
                 cfg.prop_flush_every = spec.prop_flush_every;
                 cfg.log_poll_every = spec.log_poll_every;
                 cfg.p2p_forwarding = spec.p2p;
+                cfg.recorder = recorder.clone();
                 let controlet = Controlet::with_info(cfg, Arc::clone(&datalet), info.clone())
                     .with_cluster_map(map.clone());
                 let addr = sim.add_actor(Box::new(controlet));
                 assert_eq!(addr.0, node.raw(), "address/NodeId convention broken");
                 controlets.push(addr);
+                datalet_by_node.insert(node, Arc::clone(&datalet));
                 datalets.push(datalet);
             }
         }
@@ -244,10 +270,12 @@ impl SimCluster {
             cfg.heartbeat_every = spec.heartbeat_every;
             cfg.prop_flush_every = spec.prop_flush_every;
             cfg.log_poll_every = spec.log_poll_every;
+            cfg.recorder = recorder.clone();
             let controlet = Controlet::new(cfg, Arc::clone(&datalet));
             let addr = sim.add_actor(Box::new(controlet));
             assert_eq!(addr.0, node.raw());
             standbys.push(addr);
+            datalet_by_node.insert(node, Arc::clone(&datalet));
             datalets.push(datalet);
         }
         // Coordinator, DLM, shared log.
@@ -296,7 +324,53 @@ impl SimCluster {
             map,
             spec,
             next_client_id: 1000,
+            recorder,
+            datalet_by_node,
         }
+    }
+
+    /// The consistency-oracle recorder, when the spec enabled history.
+    pub fn history(&self) -> Option<&HistoryRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Dumps the current contents of every replica of `shard` (default
+    /// table, tombstones included) according to the *coordinator's current*
+    /// map — i.e. post-failover/transition membership, not the build-time
+    /// layout. Feed the result to `bespokv-checker`'s convergence oracle.
+    pub fn dump_replicas(&mut self, shard: ShardId) -> Vec<(NodeId, ReplicaEntries)> {
+        let info = self
+            .sim
+            .actor_mut::<CoordinatorActor>(self.coordinator)
+            .core()
+            .map()
+            .shard(shard)
+            .expect("shard exists")
+            .clone();
+        info.replicas
+            .iter()
+            .map(|&node| {
+                let d = self
+                    .datalet_by_node
+                    .get(&node)
+                    .unwrap_or_else(|| panic!("no datalet registered for {node}"));
+                let mut entries = Vec::new();
+                let mut from = 0u64;
+                loop {
+                    let (chunk, done) = d.snapshot_chunk(from, 1024);
+                    from += chunk.len() as u64;
+                    for e in chunk {
+                        if e.table == bespokv_datalet::DEFAULT_TABLE {
+                            entries.push((e.key, e.value));
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                (node, entries)
+            })
+            .collect()
     }
 
     /// The spec this cluster was built from.
@@ -359,6 +433,9 @@ impl SimCluster {
         if self.spec.p2p {
             core = core.with_p2p((0..self.spec.num_nodes()).map(NodeId).collect());
         }
+        if let Some(rec) = &self.recorder {
+            core = core.with_history(rec.clone());
+        }
         let client = WorkloadClient::new(core, source, concurrency, warmup, timeline_bucket);
         let addr = self.sim.add_actor(Box::new(client));
         self.clients.push(addr);
@@ -367,10 +444,27 @@ impl SimCluster {
 
     /// Attaches a sequential scripted client; returns its address.
     pub fn add_script_client(&mut self, script: Vec<crate::script::Step>) -> Addr {
+        self.add_script_client_inner(script, false)
+    }
+
+    /// Dev-only: attaches a scripted client with the deliberate stale-read
+    /// bug enabled (`ClientCore::with_debug_stale_reads`). Oracle tests use
+    /// it to prove the linearizability checker catches real violations.
+    pub fn add_script_client_debug_stale(&mut self, script: Vec<crate::script::Step>) -> Addr {
+        self.add_script_client_inner(script, true)
+    }
+
+    fn add_script_client_inner(&mut self, script: Vec<crate::script::Step>, stale: bool) -> Addr {
         let id = ClientId(self.next_client_id);
         self.next_client_id += 1;
-        let core = ClientCore::new(id, self.coordinator)
+        let mut core = ClientCore::new(id, self.coordinator)
             .with_request_timeout(Duration::from_millis(300));
+        if let Some(rec) = &self.recorder {
+            core = core.with_history(rec.clone());
+        }
+        if stale {
+            core = core.with_debug_stale_reads();
+        }
         let addr = self
             .sim
             .add_actor(Box::new(crate::script::ScriptClient::new(core, script)));
@@ -403,8 +497,10 @@ impl SimCluster {
         cfg.heartbeat_every = self.spec.heartbeat_every;
         cfg.prop_flush_every = self.spec.prop_flush_every;
         cfg.log_poll_every = self.spec.log_poll_every;
+        cfg.recorder = self.recorder.clone();
         let controlet = Controlet::new(cfg, Arc::clone(&datalet));
         self.sim.revive(Addr(node.raw()), Box::new(controlet));
+        self.datalet_by_node.insert(node, Arc::clone(&datalet));
         self.datalets[node.raw() as usize] = datalet;
     }
 
@@ -456,9 +552,11 @@ impl SimCluster {
             cfg.heartbeat_every = self.spec.heartbeat_every;
             cfg.prop_flush_every = self.spec.prop_flush_every;
             cfg.log_poll_every = self.spec.log_poll_every;
+            cfg.recorder = self.recorder.clone();
             let controlet = Controlet::new(cfg, Arc::clone(&datalet));
             let addr = self.sim.add_actor(Box::new(controlet));
             assert_eq!(addr.0, probe.raw());
+            self.datalet_by_node.insert(probe, Arc::clone(&datalet));
             self.datalets.push(datalet);
             new_nodes.push(probe);
         }

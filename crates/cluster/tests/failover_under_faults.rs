@@ -164,8 +164,15 @@ fn run_scenario(mode: Mode, seed: u64, drop_p: f64) -> Outcome {
 fn check_mode(mode: Mode, seed: u64, drop_p: f64) {
     let a = run_scenario(mode, seed, drop_p);
     let acked = a.writer_results.iter().filter(|r| r.is_ok()).count();
+    // Writes are exactly-once: one that goes silent mid-failover stays
+    // pinned to its original target and completes as an ambiguous timeout
+    // rather than being re-executed elsewhere (re-execution under a fresh
+    // version is a linearizability violation the consistency oracle
+    // catches). That costs acked throughput during the outage window, so
+    // the floor only asserts the cluster recovered and kept accepting
+    // writes afterwards.
     assert!(
-        acked >= WRITES / 2,
+        acked >= WRITES / 3,
         "{mode:?}: too few acked writes ({acked}/{WRITES}) — cluster never recovered"
     );
     assert!(

@@ -22,8 +22,9 @@ use bespokv_proto::client::{Op, Request, RespBody, Response};
 use bespokv_proto::{CoordMsg, NetMsg};
 use bespokv_runtime::Addr;
 use bespokv_types::{
-    Consistency, ConsistencyLevel, ClientId, Duration, Instant, Key, KvError, NodeId,
-    RequestId, ShardMap, Topology,
+    Consistency, ConsistencyLevel, ClientId, Duration, HistoryEvent, HistoryOp, HistoryOutcome,
+    HistoryRecorder, Instant, Key, KvError, NodeId, RequestId, ShardMap, Topology,
+    VersionedValue,
 };
 use std::collections::HashMap;
 
@@ -59,6 +60,15 @@ struct Outstanding {
     cur_timeout: Duration,
     /// Present when this is one leg of a scatter-gather scan.
     parent: Option<RequestId>,
+    /// Node the request was last sent to (for sticky write retries).
+    target: NodeId,
+    /// Set once a write attempt goes silent past its timeout: the write
+    /// may have been applied even though no ack arrived, so from here on
+    /// it must never be re-routed to a different node — re-executing it
+    /// elsewhere would commit the same payload a second time under a fresh
+    /// version. Silent retries stay pinned to `target`; an explicit
+    /// retryable failure completes the op instead (ambiguous outcome).
+    maybe_applied: bool,
 }
 
 #[derive(Debug)]
@@ -101,6 +111,23 @@ pub struct ClientCore {
     /// Send attempts per operation (1 = fail fast, no transparent retry —
     /// the behaviour of benchmark clients like redis-benchmark).
     max_attempts: u32,
+    /// Consistency-oracle sink: point ops are tagged at invocation and
+    /// their outcome recorded at completion (see `bespokv_types::history`).
+    recorder: Option<HistoryRecorder>,
+    /// Invocation bookkeeping for the recorder, keyed by request id.
+    history_pending: HashMap<RequestId, PendingHistory>,
+    /// Dev-only fault injection: when set, every successful Get after the
+    /// first returns the *first* value observed for its key — a blatant
+    /// stale-read bug the oracle must catch (proves the checker has teeth).
+    stale_read_debug: Option<HashMap<Key, VersionedValue>>,
+}
+
+#[derive(Debug)]
+struct PendingHistory {
+    op: HistoryOp,
+    level: ConsistencyLevel,
+    invoked_at: Instant,
+    inv_tick: u64,
 }
 
 impl ClientCore {
@@ -123,7 +150,25 @@ impl ClientCore {
             last_map_fetch: None,
             p2p_targets: None,
             max_attempts: MAX_ATTEMPTS,
+            recorder: None,
+            history_pending: HashMap::new(),
+            stale_read_debug: None,
         }
+    }
+
+    /// Attaches a consistency-oracle recorder: every point op (put/get/del)
+    /// is logged with its invocation/response interval and outcome.
+    pub fn with_history(mut self, recorder: HistoryRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Dev-only: injects a deliberate stale-read bug (repeated Gets return
+    /// the first value ever observed for the key). Used by oracle tests to
+    /// prove the linearizability checker actually detects violations.
+    pub fn with_debug_stale_reads(mut self) -> Self {
+        self.stale_read_debug = Some(HashMap::new());
+        self
     }
 
     /// Overrides the per-operation attempt budget (1 disables transparent
@@ -211,8 +256,55 @@ impl ClientCore {
             op,
             level,
         };
+        if let Some(rec) = &self.recorder {
+            if let Some(op) = history_op(&req.op) {
+                self.history_pending.insert(
+                    rid,
+                    PendingHistory {
+                        op,
+                        level,
+                        invoked_at: now,
+                        inv_tick: rec.tick(),
+                    },
+                );
+            }
+        }
         self.dispatch(req, now, None);
         rid
+    }
+
+    /// Closes the history record for a completed point op (no-op when no
+    /// recorder is attached or the op was not recorded, e.g. scans).
+    fn record_history(&mut self, rid: RequestId, result: &Result<RespBody, KvError>, now: Instant) {
+        let Some(rec) = &self.recorder else { return };
+        let Some(p) = self.history_pending.remove(&rid) else {
+            return;
+        };
+        let outcome = match result {
+            Ok(RespBody::Value(vv)) => HistoryOutcome::Ok {
+                value: Some(vv.clone()),
+            },
+            Ok(_) => HistoryOutcome::Ok { value: None },
+            // A read of an absent key is a successful observation of "no
+            // value", not a failure.
+            Err(KvError::NotFound) if !p.op.is_write() => HistoryOutcome::Ok { value: None },
+            // Any other failed write may still have been applied by an
+            // earlier attempt whose ack was lost; the checker treats it as
+            // free to take effect at any later point, or never.
+            Err(_) if p.op.is_write() => HistoryOutcome::Ambiguous,
+            // Failed reads observed nothing.
+            Err(_) => HistoryOutcome::Fail,
+        };
+        rec.record(HistoryEvent {
+            client: self.id,
+            seq: 0, // assigned by the recorder
+            inv_tick: p.inv_tick,
+            op: p.op,
+            level: p.level,
+            invoked_at: p.invoked_at,
+            completed_at: now,
+            outcome,
+        });
     }
 
     fn dispatch(&mut self, req: Request, now: Instant, parent: Option<RequestId>) {
@@ -284,6 +376,8 @@ impl ClientCore {
                 attempts: 1,
                 cur_timeout: self.request_timeout,
                 parent,
+                target: node,
+                maybe_applied: false,
             },
         );
         self.out.push((Addr(node.raw()), NetMsg::Client(req)));
@@ -403,9 +497,16 @@ impl ClientCore {
         let Some(mut o) = self.outstanding.remove(&resp.id) else {
             return Vec::new(); // duplicate or post-timeout straggler
         };
-        // Transparent retry on retryable errors.
+        // Transparent retry on retryable errors. A write that ever went
+        // silent (`maybe_applied`) is excluded: the explicit failure is for
+        // the *latest* attempt only, an earlier one may have applied, and
+        // re-routing would re-execute it — so it completes with the error
+        // and the caller sees an ambiguous outcome.
         if let Err(e) = &resp.result {
-            if e.is_retryable() && o.attempts < self.max_attempts {
+            if e.is_retryable()
+                && o.attempts < self.max_attempts
+                && !(o.req.op.is_write() && o.maybe_applied)
+            {
                 o.attempts += 1;
                 o.last_sent = now;
                 // A wrong-node hint is authoritative: retry there. A
@@ -430,6 +531,7 @@ impl ClientCore {
                 };
                 match target {
                     Some(node) => {
+                        o.target = node;
                         self.out
                             .push((Addr(node.raw()), NetMsg::Client(o.req.clone())));
                     }
@@ -443,9 +545,22 @@ impl ClientCore {
         if let Some(parent) = o.parent {
             return self.finish_scatter_leg(parent, resp, o, now);
         }
+        let mut result = resp.result;
+        // Dev-only stale-read injection (see `with_debug_stale_reads`).
+        if let Some(cache) = &mut self.stale_read_debug {
+            if let (Op::Get { key }, Ok(RespBody::Value(vv))) = (&o.req.op, &result) {
+                match cache.get(key) {
+                    Some(first) => result = Ok(RespBody::Value(first.clone())),
+                    None => {
+                        cache.insert(key.clone(), vv.clone());
+                    }
+                }
+            }
+        }
+        self.record_history(resp.id, &result, now);
         vec![Completion {
             rid: resp.id,
-            result: resp.result,
+            result,
             issued_at: o.issued_at,
             attempts: o.attempts,
         }]
@@ -507,6 +622,9 @@ impl ClientCore {
             o.last_sent = now;
             let req = o.req.clone();
             if let Some(node) = self.route(&req, now) {
+                if let Some(o) = self.outstanding.get_mut(&rid) {
+                    o.target = node;
+                }
                 self.out.push((Addr(node.raw()), NetMsg::Client(req)));
             } else {
                 self.parked.push(rid);
@@ -548,12 +666,18 @@ impl ClientCore {
         let cap = Duration(self.request_timeout.0.saturating_mul(BACKOFF_CAP_FACTOR));
         let mut completions = Vec::new();
         for rid in stale {
-            let (req, give_up) = {
+            let (req, give_up, sticky) = {
                 let o = self.outstanding.get_mut(&rid).expect("listed");
                 o.attempts += 1;
                 o.last_sent = now;
                 o.cur_timeout = Duration(o.cur_timeout.0.saturating_mul(2)).min(cap);
-                (o.req.clone(), o.attempts > self.max_attempts)
+                if o.req.op.is_write() {
+                    // Silence means the write may have been applied; pin
+                    // all further retries to the original target (see
+                    // `Outstanding::maybe_applied`).
+                    o.maybe_applied = true;
+                }
+                (o.req.clone(), o.attempts > self.max_attempts, o.target)
             };
             if give_up {
                 let o = self.outstanding.remove(&rid).expect("listed");
@@ -562,20 +686,45 @@ impl ClientCore {
                     Some(parent) => {
                         completions.extend(self.finish_scatter_leg(parent, resp, o, now))
                     }
-                    None => completions.push(Completion {
-                        rid,
-                        result: Err(KvError::Timeout),
-                        issued_at: o.issued_at,
-                        attempts: o.attempts,
-                    }),
+                    None => {
+                        self.record_history(rid, &Err(KvError::Timeout), now);
+                        completions.push(Completion {
+                            rid,
+                            result: Err(KvError::Timeout),
+                            issued_at: o.issued_at,
+                            attempts: o.attempts,
+                        });
+                    }
                 }
                 continue;
             }
-            if let Some(node) = self.route(&req, now) {
+            let dest = if req.op.is_write() {
+                Some(sticky)
+            } else {
+                self.route(&req, now)
+            };
+            if let Some(node) = dest {
+                if let Some(o) = self.outstanding.get_mut(&rid) {
+                    o.target = node;
+                }
                 self.out.push((Addr(node.raw()), NetMsg::Client(req)));
             }
         }
         completions
+    }
+}
+
+/// Maps a wire op to its history representation; multi-key and table ops
+/// are not recorded (the oracle models single-key registers only).
+fn history_op(op: &Op) -> Option<HistoryOp> {
+    match op {
+        Op::Put { key, value } => Some(HistoryOp::Put {
+            key: key.clone(),
+            value: value.clone(),
+        }),
+        Op::Get { key } => Some(HistoryOp::Get { key: key.clone() }),
+        Op::Del { key } => Some(HistoryOp::Del { key: key.clone() }),
+        _ => None,
     }
 }
 
@@ -908,5 +1057,116 @@ mod tests {
         assert_eq!(comps[0].rid, rid);
         assert_eq!(comps[0].result, Err(KvError::Timeout));
         assert_eq!(core.in_flight(), 0);
+    }
+
+    #[test]
+    fn history_records_interval_and_outcomes() {
+        let rec = HistoryRecorder::new();
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_history(rec.clone());
+        let t0 = now();
+        // Successful put.
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, t0);
+        core.take_outgoing();
+        core.on_msg(
+            NetMsg::ClientResp(Response::ok(rid, RespBody::Done)),
+            t0 + Duration::from_millis(2),
+        );
+        // Read observing a value.
+        let rid = core.begin(
+            Op::Get { key: Key::from("k") },
+            "",
+            ConsistencyLevel::Default,
+            t0 + Duration::from_millis(3),
+        );
+        core.take_outgoing();
+        let vv = VersionedValue::new(Value::from("v"), 7);
+        core.on_msg(
+            NetMsg::ClientResp(Response::ok(rid, RespBody::Value(vv.clone()))),
+            t0 + Duration::from_millis(4),
+        );
+        // Read of an absent key: NotFound is a successful "no value".
+        let rid = core.begin(
+            Op::Get { key: Key::from("missing") },
+            "",
+            ConsistencyLevel::Default,
+            t0 + Duration::from_millis(5),
+        );
+        core.take_outgoing();
+        core.on_msg(
+            NetMsg::ClientResp(Response::err(rid, KvError::NotFound)),
+            t0 + Duration::from_millis(6),
+        );
+
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].client, ClientId(1));
+        assert!(matches!(evs[0].op, HistoryOp::Put { .. }));
+        assert_eq!(evs[0].outcome, HistoryOutcome::Ok { value: None });
+        assert!(evs[0].inv_tick < evs[0].seq, "invocation precedes response");
+        assert!(evs[0].seq < evs[1].inv_tick, "sequential ops do not overlap");
+        assert_eq!(
+            evs[1].outcome,
+            HistoryOutcome::Ok {
+                value: Some(vv.clone())
+            }
+        );
+        assert_eq!(evs[2].outcome, HistoryOutcome::Ok { value: None });
+        assert!(matches!(evs[2].op, HistoryOp::Get { .. }));
+    }
+
+    #[test]
+    fn history_marks_timed_out_writes_ambiguous() {
+        let rec = HistoryRecorder::new();
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_history(rec.clone())
+            .with_request_timeout(Duration::from_millis(10))
+            .with_max_attempts(1);
+        core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        let mut t = now();
+        for _ in 0..50 {
+            t += Duration::from_millis(25);
+            if !core.on_tick(t).is_empty() {
+                break;
+            }
+            core.take_outgoing();
+        }
+        let evs = rec.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].outcome, HistoryOutcome::Ambiguous);
+    }
+
+    #[test]
+    fn debug_stale_reads_replays_first_observation() {
+        let rec = HistoryRecorder::new();
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_history(rec.clone())
+            .with_debug_stale_reads();
+        let old = VersionedValue::new(Value::from("old"), 1);
+        let new = VersionedValue::new(Value::from("new"), 2);
+        for served in [&old, &new] {
+            let rid = core.begin(
+                Op::Get { key: Key::from("k") },
+                "",
+                ConsistencyLevel::Default,
+                now(),
+            );
+            core.take_outgoing();
+            let comps = core.on_msg(
+                NetMsg::ClientResp(Response::ok(rid, RespBody::Value((*served).clone()))),
+                now(),
+            );
+            // Both reads surface the first-ever value.
+            assert_eq!(comps[0].result, Ok(RespBody::Value(old.clone())));
+        }
+        let evs = rec.events();
+        assert_eq!(evs[1].outcome, HistoryOutcome::Ok { value: Some(old) });
     }
 }

@@ -23,7 +23,7 @@ use bespokv_runtime::{Actor, Addr, Context, CostModel, Event};
 use bespokv_types::{
     Consistency, Duration, KvError, NodeId, RequestId, ShardId, ShardInfo, Topology, Version,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Timer tokens.
@@ -66,6 +66,9 @@ pub struct ControletConfig {
     /// rejected with `WrongNode`. Clients may then send requests to *any*
     /// controlet.
     pub p2p_forwarding: bool,
+    /// Consistency-oracle sink: when set, every datalet apply is recorded
+    /// (test harness plumbing; `None` in production configurations).
+    pub recorder: Option<bespokv_types::HistoryRecorder>,
 }
 
 impl ControletConfig {
@@ -82,6 +85,7 @@ impl ControletConfig {
             prop_flush_every: Duration::from_millis(2),
             log_poll_every: Duration::from_millis(2),
             p2p_forwarding: false,
+            recorder: None,
         }
     }
 }
@@ -256,7 +260,18 @@ pub struct Controlet {
     /// Requests this controlet relayed to another controlet (P2P routing):
     /// rid -> original client.
     pub(crate) relayed: HashMap<RequestId, Addr>,
+    /// Reply cache for completed writes: a client retry of a write we
+    /// already acked must be answered from here, not executed again — a
+    /// re-execution would commit the same payload under a fresh version
+    /// and resurrect it over writes that landed in between.
+    pub(crate) done_writes: HashMap<RequestId, Response>,
+    /// FIFO eviction order for `done_writes` (bounded memory).
+    pub(crate) done_write_order: VecDeque<RequestId>,
 }
+
+/// Completed-write reply cache capacity. Only needs to outlive a client's
+/// retry window (a handful of seconds), so a small bound suffices.
+const DONE_WRITE_CACHE: usize = 1024;
 
 impl Controlet {
     /// Creates a controlet that learns its configuration from the
@@ -285,6 +300,8 @@ impl Controlet {
             transition: None,
             cluster_map: None,
             relayed: HashMap::new(),
+            done_writes: HashMap::new(),
+            done_write_order: VecDeque::new(),
         }
     }
 
@@ -376,6 +393,17 @@ impl Controlet {
                 let _ = self.datalet.del(&entry.table, &entry.key, entry.version);
             }
         }
+        if let Some(rec) = &self.cfg.recorder {
+            rec.record_apply(bespokv_types::ApplyEvent {
+                node: self.cfg.node,
+                shard: self.cfg.shard,
+                table: entry.table.clone(),
+                key: entry.key.clone(),
+                value: entry.value.clone(),
+                version: entry.version,
+                at: ctx.now(),
+            });
+        }
         ctx.charge(cost);
     }
 
@@ -399,6 +427,16 @@ impl Controlet {
     }
 
     pub(crate) fn respond(&mut self, reply: ReplyPath, resp: Response, ctx: &mut Context) {
+        if matches!(resp.result, Ok(RespBody::Done))
+            && self.done_writes.insert(resp.id, resp.clone()).is_none()
+        {
+            self.done_write_order.push_back(resp.id);
+            if self.done_write_order.len() > DONE_WRITE_CACHE {
+                if let Some(old) = self.done_write_order.pop_front() {
+                    self.done_writes.remove(&old);
+                }
+            }
+        }
         match reply {
             ReplyPath::Client(addr) => ctx.send(addr, NetMsg::ClientResp(resp)),
             ReplyPath::Relay(addr) => {

@@ -21,6 +21,15 @@ use bespokv_types::{
 impl Controlet {
     /// Entry point for a client request (or a forwarded one via `reply`).
     pub(crate) fn handle_client(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
+        // Exactly-once across client retries: a write this controlet
+        // already acked is answered from the reply cache, never executed
+        // again (see `done_writes`).
+        if matches!(req.op, Op::Put { .. } | Op::Del { .. }) {
+            if let Some(resp) = self.done_writes.get(&req.id).cloned() {
+                self.respond(reply, resp, ctx);
+                return;
+            }
+        }
         if !self.serving || self.recovery.is_some() {
             let id = req.id;
             self.reply_err(reply, id, KvError::NotServing, ctx);
@@ -521,6 +530,51 @@ impl Controlet {
             self.reply_err(reply, id, KvError::Rejected("no DLM configured".into()), ctx);
             return;
         };
+        // Client retry of a write still in flight: re-acquiring the lock
+        // would assign a second fencing token and apply the same payload
+        // twice (the second application resurrects it over writes that
+        // landed in between). Refresh the reply path; if the fan-out is
+        // already running, re-push the entry to peers that have not acked
+        // (the original PeerWrite may have been dropped).
+        if self.pending.contains_key(&req.id) {
+            let p = self.pending.get_mut(&req.id).expect("checked");
+            p.reply = reply;
+            let fencing = p.fencing;
+            let awaiting: Vec<NodeId> = p.awaiting.iter().copied().collect();
+            let pending_req = p.req.clone();
+            if fencing != 0 {
+                if let (Some(entry), Some(info)) =
+                    (Self::entry_for(&pending_req, fencing), self.info.clone())
+                {
+                    for peer in awaiting {
+                        ctx.send(
+                            Self::addr_of(peer),
+                            NetMsg::Repl(ReplMsg::PeerWrite {
+                                shard: self.cfg.shard,
+                                epoch: info.epoch,
+                                rid: req.id,
+                                entry: entry.clone(),
+                            }),
+                        );
+                    }
+                }
+            } else if let Some(key) = pending_req.op.key().cloned() {
+                // Not granted yet — the Lock or its grant may have been
+                // dropped, so re-request. A duplicate request queues behind
+                // the orphaned grant and is promoted when its lease
+                // expires; the Granted handler discards surplus grants.
+                ctx.send(
+                    dlm,
+                    NetMsg::Dlm(DlmMsg::Lock {
+                        key,
+                        owner: self.cfg.node,
+                        rid: req.id,
+                        mode: LockMode::Exclusive,
+                    }),
+                );
+            }
+            return;
+        }
         let Some(key) = req.op.key().cloned() else {
             let id = req.id;
             self.reply_err(reply, id, KvError::Rejected("not a point op".into()), ctx);
@@ -551,6 +605,26 @@ impl Controlet {
             self.serve_local_read(&req, reply, ctx);
             return;
         };
+        // Retry while the shared-lock grant is in flight: refresh the
+        // reply path and re-request (the Lock or its grant may have been
+        // dropped). A surplus grant finds no pending entry — the read was
+        // served under the first one — and is released immediately by the
+        // no-longer-care path in `handle_dlm`.
+        if let Some(p) = self.pending.get_mut(&req.id) {
+            p.reply = reply;
+            if let Some(key) = p.req.op.key().cloned() {
+                ctx.send(
+                    dlm,
+                    NetMsg::Dlm(DlmMsg::Lock {
+                        key,
+                        owner: self.cfg.node,
+                        rid: req.id,
+                        mode: LockMode::Shared,
+                    }),
+                );
+            }
+            return;
+        }
         let Some(key) = req.op.key().cloned() else {
             // Range scans are served locally (the paper locks point ops).
             self.serve_local_read(&req, reply, ctx);
@@ -593,6 +667,22 @@ impl Controlet {
                     }
                     return;
                 };
+                if p.fencing != 0 {
+                    // Duplicate grant (a lock re-request raced an earlier
+                    // grant): executing under a second token would apply
+                    // the write twice. Release the surplus grant.
+                    if let Some(dlm) = self.cfg.dlm {
+                        ctx.send(
+                            dlm,
+                            NetMsg::Dlm(DlmMsg::Unlock {
+                                key,
+                                owner: self.cfg.node,
+                                fencing,
+                            }),
+                        );
+                    }
+                    return;
+                }
                 p.fencing = fencing;
                 let is_write = p.req.op.is_write();
                 if is_write {
@@ -725,6 +815,21 @@ impl Controlet {
             return;
         };
         let rid = req.id;
+        // Client retry while the append is outstanding: the shared log
+        // dedups appends by rid, so re-sending covers a lost Append or
+        // AppendAck without ordering the write twice.
+        if let Some(p) = self.pending.get_mut(&rid) {
+            p.reply = reply;
+            ctx.send(
+                log,
+                NetMsg::Log(LogMsg::Append {
+                    shard: self.cfg.shard,
+                    rid,
+                    entry,
+                }),
+            );
+            return;
+        }
         self.pending.insert(
             rid,
             Pending {

@@ -33,6 +33,8 @@ pub struct TLog {
     appends: AtomicU64,
     /// table name -> striped key index.
     index: RwLock<HashMap<String, Arc<StripedIndex>>>,
+    /// Offset below which no index entry points (advanced by [`TLog::compact`]).
+    trim_floor: AtomicU64,
     own_stats: OwnStats,
 }
 
@@ -65,6 +67,7 @@ impl TLog {
                 DEFAULT_TABLE.to_string(),
                 Arc::new(StripedIndex::new()),
             )])),
+            trim_floor: AtomicU64::new(0),
             own_stats: OwnStats::default(),
         };
         log.replay()?;
@@ -170,6 +173,65 @@ impl TLog {
         }
         self.note_write();
         Ok(())
+    }
+
+    /// Compacts the log: relocates the newest record of every key — live
+    /// values and tombstones alike — to the tail of the device, then
+    /// advances the trim floor past everything older. After compaction no
+    /// index entry references a byte below the floor, so a device with
+    /// front-truncation support could reclaim [`TLog::reclaimable_bytes`];
+    /// replay stays correct even without truncation because each relocated
+    /// record is the last occurrence of its key in the log. Tombstones are
+    /// relocated, not dropped: their versions must keep guarding against
+    /// stale resurrections after a replay. Returns the new trim floor.
+    pub fn compact(&self) -> KvResult<u64> {
+        // Everything below this offset is superseded once its key's newest
+        // record has been rewritten above it. Concurrent writers only ever
+        // append at or past it, so they cannot dip below the floor.
+        let floor = self.device.len();
+        let tables: Vec<(String, Arc<StripedIndex>)> = self
+            .index
+            .read()
+            .iter()
+            .map(|(name, idx)| (name.clone(), Arc::clone(idx)))
+            .collect();
+        for (name, idx) in tables {
+            for stripe in &idx.stripes {
+                // Stripe write lock pins each key's entry across the
+                // read-old / append-new / repoint sequence, exactly like a
+                // normal write.
+                let mut m = stripe.write();
+                for (key, e) in m.iter_mut() {
+                    if e.offset >= floor {
+                        continue; // written (or already relocated) above the floor
+                    }
+                    let value = if e.live {
+                        let raw = self.device.read_at(e.offset, e.len as usize)?;
+                        crate::record::decode(&raw)?.value
+                    } else {
+                        None
+                    };
+                    let (offset, len) = self.append_record(&name, key, value.as_ref(), e.version)?;
+                    e.offset = offset;
+                    e.len = len;
+                }
+            }
+        }
+        self.trim_floor.fetch_max(floor, Ordering::AcqRel);
+        Ok(floor)
+    }
+
+    /// Offset of the oldest byte still referenced by the index; everything
+    /// below it is garbage. Advanced only by [`TLog::compact`] (volatile:
+    /// a reopen replays the whole device and resets it to zero).
+    pub fn trim_floor(&self) -> u64 {
+        self.trim_floor.load(Ordering::Acquire)
+    }
+
+    /// Bytes a front-truncating device could reclaim right now: every
+    /// record below the trim floor is superseded or relocated.
+    pub fn reclaimable_bytes(&self) -> u64 {
+        self.trim_floor()
     }
 
     fn note_write(&self) {
@@ -465,6 +527,98 @@ mod tests {
         }
         assert_eq!(dst.len(), 29);
         assert_eq!(dst.get(DEFAULT_TABLE, &Key::from("k03")), Err(KvError::NotFound));
+    }
+
+    #[test]
+    fn compact_reclaims_overwritten_records() {
+        let d = TLog::in_memory();
+        for v in 1..=20u64 {
+            d.put(DEFAULT_TABLE, Key::from("hot"), Value::from(format!("v{v}")), v)
+                .unwrap();
+        }
+        d.put(DEFAULT_TABLE, Key::from("cold"), Value::from("c"), 1)
+            .unwrap();
+        let before = d.device.len();
+        assert_eq!(d.reclaimable_bytes(), 0);
+        let floor = d.compact().unwrap();
+        // Every pre-compaction byte is below the floor: 19 dead versions of
+        // "hot" plus the relocated newest records of both keys.
+        assert_eq!(floor, before);
+        assert_eq!(d.trim_floor(), before);
+        assert_eq!(d.reclaimable_bytes(), before);
+        // Reads come from the relocated records, unchanged.
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("hot")).unwrap(),
+            VersionedValue::new(Value::from("v20"), 20)
+        );
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("cold")).unwrap().value,
+            Value::from("c")
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn compact_preserves_tombstones_across_replay() {
+        let dev = Arc::new(MemDevice::new());
+        {
+            let d = TLog::open(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never)
+                .unwrap();
+            d.put(DEFAULT_TABLE, Key::from("a"), Value::from("1"), 1).unwrap();
+            d.put(DEFAULT_TABLE, Key::from("b"), Value::from("2"), 2).unwrap();
+            d.del(DEFAULT_TABLE, &Key::from("a"), 3).unwrap();
+            d.compact().unwrap();
+        }
+        // The relocated records are the last occurrence of each key, so a
+        // replay (which reads from offset 0; the floor is volatile) still
+        // lands on them — including the tombstone, which must keep "a" dead.
+        let d2 = TLog::open(dev as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+        assert_eq!(d2.get(DEFAULT_TABLE, &Key::from("a")), Err(KvError::NotFound));
+        assert_eq!(d2.get(DEFAULT_TABLE, &Key::from("b")).unwrap().value, Value::from("2"));
+        assert_eq!(d2.len(), 1);
+        // The tombstone's version survived relocation: an old write that
+        // raced the delete still loses.
+        d2.put(DEFAULT_TABLE, Key::from("a"), Value::from("stale"), 2)
+            .unwrap();
+        assert_eq!(d2.get(DEFAULT_TABLE, &Key::from("a")), Err(KvError::NotFound));
+        assert_eq!(d2.stats().stale_writes, 1);
+    }
+
+    #[test]
+    fn trim_floor_is_monotonic_across_compactions() {
+        let d = TLog::in_memory();
+        assert_eq!(d.compact().unwrap(), 0); // empty log: nothing to do
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("v1"), 1).unwrap();
+        let f1 = d.compact().unwrap();
+        assert!(f1 > 0);
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("v2"), 2).unwrap();
+        let f2 = d.compact().unwrap();
+        // The second floor covers the first relocation and the new write.
+        assert!(f2 > f1);
+        assert_eq!(d.trim_floor(), f2);
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("k")).unwrap(),
+            VersionedValue::new(Value::from("v2"), 2)
+        );
+    }
+
+    #[test]
+    fn recompaction_copies_exactly_the_live_set_forward() {
+        let d = TLog::in_memory();
+        d.put(DEFAULT_TABLE, Key::from("k"), Value::from("v"), 1).unwrap();
+        let f1 = d.compact().unwrap();
+        let len_after_first = d.device.len();
+        let live_bytes = len_after_first - f1; // one relocated record
+        // Copy-forward GC: a second pass relocates the (already compacted)
+        // live set once more — it appends exactly the live bytes, no more,
+        // and the floor lands on the pre-pass tail.
+        let f2 = d.compact().unwrap();
+        assert_eq!(f2, len_after_first);
+        assert_eq!(d.device.len(), len_after_first + live_bytes);
+        assert_eq!(
+            d.get(DEFAULT_TABLE, &Key::from("k")).unwrap(),
+            VersionedValue::new(Value::from("v"), 1)
+        );
     }
 
     #[test]

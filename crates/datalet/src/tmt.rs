@@ -40,6 +40,11 @@ impl TableStore for OrderedMap {
     }
 
     fn range(&self, start: &Key, end: &Key, limit: usize) -> Option<Vec<(Key, VersionedValue)>> {
+        // BTreeMap::range panics on a reversed window; a client-supplied
+        // scan must degrade to "no hits" instead of taking the store down.
+        if start >= end {
+            return Some(Vec::new());
+        }
         let m = self.map.read();
         let it = m
             .range((Bound::Included(start.clone()), Bound::Excluded(end.clone())))
@@ -195,6 +200,61 @@ mod tests {
             .scan(DEFAULT_TABLE, &Key::from("x"), &Key::from("y"), 0)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn scan_degenerate_windows() {
+        let d = seeded();
+        // Empty window: start == end is [x, x) — nothing qualifies.
+        assert!(d
+            .scan(DEFAULT_TABLE, &Key::from("banana"), &Key::from("banana"), 0)
+            .unwrap()
+            .is_empty());
+        // Reversed window: must be empty, not a BTreeMap::range panic.
+        assert!(d
+            .scan(DEFAULT_TABLE, &Key::from("z"), &Key::from("a"), 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn scan_single_key_window() {
+        let d = seeded();
+        // End is exclusive, so [banana, banana\0) selects exactly one key.
+        let hits = d
+            .scan(DEFAULT_TABLE, &Key::from("banana"), &Key::from("banana\0"), 0)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, Key::from("banana"));
+        // And a window ending exactly on a stored key excludes it.
+        let hits = d
+            .scan(DEFAULT_TABLE, &Key::from("apple"), &Key::from("banana"), 0)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, Key::from("apple"));
+    }
+
+    #[test]
+    fn scan_tombstoned_boundary_keys() {
+        let d = seeded();
+        // Tombstone both ends of the window; interior keys must survive.
+        d.del(DEFAULT_TABLE, &Key::from("apple"), 9).unwrap();
+        d.del(DEFAULT_TABLE, &Key::from("elderberry"), 9).unwrap();
+        let hits = d
+            .scan(DEFAULT_TABLE, &Key::from("apple"), &Key::from("elderberry\0"), 0)
+            .unwrap();
+        let keys: Vec<_> = hits.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(
+            keys,
+            vec![Key::from("banana"), Key::from("cherry"), Key::from("date")]
+        );
+        // The limit counts live hits, not tombstones: deleting the first
+        // key in the window must not eat a limit slot.
+        let hits = d
+            .scan(DEFAULT_TABLE, &Key::from("a"), &Key::from("z"), 2)
+            .unwrap();
+        let keys: Vec<_> = hits.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec![Key::from("banana"), Key::from("cherry")]);
     }
 
     #[test]

@@ -278,3 +278,115 @@ fn truncation_is_safe_at_every_offset() {
         }
     }
 }
+
+/// A truncated frame stream is never an error and never yields a frame:
+/// the decoder reports "need more" at EVERY cut point, and feeding the
+/// missing remainder later completes the stream exactly.
+#[test]
+fn truncated_frames_resume_cleanly() {
+    let mut rng = StdRng::seed_from_u64(0x7211c);
+    for _ in 0..64 {
+        let payloads: Vec<Vec<u8>> = (0..rng.gen_range(1..4))
+            .map(|_| rand_bytes(&mut rng, 96))
+            .collect();
+        let mut wire = BytesMut::new();
+        for p in &payloads {
+            encode_frame(p, &mut wire);
+        }
+        // Cut somewhere strictly inside the final frame (possibly inside
+        // its 4-byte length prefix).
+        let last_start = wire.len() - (payloads.last().unwrap().len() + 4);
+        let cut = rng.gen_range(last_start..wire.len());
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..cut]);
+        let mut got = Vec::new();
+        while let Some(frame) = dec.next_frame().unwrap() {
+            got.push(frame.to_vec());
+        }
+        assert_eq!(got, payloads[..payloads.len() - 1].to_vec());
+        assert!(
+            dec.pending() > 0 || cut == last_start,
+            "a partial frame must be held as pending bytes"
+        );
+        // Resume: the remainder completes the stream with no loss.
+        dec.feed(&wire[cut..]);
+        let tail_frame = dec.next_frame().unwrap().expect("final frame");
+        assert_eq!(tail_frame.to_vec(), *payloads.last().unwrap());
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.pending(), 0);
+    }
+}
+
+/// Length-prefixed fields are u32-sized, so keys and values far beyond
+/// typical sizes must round-trip bit-exactly through the wire format, the
+/// framer, and the pipelined parser (boundary sizes included).
+#[test]
+fn max_length_keys_and_values_roundtrip() {
+    let sizes = [0usize, 1, 255, 256, 65_535, 65_536, 1 << 20];
+    for (i, &ks) in sizes.iter().enumerate() {
+        // Value size walks the sizes in reverse so every pairing differs.
+        let vs = sizes[sizes.len() - 1 - i];
+        let key: Vec<u8> = (0..ks).map(|j| (j % 251) as u8).collect();
+        let value: Vec<u8> = (0..vs).map(|j| (j % 247) as u8).collect();
+        let req = Request {
+            id: RequestId::compose(ClientId(9), i as u32),
+            table: "t".into(),
+            op: Op::Put {
+                key: Key::from(key),
+                value: Value::from(value),
+            },
+            level: ConsistencyLevel::Default,
+        };
+        let bytes = req.to_bytes();
+        let back = Request::from_bytes(&bytes).unwrap();
+        assert_eq!(back, req, "key={ks}B value={vs}B");
+        assert_eq!(back.to_bytes(), bytes);
+
+        // Through the framer + parser as one oversized pipelined message.
+        let mut parser = BinaryParser::new();
+        let mut wire = BytesMut::new();
+        parser.encode_request(&req, &mut wire);
+        let mut server = BinaryParser::new();
+        // Feed in coarse chunks so large frames cross many feeds.
+        let mut got = Vec::new();
+        for piece in wire.chunks(8192) {
+            server.feed(piece);
+            while let Some(r) = server.next_request().unwrap() {
+                got.push(r);
+            }
+        }
+        assert_eq!(got, vec![req]);
+    }
+}
+
+/// Exhaustive split-point corpus for the zero-copy decoder's frozen/tail
+/// boundary: two frames, fed in three pieces cut at every (i, j) pair,
+/// with a drain between feeds so the first cut seals a frozen region and
+/// the later cuts land in the tail. Catches off-by-ones in the header
+/// peek across the boundary and in the merge path.
+#[test]
+fn frame_decoder_split_corpus_covers_frozen_tail_boundary() {
+    let payloads = [b"hello".to_vec(), (0u8..=200).collect::<Vec<u8>>()];
+    let mut wire = BytesMut::new();
+    for p in &payloads {
+        encode_frame(p, &mut wire);
+    }
+    let n = wire.len();
+    for i in 0..=n {
+        for j in i..=n {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in [&wire[..i], &wire[i..j], &wire[j..]] {
+                dec.feed(piece);
+                // Draining between feeds freezes the undecoded remainder,
+                // so the next feed's bytes straddle the boundary.
+                while let Some(frame) = dec.next_frame().unwrap() {
+                    got.push(frame.to_vec());
+                }
+            }
+            assert_eq!(got, payloads, "split at ({i}, {j})");
+            assert_eq!(dec.pending(), 0, "split at ({i}, {j})");
+        }
+    }
+}

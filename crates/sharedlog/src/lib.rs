@@ -11,8 +11,8 @@
 
 use bespokv_proto::{LogEntry, LogMsg, NetMsg};
 use bespokv_runtime::{Actor, Context, Event};
-use bespokv_types::{Duration, ShardId};
-use std::collections::HashMap;
+use bespokv_types::{Duration, RequestId, ShardId};
+use std::collections::{HashMap, VecDeque};
 
 /// One shard's ordered log.
 pub struct LogCore {
@@ -90,7 +90,17 @@ impl LogCore {
 #[derive(Default)]
 pub struct SharedLogActor {
     logs: HashMap<ShardId, LogCore>,
+    /// Append dedup: rid -> assigned sequence, so a retried `Append`
+    /// (lost request or lost ack) re-acks the original position instead of
+    /// ordering the same write twice.
+    appended: HashMap<RequestId, u64>,
+    /// FIFO eviction order for `appended` (bounded memory; only needs to
+    /// outlive a controlet's retry window).
+    appended_order: VecDeque<RequestId>,
 }
+
+/// Append-dedup cache capacity.
+const APPEND_CACHE: usize = 4096;
 
 impl SharedLogActor {
     /// Creates an empty service.
@@ -100,6 +110,22 @@ impl SharedLogActor {
 
     fn log(&mut self, shard: ShardId) -> &mut LogCore {
         self.logs.entry(shard).or_default()
+    }
+
+    /// Appends once per rid; replays the original sequence on retries.
+    fn append_dedup(&mut self, shard: ShardId, rid: RequestId, entry: LogEntry) -> u64 {
+        if let Some(&seq) = self.appended.get(&rid) {
+            return seq;
+        }
+        let seq = self.log(shard).append(entry);
+        self.appended.insert(rid, seq);
+        self.appended_order.push_back(rid);
+        if self.appended_order.len() > APPEND_CACHE {
+            if let Some(old) = self.appended_order.pop_front() {
+                self.appended.remove(&old);
+            }
+        }
+        seq
     }
 }
 
@@ -112,7 +138,7 @@ impl Actor for SharedLogActor {
             NetMsg::Log(LogMsg::Append { shard, rid, entry }) => {
                 // Appending is a sequencer bump + a buffer push.
                 ctx.charge(Duration::from_micros(2));
-                let seq = self.log(shard).append(entry);
+                let seq = self.append_dedup(shard, rid, entry);
                 ctx.send(from, NetMsg::Log(LogMsg::AppendAck { shard, rid, seq }));
             }
             NetMsg::Log(LogMsg::Fetch {
@@ -230,6 +256,7 @@ mod tests {
 
         struct Appender {
             log: Addr,
+            client: u32,
             count: u32,
             acks: Vec<u64>,
         }
@@ -242,7 +269,10 @@ mod tests {
                                 self.log,
                                 NetMsg::Log(LogMsg::Append {
                                     shard: ShardId(0),
-                                    rid: RequestId::compose(ClientId(1), i),
+                                    // Distinct client ids: rids are globally
+                                    // unique, and the log dedups appends on
+                                    // them (a collision reads as a retry).
+                                    rid: RequestId::compose(ClientId(self.client), i),
                                     entry: LogEntry {
                                         table: String::new(),
                                         key: Key::from(format!("k{i}")),
@@ -269,11 +299,13 @@ mod tests {
         let log = sim.add_actor(Box::new(SharedLogActor::new()));
         let a1 = sim.add_actor(Box::new(Appender {
             log,
+            client: 1,
             count: 20,
             acks: vec![],
         }));
         let a2 = sim.add_actor(Box::new(Appender {
             log,
+            client: 2,
             count: 20,
             acks: vec![],
         }));
@@ -283,5 +315,22 @@ mod tests {
         all.sort_unstable();
         // Global order: every sequence 1..=40 assigned exactly once.
         assert_eq!(all, (1..=40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn duplicate_append_replays_the_original_sequence() {
+        use bespokv_types::{ClientId, RequestId};
+
+        let mut actor = SharedLogActor::new();
+        let rid = RequestId::compose(ClientId(7), 1);
+        let s1 = actor.append_dedup(ShardId(0), rid, entry("k"));
+        // A retried append (lost request or lost ack) must not order the
+        // write a second time.
+        let s2 = actor.append_dedup(ShardId(0), rid, entry("k"));
+        assert_eq!(s1, s2);
+        assert_eq!(actor.log(ShardId(0)).retained(), 1);
+        // A different rid still appends normally.
+        let s3 = actor.append_dedup(ShardId(0), RequestId::compose(ClientId(7), 2), entry("k"));
+        assert_eq!(s3, s1 + 1);
     }
 }

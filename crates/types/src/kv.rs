@@ -17,7 +17,7 @@ use std::fmt;
 pub struct Key(pub Bytes);
 
 /// A value in the store. Opaque bytes.
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Value(pub Bytes);
 
 /// Monotonic version number for conflict resolution and replica reconciliation.

@@ -11,6 +11,7 @@
 //! wire-level vocabulary without depending on each other.
 
 pub mod error;
+pub mod history;
 pub mod ids;
 pub mod kv;
 pub mod mode;
@@ -18,6 +19,7 @@ pub mod shardmap;
 pub mod time;
 
 pub use error::{KvError, KvResult};
+pub use history::{ApplyEvent, HistoryEvent, HistoryOp, HistoryOutcome, HistoryRecorder};
 pub use ids::{ClientId, NodeId, RequestId, ShardId};
 pub use kv::{Key, Value, Version, VersionedValue};
 pub use mode::{Consistency, ConsistencyLevel, Mode, Topology};

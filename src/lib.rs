@@ -7,6 +7,7 @@
 
 pub use bespokv;
 pub use bespokv_baselines as baselines;
+pub use bespokv_checker as checker;
 pub use bespokv_cluster as cluster;
 pub use bespokv_coordinator as coordinator;
 pub use bespokv_datalet as datalet;

@@ -1,0 +1,314 @@
+//! Consistency-oracle sweep (the standing correctness gate): every mode the
+//! paper evaluates runs a mixed workload under seeded fault injection with a
+//! kill + rejoin schedule, the full history is recorded, and the checker
+//! decides whether the advertised guarantee actually held:
+//!
+//! * SC modes (MS+SC, AA+SC): the recorded history must be linearizable,
+//!   and the per-session guarantees (monotonic reads, read-your-writes)
+//!   must hold as a corollary.
+//! * EC modes (MS+EC, AA+EC): after the workload stops and the anti-entropy
+//!   machinery drains, all replicas must converge to identical live state.
+//! * MS+EC -> MS+SC transition: per-request Strong operations must stay
+//!   linearizable *across* the switch (the paper promises no guarantee
+//!   regression during transitions), and the replicas must converge.
+//!
+//! A final test injects a deliberate client-side stale-read bug and asserts
+//! the oracle flags it — proof the harness has teeth, not just green lights.
+
+use bespokv_suite::checker::{
+    check_convergence, check_linearizable, check_sessions, replica_live_map,
+};
+use bespokv_suite::cluster::script::{del, get, put, ScriptClient, Step};
+use bespokv_suite::cluster::{ClusterSpec, SimCluster};
+use bespokv_suite::coordinator::{CoordConfig, CoordinatorActor};
+use bespokv_suite::runtime::{FaultPlan, LinkFaults};
+use bespokv_suite::types::{
+    ApplyEvent, Consistency, ConsistencyLevel, Duration, HistoryEvent, Key, Mode, NodeId,
+    ShardId, Value,
+};
+use std::collections::BTreeMap;
+
+/// Fixed seed matrix; CI runs all of them for every mode.
+const SEEDS: [u64; 4] = [3, 5, 9, 21];
+const DROP_P: f64 = 0.02;
+
+/// Keys the workload cycles over (bounded so the per-key search stays small).
+const KEYS: usize = 6;
+
+fn k(i: usize) -> String {
+    format!("k{}", i % KEYS)
+}
+
+fn oracle_spec(mode: Mode, seed: u64) -> ClusterSpec {
+    ClusterSpec::new(1, 3, mode)
+        .with_standbys(1)
+        .with_coord(CoordConfig {
+            failure_timeout: Duration::from_millis(1200),
+            check_every: Duration::from_millis(200),
+        })
+        .with_faults(FaultPlan::new(seed).with_default(LinkFaults::lossy(DROP_P)))
+        .with_history()
+}
+
+struct RunArtifacts {
+    events: Vec<HistoryEvent>,
+    applies: Vec<ApplyEvent>,
+    replicas: Vec<(NodeId, BTreeMap<Key, Value>)>,
+    acked_writes: usize,
+}
+
+/// One kill + rejoin scenario: two writers and a reader share a small
+/// keyspace while node 0 is crashed mid-workload under packet loss; after
+/// the coordinator repairs onto the standby, the dead node is restarted as
+/// a fresh standby (rejoin). Every operation is recorded.
+fn run_fault_scenario(mode: Mode, seed: u64) -> RunArtifacts {
+    let mut cluster = SimCluster::build(oracle_spec(mode, seed));
+    // Unique values per (client, op) so the checker can anchor writes.
+    let writer_a = cluster.add_script_client(
+        (0..20).map(|i| put(&k(i), &format!("a{i}"))).collect(),
+    );
+    let writer_b = cluster.add_script_client(
+        (0..14)
+            .map(|i| {
+                if i % 7 == 6 {
+                    del(&k(i))
+                } else {
+                    put(&k(i), &format!("b{i}"))
+                }
+            })
+            .collect(),
+    );
+    let reader = cluster.add_script_client((0..24).map(|i| get(&k(i))).collect());
+
+    cluster.run_for(Duration::from_millis(400));
+    cluster.kill_node(NodeId(0));
+    // Failure detection + repair + recovery + workload retries.
+    cluster.run_for(Duration::from_secs(12));
+    // Rejoin: the crashed node comes back empty and re-registers as standby.
+    cluster.restart_as_standby(NodeId(0));
+    // Drain: scripts finish and EC anti-entropy catches every replica up.
+    cluster.run_for(Duration::from_secs(10));
+
+    for (name, addr) in [("writer_a", writer_a), ("writer_b", writer_b), ("reader", reader)] {
+        let c = cluster.sim.actor_mut::<ScriptClient>(addr);
+        assert!(
+            c.done(),
+            "{mode:?} seed {seed}: {name} wedged at {}/{}",
+            c.results.len(),
+            c.script_len()
+        );
+    }
+    let acked_writes = [writer_a, writer_b]
+        .iter()
+        .map(|&a| {
+            let c = cluster.sim.actor_mut::<ScriptClient>(a);
+            c.results.iter().filter(|r| r.is_ok()).count()
+        })
+        .sum();
+
+    let recorder = cluster.history().expect("history enabled").clone();
+    let replicas = cluster
+        .dump_replicas(ShardId(0))
+        .into_iter()
+        .map(|(node, entries)| (node, replica_live_map(entries)))
+        .collect();
+    RunArtifacts {
+        events: recorder.events(),
+        applies: recorder.applies(),
+        replicas,
+        acked_writes,
+    }
+}
+
+fn check_mode_under_faults(mode: Mode) {
+    for seed in SEEDS {
+        let run = run_fault_scenario(mode, seed);
+        // During the outage window, steps burn their retry budget quickly
+        // and fail back to the script (which marches on), so only a floor
+        // is asserted: enough acked writes to prove the cluster recovered
+        // and the history is meaningful.
+        assert!(
+            run.acked_writes >= 8,
+            "{mode:?} seed {seed}: too few acked writes ({}) — cluster never recovered",
+            run.acked_writes
+        );
+        assert!(
+            run.events.len() >= 40,
+            "{mode:?} seed {seed}: history suspiciously small ({} events)",
+            run.events.len()
+        );
+        match mode.consistency {
+            Consistency::Strong => {
+                let lin = check_linearizable(&run.events, &BTreeMap::new());
+                assert!(
+                    lin.ok(),
+                    "{mode:?} seed {seed}: history not linearizable: {:#?}",
+                    lin.violations
+                );
+                assert!(lin.ops > 0, "{mode:?} seed {seed}: nothing checked");
+                let sess = check_sessions(&run.events, &run.applies);
+                assert!(
+                    sess.ok(),
+                    "{mode:?} seed {seed}: session guarantees broken: {sess:#?}"
+                );
+                assert!(sess.reads_checked > 0);
+            }
+            Consistency::Eventual => {
+                let conv = check_convergence(&run.replicas);
+                assert_eq!(conv.replicas, 3, "{mode:?} seed {seed}: wrong replica count");
+                assert!(
+                    conv.ok(),
+                    "{mode:?} seed {seed}: replicas diverged after quiescence: {:#?}",
+                    conv.divergent
+                );
+                assert!(conv.keys > 0, "{mode:?} seed {seed}: empty final state");
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_ms_sc_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::MS_SC);
+}
+
+#[test]
+fn oracle_ms_ec_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::MS_EC);
+}
+
+#[test]
+fn oracle_aa_sc_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::AA_SC);
+}
+
+#[test]
+fn oracle_aa_ec_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::AA_EC);
+}
+
+/// MS+EC -> MS+SC transition with history: operations issued before, during
+/// and after the switch. Writes and per-request Strong reads serialize at
+/// the master (whose datalet the new head inherits), so that sub-history
+/// must be linearizable end-to-end — the "no guarantee regression" claim.
+/// Default-consistency reads stay EC and are only required to converge.
+#[test]
+fn oracle_ms_ec_to_ms_sc_transition() {
+    let mut cluster = SimCluster::build(ClusterSpec::new(1, 3, Mode::MS_EC).with_history());
+    let seed: Vec<Step> = (0..KEYS)
+        .flat_map(|i| {
+            vec![
+                put(&k(i), &format!("seed{i}")),
+                get(&k(i)).with_level(ConsistencyLevel::Strong),
+            ]
+        })
+        .collect();
+    let seeder = cluster.add_script_client(seed);
+    cluster.run_for(Duration::from_secs(2));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+
+    let new_nodes = cluster.start_transition(ShardId(0), Mode::MS_SC);
+    let during = cluster.add_script_client(
+        (0..8)
+            .flat_map(|i| {
+                vec![
+                    put(&k(i), &format!("mid{i}")),
+                    get(&k(i)).with_level(ConsistencyLevel::Strong),
+                    get(&k(i)), // EC read: liveness only
+                ]
+            })
+            .collect(),
+    );
+    cluster.run_for(Duration::from_secs(4));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(during).done());
+
+    // Committed: new mode, new replica set.
+    let info = cluster
+        .sim
+        .actor_mut::<CoordinatorActor>(cluster.coordinator)
+        .core()
+        .map()
+        .shard(ShardId(0))
+        .unwrap()
+        .clone();
+    assert_eq!(info.mode, Mode::MS_SC);
+    assert_eq!(info.replicas, new_nodes);
+
+    let post = cluster.add_script_client(
+        (0..KEYS)
+            .flat_map(|i| vec![put(&k(i), &format!("post{i}")), get(&k(i))])
+            .collect(),
+    );
+    cluster.run_for(Duration::from_secs(4));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(post).done());
+
+    let recorder = cluster.history().expect("history enabled").clone();
+    // The linearizable core: every write, plus reads that were Strong by
+    // request or ran after the commit to MS+SC (where Default = Strong).
+    let strong_core: Vec<HistoryEvent> = recorder
+        .events()
+        .into_iter()
+        .filter(|e| e.op.is_write() || e.level == ConsistencyLevel::Strong)
+        .collect();
+    let lin = check_linearizable(&strong_core, &BTreeMap::new());
+    assert!(
+        lin.ok(),
+        "strong ops regressed across the MS+EC -> MS+SC transition: {:#?}",
+        lin.violations
+    );
+    assert!(lin.ops >= 2 * KEYS, "transition history too thin");
+
+    let replicas: Vec<(NodeId, BTreeMap<Key, Value>)> = cluster
+        .dump_replicas(ShardId(0))
+        .into_iter()
+        .map(|(node, entries)| (node, replica_live_map(entries)))
+        .collect();
+    let conv = check_convergence(&replicas);
+    assert!(
+        conv.ok(),
+        "replicas diverged across the transition: {:#?}",
+        conv.divergent
+    );
+    assert_eq!(conv.keys, KEYS, "every key survived the transition");
+}
+
+/// Teeth test: a client with the dev-only stale-read bug (repeated Gets
+/// replay the first observed value) must produce a history the
+/// linearizability checker rejects — on a cluster that is otherwise
+/// perfectly healthy, so the only possible culprit is the injected bug.
+#[test]
+fn oracle_catches_injected_stale_read_bug() {
+    let mut cluster = SimCluster::build(ClusterSpec::new(1, 3, Mode::MS_SC).with_history());
+    let buggy = cluster.add_script_client_debug_stale(vec![
+        put("k", "first"),
+        get("k"),
+        put("k", "second"),
+        get("k"), // replays "first": a stale read the oracle must flag
+    ]);
+    cluster.run_for(Duration::from_secs(3));
+    let c = cluster.sim.actor_mut::<ScriptClient>(buggy);
+    assert!(c.done(), "script wedged: {:?}", c.results);
+    assert!(c.results.iter().all(|r| r.is_ok()), "healthy cluster: {:?}", c.results);
+
+    let recorder = cluster.history().expect("history enabled").clone();
+    let lin = check_linearizable(&recorder.events(), &BTreeMap::new());
+    assert!(
+        !lin.ok(),
+        "oracle failed to flag the injected stale read (checker has no teeth)"
+    );
+    assert_eq!(lin.violations[0].key, Key::from("k"));
+
+    // Control: the identical script without the bug passes.
+    let mut cluster = SimCluster::build(ClusterSpec::new(1, 3, Mode::MS_SC).with_history());
+    let clean = cluster.add_script_client(vec![
+        put("k", "first"),
+        get("k"),
+        put("k", "second"),
+        get("k"),
+    ]);
+    cluster.run_for(Duration::from_secs(3));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(clean).done());
+    let recorder = cluster.history().expect("history enabled").clone();
+    let lin = check_linearizable(&recorder.events(), &BTreeMap::new());
+    assert!(lin.ok(), "clean control run must pass: {:#?}", lin.violations);
+}
