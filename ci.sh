@@ -7,6 +7,10 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Benchmarks must keep compiling (criterion harnesses + probe binaries)
+# even though CI doesn't run them.
+cargo bench --no-run -p bespokv-bench
+
 # Consistency oracle: checker unit tests + the full mode x seed sweep
 # (linearizability for SC, convergence for EC, transition, teeth test).
 cargo test -p bespokv-checker -q

@@ -1,0 +1,192 @@
+//! Read-path probe: multi-threaded GET throughput over the live TCP edge,
+//! actor-routed baseline vs the shared-datalet fast path.
+//!
+//! Stands up a real `LiveCluster` (MS+SC, one chain of three), loads keys
+//! through the head's edge, then hammers the *tail* edge with concurrent
+//! pipelined GET clients twice: once with every request relayed through
+//! the controlet actor (`fast_path = false`, the pre-PR serving model)
+//! and once with worker threads serving gated reads straight from the
+//! shared datalet. Prints one JSON object; used to produce
+//! `BENCH_readpath.json`. Run with `cargo run --release --bin readpath`.
+
+use bespokv_cluster::{ClusterSpec, LiveCluster, NodeEdge};
+use bespokv_proto::client::{Op, Request, RespBody};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_runtime::tcp::{ServerOptions, TcpClient, TcpServer};
+use bespokv_types::{ClientId, Key, Mode, NodeId, RequestId, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const KEYS: u32 = 2048;
+const PIPELINE: usize = 64;
+const MEASURE_MS: u64 = 800;
+
+fn key(i: u32) -> Key {
+    Key::from(format!("user{i:012}"))
+}
+
+fn parser_factory() -> Arc<bespokv_runtime::tcp::ParserFactory> {
+    Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>)
+}
+
+/// Loads the dataset through the head's edge (writes always take the
+/// actor path) with deep pipelining so chain group-commit windows overlap.
+fn load(head: &TcpServer) {
+    let mut client =
+        TcpClient::connect(head.local_addr(), Box::new(BinaryParser::new())).unwrap();
+    let mut seq = 0u32;
+    for chunk in (0..KEYS).collect::<Vec<_>>().chunks(PIPELINE) {
+        let reqs: Vec<Request> = chunk
+            .iter()
+            .map(|&i| {
+                seq += 1;
+                Request::new(
+                    RequestId::compose(ClientId(9000), seq),
+                    Op::Put {
+                        key: key(i),
+                        value: Value::from(format!("v{i:028}")),
+                    },
+                )
+            })
+            .collect();
+        for resp in client.call_pipelined(&reqs).unwrap() {
+            assert!(resp.result.is_ok(), "load failed: {:?}", resp.result);
+        }
+    }
+}
+
+/// `threads` closed-loop pipelined GET clients against `addr` for
+/// [`MEASURE_MS`]; returns aggregate ops/sec. Every response is checked —
+/// a throughput number built on errors would be meaningless.
+fn get_throughput(addr: std::net::SocketAddr, threads: u32) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client =
+                    TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+                let mut done = 0u64;
+                let mut seq = 0u32;
+                let mut base = t * 7919;
+                while !stop.load(Ordering::Acquire) {
+                    let reqs: Vec<Request> = (0..PIPELINE as u32)
+                        .map(|n| {
+                            seq += 1;
+                            base = base.wrapping_mul(48271) % 0x7fff_ffff;
+                            Request::new(
+                                RequestId::compose(ClientId(9100 + t), seq),
+                                Op::Get {
+                                    key: key((base.wrapping_add(n * 31)) % KEYS),
+                                },
+                            )
+                        })
+                        .collect();
+                    for resp in client.call_pipelined(&reqs).unwrap() {
+                        match resp.result {
+                            Ok(RespBody::Value(_)) => done += 1,
+                            other => panic!("GET failed: {other:?}"),
+                        }
+                    }
+                }
+                done
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(MEASURE_MS));
+    stop.store(true, Ordering::Release);
+    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Sequential (unpipelined) GET RTT percentiles in microseconds.
+fn get_rtt(addr: std::net::SocketAddr) -> (f64, f64) {
+    let mut client = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+    let mut rtts: Vec<f64> = Vec::with_capacity(5000);
+    for seq in 0..5000u32 {
+        let req = Request::new(
+            RequestId::compose(ClientId(9200), seq),
+            Op::Get { key: key(seq % KEYS) },
+        );
+        let t = Instant::now();
+        client.call(&req).unwrap();
+        rtts.push(t.elapsed().as_nanos() as f64 / 1e3);
+    }
+    rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (rtts[rtts.len() / 2], rtts[rtts.len() * 99 / 100])
+}
+
+fn main() {
+    let mut cluster = LiveCluster::build(
+        ClusterSpec::new(1, 3, Mode::MS_SC).with_fast_path(),
+    );
+    let table = Arc::clone(cluster.fast_path().expect("fast path enabled"));
+
+    // One edge per chain end: writes enter at the head, reads at the tail
+    // (the strong-read replica under MS+SC).
+    let head_edge = NodeEdge::new(
+        NodeId(0),
+        Arc::clone(&table),
+        cluster.rt.register_mailbox(),
+        false,
+    );
+    let tail_edge = NodeEdge::new(
+        NodeId(2),
+        Arc::clone(&table),
+        cluster.rt.register_mailbox(),
+        false,
+    );
+    let pool = ServerOptions {
+        worker_threads: Some(8),
+    };
+    let head_srv = TcpServer::bind_with(
+        "127.0.0.1:0",
+        parser_factory(),
+        head_edge.handler(),
+        pool.clone(),
+    )
+    .unwrap();
+    let tail_srv = TcpServer::bind_with(
+        "127.0.0.1:0",
+        parser_factory(),
+        tail_edge.handler(),
+        pool,
+    )
+    .unwrap();
+
+    load(&head_srv);
+    let addr = tail_srv.local_addr();
+
+    // Baseline: every GET relayed to the single-threaded controlet actor.
+    let base_1t = get_throughput(addr, 1);
+    let base_4t = get_throughput(addr, 4);
+    let (base_p50, base_p99) = get_rtt(addr);
+    assert_eq!(table.total_hits(), 0, "baseline must not touch fast path");
+
+    // Fast path: tail worker threads serve gated reads from the datalet.
+    tail_edge.set_fast_path(true);
+    let fast_1t = get_throughput(addr, 1);
+    let fast_4t = get_throughput(addr, 4);
+    let (fast_p50, fast_p99) = get_rtt(addr);
+    let hits = table.total_hits();
+    let fallbacks = table.total_fallbacks();
+    assert!(hits > 0, "fast path never engaged");
+
+    drop(head_srv);
+    drop(tail_srv);
+    drop(head_edge);
+    drop(tail_edge);
+    cluster.rt.shutdown();
+
+    println!(
+        "{{\"baseline\":{{\"get_qps_1thread\":{base_1t:.0},\"get_qps_4thread\":{base_4t:.0},\
+         \"rtt_p50_us\":{base_p50:.1},\"rtt_p99_us\":{base_p99:.1}}},\
+         \"fast_path\":{{\"get_qps_1thread\":{fast_1t:.0},\"get_qps_4thread\":{fast_4t:.0},\
+         \"rtt_p50_us\":{fast_p50:.1},\"rtt_p99_us\":{fast_p99:.1},\
+         \"hits\":{hits},\"fallbacks\":{fallbacks}}},\
+         \"speedup_4thread\":{:.2}}}",
+        fast_4t / base_4t
+    );
+}

@@ -76,6 +76,11 @@ pub struct ClusterSpec {
     /// every client and controlet so the consistency oracle can audit the
     /// run (see `bespokv-checker`).
     pub history: bool,
+    /// When true, a [`crate::edge::FastPathTable`] is built and attached
+    /// to every scripted client: GETs are served straight from the shared
+    /// datalets whenever the target node's serving gate permits, only
+    /// falling back to the controlet actor loop otherwise.
+    pub fast_path: bool,
 }
 
 impl ClusterSpec {
@@ -98,6 +103,7 @@ impl ClusterSpec {
             per_shard_modes: Vec::new(),
             faults: None,
             history: false,
+            fast_path: false,
         }
     }
 
@@ -111,6 +117,12 @@ impl ClusterSpec {
     /// Enables history capture for the consistency oracle.
     pub fn with_history(mut self) -> Self {
         self.history = true;
+        self
+    }
+
+    /// Enables the shared-datalet read fast path for scripted clients.
+    pub fn with_fast_path(mut self) -> Self {
+        self.fast_path = true;
         self
     }
 
@@ -194,6 +206,8 @@ pub struct SimCluster {
     next_client_id: u32,
     /// Consistency-oracle recorder (present when the spec enabled history).
     recorder: Option<HistoryRecorder>,
+    /// Shared read fast path (present when the spec enabled it).
+    fast_path: Option<Arc<crate::edge::FastPathTable>>,
     /// Datalet per node id — unlike `datalets` (indexed by original node
     /// order), this also covers transition controlets with high node ids.
     datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>>,
@@ -229,6 +243,9 @@ impl SimCluster {
             .collect();
 
         let recorder = spec.history.then(HistoryRecorder::new);
+        let fast_path = spec
+            .fast_path
+            .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
         let mut datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>> = HashMap::new();
         let mut controlets = Vec::new();
         let mut datalets: Vec<Arc<dyn Datalet>> = Vec::new();
@@ -248,6 +265,20 @@ impl SimCluster {
                 cfg.recorder = recorder.clone();
                 let controlet = Controlet::with_info(cfg, Arc::clone(&datalet), info.clone())
                     .with_cluster_map(map.clone());
+                // The gate and dirty set must be grabbed before the
+                // controlet moves into the simulator.
+                if let Some(t) = &fast_path {
+                    t.register(
+                        node,
+                        crate::edge::FastPathHandle {
+                            gate: controlet.serving_gate(),
+                            dirty: controlet.dirty_keys(),
+                            datalet: Arc::clone(&datalet),
+                            shard: ShardId(shard),
+                            default_level: info.mode.consistency,
+                        },
+                    );
+                }
                 let addr = sim.add_actor(Box::new(controlet));
                 assert_eq!(addr.0, node.raw(), "address/NodeId convention broken");
                 controlets.push(addr);
@@ -325,8 +356,14 @@ impl SimCluster {
             spec,
             next_client_id: 1000,
             recorder,
+            fast_path,
             datalet_by_node,
         }
+    }
+
+    /// The shared read fast-path table, when the spec enabled it.
+    pub fn fast_path(&self) -> Option<&Arc<crate::edge::FastPathTable>> {
+        self.fast_path.as_ref()
     }
 
     /// The consistency-oracle recorder, when the spec enabled history.
@@ -465,15 +502,24 @@ impl SimCluster {
         if stale {
             core = core.with_debug_stale_reads();
         }
-        let addr = self
-            .sim
-            .add_actor(Box::new(crate::script::ScriptClient::new(core, script)));
+        let mut client = crate::script::ScriptClient::new(core, script);
+        if let Some(t) = &self.fast_path {
+            client = client.with_fast_path(Arc::clone(t));
+        }
+        let addr = self.sim.add_actor(Box::new(client));
         self.clients_scripted.push(addr);
         addr
     }
 
     /// Crashes a node (controlet + datalet, fail-stop).
     pub fn kill_node(&mut self, node: NodeId) {
+        // Fail-stop means the fast path must stop serving this node's
+        // datalet immediately; the dead controlet can no longer close its
+        // own gate.
+        if let Some(t) = &self.fast_path {
+            t.close(node);
+            t.unregister(node);
+        }
         self.sim.kill(Addr(node.raw()));
     }
 
@@ -499,6 +545,9 @@ impl SimCluster {
         cfg.log_poll_every = self.spec.log_poll_every;
         cfg.recorder = self.recorder.clone();
         let controlet = Controlet::new(cfg, Arc::clone(&datalet));
+        // Standbys are not registered with the fast path: they learn their
+        // shard only at StartRecovery, and a handle's shard is fixed at
+        // registration. Their reads simply take the actor loop.
         self.sim.revive(Addr(node.raw()), Box::new(controlet));
         self.datalet_by_node.insert(node, Arc::clone(&datalet));
         self.datalets[node.raw() as usize] = datalet;
@@ -554,6 +603,21 @@ impl SimCluster {
             cfg.log_poll_every = self.spec.log_poll_every;
             cfg.recorder = self.recorder.clone();
             let controlet = Controlet::new(cfg, Arc::clone(&datalet));
+            // Register the replacement controlets with the fast path. Their
+            // gates stay closed until they adopt the post-transition shard
+            // info, so reads keep falling back to the actor until then.
+            if let Some(t) = &self.fast_path {
+                t.register(
+                    probe,
+                    crate::edge::FastPathHandle {
+                        gate: controlet.serving_gate(),
+                        dirty: controlet.dirty_keys(),
+                        datalet: Arc::clone(&datalet),
+                        shard,
+                        default_level: new_mode.consistency,
+                    },
+                );
+            }
             let addr = self.sim.add_actor(Box::new(controlet));
             assert_eq!(addr.0, probe.raw());
             self.datalet_by_node.insert(probe, Arc::clone(&datalet));

@@ -1,0 +1,256 @@
+//! The shared-datalet read fast path (multi-core serving).
+//!
+//! A controlet is a single-threaded actor, so with the actor loop on the
+//! read path every GET serializes through one thread per node. But the
+//! datalet underneath is a concurrent store, and most reads need none of
+//! the controlet's machinery. [`FastPathTable`] lets *edge threads* — TCP
+//! workers on the live runtime, the scripted client in the simulator —
+//! answer GETs directly against the shared datalet, consulting the
+//! controlet-published [`ServingState`] gate to decide, per read, whether
+//! this replica may legitimately answer at the requested consistency:
+//!
+//! * effective-Eventual reads: any serving replica;
+//! * Strong reads: the MS+SC tail or MS+EC master unconditionally, an
+//!   MS+SC non-tail only for *clean* keys (no in-flight chain write — the
+//!   CRAQ argument), never under AA.
+//!
+//! Everything else — writes, scans, mis-routed keys, dirty keys, closed
+//! gates, reads that race a reconfiguration — falls back to the actor
+//! loop, which remains the single source of truth. The gate is a seqlock:
+//! the edge snapshots the word, reads, then validates; any epoch bump
+//! (failover, recovery, transition) slams the fast path shut.
+//!
+//! [`NodeEdge`] packages the live-runtime side: a TCP request handler
+//! that serves GETs on the worker thread when permitted and relays the
+//! rest to the controlet actor through a [`Mailbox`].
+
+use bespokv::{DirtySet, ReadPermit, ServingState};
+use bespokv_datalet::Datalet;
+use bespokv_proto::client::{Op, RespBody, Request, Response};
+use bespokv_proto::NetMsg;
+use bespokv_runtime::{Addr, Mailbox};
+use bespokv_types::{Consistency, KvError, NodeId, RequestId, ShardId, ShardMap};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Everything an edge thread needs to serve reads for one node.
+pub struct FastPathHandle {
+    /// The controlet-published serving gate.
+    pub gate: Arc<ServingState>,
+    /// Keys with in-flight chain writes (MS+SC clean-read check).
+    pub dirty: Arc<DirtySet>,
+    /// The shared concurrent store.
+    pub datalet: Arc<dyn Datalet>,
+    /// Shard this node serves; reads for other shards fall back so the
+    /// actor can answer `WrongNode` with a proper hint.
+    pub shard: ShardId,
+    /// Store-wide consistency, for resolving `ConsistencyLevel::Default`.
+    /// Captured at registration: controlets are replaced (not re-moded) on
+    /// transition, so the handle's mode is fixed for its lifetime.
+    pub default_level: Consistency,
+}
+
+/// Per-node fast-path handles plus the key→shard mapping, shared by every
+/// edge thread of a deployment.
+pub struct FastPathTable {
+    /// Build-time partitioning; used only for `shard_for_key` ownership
+    /// checks (partitioning never changes at runtime, membership does —
+    /// and membership is the gate's job, not ours).
+    map: ShardMap,
+    handles: RwLock<HashMap<NodeId, FastPathHandle>>,
+}
+
+impl FastPathTable {
+    /// An empty table over the deployment's partitioning.
+    pub fn new(map: ShardMap) -> Self {
+        FastPathTable {
+            map,
+            handles: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers (or replaces) the handle for a node.
+    pub fn register(&self, node: NodeId, handle: FastPathHandle) {
+        self.handles.write().insert(node, handle);
+    }
+
+    /// Removes a node's handle (restart-as-standby, teardown).
+    pub fn unregister(&self, node: NodeId) {
+        self.handles.write().remove(&node);
+    }
+
+    /// Slams a node's gate shut (fail-stop kill). The gate word is shared
+    /// with the controlet, so this also invalidates in-progress reads.
+    pub fn close(&self, node: NodeId) {
+        if let Some(h) = self.handles.read().get(&node) {
+            h.gate.close();
+        }
+    }
+
+    /// The node's gate, for telemetry and test assertions.
+    pub fn gate(&self, node: NodeId) -> Option<Arc<ServingState>> {
+        self.handles.read().get(&node).map(|h| Arc::clone(&h.gate))
+    }
+
+    /// Total fast-path serves across all registered nodes.
+    pub fn total_hits(&self) -> u64 {
+        self.handles.read().values().map(|h| h.gate.hits()).sum()
+    }
+
+    /// Total actor-loop fallbacks across all registered nodes.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.handles.read().values().map(|h| h.gate.fallbacks()).sum()
+    }
+
+    /// Tries to serve `req` addressed to `node` directly from the shared
+    /// datalet. `None` means "send it to the controlet actor" — for any
+    /// reason: not a GET, unknown node, wrong shard, closed gate,
+    /// insufficient permission, dirty key, or a read that raced a
+    /// reconfiguration. A `Some` is a complete, committed-read response
+    /// (`NotFound` included — absence is a valid read result).
+    pub fn try_get(&self, node: NodeId, req: &Request) -> Option<Response> {
+        let Op::Get { key } = &req.op else { return None };
+        let handles = self.handles.read();
+        let h = handles.get(&node)?;
+        if self.map.shard_for_key(key) != h.shard {
+            return None;
+        }
+        let token = h.gate.begin_read();
+        let level = req.level.resolve(h.default_level);
+        let clean_read = match ServingState::permit(token, level) {
+            ReadPermit::Serve => false,
+            ReadPermit::ServeIfClean => {
+                if h.dirty.is_dirty(key) {
+                    h.gate.count_fallback();
+                    return None;
+                }
+                true
+            }
+            ReadPermit::Fallback => {
+                h.gate.count_fallback();
+                return None;
+            }
+        };
+        let result = h.datalet.get(&req.table, key).map(RespBody::Value);
+        // Seqlock validation: any reconfiguration since `begin_read`
+        // invalidates the read.
+        if !h.gate.validate(token) {
+            h.gate.count_fallback();
+            return None;
+        }
+        // Clean-read revalidation. The controlet marks a key dirty
+        // *before* applying the uncommitted value, so a read that saw an
+        // uncommitted apply necessarily sees the dirty mark here and falls
+        // back;
+        // a read that re-checks clean saw only committed state.
+        if clean_read && h.dirty.is_dirty(key) {
+            h.gate.count_fallback();
+            return None;
+        }
+        h.gate.count_hit();
+        Some(Response {
+            id: req.id,
+            result,
+        })
+    }
+}
+
+/// How long the live edge waits for the controlet actor to answer a
+/// relayed request before giving up with `Timeout`.
+const RELAY_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// The live-runtime edge for one node: a TCP-server-compatible request
+/// handler that serves permitted GETs on the calling worker thread and
+/// relays everything else to the controlet actor via a [`Mailbox`],
+/// demultiplexing responses back to the blocked workers by request id.
+pub struct NodeEdge {
+    node: NodeId,
+    table: Arc<FastPathTable>,
+    mailbox: Mailbox,
+    pending: Arc<Mutex<HashMap<RequestId, mpsc::Sender<Response>>>>,
+    fast_path: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    demux: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NodeEdge {
+    /// Builds the edge for `node`. `mailbox` must come from the same
+    /// runtime the node's controlet runs on; `enable_fast_path: false`
+    /// routes every request through the actor (the bench baseline).
+    pub fn new(node: NodeId, table: Arc<FastPathTable>, mailbox: Mailbox, enable_fast_path: bool) -> Self {
+        let pending: Arc<Mutex<HashMap<RequestId, mpsc::Sender<Response>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let demux = {
+            let mailbox = mailbox.clone();
+            let pending = Arc::clone(&pending);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let Some((_, msg)) = mailbox.recv_timeout(std::time::Duration::from_millis(50))
+                    else {
+                        continue;
+                    };
+                    if let NetMsg::ClientResp(resp) = msg {
+                        if let Some(tx) = pending.lock().remove(&resp.id) {
+                            let _ = tx.send(resp);
+                        }
+                    }
+                }
+            })
+        };
+        NodeEdge {
+            node,
+            table,
+            mailbox,
+            pending,
+            fast_path: Arc::new(AtomicBool::new(enable_fast_path)),
+            stop,
+            demux: Some(demux),
+        }
+    }
+
+    /// Flips the fast path on or off (bench before/after comparison).
+    pub fn set_fast_path(&self, on: bool) {
+        self.fast_path.store(on, Ordering::Release);
+    }
+
+    /// A `TcpServer`-compatible request handler. Clone-cheap; safe to call
+    /// from any number of worker threads concurrently — that is the point.
+    pub fn handler(&self) -> Arc<dyn Fn(Request) -> Response + Send + Sync> {
+        let node = self.node;
+        let table = Arc::clone(&self.table);
+        let mailbox = self.mailbox.clone();
+        let pending = Arc::clone(&self.pending);
+        let fast_path = Arc::clone(&self.fast_path);
+        Arc::new(move |req: Request| {
+            if fast_path.load(Ordering::Acquire) {
+                if let Some(resp) = table.try_get(node, &req) {
+                    return resp;
+                }
+            }
+            let rid = req.id;
+            let (tx, rx) = mpsc::channel();
+            pending.lock().insert(rid, tx);
+            mailbox.send(Addr(node.raw()), NetMsg::Client(req));
+            match rx.recv_timeout(RELAY_TIMEOUT) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    pending.lock().remove(&rid);
+                    Response::err(rid, KvError::Timeout)
+                }
+            }
+        })
+    }
+}
+
+impl Drop for NodeEdge {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.demux.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -9,11 +9,13 @@
 
 pub mod builder;
 pub mod client_actor;
+pub mod edge;
 pub mod live_builder;
 pub mod metrics;
 pub mod script;
 
 pub use builder::{cost_for, ClusterSpec, SimCluster};
+pub use edge::{FastPathHandle, FastPathTable, NodeEdge};
 pub use live_builder::LiveCluster;
 pub use client_actor::{ClientStats, OpSource, WorkloadClient};
 pub use metrics::{LatencyHistogram, RunStats, Timeline};

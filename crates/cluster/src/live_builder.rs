@@ -14,7 +14,7 @@ use bespokv_datalet::Datalet;
 use bespokv_dlm::DlmActor;
 use bespokv_runtime::{Actor, Addr, LiveRuntime};
 use bespokv_sharedlog::SharedLogActor;
-use bespokv_types::{ClientId, Duration, NodeId, ShardId, ShardMap};
+use bespokv_types::{ClientId, Duration, HistoryRecorder, NodeId, ShardId, ShardMap};
 use std::sync::Arc;
 
 /// A cluster running on real threads.
@@ -33,6 +33,10 @@ pub struct LiveCluster {
     /// Per-client (completed-step counter, script length), registered at
     /// spawn time so progress is observable while the actor runs.
     script_progress: std::collections::HashMap<Addr, (Arc<std::sync::atomic::AtomicUsize>, usize)>,
+    /// Consistency-oracle recorder (present when the spec enabled history).
+    recorder: Option<HistoryRecorder>,
+    /// Shared read fast path (present when the spec enabled it).
+    fast_path: Option<Arc<crate::edge::FastPathTable>>,
 }
 
 impl LiveCluster {
@@ -51,6 +55,10 @@ impl LiveCluster {
         let shared_logs: Vec<Addr> = (0..spec.shards)
             .map(|s| Addr(coordinator.0 + 2 + s))
             .collect();
+        let recorder = spec.history.then(HistoryRecorder::new);
+        let fast_path = spec
+            .fast_path
+            .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
         let mut controlets = Vec::new();
         let mut datalets: Vec<Arc<dyn Datalet>> = Vec::new();
         for shard in 0..spec.shards {
@@ -66,8 +74,23 @@ impl LiveCluster {
                 cfg.prop_flush_every = spec.prop_flush_every;
                 cfg.log_poll_every = spec.log_poll_every;
                 cfg.p2p_forwarding = spec.p2p;
+                cfg.recorder = recorder.clone();
                 let controlet = Controlet::with_info(cfg, Arc::clone(&datalet), info.clone())
                     .with_cluster_map(map.clone());
+                // Grab the gate and dirty set before the controlet moves
+                // onto its thread.
+                if let Some(t) = &fast_path {
+                    t.register(
+                        node,
+                        crate::edge::FastPathHandle {
+                            gate: controlet.serving_gate(),
+                            dirty: controlet.dirty_keys(),
+                            datalet: Arc::clone(&datalet),
+                            shard: ShardId(shard),
+                            default_level: info.mode.consistency,
+                        },
+                    );
+                }
                 let addr = rt.spawn(Box::new(controlet));
                 assert_eq!(addr.0, node.raw());
                 controlets.push(addr);
@@ -83,6 +106,7 @@ impl LiveCluster {
             cfg.shared_log = Some(shared_logs[0]);
             cfg.cost = cost_for(engine);
             cfg.heartbeat_every = spec.heartbeat_every;
+            cfg.recorder = recorder.clone();
             let addr = rt.spawn(Box::new(Controlet::new(cfg, Arc::clone(&datalet))));
             assert_eq!(addr.0, node.raw());
             datalets.push(datalet);
@@ -110,16 +134,34 @@ impl LiveCluster {
             map,
             next_client_id: 3000,
             script_progress: std::collections::HashMap::new(),
+            recorder,
+            fast_path,
         }
+    }
+
+    /// The consistency-oracle recorder, when the spec enabled history.
+    pub fn history(&self) -> Option<&HistoryRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// The shared read fast-path table, when the spec enabled it.
+    pub fn fast_path(&self) -> Option<&Arc<crate::edge::FastPathTable>> {
+        self.fast_path.as_ref()
     }
 
     /// Attaches a sequential scripted client; returns its address.
     pub fn add_script_client(&mut self, script: Vec<crate::script::Step>) -> Addr {
         let id = ClientId(self.next_client_id);
         self.next_client_id += 1;
-        let core = ClientCore::new(id, self.coordinator)
+        let mut core = ClientCore::new(id, self.coordinator)
             .with_request_timeout(Duration::from_millis(300));
-        let client = crate::script::ScriptClient::new(core, script);
+        if let Some(rec) = &self.recorder {
+            core = core.with_history(rec.clone());
+        }
+        let mut client = crate::script::ScriptClient::new(core, script);
+        if let Some(t) = &self.fast_path {
+            client = client.with_fast_path(Arc::clone(t));
+        }
         let progress = client.progress_handle();
         let len = client.script_len();
         let addr = self.rt.spawn(Box::new(client));
@@ -129,6 +171,12 @@ impl LiveCluster {
 
     /// Crashes a node.
     pub fn kill_node(&mut self, node: NodeId) -> Option<Box<dyn Actor>> {
+        // Close the gate first: edge threads mid-read must fail seqlock
+        // validation rather than serve on behalf of a dead node.
+        if let Some(t) = &self.fast_path {
+            t.close(node);
+            t.unregister(node);
+        }
         self.rt.kill(Addr(node.raw()))
     }
 

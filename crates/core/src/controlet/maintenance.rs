@@ -23,6 +23,7 @@ impl Controlet {
             CoordMsg::Reconfigure { info } if info.shard == self.cfg.shard => {
                 self.adopt_info(info);
                 self.serving = true;
+                self.publish_serving();
             }
             CoordMsg::StartRecovery {
                 shard,
@@ -42,6 +43,7 @@ impl Controlet {
                     next_from: 0,
                     info,
                 });
+                self.publish_serving();
                 ctx.send(
                     Self::addr_of(source),
                     NetMsg::Repl(ReplMsg::RecoveryReq { shard, from: 0 }),
@@ -99,6 +101,11 @@ impl Controlet {
             // decides what to do with this controlet.
             self.serving = false;
         }
+        // Every adoption re-publishes the fast-path gate: the epoch in the
+        // gate word changed, so edge reads snapshotted under the old
+        // configuration fail their seqlock validation (the gate "slams
+        // shut" for them even when this node keeps serving).
+        self.publish_serving();
         // Chain repair: the head re-propagates in-flight writes so
         // whatever the dead node was holding reaches the new chain
         // (paper: "every node maintains a list of requests received but
@@ -257,6 +264,7 @@ impl Controlet {
             self.prop_master = None;
             self.adopt_info(rec.info);
             self.serving = true;
+            self.publish_serving();
             // Keep re-reporting on the heartbeat until the map shows us.
             self.pending_recovery_done = Some(shard);
             // The fuzzy snapshot missed writes applied concurrently with
@@ -308,7 +316,12 @@ impl Controlet {
             reported: false,
             forwarded: HashMap::new(),
         });
+        // A transition closes the fast path outright: reads fall back to
+        // the actor loop, which serves them with EC guarantees until the
+        // switch completes (section V).
+        self.publish_serving();
         self.flush_propagation(ctx);
+        self.flush_chain_batch(ctx);
         self.check_transition_drained(ctx);
     }
 
@@ -323,8 +336,10 @@ impl Controlet {
             return true;
         }
         match (info.mode.topology, info.mode.consistency) {
-            // MS+SC head: all chain writes acked.
-            (Topology::MasterSlave, Consistency::Strong) => self.in_flight.is_empty(),
+            // MS+SC head: all chain writes acked and none still buffered.
+            (Topology::MasterSlave, Consistency::Strong) => {
+                self.in_flight.is_empty() && self.chain_batch.is_empty()
+            }
             // MS+EC master: every slave acked the whole buffer.
             (Topology::MasterSlave, Consistency::Eventual) => self.prop.buffer.is_empty(),
             // AA+SC active: no locks in flight.

@@ -31,6 +31,7 @@ pub(crate) const HEARTBEAT_TIMER: u64 = 1;
 pub(crate) const PROP_FLUSH_TIMER: u64 = 2;
 pub(crate) const LOG_POLL_TIMER: u64 = 3;
 pub(crate) const RECOVERY_RETRY_TIMER: u64 = 4;
+pub(crate) const CHAIN_FLUSH_TIMER: u64 = 5;
 
 /// Map refresh cadence: every Nth heartbeat a serving controlet re-pulls
 /// the shard map, so a dropped `ShardMapUpdate` broadcast heals itself.
@@ -59,6 +60,13 @@ pub struct ControletConfig {
     pub heartbeat_every: Duration,
     /// MS+EC asynchronous propagation flush period.
     pub prop_flush_every: Duration,
+    /// MS+SC group-commit flush period: chain writes buffered at the head
+    /// are pushed down the chain as one `ChainPutBatch` at this cadence
+    /// (or earlier, when the buffer reaches `chain_batch_max`).
+    pub chain_flush_every: Duration,
+    /// MS+SC group-commit size threshold: a full buffer flushes
+    /// immediately instead of waiting for the timer.
+    pub chain_batch_max: usize,
     /// AA+EC shared-log poll period.
     pub log_poll_every: Duration,
     /// P2P-style routing (section IV-E): a request for a key this shard
@@ -83,6 +91,8 @@ impl ControletConfig {
             cost: CostModel::tht(),
             heartbeat_every: Duration::from_millis(500),
             prop_flush_every: Duration::from_millis(2),
+            chain_flush_every: Duration::from_millis(1),
+            chain_batch_max: 32,
             log_poll_every: Duration::from_millis(2),
             p2p_forwarding: false,
             recorder: None,
@@ -230,6 +240,14 @@ pub struct Controlet {
     pub(crate) pending: HashMap<RequestId, Pending>,
     /// MS+SC: in-flight chain writes not yet acked by the tail.
     pub(crate) in_flight: BTreeMap<Version, (RequestId, LogEntry)>,
+    /// MS+SC group commit: writes ordered and applied locally but not yet
+    /// pushed down the chain. Flushed by size threshold or timer.
+    pub(crate) chain_batch: Vec<(RequestId, LogEntry)>,
+    /// Read-fast-path gate published to edge threads (see [`crate::serving`]).
+    pub(crate) gate: Arc<crate::serving::ServingState>,
+    /// Keys with in-flight chain writes, shared with edge threads so
+    /// clean-key strong reads can bypass the actor under MS+SC.
+    pub(crate) dirty: Arc<crate::serving::DirtySet>,
     pub(crate) prop: PropState,
     /// Slave-side propagation cursor: highest contiguous propagation
     /// sequence applied, scoped to `prop_epoch`. Duplicated or overlapping
@@ -286,6 +304,9 @@ impl Controlet {
             applied_seq: 0,
             pending: HashMap::new(),
             in_flight: BTreeMap::new(),
+            chain_batch: Vec::new(),
+            gate: Arc::new(crate::serving::ServingState::new()),
+            dirty: Arc::new(crate::serving::DirtySet::new()),
             prop: PropState::new(),
             prop_applied: 0,
             prop_epoch: 0,
@@ -311,6 +332,7 @@ impl Controlet {
         let mut c = Self::new(cfg, datalet);
         c.adopt_info(info);
         c.serving = true;
+        c.publish_serving();
         c
     }
 
@@ -339,6 +361,48 @@ impl Controlet {
     /// Whether a transition is draining through this controlet.
     pub fn in_transition(&self) -> bool {
         self.transition.is_some()
+    }
+
+    /// The read-fast-path gate this controlet publishes. Edge threads
+    /// (TCP workers, harness clients) snapshot it to decide whether a GET
+    /// may be served straight from the shared datalet.
+    pub fn serving_gate(&self) -> Arc<crate::serving::ServingState> {
+        Arc::clone(&self.gate)
+    }
+
+    /// The shared dirty-key set (keys with in-flight chain writes).
+    pub fn dirty_keys(&self) -> Arc<crate::serving::DirtySet> {
+        Arc::clone(&self.dirty)
+    }
+
+    /// Recomputes and publishes the fast-path gate word. Must be called
+    /// after any change to `serving`, `info`, `recovery`, or `transition`.
+    pub(crate) fn publish_serving(&self) {
+        let quiesced =
+            !self.serving || self.recovery.is_some() || self.transition.is_some();
+        self.gate.publish(self.info.as_ref(), self.cfg.node, quiesced);
+    }
+
+    /// Records a chain write as in flight, marking its key dirty for the
+    /// fast path. Idempotent per version (duplicated `ChainPut`s must not
+    /// double-count the dirty mark).
+    pub(crate) fn track_in_flight(&mut self, version: Version, rid: RequestId, entry: LogEntry) {
+        if !self.in_flight.contains_key(&version) {
+            self.dirty.mark(&entry.key);
+        }
+        self.in_flight.insert(version, (rid, entry));
+    }
+
+    /// Retires an in-flight chain write, clearing its dirty mark.
+    pub(crate) fn untrack_in_flight(
+        &mut self,
+        version: Version,
+    ) -> Option<(RequestId, LogEntry)> {
+        let removed = self.in_flight.remove(&version);
+        if let Some((_, entry)) = &removed {
+            self.dirty.unmark(&entry.key);
+        }
+        removed
     }
 
     // --- shared helpers -----------------------------------------------------
@@ -623,6 +687,10 @@ impl Controlet {
                 self.flush_propagation(ctx);
                 ctx.set_timer(self.cfg.prop_flush_every, PROP_FLUSH_TIMER);
             }
+            CHAIN_FLUSH_TIMER => {
+                self.flush_chain_batch(ctx);
+                ctx.set_timer(self.cfg.chain_flush_every, CHAIN_FLUSH_TIMER);
+            }
             LOG_POLL_TIMER => {
                 self.poll_shared_log(ctx);
                 ctx.set_timer(self.cfg.log_poll_every, LOG_POLL_TIMER);
@@ -662,5 +730,6 @@ impl Controlet {
         // armed is the simplest correct choice.
         ctx.set_timer(self.cfg.prop_flush_every, PROP_FLUSH_TIMER);
         ctx.set_timer(self.cfg.log_poll_every, LOG_POLL_TIMER);
+        ctx.set_timer(self.cfg.chain_flush_every, CHAIN_FLUSH_TIMER);
     }
 }

@@ -231,10 +231,11 @@ impl Controlet {
             self.reply_err(reply, id, KvError::Rejected("not a write".into()), ctx);
             return;
         };
-        self.apply_entry(&entry, ctx);
-        self.applied_seq = self.applied_seq.max(version);
         if info.replicas.len() == 1 {
-            // Single-replica chain: head is also tail.
+            // Single-replica chain: head is also tail; the apply is the
+            // commit, no dirty interval exists.
+            self.apply_entry(&entry, ctx);
+            self.applied_seq = self.applied_seq.max(version);
             let resp = Response::ok(req.id, RespBody::Done);
             self.respond(reply, resp, ctx);
             return;
@@ -248,17 +249,144 @@ impl Controlet {
                 fencing: 0,
             },
         );
-        self.in_flight.insert(version, (req.id, entry.clone()));
-        let successor = info.successor(self.cfg.node).expect("head has successor");
+        // Dirty-mark BEFORE the local apply: an edge thread probing the
+        // DirtySet must never observe the uncommitted value on a key it
+        // still believes is clean.
+        self.track_in_flight(version, req.id, entry.clone());
+        self.apply_entry(&entry, ctx);
+        self.applied_seq = self.applied_seq.max(version);
+        // Group commit: buffer the write and push a whole batch down the
+        // chain when the buffer fills or the flush timer fires (mirrors the
+        // MS+EC propagation batching).
+        self.chain_batch.push((req.id, entry));
+        if self.chain_batch.len() >= self.cfg.chain_batch_max {
+            self.flush_chain_batch(ctx);
+        }
+    }
+
+    /// Pushes the buffered chain writes to the successor as one
+    /// `ChainPutBatch`. No-op off the head; a reconfiguration that demotes
+    /// this node relies on `resend_in_flight` for re-propagation (every
+    /// buffered entry is also tracked in `in_flight`).
+    pub(crate) fn flush_chain_batch(&mut self, ctx: &mut Context) {
+        if self.chain_batch.is_empty() {
+            return;
+        }
+        let Some(info) = self.info.clone() else { return };
+        if info.head() != Some(self.cfg.node) {
+            self.chain_batch.clear();
+            return;
+        }
+        let Some(successor) = info.successor(self.cfg.node) else {
+            // Chain shrank to one: `resend_in_flight` (triggered by the
+            // same reconfiguration) commits and acks everything in flight.
+            self.chain_batch.clear();
+            return;
+        };
+        let items = std::mem::take(&mut self.chain_batch);
         ctx.send(
             Self::addr_of(successor),
-            NetMsg::Repl(ReplMsg::ChainPut {
+            NetMsg::Repl(ReplMsg::ChainPutBatch {
                 shard: self.cfg.shard,
                 epoch: info.epoch,
-                rid: req.id,
-                entry,
+                items,
             }),
         );
+    }
+
+    /// Receives a group-commit batch: apply all entries, then forward the
+    /// whole batch (mid) or ack it as a whole (tail). Entries are
+    /// version-guarded, so duplicated or reordered batches apply cleanly.
+    pub(crate) fn on_chain_put_batch(
+        &mut self,
+        shard: bespokv_types::ShardId,
+        epoch: u64,
+        items: Vec<(bespokv_types::RequestId, bespokv_proto::LogEntry)>,
+        ctx: &mut Context,
+    ) {
+        let Some(info) = self.info.clone() else { return };
+        if shard != self.cfg.shard || epoch < info.epoch {
+            return; // stale chain traffic from an old configuration
+        }
+        let successor = info.successor(self.cfg.node);
+        for (rid, entry) in &items {
+            // Mid nodes dirty-mark before applying (see `ms_sc_write`); on
+            // the tail the apply is the commit, so no mark is needed.
+            if successor.is_some() {
+                self.track_in_flight(entry.version, *rid, entry.clone());
+            }
+            self.apply_entry(entry, ctx);
+            self.applied_seq = self.applied_seq.max(entry.version);
+        }
+        match successor {
+            Some(next) => {
+                ctx.send(
+                    Self::addr_of(next),
+                    NetMsg::Repl(ReplMsg::ChainPutBatch {
+                        shard,
+                        epoch: info.epoch,
+                        items,
+                    }),
+                );
+            }
+            None => {
+                // Tail: one batched ack flows back up.
+                if let Some(prev) = info.predecessor(self.cfg.node) {
+                    let acks = items
+                        .into_iter()
+                        .map(|(rid, entry)| (rid, entry.version))
+                        .collect();
+                    ctx.send(
+                        Self::addr_of(prev),
+                        NetMsg::Repl(ReplMsg::ChainAckBatch {
+                            shard,
+                            epoch: info.epoch,
+                            items: acks,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Receives a batched chain ack: retire every in-flight entry it
+    /// covers, relay it up the chain, and (at the head) release the client
+    /// replies.
+    pub(crate) fn on_chain_ack_batch(
+        &mut self,
+        shard: bespokv_types::ShardId,
+        epoch: u64,
+        items: Vec<(bespokv_types::RequestId, bespokv_types::Version)>,
+        ctx: &mut Context,
+    ) {
+        let Some(info) = self.info.clone() else { return };
+        if shard != self.cfg.shard || epoch < info.epoch {
+            return;
+        }
+        for (_, version) in &items {
+            self.untrack_in_flight(*version);
+        }
+        match info.predecessor(self.cfg.node) {
+            Some(prev) => {
+                ctx.send(
+                    Self::addr_of(prev),
+                    NetMsg::Repl(ReplMsg::ChainAckBatch {
+                        shard,
+                        epoch: info.epoch,
+                        items,
+                    }),
+                );
+            }
+            None => {
+                for (rid, _) in items {
+                    if let Some(p) = self.pending.remove(&rid) {
+                        let resp = Response::ok(rid, RespBody::Done);
+                        self.respond(p.reply, resp, ctx);
+                    }
+                }
+                self.check_transition_drained(ctx);
+            }
+        }
     }
 
     pub(crate) fn on_chain_put(
@@ -273,11 +401,15 @@ impl Controlet {
         if shard != self.cfg.shard || epoch < info.epoch {
             return; // stale chain traffic from an old configuration
         }
+        let successor = info.successor(self.cfg.node);
+        // Mid nodes dirty-mark before applying (see `ms_sc_write`).
+        if successor.is_some() {
+            self.track_in_flight(entry.version, rid, entry.clone());
+        }
         self.apply_entry(&entry, ctx);
         self.applied_seq = self.applied_seq.max(entry.version);
-        match info.successor(self.cfg.node) {
+        match successor {
             Some(next) => {
-                self.in_flight.insert(entry.version, (rid, entry.clone()));
                 ctx.send(
                     Self::addr_of(next),
                     NetMsg::Repl(ReplMsg::ChainPut {
@@ -317,7 +449,7 @@ impl Controlet {
         if shard != self.cfg.shard || epoch < info.epoch {
             return;
         }
-        self.in_flight.remove(&version);
+        self.untrack_in_flight(version);
         match info.predecessor(self.cfg.node) {
             Some(prev) => {
                 ctx.send(
@@ -349,10 +481,16 @@ impl Controlet {
         if info.head() != Some(self.cfg.node) {
             return;
         }
+        // Buffered-but-unflushed writes are all tracked in `in_flight`;
+        // drop the buffer so the resend below doesn't double-send them.
+        self.chain_batch.clear();
         let Some(successor) = info.successor(self.cfg.node) else {
             // Chain of one: everything in flight is trivially committed.
-            let rids: Vec<_> = self.in_flight.values().map(|(rid, _)| *rid).collect();
-            self.in_flight.clear();
+            let committed: Vec<_> = std::mem::take(&mut self.in_flight).into_values().collect();
+            for (_, entry) in &committed {
+                self.dirty.unmark(&entry.key);
+            }
+            let rids: Vec<_> = committed.into_iter().map(|(rid, _)| rid).collect();
             for rid in rids {
                 if let Some(p) = self.pending.remove(&rid) {
                     let resp = Response::ok(rid, RespBody::Done);
@@ -944,6 +1082,12 @@ impl Controlet {
                 rid,
                 version,
             } => self.on_chain_ack(shard, epoch, rid, version, ctx),
+            ReplMsg::ChainPutBatch { shard, epoch, items } => {
+                self.on_chain_put_batch(shard, epoch, items, ctx)
+            }
+            ReplMsg::ChainAckBatch { shard, epoch, items } => {
+                self.on_chain_ack_batch(shard, epoch, items, ctx)
+            }
             ReplMsg::PropBatch {
                 shard,
                 epoch,

@@ -75,7 +75,7 @@ fn non_writer_rejects_writes_with_hint() {
 }
 
 #[test]
-fn chain_head_applies_locally_and_forwards_down() {
+fn chain_head_applies_locally_and_batches_down() {
     let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
     let actions = drive(&mut head, client_put(0, "k", "v"));
     // Applied locally before forwarding.
@@ -83,13 +83,267 @@ fn chain_head_applies_locally_and_forwards_down() {
         head.datalet().get(DEFAULT_TABLE, &Key::from("k")).unwrap().value,
         Value::from("v")
     );
+    // Group commit: the write sits in the batch buffer until a flush.
+    assert!(sent_to(&actions).is_empty(), "buffered, not sent per-write");
+    assert_eq!(head.chain_batch.len(), 1);
+    assert_eq!(head.pending.len(), 1);
+    assert_eq!(head.in_flight.len(), 1);
+    // The flush timer pushes one batch to the successor.
+    let actions = drive(&mut head, Event::Timer { token: super::CHAIN_FLUSH_TIMER });
     let sends = sent_to(&actions);
     assert_eq!(sends.len(), 1, "exactly one chain forward");
     assert_eq!(sends[0].0, Addr(1), "to the successor");
-    assert!(matches!(sends[0].1, NetMsg::Repl(ReplMsg::ChainPut { .. })));
+    match sends[0].1 {
+        NetMsg::Repl(ReplMsg::ChainPutBatch { items, .. }) => assert_eq!(items.len(), 1),
+        other => panic!("expected ChainPutBatch, got {other:?}"),
+    }
+    assert!(head.chain_batch.is_empty());
     // No reply yet: the client waits for the tail ack.
     assert_eq!(head.pending.len(), 1);
     assert_eq!(head.in_flight.len(), 1);
+}
+
+#[test]
+fn chain_batch_flushes_on_size_threshold() {
+    let mut cfg = ControletConfig::new(NodeId(0), ShardId(0), COORD);
+    cfg.chain_batch_max = 3;
+    let mut head =
+        Controlet::with_info(cfg, EngineKind::THt.build(), info(Mode::MS_SC, &[0, 1, 2]));
+    assert!(sent_to(&drive(&mut head, client_put(0, "a", "1"))).is_empty());
+    assert!(sent_to(&drive(&mut head, client_put(1, "b", "2"))).is_empty());
+    // The third write fills the buffer and forces an immediate flush.
+    let actions = drive(&mut head, client_put(2, "c", "3"));
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    match sends[0].1 {
+        NetMsg::Repl(ReplMsg::ChainPutBatch { items, epoch, .. }) => {
+            assert_eq!(items.len(), 3, "whole buffer in one message");
+            assert_eq!(*epoch, 1);
+            let versions: Vec<u64> = items.iter().map(|(_, e)| e.version).collect();
+            let mut sorted = versions.clone();
+            sorted.sort_unstable();
+            assert_eq!(versions, sorted, "batch preserves version order");
+        }
+        other => panic!("expected ChainPutBatch, got {other:?}"),
+    }
+    assert!(head.chain_batch.is_empty());
+    assert_eq!(head.in_flight.len(), 3, "still awaiting the tail acks");
+}
+
+fn entry_v(key: &str, val: &str, version: u64) -> LogEntry {
+    LogEntry {
+        table: String::new(),
+        key: Key::from(key),
+        value: Some(Value::from(val)),
+        version,
+    }
+}
+
+#[test]
+fn tail_acks_whole_batch_and_mid_relays_batch() {
+    let rid_a = RequestId::compose(ClientId(9), 0);
+    let rid_b = RequestId::compose(ClientId(9), 1);
+    let batch = || Event::Msg {
+        from: Addr(1),
+        msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
+            shard: ShardId(0),
+            epoch: 1,
+            items: vec![(rid_a, entry_v("a", "1", 7)), (rid_b, entry_v("b", "2", 8))],
+        }),
+    };
+    // Tail: applies every entry and acks the batch as one message.
+    let mut tail = controlet(2, Mode::MS_SC, &[0, 1, 2]);
+    let actions = drive(&mut tail, batch());
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(1));
+    match sends[0].1 {
+        NetMsg::Repl(ReplMsg::ChainAckBatch { items, .. }) => {
+            assert_eq!(items.as_slice(), &[(rid_a, 7), (rid_b, 8)]);
+        }
+        other => panic!("expected ChainAckBatch, got {other:?}"),
+    }
+    assert_eq!(
+        tail.datalet().get(DEFAULT_TABLE, &Key::from("b")).unwrap().value,
+        Value::from("2")
+    );
+    // Mid: applies, tracks in flight, and forwards the batch whole.
+    let mut mid = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    let mid_batch = Event::Msg {
+        from: Addr(0),
+        msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
+            shard: ShardId(0),
+            epoch: 1,
+            items: vec![(rid_a, entry_v("a", "1", 7)), (rid_b, entry_v("b", "2", 8))],
+        }),
+    };
+    let actions = drive(&mut mid, mid_batch);
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(2), "forwarded to the tail");
+    assert!(matches!(sends[0].1, NetMsg::Repl(ReplMsg::ChainPutBatch { items, .. }) if items.len() == 2));
+    assert_eq!(mid.in_flight.len(), 2);
+    // The batched ack flowing back clears both and relays upstream.
+    let actions = drive(
+        &mut mid,
+        Event::Msg {
+            from: Addr(2),
+            msg: NetMsg::Repl(ReplMsg::ChainAckBatch {
+                shard: ShardId(0),
+                epoch: 1,
+                items: vec![(rid_a, 7), (rid_b, 8)],
+            }),
+        },
+    );
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, Addr(0), "ack batch relayed to the head");
+    assert!(mid.in_flight.is_empty());
+}
+
+#[test]
+fn duplicated_and_reordered_chain_batches_are_safe() {
+    // Fault injection can duplicate or reorder whole batches. Applies are
+    // version-guarded and in-flight tracking is keyed by version, so a
+    // replay must change nothing; acks arriving out of order must answer
+    // each client exactly once.
+    let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    drive(&mut head, client_put(0, "a", "1"));
+    drive(&mut head, client_put(1, "b", "2"));
+    drive(&mut head, Event::Timer { token: super::CHAIN_FLUSH_TIMER });
+    assert_eq!(head.in_flight.len(), 2);
+    let versions: Vec<u64> = head.in_flight.keys().copied().collect();
+    let rids: Vec<RequestId> = head.in_flight.values().map(|(r, _)| *r).collect();
+    // Acks arrive as two single-item batches in reverse order.
+    let ack_batch = |items: Vec<(RequestId, u64)>| Event::Msg {
+        from: Addr(1),
+        msg: NetMsg::Repl(ReplMsg::ChainAckBatch {
+            shard: ShardId(0),
+            epoch: 1,
+            items,
+        }),
+    };
+    let actions = drive(&mut head, ack_batch(vec![(rids[1], versions[1])]));
+    assert_eq!(sent_to(&actions).len(), 1, "client 2 answered");
+    let actions = drive(&mut head, ack_batch(vec![(rids[0], versions[0])]));
+    assert_eq!(sent_to(&actions).len(), 1, "client 1 answered");
+    assert!(head.in_flight.is_empty());
+    // A duplicated ack batch is absorbed silently.
+    let actions = drive(
+        &mut head,
+        ack_batch(vec![(rids[0], versions[0]), (rids[1], versions[1])]),
+    );
+    assert!(sent_to(&actions).is_empty(), "duplicate batch re-answered a client");
+    // A mid receiving the same put batch twice must not double-track.
+    let mut mid = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    let put_batch = || Event::Msg {
+        from: Addr(0),
+        msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
+            shard: ShardId(0),
+            epoch: 1,
+            items: vec![(rids[0], entry_v("a", "1", versions[0]))],
+        }),
+    };
+    drive(&mut mid, put_batch());
+    drive(&mut mid, put_batch());
+    assert_eq!(mid.in_flight.len(), 1, "duplicate batch double-tracked");
+    let got = mid.datalet().get(DEFAULT_TABLE, &Key::from("a")).unwrap();
+    assert_eq!(got.version, versions[0]);
+}
+
+#[test]
+fn stale_epoch_chain_batch_is_dropped() {
+    let mut mid = controlet(1, Mode::MS_SC, &[0, 1, 2]);
+    let actions = drive(
+        &mut mid,
+        Event::Msg {
+            from: Addr(0),
+            msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
+                shard: ShardId(0),
+                epoch: 0,
+                items: vec![(RequestId::compose(ClientId(9), 0), entry_v("k", "v", 5))],
+            }),
+        },
+    );
+    assert!(sent_to(&actions).is_empty(), "stale batch forwarded");
+    assert!(mid.datalet().get(DEFAULT_TABLE, &Key::from("k")).is_err());
+    assert!(mid.in_flight.is_empty());
+}
+
+#[test]
+fn chain_writes_mark_keys_dirty_until_acked() {
+    let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    let dirty = head.dirty_keys();
+    drive(&mut head, client_put(0, "k", "v"));
+    assert!(dirty.is_dirty(&Key::from("k")), "in-flight write must mark dirty");
+    drive(&mut head, Event::Timer { token: super::CHAIN_FLUSH_TIMER });
+    assert!(dirty.is_dirty(&Key::from("k")), "still dirty until the tail acks");
+    let (version, (rid, _)) = head.in_flight.iter().next().map(|(v, p)| (*v, p.clone())).unwrap();
+    drive(
+        &mut head,
+        Event::Msg {
+            from: Addr(1),
+            msg: NetMsg::Repl(ReplMsg::ChainAckBatch {
+                shard: ShardId(0),
+                epoch: 1,
+                items: vec![(rid, version)],
+            }),
+        },
+    );
+    assert!(!dirty.is_dirty(&Key::from("k")), "ack retires the dirty mark");
+}
+
+#[test]
+fn gate_tracks_role_and_epoch() {
+    use crate::serving::{ReadPermit, ServingState};
+    use bespokv_types::Consistency;
+    // MS+SC tail publishes strong-serve; the head only clean-key serve.
+    let tail = controlet(2, Mode::MS_SC, &[0, 1, 2]);
+    let gate = tail.serving_gate();
+    assert!(gate.is_open());
+    assert_eq!(gate.epoch(), 1);
+    assert_eq!(
+        ServingState::permit(gate.begin_read(), Consistency::Strong),
+        ReadPermit::Serve
+    );
+    let head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    assert_eq!(
+        ServingState::permit(head.serving_gate().begin_read(), Consistency::Strong),
+        ReadPermit::ServeIfClean
+    );
+    // Reconfiguration bumps the gate epoch so snapshotted reads fail
+    // validation; a transition closes the gate entirely.
+    let mut c = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    let gate = c.serving_gate();
+    let token = gate.begin_read();
+    let mut newer = info(Mode::MS_EC, &[0, 1, 2]);
+    newer.epoch = 7;
+    drive(
+        &mut c,
+        Event::Msg {
+            from: COORD,
+            msg: NetMsg::Coord(CoordMsg::Reconfigure { info: newer }),
+        },
+    );
+    assert!(!gate.validate(token), "epoch bump must invalidate old tokens");
+    assert!(gate.is_open());
+    let target = ShardInfo {
+        shard: ShardId(0),
+        mode: Mode::MS_SC,
+        replicas: vec![NodeId(10), NodeId(11), NodeId(12)],
+        epoch: 8,
+    };
+    drive(
+        &mut c,
+        Event::Msg {
+            from: COORD,
+            msg: NetMsg::Coord(CoordMsg::BeginTransition {
+                shard: ShardId(0),
+                target,
+            }),
+        },
+    );
+    assert!(!gate.is_open(), "transition slams the fast path shut");
 }
 
 #[test]

@@ -24,7 +24,9 @@
 pub mod client;
 pub mod config;
 pub mod controlet;
+pub mod serving;
 
 pub use client::{ClientCore, Completion};
 pub use config::{parse_datalet_hosts, ControlPlaneConfig, DataletHost};
 pub use controlet::{Controlet, ControletConfig};
+pub use serving::{DirtySet, ReadPermit, ServingState};

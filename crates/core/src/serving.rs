@@ -1,0 +1,340 @@
+//! The published serving gate for the lock-free read fast path.
+//!
+//! A controlet is a single-threaded actor, but the datalet underneath is a
+//! concurrent store. [`ServingState`] is the bridge that lets edge threads
+//! (TCP workers, sim clients) serve GETs directly against the shared
+//! datalet — bypassing the actor channel — without ever answering when the
+//! replica is not legitimately readable.
+//!
+//! The whole gate is one `AtomicU64` word, seqlock-style:
+//!
+//! * low 8 bits are permission flags (see below);
+//! * the remaining bits carry the shard epoch.
+//!
+//! A reader snapshots the word, performs the datalet read, then validates
+//! that the word has not changed. Any epoch bump, role change, failover,
+//! recovery, or mode transition republishes the word, so an in-progress
+//! fast-path read that raced a reconfiguration fails validation and falls
+//! back to the actor loop. The controlet publishes with a single `store`;
+//! there is no lock anywhere on the read path.
+//!
+//! Eligibility mirrors the actor-loop read placement rules:
+//!
+//! * **EC reads** (effective level `Eventual`) — any serving replica.
+//! * **Strong reads, MS+EC** — the master only (per-request upgrade).
+//! * **Strong reads, MS+SC** — the tail unconditionally; any other chain
+//!   member only for *clean* keys (no in-flight chain write touching the
+//!   key — the CRAQ argument: a clean key's local version is committed).
+//! * **Strong reads, AA** — never (AA+SC needs a shared lock, AA+EC needs
+//!   a log sync); these always fall back to the actor.
+//!
+//! Dirty keys are tracked in a striped refcounted set ([`DirtySet`])
+//! maintained by the chain-replication bookkeeping: a key becomes dirty
+//! when a chain write for it enters `in_flight` and clean again when the
+//! tail's ack retires it.
+
+use bespokv_types::{Consistency, Key, NodeId, ShardInfo, Topology};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fast path may serve effective-Eventual reads.
+const OPEN: u64 = 1;
+/// Fast path may serve Strong reads unconditionally (MS+SC tail, MS+EC
+/// master).
+const STRONG: u64 = 1 << 1;
+/// Fast path may serve Strong reads for clean keys (MS+SC non-tail).
+const STRONG_CLEAN: u64 = 1 << 2;
+/// Bits the epoch is shifted by.
+const EPOCH_SHIFT: u32 = 8;
+
+/// What a snapshotted gate word permits for one read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadPermit {
+    /// Serve directly from the shared datalet.
+    Serve,
+    /// Serve only if the key has no in-flight chain write.
+    ServeIfClean,
+    /// Route through the controlet's actor loop.
+    Fallback,
+}
+
+/// The controlet-published gate word (see module docs).
+#[derive(Debug, Default)]
+pub struct ServingState {
+    word: AtomicU64,
+    /// Fast-path reads served (telemetry for benches and tests).
+    hits: AtomicU64,
+    /// Reads that fell back to the actor loop (closed gate, dirty key,
+    /// failed validation, or ineligible level).
+    fallbacks: AtomicU64,
+}
+
+impl ServingState {
+    /// A closed gate (every read falls back).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes and stores the gate word for a serving replica. `quiesced`
+    /// covers every condition that must close the gate regardless of role:
+    /// not serving, mid-recovery, or mid-transition.
+    pub fn publish(&self, info: Option<&ShardInfo>, node: NodeId, quiesced: bool) {
+        let word = match info {
+            Some(info) if !quiesced && info.position(node).is_some() => {
+                let flags = match (info.mode.topology, info.mode.consistency) {
+                    (Topology::MasterSlave, Consistency::Strong) => {
+                        if info.tail() == Some(node) {
+                            OPEN | STRONG
+                        } else {
+                            OPEN | STRONG_CLEAN
+                        }
+                    }
+                    (Topology::MasterSlave, Consistency::Eventual) => {
+                        if info.head() == Some(node) {
+                            OPEN | STRONG
+                        } else {
+                            OPEN
+                        }
+                    }
+                    // AA strong reads need locks (SC) or a log sync (EC);
+                    // only effective-Eventual reads may bypass the actor.
+                    (Topology::ActiveActive, _) => OPEN,
+                };
+                (info.epoch << EPOCH_SHIFT) | flags
+            }
+            _ => 0,
+        };
+        self.word.store(word, Ordering::Release);
+    }
+
+    /// Slams the gate shut (node death, harness teardown).
+    pub fn close(&self) {
+        self.word.store(0, Ordering::Release);
+    }
+
+    /// Snapshots the gate word. Pass the result to [`Self::permit`] and
+    /// [`Self::validate`].
+    pub fn begin_read(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// What a read at `level` (already resolved against the store's
+    /// consistency) may do under the snapshotted word.
+    pub fn permit(token: u64, level: Consistency) -> ReadPermit {
+        if token & OPEN == 0 {
+            return ReadPermit::Fallback;
+        }
+        match level {
+            Consistency::Eventual => ReadPermit::Serve,
+            Consistency::Strong if token & STRONG != 0 => ReadPermit::Serve,
+            Consistency::Strong if token & STRONG_CLEAN != 0 => ReadPermit::ServeIfClean,
+            Consistency::Strong => ReadPermit::Fallback,
+        }
+    }
+
+    /// True if the gate word is unchanged since `begin_read` — the read
+    /// raced no reconfiguration and its result may be returned.
+    pub fn validate(&self, token: u64) -> bool {
+        self.word.load(Ordering::Acquire) == token
+    }
+
+    /// Whether the gate is currently open at all (telemetry/tests).
+    pub fn is_open(&self) -> bool {
+        self.word.load(Ordering::Acquire) & OPEN != 0
+    }
+
+    /// Epoch carried by the current gate word (tests).
+    pub fn epoch(&self) -> u64 {
+        self.word.load(Ordering::Acquire) >> EPOCH_SHIFT
+    }
+
+    /// Counts one fast-path serve.
+    pub fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one actor-loop fallback.
+    pub fn count_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fast-path serves so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Actor-loop fallbacks so far.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of stripes in the dirty-key set. Power of two; collisions only
+/// cost a little extra mutex contention, never correctness.
+const DIRTY_STRIPES: usize = 64;
+
+/// Refcounted set of keys with in-flight chain writes, striped to keep
+/// edge-thread lookups off a single lock. Writers (the controlet actor)
+/// mark/unmark; readers only probe.
+pub struct DirtySet {
+    stripes: Vec<Mutex<HashMap<Key, u32>>>,
+}
+
+impl Default for DirtySet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DirtySet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DirtySet {
+            stripes: (0..DIRTY_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn stripe(&self, key: &Key) -> &Mutex<HashMap<Key, u32>> {
+        &self.stripes[(key.stable_hash() as usize) & (DIRTY_STRIPES - 1)]
+    }
+
+    /// Marks a key dirty (one more in-flight write touching it).
+    pub fn mark(&self, key: &Key) {
+        *self.stripe(key).lock().entry(key.clone()).or_insert(0) += 1;
+    }
+
+    /// Retires one in-flight write for the key.
+    pub fn unmark(&self, key: &Key) {
+        let mut s = self.stripe(key).lock();
+        if let Some(n) = s.get_mut(key) {
+            *n -= 1;
+            if *n == 0 {
+                s.remove(key);
+            }
+        }
+    }
+
+    /// Whether any in-flight chain write touches the key.
+    pub fn is_dirty(&self, key: &Key) -> bool {
+        self.stripe(key).lock().contains_key(key)
+    }
+
+    /// Drops every mark (chain-of-one commit, harness reset).
+    pub fn clear(&self) {
+        for s in &self.stripes {
+            s.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::{Mode, ShardId};
+
+    fn info(mode: Mode, epoch: u64) -> ShardInfo {
+        ShardInfo {
+            shard: ShardId(0),
+            mode,
+            replicas: vec![NodeId(0), NodeId(1), NodeId(2)],
+            epoch,
+        }
+    }
+
+    #[test]
+    fn closed_gate_falls_back() {
+        let s = ServingState::new();
+        let t = s.begin_read();
+        assert_eq!(ServingState::permit(t, Consistency::Eventual), ReadPermit::Fallback);
+        assert_eq!(ServingState::permit(t, Consistency::Strong), ReadPermit::Fallback);
+        assert!(!s.is_open());
+    }
+
+    #[test]
+    fn ms_sc_tail_serves_strong_mid_needs_clean() {
+        let s = ServingState::new();
+        s.publish(Some(&info(Mode::MS_SC, 3)), NodeId(2), false);
+        let t = s.begin_read();
+        assert_eq!(ServingState::permit(t, Consistency::Strong), ReadPermit::Serve);
+        s.publish(Some(&info(Mode::MS_SC, 3)), NodeId(1), false);
+        let t = s.begin_read();
+        assert_eq!(
+            ServingState::permit(t, Consistency::Strong),
+            ReadPermit::ServeIfClean
+        );
+        assert_eq!(ServingState::permit(t, Consistency::Eventual), ReadPermit::Serve);
+    }
+
+    #[test]
+    fn ms_ec_master_serves_strong_slave_ec_only() {
+        let s = ServingState::new();
+        s.publish(Some(&info(Mode::MS_EC, 0)), NodeId(0), false);
+        let t = s.begin_read();
+        assert_eq!(ServingState::permit(t, Consistency::Strong), ReadPermit::Serve);
+        s.publish(Some(&info(Mode::MS_EC, 0)), NodeId(1), false);
+        let t = s.begin_read();
+        assert_eq!(ServingState::permit(t, Consistency::Strong), ReadPermit::Fallback);
+        assert_eq!(ServingState::permit(t, Consistency::Eventual), ReadPermit::Serve);
+    }
+
+    #[test]
+    fn aa_modes_never_serve_strong() {
+        for mode in [Mode::AA_SC, Mode::AA_EC] {
+            let s = ServingState::new();
+            s.publish(Some(&info(mode, 1)), NodeId(1), false);
+            let t = s.begin_read();
+            assert_eq!(ServingState::permit(t, Consistency::Strong), ReadPermit::Fallback);
+            assert_eq!(ServingState::permit(t, Consistency::Eventual), ReadPermit::Serve);
+        }
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_in_progress_reads() {
+        let s = ServingState::new();
+        let i = info(Mode::MS_SC, 4);
+        s.publish(Some(&i), NodeId(2), false);
+        let token = s.begin_read();
+        assert!(s.validate(token));
+        let mut bumped = i.clone();
+        bumped.epoch = 5;
+        s.publish(Some(&bumped), NodeId(2), false);
+        assert!(!s.validate(token), "epoch bump must fail seqlock validation");
+        assert_eq!(s.epoch(), 5);
+    }
+
+    #[test]
+    fn quiesce_and_nonmember_close_the_gate() {
+        let s = ServingState::new();
+        let i = info(Mode::MS_EC, 2);
+        s.publish(Some(&i), NodeId(1), true);
+        assert!(!s.is_open());
+        s.publish(Some(&i), NodeId(9), false);
+        assert!(!s.is_open());
+        s.publish(None, NodeId(1), false);
+        assert!(!s.is_open());
+        s.publish(Some(&i), NodeId(1), false);
+        assert!(s.is_open());
+        s.close();
+        assert!(!s.is_open());
+    }
+
+    #[test]
+    fn dirty_set_refcounts() {
+        let d = DirtySet::new();
+        let k = Key::from("k");
+        assert!(!d.is_dirty(&k));
+        d.mark(&k);
+        d.mark(&k);
+        d.unmark(&k);
+        assert!(d.is_dirty(&k), "still one in-flight write");
+        d.unmark(&k);
+        assert!(!d.is_dirty(&k));
+        // Unmarking a clean key must not underflow or panic.
+        d.unmark(&k);
+        assert!(!d.is_dirty(&k));
+        d.mark(&k);
+        d.clear();
+        assert!(!d.is_dirty(&k));
+    }
+}

@@ -8,6 +8,8 @@
 
 use bespokv_types::kv::fnv1a;
 use bespokv_types::{Key, KvError, KvResult, Value, Version};
+use bytes::Bytes;
+use std::ops::Range;
 
 const RECORD_MAGIC: u8 = 0xB5;
 
@@ -48,8 +50,18 @@ pub struct DecodedRecord {
     pub total_len: usize,
 }
 
-/// Decodes one record from the front of `buf`, verifying the checksum.
-pub fn decode(buf: &[u8]) -> KvResult<DecodedRecord> {
+/// Byte ranges of one parsed record inside its source buffer.
+struct RawRecord {
+    table: Range<usize>,
+    key: Range<usize>,
+    value: Option<Range<usize>>,
+    version: Version,
+    total_len: usize,
+}
+
+/// Parses and checksum-verifies one record, returning field offsets
+/// without materializing any field.
+fn parse(buf: &[u8]) -> KvResult<RawRecord> {
     let err = |m: &str| KvError::Corrupt(format!("log record: {m}"));
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> KvResult<&[u8]> {
@@ -64,16 +76,21 @@ pub fn decode(buf: &[u8]) -> KvResult<DecodedRecord> {
         return Err(err("bad magic"));
     }
     let tlen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
-    let table = String::from_utf8(take(&mut pos, tlen)?.to_vec())
-        .map_err(|_| err("non-utf8 table name"))?;
+    let table = pos..pos + tlen;
+    if std::str::from_utf8(take(&mut pos, tlen)?).is_err() {
+        return Err(err("non-utf8 table name"));
+    }
     let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-    let key = Key::from(take(&mut pos, klen)?.to_vec());
+    let key = pos..pos + klen;
+    take(&mut pos, klen)?;
     let tag = take(&mut pos, 1)?[0];
     let value = match tag {
         0 => None,
         1 => {
             let vlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-            Some(Value::from(take(&mut pos, vlen)?.to_vec()))
+            let r = pos..pos + vlen;
+            take(&mut pos, vlen)?;
+            Some(r)
         }
         _ => return Err(err("bad value tag")),
     };
@@ -83,12 +100,42 @@ pub fn decode(buf: &[u8]) -> KvResult<DecodedRecord> {
     if fnv1a(&buf[..body_end]) != sum {
         return Err(err("checksum mismatch"));
     }
-    Ok(DecodedRecord {
+    Ok(RawRecord {
         table,
         key,
         value,
         version,
         total_len: pos,
+    })
+}
+
+/// Decodes one record from the front of `buf`, verifying the checksum.
+/// Key and value are copied out of the borrowed buffer; read paths that
+/// hold an owning [`Bytes`] should prefer [`decode_shared`].
+pub fn decode(buf: &[u8]) -> KvResult<DecodedRecord> {
+    let raw = parse(buf)?;
+    Ok(DecodedRecord {
+        table: String::from_utf8(buf[raw.table].to_vec()).expect("validated by parse"),
+        key: Key::from(buf[raw.key].to_vec()),
+        value: raw.value.map(|r| Value::from(buf[r].to_vec())),
+        version: raw.version,
+        total_len: raw.total_len,
+    })
+}
+
+/// Decodes one record from the front of an owning [`Bytes`] buffer. The
+/// key and value alias `buf` (refcounted slices) instead of copying the
+/// payload — this is the read hot path for `tLog`.
+pub fn decode_shared(buf: &Bytes) -> KvResult<DecodedRecord> {
+    let raw = parse(buf)?;
+    Ok(DecodedRecord {
+        table: std::str::from_utf8(&buf[raw.table.clone()])
+            .expect("validated by parse")
+            .to_string(),
+        key: Key(buf.slice(raw.key)),
+        value: raw.value.map(|r| Value(buf.slice(r))),
+        version: raw.version,
+        total_len: raw.total_len,
     })
 }
 
@@ -107,6 +154,33 @@ mod tests {
             assert_eq!(d.version, 7);
             assert_eq!(d.total_len, rec.len());
         }
+    }
+
+    #[test]
+    fn shared_decode_aliases_the_buffer() {
+        let rec = encode("tbl", &Key::from("key"), Some(&Value::from("payload")), 9);
+        let buf = Bytes::from(rec);
+        let d = decode_shared(&buf).unwrap();
+        assert_eq!(d.table, "tbl");
+        assert_eq!(d.key, Key::from("key"));
+        assert_eq!(d.version, 9);
+        let value = d.value.unwrap();
+        assert_eq!(value, Value::from("payload"));
+        // Zero-copy: the decoded value points into the source allocation.
+        let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(
+            buf_range.contains(&(value.0.as_ptr() as usize)),
+            "decode_shared copied the payload instead of aliasing it"
+        );
+    }
+
+    #[test]
+    fn shared_decode_rejects_what_decode_rejects() {
+        let mut rec = encode("t", &Key::from("k"), Some(&Value::from("v")), 1);
+        let mid = rec.len() / 2;
+        rec[mid] ^= 0xFF;
+        assert!(decode_shared(&Bytes::from(rec.clone())).is_err());
+        assert!(decode_shared(&Bytes::from(rec[..rec.len() - 1].to_vec())).is_err());
     }
 
     #[test]

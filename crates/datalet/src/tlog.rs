@@ -287,8 +287,11 @@ impl Datalet for TLog {
                 _ => return Err(KvError::NotFound),
             }
         };
-        let raw = self.device.read_at(entry.offset, entry.len as usize)?;
-        let rec = crate::record::decode(&raw)?;
+        // The device hands back an owning buffer; decode_shared slices it
+        // so the returned value aliases that allocation instead of copying
+        // the payload.
+        let raw = bytes::Bytes::from(self.device.read_at(entry.offset, entry.len as usize)?);
+        let rec = crate::record::decode_shared(&raw)?;
         match rec.value {
             Some(v) => Ok(VersionedValue::new(v, rec.version)),
             None => Err(KvError::Corrupt("index points at tombstone".into())),

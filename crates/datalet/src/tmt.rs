@@ -39,6 +39,12 @@ impl TableStore for OrderedMap {
         self.map.read().get(key).cloned()
     }
 
+    fn read_live(&self, key: &Key) -> Option<VersionedValue> {
+        // Straight to the client representation: no Record clone, and the
+        // value is a refcount bump on the stored `Bytes`.
+        self.map.read().get(key).and_then(Record::to_versioned)
+    }
+
     fn range(&self, start: &Key, end: &Key, limit: usize) -> Option<Vec<(Key, VersionedValue)>> {
         // BTreeMap::range panics on a reversed window; a client-supplied
         // scan must degrade to "no hits" instead of taking the store down.

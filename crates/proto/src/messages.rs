@@ -149,6 +149,28 @@ pub enum ReplMsg {
         /// Replication sequence the snapshot corresponds to.
         snapshot_seq: u64,
     },
+    /// Group commit: several chain writes coalesced into one message
+    /// (MS+SC). Semantically identical to the items sent as individual
+    /// [`ReplMsg::ChainPut`]s in order; receivers apply idempotently so
+    /// duplicated or reordered batches are safe.
+    ChainPutBatch {
+        /// Shard the writes belong to.
+        shard: ShardId,
+        /// Sender's view of the shard epoch; stale epochs are rejected.
+        epoch: u64,
+        /// The coalesced writes, in version order.
+        items: Vec<(RequestId, LogEntry)>,
+    },
+    /// Group commit: acks for a whole [`ReplMsg::ChainPutBatch`] flowing
+    /// back up the chain (MS+SC).
+    ChainAckBatch {
+        /// Shard.
+        shard: ShardId,
+        /// Epoch.
+        epoch: u64,
+        /// `(rid, version)` pairs the tail durably holds.
+        items: Vec<(RequestId, Version)>,
+    },
 }
 
 wire_enum!(ReplMsg {
@@ -162,6 +184,8 @@ wire_enum!(ReplMsg {
     7 => ForwardedResp { resp },
     8 => RecoveryReq { shard, from },
     9 => RecoveryChunk { shard, from, entries, done, snapshot_seq },
+    10 => ChainPutBatch { shard, epoch, items },
+    11 => ChainAckBatch { shard, epoch, items },
 });
 
 /// Coordinator messages (controlet <-> coordinator, client <-> coordinator).
@@ -416,6 +440,10 @@ impl NetMsg {
                     | ReplMsg::RecoveryChunk { entries, .. } => {
                         entries.iter().map(LogEntry::wire_size).sum::<usize>() + 16
                     }
+                    ReplMsg::ChainPutBatch { items, .. } => {
+                        items.iter().map(|(_, e)| e.wire_size() + 8).sum::<usize>() + 16
+                    }
+                    ReplMsg::ChainAckBatch { items, .. } => 16 * items.len() + 16,
                     ReplMsg::ForwardedReq { req, .. } => request_size(req),
                     ReplMsg::ForwardedResp { resp } => response_size(resp),
                 }
@@ -682,6 +710,41 @@ mod tests {
             req: Request::new(rid(), Op::Get { key: Key::from("k") }),
             reply_via: NodeId(2),
         });
+    }
+
+    #[test]
+    fn chain_batch_messages_roundtrip() {
+        roundtrip(ReplMsg::ChainPutBatch {
+            shard: ShardId(0),
+            epoch: 5,
+            items: vec![(rid(), entry()), (RequestId::compose(ClientId(2), 9), entry())],
+        });
+        roundtrip(ReplMsg::ChainPutBatch {
+            shard: ShardId(3),
+            epoch: 0,
+            items: Vec::new(),
+        });
+        roundtrip(ReplMsg::ChainAckBatch {
+            shard: ShardId(0),
+            epoch: 5,
+            items: vec![(rid(), 42), (RequestId::compose(ClientId(2), 9), 43)],
+        });
+    }
+
+    #[test]
+    fn chain_batch_wire_size_tracks_payload() {
+        let one = NetMsg::Repl(ReplMsg::ChainPutBatch {
+            shard: ShardId(0),
+            epoch: 1,
+            items: vec![(rid(), entry())],
+        });
+        let many = NetMsg::Repl(ReplMsg::ChainPutBatch {
+            shard: ShardId(0),
+            epoch: 1,
+            items: (0..32).map(|_| (rid(), entry())).collect(),
+        });
+        // 31 extra items, each at least one entry's footprint.
+        assert!(many.wire_size() >= one.wire_size() + 31 * entry().wire_size());
     }
 
     #[test]

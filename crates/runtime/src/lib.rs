@@ -25,7 +25,7 @@ pub mod sim;
 pub mod tcp;
 
 pub use actor::{Action, Actor, Addr, Context, Event};
-pub use live::LiveRuntime;
+pub use live::{LiveRuntime, Mailbox};
 pub use netmodel::{
     CostModel, FaultOutcome, FaultPlan, LinkFaults, NetworkModel, Partition, TransportProfile,
 };

@@ -78,6 +78,24 @@ impl LiveRuntime {
         self.router.send(from, to, msg);
     }
 
+    /// Registers an external mailbox: an address that participates in the
+    /// message fabric without an actor thread behind it. Edge threads (TCP
+    /// workers, benches) use it to inject requests into actors and receive
+    /// the responses those actors address back to the mailbox.
+    pub fn register_mailbox(&mut self) -> Mailbox {
+        let addr = Addr(self.handles.len() as u32);
+        let (tx, rx) = unbounded();
+        self.router.senders.write().push(Some(tx));
+        // No thread: keep the handle table aligned with addresses so
+        // `kill`/`shutdown` indexing stays valid (both are no-ops here).
+        self.handles.push(None);
+        Mailbox {
+            addr,
+            rx,
+            router: Arc::clone(&self.router),
+        }
+    }
+
     /// Kills an actor: its channel is closed and further sends to it drop.
     /// Returns the actor's final state once its thread exits.
     pub fn kill(&mut self, addr: Addr) -> Option<Box<dyn Actor>> {
@@ -106,6 +124,56 @@ impl LiveRuntime {
 impl Default for LiveRuntime {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// An external participant in a [`LiveRuntime`]'s message fabric: it has an
+/// address actors can reply to, but no thread or actor of its own. Cloning
+/// shares the underlying channel (clones *steal* messages from each other —
+/// use one receiving thread, or one clone per independent request stream).
+#[derive(Clone)]
+pub struct Mailbox {
+    addr: Addr,
+    rx: Receiver<Envelope>,
+    router: Arc<Router>,
+}
+
+impl Mailbox {
+    /// The address actors see as the sender of this mailbox's messages.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Sends a message into the runtime, from this mailbox's address.
+    pub fn send(&self, to: Addr, msg: NetMsg) {
+        self.router.send(self.addr, to, msg);
+    }
+
+    /// Receives the next message addressed to this mailbox, waiting at most
+    /// `timeout`. Returns `None` on timeout or runtime teardown.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<(Addr, NetMsg)> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(Envelope::Msg { from, msg }) => return Some((from, msg)),
+                // A Stop can reach a mailbox via kill(); ignore and keep
+                // draining until the deadline.
+                Ok(Envelope::Stop) => continue,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(Addr, NetMsg)> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(Envelope::Msg { from, msg }) => return Some((from, msg)),
+                Ok(Envelope::Stop) => continue,
+                Err(_) => return None,
+            }
+        }
     }
 }
 
@@ -337,6 +405,27 @@ mod tests {
         wait_for_count(&beeps, 5, "timer beeps");
         rt.kill(b).unwrap();
         assert_eq!(beeps.load(Ordering::Acquire), 5, "timer re-armed past its stop");
+    }
+
+    #[test]
+    fn mailbox_round_trips_through_an_actor() {
+        let mut rt = LiveRuntime::new();
+        let ponger = rt.spawn(Box::new(Ponger { seen: 0 }));
+        let mailbox = rt.register_mailbox();
+        mailbox.send(ponger, NetMsg::Coord(CoordMsg::GetShardMap));
+        let (from, msg) = mailbox
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("echo");
+        assert_eq!(from, ponger);
+        assert!(matches!(msg, NetMsg::Coord(CoordMsg::GetShardMap)));
+        // Address table stays aligned: killing the mailbox address is a
+        // no-op and the actor after it is still reachable.
+        let second = rt.spawn(Box::new(Ponger { seen: 0 }));
+        assert_eq!(second.0, mailbox.addr().0 + 1);
+        mailbox.send(second, NetMsg::Coord(CoordMsg::GetShardMap));
+        assert!(mailbox.recv_timeout(std::time::Duration::from_secs(5)).is_some());
+        rt.kill(ponger).expect("ponger state");
+        assert!(rt.kill(mailbox.addr()).is_none(), "mailbox has no actor state");
     }
 
     #[test]

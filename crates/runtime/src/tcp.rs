@@ -91,7 +91,9 @@ impl TcpServer {
             conns: Mutex::new(HashMap::new()),
             accepted: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
-            pool: options.worker_threads.map(WorkerPool::new),
+            pool: options
+                .worker_threads
+                .map(|n| WorkerPool::new(n, Arc::clone(&handler))),
         });
         let shared2 = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -225,11 +227,12 @@ fn serve_connection(
                     }
                     Some(pool) => {
                         // Fan the request out to the pool; the FIFO of
-                        // receivers preserves response order.
+                        // receivers preserves response order. Workers own
+                        // their handler clone, so nothing is cloned here
+                        // per request.
                         let (tx, rx) = mpsc::channel();
-                        let handler = Arc::clone(&handler);
-                        pool.submit(Box::new(move || {
-                            let _ = tx.send(handler(req));
+                        pool.submit(Box::new(move |h| {
+                            let _ = tx.send(h(req));
                         }));
                         pending.push_back(rx);
                     }
@@ -254,21 +257,24 @@ fn serve_connection(
     }
 }
 
-type Job = Box<dyn FnOnce() + Send>;
+type Job = Box<dyn FnOnce(&Handler) + Send>;
 
-/// A fixed-size pool of worker threads fed by a bounded queue.
+/// A fixed-size pool of worker threads fed by a bounded queue. Each worker
+/// owns its own clone of the request handler, so submitting a job costs no
+/// per-request `Arc` traffic on the connection thread.
 struct WorkerPool {
     tx: Option<channel::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, handler: Arc<Handler>) -> Self {
         let n = n.max(1);
         let (tx, rx) = channel::bounded::<Job>(n * 64);
         let workers = (0..n)
             .map(|i| {
                 let rx = rx.clone();
+                let handler = Arc::clone(&handler);
                 std::thread::Builder::new()
                     .name(format!("bespokv-worker-{i}"))
                     .spawn(move || {
@@ -277,7 +283,9 @@ impl WorkerPool {
                             // one worker: the connection waiting on the job's
                             // dropped sender sees an error and is dropped,
                             // but pool capacity is preserved.
-                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                job(&*handler)
+                            }));
                         }
                     })
                     .expect("spawn worker thread")
@@ -546,12 +554,12 @@ mod tests {
 
     #[test]
     fn worker_pool_survives_panicking_job() {
-        let pool = WorkerPool::new(1);
-        pool.submit(Box::new(|| panic!("handler panic")));
+        let pool = WorkerPool::new(1, kv_handler());
+        pool.submit(Box::new(|_h| panic!("handler panic")));
         // With a single worker, this job only runs if that worker survived
         // the panic above.
         let (tx, rx) = mpsc::channel();
-        pool.submit(Box::new(move || {
+        pool.submit(Box::new(move |_h| {
             let _ = tx.send(());
         }));
         assert!(

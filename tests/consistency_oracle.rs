@@ -39,15 +39,20 @@ fn k(i: usize) -> String {
     format!("k{}", i % KEYS)
 }
 
-fn oracle_spec(mode: Mode, seed: u64) -> ClusterSpec {
-    ClusterSpec::new(1, 3, mode)
+fn oracle_spec(mode: Mode, seed: u64, fast_path: bool) -> ClusterSpec {
+    let spec = ClusterSpec::new(1, 3, mode)
         .with_standbys(1)
         .with_coord(CoordConfig {
             failure_timeout: Duration::from_millis(1200),
             check_every: Duration::from_millis(200),
         })
         .with_faults(FaultPlan::new(seed).with_default(LinkFaults::lossy(DROP_P)))
-        .with_history()
+        .with_history();
+    if fast_path {
+        spec.with_fast_path()
+    } else {
+        spec
+    }
 }
 
 struct RunArtifacts {
@@ -55,20 +60,29 @@ struct RunArtifacts {
     applies: Vec<ApplyEvent>,
     replicas: Vec<(NodeId, BTreeMap<Key, Value>)>,
     acked_writes: usize,
+    /// Every client's results, in attachment order (determinism compares).
+    results: Vec<Vec<Result<bespokv_suite::proto::RespBody, bespokv_suite::types::KvError>>>,
+    /// Fast-path serves / fallbacks across all nodes (0/0 when disabled).
+    fast_hits: u64,
+    fast_fallbacks: u64,
 }
 
 /// One kill + rejoin scenario: two writers and a reader share a small
 /// keyspace while node 0 is crashed mid-workload under packet loss; after
 /// the coordinator repairs onto the standby, the dead node is restarted as
 /// a fresh standby (rejoin). Every operation is recorded.
-fn run_fault_scenario(mode: Mode, seed: u64) -> RunArtifacts {
-    let mut cluster = SimCluster::build(oracle_spec(mode, seed));
+fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool) -> RunArtifacts {
+    let mut cluster = SimCluster::build(oracle_spec(mode, seed, fast_path));
     // Unique values per (client, op) so the checker can anchor writes.
+    // Scripts are long enough that steps are still being issued when the
+    // repair lands (~2 s in): during the outage each step burns its retry
+    // budget in ~400 ms, so post-repair acks — the proof of recovery —
+    // need steps left over, for every seed and schedule.
     let writer_a = cluster.add_script_client(
-        (0..20).map(|i| put(&k(i), &format!("a{i}"))).collect(),
+        (0..40).map(|i| put(&k(i), &format!("a{i}"))).collect(),
     );
     let writer_b = cluster.add_script_client(
-        (0..14)
+        (0..28)
             .map(|i| {
                 if i % 7 == 6 {
                     del(&k(i))
@@ -78,7 +92,9 @@ fn run_fault_scenario(mode: Mode, seed: u64) -> RunArtifacts {
             })
             .collect(),
     );
-    let reader = cluster.add_script_client((0..24).map(|i| get(&k(i))).collect());
+    // Long enough that plenty of reads land after the first group-commit
+    // flush window (~1 ms) — early reads legitimately observe "absent".
+    let reader = cluster.add_script_client((0..48).map(|i| get(&k(i))).collect());
 
     cluster.run_for(Duration::from_millis(400));
     cluster.kill_node(NodeId(0));
@@ -105,6 +121,14 @@ fn run_fault_scenario(mode: Mode, seed: u64) -> RunArtifacts {
             c.results.iter().filter(|r| r.is_ok()).count()
         })
         .sum();
+    let results = [writer_a, writer_b, reader]
+        .iter()
+        .map(|&a| cluster.sim.actor_mut::<ScriptClient>(a).results.clone())
+        .collect();
+    let (fast_hits, fast_fallbacks) = cluster
+        .fast_path()
+        .map(|t| (t.total_hits(), t.total_fallbacks()))
+        .unwrap_or((0, 0));
 
     let recorder = cluster.history().expect("history enabled").clone();
     let replicas = cluster
@@ -117,12 +141,32 @@ fn run_fault_scenario(mode: Mode, seed: u64) -> RunArtifacts {
         applies: recorder.applies(),
         replicas,
         acked_writes,
+        results,
+        fast_hits,
+        fast_fallbacks,
     }
 }
 
-fn check_mode_under_faults(mode: Mode) {
+fn check_mode_under_faults(mode: Mode, fast_path: bool) {
     for seed in SEEDS {
-        let run = run_fault_scenario(mode, seed);
+        let run = run_fault_scenario(mode, seed, fast_path);
+        if fast_path {
+            // The fast path must actually carry reads — except under
+            // AA+SC, where every Default read resolves to Strong and
+            // Strong is never fast-path-eligible under AA.
+            if mode == Mode::AA_SC {
+                assert_eq!(
+                    run.fast_hits, 0,
+                    "seed {seed}: AA+SC must never serve strong reads off the fast path"
+                );
+                assert!(run.fast_fallbacks > 0, "seed {seed}: gate never consulted");
+            } else {
+                assert!(
+                    run.fast_hits > 0,
+                    "{mode:?} seed {seed}: fast path enabled but served nothing"
+                );
+            }
+        }
         // During the outage window, steps burn their retry budget quickly
         // and fail back to the script (which marches on), so only a floor
         // is asserted: enough acked writes to prove the cluster recovered
@@ -169,22 +213,96 @@ fn check_mode_under_faults(mode: Mode) {
 
 #[test]
 fn oracle_ms_sc_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::MS_SC);
+    check_mode_under_faults(Mode::MS_SC, false);
 }
 
 #[test]
 fn oracle_ms_ec_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::MS_EC);
+    check_mode_under_faults(Mode::MS_EC, false);
 }
 
 #[test]
 fn oracle_aa_sc_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::AA_SC);
+    check_mode_under_faults(Mode::AA_SC, false);
 }
 
 #[test]
 fn oracle_aa_ec_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::AA_EC);
+    check_mode_under_faults(Mode::AA_EC, false);
+}
+
+// Same scenarios with the shared-datalet read fast path enabled: reads are
+// served off edge interception whenever the serving gate permits, and the
+// exact same oracle must hold — the fast path is invisible to correctness.
+
+#[test]
+fn oracle_ms_sc_fastpath_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::MS_SC, true);
+}
+
+#[test]
+fn oracle_ms_ec_fastpath_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::MS_EC, true);
+}
+
+#[test]
+fn oracle_aa_sc_fastpath_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::AA_SC, true);
+}
+
+#[test]
+fn oracle_aa_ec_fastpath_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::AA_EC, true);
+}
+
+/// Determinism gate for the whole stack — group-commit batching, fault
+/// injection, and the fast path together: the same spec and seed must
+/// replay to bit-identical client results, replica contents, and fast-path
+/// counters.
+#[test]
+fn oracle_fastpath_same_seed_runs_are_identical() {
+    for seed in [SEEDS[0], SEEDS[2]] {
+        let a = run_fault_scenario(Mode::MS_SC, seed, true);
+        let b = run_fault_scenario(Mode::MS_SC, seed, true);
+        assert_eq!(a.results, b.results, "seed {seed}: client results diverged");
+        assert_eq!(a.replicas, b.replicas, "seed {seed}: replica state diverged");
+        assert_eq!(
+            (a.fast_hits, a.fast_fallbacks),
+            (b.fast_hits, b.fast_fallbacks),
+            "seed {seed}: fast-path counters diverged"
+        );
+        assert_eq!(a.acked_writes, b.acked_writes, "seed {seed}");
+    }
+}
+
+/// The fast path must slam shut on failover: killing the serving node
+/// closes its gate immediately, and the repaired configuration publishes a
+/// bumped epoch on the survivors — so no in-progress read can validate
+/// across the reconfiguration.
+#[test]
+fn oracle_fastpath_gate_closes_on_kill_and_bumps_epoch_on_repair() {
+    let mut cluster = SimCluster::build(oracle_spec(Mode::MS_SC, 7, true));
+    cluster.run_for(Duration::from_millis(500));
+    let t = std::sync::Arc::clone(cluster.fast_path().expect("fast path enabled"));
+
+    let tail_gate = t.gate(NodeId(2)).expect("tail registered");
+    assert!(tail_gate.is_open(), "tail gate open before the fault");
+    let epoch_before = tail_gate.epoch();
+
+    cluster.kill_node(NodeId(0));
+    assert!(
+        t.gate(NodeId(0)).is_none(),
+        "killed node must be unregistered from the fast path"
+    );
+    // Failure detection + chain splice + recovery onto the standby.
+    cluster.run_for(Duration::from_secs(12));
+    assert!(
+        tail_gate.epoch() > epoch_before,
+        "surviving tail must republish a bumped epoch after repair \
+         (before {epoch_before}, after {})",
+        tail_gate.epoch()
+    );
+    assert!(tail_gate.is_open(), "tail serves again after repair");
 }
 
 /// MS+EC -> MS+SC transition with history: operations issued before, during
@@ -270,6 +388,88 @@ fn oracle_ms_ec_to_ms_sc_transition() {
         conv.divergent
     );
     assert_eq!(conv.keys, KEYS, "every key survived the transition");
+}
+
+/// The transition variant with the fast path enabled: the old controlets'
+/// gates must close when the switch begins (quiesce) and stay closed once
+/// they are out of the replica set, the replacement controlets' gates only
+/// open under the new mode — and the strong sub-history must remain
+/// linearizable with edge-served reads in the mix.
+#[test]
+fn oracle_ms_ec_to_ms_sc_transition_fastpath() {
+    let mut cluster = SimCluster::build(
+        ClusterSpec::new(1, 3, Mode::MS_EC)
+            .with_history()
+            .with_fast_path(),
+    );
+    let seed: Vec<Step> = (0..KEYS)
+        .flat_map(|i| {
+            vec![
+                put(&k(i), &format!("seed{i}")),
+                get(&k(i)).with_level(ConsistencyLevel::Strong),
+                get(&k(i)),
+            ]
+        })
+        .collect();
+    let seeder = cluster.add_script_client(seed);
+    cluster.run_for(Duration::from_secs(2));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(seeder).done());
+    let t = std::sync::Arc::clone(cluster.fast_path().expect("fast path enabled"));
+    assert!(
+        t.total_hits() > 0,
+        "MS+EC reads should serve off the fast path before the transition"
+    );
+    let old_master_gate = t.gate(NodeId(0)).expect("old master registered");
+    assert!(old_master_gate.is_open());
+
+    let new_nodes = cluster.start_transition(ShardId(0), Mode::MS_SC);
+    let during = cluster.add_script_client(
+        (0..8)
+            .flat_map(|i| {
+                vec![
+                    put(&k(i), &format!("mid{i}")),
+                    get(&k(i)).with_level(ConsistencyLevel::Strong),
+                    get(&k(i)),
+                ]
+            })
+            .collect(),
+    );
+    cluster.run_for(Duration::from_secs(4));
+    assert!(cluster.sim.actor_mut::<ScriptClient>(during).done());
+
+    // The old master quiesced (and left the replica set): its gate is shut
+    // for good. The new tail serves strong reads under the new mode.
+    assert!(
+        !old_master_gate.is_open(),
+        "old master's gate must close across the transition"
+    );
+    let new_tail = *new_nodes.last().expect("replicas");
+    let new_tail_gate = t.gate(new_tail).expect("new tail registered");
+    assert!(
+        new_tail_gate.is_open(),
+        "new tail must serve once the transition commits"
+    );
+
+    let recorder = cluster.history().expect("history enabled").clone();
+    let strong_core: Vec<HistoryEvent> = recorder
+        .events()
+        .into_iter()
+        .filter(|e| e.op.is_write() || e.level == ConsistencyLevel::Strong)
+        .collect();
+    let lin = check_linearizable(&strong_core, &BTreeMap::new());
+    assert!(
+        lin.ok(),
+        "strong ops regressed across the fast-path transition: {:#?}",
+        lin.violations
+    );
+
+    let replicas: Vec<(NodeId, BTreeMap<Key, Value>)> = cluster
+        .dump_replicas(ShardId(0))
+        .into_iter()
+        .map(|(node, entries)| (node, replica_live_map(entries)))
+        .collect();
+    let conv = check_convergence(&replicas);
+    assert!(conv.ok(), "replicas diverged: {:#?}", conv.divergent);
 }
 
 /// Teeth test: a client with the dev-only stale-read bug (repeated Gets
