@@ -15,3 +15,12 @@ cargo bench --no-run -p bespokv-bench
 # (linearizability for SC, convergence for EC, transition, teeth test).
 cargo test -p bespokv-checker -q
 cargo test --test consistency_oracle -q
+
+# The same sweep with aggressive load shedding armed (head window 1,
+# 2 ms queue bound, tight MS+EC watermarks): sheds, forced trims and
+# resyncs must never become consistency violations.
+BESPOKV_SHED=1 cargo test --test consistency_oracle -q
+
+# Saturation probe must build; CI doesn't run it (timing-sensitive),
+# see EXPERIMENTS.md for the BENCH_saturate.json recipe.
+cargo build --release -p bespokv-bench --bin saturate

@@ -88,6 +88,7 @@ impl BaselineClient {
                 table,
                 op,
                 level,
+                deadline: bespokv_types::Instant::ZERO,
             };
             let target = match &self.router {
                 Some(route) => route(&req, self.rr as u64),

@@ -172,6 +172,7 @@ impl DataletServer {
                     epoch: 0,
                     first_seq,
                     floor: 0,
+                    budget: Duration::ZERO,
                     entries: entries.clone(),
                 }),
             );

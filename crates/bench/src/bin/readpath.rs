@@ -140,6 +140,7 @@ fn main() {
     );
     let pool = ServerOptions {
         worker_threads: Some(8),
+        ..ServerOptions::default()
     };
     let head_srv = TcpServer::bind_with(
         "127.0.0.1:0",

@@ -25,8 +25,8 @@ use bespokv_proto::{CoordMsg, NetMsg};
 use bespokv_runtime::{Addr, CostModel, FaultPlan, NetworkModel, Simulation, TransportProfile};
 use bespokv_sharedlog::SharedLogActor;
 use bespokv_types::{
-    ClientId, Duration, HistoryRecorder, Key, Mode, NodeId, Partitioning, ShardId, ShardInfo,
-    ShardMap, Value,
+    ClientId, Duration, HistoryRecorder, Key, Mode, NodeId, OverloadConfig, OverloadCounters,
+    Partitioning, ShardId, ShardInfo, ShardMap, Value,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -81,6 +81,11 @@ pub struct ClusterSpec {
     /// datalets whenever the target node's serving gate permits, only
     /// falling back to the controlet actor loop otherwise.
     pub fast_path: bool,
+    /// When set, the overload-protection layer is armed end to end: the
+    /// runtime's bounded queues, every controlet's shed points, and every
+    /// client's deadline/retry budget share this config and one
+    /// [`OverloadCounters`] set (see `SimCluster::overload_counters`).
+    pub overload: Option<OverloadConfig>,
 }
 
 impl ClusterSpec {
@@ -104,6 +109,7 @@ impl ClusterSpec {
             faults: None,
             history: false,
             fast_path: false,
+            overload: None,
         }
     }
 
@@ -123,6 +129,12 @@ impl ClusterSpec {
     /// Enables the shared-datalet read fast path for scripted clients.
     pub fn with_fast_path(mut self) -> Self {
         self.fast_path = true;
+        self
+    }
+
+    /// Arms the end-to-end overload-protection layer with `cfg`.
+    pub fn with_overload(mut self, cfg: OverloadConfig) -> Self {
+        self.overload = Some(cfg);
         self
     }
 
@@ -208,6 +220,9 @@ pub struct SimCluster {
     recorder: Option<HistoryRecorder>,
     /// Shared read fast path (present when the spec enabled it).
     fast_path: Option<Arc<crate::edge::FastPathTable>>,
+    /// Cluster-wide overload counters (meaningful when the spec armed
+    /// overload protection; zeroes otherwise).
+    overload_counters: Arc<OverloadCounters>,
     /// Datalet per node id — unlike `datalets` (indexed by original node
     /// order), this also covers transition controlets with high node ids.
     datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>>,
@@ -246,6 +261,10 @@ impl SimCluster {
         let fast_path = spec
             .fast_path
             .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
+        let overload_counters = Arc::new(OverloadCounters::new());
+        if let Some(o) = spec.overload {
+            sim.set_max_queue_delay(o.max_queue_delay);
+        }
         let mut datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>> = HashMap::new();
         let mut controlets = Vec::new();
         let mut datalets: Vec<Arc<dyn Datalet>> = Vec::new();
@@ -263,6 +282,10 @@ impl SimCluster {
                 cfg.log_poll_every = spec.log_poll_every;
                 cfg.p2p_forwarding = spec.p2p;
                 cfg.recorder = recorder.clone();
+                if let Some(o) = spec.overload {
+                    cfg.overload = o;
+                    cfg.counters = Arc::clone(&overload_counters);
+                }
                 let controlet = Controlet::with_info(cfg, Arc::clone(&datalet), info.clone())
                     .with_cluster_map(map.clone());
                 // The gate and dirty set must be grabbed before the
@@ -302,6 +325,10 @@ impl SimCluster {
             cfg.prop_flush_every = spec.prop_flush_every;
             cfg.log_poll_every = spec.log_poll_every;
             cfg.recorder = recorder.clone();
+            if let Some(o) = spec.overload {
+                cfg.overload = o;
+                cfg.counters = Arc::clone(&overload_counters);
+            }
             let controlet = Controlet::new(cfg, Arc::clone(&datalet));
             let addr = sim.add_actor(Box::new(controlet));
             assert_eq!(addr.0, node.raw());
@@ -357,8 +384,15 @@ impl SimCluster {
             next_client_id: 1000,
             recorder,
             fast_path,
+            overload_counters,
             datalet_by_node,
         }
+    }
+
+    /// The cluster-wide overload counters (zeroes unless the spec armed
+    /// overload protection).
+    pub fn overload_counters(&self) -> Arc<OverloadCounters> {
+        Arc::clone(&self.overload_counters)
     }
 
     /// The shared read fast-path table, when the spec enabled it.
@@ -473,6 +507,9 @@ impl SimCluster {
         if let Some(rec) = &self.recorder {
             core = core.with_history(rec.clone());
         }
+        if let Some(o) = self.spec.overload {
+            core = core.with_overload(o, Arc::clone(&self.overload_counters));
+        }
         let client = WorkloadClient::new(core, source, concurrency, warmup, timeline_bucket);
         let addr = self.sim.add_actor(Box::new(client));
         self.clients.push(addr);
@@ -501,6 +538,9 @@ impl SimCluster {
         }
         if stale {
             core = core.with_debug_stale_reads();
+        }
+        if let Some(o) = self.spec.overload {
+            core = core.with_overload(o, Arc::clone(&self.overload_counters));
         }
         let mut client = crate::script::ScriptClient::new(core, script);
         if let Some(t) = &self.fast_path {
@@ -544,6 +584,10 @@ impl SimCluster {
         cfg.prop_flush_every = self.spec.prop_flush_every;
         cfg.log_poll_every = self.spec.log_poll_every;
         cfg.recorder = self.recorder.clone();
+        if let Some(o) = self.spec.overload {
+            cfg.overload = o;
+            cfg.counters = Arc::clone(&self.overload_counters);
+        }
         let controlet = Controlet::new(cfg, Arc::clone(&datalet));
         // Standbys are not registered with the fast path: they learn their
         // shard only at StartRecovery, and a handle's shard is fixed at
@@ -602,6 +646,10 @@ impl SimCluster {
             cfg.prop_flush_every = self.spec.prop_flush_every;
             cfg.log_poll_every = self.spec.log_poll_every;
             cfg.recorder = self.recorder.clone();
+            if let Some(o) = self.spec.overload {
+                cfg.overload = o;
+                cfg.counters = Arc::clone(&self.overload_counters);
+            }
             let controlet = Controlet::new(cfg, Arc::clone(&datalet));
             // Register the replacement controlets with the fast path. Their
             // gates stay closed until they adopt the post-transition shard

@@ -29,7 +29,9 @@ use bespokv_datalet::Datalet;
 use bespokv_proto::client::{Op, RespBody, Request, Response};
 use bespokv_proto::NetMsg;
 use bespokv_runtime::{Addr, Mailbox};
-use bespokv_types::{Consistency, KvError, NodeId, RequestId, ShardId, ShardMap};
+use bespokv_types::{
+    Consistency, Instant, KvError, NodeId, OverloadCounters, RequestId, ShardId, ShardMap,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -161,6 +163,21 @@ impl FastPathTable {
 /// relayed request before giving up with `Timeout`.
 const RELAY_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
 
+/// Overload protection for a [`NodeEdge`]: a cap on requests parked
+/// awaiting a controlet reply, plus expired-deadline rejection. The clock
+/// must be the same one deadlines were stamped against (the runtime's
+/// `now()`).
+#[derive(Clone)]
+pub struct EdgeOverload {
+    /// Requests parked in the pending-reply table beyond this are shed
+    /// before entering the controlet mailbox; 0 means unbounded.
+    pub relay_cap: usize,
+    /// Shed/expiry event counters.
+    pub counters: Arc<OverloadCounters>,
+    /// Clock for deadline checks.
+    pub clock: Arc<dyn Fn() -> Instant + Send + Sync>,
+}
+
 /// The live-runtime edge for one node: a TCP-server-compatible request
 /// handler that serves permitted GETs on the calling worker thread and
 /// relays everything else to the controlet actor via a [`Mailbox`],
@@ -171,6 +188,7 @@ pub struct NodeEdge {
     mailbox: Mailbox,
     pending: Arc<Mutex<HashMap<RequestId, mpsc::Sender<Response>>>>,
     fast_path: Arc<AtomicBool>,
+    overload: Option<EdgeOverload>,
     stop: Arc<AtomicBool>,
     demux: Option<std::thread::JoinHandle<()>>,
 }
@@ -207,9 +225,17 @@ impl NodeEdge {
             mailbox,
             pending,
             fast_path: Arc::new(AtomicBool::new(enable_fast_path)),
+            overload: None,
             stop,
             demux: Some(demux),
         }
+    }
+
+    /// Arms overload protection: expired requests and requests over the
+    /// relay cap are answered `Overloaded` before they reach the actor.
+    pub fn with_overload(mut self, overload: EdgeOverload) -> Self {
+        self.overload = Some(overload);
+        self
     }
 
     /// Flips the fast path on or off (bench before/after comparison).
@@ -225,10 +251,32 @@ impl NodeEdge {
         let mailbox = self.mailbox.clone();
         let pending = Arc::clone(&self.pending);
         let fast_path = Arc::clone(&self.fast_path);
+        let overload = self.overload.clone();
         Arc::new(move |req: Request| {
+            if let Some(o) = &overload {
+                // Work whose deadline already passed is dead on arrival:
+                // the client has given up, so executing it only steals
+                // capacity from requests that can still make their SLO.
+                if req.expired((o.clock)()) {
+                    o.counters
+                        .deadline_expired
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Response::err(req.id, KvError::Overloaded);
+                }
+            }
             if fast_path.load(Ordering::Acquire) {
                 if let Some(resp) = table.try_get(node, &req) {
                     return resp;
+                }
+            }
+            if let Some(o) = &overload {
+                // Bounded pending-reply table: shed before entering the
+                // actor mailbox rather than park without limit.
+                if o.relay_cap != 0 && pending.lock().len() >= o.relay_cap {
+                    o.counters
+                        .relay_shed
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Response::err(req.id, KvError::Overloaded);
                 }
             }
             let rid = req.id;

@@ -15,7 +15,7 @@ pub mod metrics;
 pub mod script;
 
 pub use builder::{cost_for, ClusterSpec, SimCluster};
-pub use edge::{FastPathHandle, FastPathTable, NodeEdge};
+pub use edge::{EdgeOverload, FastPathHandle, FastPathTable, NodeEdge};
 pub use live_builder::LiveCluster;
 pub use client_actor::{ClientStats, OpSource, WorkloadClient};
 pub use metrics::{LatencyHistogram, RunStats, Timeline};

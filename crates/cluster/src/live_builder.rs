@@ -14,7 +14,9 @@ use bespokv_datalet::Datalet;
 use bespokv_dlm::DlmActor;
 use bespokv_runtime::{Actor, Addr, LiveRuntime};
 use bespokv_sharedlog::SharedLogActor;
-use bespokv_types::{ClientId, Duration, HistoryRecorder, NodeId, ShardId, ShardMap};
+use bespokv_types::{
+    ClientId, Duration, HistoryRecorder, NodeId, OverloadCounters, ShardId, ShardMap,
+};
 use std::sync::Arc;
 
 /// A cluster running on real threads.
@@ -37,6 +39,11 @@ pub struct LiveCluster {
     recorder: Option<HistoryRecorder>,
     /// Shared read fast path (present when the spec enabled it).
     fast_path: Option<Arc<crate::edge::FastPathTable>>,
+    /// Cluster-wide overload counters (meaningful when the spec armed
+    /// overload protection; zeroes otherwise).
+    overload_counters: Arc<OverloadCounters>,
+    /// The spec's overload config, for wiring clients added later.
+    overload: Option<bespokv_types::OverloadConfig>,
 }
 
 impl LiveCluster {
@@ -59,6 +66,10 @@ impl LiveCluster {
         let fast_path = spec
             .fast_path
             .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
+        let overload_counters = Arc::new(OverloadCounters::new());
+        if let Some(o) = spec.overload {
+            rt.set_mailbox_cap(o.mailbox_cap, Arc::clone(&overload_counters));
+        }
         let mut controlets = Vec::new();
         let mut datalets: Vec<Arc<dyn Datalet>> = Vec::new();
         for shard in 0..spec.shards {
@@ -75,6 +86,10 @@ impl LiveCluster {
                 cfg.log_poll_every = spec.log_poll_every;
                 cfg.p2p_forwarding = spec.p2p;
                 cfg.recorder = recorder.clone();
+                if let Some(o) = spec.overload {
+                    cfg.overload = o;
+                    cfg.counters = Arc::clone(&overload_counters);
+                }
                 let controlet = Controlet::with_info(cfg, Arc::clone(&datalet), info.clone())
                     .with_cluster_map(map.clone());
                 // Grab the gate and dirty set before the controlet moves
@@ -107,6 +122,10 @@ impl LiveCluster {
             cfg.cost = cost_for(engine);
             cfg.heartbeat_every = spec.heartbeat_every;
             cfg.recorder = recorder.clone();
+            if let Some(o) = spec.overload {
+                cfg.overload = o;
+                cfg.counters = Arc::clone(&overload_counters);
+            }
             let addr = rt.spawn(Box::new(Controlet::new(cfg, Arc::clone(&datalet))));
             assert_eq!(addr.0, node.raw());
             datalets.push(datalet);
@@ -136,7 +155,15 @@ impl LiveCluster {
             script_progress: std::collections::HashMap::new(),
             recorder,
             fast_path,
+            overload_counters,
+            overload: spec.overload,
         }
+    }
+
+    /// The cluster-wide overload counters (zeroes unless the spec armed
+    /// overload protection).
+    pub fn overload_counters(&self) -> Arc<OverloadCounters> {
+        Arc::clone(&self.overload_counters)
     }
 
     /// The consistency-oracle recorder, when the spec enabled history.
@@ -157,6 +184,9 @@ impl LiveCluster {
             .with_request_timeout(Duration::from_millis(300));
         if let Some(rec) = &self.recorder {
             core = core.with_history(rec.clone());
+        }
+        if let Some(o) = self.overload {
+            core = core.with_overload(o, Arc::clone(&self.overload_counters));
         }
         let mut client = crate::script::ScriptClient::new(core, script);
         if let Some(t) = &self.fast_path {

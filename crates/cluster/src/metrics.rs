@@ -2,7 +2,7 @@
 //! transport edge counters, and aggregated run statistics.
 
 use bespokv_runtime::tcp::{TcpServer, TcpServerStats};
-use bespokv_types::{Duration, Instant};
+use bespokv_types::{Duration, Instant, OverloadSnapshot};
 
 /// Geometric-bucket latency histogram.
 ///
@@ -165,6 +165,15 @@ pub struct EdgeStats {
     pub connections_accepted: u64,
     /// Connections dropped because the peer sent a malformed stream.
     pub protocol_error_drops: u64,
+    /// Connections refused at the `max_connections` cap.
+    pub connections_refused: u64,
+    /// Requests answered `Overloaded` at a per-connection pipeline cap.
+    pub pipeline_shed: u64,
+    /// Requests answered `Overloaded` at a full worker-pool queue.
+    pub pool_shed: u64,
+    /// Shed/expiry/containment events from the overload-protection layer
+    /// (edges, controlets, clients sharing one counter set).
+    pub overload: OverloadSnapshot,
 }
 
 impl EdgeStats {
@@ -172,6 +181,25 @@ impl EdgeStats {
     pub fn absorb(&mut self, s: TcpServerStats) {
         self.connections_accepted += s.connections_accepted;
         self.protocol_error_drops += s.protocol_error_drops;
+        self.connections_refused += s.connections_refused;
+        self.pipeline_shed += s.pipeline_shed;
+        self.pool_shed += s.pool_shed;
+    }
+
+    /// Folds an overload-counter snapshot into the aggregate.
+    pub fn absorb_overload(&mut self, s: OverloadSnapshot) {
+        let o = &mut self.overload;
+        o.queue_shed += s.queue_shed;
+        o.mailbox_shed += s.mailbox_shed;
+        o.pipeline_shed += s.pipeline_shed;
+        o.pool_shed += s.pool_shed;
+        o.relay_shed += s.relay_shed;
+        o.deadline_expired += s.deadline_expired;
+        o.head_window_shed += s.head_window_shed;
+        o.slow_slave_trims += s.slow_slave_trims;
+        o.slow_slave_resyncs += s.slow_slave_resyncs;
+        o.breaker_trips += s.breaker_trips;
+        o.retries_denied += s.retries_denied;
     }
 
     /// Snapshots and sums the counters of every given server.
@@ -188,8 +216,14 @@ impl std::fmt::Display for EdgeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "edge: {} conns accepted, {} dropped on protocol errors",
-            self.connections_accepted, self.protocol_error_drops
+            "edge: {} conns accepted, {} refused, {} dropped on protocol errors, \
+             {} pipeline shed, {} pool shed; {}",
+            self.connections_accepted,
+            self.connections_refused,
+            self.protocol_error_drops,
+            self.pipeline_shed,
+            self.pool_shed,
+            self.overload,
         )
     }
 }
@@ -290,14 +324,39 @@ mod tests {
         agg.absorb(TcpServerStats {
             connections_accepted: 3,
             protocol_error_drops: 1,
+            connections_refused: 2,
+            pipeline_shed: 4,
+            pool_shed: 0,
         });
         agg.absorb(TcpServerStats {
             connections_accepted: 2,
             protocol_error_drops: 0,
+            connections_refused: 1,
+            pipeline_shed: 0,
+            pool_shed: 5,
         });
         assert_eq!(agg.connections_accepted, 5);
         assert_eq!(agg.protocol_error_drops, 1);
+        assert_eq!(agg.connections_refused, 3);
+        assert_eq!(agg.pipeline_shed, 4);
+        assert_eq!(agg.pool_shed, 5);
         assert!(agg.to_string().contains("1 dropped"));
+        assert!(agg.to_string().contains("3 refused"));
+    }
+
+    #[test]
+    fn edge_stats_absorb_overload_snapshot() {
+        let mut agg = EdgeStats::default();
+        let s = OverloadSnapshot {
+            relay_shed: 2,
+            deadline_expired: 3,
+            ..OverloadSnapshot::default()
+        };
+        agg.absorb_overload(s);
+        agg.absorb_overload(s);
+        assert_eq!(agg.overload.relay_shed, 4);
+        assert_eq!(agg.overload.total_shed(), 10);
+        assert!(agg.to_string().contains("4 relay"));
     }
 
     #[test]

@@ -541,6 +541,61 @@ mod tests {
     }
 
     #[test]
+    fn heartbeat_exactly_at_timeout_is_still_alive() {
+        // The liveness predicate is strict (`elapsed > timeout`): a node
+        // whose silence equals the timeout exactly is on the boundary and
+        // must NOT be declared dead — only one tick past it.
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        let timeout = CoordConfig::default().failure_timeout;
+        for n in 0..3 {
+            hb(&mut core, n, 0, T0);
+        }
+        core.check_liveness(T0 + timeout);
+        assert!(core.failed_nodes().is_empty(), "boundary is not failure");
+        core.check_liveness(T0 + timeout + Duration::from_millis(1));
+        assert_eq!(core.failed_nodes().len(), 3, "one past the boundary is");
+    }
+
+    #[test]
+    fn heartbeat_from_failed_node_does_not_resurrect_or_refail() {
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        for n in 0..3 {
+            hb(&mut core, n, 0, T0);
+        }
+        core.fail_node(NodeId(0));
+        let epoch = core.map().shard(ShardId(0)).unwrap().epoch;
+        // A stale heartbeat from the failed node (e.g. delayed in flight,
+        // or a zombie that missed its eviction) must not re-admit it to
+        // the replica set...
+        hb(&mut core, 0, 99, T0 + Duration::from_millis(100));
+        let info = core.map().shard(ShardId(0)).unwrap();
+        assert!(info.position(NodeId(0)).is_none(), "no resurrection");
+        assert!(core.failed_nodes().contains(&NodeId(0)));
+        // ...and a later liveness pass over its (refreshed) entry must not
+        // fail it a second time and bump the epoch again.
+        hb(&mut core, 1, 0, T0 + Duration::from_secs(10));
+        hb(&mut core, 2, 0, T0 + Duration::from_secs(10));
+        core.check_liveness(T0 + Duration::from_secs(10));
+        core.fail_node(NodeId(0)); // explicit double-fail is idempotent too
+        assert_eq!(core.map().shard(ShardId(0)).unwrap().epoch, epoch);
+    }
+
+    #[test]
+    fn non_monotonic_clock_does_not_fail_nodes() {
+        // A liveness check whose `now` is behind a node's last heartbeat
+        // (clock skew between timer sources) saturates to zero elapsed —
+        // nothing fails and the map is untouched.
+        let mut core = core_with(Mode::MS_SC, 1, 3);
+        let epoch = core.map().shard(ShardId(0)).unwrap().epoch;
+        for n in 0..3 {
+            hb(&mut core, n, 0, T0 + Duration::from_secs(5));
+        }
+        core.check_liveness(T0);
+        assert!(core.failed_nodes().is_empty());
+        assert_eq!(core.map().shard(ShardId(0)).unwrap().epoch, epoch);
+    }
+
+    #[test]
     fn chain_head_failure_promotes_second() {
         let mut core = core_with(Mode::MS_SC, 1, 3);
         core.handle(Addr(10), CoordMsg::GetShardMap, T0); // subscriber

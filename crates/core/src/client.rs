@@ -23,10 +23,12 @@ use bespokv_proto::{CoordMsg, NetMsg};
 use bespokv_runtime::Addr;
 use bespokv_types::{
     Consistency, ConsistencyLevel, ClientId, Duration, HistoryEvent, HistoryOp, HistoryOutcome,
-    HistoryRecorder, Instant, Key, KvError, NodeId, RequestId, ShardMap, Topology,
-    VersionedValue,
+    HistoryRecorder, Instant, Key, KvError, NodeId, OverloadConfig, OverloadCounters, RequestId,
+    ShardMap, Topology, VersionedValue,
 };
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Default maximum transparent retries before surfacing the error.
 const MAX_ATTEMPTS: u32 = 5;
@@ -34,6 +36,10 @@ const MAX_ATTEMPTS: u32 = 5;
 /// Cap on the exponential re-issue backoff, as a multiple of the base
 /// request timeout.
 const BACKOFF_CAP_FACTOR: u64 = 8;
+
+/// How long an overloaded or refusing node stays parked behind the
+/// circuit breaker before traffic is routed to it again.
+const BREAKER_COOLDOWN: Duration = Duration::from_millis(500);
 
 /// A finished operation.
 #[derive(Clone, Debug)]
@@ -120,6 +126,17 @@ pub struct ClientCore {
     /// first returns the *first* value observed for its key — a blatant
     /// stale-read bug the oracle must catch (proves the checker has teeth).
     stale_read_debug: Option<HashMap<Key, VersionedValue>>,
+    /// Deadline budget stamped on every request (`now + budget`); `None`
+    /// leaves requests deadline-free.
+    deadline_budget: Option<Duration>,
+    /// Retry token bucket: load-shedding and contention retries each
+    /// consume one token; successes refill. An empty bucket completes the
+    /// op with its error instead of amplifying load on a saturated
+    /// cluster. Routing corrections (wrong node, forwarded) stay free.
+    retry_tokens: u32,
+    retry_token_cap: u32,
+    /// Shared overload counters (breaker trips, denied retries).
+    counters: Arc<OverloadCounters>,
 }
 
 #[derive(Debug)]
@@ -153,6 +170,10 @@ impl ClientCore {
             recorder: None,
             history_pending: HashMap::new(),
             stale_read_debug: None,
+            deadline_budget: None,
+            retry_tokens: OverloadConfig::default().retry_tokens,
+            retry_token_cap: OverloadConfig::default().retry_tokens,
+            counters: Arc::new(OverloadCounters::new()),
         }
     }
 
@@ -176,6 +197,29 @@ impl ClientCore {
     pub fn with_max_attempts(mut self, attempts: u32) -> Self {
         self.max_attempts = attempts.max(1);
         self
+    }
+
+    /// Stamps every request with a deadline of `now + budget`: edges and
+    /// controlets drop the work (with an `Overloaded` reply) once the
+    /// budget is gone instead of executing it for a caller that gave up.
+    pub fn with_deadline_budget(mut self, budget: Duration) -> Self {
+        self.deadline_budget = Some(budget);
+        self
+    }
+
+    /// Adopts the client-side overload knobs (deadline budget, retry token
+    /// bucket) and shares the cluster's counters.
+    pub fn with_overload(mut self, cfg: OverloadConfig, counters: Arc<OverloadCounters>) -> Self {
+        self.deadline_budget = cfg.deadline_budget;
+        self.retry_tokens = cfg.retry_tokens;
+        self.retry_token_cap = cfg.retry_tokens;
+        self.counters = counters;
+        self
+    }
+
+    /// The shared overload counters this client reports into.
+    pub fn overload_counters(&self) -> Arc<OverloadCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Enables P2P routing: requests go to any of `targets`, which forward
@@ -255,6 +299,10 @@ impl ClientCore {
             table: table.into(),
             op,
             level,
+            deadline: self
+                .deadline_budget
+                .map(|b| now + b)
+                .unwrap_or(Instant::ZERO),
         };
         if let Some(rec) = &self.recorder {
             if let Some(op) = history_op(&req.op) {
@@ -275,7 +323,15 @@ impl ClientCore {
 
     /// Closes the history record for a completed point op (no-op when no
     /// recorder is attached or the op was not recorded, e.g. scans).
-    fn record_history(&mut self, rid: RequestId, result: &Result<RespBody, KvError>, now: Instant) {
+    /// `maybe_applied` carries the outstanding entry's ambiguity flag: a
+    /// write attempt that ever went silent may have been applied.
+    fn record_history(
+        &mut self,
+        rid: RequestId,
+        result: &Result<RespBody, KvError>,
+        maybe_applied: bool,
+        now: Instant,
+    ) {
         let Some(rec) = &self.recorder else { return };
         let Some(p) = self.history_pending.remove(&rid) else {
             return;
@@ -288,6 +344,15 @@ impl ClientCore {
             // A read of an absent key is a successful observation of "no
             // value", not a failure.
             Err(KvError::NotFound) if !p.op.is_write() => HistoryOutcome::Ok { value: None },
+            // A shed write is rejected strictly before execution, so
+            // `Overloaded` is a definitive not-applied — unless an earlier
+            // attempt of the same op went silent (then the shed verdict
+            // only covers the latest attempt). Recording it as `Fail`
+            // (never-happened) is what lets the oracle prove shedding
+            // safe: if a shed write is ever observed, that is a violation.
+            Err(KvError::Overloaded) if p.op.is_write() && !maybe_applied => {
+                HistoryOutcome::Fail
+            }
             // Any other failed write may still have been applied by an
             // earlier attempt whose ack was lost; the checker treats it as
             // free to take effect at any later point, or never.
@@ -330,6 +395,7 @@ impl ClientCore {
                             table: req.table.clone(),
                             op: req.op.clone(),
                             level: req.level,
+                            deadline: req.deadline,
                         })
                         .collect();
                     self.scatters.insert(
@@ -503,10 +569,25 @@ impl ClientCore {
         // re-routing would re-execute it — so it completes with the error
         // and the caller sees an ambiguous outcome.
         if let Err(e) = &resp.result {
-            if e.is_retryable()
+            let wants_retry = e.is_retryable()
                 && o.attempts < self.max_attempts
-                && !(o.req.op.is_write() && o.maybe_applied)
-            {
+                && !(o.req.op.is_write() && o.maybe_applied);
+            // Load-shedding and contention retries spend from the token
+            // bucket; routing corrections (wrong node, forwarded) are
+            // free. An empty bucket surfaces the error instead of adding
+            // retry load to a cluster that is already saturated.
+            let costs_token = matches!(
+                e,
+                KvError::Timeout | KvError::Overloaded | KvError::LockContended
+            );
+            let denied = costs_token && self.retry_tokens == 0;
+            if wants_retry && denied {
+                self.counters.retries_denied.fetch_add(1, Ordering::Relaxed);
+            }
+            if wants_retry && !denied {
+                if costs_token {
+                    self.retry_tokens -= 1;
+                }
                 o.attempts += 1;
                 o.last_sent = now;
                 // A wrong-node hint is authoritative: retry there. A
@@ -518,12 +599,25 @@ impl ClientCore {
                 let target = match e {
                     KvError::WrongNode { hint: Some(h), .. } => Some(*h),
                     KvError::Forwarded(n) => Some(*n),
+                    KvError::Overloaded => {
+                        // Circuit breaker: park the overloaded node for
+                        // the cooldown so rerouteable traffic (eventual
+                        // reads, AA writes) drains away from it; the map
+                        // is not stale, so no refresh.
+                        if self
+                            .dead_until
+                            .insert(o.target, now + BREAKER_COOLDOWN)
+                            .is_none()
+                        {
+                            self.counters.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.route(&o.req, now)
+                    }
                     other => {
                         // Connection refused / unroutable: open the
                         // breaker on the refusing node and re-route.
                         if let KvError::WrongNode { node, hint: None } = other {
-                            self.dead_until
-                                .insert(*node, now + Duration::from_millis(500));
+                            self.dead_until.insert(*node, now + BREAKER_COOLDOWN);
                         }
                         self.request_map(now);
                         self.route(&o.req, now)
@@ -546,6 +640,10 @@ impl ClientCore {
             return self.finish_scatter_leg(parent, resp, o, now);
         }
         let mut result = resp.result;
+        // A success refills the retry bucket: the cluster is keeping up.
+        if result.is_ok() {
+            self.retry_tokens = (self.retry_tokens + 1).min(self.retry_token_cap);
+        }
         // Dev-only stale-read injection (see `with_debug_stale_reads`).
         if let Some(cache) = &mut self.stale_read_debug {
             if let (Op::Get { key }, Ok(RespBody::Value(vv))) = (&o.req.op, &result) {
@@ -557,7 +655,7 @@ impl ClientCore {
                 }
             }
         }
-        self.record_history(resp.id, &result, now);
+        self.record_history(resp.id, &result, o.maybe_applied, now);
         vec![Completion {
             rid: resp.id,
             result,
@@ -687,7 +785,7 @@ impl ClientCore {
                         completions.extend(self.finish_scatter_leg(parent, resp, o, now))
                     }
                     None => {
-                        self.record_history(rid, &Err(KvError::Timeout), now);
+                        self.record_history(rid, &Err(KvError::Timeout), o.maybe_applied, now);
                         completions.push(Completion {
                             rid,
                             result: Err(KvError::Timeout),
@@ -1139,6 +1237,94 @@ mod tests {
         let evs = rec.events();
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].outcome, HistoryOutcome::Ambiguous);
+    }
+
+    #[test]
+    fn deadline_budget_stamps_requests() {
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_deadline_budget(Duration::from_millis(40));
+        let t0 = now();
+        core.begin(put_op(), "", ConsistencyLevel::Default, t0);
+        let out = core.take_outgoing();
+        match &out[0].1 {
+            NetMsg::Client(r) => {
+                assert_eq!(r.deadline, t0 + Duration::from_millis(40));
+                assert!(!r.expired(t0 + Duration::from_millis(39)));
+                assert!(r.expired(t0 + Duration::from_millis(40)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overloaded_write_trips_breaker_and_records_fail() {
+        let rec = HistoryRecorder::new();
+        let m = map(Mode::MS_SC);
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_history(rec.clone());
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        // Every attempt is shed; the op completes with the error once the
+        // attempt budget runs out.
+        let mut comps = Vec::new();
+        for _ in 0..MAX_ATTEMPTS + 1 {
+            comps = core.on_msg(
+                NetMsg::ClientResp(Response::err(rid, KvError::Overloaded)),
+                now(),
+            );
+            core.take_outgoing();
+            if !comps.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].result, Err(KvError::Overloaded));
+        let snap = core.overload_counters().snapshot();
+        assert_eq!(snap.breaker_trips, 1, "first shed parks the node once");
+        // A shed write was rejected before execution on every attempt:
+        // the oracle records it as never-happened, not ambiguous.
+        let evs = rec.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].outcome, HistoryOutcome::Fail);
+    }
+
+    #[test]
+    fn retry_budget_denies_shed_retries_when_exhausted() {
+        let m = map(Mode::MS_SC);
+        let cfg = OverloadConfig {
+            retry_tokens: 0,
+            ..OverloadConfig::default()
+        };
+        let counters = Arc::new(OverloadCounters::new());
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m)
+            .with_overload(cfg, Arc::clone(&counters));
+        let rid = core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        let comps = core.on_msg(
+            NetMsg::ClientResp(Response::err(rid, KvError::Overloaded)),
+            now(),
+        );
+        assert_eq!(comps.len(), 1, "no tokens: complete, do not retry");
+        assert_eq!(counters.snapshot().retries_denied, 1);
+        // Routing corrections stay free even with an empty bucket.
+        let rid2 = core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        core.take_outgoing();
+        let comps = core.on_msg(
+            NetMsg::ClientResp(Response::err(
+                rid2,
+                KvError::WrongNode {
+                    node: NodeId(0),
+                    hint: Some(NodeId(4)),
+                },
+            )),
+            now(),
+        );
+        assert!(comps.is_empty(), "hinted retry must not need a token");
+        core.take_outgoing();
     }
 
     #[test]

@@ -42,6 +42,7 @@ impl Controlet {
                     source,
                     next_from: 0,
                     info,
+                    resync_floor: None,
                 });
                 self.publish_serving();
                 ctx.send(
@@ -83,6 +84,37 @@ impl Controlet {
         if let Some((source, _)) = self.recovery_delta {
             if info.position(source).is_none() {
                 self.recovery_delta = None;
+            }
+        }
+        // A watermark resync whose snapshot source died mid-pull would
+        // otherwise wedge forever: the retry timer polls a dead node, and
+        // `recovery.is_some()` drops every batch the *new* master sends.
+        // The dead master's stream died with it, so restart the pull
+        // against the current head from a clean stream cursor.
+        if let Some(rec) = &mut self.recovery {
+            if rec.resync_floor.is_some() && info.position(rec.source).is_none() {
+                match info.head() {
+                    Some(head) if head != self.cfg.node => {
+                        self.prop_applied = 0;
+                        self.prop_epoch = 0;
+                        self.prop_master = None;
+                        rec.source = head;
+                        rec.next_from = 0;
+                        rec.resync_floor = Some(0);
+                        rec.info = info.clone();
+                        ctx.send(
+                            Self::addr_of(head),
+                            NetMsg::Repl(ReplMsg::RecoveryReq {
+                                shard: info.shard,
+                                from: 0,
+                            }),
+                        );
+                        ctx.set_timer(self.cfg.heartbeat_every, super::RECOVERY_RETRY_TIMER);
+                    }
+                    // Promoted to master (or headless) mid-resync: there
+                    // is no one left to pull from — serve what we have.
+                    _ => self.recovery = None,
+                }
             }
         }
         let was_member = self
@@ -251,22 +283,36 @@ impl Controlet {
             // (AA+EC: log positions are global, so the source's sequence is
             // meaningful here).
             self.log.fetch_pos = snapshot_seq + 1;
-            // Joining an MS+EC chain as a slave: the snapshot's sequence is
-            // numbered in the *source's* stream, which need not be the
-            // stream the current master sends (a promoted master starts a
-            // fresh one at 1). Guessing a cursor here is poison — a stale
-            // high cursor silently skips every new-stream entry and its
-            // cumulative ack makes the master trim them unreplicated. Start
-            // from nothing; the batch floor fast-forwards us over the
-            // prefix our snapshot already covers.
-            self.prop_applied = 0;
-            self.prop_epoch = 0;
-            self.prop_master = None;
+            match rec.resync_floor {
+                // Watermark resync: the source IS the current stream
+                // master, and everything at or below the floor that cut
+                // this slave loose is covered by the snapshot just
+                // applied. Resume the stream there, same epoch, same
+                // master — resetting to zero would re-trigger the
+                // floor-jump guard on the very next batch and thrash
+                // resync forever. If the master force-trimmed *again*
+                // during the pull, the next batch's floor will exceed
+                // this cursor and correctly trigger a fresh resync.
+                Some(floor) => self.prop_applied = self.prop_applied.max(floor),
+                // Joining an MS+EC chain as a slave: the snapshot's
+                // sequence is numbered in the *source's* stream, which
+                // need not be the stream the current master sends (a
+                // promoted master starts a fresh one at 1). Guessing a
+                // cursor here is poison — a stale high cursor silently
+                // skips every new-stream entry and its cumulative ack
+                // makes the master trim them unreplicated. Start from
+                // nothing; if the master's floor is already ahead, the
+                // floor-jump guard pulls a (redundant but safe) snapshot
+                // and resumes at the floor.
+                None => {
+                    self.prop_applied = 0;
+                    self.prop_epoch = 0;
+                    self.prop_master = None;
+                }
+            }
             self.adopt_info(rec.info);
             self.serving = true;
             self.publish_serving();
-            // Keep re-reporting on the heartbeat until the map shows us.
-            self.pending_recovery_done = Some(shard);
             // The fuzzy snapshot missed writes applied concurrently with
             // the stream: drain the source's delta feed from cursor 0.
             self.recovery_delta = Some((rec.source, 0));
@@ -277,13 +323,17 @@ impl Controlet {
                     from: super::RECOVERY_DELTA_FLAG,
                 }),
             );
-            ctx.send(
-                self.cfg.coordinator,
-                NetMsg::Coord(CoordMsg::RecoveryDone {
-                    shard,
-                    node: self.cfg.node,
-                }),
-            );
+            if rec.resync_floor.is_none() {
+                // Keep re-reporting on the heartbeat until the map shows us.
+                self.pending_recovery_done = Some(shard);
+                ctx.send(
+                    self.cfg.coordinator,
+                    NetMsg::Coord(CoordMsg::RecoveryDone {
+                        shard,
+                        node: self.cfg.node,
+                    }),
+                );
+            }
         } else {
             let next_from = from + count;
             if let Some(rec) = &mut self.recovery {

@@ -21,7 +21,8 @@ use bespokv_proto::client::{Op, Request, RespBody, Response};
 use bespokv_proto::{CoordMsg, LogEntry, NetMsg, ReplMsg};
 use bespokv_runtime::{Actor, Addr, Context, CostModel, Event};
 use bespokv_types::{
-    Consistency, Duration, KvError, NodeId, RequestId, ShardId, ShardInfo, Topology, Version,
+    Consistency, Duration, KvError, NodeId, OverloadConfig, OverloadCounters, RequestId, ShardId,
+    ShardInfo, Topology, Version,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -77,6 +78,12 @@ pub struct ControletConfig {
     /// Consistency-oracle sink: when set, every datalet apply is recorded
     /// (test harness plumbing; `None` in production configurations).
     pub recorder: Option<bespokv_types::HistoryRecorder>,
+    /// Overload-protection knobs (deadline expiry, chain head window,
+    /// MS+EC propagation watermarks).
+    pub overload: OverloadConfig,
+    /// Shed/expiry/containment counters, shared with the edges and the
+    /// measurement harness of the cluster this controlet belongs to.
+    pub counters: Arc<OverloadCounters>,
 }
 
 impl ControletConfig {
@@ -96,6 +103,8 @@ impl ControletConfig {
             log_poll_every: Duration::from_millis(2),
             p2p_forwarding: false,
             recorder: None,
+            overload: OverloadConfig::default(),
+            counters: Arc::new(OverloadCounters::new()),
         }
     }
 }
@@ -194,6 +203,18 @@ pub(crate) struct RecoveryState {
     pub next_from: u64,
     /// Configuration this node will serve once recovered.
     pub info: ShardInfo,
+    /// `Some(floor)` marks a self-initiated watermark resync by an
+    /// established MS+EC slave: on completion the propagation cursor
+    /// resumes at `floor` (everything at or below it is in the snapshot,
+    /// since the source *is* the stream master) and no `RecoveryDone` is
+    /// reported — the coordinator ignores "done" from an existing replica,
+    /// so reporting would leave `pending_recovery_done` armed forever and
+    /// disable the floor-jump guard that makes forced trims safe.
+    /// `None` is a coordinator-directed join (`StartRecovery`): report
+    /// done, and restart the cursor from nothing because the snapshot's
+    /// numbering belongs to the source's stream, not necessarily the one
+    /// the current master sends.
+    pub resync_floor: Option<u64>,
 }
 
 /// High bit of `RecoveryReq::from` marks a *delta* pull: the requester has
@@ -425,6 +446,19 @@ impl Controlet {
         let v = self.next_version;
         self.next_version += 1;
         v
+    }
+
+    /// Remaining deadline budget carried on outgoing replication batches:
+    /// the tightest remaining deadline among pending client writes, or
+    /// `Duration::ZERO` (= unbounded) when none carries a deadline.
+    /// Telemetry only — committed replication work is never dropped.
+    pub(crate) fn repl_budget(&self, now: bespokv_types::Instant) -> Duration {
+        self.pending
+            .values()
+            .filter(|p| p.req.deadline != bespokv_types::Instant::ZERO)
+            .map(|p| p.req.deadline.saturating_since(now))
+            .min()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Applies one replicated entry to the local datalet (auto-creating

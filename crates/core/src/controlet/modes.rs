@@ -10,13 +10,14 @@
 //! * **AA+EC** — any active takes writes, globally ordered by the shared
 //!   log; every active asynchronously fetches and applies the stream.
 
-use super::{Controlet, Pending, ReplyPath};
+use super::{Controlet, Pending, RecoveryState, ReplyPath, RECOVERY_RETRY_TIMER};
 use bespokv_proto::client::{Op, Request, RespBody, Response};
 use bespokv_proto::{DlmMsg, LockMode, LogMsg, NetMsg, ReplMsg};
 use bespokv_runtime::{Addr, Context};
 use bespokv_types::{
-    Consistency, KvError, NodeId, Topology,
+    Consistency, Duration, KvError, NodeId, Topology,
 };
+use std::sync::atomic::Ordering;
 
 impl Controlet {
     /// Entry point for a client request (or a forwarded one via `reply`).
@@ -29,6 +30,18 @@ impl Controlet {
                 self.respond(reply, resp, ctx);
                 return;
             }
+        }
+        // Deadline propagation: work whose deadline already passed is shed
+        // before execution — the client has given up on it, so executing
+        // only adds load. An explicit reply (never a silent drop) lets
+        // relays and edges clean up their pending tables. Placed after the
+        // dedup cache so a retried-but-completed write still gets its
+        // cached success.
+        if req.expired(ctx.now()) {
+            self.cfg.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            let id = req.id;
+            self.reply_err(reply, id, KvError::Overloaded, ctx);
+            return;
         }
         if !self.serving || self.recovery.is_some() {
             let id = req.id;
@@ -225,6 +238,16 @@ impl Controlet {
             }
             return;
         }
+        // Bounded in-flight window at the head: a slow mid/tail otherwise
+        // grows `in_flight` (and the dirty set) without bound while clients
+        // keep writing. Shedding happens before the write is ordered, so an
+        // `Overloaded` reply is a definitive not-applied.
+        if self.in_flight.len() >= self.cfg.overload.head_window {
+            self.cfg.counters.head_window_shed.fetch_add(1, Ordering::Relaxed);
+            let id = req.id;
+            self.reply_err(reply, id, KvError::Overloaded, ctx);
+            return;
+        }
         let version = self.fresh_version();
         let Some(entry) = Self::entry_for(&req, version) else {
             let id = req.id;
@@ -284,11 +307,13 @@ impl Controlet {
             return;
         };
         let items = std::mem::take(&mut self.chain_batch);
+        let budget = self.repl_budget(ctx.now());
         ctx.send(
             Self::addr_of(successor),
             NetMsg::Repl(ReplMsg::ChainPutBatch {
                 shard: self.cfg.shard,
                 epoch: info.epoch,
+                budget,
                 items,
             }),
         );
@@ -301,6 +326,7 @@ impl Controlet {
         &mut self,
         shard: bespokv_types::ShardId,
         epoch: u64,
+        budget: Duration,
         items: Vec<(bespokv_types::RequestId, bespokv_proto::LogEntry)>,
         ctx: &mut Context,
     ) {
@@ -325,6 +351,7 @@ impl Controlet {
                     NetMsg::Repl(ReplMsg::ChainPutBatch {
                         shard,
                         epoch: info.epoch,
+                        budget,
                         items,
                     }),
                 );
@@ -544,6 +571,20 @@ impl Controlet {
             self.check_transition_drained(ctx);
             return;
         }
+        // Slow-replica containment: the buffer holds everything the
+        // slowest slave has not acked, so one stalled slave grows it
+        // without bound. Past the high watermark, force the floor forward
+        // to the low watermark — the lagging slave sees a floor above its
+        // cursor and resyncs via snapshot instead of the stream.
+        if self.prop.buffer.len() > self.cfg.overload.prop_high_watermark {
+            let drop_n = self.prop.buffer.len() - self.cfg.overload.prop_low_watermark;
+            if let Some(cut) = self.prop.buffer.keys().nth(drop_n - 1).copied() {
+                self.prop.trimmed_upto = self.prop.trimmed_upto.max(cut);
+                self.prop.buffer.retain(|&seq, _| seq > cut);
+                self.cfg.counters.slow_slave_trims.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let budget = self.repl_budget(ctx.now());
         for &slave in info.replicas.iter().skip(1) {
             let from = self.prop.acked.get(&slave).copied().unwrap_or(0) + 1;
             let entries: Vec<_> = self
@@ -569,6 +610,7 @@ impl Controlet {
                     epoch: info.epoch,
                     first_seq,
                     floor: self.prop.trimmed_upto,
+                    budget,
                     entries,
                 }),
             );
@@ -583,10 +625,16 @@ impl Controlet {
         epoch: u64,
         first_seq: u64,
         floor: u64,
+        _budget: Duration,
         entries: Vec<bespokv_proto::LogEntry>,
         ctx: &mut Context,
     ) {
         if shard != self.cfg.shard {
+            return;
+        }
+        // Mid-snapshot: the propagation stream restarts once recovery
+        // completes; interleaving it with snapshot chunks is pointless.
+        if self.recovery.is_some() {
             return;
         }
         // Propagation streams are epoch-scoped: a batch from an older epoch
@@ -604,13 +652,33 @@ impl Controlet {
             }
         }
         self.prop_master = Some(from);
-        // Entries at or below the floor were trimmed from the master's
-        // buffer — acknowledged by an earlier configuration's replica set
-        // and thus contained in this node's recovery snapshot. They will
-        // never be resent, so waiting for them would stall the cursor
-        // forever; fast-forward past them. The floor is monotonic per
-        // stream, so duplicated or reordered batches cannot regress it.
-        self.prop_applied = self.prop_applied.max(floor);
+        // A floor above this slave's cursor means the master trimmed
+        // entries this node never applied — a forced watermark trim cut it
+        // loose, and the stream can no longer repair the gap. Pull a fresh
+        // snapshot from the master instead of silently skipping it. No
+        // exemption for fresh joiners: the recovery delta feed freezes as
+        // soon as the source's map lists us, so a live feed does not prove
+        // the gap is covered. The occasional redundant snapshot pull right
+        // after a join is the price of never losing a trimmed entry.
+        if floor > self.prop_applied {
+            self.cfg
+                .counters
+                .slow_slave_resyncs
+                .fetch_add(1, Ordering::Relaxed);
+            let Some(info) = self.info.clone() else { return };
+            let source = NodeId(from.0);
+            self.serving = false;
+            self.recovery = Some(RecoveryState {
+                source,
+                next_from: 0,
+                info,
+                resync_floor: Some(floor),
+            });
+            self.publish_serving();
+            ctx.send(from, NetMsg::Repl(ReplMsg::RecoveryReq { shard, from: 0 }));
+            ctx.set_timer(self.cfg.heartbeat_every, RECOVERY_RETRY_TIMER);
+            return;
+        }
         let count = entries.len() as u64;
         if count > 0 && first_seq > self.prop_applied + 1 {
             // Gap: an earlier batch was lost. Entries are version-guarded,
@@ -1082,8 +1150,8 @@ impl Controlet {
                 rid,
                 version,
             } => self.on_chain_ack(shard, epoch, rid, version, ctx),
-            ReplMsg::ChainPutBatch { shard, epoch, items } => {
-                self.on_chain_put_batch(shard, epoch, items, ctx)
+            ReplMsg::ChainPutBatch { shard, epoch, budget, items } => {
+                self.on_chain_put_batch(shard, epoch, budget, items, ctx)
             }
             ReplMsg::ChainAckBatch { shard, epoch, items } => {
                 self.on_chain_ack_batch(shard, epoch, items, ctx)
@@ -1093,8 +1161,9 @@ impl Controlet {
                 epoch,
                 first_seq,
                 floor,
+                budget,
                 entries,
-            } => self.on_prop_batch(from, shard, epoch, first_seq, floor, entries, ctx),
+            } => self.on_prop_batch(from, shard, epoch, first_seq, floor, budget, entries, ctx),
             ReplMsg::PropAck { epoch, upto, .. } => self.on_prop_ack(from, epoch, upto, ctx),
             ReplMsg::PeerWrite {
                 shard, rid, entry, ..

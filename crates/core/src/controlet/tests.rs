@@ -7,7 +7,7 @@ use bespokv_proto::client::{Op, Request, RespBody, Response};
 use bespokv_proto::{CoordMsg, LogEntry, NetMsg, ReplMsg};
 use bespokv_runtime::{Action, Actor, Addr, Context, Event};
 use bespokv_types::{
-    ClientId, Instant, Key, KvError, Mode, NodeId, RequestId, ShardId, ShardInfo, Value,
+    ClientId, Duration, Instant, Key, KvError, Mode, NodeId, RequestId, ShardId, ShardInfo, Value,
 };
 
 const COORD: Addr = Addr(100);
@@ -54,6 +54,13 @@ fn sent_to(actions: &[Action]) -> Vec<(Addr, &NetMsg)> {
             _ => None,
         })
         .collect()
+}
+
+/// Like `drive`, but with the clock set to `now` (deadline tests).
+fn drive_at(c: &mut Controlet, now: Instant, ev: Event) -> Vec<Action> {
+    let mut ctx = Context::new(now, Addr(c.node().raw()));
+    c.on_event(ev, &mut ctx);
+    ctx.take_actions()
 }
 
 #[test]
@@ -148,6 +155,7 @@ fn tail_acks_whole_batch_and_mid_relays_batch() {
         msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
             shard: ShardId(0),
             epoch: 1,
+            budget: Duration::ZERO,
             items: vec![(rid_a, entry_v("a", "1", 7)), (rid_b, entry_v("b", "2", 8))],
         }),
     };
@@ -174,6 +182,7 @@ fn tail_acks_whole_batch_and_mid_relays_batch() {
         msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
             shard: ShardId(0),
             epoch: 1,
+            budget: Duration::ZERO,
             items: vec![(rid_a, entry_v("a", "1", 7)), (rid_b, entry_v("b", "2", 8))],
         }),
     };
@@ -241,6 +250,7 @@ fn duplicated_and_reordered_chain_batches_are_safe() {
         msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
             shard: ShardId(0),
             epoch: 1,
+            budget: Duration::ZERO,
             items: vec![(rids[0], entry_v("a", "1", versions[0]))],
         }),
     };
@@ -261,6 +271,7 @@ fn stale_epoch_chain_batch_is_dropped() {
             msg: NetMsg::Repl(ReplMsg::ChainPutBatch {
                 shard: ShardId(0),
                 epoch: 0,
+                budget: Duration::ZERO,
                 items: vec![(RequestId::compose(ClientId(9), 0), entry_v("k", "v", 5))],
             }),
         },
@@ -808,4 +819,109 @@ fn table_ops_fan_out_to_peers() {
     assert!(sends
         .iter()
         .any(|(_, m)| matches!(m, NetMsg::ClientResp(Response { result: Ok(_), .. }))));
+}
+
+#[test]
+fn expired_deadline_is_shed_with_overloaded() {
+    let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    let req = Request::new(
+        RequestId::compose(ClientId(9), 0),
+        Op::Put {
+            key: Key::from("k"),
+            value: Value::from("v"),
+        },
+    )
+    .with_deadline(Instant::ZERO + Duration::from_millis(1));
+    let ev = Event::Msg {
+        from: Addr(999),
+        msg: NetMsg::Client(req),
+    };
+    let actions = drive_at(&mut head, Instant::ZERO + Duration::from_millis(2), ev);
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert!(matches!(
+        sends[0].1,
+        NetMsg::ClientResp(Response { result: Err(KvError::Overloaded), .. })
+    ));
+    assert_eq!(head.cfg.counters.snapshot().deadline_expired, 1);
+    assert!(
+        head.datalet().get(DEFAULT_TABLE, &Key::from("k")).is_err(),
+        "expired work must not execute"
+    );
+}
+
+#[test]
+fn full_head_window_sheds_new_writes() {
+    let mut head = controlet(0, Mode::MS_SC, &[0, 1, 2]);
+    head.cfg.overload.head_window = 2;
+    drive(&mut head, client_put(0, "a", "1"));
+    drive(&mut head, client_put(1, "b", "2"));
+    // Window full (no tail acks yet): the third write is shed before it
+    // is ordered or applied.
+    let actions = drive(&mut head, client_put(2, "c", "3"));
+    let sends = sent_to(&actions);
+    assert_eq!(sends.len(), 1);
+    assert!(matches!(
+        sends[0].1,
+        NetMsg::ClientResp(Response { result: Err(KvError::Overloaded), .. })
+    ));
+    assert_eq!(head.in_flight.len(), 2);
+    assert_eq!(head.cfg.counters.snapshot().head_window_shed, 1);
+    assert!(head.datalet().get(DEFAULT_TABLE, &Key::from("c")).is_err());
+    // A client retry of a write already in flight is a refresh, never a
+    // shed — shedding it would orphan the pending reply.
+    drive(&mut head, client_put(0, "a", "1"));
+    assert_eq!(head.cfg.counters.snapshot().head_window_shed, 1);
+}
+
+#[test]
+fn prop_watermark_trims_and_lagging_slave_resyncs() {
+    let mut master = controlet(0, Mode::MS_EC, &[0, 1, 2]);
+    master.cfg.overload.prop_high_watermark = 4;
+    master.cfg.overload.prop_low_watermark = 2;
+    for i in 0..6 {
+        drive(&mut master, client_put(i, &format!("k{i}"), "v"));
+    }
+    assert_eq!(master.prop.buffer.len(), 6);
+    let actions = drive(&mut master, Event::Timer { token: super::PROP_FLUSH_TIMER });
+    // Forced trim: the unacked buffer is bounded back to the low
+    // watermark instead of growing with the slowest slave.
+    assert_eq!(master.prop.buffer.len(), 2);
+    assert_eq!(master.cfg.counters.snapshot().slow_slave_trims, 1);
+    let floor = sent_to(&actions)
+        .iter()
+        .find_map(|(_, m)| match m {
+            NetMsg::Repl(ReplMsg::PropBatch { floor, .. }) => Some(*floor),
+            _ => None,
+        })
+        .expect("prop batch sent");
+    assert_eq!(floor, 4, "floor advanced past the trimmed entries");
+
+    // A slave whose cursor is below the floor missed entries it will
+    // never receive: it must stop serving and pull a snapshot, not skip
+    // the gap.
+    let mut slave = controlet(1, Mode::MS_EC, &[0, 1, 2]);
+    let actions = drive(
+        &mut slave,
+        Event::Msg {
+            from: Addr(0),
+            msg: NetMsg::Repl(ReplMsg::PropBatch {
+                shard: ShardId(0),
+                epoch: 1,
+                first_seq: 5,
+                floor: 4,
+                budget: Duration::ZERO,
+                entries: vec![entry_v("k4", "v", 100)],
+            }),
+        },
+    );
+    assert_eq!(slave.cfg.counters.snapshot().slow_slave_resyncs, 1);
+    assert!(slave.recovery.is_some(), "resync started");
+    assert!(!slave.serving);
+    assert!(sent_to(&actions).iter().any(|(to, m)| *to == Addr(0)
+        && matches!(m, NetMsg::Repl(ReplMsg::RecoveryReq { from: 0, .. }))));
+    assert!(
+        slave.datalet().get(DEFAULT_TABLE, &Key::from("k4")).is_err(),
+        "no entries applied while resyncing"
+    );
 }

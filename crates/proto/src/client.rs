@@ -8,7 +8,7 @@
 
 use crate::{wire, wire_enum, wire_struct};
 use bespokv_types::{
-    ConsistencyLevel, Key, KvError, NodeId, RequestId, Value, Version, VersionedValue,
+    ConsistencyLevel, Instant, Key, KvError, NodeId, RequestId, Value, Version, VersionedValue,
 };
 use bytes::{Bytes, BytesMut};
 
@@ -96,16 +96,22 @@ pub struct Request {
     pub op: Op,
     /// Per-request consistency override (section IV-C).
     pub level: ConsistencyLevel,
+    /// Absolute deadline: servers drop the request (with an explicit
+    /// `Overloaded` reply) instead of executing it once this instant has
+    /// passed. [`Instant::ZERO`] means "no deadline".
+    pub deadline: Instant,
 }
 
 impl Request {
-    /// Builds a request against the default table with default consistency.
+    /// Builds a request against the default table with default consistency
+    /// and no deadline.
     pub fn new(id: RequestId, op: Op) -> Self {
         Request {
             id,
             table: String::new(),
             op,
             level: ConsistencyLevel::Default,
+            deadline: Instant::ZERO,
         }
     }
 
@@ -119,6 +125,17 @@ impl Request {
     pub fn with_level(mut self, level: ConsistencyLevel) -> Self {
         self.level = level;
         self
+    }
+
+    /// Sets the absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Whether the deadline (if any) has passed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline != Instant::ZERO && now >= self.deadline
     }
 }
 
@@ -194,7 +211,7 @@ impl wire::Decode for ConsistencyLevel {
     }
 }
 
-wire_struct!(Request { id, table, op, level });
+wire_struct!(Request { id, table, op, level, deadline });
 
 impl wire::Encode for VersionedValue {
     fn encode(&self, buf: &mut BytesMut) {
@@ -263,6 +280,7 @@ impl wire::Encode for KvError {
                 E::encode(&12u8, buf);
                 E::encode(m, buf);
             }
+            KvError::Overloaded => E::encode(&13u8, buf),
         }
     }
     fn encoded_len(&self) -> usize {
@@ -272,7 +290,8 @@ impl wire::Encode for KvError {
             | KvError::Timeout
             | KvError::LockContended
             | KvError::LeaseExpired
-            | KvError::NotServing => 0,
+            | KvError::NotServing
+            | KvError::Overloaded => 0,
             KvError::NoSuchTable(t) => E::encoded_len(t),
             KvError::WrongNode { node, hint } => E::encoded_len(node) + E::encoded_len(hint),
             KvError::Forwarded(n) => E::encoded_len(n),
@@ -305,6 +324,7 @@ impl wire::Decode for KvError {
             10 => KvError::Corrupt(D::decode(buf)?),
             11 => KvError::Protocol(D::decode(buf)?),
             12 => KvError::Rejected(D::decode(buf)?),
+            13 => KvError::Overloaded,
             n => return Err(wire::DecodeError(format!("invalid KvError tag {n}"))),
         })
     }
@@ -413,6 +433,20 @@ mod tests {
                 hint: Some(NodeId(5)),
             },
         ));
+        roundtrip(Response::err(rid(), KvError::Overloaded));
+    }
+
+    #[test]
+    fn deadline_roundtrips_and_expires() {
+        use bespokv_types::Duration;
+        let req = Request::new(rid(), Op::Get { key: Key::from("k") })
+            .with_deadline(Instant::ZERO + Duration::from_millis(5));
+        roundtrip(req.clone());
+        assert!(!req.expired(Instant::ZERO + Duration::from_millis(4)));
+        assert!(req.expired(Instant::ZERO + Duration::from_millis(5)));
+        // No deadline never expires.
+        let free = Request::new(rid(), Op::Get { key: Key::from("k") });
+        assert!(!free.expired(Instant::ZERO + Duration::from_secs(3600)));
     }
 
     #[test]

@@ -84,6 +84,12 @@ pub enum ReplMsg {
         /// floor fast-forwards to it instead of waiting for entries the
         /// master can no longer send.
         floor: u64,
+        /// Remaining deadline budget of the oldest client write in the
+        /// batch when it was flushed ([`Duration::ZERO`] = unbounded).
+        /// Telemetry for slow-replica diagnosis: committed work is never
+        /// dropped mid-replication, but a slave can see how far behind the
+        /// clients' patience it is running.
+        budget: Duration,
         /// The mutations, in sequence order.
         entries: Vec<LogEntry>,
     },
@@ -158,6 +164,11 @@ pub enum ReplMsg {
         shard: ShardId,
         /// Sender's view of the shard epoch; stale epochs are rejected.
         epoch: u64,
+        /// Remaining deadline budget of the oldest write in the batch at
+        /// flush time ([`Duration::ZERO`] = unbounded). Telemetry only:
+        /// ordered chain work is always completed, but downstream nodes
+        /// can observe how much client patience remains.
+        budget: Duration,
         /// The coalesced writes, in version order.
         items: Vec<(RequestId, LogEntry)>,
     },
@@ -176,7 +187,7 @@ pub enum ReplMsg {
 wire_enum!(ReplMsg {
     0 => ChainPut { shard, epoch, rid, entry },
     1 => ChainAck { shard, epoch, rid, version },
-    2 => PropBatch { shard, epoch, first_seq, floor, entries },
+    2 => PropBatch { shard, epoch, first_seq, floor, budget, entries },
     3 => PropAck { shard, epoch, upto },
     4 => PeerWrite { shard, epoch, rid, entry },
     5 => PeerWriteAck { shard, rid },
@@ -184,7 +195,7 @@ wire_enum!(ReplMsg {
     7 => ForwardedResp { resp },
     8 => RecoveryReq { shard, from },
     9 => RecoveryChunk { shard, from, entries, done, snapshot_seq },
-    10 => ChainPutBatch { shard, epoch, items },
+    10 => ChainPutBatch { shard, epoch, budget, items },
     11 => ChainAckBatch { shard, epoch, items },
 });
 
@@ -697,6 +708,7 @@ mod tests {
             epoch: 0,
             first_seq: 10,
             floor: 4,
+            budget: Duration::from_millis(75),
             entries: vec![entry(), entry()],
         });
         roundtrip(ReplMsg::RecoveryChunk {
@@ -717,11 +729,13 @@ mod tests {
         roundtrip(ReplMsg::ChainPutBatch {
             shard: ShardId(0),
             epoch: 5,
+            budget: Duration::from_millis(40),
             items: vec![(rid(), entry()), (RequestId::compose(ClientId(2), 9), entry())],
         });
         roundtrip(ReplMsg::ChainPutBatch {
             shard: ShardId(3),
             epoch: 0,
+            budget: Duration::ZERO,
             items: Vec::new(),
         });
         roundtrip(ReplMsg::ChainAckBatch {
@@ -736,11 +750,13 @@ mod tests {
         let one = NetMsg::Repl(ReplMsg::ChainPutBatch {
             shard: ShardId(0),
             epoch: 1,
+            budget: Duration::ZERO,
             items: vec![(rid(), entry())],
         });
         let many = NetMsg::Repl(ReplMsg::ChainPutBatch {
             shard: ShardId(0),
             epoch: 1,
+            budget: Duration::ZERO,
             items: (0..32).map(|_| (rid(), entry())).collect(),
         });
         // 31 extra items, each at least one entry's footprint.

@@ -11,7 +11,7 @@ use bespokv_proto::messages::{LogEntry, NetMsg, ReplMsg};
 use bespokv_proto::parser::{BinaryParser, ProtocolParser};
 use bespokv_proto::wire::{Decode, Encode};
 use bespokv_types::{
-    ClientId, ConsistencyLevel, Key, KvError, NodeId, RequestId, ShardId, Value,
+    ClientId, ConsistencyLevel, Duration, Instant, Key, KvError, NodeId, RequestId, ShardId, Value,
 };
 use bytes::BytesMut;
 use rand::rngs::StdRng;
@@ -80,6 +80,7 @@ fn rand_request(rng: &mut StdRng) -> Request {
         table: rand_name(rng, 8),
         op: rand_op(rng),
         level: rand_level(rng),
+        deadline: Instant(rng.gen::<u64>()),
     }
 }
 
@@ -189,6 +190,7 @@ fn repl_msg_roundtrip() {
             epoch: 1,
             first_seq: rng.gen::<u64>(),
             floor: rng.gen::<u64>(),
+            budget: Duration(rng.gen::<u64>()),
             entries,
         });
         let bytes = msg.to_bytes();
@@ -337,6 +339,7 @@ fn max_length_keys_and_values_roundtrip() {
                 value: Value::from(value),
             },
             level: ConsistencyLevel::Default,
+            deadline: Instant::ZERO,
         };
         let bytes = req.to_bytes();
         let back = Request::from_bytes(&bytes).unwrap();

@@ -11,11 +11,13 @@
 //! benchmarks.
 
 use crate::actor::{Action, Actor, Addr, Context, Event};
+use bespokv_proto::client::Response;
 use bespokv_proto::NetMsg;
-use bespokv_types::Instant;
+use bespokv_types::{Instant, KvError, OverloadCounters};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -24,17 +26,53 @@ enum Envelope {
     Stop,
 }
 
+struct Slot {
+    tx: Option<Sender<Envelope>>,
+    /// Messages currently queued in this slot's channel (in-service
+    /// messages excluded): the mailbox depth the cap applies to.
+    depth: Arc<AtomicUsize>,
+}
+
 struct Router {
-    senders: RwLock<Vec<Option<Sender<Envelope>>>>,
+    slots: RwLock<Vec<Slot>>,
+    /// Bounded-mailbox cap on queued client requests per actor; 0 means
+    /// unbounded. Replication/control traffic is always enqueued —
+    /// shedding it would turn overload into replica divergence.
+    client_cap: AtomicUsize,
+    counters: RwLock<Option<Arc<OverloadCounters>>>,
 }
 
 impl Router {
     fn send(&self, from: Addr, to: Addr, msg: NetMsg) {
-        // Sends to dead or unknown actors are silently dropped, matching
-        // the fail-stop network semantics of the simulator.
-        if let Some(Some(tx)) = self.senders.read().get(to.0 as usize) {
-            let _ = tx.send(Envelope::Msg { from, msg });
+        {
+            // Sends to dead or unknown actors are silently dropped,
+            // matching the fail-stop network semantics of the simulator.
+            let slots = self.slots.read();
+            let Some(slot) = slots.get(to.0 as usize) else {
+                return;
+            };
+            let Some(tx) = &slot.tx else { return };
+            let cap = self.client_cap.load(Ordering::Relaxed);
+            let shed = cap != 0
+                && matches!(&msg, NetMsg::Client(_))
+                && slot.depth.load(Ordering::Acquire) >= cap;
+            if !shed {
+                slot.depth.fetch_add(1, Ordering::AcqRel);
+                let _ = tx.send(Envelope::Msg { from, msg });
+                return;
+            }
         }
+        // Full mailbox: answer the client explicitly instead of queueing
+        // without bound (or dropping silently). The reply bypasses the
+        // cap because it is a ClientResp, not a Client request.
+        let NetMsg::Client(req) = msg else {
+            unreachable!("only client requests are shed")
+        };
+        if let Some(c) = &*self.counters.read() {
+            c.mailbox_shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let reply = NetMsg::ClientResp(Response::err(req.id, KvError::Overloaded));
+        self.send(to, from, reply);
     }
 }
 
@@ -50,11 +88,21 @@ impl LiveRuntime {
     pub fn new() -> Self {
         LiveRuntime {
             router: Arc::new(Router {
-                senders: RwLock::new(Vec::new()),
+                slots: RwLock::new(Vec::new()),
+                client_cap: AtomicUsize::new(0),
+                counters: RwLock::new(None),
             }),
             handles: Vec::new(),
             epoch: std::time::Instant::now(),
         }
+    }
+
+    /// Arms the bounded-mailbox model: client requests sent to an actor
+    /// with `cap` messages already queued are answered `Overloaded`
+    /// (counted in `counters.mailbox_shed`). A cap of 0 disables it.
+    pub fn set_mailbox_cap(&self, cap: usize, counters: Arc<OverloadCounters>) {
+        *self.router.counters.write() = Some(counters);
+        self.router.client_cap.store(cap, Ordering::Relaxed);
     }
 
     /// Spawns an actor on its own thread; it receives [`Event::Start`]
@@ -62,12 +110,16 @@ impl LiveRuntime {
     pub fn spawn(&mut self, actor: Box<dyn Actor>) -> Addr {
         let addr = Addr(self.handles.len() as u32);
         let (tx, rx) = unbounded();
-        self.router.senders.write().push(Some(tx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        self.router.slots.write().push(Slot {
+            tx: Some(tx),
+            depth: Arc::clone(&depth),
+        });
         let router = Arc::clone(&self.router);
         let epoch = self.epoch;
         let handle = std::thread::Builder::new()
             .name(format!("actor-{}", addr.0))
-            .spawn(move || actor_loop(actor, addr, rx, router, epoch))
+            .spawn(move || actor_loop(actor, addr, rx, router, epoch, depth))
             .expect("spawn actor thread");
         self.handles.push(Some(handle));
         addr
@@ -85,7 +137,11 @@ impl LiveRuntime {
     pub fn register_mailbox(&mut self) -> Mailbox {
         let addr = Addr(self.handles.len() as u32);
         let (tx, rx) = unbounded();
-        self.router.senders.write().push(Some(tx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        self.router.slots.write().push(Slot {
+            tx: Some(tx),
+            depth: Arc::clone(&depth),
+        });
         // No thread: keep the handle table aligned with addresses so
         // `kill`/`shutdown` indexing stays valid (both are no-ops here).
         self.handles.push(None);
@@ -93,13 +149,14 @@ impl LiveRuntime {
             addr,
             rx,
             router: Arc::clone(&self.router),
+            depth,
         }
     }
 
     /// Kills an actor: its channel is closed and further sends to it drop.
     /// Returns the actor's final state once its thread exits.
     pub fn kill(&mut self, addr: Addr) -> Option<Box<dyn Actor>> {
-        let sender = self.router.senders.write()[addr.0 as usize].take();
+        let sender = self.router.slots.write()[addr.0 as usize].tx.take();
         if let Some(tx) = sender {
             let _ = tx.send(Envelope::Stop);
         }
@@ -136,6 +193,7 @@ pub struct Mailbox {
     addr: Addr,
     rx: Receiver<Envelope>,
     router: Arc<Router>,
+    depth: Arc<AtomicUsize>,
 }
 
 impl Mailbox {
@@ -156,7 +214,10 @@ impl Mailbox {
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             match self.rx.recv_timeout(remaining) {
-                Ok(Envelope::Msg { from, msg }) => return Some((from, msg)),
+                Ok(Envelope::Msg { from, msg }) => {
+                    self.depth.fetch_sub(1, Ordering::AcqRel);
+                    return Some((from, msg));
+                }
                 // A Stop can reach a mailbox via kill(); ignore and keep
                 // draining until the deadline.
                 Ok(Envelope::Stop) => continue,
@@ -169,7 +230,10 @@ impl Mailbox {
     pub fn try_recv(&self) -> Option<(Addr, NetMsg)> {
         loop {
             match self.rx.try_recv() {
-                Ok(Envelope::Msg { from, msg }) => return Some((from, msg)),
+                Ok(Envelope::Msg { from, msg }) => {
+                    self.depth.fetch_sub(1, Ordering::AcqRel);
+                    return Some((from, msg));
+                }
                 Ok(Envelope::Stop) => continue,
                 Err(_) => return None,
             }
@@ -207,6 +271,7 @@ fn actor_loop(
     rx: Receiver<Envelope>,
     router: Arc<Router>,
     epoch: std::time::Instant,
+    depth: Arc<AtomicUsize>,
 ) -> Box<dyn Actor> {
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
     let mut timer_seq = 0u64;
@@ -275,6 +340,7 @@ fn actor_loop(
         while let Some(e) = env.take() {
             match e {
                 Envelope::Msg { from, msg } => {
+                    depth.fetch_sub(1, Ordering::AcqRel);
                     dispatch(
                         &mut actor,
                         Event::Msg { from, msg },
@@ -426,6 +492,64 @@ mod tests {
         assert!(mailbox.recv_timeout(std::time::Duration::from_secs(5)).is_some());
         rt.kill(ponger).expect("ponger state");
         assert!(rt.kill(mailbox.addr()).is_none(), "mailbox has no actor state");
+    }
+
+    #[test]
+    fn full_mailbox_sheds_client_requests_with_reply() {
+        use bespokv_proto::client::{Op, Request, RespBody, Response};
+        use bespokv_types::{ClientId, Key, RequestId};
+
+        /// Takes 20 ms of real time per request, then replies Done.
+        struct SlowServer;
+        impl Actor for SlowServer {
+            fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+                if let Event::Msg { from, msg: NetMsg::Client(req) } = ev {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    ctx.send(from, NetMsg::ClientResp(Response::ok(req.id, RespBody::Done)));
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let mut rt = LiveRuntime::new();
+        let counters = Arc::new(OverloadCounters::new());
+        rt.set_mailbox_cap(2, Arc::clone(&counters));
+        let server = rt.spawn(Box::new(SlowServer));
+        let mailbox = rt.register_mailbox();
+        const N: usize = 20;
+        for i in 0..N as u32 {
+            let req = Request::new(
+                RequestId::compose(ClientId(3), i),
+                Op::Get { key: Key::from("k") },
+            );
+            mailbox.send(server, NetMsg::Client(req));
+        }
+        // Every request must be answered — served or explicitly shed.
+        let mut ok = 0usize;
+        let mut shed = 0usize;
+        for _ in 0..N {
+            let (_, msg) = mailbox
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("a reply for every request");
+            match msg {
+                NetMsg::ClientResp(r) => match r.result {
+                    Ok(_) => ok += 1,
+                    Err(KvError::Overloaded) => shed += 1,
+                    other => panic!("unexpected result {other:?}"),
+                },
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        assert_eq!(ok + shed, N);
+        assert!(ok >= 1, "the in-cap requests must be served");
+        assert!(
+            shed >= N - 5,
+            "a 20-deep burst against cap 2 must mostly shed, shed={shed}"
+        );
+        assert_eq!(counters.snapshot().mailbox_shed, shed as u64);
+        rt.kill(server);
     }
 
     #[test]

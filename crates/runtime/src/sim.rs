@@ -23,6 +23,9 @@ struct Scheduled {
     seq: u64,
     target: Addr,
     ev: Event,
+    /// When this event first arrived at the target's queue; preserved
+    /// across busy-server requeues so total queue delay is measurable.
+    enqueued_at: Instant,
 }
 
 impl PartialEq for Scheduled {
@@ -67,6 +70,9 @@ pub struct SimStats {
     pub faults_reordered: u64,
     /// Messages dropped by an active partition window.
     pub partition_drops: u64,
+    /// Client messages bounced with `Overloaded` because their virtual
+    /// queue delay exceeded the configured bound.
+    pub overload_shed: u64,
 }
 
 /// Translates a message sent to a dead actor into an error reply for the
@@ -86,6 +92,10 @@ pub struct Simulation {
     last_arrival: HashMap<(u32, u32), Instant>,
     stats: SimStats,
     bounce: Option<BounceFn>,
+    /// Bounded-mailbox model: a client message that would wait longer
+    /// than this behind a busy actor is answered `Overloaded` instead of
+    /// being requeued. Replication/control traffic is exempt.
+    max_queue_delay: Option<Duration>,
 }
 
 impl Simulation {
@@ -100,7 +110,15 @@ impl Simulation {
             last_arrival: HashMap::new(),
             stats: SimStats::default(),
             bounce: None,
+            max_queue_delay: None,
         }
+    }
+
+    /// Arms the bounded-mailbox model: client messages whose virtual
+    /// queue delay would exceed `cap` are shed with an explicit
+    /// `Overloaded` reply to the sender. `None` disables shedding.
+    pub fn set_max_queue_delay(&mut self, cap: Option<Duration>) {
+        self.max_queue_delay = cap;
     }
 
     /// Installs connection-refused semantics: a message to a dead actor is
@@ -185,6 +203,12 @@ impl Simulation {
     }
 
     fn schedule(&mut self, at: Instant, target: Addr, ev: Event) {
+        self.schedule_from(at, at, target, ev);
+    }
+
+    /// Like [`Self::schedule`] but preserving the original queue-arrival
+    /// time (used by busy-server requeues).
+    fn schedule_from(&mut self, at: Instant, enqueued_at: Instant, target: Addr, ev: Event) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Scheduled {
@@ -192,6 +216,7 @@ impl Simulation {
             seq,
             target,
             ev,
+            enqueued_at,
         }));
     }
 
@@ -276,7 +301,28 @@ impl Simulation {
         // events keep their relative order because seq grows monotonically.
         if slot.busy_until > self.now {
             let at = slot.busy_until;
-            self.schedule(at, item.target, item.ev);
+            // Bounded mailbox: a client request whose total queue delay
+            // (first arrival to earliest possible service) would exceed
+            // the cap is bounced with an explicit Overloaded reply —
+            // before execution, so the shed is a definitive "not applied".
+            if let (Some(cap), Event::Msg { from, msg: bespokv_proto::NetMsg::Client(req) }) =
+                (self.max_queue_delay, &item.ev)
+            {
+                if at.saturating_since(item.enqueued_at) > cap {
+                    let reply = bespokv_proto::NetMsg::ClientResp(
+                        bespokv_proto::client::Response::err(
+                            req.id,
+                            bespokv_types::KvError::Overloaded,
+                        ),
+                    );
+                    let from = *from;
+                    let target = item.target;
+                    self.stats.overload_shed += 1;
+                    self.transmit(target, from, reply, self.now);
+                    return true;
+                }
+            }
+            self.schedule_from(at, item.enqueued_at, item.target, item.ev);
             return true;
         }
         let is_msg = matches!(item.ev, Event::Msg { .. });
@@ -628,6 +674,75 @@ mod tests {
         sim.inject(pinger, ponger, NetMsg::Coord(CoordMsg::GetShardMap));
         sim.run_to_quiescence(10_000);
         assert_eq!(sim.actor_mut::<Ponger>(ponger).received.len(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_delay_sheds_client_messages() {
+        use bespokv_proto::client::{Op, Request, RespBody, Response};
+        use bespokv_types::{ClientId, Key, KvError, RequestId};
+
+        /// Charges 10 ms per client request, then replies Done.
+        struct SlowServer;
+        impl Actor for SlowServer {
+            fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+                if let Event::Msg { from, msg: NetMsg::Client(req) } = ev {
+                    ctx.charge(Duration::from_millis(10));
+                    ctx.send(from, NetMsg::ClientResp(Response::ok(req.id, RespBody::Done)));
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        /// Collects every client response it receives.
+        struct RespSink {
+            results: Vec<Result<RespBody, KvError>>,
+        }
+        impl Actor for RespSink {
+            fn on_event(&mut self, ev: Event, _ctx: &mut Context) {
+                if let Event::Msg { msg: NetMsg::ClientResp(r), .. } = ev {
+                    self.results.push(r.result);
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let run = || {
+            let mut sim = Simulation::new(quiet_net());
+            sim.set_max_queue_delay(Some(Duration::from_millis(5)));
+            let server = sim.add_actor(Box::new(SlowServer));
+            let sink = sim.add_actor(Box::new(RespSink { results: vec![] }));
+            for i in 0..10u32 {
+                let req = Request::new(
+                    RequestId::compose(ClientId(7), i),
+                    Op::Get { key: Key::from("k") },
+                );
+                sim.inject(sink, server, NetMsg::Client(req));
+            }
+            sim.run_to_quiescence(100_000);
+            let results = sim.actor_mut::<RespSink>(sink).results.clone();
+            (results, sim.stats())
+        };
+        let (results, stats) = run();
+        // Every request was answered: served or explicitly shed, no
+        // silent drops.
+        assert_eq!(results.len(), 10);
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(KvError::Overloaded)))
+            .count();
+        assert_eq!(ok + shed, 10);
+        // 10 ms service vs a 5 ms queue bound: only the head of the queue
+        // can be served; the pile-up behind it must shed.
+        assert!(ok >= 1 && shed >= 5, "ok={ok} shed={shed}");
+        assert_eq!(stats.overload_shed, shed as u64);
+        // Shedding must not break determinism.
+        let (results2, stats2) = run();
+        assert_eq!(results, results2);
+        assert_eq!(stats, stats2);
     }
 
     #[test]

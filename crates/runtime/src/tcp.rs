@@ -9,7 +9,7 @@
 
 use bespokv_proto::client::{Request, Response};
 use bespokv_proto::parser::ProtocolParser;
-use bespokv_types::{KvError, KvResult};
+use bespokv_types::{KvError, KvResult, ShardId};
 use bytes::BytesMut;
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -27,13 +27,35 @@ pub type ParserFactory = dyn Fn() -> Box<dyn ProtocolParser> + Send + Sync;
 pub type Handler = dyn Fn(Request) -> Response + Send + Sync;
 
 /// Tuning knobs for [`TcpServer::bind_with`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerOptions {
     /// When `Some(n)`, request handling runs on a bounded pool of `n`
     /// workers instead of inline on the connection thread. Per-connection
     /// response order is preserved; the bounded queue applies backpressure
-    /// when all workers are busy.
+    /// when all workers are busy (or sheds, see `pipeline_cap`).
     pub worker_threads: Option<usize>,
+    /// Concurrent connections beyond this are refused at accept time (the
+    /// stream is dropped and `connections_refused` counted), so a
+    /// connection flood cannot spawn unbounded handler threads. `None`
+    /// means unbounded.
+    pub max_connections: Option<usize>,
+    /// When `Some(n)`, at most `n` requests from one socket read are
+    /// dispatched; the rest of the batch is answered
+    /// [`KvError::Overloaded`] in arrival order. Setting this also arms
+    /// shed-instead-of-block when the worker pool queue is full.
+    pub pipeline_cap: Option<usize>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            worker_threads: None,
+            // Generous, but bounded: the accept loop must never be a
+            // thread-spawn amplifier for a SYN-and-hold flood.
+            max_connections: Some(1024),
+            pipeline_cap: None,
+        }
+    }
 }
 
 /// Counters exported by a running [`TcpServer`].
@@ -43,6 +65,12 @@ pub struct TcpServerStats {
     pub connections_accepted: u64,
     /// Connections dropped because the peer sent a malformed stream.
     pub protocol_error_drops: u64,
+    /// Connections refused at the `max_connections` cap.
+    pub connections_refused: u64,
+    /// Requests answered `Overloaded` at the per-connection pipeline cap.
+    pub pipeline_shed: u64,
+    /// Requests answered `Overloaded` at a full worker-pool queue.
+    pub pool_shed: u64,
 }
 
 /// State shared between the accept loop, connection threads, and the handle.
@@ -52,6 +80,10 @@ struct Shared {
     conns: Mutex<HashMap<u64, TcpStream>>,
     accepted: AtomicU64,
     protocol_errors: AtomicU64,
+    refused: AtomicU64,
+    pipeline_shed: AtomicU64,
+    pool_shed: AtomicU64,
+    pipeline_cap: Option<usize>,
     pool: Option<WorkerPool>,
 }
 
@@ -91,10 +123,15 @@ impl TcpServer {
             conns: Mutex::new(HashMap::new()),
             accepted: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            pipeline_shed: AtomicU64::new(0),
+            pool_shed: AtomicU64::new(0),
+            pipeline_cap: options.pipeline_cap,
             pool: options
                 .worker_threads
                 .map(|n| WorkerPool::new(n, Arc::clone(&handler))),
         });
+        let max_connections = options.max_connections;
         let shared2 = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("bespokv-accept".into())
@@ -112,6 +149,16 @@ impl TcpServer {
                             // short-lived connections doesn't grow this Vec
                             // without bound.
                             conn_threads.retain(|t: &JoinHandle<()>| !t.is_finished());
+                            // The registry holds exactly the live
+                            // connections (each thread deregisters itself on
+                            // exit), so its size is the concurrency to cap.
+                            if let Some(cap) = max_connections {
+                                if shared2.conns.lock().len() >= cap {
+                                    shared2.refused.fetch_add(1, Ordering::Relaxed);
+                                    drop(stream);
+                                    continue;
+                                }
+                            }
                             let id = next_id;
                             next_id += 1;
                             if let Ok(clone) = stream.try_clone() {
@@ -165,6 +212,9 @@ impl TcpServer {
         TcpServerStats {
             connections_accepted: self.shared.accepted.load(Ordering::Relaxed),
             protocol_error_drops: self.shared.protocol_errors.load(Ordering::Relaxed),
+            connections_refused: self.shared.refused.load(Ordering::Relaxed),
+            pipeline_shed: self.shared.pipeline_shed.load(Ordering::Relaxed),
+            pool_shed: self.shared.pool_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -218,25 +268,64 @@ fn serve_connection(
         };
         parser.feed(&buf[..n]);
         out.clear();
+        // Requests dispatched from this socket read; beyond the pipeline
+        // cap the rest of the batch is shed, in order, with an explicit
+        // Overloaded reply — never a silent drop.
+        let mut batch_n = 0usize;
         loop {
             match parser.next_request() {
-                Ok(Some(req)) => match &shared.pool {
-                    None => {
-                        let resp = handler(req);
-                        parser.encode_response(&resp, &mut out);
+                Ok(Some(req)) => {
+                    batch_n += 1;
+                    let shed = shared.pipeline_cap.is_some_and(|cap| batch_n > cap);
+                    match &shared.pool {
+                        None => {
+                            let resp = if shed {
+                                shared.pipeline_shed.fetch_add(1, Ordering::Relaxed);
+                                Response::err(req.id, KvError::Overloaded)
+                            } else {
+                                handler(req)
+                            };
+                            parser.encode_response(&resp, &mut out);
+                        }
+                        Some(pool) => {
+                            // Fan the request out to the pool; the FIFO of
+                            // receivers preserves response order. Workers own
+                            // their handler clone, so nothing is cloned here
+                            // per request. Shed responses ride the same FIFO
+                            // as a pre-resolved channel, so order holds.
+                            let id = req.id;
+                            let (tx, rx) = mpsc::channel();
+                            if shed {
+                                shared.pipeline_shed.fetch_add(1, Ordering::Relaxed);
+                                let _ = tx.send(Response::err(id, KvError::Overloaded));
+                                pending.push_back(rx);
+                            } else {
+                                let job: Job = Box::new(move |h| {
+                                    let _ = tx.send(h(req));
+                                });
+                                // With a pipeline cap set, a full pool queue
+                                // sheds instead of blocking the connection
+                                // thread; uncapped servers keep the original
+                                // backpressure behaviour.
+                                if shared.pipeline_cap.is_some() {
+                                    match pool.try_submit(job) {
+                                        Ok(()) => pending.push_back(rx),
+                                        Err(()) => {
+                                            shared.pool_shed.fetch_add(1, Ordering::Relaxed);
+                                            let (tx2, rx2) = mpsc::channel();
+                                            let _ = tx2
+                                                .send(Response::err(id, KvError::Overloaded));
+                                            pending.push_back(rx2);
+                                        }
+                                    }
+                                } else {
+                                    pool.submit(job);
+                                    pending.push_back(rx);
+                                }
+                            }
+                        }
                     }
-                    Some(pool) => {
-                        // Fan the request out to the pool; the FIFO of
-                        // receivers preserves response order. Workers own
-                        // their handler clone, so nothing is cloned here
-                        // per request.
-                        let (tx, rx) = mpsc::channel();
-                        pool.submit(Box::new(move |h| {
-                            let _ = tx.send(h(req));
-                        }));
-                        pending.push_back(rx);
-                    }
-                },
+                }
                 Ok(None) => break,
                 Err(_) => {
                     // Malformed stream: count it and drop the connection.
@@ -302,6 +391,15 @@ impl WorkerPool {
             let _ = tx.send(job);
         }
     }
+
+    /// Non-blocking submit: `Err` (job dropped) when the queue is full, so
+    /// the caller can shed with an explicit reply instead of stalling.
+    fn try_submit(&self, job: Job) -> Result<(), ()> {
+        match &self.tx {
+            Some(tx) => tx.try_send(job).map_err(|_| ()),
+            None => Err(()),
+        }
+    }
 }
 
 impl Drop for WorkerPool {
@@ -329,6 +427,20 @@ impl TcpClient {
     /// Connects to a [`TcpServer`] with the default read timeout.
     pub fn connect(addr: SocketAddr, parser: Box<dyn ProtocolParser>) -> std::io::Result<Self> {
         Self::connect_with_timeout(addr, parser, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// Connects, mapping transport failures to retryable [`KvError`]s: a
+    /// refused or unreachable endpoint is [`KvError::Unavailable`] (the
+    /// node is down — reroute), not an opaque I/O error.
+    pub fn connect_kv(addr: SocketAddr, parser: Box<dyn ProtocolParser>) -> KvResult<Self> {
+        Self::connect(addr, parser).map_err(|e| match e.kind() {
+            std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset => {
+                // No shard context at the transport layer; the sentinel
+                // keeps the variant's retryable classification.
+                KvError::Unavailable(ShardId(u32::MAX))
+            }
+            _ => KvError::from(e),
+        })
     }
 
     /// Connects with an explicit per-read deadline (`None` blocks forever).
@@ -370,7 +482,11 @@ impl TcpClient {
             }
             let n = self.stream.read(&mut buf).map_err(KvError::from)?;
             if n == 0 {
-                return Err(KvError::Io("connection closed mid-response".into()));
+                // A connection that dies mid-response is indistinguishable
+                // from a lost reply: the request may have been applied, so
+                // this is a Timeout (retryable, maybe-applied), not an
+                // opaque I/O error the client core would treat as fatal.
+                return Err(KvError::Timeout);
             }
             self.parser.feed(&buf[..n]);
         }
@@ -396,7 +512,8 @@ impl TcpClient {
             }
             let n = self.stream.read(&mut buf).map_err(KvError::from)?;
             if n == 0 {
-                return Err(KvError::Io("connection closed mid-batch".into()));
+                // Same maybe-applied classification as `call`.
+                return Err(KvError::Timeout);
             }
             self.parser.feed(&buf[..n]);
         }
@@ -527,6 +644,7 @@ mod tests {
             kv_handler(),
             ServerOptions {
                 worker_threads: Some(4),
+                ..ServerOptions::default()
             },
         )
         .unwrap();
@@ -738,6 +856,189 @@ mod tests {
             "call blocked until the server hung up instead of timing out"
         );
         // Pipelined calls hit the same deadline.
+        assert_eq!(
+            client.call_pipelined(std::slice::from_ref(&req)),
+            Err(KvError::Timeout)
+        );
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_refuses_flood() {
+        let server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+            ServerOptions {
+                max_connections: Some(2),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // Two live connections, proven registered by a completed call each.
+        let mut keep = Vec::new();
+        for i in 0..2u32 {
+            let mut c = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+            let r = Request::new(rid(i), Op::Put {
+                key: Key::from(format!("k{i}")),
+                value: Value::from("v"),
+            });
+            assert_eq!(c.call(&r).unwrap().result, Ok(RespBody::Done));
+            keep.push(c);
+        }
+        // The third connection must be refused: the server drops it without
+        // ever answering, and counts the refusal.
+        let mut extra = TcpStream::connect(addr).unwrap();
+        extra.write_all(&[0u8; 4]).ok();
+        extra
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        match extra.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("refused connection got {n} response bytes"),
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.stats().connections_refused == 0 {
+            assert!(std::time::Instant::now() < deadline, "refusal never counted");
+            std::thread::yield_now();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.connections_accepted, 2);
+        assert!(stats.connections_refused >= 1);
+        // Existing connections keep working at the cap.
+        let r = Request::new(rid(9), Op::Get { key: Key::from("k0") });
+        assert!(keep[0].call(&r).unwrap().result.is_ok());
+        server.stop();
+    }
+
+    /// Pipeline shed must preserve per-connection response order and reply
+    /// `Overloaded` explicitly — inline mode.
+    #[test]
+    fn pipeline_cap_sheds_in_order_inline() {
+        let server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+            ServerOptions {
+                pipeline_cap: Some(4),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let reqs: Vec<Request> = (0..32)
+            .map(|i| {
+                Request::new(rid(i), Op::Put {
+                    key: Key::from(format!("k{i}")),
+                    value: Value::from("v"),
+                })
+            })
+            .collect();
+        let resps = client.call_pipelined(&reqs).unwrap();
+        assert_eq!(resps.len(), reqs.len(), "shed responses must not be dropped");
+        let mut ok = 0u32;
+        let mut shed = 0u32;
+        for (req, resp) in reqs.iter().zip(&resps) {
+            assert_eq!(resp.id, req.id, "shed reordered responses");
+            match &resp.result {
+                Ok(RespBody::Done) => ok += 1,
+                Err(KvError::Overloaded) => shed += 1,
+                other => panic!("unexpected result {other:?}"),
+            }
+        }
+        assert!(ok >= 4, "the in-cap prefix of each read must be served");
+        assert!(shed >= 1, "a 32-deep pipeline over cap 4 must shed");
+        assert_eq!(server.stats().pipeline_shed, shed as u64);
+        server.stop();
+    }
+
+    /// Pipeline shed in worker-pool mode: shed replies ride the same FIFO
+    /// as pool results, so order still holds.
+    #[test]
+    fn pipeline_cap_sheds_in_order_pool() {
+        let server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+            ServerOptions {
+                worker_threads: Some(2),
+                pipeline_cap: Some(4),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let reqs: Vec<Request> = (0..32)
+            .map(|i| {
+                Request::new(rid(i), Op::Put {
+                    key: Key::from(format!("k{i}")),
+                    value: Value::from("v"),
+                })
+            })
+            .collect();
+        let resps = client.call_pipelined(&reqs).unwrap();
+        assert_eq!(resps.len(), reqs.len());
+        let mut shed = 0u64;
+        for (req, resp) in reqs.iter().zip(&resps) {
+            assert_eq!(resp.id, req.id, "pool-mode shed reordered responses");
+            match &resp.result {
+                Ok(RespBody::Done) => {}
+                Err(KvError::Overloaded) => shed += 1,
+                other => panic!("unexpected result {other:?}"),
+            }
+        }
+        assert!(shed >= 1);
+        let stats = server.stats();
+        assert_eq!(stats.pipeline_shed + stats.pool_shed, shed);
+        server.stop();
+    }
+
+    #[test]
+    fn refused_connect_maps_to_unavailable() {
+        // Grab a port that is then closed again: connecting must surface
+        // as Unavailable (node down — reroute), not an opaque Io error.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        match TcpClient::connect_kv(addr, Box::new(BinaryParser::new())) {
+            Err(KvError::Unavailable(s)) => assert_eq!(s, ShardId(u32::MAX)),
+            other => panic!("expected Unavailable, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn mid_response_disconnect_maps_to_timeout() {
+        // A server that accepts, reads the request, then hangs up without
+        // answering: the reply may or may not have been applied, so the
+        // client must see a retryable Timeout.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            drop(stream); // close mid-response
+        });
+        let mut client = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+        let req = Request::new(rid(0), Op::Get { key: Key::from("k") });
+        assert_eq!(client.call(&req), Err(KvError::Timeout));
+        hold.join().unwrap();
+
+        // Same for a pipelined batch cut off mid-stream.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = stream.read(&mut buf);
+            drop(stream);
+        });
+        let mut client = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
         assert_eq!(
             client.call_pipelined(std::slice::from_ref(&req)),
             Err(KvError::Timeout)

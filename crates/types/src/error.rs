@@ -43,6 +43,10 @@ pub enum KvError {
     Protocol(String),
     /// The request was rejected because an invariant would be violated.
     Rejected(String),
+    /// The server shed this request before executing it (bounded queue
+    /// full or deadline already expired). The request was definitively
+    /// *not* applied — unlike [`KvError::Timeout`], which is ambiguous.
+    Overloaded,
 }
 
 impl fmt::Display for KvError {
@@ -64,6 +68,7 @@ impl fmt::Display for KvError {
             KvError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             KvError::Protocol(m) => write!(f, "protocol error: {m}"),
             KvError::Rejected(m) => write!(f, "rejected: {m}"),
+            KvError::Overloaded => write!(f, "overloaded, request shed"),
         }
     }
 }
@@ -95,6 +100,7 @@ impl KvError {
                 | KvError::LockContended
                 | KvError::NotServing
                 | KvError::Forwarded(_)
+                | KvError::Overloaded
         )
     }
 }
@@ -123,7 +129,13 @@ mod tests {
     fn retryability_partition() {
         assert!(KvError::Timeout.is_retryable());
         assert!(KvError::Forwarded(NodeId(3)).is_retryable());
+        assert!(KvError::Overloaded.is_retryable());
         assert!(!KvError::NotFound.is_retryable());
         assert!(!KvError::Corrupt("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn overloaded_display_names_the_shed() {
+        assert!(KvError::Overloaded.to_string().contains("shed"));
     }
 }

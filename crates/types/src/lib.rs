@@ -15,6 +15,7 @@ pub mod history;
 pub mod ids;
 pub mod kv;
 pub mod mode;
+pub mod overload;
 pub mod shardmap;
 pub mod time;
 
@@ -23,5 +24,6 @@ pub use history::{ApplyEvent, HistoryEvent, HistoryOp, HistoryOutcome, HistoryRe
 pub use ids::{ClientId, NodeId, RequestId, ShardId};
 pub use kv::{Key, Value, Version, VersionedValue};
 pub use mode::{Consistency, ConsistencyLevel, Mode, Topology};
+pub use overload::{OverloadConfig, OverloadCounters, OverloadSnapshot};
 pub use shardmap::{Partitioning, ShardInfo, ShardMap};
 pub use time::{Duration, Instant};

@@ -23,8 +23,8 @@ use bespokv_suite::cluster::{ClusterSpec, SimCluster};
 use bespokv_suite::coordinator::{CoordConfig, CoordinatorActor};
 use bespokv_suite::runtime::{FaultPlan, LinkFaults};
 use bespokv_suite::types::{
-    ApplyEvent, Consistency, ConsistencyLevel, Duration, HistoryEvent, Key, Mode, NodeId,
-    ShardId, Value,
+    ApplyEvent, Consistency, ConsistencyLevel, Duration, HistoryEvent, Key, KvError, Mode,
+    NodeId, OverloadConfig, ShardId, Value,
 };
 use std::collections::BTreeMap;
 
@@ -39,8 +39,30 @@ fn k(i: usize) -> String {
     format!("k{}", i % KEYS)
 }
 
+/// A deliberately tight overload configuration for the sweep: a single
+/// in-flight chain write at the head, a small queue-delay bound, and low
+/// propagation watermarks, so shedding, trims, and resyncs actually fire
+/// during the scenario instead of idling at production-sized limits.
+fn tight_overload() -> OverloadConfig {
+    OverloadConfig {
+        head_window: 1,
+        max_queue_delay: Some(Duration::from_millis(2)),
+        prop_high_watermark: 8,
+        prop_low_watermark: 4,
+        ..OverloadConfig::default()
+    }
+}
+
+/// `BESPOKV_SHED=1` re-runs the whole sweep with overload protection armed
+/// at the tight limits: every guarantee below must hold *with requests
+/// being shed mid-scenario* — a shed write that ever became visible would
+/// fail the same linearizability/convergence checks.
+fn shed_enabled() -> bool {
+    std::env::var("BESPOKV_SHED").ok().as_deref() == Some("1")
+}
+
 fn oracle_spec(mode: Mode, seed: u64, fast_path: bool) -> ClusterSpec {
-    let spec = ClusterSpec::new(1, 3, mode)
+    let mut spec = ClusterSpec::new(1, 3, mode)
         .with_standbys(1)
         .with_coord(CoordConfig {
             failure_timeout: Duration::from_millis(1200),
@@ -48,6 +70,9 @@ fn oracle_spec(mode: Mode, seed: u64, fast_path: bool) -> ClusterSpec {
         })
         .with_faults(FaultPlan::new(seed).with_default(LinkFaults::lossy(DROP_P)))
         .with_history();
+    if shed_enabled() {
+        spec = spec.with_overload(tight_overload());
+    }
     if fast_path {
         spec.with_fast_path()
     } else {
@@ -470,6 +495,80 @@ fn oracle_ms_ec_to_ms_sc_transition_fastpath() {
         .collect();
     let conv = check_convergence(&replicas);
     assert!(conv.ok(), "replicas diverged: {:#?}", conv.divergent);
+}
+
+/// Shedding safety, always on (no env var needed): six concurrent writers
+/// hammer one MS+SC chain whose head admits a single in-flight write, with
+/// client retries disabled so every shed surfaces as a final
+/// `Err(Overloaded)`. The invariant under test is the one that makes
+/// shedding safe at all: `Overloaded` is returned strictly *before*
+/// execution, so a shed write must never be observed — not by any read in
+/// the recorded history, and not in any replica's final state.
+#[test]
+fn oracle_shed_writes_never_become_violations() {
+    let ocfg = OverloadConfig {
+        retry_tokens: 0,
+        ..tight_overload()
+    };
+    let mut cluster = SimCluster::build(
+        ClusterSpec::new(1, 3, Mode::MS_SC)
+            .with_history()
+            .with_overload(ocfg),
+    );
+    let writers: Vec<_> = (0..6)
+        .map(|w| {
+            cluster.add_script_client(
+                (0..30).map(|i| put(&k(i), &format!("w{w}v{i}"))).collect(),
+            )
+        })
+        .collect();
+    cluster.run_for(Duration::from_secs(30));
+
+    let mut shed_values = Vec::new();
+    let mut acked = 0usize;
+    for (w, &addr) in writers.iter().enumerate() {
+        let c = cluster.sim.actor_mut::<ScriptClient>(addr);
+        assert!(c.done(), "writer {w} wedged at {}/{}", c.results.len(), c.script_len());
+        for (i, r) in c.results.clone().into_iter().enumerate() {
+            match r {
+                Ok(_) => acked += 1,
+                Err(KvError::Overloaded) => shed_values.push(Value::from(format!("w{w}v{i}"))),
+                Err(_) => {}
+            }
+        }
+    }
+    assert!(acked > 0, "head admitted nothing");
+    assert!(
+        !shed_values.is_empty(),
+        "six writers against a one-deep head window never shed — overload \
+         protection is not engaging"
+    );
+    let snap = cluster.overload_counters().snapshot();
+    assert!(
+        snap.total_shed() >= shed_values.len() as u64,
+        "sheds happened but the counters missed them: {snap}"
+    );
+
+    // The oracle proper: the history (where every shed write is recorded
+    // as never-happened) must still linearize.
+    let recorder = cluster.history().expect("history enabled").clone();
+    let lin = check_linearizable(&recorder.events(), &BTreeMap::new());
+    assert!(
+        lin.ok(),
+        "a shed write became a consistency violation: {:#?}",
+        lin.violations
+    );
+
+    // Belt and braces: no shed value may exist in any replica.
+    for (node, entries) in cluster.dump_replicas(ShardId(0)) {
+        let live = replica_live_map(entries);
+        for v in live.values() {
+            assert!(
+                !shed_values.contains(v),
+                "replica {node} holds a value whose write was shed: {v:?}"
+            );
+        }
+    }
 }
 
 /// Teeth test: a client with the dev-only stale-read bug (repeated Gets

@@ -34,6 +34,7 @@ fn edge_server(cluster: &mut LiveCluster, node: u32, fast_path: bool) -> (NodeEd
         edge.handler(),
         ServerOptions {
             worker_threads: Some(4),
+            ..ServerOptions::default()
         },
     )
     .unwrap();

@@ -38,6 +38,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel currently at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +118,24 @@ pub mod channel {
                         st = self.chan.not_full.wait(st).unwrap();
                     }
                     _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails immediately instead of waiting when a
+        /// bounded channel is full.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.chan.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             st.queue.push_back(value);
@@ -274,6 +301,17 @@ pub mod channel {
             assert_eq!(rx.recv().unwrap(), 1);
             assert_eq!(rx.recv().unwrap(), 2);
             t.join().unwrap();
+        }
+
+        #[test]
+        fn try_send_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]
