@@ -21,6 +21,13 @@ cargo test --test consistency_oracle -q
 # resyncs must never become consistency violations.
 BESPOKV_SHED=1 cargo test --test consistency_oracle -q
 
-# Saturation probe must build; CI doesn't run it (timing-sensitive),
-# see EXPERIMENTS.md for the BENCH_saturate.json recipe.
+# The same sweep with the flat-combining write path armed everywhere:
+# MS ingresses must combine, AA ingresses must keep the gate shut, and
+# kills/rejoins must never lose or duplicate an acked combined write.
+BESPOKV_WRITE_COMBINE=1 cargo test --test consistency_oracle -q
+
+# Saturation and write-path probes must build; CI doesn't run them
+# (timing-sensitive), see EXPERIMENTS.md for the BENCH_saturate.json /
+# BENCH_writepath.json recipes.
 cargo build --release -p bespokv-bench --bin saturate
+cargo build --release -p bespokv-bench --bin writepath

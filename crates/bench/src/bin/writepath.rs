@@ -1,0 +1,160 @@
+//! Write-path probe: multi-threaded PUT throughput over the live TCP edge,
+//! actor-routed baseline vs the flat-combining write path.
+//!
+//! Stands up a real `LiveCluster` (MS+SC, one chain of three) and hammers
+//! the *head* edge with concurrent pipelined PUT clients twice: once with
+//! every write relayed through the controlet actor one message at a time
+//! (`write_combine = false`, the pre-PR ingress model) and once with TCP
+//! worker threads publishing writes into the head's op log, where one
+//! combiner applies them in batches and hands the actor a single
+//! `ChainPutBatch` per combine. Each (mode, threads) point is the median
+//! of three runs. Prints one JSON object; used to produce
+//! `BENCH_writepath.json`. Run with `cargo run --release --bin writepath`.
+
+use bespokv_cluster::{ClusterSpec, LiveCluster, NodeEdge};
+use bespokv_proto::client::{Op, Request};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_runtime::tcp::{ServerOptions, TcpClient, TcpServer};
+use bespokv_types::{ClientId, Key, Mode, NodeId, RequestId, Value};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const KEYS: u32 = 2048;
+const PIPELINE: usize = 64;
+const MEASURE_MS: u64 = 800;
+const RUNS: usize = 3;
+
+/// Every connection draws a fresh client id: the head's reply cache dedups
+/// by `RequestId = (client, seq)`, so ids must never be reused across runs
+/// or a repeat would be answered from the cache instead of measured.
+static NEXT_CLIENT: AtomicU32 = AtomicU32::new(9100);
+
+fn key(i: u32) -> Key {
+    Key::from(format!("user{i:012}"))
+}
+
+fn parser_factory() -> Arc<bespokv_runtime::tcp::ParserFactory> {
+    Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>)
+}
+
+/// `threads` closed-loop pipelined PUT clients against `addr` for
+/// [`MEASURE_MS`]; returns aggregate ops/sec. Every response is checked —
+/// a throughput number built on errors would be meaningless.
+fn put_throughput(addr: std::net::SocketAddr, threads: u32) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let client_id = ClientId(NEXT_CLIENT.fetch_add(1, Ordering::Relaxed));
+                let mut client =
+                    TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+                let mut done = 0u64;
+                let mut seq = 0u32;
+                let mut base = t * 7919;
+                while !stop.load(Ordering::Acquire) {
+                    let reqs: Vec<Request> = (0..PIPELINE as u32)
+                        .map(|n| {
+                            seq += 1;
+                            base = base.wrapping_mul(48271) % 0x7fff_ffff;
+                            let i = (base.wrapping_add(n * 31)) % KEYS;
+                            Request::new(
+                                RequestId::compose(client_id, seq),
+                                Op::Put {
+                                    key: key(i),
+                                    value: Value::from(format!("v{i:028}")),
+                                },
+                            )
+                        })
+                        .collect();
+                    for resp in client.call_pipelined(&reqs).unwrap() {
+                        match resp.result {
+                            Ok(_) => done += 1,
+                            Err(e) => panic!("PUT failed: {e:?}"),
+                        }
+                    }
+                }
+                done
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(MEASURE_MS));
+    stop.store(true, Ordering::Release);
+    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Median of [`RUNS`] throughput runs at one (mode, threads) point.
+fn median_qps(addr: std::net::SocketAddr, threads: u32) -> f64 {
+    let mut runs: Vec<f64> = (0..RUNS).map(|_| put_throughput(addr, threads)).collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let mut cluster =
+        LiveCluster::build(ClusterSpec::new(1, 3, Mode::MS_SC).with_write_combine());
+    let table = Arc::clone(cluster.fast_path().expect("combine table built"));
+
+    // Writes enter at the chain head; the edge starts in relay mode.
+    let head_edge = NodeEdge::new(
+        NodeId(0),
+        Arc::clone(&table),
+        cluster.rt.register_mailbox(),
+        false,
+    );
+    let head_srv = TcpServer::bind_with(
+        "127.0.0.1:0",
+        parser_factory(),
+        head_edge.handler(),
+        ServerOptions {
+            worker_threads: Some(8),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = head_srv.local_addr();
+
+    // Baseline: every PUT relayed to the single-threaded controlet actor.
+    let base_1t = median_qps(addr, 1);
+    let base_2t = median_qps(addr, 2);
+    let base_4t = median_qps(addr, 4);
+    assert_eq!(
+        table.combiner_snapshot().ops,
+        0,
+        "baseline must not touch the combiner"
+    );
+
+    // Combined: worker threads publish into the op log; one combiner
+    // applies batches and the actor replicates them as single messages.
+    head_edge.set_write_combine(true);
+    let comb_1t = median_qps(addr, 1);
+    let comb_2t = median_qps(addr, 2);
+    let comb_4t = median_qps(addr, 4);
+    let snap = table.combiner_snapshot();
+    assert!(snap.batches > 0, "combiner never engaged");
+    assert!(snap.ops > 0, "combiner never carried a write");
+
+    drop(head_srv);
+    drop(head_edge);
+    cluster.rt.shutdown();
+
+    let avg_batch = snap.ops as f64 / snap.batches as f64;
+    println!(
+        "{{\"baseline\":{{\"put_qps_1thread\":{base_1t:.0},\"put_qps_2thread\":{base_2t:.0},\
+         \"put_qps_4thread\":{base_4t:.0}}},\
+         \"combined\":{{\"put_qps_1thread\":{comb_1t:.0},\"put_qps_2thread\":{comb_2t:.0},\
+         \"put_qps_4thread\":{comb_4t:.0},\"batches\":{},\"ops\":{},\
+         \"avg_ops_per_batch\":{avg_batch:.2},\"lock_contention\":{},\
+         \"shed_full\":{},\"cache_hits\":{}}},\
+         \"speedup_4thread\":{:.2}}}",
+        snap.batches,
+        snap.ops,
+        snap.lock_contention,
+        snap.shed_full,
+        snap.cache_hits,
+        comb_4t / base_4t
+    );
+}

@@ -81,6 +81,12 @@ pub struct ClusterSpec {
     /// datalets whenever the target node's serving gate permits, only
     /// falling back to the controlet actor loop otherwise.
     pub fast_path: bool,
+    /// When true, every controlet's write combiner (per-datalet op log) is
+    /// exposed through the [`crate::edge::FastPathTable`]: scripted
+    /// clients publish PUT/DELs straight into the target node's op log
+    /// whenever its write gate permits, and the controlet applies them in
+    /// combined batches.
+    pub write_combine: bool,
     /// When set, the overload-protection layer is armed end to end: the
     /// runtime's bounded queues, every controlet's shed points, and every
     /// client's deadline/retry budget share this config and one
@@ -109,6 +115,7 @@ impl ClusterSpec {
             faults: None,
             history: false,
             fast_path: false,
+            write_combine: false,
             overload: None,
         }
     }
@@ -129,6 +136,12 @@ impl ClusterSpec {
     /// Enables the shared-datalet read fast path for scripted clients.
     pub fn with_fast_path(mut self) -> Self {
         self.fast_path = true;
+        self
+    }
+
+    /// Enables the flat-combining write path for scripted clients.
+    pub fn with_write_combine(mut self) -> Self {
+        self.write_combine = true;
         self
     }
 
@@ -258,8 +271,7 @@ impl SimCluster {
             .collect();
 
         let recorder = spec.history.then(HistoryRecorder::new);
-        let fast_path = spec
-            .fast_path
+        let fast_path = (spec.fast_path || spec.write_combine)
             .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
         let overload_counters = Arc::new(OverloadCounters::new());
         if let Some(o) = spec.overload {
@@ -299,6 +311,7 @@ impl SimCluster {
                             datalet: Arc::clone(&datalet),
                             shard: ShardId(shard),
                             default_level: info.mode.consistency,
+                            writes: spec.write_combine.then(|| controlet.oplog()),
                         },
                     );
                 }
@@ -544,7 +557,12 @@ impl SimCluster {
         }
         let mut client = crate::script::ScriptClient::new(core, script);
         if let Some(t) = &self.fast_path {
-            client = client.with_fast_path(Arc::clone(t));
+            if self.spec.fast_path {
+                client = client.with_fast_path(Arc::clone(t));
+            }
+            if self.spec.write_combine {
+                client = client.with_write_combine(Arc::clone(t));
+            }
         }
         let addr = self.sim.add_actor(Box::new(client));
         self.clients_scripted.push(addr);
@@ -663,6 +681,7 @@ impl SimCluster {
                         datalet: Arc::clone(&datalet),
                         shard,
                         default_level: new_mode.consistency,
+                        writes: self.spec.write_combine.then(|| controlet.oplog()),
                     },
                 );
             }

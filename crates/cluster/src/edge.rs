@@ -24,10 +24,10 @@
 //! that serves GETs on the worker thread when permitted and relays the
 //! rest to the controlet actor through a [`Mailbox`].
 
-use bespokv::{DirtySet, ReadPermit, ServingState};
+use bespokv::{CombinerSnapshot, DirtySet, OpLog, ReadPermit, ServingState, Submit};
 use bespokv_datalet::Datalet;
 use bespokv_proto::client::{Op, RespBody, Request, Response};
-use bespokv_proto::NetMsg;
+use bespokv_proto::{NetMsg, ReplMsg};
 use bespokv_runtime::{Addr, Mailbox};
 use bespokv_types::{
     Consistency, Instant, KvError, NodeId, OverloadCounters, RequestId, ShardId, ShardMap,
@@ -52,6 +52,9 @@ pub struct FastPathHandle {
     /// Captured at registration: controlets are replaced (not re-moded) on
     /// transition, so the handle's mode is fixed for its lifetime.
     pub default_level: Consistency,
+    /// The node's write-combining op log; `None` when write combining is
+    /// disabled (every write relays through the actor mailbox).
+    pub writes: Option<Arc<OpLog>>,
 }
 
 /// Per-node fast-path handles plus the key→shard mapping, shared by every
@@ -62,6 +65,10 @@ pub struct FastPathTable {
     /// and membership is the gate's job, not ours).
     map: ShardMap,
     handles: RwLock<HashMap<NodeId, FastPathHandle>>,
+    /// Combiner counters of unregistered nodes (kill, teardown): cluster
+    /// telemetry is monotonic, a dead ingress's history must not vanish
+    /// with its handle.
+    retired: Mutex<CombinerSnapshot>,
 }
 
 impl FastPathTable {
@@ -70,6 +77,7 @@ impl FastPathTable {
         FastPathTable {
             map,
             handles: RwLock::new(HashMap::new()),
+            retired: Mutex::new(CombinerSnapshot::default()),
         }
     }
 
@@ -78,16 +86,25 @@ impl FastPathTable {
         self.handles.write().insert(node, handle);
     }
 
-    /// Removes a node's handle (restart-as-standby, teardown).
+    /// Removes a node's handle (restart-as-standby, teardown), folding its
+    /// combiner counters into the retired aggregate.
     pub fn unregister(&self, node: NodeId) {
-        self.handles.write().remove(&node);
+        if let Some(h) = self.handles.write().remove(&node) {
+            if let Some(w) = &h.writes {
+                self.retired.lock().absorb(&w.snapshot());
+            }
+        }
     }
 
-    /// Slams a node's gate shut (fail-stop kill). The gate word is shared
-    /// with the controlet, so this also invalidates in-progress reads.
+    /// Slams a node's gates shut (fail-stop kill). The gate words are
+    /// shared with the controlet, so this also invalidates in-progress
+    /// reads and stops further write combining for the dead node.
     pub fn close(&self, node: NodeId) {
         if let Some(h) = self.handles.read().get(&node) {
             h.gate.close();
+            if let Some(w) = &h.writes {
+                w.gate().close();
+            }
         }
     }
 
@@ -104,6 +121,18 @@ impl FastPathTable {
     /// Total actor-loop fallbacks across all registered nodes.
     pub fn total_fallbacks(&self) -> u64 {
         self.handles.read().values().map(|h| h.gate.fallbacks()).sum()
+    }
+
+    /// Aggregated write-combiner counters across all registered nodes,
+    /// plus everything unregistered nodes accumulated before removal.
+    pub fn combiner_snapshot(&self) -> CombinerSnapshot {
+        let mut total = *self.retired.lock();
+        for h in self.handles.read().values() {
+            if let Some(w) = &h.writes {
+                total.absorb(&w.snapshot());
+            }
+        }
+        total
     }
 
     /// Tries to serve `req` addressed to `node` directly from the shared
@@ -157,6 +186,58 @@ impl FastPathTable {
             result,
         })
     }
+
+    /// Offers a PUT/DEL addressed to `node` to its write combiner. `None`
+    /// means "relay through the actor mailbox" — not a write, unknown
+    /// node, combining disabled, mis-routed key, or a closed write gate
+    /// (AA modes, mid-transition, recovery). `reply_to` is the address
+    /// the controlet's eventual response should be sent to; `now` is the
+    /// caller's clock for deadline checks.
+    pub fn try_write(
+        &self,
+        node: NodeId,
+        req: &Request,
+        reply_to: Addr,
+        now: Instant,
+    ) -> Option<WriteSubmit> {
+        let key = match &req.op {
+            Op::Put { key, .. } | Op::Del { key } => key,
+            _ => return None,
+        };
+        let handles = self.handles.read();
+        let h = handles.get(&node)?;
+        let writes = h.writes.as_ref()?;
+        // Mis-routed writes fall back so the actor answers `WrongNode`
+        // with a proper hint.
+        if self.map.shard_for_key(key) != h.shard {
+            return None;
+        }
+        match writes.submit(req, reply_to, now)? {
+            Submit::Done(resp) => Some(WriteSubmit::Done(resp)),
+            Submit::Enqueued { nudge } => Some(WriteSubmit::Enqueued {
+                shard: writes.shard(),
+                nudge,
+            }),
+        }
+    }
+}
+
+/// Outcome of offering a write to [`FastPathTable::try_write`].
+pub enum WriteSubmit {
+    /// Answered on the spot (reply-cache hit or overload shed); no
+    /// response will come from the controlet.
+    Done(Response),
+    /// Parked in the combiner; the controlet will respond to `reply_to`
+    /// once the batch commits. When `nudge` is true the caller's submit
+    /// combined a fresh batch and should poke the controlet actor with a
+    /// [`ReplMsg::CombinerNudge`] for `shard` (otherwise another thread's
+    /// combine already covers this op, or a flush timer will).
+    Enqueued {
+        /// Shard to nudge.
+        shard: ShardId,
+        /// Whether a nudge is wanted.
+        nudge: bool,
+    },
 }
 
 /// How long the live edge waits for the controlet actor to answer a
@@ -188,6 +269,7 @@ pub struct NodeEdge {
     mailbox: Mailbox,
     pending: Arc<Mutex<HashMap<RequestId, mpsc::Sender<Response>>>>,
     fast_path: Arc<AtomicBool>,
+    write_combine: Arc<AtomicBool>,
     overload: Option<EdgeOverload>,
     stop: Arc<AtomicBool>,
     demux: Option<std::thread::JoinHandle<()>>,
@@ -225,6 +307,7 @@ impl NodeEdge {
             mailbox,
             pending,
             fast_path: Arc::new(AtomicBool::new(enable_fast_path)),
+            write_combine: Arc::new(AtomicBool::new(false)),
             overload: None,
             stop,
             demux: Some(demux),
@@ -238,9 +321,23 @@ impl NodeEdge {
         self
     }
 
+    /// Enables the flat-combining write path: PUT/DELs are published into
+    /// the node's op log on the worker thread instead of relaying one
+    /// actor message per write (requires the node's handle to carry an
+    /// op log — see `FastPathHandle::writes`).
+    pub fn with_write_combine(self, on: bool) -> Self {
+        self.write_combine.store(on, Ordering::Release);
+        self
+    }
+
     /// Flips the fast path on or off (bench before/after comparison).
     pub fn set_fast_path(&self, on: bool) {
         self.fast_path.store(on, Ordering::Release);
+    }
+
+    /// Flips write combining on or off (bench before/after comparison).
+    pub fn set_write_combine(&self, on: bool) {
+        self.write_combine.store(on, Ordering::Release);
     }
 
     /// A `TcpServer`-compatible request handler. Clone-cheap; safe to call
@@ -251,6 +348,7 @@ impl NodeEdge {
         let mailbox = self.mailbox.clone();
         let pending = Arc::clone(&self.pending);
         let fast_path = Arc::clone(&self.fast_path);
+        let write_combine = Arc::clone(&self.write_combine);
         let overload = self.overload.clone();
         Arc::new(move |req: Request| {
             if let Some(o) = &overload {
@@ -262,6 +360,43 @@ impl NodeEdge {
                         .deadline_expired
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     return Response::err(req.id, KvError::Overloaded);
+                }
+            }
+            if write_combine.load(Ordering::Acquire)
+                && matches!(req.op, Op::Put { .. } | Op::Del { .. })
+            {
+                let now = overload.as_ref().map_or(Instant::ZERO, |o| (o.clock)());
+                let rid = req.id;
+                // Park the reply channel BEFORE submitting: the controlet
+                // can drain, commit and respond before `try_write` even
+                // returns, and an unparked response would be dropped.
+                let (tx, rx) = mpsc::channel();
+                pending.lock().insert(rid, tx);
+                match table.try_write(node, &req, mailbox.addr(), now) {
+                    Some(WriteSubmit::Done(resp)) => {
+                        pending.lock().remove(&rid);
+                        return resp;
+                    }
+                    Some(WriteSubmit::Enqueued { shard, nudge }) => {
+                        if nudge {
+                            mailbox.send(
+                                Addr(node.raw()),
+                                NetMsg::Repl(ReplMsg::CombinerNudge { shard }),
+                            );
+                        }
+                        return match rx.recv_timeout(RELAY_TIMEOUT) {
+                            Ok(resp) => resp,
+                            Err(_) => {
+                                pending.lock().remove(&rid);
+                                Response::err(rid, KvError::Timeout)
+                            }
+                        };
+                    }
+                    // Write gate closed (AA mode, mid-transition,
+                    // recovery) or combining unavailable: relay below.
+                    None => {
+                        pending.lock().remove(&rid);
+                    }
                 }
             }
             if fast_path.load(Ordering::Acquire) {

@@ -15,8 +15,8 @@ pub mod metrics;
 pub mod script;
 
 pub use builder::{cost_for, ClusterSpec, SimCluster};
-pub use edge::{EdgeOverload, FastPathHandle, FastPathTable, NodeEdge};
+pub use edge::{EdgeOverload, FastPathHandle, FastPathTable, NodeEdge, WriteSubmit};
 pub use live_builder::LiveCluster;
 pub use client_actor::{ClientStats, OpSource, WorkloadClient};
-pub use metrics::{LatencyHistogram, RunStats, Timeline};
+pub use metrics::{EdgeStats, LatencyHistogram, RunStats, Timeline};
 pub use script::{ScriptClient, Step};

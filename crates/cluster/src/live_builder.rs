@@ -44,6 +44,11 @@ pub struct LiveCluster {
     overload_counters: Arc<OverloadCounters>,
     /// The spec's overload config, for wiring clients added later.
     overload: Option<bespokv_types::OverloadConfig>,
+    /// Whether the spec enabled the read fast path (the table may also
+    /// exist purely for write combining).
+    read_fast_path: bool,
+    /// Whether the spec enabled the flat-combining write path.
+    write_combine: bool,
 }
 
 impl LiveCluster {
@@ -63,8 +68,7 @@ impl LiveCluster {
             .map(|s| Addr(coordinator.0 + 2 + s))
             .collect();
         let recorder = spec.history.then(HistoryRecorder::new);
-        let fast_path = spec
-            .fast_path
+        let fast_path = (spec.fast_path || spec.write_combine)
             .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
         let overload_counters = Arc::new(OverloadCounters::new());
         if let Some(o) = spec.overload {
@@ -103,6 +107,7 @@ impl LiveCluster {
                             datalet: Arc::clone(&datalet),
                             shard: ShardId(shard),
                             default_level: info.mode.consistency,
+                            writes: spec.write_combine.then(|| controlet.oplog()),
                         },
                     );
                 }
@@ -157,6 +162,8 @@ impl LiveCluster {
             fast_path,
             overload_counters,
             overload: spec.overload,
+            read_fast_path: spec.fast_path,
+            write_combine: spec.write_combine,
         }
     }
 
@@ -190,7 +197,12 @@ impl LiveCluster {
         }
         let mut client = crate::script::ScriptClient::new(core, script);
         if let Some(t) = &self.fast_path {
-            client = client.with_fast_path(Arc::clone(t));
+            if self.read_fast_path {
+                client = client.with_fast_path(Arc::clone(t));
+            }
+            if self.write_combine {
+                client = client.with_write_combine(Arc::clone(t));
+            }
         }
         let progress = client.progress_handle();
         let len = client.script_len();

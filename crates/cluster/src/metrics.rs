@@ -1,6 +1,7 @@
 //! Measurement primitives: latency histograms, throughput timelines,
 //! transport edge counters, and aggregated run statistics.
 
+use bespokv::CombinerSnapshot;
 use bespokv_runtime::tcp::{TcpServer, TcpServerStats};
 use bespokv_types::{Duration, Instant, OverloadSnapshot};
 
@@ -174,6 +175,9 @@ pub struct EdgeStats {
     /// Shed/expiry/containment events from the overload-protection layer
     /// (edges, controlets, clients sharing one counter set).
     pub overload: OverloadSnapshot,
+    /// Write-combiner activity aggregated across the cluster's op logs
+    /// (batches combined, ops published, sheds, lock contention).
+    pub combiner: CombinerSnapshot,
 }
 
 impl EdgeStats {
@@ -202,6 +206,11 @@ impl EdgeStats {
         o.retries_denied += s.retries_denied;
     }
 
+    /// Folds a write-combiner snapshot into the aggregate.
+    pub fn absorb_combiner(&mut self, s: &CombinerSnapshot) {
+        self.combiner.absorb(s);
+    }
+
     /// Snapshots and sums the counters of every given server.
     pub fn collect<'a>(servers: impl IntoIterator<Item = &'a TcpServer>) -> EdgeStats {
         let mut agg = EdgeStats::default();
@@ -217,13 +226,14 @@ impl std::fmt::Display for EdgeStats {
         write!(
             f,
             "edge: {} conns accepted, {} refused, {} dropped on protocol errors, \
-             {} pipeline shed, {} pool shed; {}",
+             {} pipeline shed, {} pool shed; {}; {}",
             self.connections_accepted,
             self.connections_refused,
             self.protocol_error_drops,
             self.pipeline_shed,
             self.pool_shed,
             self.overload,
+            self.combiner,
         )
     }
 }
@@ -357,6 +367,26 @@ mod tests {
         assert_eq!(agg.overload.relay_shed, 4);
         assert_eq!(agg.overload.total_shed(), 10);
         assert!(agg.to_string().contains("4 relay"));
+    }
+
+    #[test]
+    fn edge_stats_absorb_combiner_snapshot() {
+        let mut agg = EdgeStats::default();
+        let s = CombinerSnapshot {
+            batches: 2,
+            ops: 9,
+            shed_full: 1,
+            lock_contention: 4,
+            ..CombinerSnapshot::default()
+        };
+        agg.absorb_combiner(&s);
+        agg.absorb_combiner(&s);
+        assert_eq!(agg.combiner.batches, 4);
+        assert_eq!(agg.combiner.ops, 18);
+        assert_eq!(agg.combiner.shed_full, 2);
+        assert_eq!(agg.combiner.lock_contention, 8);
+        assert!(agg.to_string().contains("4 batches"));
+        assert!(agg.to_string().contains("18 ops"));
     }
 
     #[test]

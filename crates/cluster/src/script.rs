@@ -4,10 +4,10 @@
 //! the previous completion), which gives program-order semantics — exactly
 //! what consistency assertions need. Records every result.
 
-use crate::edge::FastPathTable;
+use crate::edge::{FastPathTable, WriteSubmit};
 use bespokv::client::ClientCore;
 use bespokv_proto::client::{Op, RespBody};
-use bespokv_proto::NetMsg;
+use bespokv_proto::{NetMsg, ReplMsg};
 use bespokv_runtime::{Actor, Context, Event};
 use bespokv_types::{ConsistencyLevel, Duration, Instant, KvError, NodeId};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,6 +70,10 @@ pub struct ScriptClient {
     /// When present, GETs are first offered to the shared-datalet read
     /// fast path; only fallbacks travel the actor channel.
     fast_path: Option<Arc<FastPathTable>>,
+    /// When present, PUT/DELs are first offered to the target node's
+    /// write combiner; only gate-closed fallbacks travel the actor
+    /// channel as ordinary client messages.
+    combine: Option<Arc<FastPathTable>>,
 }
 
 impl ScriptClient {
@@ -84,6 +88,7 @@ impl ScriptClient {
             completed_at: Vec::new(),
             progress: Arc::new(AtomicUsize::new(0)),
             fast_path: None,
+            combine: None,
         }
     }
 
@@ -92,6 +97,15 @@ impl ScriptClient {
     /// whenever its serving gate permits.
     pub fn with_fast_path(mut self, table: Arc<FastPathTable>) -> Self {
         self.fast_path = Some(table);
+        self
+    }
+
+    /// Enables the flat-combining write path: outgoing PUT/DELs are
+    /// published into the target node's op log at the edge (when its
+    /// write gate permits); the controlet's reply arrives on the normal
+    /// response channel.
+    pub fn with_write_combine(mut self, table: Arc<FastPathTable>) -> Self {
+        self.combine = Some(table);
         self
     }
 
@@ -139,8 +153,30 @@ impl ScriptClient {
         self.begin_if_idle(now);
         let mut served = Vec::new();
         for (to, msg) in self.core.take_outgoing() {
+            // Write combining: park the op in the target node's op log on
+            // this (edge) thread. The simulator is single-threaded, so
+            // the submit always wins the combiner lock and the batch is
+            // already in the handoff queue when the nudge lands.
+            if let (Some(t), NetMsg::Client(req)) = (&self.combine, &msg) {
+                if matches!(req.op, Op::Put { .. } | Op::Del { .. }) {
+                    // Controlet addresses follow `Addr(n) == NodeId(n)`.
+                    match t.try_write(NodeId(to.0), req, ctx.self_addr(), now) {
+                        Some(WriteSubmit::Done(resp)) => {
+                            served.push(resp);
+                            continue;
+                        }
+                        Some(WriteSubmit::Enqueued { shard, nudge }) => {
+                            if nudge {
+                                ctx.send(to, NetMsg::Repl(ReplMsg::CombinerNudge { shard }));
+                            }
+                            // The reply arrives as a normal ClientResp.
+                            continue;
+                        }
+                        None => {} // gate closed: actor path below
+                    }
+                }
+            }
             let fast = match (&self.fast_path, &msg) {
-                // Controlet addresses follow `Addr(n) == NodeId(n)`.
                 (Some(t), NetMsg::Client(req)) => t.try_get(NodeId(to.0), req),
                 _ => None,
             };

@@ -24,11 +24,26 @@ impl Controlet {
     pub(crate) fn handle_client(&mut self, req: Request, reply: ReplyPath, ctx: &mut Context) {
         // Exactly-once across client retries: a write this controlet
         // already acked is answered from the reply cache, never executed
-        // again (see `done_writes`).
+        // again (see `replies`; the cache is shared with the write
+        // combiner, which performs the same check before enqueueing).
         if matches!(req.op, Op::Put { .. } | Op::Del { .. }) {
-            if let Some(resp) = self.done_writes.get(&req.id).cloned() {
+            if let Some(resp) = self.replies.get(req.id) {
                 self.respond(reply, resp, ctx);
                 return;
+            }
+            // A retry of a write that is parked somewhere in the combiner
+            // pipeline (slot, handoff, or post-drain replication) must
+            // join the original, never be ordered a second time — a
+            // re-order commits the same payload under a fresh version and
+            // can resurrect it over writes that landed in between. Drain
+            // the combiner so the write lands in the normal pending
+            // tables, then fall through to the in-flight retry paths.
+            if self.oplog.tracks(req.id) {
+                self.drain_combined(ctx);
+                if let Some(resp) = self.replies.get(req.id) {
+                    self.respond(reply, resp, ctx);
+                    return;
+                }
             }
         }
         // Deadline propagation: work whose deadline already passed is shed
@@ -187,7 +202,13 @@ impl Controlet {
         }
     }
 
-    fn forward_to(&mut self, node: NodeId, req: Request, reply: ReplyPath, ctx: &mut Context) {
+    pub(crate) fn forward_to(
+        &mut self,
+        node: NodeId,
+        req: Request,
+        reply: ReplyPath,
+        ctx: &mut Context,
+    ) {
         if node.is_unassigned() {
             let id = req.id;
             self.reply_err(reply, id, KvError::NotServing, ctx);
@@ -1201,6 +1222,12 @@ impl Controlet {
                 {
                     ctx.send(client, NetMsg::ClientResp(resp));
                 }
+            }
+            ReplMsg::CombinerNudge { .. } => {
+                // An edge thread combined a batch and parked it in the
+                // handoff queue; drain it now instead of waiting for the
+                // next flush timer.
+                self.drain_combined(ctx);
             }
             ReplMsg::RecoveryReq { shard, from: pos } => {
                 self.serve_recovery_chunk(shard, pos, from, ctx);

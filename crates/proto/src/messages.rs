@@ -182,6 +182,13 @@ pub enum ReplMsg {
         /// `(rid, version)` pairs the tail durably holds.
         items: Vec<(RequestId, Version)>,
     },
+    /// An edge thread combined a write batch into the shard's op log and
+    /// asks the owning controlet to drain it now rather than on the next
+    /// flush timer (latency hint; losing it only costs one timer period).
+    CombinerNudge {
+        /// Shard whose op log has a batch parked in the handoff queue.
+        shard: ShardId,
+    },
 }
 
 wire_enum!(ReplMsg {
@@ -197,6 +204,7 @@ wire_enum!(ReplMsg {
     9 => RecoveryChunk { shard, from, entries, done, snapshot_seq },
     10 => ChainPutBatch { shard, epoch, budget, items },
     11 => ChainAckBatch { shard, epoch, items },
+    12 => CombinerNudge { shard },
 });
 
 /// Coordinator messages (controlet <-> coordinator, client <-> coordinator).
@@ -446,7 +454,8 @@ impl NetMsg {
                     ReplMsg::ChainAck { .. }
                     | ReplMsg::PropAck { .. }
                     | ReplMsg::PeerWriteAck { .. }
-                    | ReplMsg::RecoveryReq { .. } => 8,
+                    | ReplMsg::RecoveryReq { .. }
+                    | ReplMsg::CombinerNudge { .. } => 8,
                     ReplMsg::PropBatch { entries, .. }
                     | ReplMsg::RecoveryChunk { entries, .. } => {
                         entries.iter().map(LogEntry::wire_size).sum::<usize>() + 16
@@ -743,6 +752,7 @@ mod tests {
             epoch: 5,
             items: vec![(rid(), 42), (RequestId::compose(ClientId(2), 9), 43)],
         });
+        roundtrip(ReplMsg::CombinerNudge { shard: ShardId(2) });
     }
 
     #[test]

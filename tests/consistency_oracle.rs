@@ -61,7 +61,16 @@ fn shed_enabled() -> bool {
     std::env::var("BESPOKV_SHED").ok().as_deref() == Some("1")
 }
 
-fn oracle_spec(mode: Mode, seed: u64, fast_path: bool) -> ClusterSpec {
+/// `BESPOKV_WRITE_COMBINE=1` re-runs the whole sweep with the flat-combining
+/// write path armed: PUT/DELs publish into the ingress node's op log and are
+/// applied in combined batches, and every guarantee below must still hold —
+/// a combined write that got lost, duplicated, or reordered would fail the
+/// same linearizability/convergence checks.
+fn write_combine_enabled() -> bool {
+    std::env::var("BESPOKV_WRITE_COMBINE").ok().as_deref() == Some("1")
+}
+
+fn oracle_spec(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> ClusterSpec {
     let mut spec = ClusterSpec::new(1, 3, mode)
         .with_standbys(1)
         .with_coord(CoordConfig {
@@ -74,10 +83,12 @@ fn oracle_spec(mode: Mode, seed: u64, fast_path: bool) -> ClusterSpec {
         spec = spec.with_overload(tight_overload());
     }
     if fast_path {
-        spec.with_fast_path()
-    } else {
-        spec
+        spec = spec.with_fast_path();
     }
+    if combine || write_combine_enabled() {
+        spec = spec.with_write_combine();
+    }
+    spec
 }
 
 struct RunArtifacts {
@@ -90,14 +101,16 @@ struct RunArtifacts {
     /// Fast-path serves / fallbacks across all nodes (0/0 when disabled).
     fast_hits: u64,
     fast_fallbacks: u64,
+    /// Writes that went through the combiner (0 when disabled).
+    combined_ops: u64,
 }
 
 /// One kill + rejoin scenario: two writers and a reader share a small
 /// keyspace while node 0 is crashed mid-workload under packet loss; after
 /// the coordinator repairs onto the standby, the dead node is restarted as
 /// a fresh standby (rejoin). Every operation is recorded.
-fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool) -> RunArtifacts {
-    let mut cluster = SimCluster::build(oracle_spec(mode, seed, fast_path));
+fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> RunArtifacts {
+    let mut cluster = SimCluster::build(oracle_spec(mode, seed, fast_path, combine));
     // Unique values per (client, op) so the checker can anchor writes.
     // Scripts are long enough that steps are still being issued when the
     // repair lands (~2 s in): during the outage each step burns its retry
@@ -154,6 +167,10 @@ fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool) -> RunArtifacts {
         .fast_path()
         .map(|t| (t.total_hits(), t.total_fallbacks()))
         .unwrap_or((0, 0));
+    let combined_ops = cluster
+        .fast_path()
+        .map(|t| t.combiner_snapshot().ops)
+        .unwrap_or(0);
 
     let recorder = cluster.history().expect("history enabled").clone();
     let replicas = cluster
@@ -169,12 +186,31 @@ fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool) -> RunArtifacts {
         results,
         fast_hits,
         fast_fallbacks,
+        combined_ops,
     }
 }
 
-fn check_mode_under_faults(mode: Mode, fast_path: bool) {
+fn check_mode_under_faults(mode: Mode, fast_path: bool, combine: bool) {
+    let combining = combine || write_combine_enabled();
     for seed in SEEDS {
-        let run = run_fault_scenario(mode, seed, fast_path);
+        let run = run_fault_scenario(mode, seed, fast_path, combine);
+        if combining {
+            if mode == Mode::MS_SC || mode == Mode::MS_EC {
+                // The head/master is the write ingress; its gate opens, so
+                // writes must actually flow through the combiner.
+                assert!(
+                    run.combined_ops > 0,
+                    "{mode:?} seed {seed}: combining enabled but no write combined"
+                );
+            } else {
+                // AA modes have no single write ingress: the write gate
+                // never opens and every write must fall back to the actor.
+                assert_eq!(
+                    run.combined_ops, 0,
+                    "{mode:?} seed {seed}: AA must never combine writes"
+                );
+            }
+        }
         if fast_path {
             // The fast path must actually carry reads — except under
             // AA+SC, where every Default read resolves to Strong and
@@ -238,22 +274,22 @@ fn check_mode_under_faults(mode: Mode, fast_path: bool) {
 
 #[test]
 fn oracle_ms_sc_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::MS_SC, false);
+    check_mode_under_faults(Mode::MS_SC, false, false);
 }
 
 #[test]
 fn oracle_ms_ec_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::MS_EC, false);
+    check_mode_under_faults(Mode::MS_EC, false, false);
 }
 
 #[test]
 fn oracle_aa_sc_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::AA_SC, false);
+    check_mode_under_faults(Mode::AA_SC, false, false);
 }
 
 #[test]
 fn oracle_aa_ec_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::AA_EC, false);
+    check_mode_under_faults(Mode::AA_EC, false, false);
 }
 
 // Same scenarios with the shared-datalet read fast path enabled: reads are
@@ -262,22 +298,125 @@ fn oracle_aa_ec_kill_rejoin_under_faults() {
 
 #[test]
 fn oracle_ms_sc_fastpath_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::MS_SC, true);
+    check_mode_under_faults(Mode::MS_SC, true, false);
 }
 
 #[test]
 fn oracle_ms_ec_fastpath_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::MS_EC, true);
+    check_mode_under_faults(Mode::MS_EC, true, false);
 }
 
 #[test]
 fn oracle_aa_sc_fastpath_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::AA_SC, true);
+    check_mode_under_faults(Mode::AA_SC, true, false);
 }
 
 #[test]
 fn oracle_aa_ec_fastpath_kill_rejoin_under_faults() {
-    check_mode_under_faults(Mode::AA_EC, true);
+    check_mode_under_faults(Mode::AA_EC, true, false);
+}
+
+// Same scenarios with the flat-combining write path enabled: writes publish
+// into the ingress node's op log and are applied in combined batches, and
+// the exact same oracle must hold — combining is invisible to correctness.
+
+#[test]
+fn oracle_ms_sc_write_combine_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::MS_SC, false, true);
+}
+
+#[test]
+fn oracle_ms_ec_write_combine_kill_rejoin_under_faults() {
+    check_mode_under_faults(Mode::MS_EC, false, true);
+}
+
+/// Determinism gate for the combined write path: the same spec and seed
+/// must replay to bit-identical client results, replica contents, and
+/// combiner activity.
+#[test]
+fn oracle_write_combine_same_seed_runs_are_identical() {
+    let seed = SEEDS[1];
+    let a = run_fault_scenario(Mode::MS_SC, seed, false, true);
+    let b = run_fault_scenario(Mode::MS_SC, seed, false, true);
+    assert_eq!(a.results, b.results, "seed {seed}: client results diverged");
+    assert_eq!(a.replicas, b.replicas, "seed {seed}: replica state diverged");
+    assert_eq!(a.combined_ops, b.combined_ops, "seed {seed}: combiner diverged");
+    assert_eq!(a.acked_writes, b.acked_writes, "seed {seed}");
+}
+
+/// Killing the write ingress (the head) with writes mid-combine: the kill
+/// slams the write gate shut and deregisters the node, the unprocessed
+/// remainder of the op log dies with the controlet *unacked*, and every
+/// write that WAS acked — combined batches fully replicated before their
+/// acks — survives verbatim on every replica of the repaired chain.
+#[test]
+fn oracle_write_combine_gate_close_on_kill_preserves_acked_writes() {
+    let mut cluster = SimCluster::build(oracle_spec(Mode::MS_SC, 7, false, true));
+    // Distinct keys, one sequential writer: an acked put is never
+    // overwritten, so it must appear verbatim in the final state.
+    let writer = cluster.add_script_client(
+        (0..40)
+            .map(|i| put(&format!("wc{i}"), &format!("v{i}")))
+            .collect(),
+    );
+    cluster.run_for(Duration::from_millis(400));
+    let t = std::sync::Arc::clone(cluster.fast_path().expect("combine table built"));
+    assert!(
+        t.combiner_snapshot().ops > 0,
+        "head never combined a write before the kill"
+    );
+
+    cluster.kill_node(NodeId(0));
+    assert!(
+        t.gate(NodeId(0)).is_none(),
+        "killed head must be unregistered from the edge table"
+    );
+    // Failure detection + chain splice + recovery onto the standby, then
+    // rejoin and drain.
+    cluster.run_for(Duration::from_secs(12));
+    cluster.restart_as_standby(NodeId(0));
+    cluster.run_for(Duration::from_secs(10));
+
+    let c = cluster.sim.actor_mut::<ScriptClient>(writer);
+    assert!(c.done(), "writer wedged at {}/{}", c.results.len(), c.script_len());
+    let acked: Vec<usize> = c
+        .results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_ok())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        acked.len() >= 8,
+        "too few acked writes ({}) — cluster never recovered",
+        acked.len()
+    );
+
+    // Zero lost acks: every acked combined put is present, with its exact
+    // value, on every replica of the repaired chain.
+    let replicas: Vec<(NodeId, BTreeMap<Key, Value>)> = cluster
+        .dump_replicas(ShardId(0))
+        .into_iter()
+        .map(|(node, entries)| (node, replica_live_map(entries)))
+        .collect();
+    for (node, live) in &replicas {
+        for &i in &acked {
+            assert_eq!(
+                live.get(&Key::from(format!("wc{i}"))),
+                Some(&Value::from(format!("v{i}"))),
+                "replica {node} lost acked combined write wc{i}"
+            );
+        }
+    }
+    // And the recorded history, combiner in the path, still linearizes —
+    // no duplicated or resurrected acked write either.
+    let recorder = cluster.history().expect("history enabled").clone();
+    let lin = check_linearizable(&recorder.events(), &BTreeMap::new());
+    assert!(
+        lin.ok(),
+        "combined history not linearizable: {:#?}",
+        lin.violations
+    );
 }
 
 /// Determinism gate for the whole stack — group-commit batching, fault
@@ -287,8 +426,8 @@ fn oracle_aa_ec_fastpath_kill_rejoin_under_faults() {
 #[test]
 fn oracle_fastpath_same_seed_runs_are_identical() {
     for seed in [SEEDS[0], SEEDS[2]] {
-        let a = run_fault_scenario(Mode::MS_SC, seed, true);
-        let b = run_fault_scenario(Mode::MS_SC, seed, true);
+        let a = run_fault_scenario(Mode::MS_SC, seed, true, false);
+        let b = run_fault_scenario(Mode::MS_SC, seed, true, false);
         assert_eq!(a.results, b.results, "seed {seed}: client results diverged");
         assert_eq!(a.replicas, b.replicas, "seed {seed}: replica state diverged");
         assert_eq!(
@@ -306,7 +445,7 @@ fn oracle_fastpath_same_seed_runs_are_identical() {
 /// across the reconfiguration.
 #[test]
 fn oracle_fastpath_gate_closes_on_kill_and_bumps_epoch_on_repair() {
-    let mut cluster = SimCluster::build(oracle_spec(Mode::MS_SC, 7, true));
+    let mut cluster = SimCluster::build(oracle_spec(Mode::MS_SC, 7, true, false));
     cluster.run_for(Duration::from_millis(500));
     let t = std::sync::Arc::clone(cluster.fast_path().expect("fast path enabled"));
 
