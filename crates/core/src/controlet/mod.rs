@@ -443,6 +443,7 @@ impl Controlet {
             self.dirty.mark(&entry.key);
         }
         self.in_flight.insert(version, (rid, entry));
+        self.oplog.publish_head_inflight(self.in_flight.len());
     }
 
     /// Records a chain write that the combiner already applied (and whose
@@ -460,6 +461,7 @@ impl Controlet {
             self.dirty.unmark(&entry.key);
         }
         self.in_flight.insert(version, (rid, entry));
+        self.oplog.publish_head_inflight(self.in_flight.len());
     }
 
     /// Retires an in-flight chain write, clearing its dirty mark.
@@ -471,6 +473,7 @@ impl Controlet {
         if let Some((_, entry)) = &removed {
             self.dirty.unmark(&entry.key);
         }
+        self.oplog.publish_head_inflight(self.in_flight.len());
         removed
     }
 
@@ -751,6 +754,16 @@ impl Controlet {
             self.cfg
                 .counters
                 .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            self.reply_err(ReplyPath::Client(reply_to), rid, KvError::Overloaded, ctx);
+        }
+        // Head-window sheds (the combiner admitted only what fit under the
+        // in-flight bound): same explicit reply, with the actor path's
+        // head-window accounting. These ops were never applied.
+        for &(rid, reply_to) in &batch.window_sheds {
+            self.cfg
+                .counters
+                .head_window_shed
                 .fetch_add(1, Ordering::Relaxed);
             self.reply_err(ReplyPath::Client(reply_to), rid, KvError::Overloaded, ctx);
         }

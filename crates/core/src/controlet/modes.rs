@@ -535,6 +535,7 @@ impl Controlet {
         let Some(successor) = info.successor(self.cfg.node) else {
             // Chain of one: everything in flight is trivially committed.
             let committed: Vec<_> = std::mem::take(&mut self.in_flight).into_values().collect();
+            self.oplog.publish_head_inflight(0);
             for (_, entry) in &committed {
                 self.dirty.unmark(&entry.key);
             }

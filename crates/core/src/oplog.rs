@@ -35,8 +35,11 @@
 //!   from cache), and an in-flight set refuses double-enqueue of a rid
 //!   until the actor responds.
 //! * **Overload.** A full op log rejects the newest op with `Overloaded`
-//!   (never a silent drop), and per-op deadlines are re-checked at combine
-//!   time — expired ops are shed into the batch's reject list.
+//!   (never a silent drop), per-op deadlines are re-checked at combine
+//!   time — expired ops are shed into the batch's reject list — and chain
+//!   batches are capped by the actor-published head window (in-flight
+//!   bound), shed *before* versioning/apply so `Overloaded` stays a
+//!   definitive not-applied even on the combined path.
 //! * **Epoch fencing.** The batch snapshots the gate's epoch; versions come
 //!   from the same rebased-on-adopt [`VersionSource`] the actor uses, so a
 //!   batch that raced a reconfiguration carries versions the new epoch
@@ -262,6 +265,11 @@ pub struct CombinedBatch {
     /// Ops shed at combine time because their deadline had expired; the
     /// actor owes each an explicit `Overloaded` reply.
     pub rejects: Vec<(RequestId, Addr)>,
+    /// Ops shed at combine time because the head's in-flight window was
+    /// full (chain mode). Never versioned or applied — `Overloaded` stays
+    /// a definitive not-applied — and the actor owes each an explicit
+    /// reply plus the `head_window_shed` accounting.
+    pub window_sheds: Vec<(RequestId, Addr)>,
 }
 
 /// What a submit attempt resolved to.
@@ -285,6 +293,7 @@ pub struct CombinerCounters {
     ops: AtomicU64,
     shed_full: AtomicU64,
     shed_expired: AtomicU64,
+    shed_window: AtomicU64,
     cache_hits: AtomicU64,
     lock_contention: AtomicU64,
     ops_per_batch: [AtomicU64; BATCH_BUCKETS],
@@ -301,6 +310,8 @@ pub struct CombinerSnapshot {
     pub shed_full: u64,
     /// Ops shed at combine time for an expired deadline.
     pub shed_expired: u64,
+    /// Ops shed at combine time for a full head in-flight window.
+    pub shed_window: u64,
     /// Retries answered from the reply cache at enqueue.
     pub cache_hits: u64,
     /// Submit attempts that found the combiner lock held.
@@ -316,6 +327,7 @@ impl CombinerSnapshot {
         self.ops += other.ops;
         self.shed_full += other.shed_full;
         self.shed_expired += other.shed_expired;
+        self.shed_window += other.shed_window;
         self.cache_hits += other.cache_hits;
         self.lock_contention += other.lock_contention;
         for (a, b) in self.ops_per_batch.iter_mut().zip(other.ops_per_batch) {
@@ -329,11 +341,12 @@ impl std::fmt::Display for CombinerSnapshot {
         write!(
             f,
             "combiner: {} batches, {} ops, {} shed-full, {} shed-expired, \
-             {} cache hits, {} lock contention; ops/batch {:?}",
+             {} shed-window, {} cache hits, {} lock contention; ops/batch {:?}",
             self.batches,
             self.ops,
             self.shed_full,
             self.shed_expired,
+            self.shed_window,
             self.cache_hits,
             self.lock_contention,
             self.ops_per_batch,
@@ -366,9 +379,18 @@ pub struct OpLog {
     shard: AtomicU32,
     /// Op-log capacity: enqueues beyond this many parked-or-unreplicated
     /// ops are rejected `Overloaded` (reject-newest, never a silent drop).
+    /// Doubles as the head window (both come from
+    /// `OverloadConfig::head_window`): `head_inflight` plus a combined
+    /// batch's size is bounded by it.
     cap: usize,
     /// Ops enqueued but not yet drained out of the slots.
     pending_ops: AtomicUsize,
+    /// Actor-published size of its chain in-flight table (writes awaiting
+    /// the tail ack). The combiner sheds past `cap - head_inflight`, so a
+    /// slow chain successor cannot grow the head's in-flight map, pending
+    /// table, and DirtySet without bound while clients keep writing —
+    /// same bound the actor path enforces in `ms_sc_write`.
+    head_inflight: AtomicUsize,
     slots: Vec<Slot>,
     combiner: Mutex<()>,
     /// Rids enqueued or combined but not yet responded to: refuses
@@ -409,6 +431,7 @@ impl OpLog {
             shard: AtomicU32::new(shard.raw()),
             cap: cap.max(1),
             pending_ops: AtomicUsize::new(0),
+            head_inflight: AtomicUsize::new(0),
             slots: (0..SLOTS).map(|_| Slot::default()).collect(),
             combiner: Mutex::new(()),
             inflight: Mutex::new(HashSet::new()),
@@ -444,6 +467,7 @@ impl OpLog {
             ops: c.ops.load(Ordering::Relaxed),
             shed_full: c.shed_full.load(Ordering::Relaxed),
             shed_expired: c.shed_expired.load(Ordering::Relaxed),
+            shed_window: c.shed_window.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             lock_contention: c.lock_contention.load(Ordering::Relaxed),
             ops_per_batch,
@@ -455,6 +479,13 @@ impl OpLog {
     /// enqueue to client reply.
     pub fn release(&self, rid: RequestId) {
         self.inflight.lock().remove(&rid);
+    }
+
+    /// Publishes the actor's current chain in-flight count. The controlet
+    /// calls this wherever `in_flight` changes size; the combiner reads it
+    /// to bound how many chain writes it admits per batch.
+    pub fn publish_head_inflight(&self, n: usize) {
+        self.head_inflight.store(n, Ordering::Release);
     }
 
     /// Whether a rid is somewhere in the combiner pipeline (slot, handoff,
@@ -519,6 +550,19 @@ impl OpLog {
         if !self.inflight.lock().insert(req.id) {
             return Some(Submit::Enqueued { nudge: false });
         }
+        // Exactly-once, part 3: close the race against the controlet's
+        // `respond`, which records the reply to the cache and THEN
+        // releases the rid. A retry can miss the cache above (reply not
+        // yet recorded) and still win the insert (rid just released) —
+        // but a successful insert means the release already happened, so
+        // the record is visible now; without this re-check the retry
+        // would re-enqueue and commit the old payload under a fresh
+        // version, resurrecting it over writes that landed in between.
+        if let Some(resp) = self.replies.get(req.id) {
+            self.inflight.lock().remove(&req.id);
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Submit::Done(resp));
+        }
         // Reject-newest at a full op log: an explicit `Overloaded` before
         // the op is ordered, so the error is a definitive not-applied.
         if self.pending_ops.load(Ordering::Acquire) >= self.cap {
@@ -537,11 +581,17 @@ impl OpLog {
                 key,
                 value,
             });
+            // Count while the slot lock is held: a combiner drains this
+            // entry only under the same lock, so the op is counted before
+            // it can be drained-and-subtracted — a post-unlock add could
+            // land after the combiner's `fetch_sub` and wrap `pending_ops`
+            // to ~usize::MAX, spuriously shedding every submit until it
+            // caught up.
+            self.pending_ops.fetch_add(1, Ordering::AcqRel);
             // Read the generation under the slot lock, after the push: any
             // later drain of this slot necessarily takes our entry.
             slot.drained_gen.load(Ordering::Acquire)
         };
-        self.pending_ops.fetch_add(1, Ordering::AcqRel);
         // qlock: win the combiner lock or spin until someone who holds it
         // drains our slot past our enqueue point.
         let mut counted_contention = false;
@@ -595,10 +645,25 @@ impl OpLog {
             return false;
         }
         self.pending_ops.fetch_sub(drained.len(), Ordering::AcqRel);
+        let applied = word & W_OPEN != 0;
+        let chain_marked = applied && word & W_CHAIN != 0;
+        // Head-window bound, mirroring the actor path's shed in
+        // `ms_sc_write`. Chain mode only: MS+EC and single-replica chains
+        // ack on drain and never enter the actor's in-flight table. The
+        // shed happens HERE — before versions are allocated and the write
+        // hits the datalet — because once applied, an `Overloaded` reply
+        // would no longer be a definitive not-applied.
+        let mut window_budget = if chain_marked {
+            self.cap
+                .saturating_sub(self.head_inflight.load(Ordering::Acquire))
+        } else {
+            usize::MAX
+        };
         // Keep-first dedup by rid (belt and braces over the in-flight
         // set): a duplicate's reply rides on the first copy's response.
         let mut seen: HashSet<RequestId> = HashSet::new();
         let mut rejects: Vec<(RequestId, Addr)> = Vec::new();
+        let mut window_sheds: Vec<(RequestId, Addr)> = Vec::new();
         let mut live: Vec<PendingWrite> = Vec::new();
         for w in drained {
             if !seen.insert(w.rid) {
@@ -611,10 +676,16 @@ impl OpLog {
                 rejects.push((w.rid, w.reply_to));
                 continue;
             }
+            // Reject-newest past the head window: slots drain in arrival
+            // order, so the oldest parked ops keep their place.
+            if window_budget == 0 {
+                self.counters.shed_window.fetch_add(1, Ordering::Relaxed);
+                window_sheds.push((w.rid, w.reply_to));
+                continue;
+            }
+            window_budget -= 1;
             live.push(w);
         }
-        let applied = word & W_OPEN != 0;
-        let chain_marked = applied && word & W_CHAIN != 0;
         let first = if applied && !live.is_empty() {
             self.versions.alloc(live.len() as u64)
         } else {
@@ -669,7 +740,7 @@ impl OpLog {
                 entry,
             });
         }
-        if writes.is_empty() && rejects.is_empty() {
+        if writes.is_empty() && rejects.is_empty() && window_sheds.is_empty() {
             return false;
         }
         if applied && !writes.is_empty() {
@@ -684,6 +755,7 @@ impl OpLog {
             chain_marked,
             writes,
             rejects,
+            window_sheds,
         });
         true
     }
@@ -897,6 +969,102 @@ mod tests {
         }
         assert_eq!(log.snapshot().cache_hits, 1);
         assert_eq!(log.snapshot().ops, 1);
+    }
+
+    #[test]
+    fn retry_racing_respond_never_reenqueues_a_completed_write() {
+        // A client retry can miss the reply cache while the controlet's
+        // `respond` is mid-flight (record, THEN release). If the retry's
+        // in-flight insert then succeeds, the release — and therefore the
+        // record — already happened, so the re-check inside `submit_at`
+        // must answer from cache. Without it the retry re-enqueues and
+        // commits the old payload under a fresh version, resurrecting it
+        // over writes that landed in between.
+        for _ in 0..200 {
+            let log = Arc::new(oplog(64));
+            log.gate()
+                .publish(Some(&info(Mode::MS_SC, 3, 1)), NodeId(0), false);
+            let req = put(1, "k");
+            // The original is enqueued and unanswered.
+            assert!(log.inflight.lock().insert(req.id));
+            let resp = Response::ok(req.id, RespBody::Done);
+            let l = Arc::clone(&log);
+            let responder = std::thread::spawn(move || {
+                l.replies.record(&resp);
+                l.release(resp.id);
+            });
+            let res = log.submit_at(0, &req, Addr(9), Instant::ZERO);
+            responder.join().unwrap();
+            match res {
+                Some(Submit::Done(r)) => assert!(matches!(r.result, Ok(RespBody::Done))),
+                Some(Submit::Enqueued { .. }) => {
+                    // The insert lost to the still-unreleased original:
+                    // the retry joined it, nothing new may be parked or
+                    // combined.
+                    assert!(log.handoff_empty(), "completed write re-executed");
+                    assert_eq!(log.pending_ops.load(Ordering::Acquire), 0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_head_window_sheds_chain_writes_at_combine() {
+        let log = Arc::new(oplog(2));
+        log.gate()
+            .publish(Some(&info(Mode::MS_SC, 3, 1)), NodeId(0), false);
+        // One chain write already awaits the tail ack: budget for the
+        // next batch is window - in_flight = 1.
+        log.publish_head_inflight(1);
+        let a = put(1, "a");
+        let b = put(2, "b");
+        let guard = log.combiner.lock();
+        let pa = park(&log, 0, a.clone(), Addr(9), Instant::ZERO);
+        let pb = park(&log, 1, b.clone(), Addr(9), Instant::ZERO);
+        assert!(log.combine(Instant::ZERO));
+        drop(guard);
+        assert!(pa.join().unwrap());
+        assert!(pb.join().unwrap());
+        let batch = log.pop_batch().expect("batch");
+        assert_eq!(batch.writes.len(), 1, "only the budgeted op combined");
+        assert_eq!(batch.writes[0].rid, a.id);
+        // Reject-newest: the later arrival is shed, never applied.
+        assert_eq!(batch.window_sheds, vec![(b.id, Addr(9))]);
+        assert_eq!(
+            log.datalet.get("", &Key::from("b")).ok().map(|v| v.value),
+            None,
+            "shed op never touched the datalet"
+        );
+        assert_eq!(log.snapshot().shed_window, 1);
+        assert_eq!(log.snapshot().ops, 1, "shed op not counted as combined");
+
+        // The bound retires with the in-flight writes: once the actor
+        // replies Overloaded (releasing the rid) and the table drains,
+        // the same window admits the retry.
+        log.release(b.id);
+        log.publish_head_inflight(0);
+        assert!(matches!(
+            log.submit_at(0, &b, Addr(9), Instant::ZERO),
+            Some(Submit::Enqueued { nudge: true })
+        ));
+        let batch = log.pop_batch().expect("batch");
+        assert_eq!(batch.writes.len(), 1);
+        assert!(batch.window_sheds.is_empty());
+
+        // MS+EC acks on drain and never enters the in-flight table: the
+        // window does not apply.
+        let log = oplog(2);
+        log.gate()
+            .publish(Some(&info(Mode::MS_EC, 3, 1)), NodeId(0), false);
+        log.publish_head_inflight(2);
+        assert!(matches!(
+            log.submit_at(0, &put(3, "c"), Addr(9), Instant::ZERO),
+            Some(Submit::Enqueued { nudge: true })
+        ));
+        let batch = log.pop_batch().expect("batch");
+        assert_eq!(batch.writes.len(), 1);
+        assert!(batch.window_sheds.is_empty());
     }
 
     #[test]
