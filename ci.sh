@@ -26,8 +26,15 @@ BESPOKV_SHED=1 cargo test --test consistency_oracle -q
 # kills/rejoins must never lose or duplicate an acked combined write.
 BESPOKV_WRITE_COMBINE=1 cargo test --test consistency_oracle -q
 
+# The whole tier-1 test suite again on the epoll reactor edge: every
+# test that binds a TcpServer (e2e, churn, oracle fault sweeps) must
+# pass identically on both transports (DESIGN.md 13).
+BESPOKV_EDGE=reactor cargo test -q
+BESPOKV_EDGE=reactor cargo test --test consistency_oracle -q
+
 # Saturation and write-path probes must build; CI doesn't run them
 # (timing-sensitive), see EXPERIMENTS.md for the BENCH_saturate.json /
 # BENCH_writepath.json recipes.
 cargo build --release -p bespokv-bench --bin saturate
 cargo build --release -p bespokv-bench --bin writepath
+cargo build --release -p bespokv-bench --bin connscale

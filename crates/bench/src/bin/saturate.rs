@@ -194,6 +194,7 @@ fn main() {
             worker_threads: Some(4),
             max_connections: Some(ocfg.max_connections),
             pipeline_cap: Some(PIPELINE_CAP),
+            ..ServerOptions::default()
         },
     )
     .unwrap();

@@ -193,6 +193,22 @@ impl ClusterSpec {
     pub fn num_nodes(&self) -> u32 {
         self.shards * self.replication
     }
+
+    /// TCP edge server options derived from this spec's overload config,
+    /// so live edges bound by test/bench harnesses inherit the cluster's
+    /// connection cap, pipeline cap, and reactor sizing instead of
+    /// restating them. The transport itself stays unset here — it is
+    /// resolved per process from `BESPOKV_EDGE` (or the platform default)
+    /// at bind time.
+    pub fn edge_server_options(&self) -> bespokv_runtime::tcp::ServerOptions {
+        let mut opts = bespokv_runtime::tcp::ServerOptions::default();
+        if let Some(o) = self.overload {
+            opts.max_connections = Some(o.max_connections);
+            opts.pipeline_cap = Some(o.pipeline_cap);
+            opts.reactor_threads = (o.reactor_threads > 0).then_some(o.reactor_threads);
+        }
+        opts
+    }
 }
 
 /// Cost model matching an engine (calibrated constants; see netmodel docs).

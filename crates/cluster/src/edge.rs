@@ -242,6 +242,16 @@ pub enum WriteSubmit {
 
 /// How long the live edge waits for the controlet actor to answer a
 /// relayed request before giving up with `Timeout`.
+///
+/// The handler blocks the calling thread for up to this long. Under the
+/// blocking transport that is one pool worker; under the epoll reactor it
+/// is a whole reactor thread, stalling every other connection on that
+/// reactor's slab. That is acceptable for the relay edge because the
+/// controlet answers in microseconds unless the node is wedged — but it is
+/// why the reactor runs several threads even on small machines, and why a
+/// truly nonblocking relay (parking the connection and completing it from
+/// the demux thread) is the designated follow-up if relay-heavy workloads
+/// ever dominate an edge (DESIGN.md §13).
 const RELAY_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
 
 /// Overload protection for a [`NodeEdge`]: a cap on requests parked

@@ -183,6 +183,55 @@ impl LiveCluster {
         self.fast_path.as_ref()
     }
 
+    /// Binds a real TCP edge for `node`: a fresh [`crate::edge::NodeEdge`]
+    /// relaying into the node's controlet, served by a `TcpServer` on an
+    /// ephemeral local port speaking the binary protocol. Server caps
+    /// (connection slab, pipeline budget, reactor sizing) and relay-side
+    /// overload protection come from the spec's overload config; the
+    /// transport (blocking vs epoll reactor) resolves per process from
+    /// `BESPOKV_EDGE`. Requires the spec to have enabled the fast-path
+    /// table; `serve_fast_path: false` routes every request through the
+    /// actor (the relay baseline).
+    pub fn tcp_edge(
+        &mut self,
+        node: NodeId,
+        serve_fast_path: bool,
+    ) -> (crate::edge::NodeEdge, bespokv_runtime::tcp::TcpServer) {
+        let table = Arc::clone(
+            self.fast_path
+                .as_ref()
+                .expect("tcp_edge requires with_fast_path() or with_write_combine()"),
+        );
+        let mut edge =
+            crate::edge::NodeEdge::new(node, table, self.rt.register_mailbox(), serve_fast_path);
+        if self.write_combine {
+            edge.set_write_combine(true);
+        }
+        let mut opts = bespokv_runtime::tcp::ServerOptions::default();
+        if let Some(o) = self.overload {
+            opts.max_connections = Some(o.max_connections);
+            opts.pipeline_cap = Some(o.pipeline_cap);
+            opts.reactor_threads = (o.reactor_threads > 0).then_some(o.reactor_threads);
+            edge = edge.with_overload(crate::edge::EdgeOverload {
+                relay_cap: o.relay_cap,
+                counters: Arc::clone(&self.overload_counters),
+                clock: self.rt.clock(),
+            });
+        }
+        let parser_factory: Arc<bespokv_runtime::tcp::ParserFactory> = Arc::new(|| {
+            Box::new(bespokv_proto::parser::BinaryParser::new())
+                as Box<dyn bespokv_proto::parser::ProtocolParser>
+        });
+        let server = bespokv_runtime::tcp::TcpServer::bind_with(
+            "127.0.0.1:0",
+            parser_factory,
+            edge.handler(),
+            opts,
+        )
+        .expect("bind tcp edge");
+        (edge, server)
+    }
+
     /// Attaches a sequential scripted client; returns its address.
     pub fn add_script_client(&mut self, script: Vec<crate::script::Step>) -> Addr {
         let id = ClientId(self.next_client_id);

@@ -172,6 +172,9 @@ pub struct EdgeStats {
     pub pipeline_shed: u64,
     /// Requests answered `Overloaded` at a full worker-pool queue.
     pub pool_shed: u64,
+    /// Connections closed because the OS refused to spawn their handler
+    /// thread (blocking edge under thread exhaustion).
+    pub spawn_failures: u64,
     /// Shed/expiry/containment events from the overload-protection layer
     /// (edges, controlets, clients sharing one counter set).
     pub overload: OverloadSnapshot,
@@ -188,6 +191,7 @@ impl EdgeStats {
         self.connections_refused += s.connections_refused;
         self.pipeline_shed += s.pipeline_shed;
         self.pool_shed += s.pool_shed;
+        self.spawn_failures += s.spawn_failures;
     }
 
     /// Folds an overload-counter snapshot into the aggregate.
@@ -226,12 +230,13 @@ impl std::fmt::Display for EdgeStats {
         write!(
             f,
             "edge: {} conns accepted, {} refused, {} dropped on protocol errors, \
-             {} pipeline shed, {} pool shed; {}; {}",
+             {} pipeline shed, {} pool shed, {} spawn failures; {}; {}",
             self.connections_accepted,
             self.connections_refused,
             self.protocol_error_drops,
             self.pipeline_shed,
             self.pool_shed,
+            self.spawn_failures,
             self.overload,
             self.combiner,
         )
@@ -337,6 +342,7 @@ mod tests {
             connections_refused: 2,
             pipeline_shed: 4,
             pool_shed: 0,
+            spawn_failures: 1,
         });
         agg.absorb(TcpServerStats {
             connections_accepted: 2,
@@ -344,12 +350,14 @@ mod tests {
             connections_refused: 1,
             pipeline_shed: 0,
             pool_shed: 5,
+            spawn_failures: 0,
         });
         assert_eq!(agg.connections_accepted, 5);
         assert_eq!(agg.protocol_error_drops, 1);
         assert_eq!(agg.connections_refused, 3);
         assert_eq!(agg.pipeline_shed, 4);
         assert_eq!(agg.pool_shed, 5);
+        assert_eq!(agg.spawn_failures, 1);
         assert!(agg.to_string().contains("1 dropped"));
         assert!(agg.to_string().contains("3 refused"));
     }

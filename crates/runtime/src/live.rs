@@ -176,6 +176,14 @@ impl LiveRuntime {
     pub fn now(&self) -> Instant {
         Instant(self.epoch.elapsed().as_nanos() as u64)
     }
+
+    /// A clone-cheap handle on the runtime clock: yields [`Self::now`]
+    /// without borrowing the runtime, for edge layers that check request
+    /// deadlines from TCP worker or reactor threads.
+    pub fn clock(&self) -> std::sync::Arc<dyn Fn() -> Instant + Send + Sync> {
+        let epoch = self.epoch;
+        std::sync::Arc::new(move || Instant(epoch.elapsed().as_nanos() as u64))
+    }
 }
 
 impl Default for LiveRuntime {

@@ -1,18 +1,30 @@
 //! Real TCP transport for the client edge.
 //!
 //! The simulator and the live runtime move messages in-process; this module
-//! is the genuine network path: a thread-per-connection TCP server that
-//! speaks any [`ProtocolParser`] (binary, RESP, or SSDB), and a blocking
-//! client. The quickstart example serves a store over it, and the
-//! socket-vs-kernel-bypass benchmark (paper section E) measures it against
-//! the in-process fast path.
+//! is the genuine network path. Two transports implement the same
+//! [`EdgeTransport`] seam (the paper's "transport profile" — section III-B
+//! and the kernel-bypass discussion in section E):
+//!
+//! * **blocking** — a thread-per-connection server with an optional worker
+//!   pool. Simple, great for dozens of pipelined clients, wrong for tens of
+//!   thousands of mostly-idle connections (a thread + two fds each).
+//! * **reactor** — a nonblocking epoll readiness loop ([`crate::reactor`]):
+//!   N per-core reactor threads, a slab of connection states each, one fd
+//!   per connection, edge-triggered reads feeding the same incremental
+//!   [`ProtocolParser`]s, coalesced response flushes.
+//!
+//! [`TcpServer::bind_with`] picks the transport from
+//! [`ServerOptions::transport`]; `None` defers to the `BESPOKV_EDGE`
+//! environment variable (`reactor` or `blocking`, default blocking), which
+//! is how CI runs the whole suite on either edge. A future busy-poll /
+//! DPDK profile drops in behind the same trait.
 
 use bespokv_proto::client::{Request, Response};
 use bespokv_proto::parser::ProtocolParser;
 use bespokv_types::{KvError, KvResult, ShardId};
 use bytes::BytesMut;
 use crossbeam::channel;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -26,24 +38,58 @@ pub type ParserFactory = dyn Fn() -> Box<dyn ProtocolParser> + Send + Sync;
 /// Handles one request, producing the response. Shared across connections.
 pub type Handler = dyn Fn(Request) -> Response + Send + Sync;
 
+/// Which server transport backs a [`TcpServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Thread-per-connection with blocking I/O (plus optional worker pool).
+    Blocking,
+    /// Nonblocking epoll reactor threads (see [`crate::reactor`]).
+    Reactor,
+}
+
+impl TransportKind {
+    /// Reads the deployment-wide default from `BESPOKV_EDGE`
+    /// (`reactor` selects the reactor, anything else the blocking edge).
+    pub fn from_env() -> TransportKind {
+        match std::env::var("BESPOKV_EDGE").as_deref() {
+            Ok("reactor") => TransportKind::Reactor,
+            _ => TransportKind::Blocking,
+        }
+    }
+}
+
 /// Tuning knobs for [`TcpServer::bind_with`].
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
-    /// When `Some(n)`, request handling runs on a bounded pool of `n`
-    /// workers instead of inline on the connection thread. Per-connection
-    /// response order is preserved; the bounded queue applies backpressure
-    /// when all workers are busy (or sheds, see `pipeline_cap`).
+    /// When `Some(n)`, request handling on the **blocking** transport runs
+    /// on a bounded pool of `n` workers instead of inline on the
+    /// connection thread. Per-connection response order is preserved; the
+    /// bounded queue applies backpressure when all workers are busy (or
+    /// sheds, see `pipeline_cap`). The reactor transport ignores this:
+    /// its reactor threads *are* the workers.
     pub worker_threads: Option<usize>,
-    /// Concurrent connections beyond this are refused at accept time (the
-    /// stream is dropped and `connections_refused` counted), so a
-    /// connection flood cannot spawn unbounded handler threads. `None`
-    /// means unbounded.
+    /// Concurrent connections beyond this are refused. The blocking edge
+    /// drops the stream at accept time; the reactor bounds its connection
+    /// slab and answers the refused connection's first request batch with
+    /// an explicit [`KvError::Overloaded`] before closing (never a silent
+    /// SYN-backlog stall). `None` means unbounded.
     pub max_connections: Option<usize>,
-    /// When `Some(n)`, at most `n` requests from one socket read are
+    /// Blocking edge: at most `n` requests from one socket read are
     /// dispatched; the rest of the batch is answered
-    /// [`KvError::Overloaded`] in arrival order. Setting this also arms
-    /// shed-instead-of-block when the worker pool queue is full.
+    /// [`KvError::Overloaded`] in arrival order (and a full worker-pool
+    /// queue sheds instead of blocking). Reactor: re-expressed as
+    /// backpressure — at most `n` requests are decoded and served per
+    /// connection per reactor turn, further input stays in the socket
+    /// buffer until the pipeline drains (TCP pushes back; nothing is
+    /// shed mid-stream).
     pub pipeline_cap: Option<usize>,
+    /// Which transport serves this listener; `None` defers to the
+    /// `BESPOKV_EDGE` environment variable (default blocking).
+    pub transport: Option<TransportKind>,
+    /// Reactor transport: number of reactor threads (each owning an
+    /// acceptor and a slab of connections). `None` sizes to the machine
+    /// (`min(cores, 4)`).
+    pub reactor_threads: Option<usize>,
 }
 
 impl Default for ServerOptions {
@@ -54,6 +100,8 @@ impl Default for ServerOptions {
             // thread-spawn amplifier for a SYN-and-hold flood.
             max_connections: Some(1024),
             pipeline_cap: None,
+            transport: None,
+            reactor_threads: None,
         }
     }
 }
@@ -71,36 +119,63 @@ pub struct TcpServerStats {
     pub pipeline_shed: u64,
     /// Requests answered `Overloaded` at a full worker-pool queue.
     pub pool_shed: u64,
+    /// Connections closed because the OS refused to spawn their handler
+    /// thread (blocking edge under thread exhaustion).
+    pub spawn_failures: u64,
 }
 
-/// State shared between the accept loop, connection threads, and the handle.
-struct Shared {
-    stop: AtomicBool,
-    /// Clones of live connection streams, used to unblock reads on stop.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    accepted: AtomicU64,
-    protocol_errors: AtomicU64,
-    refused: AtomicU64,
-    pipeline_shed: AtomicU64,
-    pool_shed: AtomicU64,
-    pipeline_cap: Option<usize>,
-    pool: Option<WorkerPool>,
+/// Shared atomic counters behind [`TcpServerStats`]; one set per server,
+/// written by whichever transport backs it.
+#[derive(Debug, Default)]
+pub(crate) struct EdgeCounters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) refused: AtomicU64,
+    pub(crate) pipeline_shed: AtomicU64,
+    pub(crate) pool_shed: AtomicU64,
+    pub(crate) spawn_failures: AtomicU64,
 }
 
-/// A thread-per-connection TCP server with blocking I/O.
-///
-/// No polling anywhere: the accept loop blocks in `accept()` and is woken
-/// for shutdown by a self-connection; connection threads block in `read()`
-/// and are woken by `shutdown()` on a registered clone of their stream.
+impl EdgeCounters {
+    pub(crate) fn snapshot(&self) -> TcpServerStats {
+        TcpServerStats {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            protocol_error_drops: self.protocol_errors.load(Ordering::Relaxed),
+            connections_refused: self.refused.load(Ordering::Relaxed),
+            pipeline_shed: self.pipeline_shed.load(Ordering::Relaxed),
+            pool_shed: self.pool_shed.load(Ordering::Relaxed),
+            spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The transport-profile seam: what a server backend owes the
+/// [`TcpServer`] facade. Today's implementations are the blocking
+/// thread-per-connection edge and the epoll reactor; a kernel-bypass /
+/// busy-poll profile (paper section E) would implement the same trait.
+pub trait EdgeTransport: Send {
+    /// Stops accepting, closes live connections, and joins every
+    /// transport-owned thread. Must be idempotent.
+    fn shutdown(&mut self);
+
+    /// Test hook: make the next `n` connection-thread spawns fail, to
+    /// exercise thread-exhaustion handling without exhausting the OS.
+    #[cfg(test)]
+    fn inject_spawn_failures(&self, _n: u64) {}
+}
+
+/// A TCP server speaking any [`ProtocolParser`], backed by a pluggable
+/// [`EdgeTransport`].
 pub struct TcpServer {
     local_addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    kind: TransportKind,
+    counters: Arc<EdgeCounters>,
+    inner: Option<Box<dyn EdgeTransport>>,
 }
 
 impl TcpServer {
     /// Binds to `addr` (e.g. `"127.0.0.1:0"`) and starts accepting, with
-    /// inline request handling.
+    /// inline request handling and the environment-selected transport.
     pub fn bind(
         addr: &str,
         make_parser: Arc<ParserFactory>,
@@ -116,20 +191,152 @@ impl TcpServer {
         handler: Arc<Handler>,
         options: ServerOptions,
     ) -> std::io::Result<TcpServer> {
+        let counters = Arc::new(EdgeCounters::default());
+        let mut kind = options.transport.unwrap_or_else(TransportKind::from_env);
+        if kind == TransportKind::Reactor && !cfg!(target_os = "linux") {
+            // The vendored poll shim is epoll-only; elsewhere the blocking
+            // edge serves the same API (the transport seam is exactly for
+            // this kind of per-platform substitution).
+            kind = TransportKind::Blocking;
+        }
+        let (inner, local_addr): (Box<dyn EdgeTransport>, SocketAddr) = match kind {
+            TransportKind::Blocking => {
+                let edge = BlockingEdge::bind(
+                    addr,
+                    make_parser,
+                    handler,
+                    &options,
+                    Arc::clone(&counters),
+                )?;
+                let local = edge.local_addr;
+                (Box::new(edge), local)
+            }
+            #[cfg(target_os = "linux")]
+            TransportKind::Reactor => {
+                let edge = crate::reactor::ReactorEdge::bind(
+                    addr,
+                    make_parser,
+                    handler,
+                    &options,
+                    Arc::clone(&counters),
+                )?;
+                let local = edge.local_addr();
+                (Box::new(edge), local)
+            }
+            #[cfg(not(target_os = "linux"))]
+            TransportKind::Reactor => unreachable!("reactor demoted to blocking above"),
+        };
+        Ok(TcpServer {
+            local_addr,
+            kind,
+            counters,
+            inner: Some(inner),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Which transport ended up serving this listener (after environment
+    /// and platform resolution).
+    pub fn transport_kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> TcpServerStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting, closes live connections, and waits for all server
+    /// threads to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(mut t) = self.inner.take() {
+            t.shutdown();
+        }
+    }
+
+    /// Test hook: force the next `n` connection-thread spawns to fail.
+    #[cfg(test)]
+    fn inject_spawn_failures(&self, n: u64) {
+        if let Some(t) = &self.inner {
+            t.inject_spawn_failures(n);
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// State shared between the accept loop, connection threads, and the handle.
+struct Shared {
+    stop: AtomicBool,
+    /// Clones of live connection streams, used to unblock reads on stop.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    counters: Arc<EdgeCounters>,
+    pipeline_cap: Option<usize>,
+    pool: Option<WorkerPool>,
+    /// Test-only: pending injected spawn failures.
+    #[cfg(test)]
+    fail_spawns: AtomicU64,
+}
+
+impl Shared {
+    /// Whether this accept should pretend `thread::spawn` failed.
+    fn take_injected_spawn_failure(&self) -> bool {
+        #[cfg(test)]
+        {
+            self.fail_spawns
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_ok()
+        }
+        #[cfg(not(test))]
+        {
+            false
+        }
+    }
+}
+
+/// The thread-per-connection transport with blocking I/O.
+///
+/// No polling anywhere: the accept loop blocks in `accept()` and is woken
+/// for shutdown by a self-connection; connection threads block in `read()`
+/// and are woken by `shutdown()` on a registered clone of their stream.
+struct BlockingEdge {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl BlockingEdge {
+    fn bind(
+        addr: &str,
+        make_parser: Arc<ParserFactory>,
+        handler: Arc<Handler>,
+        options: &ServerOptions,
+        counters: Arc<EdgeCounters>,
+    ) -> std::io::Result<BlockingEdge> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
-            accepted: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
-            refused: AtomicU64::new(0),
-            pipeline_shed: AtomicU64::new(0),
-            pool_shed: AtomicU64::new(0),
+            counters,
             pipeline_cap: options.pipeline_cap,
             pool: options
                 .worker_threads
                 .map(|n| WorkerPool::new(n, Arc::clone(&handler))),
+            #[cfg(test)]
+            fail_spawns: AtomicU64::new(0),
         });
         let max_connections = options.max_connections;
         let shared2 = Arc::clone(&shared);
@@ -154,7 +361,7 @@ impl TcpServer {
                             // exit), so its size is the concurrency to cap.
                             if let Some(cap) = max_connections {
                                 if shared2.conns.lock().len() >= cap {
-                                    shared2.refused.fetch_add(1, Ordering::Relaxed);
+                                    shared2.counters.refused.fetch_add(1, Ordering::Relaxed);
                                     drop(stream);
                                     continue;
                                 }
@@ -164,20 +371,41 @@ impl TcpServer {
                             if let Ok(clone) = stream.try_clone() {
                                 shared2.conns.lock().insert(id, clone);
                             }
-                            shared2.accepted.fetch_add(1, Ordering::Relaxed);
                             let parser = make_parser();
                             let handler = Arc::clone(&handler);
                             let shared3 = Arc::clone(&shared2);
-                            conn_threads.push(
-                                std::thread::Builder::new()
-                                    .name("bespokv-conn".into())
-                                    .spawn(move || {
+                            let spawned = if shared2.take_injected_spawn_failure() {
+                                Err(std::io::Error::other("injected spawn failure"))
+                            } else {
+                                std::thread::Builder::new().name("bespokv-conn".into()).spawn(
+                                    move || {
                                         let _ =
                                             serve_connection(stream, parser, handler, &shared3);
                                         shared3.conns.lock().remove(&id);
-                                    })
-                                    .expect("spawn connection thread"),
-                            );
+                                    },
+                                )
+                            };
+                            match spawned {
+                                Ok(t) => {
+                                    shared2.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                                    conn_threads.push(t);
+                                }
+                                // Thread exhaustion (a connection flood is
+                                // the usual cause) must cost one connection,
+                                // not the whole listener: close the socket,
+                                // count it, keep accepting. The stream moved
+                                // into the dropped closure is already closed;
+                                // the registered clone still needs removing.
+                                Err(_) => {
+                                    if let Some(clone) = shared2.conns.lock().remove(&id) {
+                                        let _ = clone.shutdown(Shutdown::Both);
+                                    }
+                                    shared2
+                                        .counters
+                                        .spawn_failures
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         Err(_) => {
                             if shared2.stop.load(Ordering::Acquire) {
@@ -194,36 +422,23 @@ impl TcpServer {
                 for t in conn_threads {
                     let _ = t.join();
                 }
+                // Drain-then-close: only after every connection thread has
+                // exited (no submitter can race the teardown) is the worker
+                // pool closed, and close itself drains accepted jobs before
+                // joining the workers.
+                if let Some(pool) = &shared2.pool {
+                    pool.shutdown();
+                }
             })?;
-        Ok(TcpServer {
+        Ok(BlockingEdge {
             local_addr,
             shared,
             accept_thread: Some(accept_thread),
         })
     }
+}
 
-    /// The bound address (useful with port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
-    }
-
-    /// Current server counters.
-    pub fn stats(&self) -> TcpServerStats {
-        TcpServerStats {
-            connections_accepted: self.shared.accepted.load(Ordering::Relaxed),
-            protocol_error_drops: self.shared.protocol_errors.load(Ordering::Relaxed),
-            connections_refused: self.shared.refused.load(Ordering::Relaxed),
-            pipeline_shed: self.shared.pipeline_shed.load(Ordering::Relaxed),
-            pool_shed: self.shared.pool_shed.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Stops accepting, closes live connections, and waits for all server
-    /// threads to exit.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
+impl EdgeTransport for BlockingEdge {
     fn shutdown(&mut self) {
         if !self.shared.stop.swap(true, Ordering::AcqRel) {
             // Wake the blocking accept() with a throwaway connection.
@@ -238,9 +453,14 @@ impl TcpServer {
             let _ = t.join();
         }
     }
+
+    #[cfg(test)]
+    fn inject_spawn_failures(&self, n: u64) {
+        self.shared.fail_spawns.fetch_add(n, Ordering::AcqRel);
+    }
 }
 
-impl Drop for TcpServer {
+impl Drop for BlockingEdge {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -280,7 +500,7 @@ fn serve_connection(
                     match &shared.pool {
                         None => {
                             let resp = if shed {
-                                shared.pipeline_shed.fetch_add(1, Ordering::Relaxed);
+                                shared.counters.pipeline_shed.fetch_add(1, Ordering::Relaxed);
                                 Response::err(req.id, KvError::Overloaded)
                             } else {
                                 handler(req)
@@ -296,7 +516,7 @@ fn serve_connection(
                             let id = req.id;
                             let (tx, rx) = mpsc::channel();
                             if shed {
-                                shared.pipeline_shed.fetch_add(1, Ordering::Relaxed);
+                                shared.counters.pipeline_shed.fetch_add(1, Ordering::Relaxed);
                                 let _ = tx.send(Response::err(id, KvError::Overloaded));
                                 pending.push_back(rx);
                             } else {
@@ -306,21 +526,23 @@ fn serve_connection(
                                 // With a pipeline cap set, a full pool queue
                                 // sheds instead of blocking the connection
                                 // thread; uncapped servers keep the original
-                                // backpressure behaviour.
-                                if shared.pipeline_cap.is_some() {
-                                    match pool.try_submit(job) {
-                                        Ok(()) => pending.push_back(rx),
-                                        Err(()) => {
-                                            shared.pool_shed.fetch_add(1, Ordering::Relaxed);
-                                            let (tx2, rx2) = mpsc::channel();
-                                            let _ = tx2
-                                                .send(Response::err(id, KvError::Overloaded));
-                                            pending.push_back(rx2);
-                                        }
-                                    }
+                                // backpressure behaviour. A pool already
+                                // closed for shutdown sheds the same way —
+                                // the socket is about to be closed anyway.
+                                let submitted = if shared.pipeline_cap.is_some() {
+                                    pool.try_submit(job)
                                 } else {
-                                    pool.submit(job);
-                                    pending.push_back(rx);
+                                    pool.submit(job)
+                                };
+                                match submitted {
+                                    Ok(()) => pending.push_back(rx),
+                                    Err(()) => {
+                                        shared.counters.pool_shed.fetch_add(1, Ordering::Relaxed);
+                                        let (tx2, rx2) = mpsc::channel();
+                                        let _ =
+                                            tx2.send(Response::err(id, KvError::Overloaded));
+                                        pending.push_back(rx2);
+                                    }
                                 }
                             }
                         }
@@ -329,7 +551,7 @@ fn serve_connection(
                 Ok(None) => break,
                 Err(_) => {
                     // Malformed stream: count it and drop the connection.
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     return Ok(());
                 }
             }
@@ -351,9 +573,16 @@ type Job = Box<dyn FnOnce(&Handler) + Send>;
 /// A fixed-size pool of worker threads fed by a bounded queue. Each worker
 /// owns its own clone of the request handler, so submitting a job costs no
 /// per-request `Arc` traffic on the connection thread.
+///
+/// Shutdown is **drain-then-close**: [`WorkerPool::shutdown`] disconnects
+/// the queue and joins the workers, who finish every job accepted before
+/// the disconnect (the channel hands out queued items before reporting
+/// disconnection). Submissions racing the close fail cleanly with `Err`
+/// instead of vanishing, so a caller can always answer the request
+/// (`Overloaded`) rather than leaving its connection waiting forever.
 struct WorkerPool {
-    tx: Option<channel::Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    tx: RwLock<Option<channel::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -381,41 +610,61 @@ impl WorkerPool {
             })
             .collect();
         WorkerPool {
-            tx: Some(tx),
-            workers,
+            tx: RwLock::new(Some(tx)),
+            workers: Mutex::new(workers),
         }
     }
 
-    fn submit(&self, job: Job) {
-        if let Some(tx) = &self.tx {
-            let _ = tx.send(job);
+    /// Blocking submit; `Err` only once the pool is closed for shutdown.
+    fn submit(&self, job: Job) -> Result<(), ()> {
+        match &*self.tx.read() {
+            Some(tx) => tx.send(job).map_err(|_| ()),
+            None => Err(()),
         }
     }
 
-    /// Non-blocking submit: `Err` (job dropped) when the queue is full, so
-    /// the caller can shed with an explicit reply instead of stalling.
+    /// Non-blocking submit: `Err` (job dropped) when the queue is full or
+    /// the pool is closed, so the caller can shed with an explicit reply
+    /// instead of stalling.
     fn try_submit(&self, job: Job) -> Result<(), ()> {
-        match &self.tx {
+        match &*self.tx.read() {
             Some(tx) => tx.try_send(job).map_err(|_| ()),
             None => Err(()),
+        }
+    }
+
+    /// Drains and closes: every job accepted before this call still runs;
+    /// workers exit once the queue is empty, and this call returns only
+    /// after they have. Idempotent.
+    fn shutdown(&self) {
+        drop(self.tx.write().take()); // disconnect: workers drain and exit
+        for t in self.workers.lock().drain(..) {
+            let _ = t.join();
         }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.tx = None; // disconnect: workers drain and exit
-        for t in self.workers.drain(..) {
-            let _ = t.join();
-        }
+        self.shutdown();
     }
 }
 
 /// A blocking TCP client speaking any [`ProtocolParser`].
+///
+/// **Timeout poisoning:** a call that fails with [`KvError::Timeout`]
+/// leaves the stream desynchronized — the response may still arrive and
+/// would be matched to the *next* request. The client therefore poisons
+/// itself on timeout: subsequent calls fail fast with
+/// [`KvError::Unavailable`] (retryable — reroute or reconnect) until
+/// [`TcpClient::reconnect`] establishes a fresh stream and parser.
 pub struct TcpClient {
     stream: TcpStream,
     parser: Box<dyn ProtocolParser>,
     scratch: BytesMut,
+    addr: SocketAddr,
+    read_timeout: Option<std::time::Duration>,
+    poisoned: bool,
 }
 
 /// Default per-call read deadline. A server that accepts the connection
@@ -456,6 +705,9 @@ impl TcpClient {
             stream,
             parser,
             scratch: BytesMut::new(),
+            addr,
+            read_timeout,
+            poisoned: false,
         })
     }
 
@@ -464,12 +716,58 @@ impl TcpClient {
         &mut self,
         read_timeout: Option<std::time::Duration>,
     ) -> std::io::Result<()> {
+        self.read_timeout = read_timeout;
         self.stream.set_read_timeout(read_timeout)
+    }
+
+    /// Whether a timeout has poisoned this connection (see the type docs).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Re-establishes the connection after a poisoning timeout. `parser`
+    /// must be a fresh instance of the connection's protocol (the old one
+    /// may hold half a late response).
+    pub fn reconnect(&mut self, parser: Box<dyn ProtocolParser>) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.stream = stream;
+        self.parser = parser;
+        self.scratch = BytesMut::new();
+        self.poisoned = false;
+        Ok(())
+    }
+
+    fn check_poisoned(&self) -> KvResult<()> {
+        if self.poisoned {
+            // The stream may deliver a late response to an abandoned
+            // request; matching it to a new request would hand the caller
+            // someone else's answer. Fail fast until reconnect.
+            Err(KvError::Unavailable(ShardId(u32::MAX)))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Records a completed call, poisoning the connection when it timed
+    /// out mid-protocol.
+    fn note_outcome<T>(&mut self, result: KvResult<T>) -> KvResult<T> {
+        if matches!(result, Err(KvError::Timeout)) {
+            self.poisoned = true;
+        }
+        result
     }
 
     /// Sends one request and blocks for its response, at most the
     /// configured read timeout per read ([`KvError::Timeout`] after that).
     pub fn call(&mut self, req: &Request) -> KvResult<Response> {
+        self.check_poisoned()?;
+        let result = self.call_inner(req);
+        self.note_outcome(result)
+    }
+
+    fn call_inner(&mut self, req: &Request) -> KvResult<Response> {
         self.scratch.clear();
         self.parser.encode_request(req, &mut self.scratch);
         self.stream
@@ -494,6 +792,12 @@ impl TcpClient {
 
     /// Sends a batch of pipelined requests, then collects all responses.
     pub fn call_pipelined(&mut self, reqs: &[Request]) -> KvResult<Vec<Response>> {
+        self.check_poisoned()?;
+        let result = self.call_pipelined_inner(reqs);
+        self.note_outcome(result)
+    }
+
+    fn call_pipelined_inner(&mut self, reqs: &[Request]) -> KvResult<Vec<Response>> {
         self.scratch.clear();
         for r in reqs {
             self.parser.encode_request(r, &mut self.scratch);
@@ -644,6 +948,7 @@ mod tests {
             kv_handler(),
             ServerOptions {
                 worker_threads: Some(4),
+                transport: Some(TransportKind::Blocking),
                 ..ServerOptions::default()
             },
         )
@@ -673,17 +978,185 @@ mod tests {
     #[test]
     fn worker_pool_survives_panicking_job() {
         let pool = WorkerPool::new(1, kv_handler());
-        pool.submit(Box::new(|_h| panic!("handler panic")));
+        pool.submit(Box::new(|_h| panic!("handler panic"))).unwrap();
         // With a single worker, this job only runs if that worker survived
         // the panic above.
         let (tx, rx) = mpsc::channel();
         pool.submit(Box::new(move |_h| {
             let _ = tx.send(());
-        }));
+        }))
+        .unwrap();
         assert!(
             rx.recv_timeout(std::time::Duration::from_secs(5)).is_ok(),
             "panicking job killed the only pool worker"
         );
+    }
+
+    /// Satellite regression: shutdown must be drain-then-close — every job
+    /// the pool accepted (`submit` returned `Ok`) runs to completion before
+    /// `shutdown` returns, and submissions racing the close fail cleanly
+    /// with `Err` instead of being silently dropped.
+    #[test]
+    fn pool_shutdown_drains_accepted_jobs() {
+        let pool = Arc::new(WorkerPool::new(2, kv_handler()));
+        let done = Arc::new(AtomicU64::new(0));
+        let mut accepted = 0u64;
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            if pool
+                .submit(Box::new(move |_h| {
+                    // Slow enough that the queue is still non-empty when
+                    // shutdown() lands.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .is_ok()
+            {
+                accepted += 1;
+            }
+        }
+        // Concurrent submitters racing the shutdown: accepted jobs count,
+        // rejected ones must not run at all.
+        let racer = {
+            let pool = Arc::clone(&pool);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut racer_accepted = 0u64;
+                for _ in 0..1000 {
+                    let done = Arc::clone(&done);
+                    match pool.submit(Box::new(move |_h| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    })) {
+                        Ok(()) => racer_accepted += 1,
+                        Err(()) => break, // pool closed: stop submitting
+                    }
+                }
+                racer_accepted
+            })
+        };
+        pool.shutdown();
+        let racer_accepted = racer.join().unwrap();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            accepted + racer_accepted,
+            "drain-then-close must run exactly the accepted jobs"
+        );
+        // Idempotent, and closed for good.
+        pool.shutdown();
+        assert!(pool.submit(Box::new(|_h| {})).is_err());
+        assert!(pool.try_submit(Box::new(|_h| {})).is_err());
+    }
+
+    /// Satellite regression: stopping the server while pipelined load is in
+    /// flight must terminate cleanly — no deadlock between connection
+    /// threads submitting to the pool and the accept thread joining them.
+    #[test]
+    fn stop_under_active_pipelined_load() {
+        let server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+            ServerOptions {
+                worker_threads: Some(2),
+                transport: Some(TransportKind::Blocking),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let clients: Vec<_> = (0..4u32)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let Ok(mut c) = TcpClient::connect(addr, Box::new(BinaryParser::new()))
+                    else {
+                        return;
+                    };
+                    loop {
+                        let reqs: Vec<Request> = (0..64)
+                            .map(|i| {
+                                Request::new(
+                                    RequestId::compose(ClientId(t), i),
+                                    Op::Put {
+                                        key: Key::from(format!("k{t}-{i}")),
+                                        value: Value::from("v"),
+                                    },
+                                )
+                            })
+                            .collect();
+                        // The stop() below kills the connection mid-batch at
+                        // some point; any error ends the load loop.
+                        if c.call_pipelined(&reqs).is_err() {
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let (tx, rx) = mpsc::channel();
+        let stopper = std::thread::spawn(move || {
+            server.stop();
+            let _ = tx.send(());
+        });
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).is_ok(),
+            "stop() hung under active pipelined load"
+        );
+        stopper.join().unwrap();
+        for c in clients {
+            c.join().unwrap();
+        }
+    }
+
+    /// Satellite regression: a failed connection-thread spawn must cost that
+    /// one connection (closed + counted), never the accept loop.
+    #[test]
+    fn spawn_failure_closes_connection_not_listener() {
+        let server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            kv_handler(),
+            ServerOptions {
+                transport: Some(TransportKind::Blocking),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        server.inject_spawn_failures(1);
+        // This connection's handler thread "fails to spawn": the server
+        // must close the socket rather than panic the accept loop.
+        let mut victim = TcpStream::connect(addr).unwrap();
+        victim
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        match victim.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("unhandled connection produced {n} bytes"),
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.stats().spawn_failures == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "spawn failure never counted"
+            );
+            std::thread::yield_now();
+        }
+        // The listener survived: the next connection is served normally.
+        let mut client = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+        let put = Request::new(
+            rid(0),
+            Op::Put {
+                key: Key::from("k"),
+                value: Value::from("v"),
+            },
+        );
+        assert_eq!(client.call(&put).unwrap().result, Ok(RespBody::Done));
+        let stats = server.stats();
+        assert_eq!(stats.spawn_failures, 1);
+        assert_eq!(stats.connections_accepted, 1, "failed spawn counted as accepted");
+        server.stop();
     }
 
     #[test]
@@ -855,12 +1328,119 @@ mod tests {
             started.elapsed() < std::time::Duration::from_secs(2),
             "call blocked until the server hung up instead of timing out"
         );
-        // Pipelined calls hit the same deadline.
+        // The timeout poisoned the connection (the late reply could still
+        // arrive): further calls fail fast with Unavailable, they must NOT
+        // touch the desynchronized stream.
+        assert!(client.is_poisoned());
+        let started = std::time::Instant::now();
         assert_eq!(
             client.call_pipelined(std::slice::from_ref(&req)),
-            Err(KvError::Timeout)
+            Err(KvError::Unavailable(ShardId(u32::MAX)))
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(50),
+            "poisoned call should fail fast, not wait on the socket"
         );
         hold.join().unwrap();
+    }
+
+    /// Satellite regression: a timeout mid-conversation must not leave the
+    /// client matching the late reply to the *next* request. The poisoned
+    /// client refuses further calls until an explicit reconnect, after
+    /// which calls see correct responses again.
+    #[test]
+    fn timeout_poisons_client_until_reconnect() {
+        // A handler that stalls on one magic key, long enough to outlive
+        // the client's read deadline — the late reply then sits in the
+        // socket, exactly the desynchronization hazard.
+        let handler: Arc<Handler> = Arc::new(move |req: Request| {
+            if let Op::Get { key } = &req.op {
+                if *key == Key::from("slow") {
+                    std::thread::sleep(std::time::Duration::from_millis(400));
+                }
+            }
+            Response {
+                id: req.id,
+                result: Ok(RespBody::Done),
+            }
+        });
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+        )
+        .unwrap();
+        let mut client = TcpClient::connect_with_timeout(
+            server.local_addr(),
+            Box::new(BinaryParser::new()),
+            Some(std::time::Duration::from_millis(100)),
+        )
+        .unwrap();
+        let slow = Request::new(rid(0), Op::Get { key: Key::from("slow") });
+        let fast = Request::new(rid(1), Op::Get { key: Key::from("fast") });
+        assert_eq!(client.call(&slow), Err(KvError::Timeout));
+        assert!(client.is_poisoned());
+        // Without poisoning, this call would read the late reply to `slow`
+        // (id 0) and hand it back as the answer to `fast` (id 1). Instead it
+        // must fail fast and leave the socket alone.
+        assert_eq!(
+            client.call(&fast),
+            Err(KvError::Unavailable(ShardId(u32::MAX)))
+        );
+        // Wait out the slow handler so its late reply is certainly in
+        // flight, then reconnect: the fresh stream has no stale bytes.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        client.reconnect(Box::new(BinaryParser::new())).unwrap();
+        assert!(!client.is_poisoned());
+        let resp = client.call(&fast).unwrap();
+        assert_eq!(resp.id, fast.id, "reconnected client got a stale response");
+        server.stop();
+    }
+
+    /// Same poisoning contract for pipelined batches: a timeout mid-batch
+    /// desynchronizes every outstanding reply.
+    #[test]
+    fn pipelined_timeout_poisons_client() {
+        let handler: Arc<Handler> = Arc::new(move |req: Request| {
+            if let Op::Get { key } = &req.op {
+                if *key == Key::from("slow") {
+                    std::thread::sleep(std::time::Duration::from_millis(300));
+                }
+            }
+            Response {
+                id: req.id,
+                result: Ok(RespBody::Done),
+            }
+        });
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+        )
+        .unwrap();
+        let mut client = TcpClient::connect_with_timeout(
+            server.local_addr(),
+            Box::new(BinaryParser::new()),
+            Some(std::time::Duration::from_millis(100)),
+        )
+        .unwrap();
+        let batch = vec![
+            Request::new(rid(0), Op::Get { key: Key::from("fast") }),
+            Request::new(rid(1), Op::Get { key: Key::from("slow") }),
+            Request::new(rid(2), Op::Get { key: Key::from("fast") }),
+        ];
+        assert_eq!(client.call_pipelined(&batch), Err(KvError::Timeout));
+        assert!(client.is_poisoned());
+        let lone = Request::new(rid(3), Op::Get { key: Key::from("fast") });
+        assert_eq!(
+            client.call(&lone),
+            Err(KvError::Unavailable(ShardId(u32::MAX)))
+        );
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        client.reconnect(Box::new(BinaryParser::new())).unwrap();
+        let resp = client.call(&lone).unwrap();
+        assert_eq!(resp.id, lone.id);
+        server.stop();
     }
 
     #[test]
@@ -871,6 +1451,7 @@ mod tests {
             kv_handler(),
             ServerOptions {
                 max_connections: Some(2),
+                transport: Some(TransportKind::Blocking),
                 ..ServerOptions::default()
             },
         )
@@ -923,6 +1504,7 @@ mod tests {
             kv_handler(),
             ServerOptions {
                 pipeline_cap: Some(4),
+                transport: Some(TransportKind::Blocking),
                 ..ServerOptions::default()
             },
         )
@@ -966,6 +1548,7 @@ mod tests {
             ServerOptions {
                 worker_threads: Some(2),
                 pipeline_cap: Some(4),
+                transport: Some(TransportKind::Blocking),
                 ..ServerOptions::default()
             },
         )

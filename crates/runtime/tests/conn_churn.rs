@@ -1,0 +1,148 @@
+//! Connection-churn leak tests for both edge transports.
+//!
+//! A long-lived KV edge sees clients come and go forever; any per-
+//! connection resource that outlives its connection — a file descriptor,
+//! a handler thread, a slab slot — is a slow death. These tests churn
+//! ~1000 connections through each transport and assert, via
+//! `/proc/self/fd` and `/proc/self/status`, that the process ends with
+//! as many descriptors and threads as it started with (modulo a small
+//! tolerance for the transport's own steady-state machinery).
+
+#![cfg(target_os = "linux")]
+
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_runtime::tcp::{ServerOptions, TcpClient, TcpServer, TransportKind};
+use bespokv_types::{ClientId, Key, KvError, RequestId, Value, VersionedValue};
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+fn kv_handler() -> Arc<bespokv_runtime::tcp::Handler> {
+    let store: Mutex<HashMap<Key, Value>> = Mutex::new(HashMap::new());
+    Arc::new(move |req: Request| {
+        let result = match &req.op {
+            Op::Put { key, value } => {
+                store.lock().unwrap().insert(key.clone(), value.clone());
+                Ok(RespBody::Done)
+            }
+            Op::Get { key } => store
+                .lock()
+                .unwrap()
+                .get(key)
+                .cloned()
+                .map(|v| RespBody::Value(VersionedValue::new(v, 1)))
+                .ok_or(KvError::NotFound),
+            _ => Err(KvError::Rejected("unsupported".into())),
+        };
+        Response { id: req.id, result }
+    })
+}
+
+fn parser_factory() -> Arc<bespokv_runtime::tcp::ParserFactory> {
+    Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>)
+}
+
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").unwrap().count()
+}
+
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+/// Churns `total` connections through the server in small waves, doing a
+/// round-trip on each so the connection is fully established and served
+/// (not just SYN-accepted) before it closes.
+fn churn(addr: std::net::SocketAddr, total: u32, wave: u32) {
+    let mut seq = 0u32;
+    for _ in 0..total / wave {
+        let mut clients: Vec<TcpClient> = (0..wave)
+            .map(|_| TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap())
+            .collect();
+        for c in &mut clients {
+            seq += 1;
+            let req = Request::new(
+                RequestId::compose(ClientId(77), seq),
+                Op::Put {
+                    key: Key::from(format!("k{seq}").as_str()),
+                    value: Value::from("v"),
+                },
+            );
+            let resp = c.call(&req).unwrap();
+            assert!(resp.result.is_ok(), "{:?}", resp.result);
+        }
+        // Dropping the vec closes the whole wave at once: the server sees
+        // a burst of EOFs, the shape most likely to race teardown paths.
+    }
+}
+
+/// Polls until the leak-sensitive gauges return to baseline; churn
+/// teardown is asynchronous (conn threads exiting, reactor reaping EOFs),
+/// so a single post-churn sample would be racy.
+fn settles(baseline_fds: usize, baseline_threads: usize, slack_fds: usize) -> bool {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        if open_fds() <= baseline_fds + slack_fds && thread_count() <= baseline_threads {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    false
+}
+
+fn churn_transport(kind: TransportKind) {
+    let server = TcpServer::bind_with(
+        "127.0.0.1:0",
+        parser_factory(),
+        kv_handler(),
+        ServerOptions {
+            max_connections: Some(2048),
+            transport: Some(kind),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Warm the transport to steady state (pool threads spawned, reactor
+    // slabs touched) before taking the baseline.
+    churn(addr, 8, 8);
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let baseline_fds = open_fds();
+    let baseline_threads = thread_count();
+
+    churn(addr, 1000, 50);
+
+    assert!(
+        settles(baseline_fds, baseline_threads, 4),
+        "leak after 1000-conn churn on {kind:?}: fds {} -> {}, threads {} -> {}",
+        baseline_fds,
+        open_fds(),
+        baseline_threads,
+        thread_count(),
+    );
+
+    let stats = server.stats();
+    assert!(
+        stats.connections_accepted >= 1008,
+        "expected every churned connection accepted, got {}",
+        stats.connections_accepted
+    );
+    drop(server);
+}
+
+#[test]
+fn blocking_edge_survives_connection_churn_without_leaks() {
+    churn_transport(TransportKind::Blocking);
+}
+
+#[test]
+fn reactor_edge_survives_connection_churn_without_leaks() {
+    churn_transport(TransportKind::Reactor);
+}

@@ -23,12 +23,23 @@ pub struct OverloadConfig {
     /// are shed at enqueue time (replication/control traffic is exempt).
     pub mailbox_cap: usize,
     /// TCP edge: in-flight pipelined requests per connection beyond this
-    /// are answered `Overloaded` in arrival order.
+    /// are handled per transport. The blocking edge answers `Overloaded`
+    /// in arrival order; the reactor edge re-expresses the cap as
+    /// *backpressure* — at most this many requests are decoded and served
+    /// per connection per reactor turn, and surplus input waits in the
+    /// socket buffer (TCP pushes back on the sender; nothing mid-stream
+    /// is shed).
     pub pipeline_cap: usize,
-    /// TCP edge: concurrent connections per server; further accepts are
-    /// refused (stream dropped) so a connection flood cannot spawn
-    /// unbounded handler threads.
+    /// TCP edge: concurrent connections per server. The blocking edge
+    /// refuses further accepts by dropping the stream (a flood cannot
+    /// spawn unbounded handler threads); the reactor edge bounds its
+    /// connection slab and answers the over-cap connection's first
+    /// request batch with an explicit `Overloaded` before closing.
     pub max_connections: usize,
+    /// TCP reactor edge: reactor threads per server, each owning an
+    /// acceptor and a slab of connections. `0` sizes to the machine
+    /// (`min(cores, 4)`). Ignored by the blocking edge.
+    pub reactor_threads: usize,
     /// Edge relay: requests parked awaiting a controlet reply per
     /// `NodeEdge` beyond this are shed before entering the mailbox.
     pub relay_cap: usize,
@@ -58,6 +69,7 @@ impl Default for OverloadConfig {
             mailbox_cap: 4096,
             pipeline_cap: 1024,
             max_connections: 1024,
+            reactor_threads: 0,
             relay_cap: 1024,
             head_window: 4096,
             prop_high_watermark: 16384,

@@ -1,0 +1,76 @@
+//! Readiness events and the registration contract for event sources.
+
+use crate::sys;
+use crate::{Interest, Registry, Token};
+use std::io;
+
+/// One readiness event delivered by [`crate::Poll::poll`].
+#[repr(transparent)]
+pub struct Event {
+    raw: sys::RawEvent,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        Token(self.raw.data as usize)
+    }
+
+    fn flags(&self) -> u32 {
+        self.raw.events
+    }
+
+    /// Read readiness (includes peer hangup, which unblocks reads with 0).
+    pub fn is_readable(&self) -> bool {
+        self.flags() & (sys::EPOLLIN | sys::EPOLLPRI | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// Write readiness (includes errors, which surface on the next write).
+    pub fn is_writable(&self) -> bool {
+        self.flags() & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// The peer closed its write half (or the whole connection).
+    pub fn is_read_closed(&self) -> bool {
+        self.flags() & sys::EPOLLHUP != 0
+            || (self.flags() & sys::EPOLLIN != 0 && self.flags() & sys::EPOLLRDHUP != 0)
+    }
+
+    /// The connection's write half is gone.
+    pub fn is_write_closed(&self) -> bool {
+        self.flags() & sys::EPOLLHUP != 0
+    }
+
+    /// An error condition is pending on the source.
+    pub fn is_error(&self) -> bool {
+        self.flags() & sys::EPOLLERR != 0
+    }
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event")
+            .field("token", &self.token())
+            .field("readable", &self.is_readable())
+            .field("writable", &self.is_writable())
+            .finish()
+    }
+}
+
+/// An I/O handle that can be registered with a [`Registry`].
+pub trait Source {
+    /// Registers with edge-triggered semantics.
+    fn register(&mut self, registry: &Registry, token: Token, interests: Interest)
+        -> io::Result<()>;
+
+    /// Updates token/interests; also re-arms the edge.
+    fn reregister(
+        &mut self,
+        registry: &Registry,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()>;
+
+    /// Removes the source from the poll set.
+    fn deregister(&mut self, registry: &Registry) -> io::Result<()>;
+}

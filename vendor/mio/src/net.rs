@@ -1,0 +1,162 @@
+//! Nonblocking TCP wrappers implementing [`crate::event::Source`].
+//!
+//! Thin newtypes over the std types: std already exposes everything the
+//! reactor needs (nonblocking mode, vectored writes, `shutdown`); the
+//! wrappers only add epoll registration and enforce that accepted streams
+//! come out nonblocking.
+
+use crate::event::Source;
+use crate::{Interest, Registry, Token};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{Shutdown, SocketAddr};
+use std::os::fd::{AsRawFd, RawFd};
+
+/// A nonblocking listener registrable with a [`crate::Poll`].
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Wraps a std listener. The caller must have set it nonblocking
+    /// (upstream has the same contract).
+    pub fn from_std(listener: std::net::TcpListener) -> TcpListener {
+        TcpListener { inner: listener }
+    }
+
+    /// Binds a fresh nonblocking listener.
+    pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accepts one pending connection; `WouldBlock` when the backlog is
+    /// empty. The returned stream is already nonblocking.
+    pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        stream.set_nonblocking(true)?;
+        Ok((TcpStream { inner: stream }, addr))
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl AsRawFd for TcpListener {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}
+
+/// A nonblocking stream registrable with a [`crate::Poll`].
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Wraps a std stream. The caller must have set it nonblocking.
+    pub fn from_std(stream: std::net::TcpStream) -> TcpStream {
+        TcpStream { inner: stream }
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Disables Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// Shuts down one or both halves.
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl AsRawFd for TcpStream {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}
+
+impl Read for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Read for &TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&self.inner).read(buf)
+    }
+}
+
+impl Write for TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        self.inner.write_vectored(bufs)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Write for &TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&self.inner).write(buf)
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        (&self.inner).write_vectored(bufs)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&self.inner).flush()
+    }
+}
+
+macro_rules! impl_source {
+    ($ty:ident) => {
+        impl Source for $ty {
+            fn register(
+                &mut self,
+                registry: &Registry,
+                token: Token,
+                interests: Interest,
+            ) -> io::Result<()> {
+                registry.selector().register(self.as_raw_fd(), token, interests)
+            }
+
+            fn reregister(
+                &mut self,
+                registry: &Registry,
+                token: Token,
+                interests: Interest,
+            ) -> io::Result<()> {
+                registry.selector().reregister(self.as_raw_fd(), token, interests)
+            }
+
+            fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+                registry.selector().deregister(self.as_raw_fd())
+            }
+        }
+    };
+}
+
+impl_source!(TcpListener);
+impl_source!(TcpStream);

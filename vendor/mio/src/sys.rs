@@ -1,0 +1,280 @@
+//! Linux epoll + eventfd backend, declared directly against the C ABI so
+//! the shim needs no `libc` crate. Non-Linux targets get stubs that fail
+//! with `ErrorKind::Unsupported` at `Poll::new` time.
+
+#[cfg(target_os = "linux")]
+pub(crate) use linux::*;
+
+#[cfg(not(target_os = "linux"))]
+pub(crate) use fallback::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use crate::event::Event;
+    use crate::Token;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    pub(crate) const EPOLLIN: u32 = 0x001;
+    pub(crate) const EPOLLPRI: u32 = 0x002;
+    pub(crate) const EPOLLOUT: u32 = 0x004;
+    pub(crate) const EPOLLERR: u32 = 0x008;
+    pub(crate) const EPOLLHUP: u32 = 0x010;
+    pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+    pub(crate) const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const EINTR: i32 = 4;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+    /// packs it there); naturally aligned everywhere else.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub(crate) struct RawEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut RawEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// One epoll instance.
+    pub(crate) struct Selector {
+        epfd: OwnedFd,
+    }
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            // SAFETY: epoll_create1 returned a fresh, owned descriptor.
+            Ok(Selector {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+            let mut ev = RawEvent {
+                events,
+                data: token.0 as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) }).map(drop)
+        }
+
+        pub(crate) fn register(&self, fd: RawFd, token: Token, interests: crate::Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interests_to_epoll(interests), token)
+        }
+
+        pub(crate) fn reregister(&self, fd: RawFd, token: Token, interests: crate::Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interests_to_epoll(interests), token)
+        }
+
+        pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Token(0))
+        }
+
+        pub(crate) fn select(&self, buf: &mut EventBuf, timeout: Option<Duration>) -> io::Result<()> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a nonzero sub-millisecond timeout still sleeps.
+                Some(t) => t.as_millis().min(i32::MAX as u128) as i32
+                    + if t.subsec_nanos() % 1_000_000 != 0 && t.as_millis() < i32::MAX as u128 {
+                        1
+                    } else {
+                        0
+                    },
+            };
+            buf.raw.clear();
+            let n = match cvt(unsafe {
+                epoll_wait(
+                    self.epfd.as_raw_fd(),
+                    buf.raw.spare_capacity_mut().as_mut_ptr().cast(),
+                    buf.capacity as i32,
+                    timeout_ms,
+                )
+            }) {
+                Ok(n) => n as usize,
+                // Interrupted before anything fired: report an empty poll,
+                // callers loop anyway.
+                Err(e) if e.raw_os_error() == Some(EINTR) => 0,
+                Err(e) => return Err(e),
+            };
+            // SAFETY: the kernel initialized the first `n` events.
+            unsafe { buf.raw.set_len(n) };
+            Ok(())
+        }
+    }
+
+    fn interests_to_epoll(interests: crate::Interest) -> u32 {
+        let mut events = EPOLLET;
+        if interests.is_readable() {
+            events |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interests.is_writable() {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    /// Fixed-capacity buffer `epoll_wait` fills. `Event` is a transparent
+    /// wrapper over `RawEvent`, so the raw vec doubles as the public slice.
+    pub(crate) struct EventBuf {
+        raw: Vec<Event>,
+        capacity: usize,
+    }
+
+    impl EventBuf {
+        pub(crate) fn with_capacity(capacity: usize) -> EventBuf {
+            let capacity = capacity.max(1);
+            EventBuf {
+                raw: Vec::with_capacity(capacity),
+                capacity,
+            }
+        }
+
+        pub(crate) fn iter(&self) -> std::slice::Iter<'_, Event> {
+            self.raw.iter()
+        }
+
+        pub(crate) fn is_empty(&self) -> bool {
+            self.raw.is_empty()
+        }
+
+        pub(crate) fn clear(&mut self) {
+            self.raw.clear()
+        }
+    }
+
+    /// Eventfd-backed waker, registered edge-triggered: every `wake` bumps
+    /// the counter, producing a fresh edge; the counter is never read back
+    /// (wakes coalesce until observed, exactly the upstream contract).
+    pub(crate) struct WakerFd {
+        fd: OwnedFd,
+    }
+
+    impl WakerFd {
+        pub(crate) fn new(selector: &Selector, token: Token) -> io::Result<WakerFd> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            // SAFETY: eventfd returned a fresh, owned descriptor.
+            let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+            selector.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), EPOLLIN | EPOLLET, token)?;
+            Ok(WakerFd { fd })
+        }
+
+        pub(crate) fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let ret = unsafe { write(self.fd.as_raw_fd(), (&one as *const u64).cast(), 8) };
+            // EAGAIN means the counter is saturated: a wake is already
+            // pending, which is all the caller asked for.
+            if ret == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+#[allow(dead_code)]
+mod fallback {
+    use crate::event::Event;
+    use crate::Token;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    pub(crate) const EPOLLIN: u32 = 0x001;
+    pub(crate) const EPOLLPRI: u32 = 0x002;
+    pub(crate) const EPOLLOUT: u32 = 0x004;
+    pub(crate) const EPOLLERR: u32 = 0x008;
+    pub(crate) const EPOLLHUP: u32 = 0x010;
+    pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirror of the Linux layout so [`Event`] compiles unchanged.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub(crate) struct RawEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    fn unsupported() -> io::Error {
+        io::Error::new(io::ErrorKind::Unsupported, "epoll shim requires Linux")
+    }
+
+    pub(crate) struct Selector;
+
+    impl Selector {
+        pub(crate) fn new() -> io::Result<Selector> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn register(&self, _: RawFd, _: Token, _: crate::Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn reregister(&self, _: RawFd, _: Token, _: crate::Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn deregister(&self, _: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn select(&self, _: &mut EventBuf, _: Option<Duration>) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+
+    pub(crate) struct EventBuf {
+        empty: Vec<Event>,
+    }
+
+    impl EventBuf {
+        pub(crate) fn with_capacity(_: usize) -> EventBuf {
+            EventBuf { empty: Vec::new() }
+        }
+
+        pub(crate) fn iter(&self) -> std::slice::Iter<'_, Event> {
+            self.empty.iter()
+        }
+
+        pub(crate) fn is_empty(&self) -> bool {
+            true
+        }
+
+        pub(crate) fn clear(&mut self) {}
+    }
+
+    pub(crate) struct WakerFd;
+
+    impl WakerFd {
+        pub(crate) fn new(_: &Selector, _: Token) -> io::Result<WakerFd> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn wake(&self) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+}
