@@ -32,6 +32,14 @@ BESPOKV_WRITE_COMBINE=1 cargo test --test consistency_oracle -q
 BESPOKV_EDGE=reactor cargo test -q
 BESPOKV_EDGE=reactor cargo test --test consistency_oracle -q
 
+# Crash durability (DESIGN.md 14): the truncate-at-every-byte torn-write
+# harness, then the kill -9 + restart-from-disk oracle sweep across all
+# four modes — acked-durable writes must survive restart, MS modes must
+# delta-sync instead of full-snapshotting, and no cut point may ever
+# serve corrupt data.
+cargo test -q -p bespokv-datalet --test crash_recovery
+cargo test -q --test crash_restart
+
 # Saturation and write-path probes must build; CI doesn't run them
 # (timing-sensitive), see EXPERIMENTS.md for the BENCH_saturate.json /
 # BENCH_writepath.json recipes.

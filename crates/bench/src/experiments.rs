@@ -921,7 +921,7 @@ pub fn ablations(scale: Scale) -> Report {
             Mode::MS_EC,
             bespokv_types::Partitioning::ConsistentHash { vnodes },
         );
-        let mut counts = vec![0u64; 8];
+        let mut counts = [0u64; 8];
         for i in 0..80_000u64 {
             let k = bespokv_workloads::ycsb::make_key(i, 16);
             counts[map.shard_for_key(&k).raw() as usize] += 1;

@@ -1,0 +1,242 @@
+//! Crash-restart durability oracle.
+//!
+//! After a node is killed and restarted from its on-disk log, every write
+//! the cluster *acknowledged as durable* must still be visible. The oracle
+//! takes the client history and the post-restart replica states and checks,
+//! per key, that the last unambiguous acked write (or delete) is what every
+//! replica now serves.
+//!
+//! The check is deliberately conservative to avoid false positives:
+//!
+//! * If any write to a key completed [`HistoryOutcome::Ambiguous`], the key
+//!   is skipped — a timed-out write may or may not have been applied, so
+//!   several final states are legal.
+//! * The winning write must be strictly after every other acked write to
+//!   the key in real time (its invocation tick past the other's completion
+//!   tick). Concurrent acked writes have no client-visible order, so any
+//!   of them could legitimately be the survivor; such keys are skipped.
+//! * [`HistoryOutcome::Fail`] writes are proven never-applied and are
+//!   ignored entirely.
+//!
+//! Skipped keys are counted so a test can assert the oracle actually
+//! exercised its workload (`keys_checked > 0`).
+
+use crate::eventual::ReplicaState;
+use bespokv_types::{HistoryEvent, HistoryOp, HistoryOutcome, Key, Value};
+use std::collections::BTreeMap;
+
+/// One write extracted from the history: what it wrote and when.
+struct WriteRec {
+    /// `Some(v)` for a put, `None` for a delete.
+    value: Option<Value>,
+    inv_tick: u64,
+    seq: u64,
+    acked: bool,
+    ambiguous: bool,
+}
+
+/// Result of [`check_durability`].
+#[derive(Debug, Default)]
+pub struct DurabilityReport {
+    /// Keys with a determinate expected final state that were verified.
+    pub keys_checked: usize,
+    /// Keys skipped because ambiguity or concurrency left the final state
+    /// undetermined.
+    pub keys_skipped: usize,
+    /// Acked-durable writes that a replica no longer serves, described as
+    /// human-readable strings (key, expectation, offending replica's view).
+    pub violations: Vec<String>,
+}
+
+impl DurabilityReport {
+    /// Whether every checked key survived on every replica.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verifies that every unambiguous acked write survives in the replicas'
+/// post-restart live state.
+///
+/// `replicas` is the same shape [`crate::check_convergence`] takes: each
+/// replica's live key→value map with tombstones already removed (see
+/// [`crate::replica_live_map`]).
+pub fn check_durability(events: &[HistoryEvent], replicas: &[ReplicaState]) -> DurabilityReport {
+    let mut by_key: BTreeMap<Key, Vec<WriteRec>> = BTreeMap::new();
+    for ev in events {
+        let (key, value) = match &ev.op {
+            HistoryOp::Put { key, value } => (key, Some(value.clone())),
+            HistoryOp::Del { key } => (key, None),
+            HistoryOp::Get { .. } => continue,
+        };
+        if matches!(ev.outcome, HistoryOutcome::Fail) {
+            continue; // proven never applied
+        }
+        by_key.entry(key.clone()).or_default().push(WriteRec {
+            value,
+            inv_tick: ev.inv_tick,
+            seq: ev.seq,
+            acked: matches!(ev.outcome, HistoryOutcome::Ok { .. }),
+            ambiguous: matches!(ev.outcome, HistoryOutcome::Ambiguous),
+        });
+    }
+
+    let mut report = DurabilityReport::default();
+    for (key, writes) in &by_key {
+        if writes.iter().any(|w| w.ambiguous) {
+            report.keys_skipped += 1;
+            continue;
+        }
+        let Some(winner) = writes
+            .iter()
+            .filter(|w| w.acked)
+            .max_by_key(|w| w.seq)
+        else {
+            report.keys_skipped += 1;
+            continue;
+        };
+        // The winner must be unambiguously last: strictly after every other
+        // acked write in real time.
+        let determinate = writes
+            .iter()
+            .filter(|w| w.acked && !std::ptr::eq(*w, winner))
+            .all(|w| w.seq < winner.inv_tick);
+        if !determinate {
+            report.keys_skipped += 1;
+            continue;
+        }
+        report.keys_checked += 1;
+        for (node, map) in replicas {
+            let got = map.get(key);
+            if got != winner.value.as_ref() {
+                report.violations.push(format!(
+                    "{node} lost acked write: key {key:?} expected {:?}, found {:?}",
+                    winner.value, got
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bespokv_types::{ClientId, ConsistencyLevel, Instant, NodeId};
+
+    fn put(tick: u64, key: &str, val: &str, outcome: HistoryOutcome) -> HistoryEvent {
+        HistoryEvent {
+            client: ClientId(1),
+            seq: tick + 1,
+            inv_tick: tick,
+            op: HistoryOp::Put {
+                key: Key::from(key),
+                value: Value::from(val),
+            },
+            level: ConsistencyLevel::Default,
+            invoked_at: Instant(tick),
+            completed_at: Instant(tick + 1),
+            outcome,
+        }
+    }
+
+    fn del(tick: u64, key: &str, outcome: HistoryOutcome) -> HistoryEvent {
+        HistoryEvent {
+            client: ClientId(1),
+            seq: tick + 1,
+            inv_tick: tick,
+            op: HistoryOp::Del { key: Key::from(key) },
+            level: ConsistencyLevel::Default,
+            invoked_at: Instant(tick),
+            completed_at: Instant(tick + 1),
+            outcome,
+        }
+    }
+
+    fn ok() -> HistoryOutcome {
+        HistoryOutcome::Ok { value: None }
+    }
+
+    fn replica(node: u32, pairs: &[(&str, &str)]) -> ReplicaState {
+        (
+            NodeId(node),
+            pairs
+                .iter()
+                .map(|(k, v)| (Key::from(*k), Value::from(*v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn surviving_writes_pass() {
+        let events = vec![
+            put(0, "a", "old", ok()),
+            put(10, "a", "new", ok()),
+            put(20, "b", "x", ok()),
+        ];
+        let r = check_durability(
+            &events,
+            &[replica(0, &[("a", "new"), ("b", "x")]), replica(1, &[("a", "new"), ("b", "x")])],
+        );
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.keys_checked, 2);
+        assert_eq!(r.keys_skipped, 0);
+    }
+
+    #[test]
+    fn lost_acked_write_is_a_violation() {
+        let events = vec![put(0, "a", "v", ok())];
+        let r = check_durability(&events, &[replica(0, &[])]);
+        assert_eq!(r.violations.len(), 1, "{r:?}");
+        assert!(r.violations[0].contains("expected Some"));
+    }
+
+    #[test]
+    fn stale_value_after_restart_is_a_violation() {
+        let events = vec![put(0, "a", "old", ok()), put(10, "a", "new", ok())];
+        let r = check_durability(&events, &[replica(0, &[("a", "old")])]);
+        assert_eq!(r.violations.len(), 1, "{r:?}");
+    }
+
+    #[test]
+    fn acked_delete_must_stay_deleted() {
+        let events = vec![put(0, "a", "v", ok()), del(10, "a", ok())];
+        let r = check_durability(&events, &[replica(0, &[("a", "v")])]);
+        assert_eq!(r.violations.len(), 1, "{r:?}");
+        let r = check_durability(&events, &[replica(0, &[])]);
+        assert!(r.ok());
+        assert_eq!(r.keys_checked, 1);
+    }
+
+    #[test]
+    fn ambiguous_write_skips_the_key() {
+        // The timed-out overwrite may or may not have landed; both final
+        // states are legal, so the key must not be judged.
+        let events = vec![put(0, "a", "v", ok()), put(10, "a", "w", HistoryOutcome::Ambiguous)];
+        for state in [&[("a", "v")][..], &[("a", "w")][..]] {
+            let r = check_durability(&events, &[replica(0, state)]);
+            assert!(r.ok(), "{r:?}");
+            assert_eq!(r.keys_skipped, 1);
+        }
+    }
+
+    #[test]
+    fn failed_write_is_ignored_not_expected() {
+        let events = vec![put(0, "a", "v", ok()), put(10, "a", "w", HistoryOutcome::Fail)];
+        let r = check_durability(&events, &[replica(0, &[("a", "v")])]);
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.keys_checked, 1);
+    }
+
+    #[test]
+    fn concurrent_acked_writes_skip_the_key() {
+        // Two acked writes with overlapping intervals: either may be last.
+        let mut w1 = put(0, "a", "x", ok());
+        w1.seq = 10;
+        let mut w2 = put(5, "a", "y", ok());
+        w2.seq = 8;
+        let r = check_durability(&[w1, w2], &[replica(0, &[("a", "x")])]);
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.keys_skipped, 1);
+    }
+}

@@ -18,10 +18,16 @@
 //!
 //! All checkers are pure functions over recorded data: no cluster types, no
 //! I/O, deterministic given the same history.
+//!
+//! For crash-restart runs, [`check_durability`] additionally asserts that
+//! every unambiguous acked write is still served after a node is killed and
+//! restarted from its on-disk log.
 
+mod durability;
 mod eventual;
 mod linearize;
 
+pub use durability::{check_durability, DurabilityReport};
 pub use eventual::{
     check_convergence, check_sessions, replica_live_map, ConvergenceReport, SessionReport,
 };

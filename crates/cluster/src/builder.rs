@@ -17,9 +17,12 @@
 
 use crate::client_actor::{OpSource, WorkloadClient};
 use bespokv::client::ClientCore;
-use bespokv::controlet::{Controlet, ControletConfig};
+use bespokv::controlet::{Controlet, ControletConfig, RecoveredLocal};
 use bespokv_coordinator::{CoordConfig, CoordinatorActor};
-use bespokv_datalet::{Datalet, EngineKind};
+use bespokv_datalet::{
+    CrashDevice, Datalet, EngineKind, LogDevice, LsmConfig, MemDevice, RecoveryReport, SyncPolicy,
+    TLog, TLsm,
+};
 use bespokv_dlm::DlmActor;
 use bespokv_proto::{CoordMsg, NetMsg};
 use bespokv_runtime::{Addr, CostModel, FaultPlan, NetworkModel, Simulation, TransportProfile};
@@ -92,6 +95,65 @@ pub struct ClusterSpec {
     /// client's deadline/retry budget share this config and one
     /// [`OverloadCounters`] set (see `SimCluster::overload_counters`).
     pub overload: Option<OverloadConfig>,
+    /// When set, every replica runs a *durable* engine (tLog or tLSM) over
+    /// a seeded [`CrashDevice`], `kill_node` simulates a power cut on the
+    /// node's device, and [`SimCluster::restart_from_disk`] brings a dead
+    /// node back by replaying its surviving log before delta-syncing from
+    /// the chain.
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Disk-backed deployment knobs (see [`ClusterSpec::with_durability`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityConfig {
+    /// Durable engine for every replica: [`EngineKind::TLog`] or
+    /// [`EngineKind::TLsm`] (WAL-backed). Other kinds panic at build.
+    pub engine: EngineKind,
+    /// Fsync policy threaded into every engine's device writes.
+    pub sync: SyncPolicy,
+    /// Base seed for the per-node [`CrashDevice`] crash-cut RNGs; the same
+    /// spec + seed replays the same torn-tail cuts.
+    pub seed: u64,
+}
+
+impl DurabilityConfig {
+    fn device_seed(&self, node: NodeId) -> u64 {
+        self.seed ^ (node.raw() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn build_engine(&self, dev: Arc<CrashDevice>) -> Arc<dyn Datalet> {
+        match self.engine {
+            EngineKind::TLog => Arc::new(
+                TLog::open(dev as Arc<dyn LogDevice>, self.sync)
+                    .expect("fresh crash device cannot fail to replay"),
+            ),
+            EngineKind::TLsm => Arc::new(
+                TLsm::with_wal(LsmConfig::default(), dev as Arc<dyn LogDevice>, self.sync)
+                    .expect("fresh crash device cannot fail to replay"),
+            ),
+            other => panic!("durability requires tLog or tLSM, got {}", other.tag()),
+        }
+    }
+
+    fn recover_engine(&self, dev: Arc<CrashDevice>) -> (Arc<dyn Datalet>, RecoveryReport) {
+        match self.engine {
+            EngineKind::TLog => {
+                let (log, report) = TLog::open_recovering(dev as Arc<dyn LogDevice>, self.sync)
+                    .expect("recovering open only fails on hard IO errors");
+                (Arc::new(log), report)
+            }
+            EngineKind::TLsm => {
+                let (lsm, report) = TLsm::with_wal_recovering(
+                    LsmConfig::default(),
+                    dev as Arc<dyn LogDevice>,
+                    self.sync,
+                )
+                .expect("recovering open only fails on hard IO errors");
+                (Arc::new(lsm), report)
+            }
+            other => panic!("durability requires tLog or tLSM, got {}", other.tag()),
+        }
+    }
 }
 
 impl ClusterSpec {
@@ -117,6 +179,7 @@ impl ClusterSpec {
             fast_path: false,
             write_combine: false,
             overload: None,
+            durability: None,
         }
     }
 
@@ -148,6 +211,18 @@ impl ClusterSpec {
     /// Arms the end-to-end overload-protection layer with `cfg`.
     pub fn with_overload(mut self, cfg: OverloadConfig) -> Self {
         self.overload = Some(cfg);
+        self
+    }
+
+    /// Runs every replica on a durable engine over a seeded crash device
+    /// (see [`DurabilityConfig`]). Overrides `engines`.
+    pub fn with_durability(mut self, cfg: DurabilityConfig) -> Self {
+        assert!(
+            matches!(cfg.engine, EngineKind::TLog | EngineKind::TLsm),
+            "durability requires tLog or tLSM"
+        );
+        self.engines = vec![cfg.engine];
+        self.durability = Some(cfg);
         self
     }
 
@@ -255,6 +330,11 @@ pub struct SimCluster {
     /// Datalet per node id — unlike `datalets` (indexed by original node
     /// order), this also covers transition controlets with high node ids.
     datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>>,
+    /// Per-node crash devices (durability specs only). The device outlives
+    /// kills: `restart_from_disk` reopens the surviving bytes.
+    crash_devices: HashMap<NodeId, Arc<CrashDevice>>,
+    /// The shard each replica was built for (durable restarts rejoin it).
+    shard_of_node: HashMap<NodeId, ShardId>,
 }
 
 impl SimCluster {
@@ -294,13 +374,24 @@ impl SimCluster {
             sim.set_max_queue_delay(o.max_queue_delay);
         }
         let mut datalet_by_node: HashMap<NodeId, Arc<dyn Datalet>> = HashMap::new();
+        let mut crash_devices: HashMap<NodeId, Arc<CrashDevice>> = HashMap::new();
+        let mut shard_of_node: HashMap<NodeId, ShardId> = HashMap::new();
         let mut controlets = Vec::new();
         let mut datalets: Vec<Arc<dyn Datalet>> = Vec::new();
         for shard in 0..spec.shards {
             let info = map.shard(ShardId(shard)).expect("dense").clone();
             for (pos, &node) in info.replicas.iter().enumerate() {
                 let engine = spec.engines[pos % spec.engines.len()];
-                let datalet = engine.build();
+                let datalet = match &spec.durability {
+                    Some(d) => {
+                        let dev =
+                            Arc::new(CrashDevice::new(MemDevice::new(), d.device_seed(node)));
+                        crash_devices.insert(node, Arc::clone(&dev));
+                        d.build_engine(dev)
+                    }
+                    None => engine.build(),
+                };
+                shard_of_node.insert(node, ShardId(shard));
                 let mut cfg = ControletConfig::new(node, ShardId(shard), coordinator);
                 cfg.dlm = Some(dlm);
                 cfg.shared_log = Some(shared_logs[shard as usize]);
@@ -310,9 +401,11 @@ impl SimCluster {
                 cfg.log_poll_every = spec.log_poll_every;
                 cfg.p2p_forwarding = spec.p2p;
                 cfg.recorder = recorder.clone();
+                // Counters are shared unconditionally so harnesses can read
+                // recovery telemetry without arming overload protection.
+                cfg.counters = Arc::clone(&overload_counters);
                 if let Some(o) = spec.overload {
                     cfg.overload = o;
-                    cfg.counters = Arc::clone(&overload_counters);
                 }
                 let controlet = Controlet::with_info(cfg, Arc::clone(&datalet), info.clone())
                     .with_cluster_map(map.clone());
@@ -354,9 +447,9 @@ impl SimCluster {
             cfg.prop_flush_every = spec.prop_flush_every;
             cfg.log_poll_every = spec.log_poll_every;
             cfg.recorder = recorder.clone();
+            cfg.counters = Arc::clone(&overload_counters);
             if let Some(o) = spec.overload {
                 cfg.overload = o;
-                cfg.counters = Arc::clone(&overload_counters);
             }
             let controlet = Controlet::new(cfg, Arc::clone(&datalet));
             let addr = sim.add_actor(Box::new(controlet));
@@ -415,6 +508,8 @@ impl SimCluster {
             fast_path,
             overload_counters,
             datalet_by_node,
+            crash_devices,
+            shard_of_node,
         }
     }
 
@@ -585,7 +680,11 @@ impl SimCluster {
         addr
     }
 
-    /// Crashes a node (controlet + datalet, fail-stop).
+    /// Crashes a node (controlet + datalet, fail-stop). With a durability
+    /// spec this is a simulated power cut: the node's crash device keeps
+    /// its synced prefix plus a seeded cut of the unsynced tail — possibly
+    /// mid-record — and drops the rest, exactly what `kill -9` plus a
+    /// power failure leaves on disk.
     pub fn kill_node(&mut self, node: NodeId) {
         // Fail-stop means the fast path must stop serving this node's
         // datalet immediately; the dead controlet can no longer close its
@@ -595,6 +694,21 @@ impl SimCluster {
             t.unregister(node);
         }
         self.sim.kill(Addr(node.raw()));
+        if let Some(dev) = self.crash_devices.get(&node) {
+            dev.crash().expect("crash cut on an in-memory device");
+        }
+    }
+
+    /// The crash device backing `node`'s durable engine, when the spec
+    /// armed durability (inspect `durable_len`/`sync_count` in tests).
+    pub fn crash_device(&self, node: NodeId) -> Option<Arc<CrashDevice>> {
+        self.crash_devices.get(&node).cloned()
+    }
+
+    /// The datalet currently registered for `node` (covers restarted and
+    /// transition controlets, unlike the build-order `datalets` vec).
+    pub fn datalet_of(&self, node: NodeId) -> Option<Arc<dyn Datalet>> {
+        self.datalet_by_node.get(&node).cloned()
     }
 
     /// Restarts a previously killed node as a blank standby: a fresh
@@ -618,9 +732,9 @@ impl SimCluster {
         cfg.prop_flush_every = self.spec.prop_flush_every;
         cfg.log_poll_every = self.spec.log_poll_every;
         cfg.recorder = self.recorder.clone();
+        cfg.counters = Arc::clone(&self.overload_counters);
         if let Some(o) = self.spec.overload {
             cfg.overload = o;
-            cfg.counters = Arc::clone(&self.overload_counters);
         }
         let controlet = Controlet::new(cfg, Arc::clone(&datalet));
         // Standbys are not registered with the fast path: they learn their
@@ -629,6 +743,59 @@ impl SimCluster {
         self.sim.revive(Addr(node.raw()), Box::new(controlet));
         self.datalet_by_node.insert(node, Arc::clone(&datalet));
         self.datalets[node.raw() as usize] = datalet;
+    }
+
+    /// Restarts a previously killed node *from its local durable state*
+    /// (durability specs only): reopens the node's crash device, truncates
+    /// any torn tail, replays the surviving log into a fresh engine, and
+    /// revives the controlet as a standby that advertises the recovered
+    /// version floor. When the coordinator reassigns it to its old shard,
+    /// recovery delta-syncs only the writes above the floor instead of
+    /// pulling a full snapshot. Returns the local replay report.
+    pub fn restart_from_disk(&mut self, node: NodeId) -> RecoveryReport {
+        assert!(
+            !self.sim.is_alive(Addr(node.raw())),
+            "restart_from_disk({node}): node is still alive"
+        );
+        let d = self
+            .spec
+            .durability
+            .expect("restart_from_disk requires ClusterSpec::with_durability");
+        let dev = Arc::clone(
+            self.crash_devices
+                .get(&node)
+                .unwrap_or_else(|| panic!("no crash device for {node}")),
+        );
+        let shard = *self
+            .shard_of_node
+            .get(&node)
+            .unwrap_or_else(|| panic!("{node} was never assigned a shard"));
+        let (datalet, report) = d.recover_engine(dev);
+        let mut cfg = ControletConfig::new(node, ShardId(u32::MAX), self.coordinator);
+        cfg.dlm = Some(self.dlm);
+        cfg.shared_log = Some(self.shared_logs[shard.raw() as usize % self.shared_logs.len()]);
+        cfg.cost = cost_for(d.engine);
+        cfg.heartbeat_every = self.spec.heartbeat_every;
+        cfg.prop_flush_every = self.spec.prop_flush_every;
+        cfg.log_poll_every = self.spec.log_poll_every;
+        cfg.recorder = self.recorder.clone();
+        cfg.counters = Arc::clone(&self.overload_counters);
+        if let Some(o) = self.spec.overload {
+            cfg.overload = o;
+        }
+        // The floor is only meaningful if the coordinator sends the node
+        // back to its old shard AND the topology keeps log order = version
+        // order; the controlet's StartRecovery handler checks both and
+        // falls back to a full snapshot otherwise.
+        cfg.recovered = Some(RecoveredLocal {
+            shard,
+            floor: report.delta_floor(),
+        });
+        let controlet = Controlet::new(cfg, Arc::clone(&datalet));
+        self.sim.revive(Addr(node.raw()), Box::new(controlet));
+        self.datalet_by_node.insert(node, Arc::clone(&datalet));
+        self.datalets[node.raw() as usize] = datalet;
+        report
     }
 
     /// Injects a failure notification directly (deterministic failover in
@@ -680,9 +847,9 @@ impl SimCluster {
             cfg.prop_flush_every = self.spec.prop_flush_every;
             cfg.log_poll_every = self.spec.log_poll_every;
             cfg.recorder = self.recorder.clone();
+            cfg.counters = Arc::clone(&self.overload_counters);
             if let Some(o) = self.spec.overload {
                 cfg.overload = o;
-                cfg.counters = Arc::clone(&self.overload_counters);
             }
             let controlet = Controlet::new(cfg, Arc::clone(&datalet));
             // Register the replacement controlets with the fast path. Their

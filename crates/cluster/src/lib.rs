@@ -14,7 +14,7 @@ pub mod live_builder;
 pub mod metrics;
 pub mod script;
 
-pub use builder::{cost_for, ClusterSpec, SimCluster};
+pub use builder::{cost_for, ClusterSpec, DurabilityConfig, SimCluster};
 pub use edge::{EdgeOverload, FastPathHandle, FastPathTable, NodeEdge, WriteSubmit};
 pub use live_builder::LiveCluster;
 pub use client_actor::{ClientStats, OpSource, WorkloadClient};

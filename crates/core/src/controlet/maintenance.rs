@@ -40,16 +40,33 @@ impl Controlet {
                 self.oplog.set_shard(shard);
                 self.serving = false;
                 self.recovery_delta = None;
+                // Delta catch-up: a node that replayed durable local state
+                // for *this* shard advertises its version floor so the
+                // source skips everything already held. Only sound under
+                // master-slave topologies — there the replicated log is
+                // version-ordered, so "all versions <= floor" is a prefix;
+                // active-active version sources interleave, and a restart
+                // into a different shard holds the wrong data entirely.
+                let floor = match self.cfg.recovered {
+                    Some(r)
+                        if r.shard == shard
+                            && info.mode.topology == Topology::MasterSlave =>
+                    {
+                        r.floor
+                    }
+                    _ => 0,
+                };
                 self.recovery = Some(RecoveryState {
                     source,
                     next_from: 0,
                     info,
                     resync_floor: None,
+                    floor,
                 });
                 self.publish_serving();
                 ctx.send(
                     Self::addr_of(source),
-                    NetMsg::Repl(ReplMsg::RecoveryReq { shard, from: 0 }),
+                    NetMsg::Repl(ReplMsg::RecoveryReq { shard, from: 0, floor }),
                 );
                 // The pull loop dies if a request or chunk is lost; the
                 // retry timer re-issues the current request until done.
@@ -103,12 +120,14 @@ impl Controlet {
                         rec.source = head;
                         rec.next_from = 0;
                         rec.resync_floor = Some(0);
+                        rec.floor = 0;
                         rec.info = info.clone();
                         ctx.send(
                             Self::addr_of(head),
                             NetMsg::Repl(ReplMsg::RecoveryReq {
                                 shard: info.shard,
                                 from: 0,
+                                floor: 0,
                             }),
                         );
                         ctx.set_timer(self.cfg.heartbeat_every, super::RECOVERY_RETRY_TIMER);
@@ -154,11 +173,15 @@ impl Controlet {
 
     // --- recovery: source side ------------------------------------------------
 
-    /// Streams one snapshot chunk to a recovering peer.
+    /// Streams one snapshot chunk to a recovering peer. `floor` is the
+    /// requester's durable version floor: entries at or below it are
+    /// dropped from the chunk (the requester already holds them), while
+    /// `advance` still reports the unfiltered cursor consumption.
     pub(crate) fn serve_recovery_chunk(
         &mut self,
         shard: ShardId,
         from: u64,
+        floor: u64,
         requester: Addr,
         ctx: &mut Context,
     ) {
@@ -190,14 +213,24 @@ impl Controlet {
             self.drain_combined(ctx);
         }
         let (entries, done) = self.datalet.snapshot_chunk(from, RECOVERY_CHUNK);
-        // Reading and serializing a chunk is real work.
+        // Reading and serializing a chunk is real work (charged on the
+        // unfiltered count: the cursor walk happens either way).
         ctx.charge(Duration::from_micros(2 * entries.len().max(1) as u64));
-        let entries: Vec<LogEntry> = entries.into_iter().map(snapshot_to_log).collect();
+        let advance = entries.len() as u64;
+        let mut entries: Vec<LogEntry> = entries.into_iter().map(snapshot_to_log).collect();
+        if floor > 0 {
+            entries.retain(|e| e.version > floor);
+        }
+        self.cfg
+            .counters
+            .recovery_entries_transferred
+            .fetch_add(entries.len() as u64, std::sync::atomic::Ordering::Relaxed);
         ctx.send(
             requester,
             NetMsg::Repl(ReplMsg::RecoveryChunk {
                 shard,
                 from,
+                advance,
                 entries,
                 done,
                 snapshot_seq: self.applied_seq,
@@ -234,11 +267,16 @@ impl Controlet {
             .unwrap_or(false);
         let finished = feed_entries.is_empty() && member;
         ctx.charge(Duration::from_micros(2 * feed_entries.len().max(1) as u64));
+        self.cfg
+            .counters
+            .recovery_entries_transferred
+            .fetch_add(feed_entries.len() as u64, std::sync::atomic::Ordering::Relaxed);
         ctx.send(
             requester,
             NetMsg::Repl(ReplMsg::RecoveryChunk {
                 shard,
                 from,
+                advance: feed_entries.len() as u64,
                 entries: feed_entries,
                 done: finished,
                 snapshot_seq: self.applied_seq,
@@ -253,10 +291,12 @@ impl Controlet {
 
     // --- recovery: joining side -------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_recovery_chunk(
         &mut self,
         shard: ShardId,
         from: u64,
+        advance: u64,
         entries: Vec<LogEntry>,
         done: bool,
         snapshot_seq: u64,
@@ -276,7 +316,7 @@ impl Controlet {
                     if done {
                         self.recovery_delta = None;
                     } else {
-                        self.recovery_delta = Some((source, cursor + entries.len() as u64));
+                        self.recovery_delta = Some((source, cursor + advance));
                     }
                 }
             }
@@ -291,7 +331,6 @@ impl Controlet {
         if from != self.recovery.as_ref().expect("checked").next_from {
             return;
         }
-        let count = entries.len() as u64;
         for e in &entries {
             self.apply_entry(e, ctx);
         }
@@ -341,6 +380,7 @@ impl Controlet {
                 NetMsg::Repl(ReplMsg::RecoveryReq {
                     shard,
                     from: super::RECOVERY_DELTA_FLAG,
+                    floor: 0,
                 }),
             );
             if rec.resync_floor.is_none() {
@@ -355,7 +395,11 @@ impl Controlet {
                 );
             }
         } else {
-            let next_from = from + count;
+            // Advance by the source's cursor consumption, not the entry
+            // count: floor-filtered entries were consumed from the
+            // snapshot cursor even though they were not sent.
+            let next_from = from + advance;
+            let floor = self.recovery.as_ref().expect("checked").floor;
             if let Some(rec) = &mut self.recovery {
                 rec.next_from = next_from;
             }
@@ -364,6 +408,7 @@ impl Controlet {
                 NetMsg::Repl(ReplMsg::RecoveryReq {
                     shard,
                     from: next_from,
+                    floor,
                 }),
             );
         }

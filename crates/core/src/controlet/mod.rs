@@ -86,6 +86,24 @@ pub struct ControletConfig {
     /// Shed/expiry/containment counters, shared with the edges and the
     /// measurement harness of the cluster this controlet belongs to.
     pub counters: Arc<OverloadCounters>,
+    /// Durable state this node replayed from local disk before starting
+    /// (restart-from-disk). When the coordinator assigns the node back to
+    /// the same shard, recovery advertises the floor so the source sends
+    /// only the delta above it instead of a full snapshot.
+    pub recovered: Option<RecoveredLocal>,
+}
+
+/// What a restarted node salvaged from its local durable engine.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveredLocal {
+    /// Shard the durable state belongs to.
+    pub shard: ShardId,
+    /// Sound delta floor: every write with `version <= floor` is already
+    /// applied locally. 0 means "nothing certain" (full snapshot). Only
+    /// honored for master-slave topologies, where log order tracks
+    /// version order; active-active version sources make any non-zero
+    /// floor unsound, so callers must pass 0 there.
+    pub floor: u64,
 }
 
 impl ControletConfig {
@@ -107,6 +125,7 @@ impl ControletConfig {
             recorder: None,
             overload: OverloadConfig::default(),
             counters: Arc::new(OverloadCounters::new()),
+            recovered: None,
         }
     }
 }
@@ -217,6 +236,11 @@ pub(crate) struct RecoveryState {
     /// numbering belongs to the source's stream, not necessarily the one
     /// the current master sends.
     pub resync_floor: Option<u64>,
+    /// Durable version floor advertised to the source with every
+    /// `RecoveryReq`: entries at or below it are already applied locally
+    /// (replayed from disk), so the source may filter them out. 0 for
+    /// ordinary full-snapshot joins and all watermark resyncs.
+    pub floor: u64,
 }
 
 /// High bit of `RecoveryReq::from` marks a *delta* pull: the requester has
@@ -963,9 +987,10 @@ impl Controlet {
                 if let Some(rec) = &self.recovery {
                     let shard = self.cfg.shard;
                     let from = rec.next_from;
+                    let floor = rec.floor;
                     ctx.send(
                         Self::addr_of(rec.source),
-                        NetMsg::Repl(ReplMsg::RecoveryReq { shard, from }),
+                        NetMsg::Repl(ReplMsg::RecoveryReq { shard, from, floor }),
                     );
                     ctx.set_timer(self.cfg.heartbeat_every, RECOVERY_RETRY_TIMER);
                 } else if let Some((source, cursor)) = self.recovery_delta {
@@ -976,6 +1001,7 @@ impl Controlet {
                         NetMsg::Repl(ReplMsg::RecoveryReq {
                             shard: self.cfg.shard,
                             from: RECOVERY_DELTA_FLAG | cursor,
+                            floor: 0,
                         }),
                     );
                     ctx.set_timer(self.cfg.heartbeat_every, RECOVERY_RETRY_TIMER);

@@ -695,9 +695,17 @@ impl Controlet {
                 next_from: 0,
                 info,
                 resync_floor: Some(floor),
+                floor: 0,
             });
             self.publish_serving();
-            ctx.send(from, NetMsg::Repl(ReplMsg::RecoveryReq { shard, from: 0 }));
+            ctx.send(
+                from,
+                NetMsg::Repl(ReplMsg::RecoveryReq {
+                    shard,
+                    from: 0,
+                    floor: 0,
+                }),
+            );
             ctx.set_timer(self.cfg.heartbeat_every, RECOVERY_RETRY_TIMER);
             return;
         }
@@ -1230,17 +1238,22 @@ impl Controlet {
                 // next flush timer.
                 self.drain_combined(ctx);
             }
-            ReplMsg::RecoveryReq { shard, from: pos } => {
-                self.serve_recovery_chunk(shard, pos, from, ctx);
+            ReplMsg::RecoveryReq {
+                shard,
+                from: pos,
+                floor,
+            } => {
+                self.serve_recovery_chunk(shard, pos, floor, from, ctx);
             }
             ReplMsg::RecoveryChunk {
                 shard,
                 from: pos,
+                advance,
                 entries,
                 done,
                 snapshot_seq,
             } => {
-                self.on_recovery_chunk(shard, pos, entries, done, snapshot_seq, ctx);
+                self.on_recovery_chunk(shard, pos, advance, entries, done, snapshot_seq, ctx);
             }
         }
     }

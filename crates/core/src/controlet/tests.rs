@@ -658,6 +658,7 @@ fn recovery_completion_reports_to_coordinator() {
             msg: NetMsg::Repl(ReplMsg::RecoveryChunk {
                 shard: ShardId(0),
                 from: 0,
+                advance: 1,
                 entries,
                 done: true,
                 snapshot_seq: 42,
@@ -694,6 +695,7 @@ fn recovery_source_streams_chunks_with_done_flag() {
             msg: NetMsg::Repl(ReplMsg::RecoveryReq {
                 shard: ShardId(0),
                 from: 0,
+                floor: 0,
             }),
         },
     );

@@ -29,7 +29,7 @@ pub mod serving;
 
 pub use client::{ClientCore, Completion};
 pub use config::{parse_datalet_hosts, ControlPlaneConfig, DataletHost};
-pub use controlet::{Controlet, ControletConfig};
+pub use controlet::{Controlet, ControletConfig, RecoveredLocal};
 pub use oplog::{
     CombinedBatch, CombinedWrite, CombinerSnapshot, OpLog, ReplyCache, Submit, VersionSource,
     WriteGate,

@@ -6,6 +6,7 @@
 
 use bespokv_types::{KvError, KvResult};
 use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
@@ -17,6 +18,11 @@ pub trait LogDevice: Send + Sync {
     fn append(&self, buf: &[u8]) -> KvResult<u64>;
 
     /// Reads `len` bytes at `offset`.
+    ///
+    /// A read past the end of the device returns [`KvError::Corrupt`], not
+    /// a generic IO error: the recovery scanner relies on this to
+    /// distinguish a torn tail (recoverable — truncate and continue) from
+    /// a hard device failure (fail loud).
     fn read_at(&self, offset: u64, len: usize) -> KvResult<Vec<u8>>;
 
     /// Current device length in bytes.
@@ -29,6 +35,11 @@ pub trait LogDevice: Send + Sync {
 
     /// Forces buffered writes to stable storage.
     fn sync(&self) -> KvResult<()>;
+
+    /// Discards every byte at or past `len` (crash recovery drops a torn
+    /// tail this way so later appends never interleave with garbage).
+    /// A no-op when the device is already at most `len` bytes.
+    fn truncate(&self, len: u64) -> KvResult<()>;
 }
 
 /// In-memory device (tests, simulation, volatile caches).
@@ -74,6 +85,14 @@ impl LogDevice for MemDevice {
     fn sync(&self) -> KvResult<()> {
         Ok(())
     }
+
+    fn truncate(&self, len: u64) -> KvResult<()> {
+        let mut b = self.buf.lock();
+        if (len as usize) < b.len() {
+            b.truncate(len as usize);
+        }
+        Ok(())
+    }
 }
 
 /// File-backed device (the durable path).
@@ -110,8 +129,19 @@ impl LogDevice for FileDevice {
         use std::os::unix::fs::FileExt;
         let f = self.file.lock();
         let mut out = vec![0u8; len];
-        f.read_exact_at(&mut out, offset)
-            .map_err(|e| KvError::Io(format!("read_at({offset}, {len}): {e}")))?;
+        f.read_exact_at(&mut out, offset).map_err(|e| {
+            // A short read is torn-tail territory (the record scanner
+            // truncates and recovers); anything else is a hard IO fault.
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                KvError::Corrupt(format!(
+                    "read [{offset}, {}) beyond device of {} bytes",
+                    offset + len as u64,
+                    self.len.load(Ordering::SeqCst)
+                ))
+            } else {
+                KvError::Io(format!("read_at({offset}, {len}): {e}"))
+            }
+        })?;
         Ok(out)
     }
 
@@ -121,6 +151,17 @@ impl LogDevice for FileDevice {
 
     fn sync(&self) -> KvResult<()> {
         self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> KvResult<()> {
+        let f = self.file.lock();
+        if len < self.len.load(Ordering::SeqCst) {
+            f.set_len(len)?;
+            // O_APPEND writes land at the new end, so the cached length
+            // stays the append cursor.
+            self.len.store(len, Ordering::SeqCst);
+        }
         Ok(())
     }
 }
@@ -185,6 +226,129 @@ impl<D: LogDevice> LogDevice for SlowDevice<D> {
     fn sync(&self) -> KvResult<()> {
         self.inner.sync()
     }
+
+    fn truncate(&self, len: u64) -> KvResult<()> {
+        self.inner.truncate(len)
+    }
+}
+
+/// Crash-injection wrapper: power-cut semantics over any inner device.
+///
+/// Bytes acknowledged by `sync()` are durable. Bytes appended since the
+/// last sync sit in a modeled volatile cache: a [`CrashDevice::crash`]
+/// keeps a *seeded-random prefix* of them — possibly cutting mid-record
+/// (a torn append), possibly none of them (dropped appends) — and
+/// discards the rest, exactly what a power cut does to an OS page cache.
+/// The wrapper also counts syncs and can inject sync failures, so tests
+/// can assert `SyncPolicy` cadence and error propagation.
+pub struct CrashDevice {
+    inner: Box<dyn LogDevice>,
+    rng: Mutex<StdRng>,
+    /// High-water mark of synced bytes: guaranteed to survive a crash.
+    durable_len: AtomicU64,
+    syncs: AtomicU64,
+    /// Remaining number of `sync()` calls to fail with an injected error.
+    fail_syncs: AtomicU64,
+}
+
+impl CrashDevice {
+    /// Wraps `inner`; `seed` fixes the crash-cut stream so a run replays
+    /// byte-identically.
+    pub fn new(inner: impl LogDevice + 'static, seed: u64) -> Self {
+        CrashDevice {
+            inner: Box::new(inner),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            durable_len: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            fail_syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// Bytes guaranteed durable (covered by a completed `sync()`).
+    pub fn durable_len(&self) -> u64 {
+        self.durable_len.load(Ordering::SeqCst)
+    }
+
+    /// Number of successful `sync()` calls so far.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    /// Makes the next `n` `sync()` calls fail with an injected IO error
+    /// (they do not advance the durable watermark or the sync count).
+    pub fn fail_next_syncs(&self, n: u64) {
+        self.fail_syncs.store(n, Ordering::SeqCst);
+    }
+
+    /// Simulates a power cut: everything synced survives; of the unsynced
+    /// suffix, a seeded-random prefix (possibly zero bytes, possibly a
+    /// torn half-record) survives and the rest vanishes. Returns the
+    /// post-crash device length. The device stays usable — reopening an
+    /// engine over it models restart-from-disk.
+    pub fn crash(&self) -> KvResult<u64> {
+        let durable = self.durable_len.load(Ordering::SeqCst);
+        let len = self.inner.len();
+        let unsynced = len.saturating_sub(durable);
+        let keep = if unsynced == 0 {
+            0
+        } else {
+            self.rng.lock().gen_range(0..=unsynced)
+        };
+        self.crash_at(durable + keep)
+    }
+
+    /// Simulates a power cut at an explicit byte offset (harnesses sweep
+    /// every cut point with this). `cut` is clamped to the device length;
+    /// the durable watermark is *not* honored — the caller chooses.
+    pub fn crash_at(&self, cut: u64) -> KvResult<u64> {
+        let cut = cut.min(self.inner.len());
+        self.inner.truncate(cut)?;
+        // Whatever survived the cut is on-media by definition.
+        self.durable_len.store(cut, Ordering::SeqCst);
+        Ok(cut)
+    }
+}
+
+impl LogDevice for CrashDevice {
+    fn append(&self, buf: &[u8]) -> KvResult<u64> {
+        self.inner.append(buf)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> KvResult<Vec<u8>> {
+        self.inner.read_at(offset, len)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> KvResult<()> {
+        let mut cur = self.fail_syncs.load(Ordering::SeqCst);
+        while cur > 0 {
+            match self.fail_syncs.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Err(KvError::Io("injected sync failure".into())),
+                Err(seen) => cur = seen,
+            }
+        }
+        // Watermark what was appended before the sync started: bytes that
+        // race in during the sync may not be covered by it.
+        let watermark = self.inner.len();
+        self.inner.sync()?;
+        self.durable_len.fetch_max(watermark, Ordering::SeqCst);
+        self.syncs.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> KvResult<()> {
+        self.inner.truncate(len)?;
+        self.durable_len.fetch_min(len.min(self.inner.len()), Ordering::SeqCst);
+        Ok(())
+    }
 }
 
 /// When to force writes to stable storage.
@@ -222,8 +386,22 @@ mod tests {
         assert_eq!(dev.len(), 11);
         assert_eq!(dev.read_at(0, 5).unwrap(), b"hello");
         assert_eq!(dev.read_at(5, 6).unwrap(), b"world!");
-        assert!(dev.read_at(9, 5).is_err());
+        // Reads past the end are the *typed* corruption error — the
+        // recovery scanner keys off this to tell a torn tail from a hard
+        // IO failure.
+        assert!(matches!(dev.read_at(9, 5), Err(KvError::Corrupt(_))));
         dev.sync().unwrap();
+        // Truncation drops the tail; appends continue at the new end.
+        dev.truncate(8).unwrap();
+        assert_eq!(dev.len(), 8);
+        assert_eq!(dev.read_at(5, 3).unwrap(), b"wor");
+        assert!(matches!(dev.read_at(8, 1), Err(KvError::Corrupt(_))));
+        let o3 = dev.append(b"!!").unwrap();
+        assert_eq!(o3, 8);
+        assert_eq!(dev.read_at(5, 5).unwrap(), b"wor!!");
+        // Truncating past the end is a no-op.
+        dev.truncate(1000).unwrap();
+        assert_eq!(dev.len(), 10);
     }
 
     #[test]
@@ -238,11 +416,84 @@ mod tests {
         let path = dir.join("test.log");
         let _ = std::fs::remove_file(&path);
         exercise(&FileDevice::open(&path).unwrap());
-        // Re-open sees the existing length.
+        // Re-open sees the existing (post-truncate, post-append) length.
         let dev = FileDevice::open(&path).unwrap();
-        assert_eq!(dev.len(), 11);
+        assert_eq!(dev.len(), 10);
         assert_eq!(dev.read_at(0, 5).unwrap(), b"hello");
+        assert_eq!(dev.read_at(5, 5).unwrap(), b"wor!!");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_device_keeps_synced_prefix_and_cuts_unsynced_tail() {
+        let dev = CrashDevice::new(MemDevice::new(), 7);
+        dev.append(b"durable-").unwrap();
+        dev.sync().unwrap();
+        assert_eq!(dev.durable_len(), 8);
+        assert_eq!(dev.sync_count(), 1);
+        dev.append(b"volatile").unwrap();
+        let cut = dev.crash().unwrap();
+        // Synced bytes always survive; the unsynced suffix survives only
+        // up to the seeded cut.
+        assert!((8..=16).contains(&cut), "cut {cut}");
+        assert_eq!(dev.len(), cut);
+        assert_eq!(dev.read_at(0, 8).unwrap(), b"durable-");
+        // The device stays usable after the crash.
+        dev.append(b"again").unwrap();
+        assert_eq!(dev.len(), cut + 5);
+    }
+
+    #[test]
+    fn crash_device_same_seed_same_cut() {
+        let run = |seed: u64| {
+            let dev = CrashDevice::new(MemDevice::new(), seed);
+            dev.append(b"aaaa").unwrap();
+            dev.sync().unwrap();
+            dev.append(b"bbbbbbbbbbbbbbbb").unwrap();
+            dev.crash().unwrap()
+        };
+        assert_eq!(run(42), run(42));
+        // Several crashes draw from the same stream deterministically.
+        let dev = CrashDevice::new(MemDevice::new(), 42);
+        dev.append(b"aaaa").unwrap();
+        dev.crash().unwrap();
+        dev.append(b"cc").unwrap();
+        let c2 = dev.crash().unwrap();
+        let dev2 = CrashDevice::new(MemDevice::new(), 42);
+        dev2.append(b"aaaa").unwrap();
+        dev2.crash().unwrap();
+        dev2.append(b"cc").unwrap();
+        assert_eq!(dev2.crash().unwrap(), c2);
+    }
+
+    #[test]
+    fn crash_device_explicit_cut_and_truncate_clamp_durable() {
+        let dev = CrashDevice::new(MemDevice::new(), 1);
+        dev.append(b"0123456789").unwrap();
+        dev.sync().unwrap();
+        assert_eq!(dev.durable_len(), 10);
+        dev.crash_at(4).unwrap();
+        assert_eq!(dev.len(), 4);
+        assert_eq!(dev.durable_len(), 4);
+        dev.append(b"xy").unwrap();
+        dev.sync().unwrap();
+        dev.truncate(5).unwrap();
+        assert_eq!(dev.durable_len(), 5);
+    }
+
+    #[test]
+    fn crash_device_injected_sync_failure_propagates() {
+        let dev = CrashDevice::new(MemDevice::new(), 1);
+        dev.append(b"abc").unwrap();
+        dev.fail_next_syncs(2);
+        assert!(matches!(dev.sync(), Err(KvError::Io(_))));
+        assert!(matches!(dev.sync(), Err(KvError::Io(_))));
+        // Failed syncs advance neither the watermark nor the count.
+        assert_eq!(dev.durable_len(), 0);
+        assert_eq!(dev.sync_count(), 0);
+        dev.sync().unwrap();
+        assert_eq!(dev.durable_len(), 3);
+        assert_eq!(dev.sync_count(), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod adapters;
 pub mod api;
 pub mod device;
 pub mod record;
+pub mod recovery;
 pub mod template;
 pub mod tht;
 pub mod tlog;
@@ -28,7 +29,8 @@ pub mod tmt;
 
 pub use adapters::{t_redis, t_ssdb, ProtocolDatalet};
 pub use api::{Capabilities, Datalet, DataletStats, SnapshotEntry, DEFAULT_TABLE};
-pub use device::{FileDevice, LogDevice, MemDevice, SlowDevice, SyncPolicy};
+pub use device::{CrashDevice, FileDevice, LogDevice, MemDevice, SlowDevice, SyncPolicy};
+pub use recovery::{truncate_torn_tail, RecoveryReport};
 pub use template::{lww_applies, Record, TableRegistry, TableStore};
 pub use tht::{apply_snapshot_entry, THt};
 pub use tlog::TLog;

@@ -1,0 +1,158 @@
+//! Crash-recovery scan for the on-log record format shared by `tLog`
+//! and the `tLSM` WAL.
+//!
+//! The torn-tail rule: a log written append-only can only be damaged at
+//! its tail (a power cut mid-append leaves a prefix of the last record,
+//! or garbage where the record would have been). Recovery therefore
+//! scans from the front, checksum-validating record by record, and
+//! truncates the device at the first byte that fails to decode —
+//! everything before the cut is intact, everything after is discarded.
+//! A hard IO error (as opposed to a typed [`KvError::Corrupt`] decode
+//! failure) is *not* a torn tail and fails the recovery loudly.
+
+use crate::device::LogDevice;
+use bespokv_types::{KvError, KvResult, Version};
+
+/// What a recovery scan found and did.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Checksum-clean records in the recovered prefix.
+    pub records: u64,
+    /// Bytes retained (the clean prefix the device was truncated to).
+    pub recovered_bytes: u64,
+    /// Bytes discarded past the last clean record boundary.
+    pub lost_bytes: u64,
+    /// Highest version seen in the recovered prefix (0 if empty).
+    pub max_version: Version,
+    /// True when versions were non-decreasing in log order. Only then is
+    /// `max_version` a sound replication floor: with a monotonic log,
+    /// "every version ≤ max_version" is exactly "every record up to the
+    /// cut", so delta catch-up from `max_version` cannot skip a write
+    /// that the crash destroyed. Out-of-order logs (per-node version
+    /// sources in active-active modes, stale-but-logged WAL appends)
+    /// must fall back to floor 0.
+    pub version_monotonic: bool,
+    /// Decode error that ended the scan, if the tail was torn.
+    pub torn: Option<String>,
+}
+
+impl RecoveryReport {
+    /// The version floor a restarted replica may advertise for delta
+    /// catch-up: `max_version` when sound, else 0 (full resync).
+    pub fn delta_floor(&self) -> Version {
+        if self.version_monotonic {
+            self.max_version
+        } else {
+            0
+        }
+    }
+}
+
+/// Scans `device` front-to-back and truncates it to the longest
+/// checksum-clean record prefix. Returns what was kept and lost; fails
+/// loudly on hard IO errors (anything that is not a typed decode
+/// [`KvError::Corrupt`]).
+pub fn truncate_torn_tail(device: &dyn LogDevice) -> KvResult<RecoveryReport> {
+    let mut report = RecoveryReport {
+        version_monotonic: true,
+        ..RecoveryReport::default()
+    };
+    let len = device.len();
+    if len == 0 {
+        return Ok(report);
+    }
+    let buf = device.read_at(0, len as usize)?;
+    let mut pos = 0usize;
+    let mut last_version: Version = 0;
+    while pos < buf.len() {
+        match crate::record::decode(&buf[pos..]) {
+            Ok(rec) => {
+                report.records += 1;
+                if rec.version < last_version {
+                    report.version_monotonic = false;
+                }
+                last_version = rec.version;
+                report.max_version = report.max_version.max(rec.version);
+                pos += rec.total_len;
+            }
+            Err(KvError::Corrupt(why)) => {
+                report.torn = Some(why);
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    report.recovered_bytes = pos as u64;
+    report.lost_bytes = len - pos as u64;
+    if report.lost_bytes > 0 {
+        device.truncate(report.recovered_bytes)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+    use bespokv_types::{Key, Value};
+
+    fn rec(key: &str, version: u64) -> Vec<u8> {
+        crate::record::encode("t", &Key::from(key), Some(&Value::from("v")), version)
+    }
+
+    #[test]
+    fn empty_device_recovers_empty() {
+        let dev = MemDevice::new();
+        let r = truncate_torn_tail(&dev).unwrap();
+        assert_eq!(r.records, 0);
+        assert_eq!(r.recovered_bytes, 0);
+        assert_eq!(r.lost_bytes, 0);
+        assert!(r.version_monotonic);
+        assert!(r.torn.is_none());
+        assert_eq!(r.delta_floor(), 0);
+    }
+
+    #[test]
+    fn clean_log_is_untouched() {
+        let dev = MemDevice::new();
+        dev.append(&rec("a", 1)).unwrap();
+        dev.append(&rec("b", 2)).unwrap();
+        let len = dev.len();
+        let r = truncate_torn_tail(&dev).unwrap();
+        assert_eq!(r.records, 2);
+        assert_eq!(r.recovered_bytes, len);
+        assert_eq!(r.lost_bytes, 0);
+        assert_eq!(r.max_version, 2);
+        assert_eq!(r.delta_floor(), 2);
+        assert!(r.torn.is_none());
+        assert_eq!(dev.len(), len);
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_the_record_boundary() {
+        let dev = MemDevice::new();
+        dev.append(&rec("a", 1)).unwrap();
+        let clean = dev.len();
+        let torn = rec("b", 2);
+        dev.append(&torn[..torn.len() - 3]).unwrap();
+        let r = truncate_torn_tail(&dev).unwrap();
+        assert_eq!(r.records, 1);
+        assert_eq!(r.recovered_bytes, clean);
+        assert_eq!(r.lost_bytes, torn.len() as u64 - 3);
+        assert!(r.torn.is_some());
+        assert_eq!(dev.len(), clean);
+        // The recovered device is strict-open clean.
+        assert!(truncate_torn_tail(&dev).unwrap().torn.is_none());
+    }
+
+    #[test]
+    fn out_of_order_versions_zero_the_floor() {
+        let dev = MemDevice::new();
+        dev.append(&rec("a", 5)).unwrap();
+        dev.append(&rec("b", 3)).unwrap();
+        let r = truncate_torn_tail(&dev).unwrap();
+        assert_eq!(r.max_version, 5);
+        assert!(!r.version_monotonic);
+        assert_eq!(r.delta_floor(), 0);
+    }
+}

@@ -74,6 +74,20 @@ impl TLog {
         Ok(log)
     }
 
+    /// Opens a `tLog` over a possibly crash-damaged device: truncates a
+    /// torn tail down to the longest checksum-clean record prefix, then
+    /// replays strictly. Use this on the restart path; [`TLog::open`]
+    /// stays strict so silent corruption in a log believed clean still
+    /// fails loudly.
+    pub fn open_recovering(
+        device: Arc<dyn LogDevice>,
+        sync_policy: SyncPolicy,
+    ) -> KvResult<(Self, crate::recovery::RecoveryReport)> {
+        let report = crate::recovery::truncate_torn_tail(device.as_ref())?;
+        let log = Self::open(device, sync_policy)?;
+        Ok((log, report))
+    }
+
     /// Creates an in-memory `tLog` (tests, volatile deployments).
     pub fn in_memory() -> Self {
         Self::open(Arc::new(MemDevice::new()), SyncPolicy::Never)
@@ -217,6 +231,13 @@ impl TLog {
                 }
             }
         }
+        // Make every relocated record durable before advancing the floor:
+        // once the floor moves, a front-truncating device may reclaim the
+        // originals, so the copies must already be on stable storage. A
+        // crash before this sync leaves both copies in the log — replay
+        // lands on the relocated (last) occurrence, or on the original if
+        // the copy's append itself was torn off the tail.
+        self.device.sync()?;
         self.trim_floor.fetch_max(floor, Ordering::AcqRel);
         Ok(floor)
     }

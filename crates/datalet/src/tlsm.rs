@@ -308,6 +308,20 @@ impl TLsm {
         Ok(lsm)
     }
 
+    /// Opens a durable `tLSM` over a possibly crash-damaged WAL: truncates
+    /// a torn tail down to the longest checksum-clean record prefix, then
+    /// replays strictly. The restart-path counterpart of
+    /// [`TLsm::with_wal`], which stays strict.
+    pub fn with_wal_recovering(
+        cfg: LsmConfig,
+        wal: Arc<dyn LogDevice>,
+        policy: SyncPolicy,
+    ) -> KvResult<(Self, crate::recovery::RecoveryReport)> {
+        let report = crate::recovery::truncate_torn_tail(wal.as_ref())?;
+        let lsm = Self::with_wal(cfg, wal, policy)?;
+        Ok((lsm, report))
+    }
+
     fn replay_wal(&self) -> KvResult<()> {
         let Some(wal) = &self.wal else { return Ok(()) };
         let len = wal.len();

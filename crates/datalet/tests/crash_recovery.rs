@@ -1,0 +1,378 @@
+//! Crash-durability integration tests for the persistent engines.
+//!
+//! The centerpiece is the *every-byte* torn-write harness: a clean log is
+//! truncated at every possible byte offset and reopened both strictly and
+//! recovering. At every cut the engines must either recover the exact
+//! checksum-clean record prefix or refuse to open — never serve corrupt or
+//! resurrected data. The rest of the file covers the compaction
+//! sync-before-floor-swap regression, `SyncPolicy` cadence and sync-error
+//! propagation through the device stack, and a seeded random-operation
+//! corpus that reopens the log after every single append.
+
+use bespokv_datalet::{
+    record, CrashDevice, Datalet, LogDevice, LsmConfig, MemDevice, SlowDevice, SyncPolicy, TLog,
+    TLsm, DEFAULT_TABLE,
+};
+use bespokv_types::{Key, KvError, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A scripted write: key, payload (`None` = delete), version.
+type ScriptOp = (&'static str, Option<&'static str>, u64);
+
+/// A small workload with overwrites and a tombstone, so prefix replays
+/// exercise last-writer-wins and tombstone retention, not just inserts.
+const SCRIPT: [ScriptOp; 6] = [
+    ("alpha", Some("1"), 1),
+    ("beta", Some("2"), 2),
+    ("alpha", Some("1b"), 3),
+    ("gamma", Some("3"), 4),
+    ("beta", None, 5),
+    ("delta", Some("4"), 6),
+];
+
+/// Encodes the script into raw log bytes plus the record-boundary offsets
+/// (0 and the end of every record).
+fn script_bytes() -> (Vec<u8>, Vec<u64>) {
+    let mut bytes = Vec::new();
+    let mut boundaries = vec![0u64];
+    for (key, value, version) in SCRIPT {
+        let val = value.map(Value::from);
+        bytes.extend_from_slice(&record::encode(
+            DEFAULT_TABLE,
+            &Key::from(key),
+            val.as_ref(),
+            version,
+        ));
+        boundaries.push(bytes.len() as u64);
+    }
+    (bytes, boundaries)
+}
+
+/// The expected live state after replaying the first `n` script records:
+/// key -> (value, version), last-writer-wins, tombstones excluded.
+fn expected_after(n: usize) -> Vec<(&'static str, &'static str, u64)> {
+    let mut state: Vec<(&'static str, Option<&'static str>, u64)> = Vec::new();
+    for &(key, value, version) in &SCRIPT[..n] {
+        state.retain(|(k, _, _)| *k != key);
+        state.push((key, value, version));
+    }
+    state
+        .into_iter()
+        .filter_map(|(k, v, ver)| v.map(|v| (k, v, ver)))
+        .collect()
+}
+
+/// Asserts `engine` serves exactly the effects of the first `n` script
+/// records: right values at right versions, deleted/unwritten keys absent.
+fn assert_state_is_prefix(engine: &dyn Datalet, n: usize, ctx: &str) {
+    let expect = expected_after(n);
+    assert_eq!(engine.len(), expect.len(), "{ctx}: live key count");
+    for (key, value, version) in &expect {
+        let got = engine
+            .get(DEFAULT_TABLE, &Key::from(*key))
+            .unwrap_or_else(|e| panic!("{ctx}: key {key} lost: {e:?}"));
+        assert_eq!(got.value, Value::from(*value), "{ctx}: key {key} value");
+        assert_eq!(got.version, *version, "{ctx}: key {key} version");
+    }
+    for (key, ..) in SCRIPT {
+        if !expect.iter().any(|(k, ..)| *k == key) {
+            assert_eq!(
+                engine.get(DEFAULT_TABLE, &Key::from(key)),
+                Err(KvError::NotFound),
+                "{ctx}: key {key} should be absent"
+            );
+        }
+    }
+}
+
+fn device_with_prefix(bytes: &[u8], cut: u64) -> Arc<MemDevice> {
+    let dev = MemDevice::new();
+    if cut > 0 {
+        dev.append(&bytes[..cut as usize]).unwrap();
+    }
+    Arc::new(dev)
+}
+
+/// The every-byte harness for `tLog`: truncate a clean log at every byte
+/// offset. Strict open must succeed exactly at record boundaries;
+/// recovering open must always come up with the boundary-clean prefix and
+/// an accurate report. No cut may ever serve corrupt data.
+#[test]
+fn tlog_every_byte_truncation() {
+    let (bytes, boundaries) = script_bytes();
+    for cut in 0..=bytes.len() as u64 {
+        let clean = *boundaries.iter().filter(|b| **b <= cut).max().unwrap();
+        let records = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+        let on_boundary = clean == cut;
+
+        let strict = TLog::open(
+            device_with_prefix(&bytes, cut) as Arc<dyn LogDevice>,
+            SyncPolicy::Never,
+        );
+        match strict {
+            Ok(log) => {
+                assert!(on_boundary, "cut {cut}: strict open accepted a torn tail");
+                assert_state_is_prefix(&log, records, &format!("strict cut {cut}"));
+            }
+            Err(e) => {
+                assert!(!on_boundary, "cut {cut}: strict open rejected a clean log: {e:?}");
+                assert!(matches!(e, KvError::Corrupt(_)), "cut {cut}: {e:?}");
+            }
+        }
+
+        let dev = device_with_prefix(&bytes, cut);
+        let (log, report) =
+            TLog::open_recovering(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never)
+                .unwrap_or_else(|e| panic!("cut {cut}: recovering open failed: {e:?}"));
+        assert_eq!(report.records, records as u64, "cut {cut}: record count");
+        assert_eq!(report.recovered_bytes, clean, "cut {cut}: recovered bytes");
+        assert_eq!(report.lost_bytes, cut - clean, "cut {cut}: lost bytes");
+        assert_eq!(report.torn.is_some(), !on_boundary, "cut {cut}: torn flag");
+        assert!(report.version_monotonic, "cut {cut}: script versions ascend");
+        assert_eq!(dev.len(), clean, "cut {cut}: device truncated to clean prefix");
+        assert_state_is_prefix(&log, records, &format!("recovering cut {cut}"));
+
+        // The recovered log accepts new writes and stays clean.
+        log.put(DEFAULT_TABLE, Key::from("post"), Value::from("crash"), 100)
+            .unwrap();
+        let relog = TLog::open(dev as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+        assert_eq!(
+            relog.get(DEFAULT_TABLE, &Key::from("post")).unwrap().value,
+            Value::from("crash"),
+            "cut {cut}: post-recovery write lost"
+        );
+    }
+}
+
+/// The same sweep for the `tLSM` write-ahead log.
+#[test]
+fn tlsm_wal_every_byte_truncation() {
+    let cfg = LsmConfig::default();
+    let (bytes, boundaries) = script_bytes();
+    for cut in 0..=bytes.len() as u64 {
+        let clean = *boundaries.iter().filter(|b| **b <= cut).max().unwrap();
+        let records = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+        let on_boundary = clean == cut;
+
+        let strict = TLsm::with_wal(
+            cfg,
+            device_with_prefix(&bytes, cut) as Arc<dyn LogDevice>,
+            SyncPolicy::Never,
+        );
+        match strict {
+            Ok(lsm) => {
+                assert!(on_boundary, "cut {cut}: strict WAL open accepted a torn tail");
+                assert_state_is_prefix(&lsm, records, &format!("strict cut {cut}"));
+            }
+            Err(e) => {
+                assert!(!on_boundary, "cut {cut}: strict WAL open rejected a clean log: {e:?}");
+            }
+        }
+
+        let dev = device_with_prefix(&bytes, cut);
+        let (lsm, report) = TLsm::with_wal_recovering(
+            cfg,
+            Arc::clone(&dev) as Arc<dyn LogDevice>,
+            SyncPolicy::Never,
+        )
+        .unwrap_or_else(|e| panic!("cut {cut}: recovering WAL open failed: {e:?}"));
+        assert_eq!(report.recovered_bytes, clean, "cut {cut}: recovered bytes");
+        assert_eq!(report.lost_bytes, cut - clean, "cut {cut}: lost bytes");
+        assert_eq!(dev.len(), clean, "cut {cut}: WAL truncated to clean prefix");
+        assert_state_is_prefix(&lsm, records, &format!("recovering cut {cut}"));
+    }
+}
+
+/// Regression for the compaction ordering bug: `compact()` must sync the
+/// relocated records *before* advancing the trim floor, so a power cut
+/// right after compaction (when a front-truncating device may already
+/// have reclaimed the originals) cannot lose the only copy.
+#[test]
+fn compaction_survives_power_cut_under_sync_never() {
+    let dev = Arc::new(CrashDevice::new(MemDevice::new(), 0xC0117AC7));
+    let log = TLog::open(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+    for v in 1..=8u64 {
+        log.put(DEFAULT_TABLE, Key::from("hot"), Value::from(format!("v{v}")), v)
+            .unwrap();
+    }
+    log.put(DEFAULT_TABLE, Key::from("cold"), Value::from("c"), 9)
+        .unwrap();
+    log.del(DEFAULT_TABLE, &Key::from("cold"), 10).unwrap();
+    // Nothing synced yet: a crash here may keep any prefix.
+    assert_eq!(dev.durable_len(), 0);
+
+    let floor = log.compact().unwrap();
+    // The floor swap happened only after a sync covered the relocations.
+    assert!(dev.sync_count() >= 1, "compact must sync");
+    assert_eq!(dev.durable_len(), dev.len(), "relocated records must be durable");
+    assert!(floor > 0);
+    drop(log);
+
+    // Power cut: everything compacted survives (it was synced).
+    dev.crash().unwrap();
+    let (log2, report) =
+        TLog::open_recovering(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+    assert_eq!(report.lost_bytes, 0, "synced compaction output was lost");
+    assert_eq!(
+        log2.get(DEFAULT_TABLE, &Key::from("hot")).unwrap().value,
+        Value::from("v8")
+    );
+    // The relocated tombstone still guards against resurrection.
+    assert_eq!(log2.get(DEFAULT_TABLE, &Key::from("cold")), Err(KvError::NotFound));
+    log2.put(DEFAULT_TABLE, Key::from("cold"), Value::from("stale"), 4)
+        .unwrap();
+    assert_eq!(log2.get(DEFAULT_TABLE, &Key::from("cold")), Err(KvError::NotFound));
+}
+
+/// `SyncPolicy::EveryN` through the full device stack (`tLog` →
+/// `CrashDevice` → `SlowDevice` → `MemDevice`): exact sync cadence, and a
+/// crash drops precisely the unsynced suffix.
+#[test]
+fn every_n_sync_cadence_bounds_crash_loss() {
+    let slow = SlowDevice::new(MemDevice::new(), Duration::ZERO, Duration::ZERO);
+    let dev = Arc::new(CrashDevice::new(slow, 0x51D3));
+    let log = TLog::open(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::EveryN(4)).unwrap();
+    for i in 0..10u64 {
+        log.put(
+            DEFAULT_TABLE,
+            Key::from(format!("k{i}")),
+            Value::from(format!("v{i}")),
+            i + 1,
+        )
+        .unwrap();
+    }
+    // 10 appends at every-4 cadence: syncs after the 4th and 8th, no more.
+    assert_eq!(dev.sync_count(), 2);
+    assert!(dev.durable_len() < dev.len(), "appends 9..10 are unsynced");
+    drop(log);
+
+    // Worst-case power cut: lose the entire unsynced suffix.
+    dev.crash_at(dev.durable_len()).unwrap();
+    let (log2, report) =
+        TLog::open_recovering(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+    assert_eq!(report.records, 8, "exactly the synced prefix survives");
+    assert!(report.torn.is_none(), "the synced prefix ends on a boundary");
+    assert_eq!(log2.len(), 8);
+    for i in 0..8u64 {
+        assert!(log2.get(DEFAULT_TABLE, &Key::from(format!("k{i}"))).is_ok());
+    }
+    for i in 8..10u64 {
+        assert_eq!(
+            log2.get(DEFAULT_TABLE, &Key::from(format!("k{i}"))),
+            Err(KvError::NotFound)
+        );
+    }
+}
+
+/// A failing `fsync` must surface to the writer as an error under
+/// `SyncPolicy::Always` — an unacknowledged write may be lost, but an
+/// acknowledged one never silently skips its sync.
+#[test]
+fn sync_failure_propagates_to_the_writer() {
+    let dev = Arc::new(CrashDevice::new(MemDevice::new(), 7));
+    let log = TLog::open(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Always).unwrap();
+    log.put(DEFAULT_TABLE, Key::from("a"), Value::from("1"), 1)
+        .unwrap();
+    assert_eq!(dev.durable_len(), dev.len());
+
+    dev.fail_next_syncs(1);
+    let err = log
+        .put(DEFAULT_TABLE, Key::from("b"), Value::from("2"), 2)
+        .unwrap_err();
+    assert!(matches!(err, KvError::Io(_)), "{err:?}");
+    // The failed sync advanced nothing durable; the record bytes may sit
+    // in the volatile cache but are not acknowledged.
+    assert!(dev.durable_len() < dev.len());
+
+    // The next write (and its sync) succeeds and covers the backlog.
+    log.put(DEFAULT_TABLE, Key::from("c"), Value::from("3"), 3)
+        .unwrap();
+    assert_eq!(dev.durable_len(), dev.len());
+    assert_eq!(dev.sync_count(), 2);
+}
+
+/// Seeded random-operation corpus: arbitrary keys and values — including
+/// empty, large ("max-length" for this config), and tombstones — where the
+/// log is reopened after every single append and must replay to the exact
+/// same state the live engine holds.
+#[test]
+fn random_corpus_reopens_identically_after_every_append() {
+    let mut rng = StdRng::seed_from_u64(0x0D1C_ED06);
+    // Key universe: mostly short keys (to force overwrites), one empty-ish
+    // minimal key, one long key.
+    let keys: Vec<Key> = (0..12)
+        .map(|i| Key::from(format!("k{i}")))
+        .chain([Key::from("x"), Key::from("long-".repeat(40))])
+        .collect();
+    let big_value = "V".repeat(4096);
+
+    let dev = Arc::new(MemDevice::new());
+    let live = TLog::open(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+    for version in 1..=150u64 {
+        let key = keys[rng.gen_range(0..keys.len())].clone();
+        match rng.gen_range(0..10) {
+            0 | 1 => live.del(DEFAULT_TABLE, &key, version).unwrap(),
+            2 => live
+                .put(DEFAULT_TABLE, key, Value::from(big_value.clone()), version)
+                .unwrap(),
+            3 => live.put(DEFAULT_TABLE, key, Value::from(""), version).unwrap(),
+            _ => live
+                .put(
+                    DEFAULT_TABLE,
+                    key,
+                    Value::from(format!("v{}", rng.gen::<u32>())),
+                    version,
+                )
+                .unwrap(),
+        }
+
+        // Reopen from the raw device bytes after *every* append: the
+        // replayed engine must agree with the live one on every key.
+        let reopened =
+            TLog::open(Arc::clone(&dev) as Arc<dyn LogDevice>, SyncPolicy::Never).unwrap();
+        assert_eq!(reopened.len(), live.len(), "after version {version}");
+        for key in &keys {
+            let a = live.get(DEFAULT_TABLE, key).ok();
+            let b = reopened.get(DEFAULT_TABLE, key).ok();
+            assert_eq!(a, b, "key {key:?} after version {version}");
+        }
+    }
+
+    // The full log is also recovery-clean: nothing torn, nothing lost.
+    let report = bespokv_datalet::truncate_torn_tail(dev.as_ref()).unwrap();
+    assert_eq!(report.lost_bytes, 0);
+    assert!(report.torn.is_none());
+    assert!(report.version_monotonic);
+    assert_eq!(report.max_version, 150);
+}
+
+/// Record codec edge cases the corpus relies on: empty values, huge
+/// values, tombstones, and named tables all roundtrip byte-exactly.
+#[test]
+fn record_roundtrip_edges() {
+    let cases: Vec<(&str, Key, Option<Value>, u64)> = vec![
+        ("", Key::from("k"), Some(Value::from("")), 1),
+        ("", Key::from(""), Some(Value::from("v")), 2),
+        ("t", Key::from("k"), None, 3),
+        ("table-ü", Key::from("k".repeat(500)), Some(Value::from("V".repeat(8192))), u64::MAX),
+    ];
+    for (table, key, value, version) in cases {
+        let bytes = record::encode(table, &key, value.as_ref(), version);
+        let rec = record::decode(&bytes).unwrap();
+        assert_eq!(rec.table, table);
+        assert_eq!(rec.key, key);
+        assert_eq!(rec.value, value);
+        assert_eq!(rec.version, version);
+        assert_eq!(rec.total_len, bytes.len());
+        // Every strict prefix of a lone record is torn, not silently okay.
+        for cut in 0..bytes.len() {
+            assert!(
+                record::decode(&bytes[..cut]).is_err(),
+                "prefix {cut} of {table:?} decoded"
+            );
+        }
+    }
+}

@@ -141,6 +141,10 @@ pub enum ReplMsg {
         shard: ShardId,
         /// Stream chunks starting at this position in the snapshot.
         from: u64,
+        /// Durable version floor the requester already holds: the source
+        /// may skip snapshot entries with `version <= floor` (delta
+        /// catch-up after a restart-from-disk). 0 requests everything.
+        floor: u64,
     },
     /// One chunk of recovery state.
     RecoveryChunk {
@@ -148,6 +152,11 @@ pub enum ReplMsg {
         shard: ShardId,
         /// Position of the first entry in this chunk.
         from: u64,
+        /// Source-side cursor consumption for this chunk: the requester's
+        /// next `from` is `from + advance`. Not `entries.len()` — the
+        /// source may have filtered entries below the requester's floor
+        /// after consuming them from the snapshot cursor.
+        advance: u64,
         /// Entries in this chunk.
         entries: Vec<LogEntry>,
         /// Whether this is the final chunk.
@@ -200,8 +209,8 @@ wire_enum!(ReplMsg {
     5 => PeerWriteAck { shard, rid },
     6 => ForwardedReq { req, reply_via },
     7 => ForwardedResp { resp },
-    8 => RecoveryReq { shard, from },
-    9 => RecoveryChunk { shard, from, entries, done, snapshot_seq },
+    8 => RecoveryReq { shard, from, floor },
+    9 => RecoveryChunk { shard, from, advance, entries, done, snapshot_seq },
     10 => ChainPutBatch { shard, epoch, budget, items },
     11 => ChainAckBatch { shard, epoch, items },
     12 => CombinerNudge { shard },
@@ -720,9 +729,15 @@ mod tests {
             budget: Duration::from_millis(75),
             entries: vec![entry(), entry()],
         });
+        roundtrip(ReplMsg::RecoveryReq {
+            shard: ShardId(2),
+            from: 64,
+            floor: 17,
+        });
         roundtrip(ReplMsg::RecoveryChunk {
             shard: ShardId(1),
             from: 0,
+            advance: 3,
             entries: vec![entry()],
             done: true,
             snapshot_seq: 100,

@@ -108,6 +108,10 @@ pub struct OverloadCounters {
     pub breaker_trips: AtomicU64,
     /// Client: retries denied by an empty token bucket.
     pub retries_denied: AtomicU64,
+    /// Recovery: snapshot/delta entries actually sent to a joining or
+    /// restarting replica (post floor-filtering). A replica that replayed
+    /// local durable state transfers far fewer than a full snapshot.
+    pub recovery_entries_transferred: AtomicU64,
 }
 
 /// Plain-integer snapshot of [`OverloadCounters`].
@@ -124,6 +128,7 @@ pub struct OverloadSnapshot {
     pub slow_slave_resyncs: u64,
     pub breaker_trips: u64,
     pub retries_denied: u64,
+    pub recovery_entries_transferred: u64,
 }
 
 impl OverloadCounters {
@@ -146,6 +151,9 @@ impl OverloadCounters {
             slow_slave_resyncs: self.slow_slave_resyncs.load(Ordering::Relaxed),
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             retries_denied: self.retries_denied.load(Ordering::Relaxed),
+            recovery_entries_transferred: self
+                .recovery_entries_transferred
+                .load(Ordering::Relaxed),
         }
     }
 }
@@ -169,7 +177,8 @@ impl std::fmt::Display for OverloadSnapshot {
             f,
             "shed: {} queue, {} mailbox, {} pipeline, {} pool, {} relay, \
              {} expired, {} head-window; containment: {} trims, {} resyncs; \
-             client: {} breaker trips, {} retries denied",
+             client: {} breaker trips, {} retries denied; \
+             recovery: {} entries transferred",
             self.queue_shed,
             self.mailbox_shed,
             self.pipeline_shed,
@@ -181,6 +190,7 @@ impl std::fmt::Display for OverloadSnapshot {
             self.slow_slave_resyncs,
             self.breaker_trips,
             self.retries_denied,
+            self.recovery_entries_transferred,
         )
     }
 }
