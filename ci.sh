@@ -26,6 +26,12 @@ BESPOKV_SHED=1 cargo test --test consistency_oracle -q
 # kills/rejoins must never lose or duplicate an acked combined write.
 BESPOKV_WRITE_COMBINE=1 cargo test --test consistency_oracle -q
 
+# The same sweep with the skew engine armed (hot-key sketch, validating
+# edge cache, clean-replica read spreading): cached serves and spread
+# strong reads must never become stale reads, and AA modes must keep
+# the cache stone cold (no ServeIfClean grant ever).
+BESPOKV_SKEW=1 cargo test --test consistency_oracle -q
+
 # The whole tier-1 test suite again on the epoll reactor edge: every
 # test that binds a TcpServer (e2e, churn, oracle fault sweeps) must
 # pass identically on both transports (DESIGN.md 13).
@@ -46,3 +52,4 @@ cargo test -q --test crash_restart
 cargo build --release -p bespokv-bench --bin saturate
 cargo build --release -p bespokv-bench --bin writepath
 cargo build --release -p bespokv-bench --bin connscale
+cargo build --release -p bespokv-bench --bin skew

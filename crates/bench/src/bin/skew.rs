@@ -1,0 +1,489 @@
+//! Skew probe: hot-spot GET throughput over the live TCP edge with the
+//! skew engine on vs off.
+//!
+//! Stands up a real `LiveCluster` (MS+SC, one chain of three) with one
+//! TCP edge per replica and drives a 95% GET / 5% PUT mix at three
+//! popularity profiles: uniform, YCSB zipfian (theta = 0.99), and a
+//! pathological hot spot (theta = 1.2). Worker threads emulate
+//! `ClientCore`'s skew-aware routing: strong GETs go to the tail unless
+//! the edge sketch classifies the key hot, in which case they round-robin
+//! across all three clean replicas (each answering via the validating
+//! edge cache / gated fast path, coalescing concurrent misses). A fourth
+//! phase repeats theta = 1.2 against a cluster *without* the engine —
+//! every read funneled to the tail — as the collapse baseline. Prints one
+//! JSON object; used to produce `BENCH_skew.json`. Run with
+//! `cargo run --release --bin skew`.
+
+use bespokv_cluster::{ClusterSpec, FastPathTable, LiveCluster, NodeEdge};
+use bespokv_proto::client::{Op, Request, Response};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_runtime::tcp::{ServerOptions, TcpClient, TcpServer};
+use bespokv_types::{
+    ClientId, Key, KvError, Mode, NodeId, RequestId, SkewConfig, SkewSnapshot, Value,
+};
+use bespokv_workloads::Zipfian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const KEYS: u64 = 2048;
+const PIPELINE: usize = 64;
+const THREADS: u32 = 8;
+const WARMUP_MS: u64 = 300;
+const MEASURE_MS: u64 = 800;
+/// One PUT per this many ops (~10% writes), zipf-sampled like the GETs so
+/// the hot keys are also the dirty keys — the adversarial case for
+/// non-tail strong serving.
+const PUT_EVERY: u32 = 10;
+
+fn key(i: u64) -> Key {
+    Key::from(format!("user{i:012}"))
+}
+
+fn parser_factory() -> Arc<bespokv_runtime::tcp::ParserFactory> {
+    Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>)
+}
+
+/// Uniform or zipfian rank sampling over the keyspace.
+fn sample(zipf: &Option<Zipfian>, rng: &mut StdRng) -> u64 {
+    match zipf {
+        Some(z) => z.sample(rng),
+        None => rng.gen_range(0..KEYS),
+    }
+}
+
+/// Loads the dataset through the head's edge.
+fn load(head_addr: SocketAddr) {
+    let mut client = TcpClient::connect(head_addr, Box::new(BinaryParser::new())).unwrap();
+    let mut seq = 0u32;
+    for chunk in (0..KEYS).collect::<Vec<_>>().chunks(PIPELINE) {
+        let reqs: Vec<Request> = chunk
+            .iter()
+            .map(|&i| {
+                seq += 1;
+                Request::new(
+                    RequestId::compose(ClientId(9000), seq),
+                    Op::Put {
+                        key: key(i),
+                        value: Value::from(format!("v{i:028}")),
+                    },
+                )
+            })
+            .collect();
+        for resp in client.call_pipelined(&reqs).unwrap() {
+            assert!(resp.result.is_ok(), "load failed: {:?}", resp.result);
+        }
+    }
+}
+
+/// Emulates `ClientCore`'s skew-aware target choice: tail for strong
+/// reads, spread over all replicas when the edge sketch says hot.
+fn route(
+    table: &FastPathTable,
+    engine_on: bool,
+    k: &Key,
+    rr: &mut usize,
+) -> usize {
+    if engine_on {
+        if let Some(s) = table.skew() {
+            if s.sketch().is_hot(k) {
+                s.counters().hot_routed.fetch_add(1, Ordering::Relaxed);
+                *rr += 1;
+                return *rr % 3;
+            }
+        }
+    }
+    2 // the tail, NodeId(2)
+}
+
+/// What one response resolved to. A `WrongNode` bounce with a hint is the
+/// authoritative-redirect a real `ClientCore` retries for free (the skew
+/// router's at-most-one-bounce cost); the bench replays it the same way.
+enum Settle {
+    Done,
+    Shed,
+    Bounce(usize),
+}
+
+fn settle(resp: &Response) -> Settle {
+    match &resp.result {
+        Ok(_) => Settle::Done,
+        Err(KvError::Overloaded) | Err(KvError::Timeout) => Settle::Shed,
+        Err(KvError::WrongNode { hint: Some(n), .. }) => Settle::Bounce(n.raw() as usize % 3),
+        other => panic!("request failed hard: {other:?}"),
+    }
+}
+
+/// Sends one batch per edge, replaying `WrongNode` bounces once to the
+/// hinted edge (a second bounce counts as shed — no retry loops in a
+/// closed-loop bench). Returns (done, shed).
+fn call_batches(clients: &mut [TcpClient], batches: [Vec<Request>; 3]) -> (u64, u64) {
+    let (mut done, mut shed) = (0u64, 0u64);
+    let mut retries: [Vec<Request>; 3] = Default::default();
+    for (i, b) in batches.iter().enumerate() {
+        if b.is_empty() {
+            continue;
+        }
+        for (req, resp) in b.iter().zip(clients[i].call_pipelined(b).unwrap()) {
+            match settle(&resp) {
+                Settle::Done => done += 1,
+                Settle::Shed => shed += 1,
+                Settle::Bounce(n) => retries[n].push(req.clone()),
+            }
+        }
+    }
+    for (i, b) in retries.iter().enumerate() {
+        if b.is_empty() {
+            continue;
+        }
+        for resp in clients[i].call_pipelined(b).unwrap() {
+            match settle(&resp) {
+                Settle::Done => done += 1,
+                _ => shed += 1,
+            }
+        }
+    }
+    (done, shed)
+}
+
+/// Closed-loop mixed workload against the three edges for `ms`
+/// milliseconds; returns (ops/sec, sheds/sec).
+fn mixed_throughput(
+    addrs: [SocketAddr; 3],
+    table: &Arc<FastPathTable>,
+    engine_on: bool,
+    theta: Option<f64>,
+    ms: u64,
+) -> (f64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let table = Arc::clone(table);
+            std::thread::spawn(move || {
+                let mut clients: Vec<TcpClient> = addrs
+                    .iter()
+                    .map(|&a| TcpClient::connect(a, Box::new(BinaryParser::new())).unwrap())
+                    .collect();
+                let zipf = theta.map(|th| Zipfian::new(KEYS, th).scrambled());
+                let mut rng = StdRng::seed_from_u64(1000 + t as u64);
+                let mut rr = t as usize;
+                let mut seq = 0u32;
+                let (mut done, mut shed) = (0u64, 0u64);
+                while !stop.load(Ordering::Acquire) {
+                    let mut batches: [Vec<Request>; 3] = Default::default();
+                    for _ in 0..PIPELINE {
+                        seq += 1;
+                        let k = key(sample(&zipf, &mut rng));
+                        let rid = RequestId::compose(ClientId(9100 + t), seq);
+                        if seq % PUT_EVERY == 0 {
+                            // Writes always enter at the head.
+                            batches[0].push(Request::new(
+                                rid,
+                                Op::Put {
+                                    key: k,
+                                    value: Value::from(format!("w{seq:028}")),
+                                },
+                            ));
+                        } else {
+                            let target = route(&table, engine_on, &k, &mut rr);
+                            batches[target].push(Request::new(rid, Op::Get { key: k }));
+                        }
+                    }
+                    let (d, s) = call_batches(&mut clients, batches);
+                    done += d;
+                    shed += s;
+                }
+                (done, shed)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(ms));
+    stop.store(true, Ordering::Release);
+    let (mut done, mut shed) = (0u64, 0u64);
+    for w in workers {
+        let (d, s) = w.join().unwrap();
+        done += d;
+        shed += s;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (done as f64 / secs, shed as f64 / secs)
+}
+
+/// Sequential GET RTT percentiles in microseconds, same routing policy.
+fn get_rtt(
+    addrs: [SocketAddr; 3],
+    table: &Arc<FastPathTable>,
+    engine_on: bool,
+    theta: Option<f64>,
+) -> (f64, f64) {
+    let mut clients: Vec<TcpClient> = addrs
+        .iter()
+        .map(|&a| TcpClient::connect(a, Box::new(BinaryParser::new())).unwrap())
+        .collect();
+    let zipf = theta.map(|th| Zipfian::new(KEYS, th).scrambled());
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut rr = 0usize;
+    let mut rtts: Vec<f64> = Vec::with_capacity(3000);
+    for seq in 0..3000u32 {
+        let k = key(sample(&zipf, &mut rng));
+        let target = route(table, engine_on, &k, &mut rr);
+        let req = Request::new(RequestId::compose(ClientId(9200), seq), Op::Get { key: k });
+        let t = Instant::now();
+        let resp = clients[target].call(&req).unwrap();
+        match settle(&resp) {
+            // The bounce retry is part of the op's real latency.
+            Settle::Bounce(n) => {
+                if matches!(settle(&clients[n].call(&req).unwrap()), Settle::Done) {
+                    rtts.push(t.elapsed().as_nanos() as f64 / 1e3);
+                }
+            }
+            Settle::Done => rtts.push(t.elapsed().as_nanos() as f64 / 1e3),
+            Settle::Shed => {}
+        }
+    }
+    rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (rtts[rtts.len() / 2], rtts[rtts.len() * 99 / 100])
+}
+
+/// Thundering herd against one non-tail edge: a dedicated writer keeps
+/// the hottest key dirty while `HERD_THREADS` barrier-synchronized
+/// readers fire the *same* GET at the head's edge simultaneously — the
+/// singleflight table's reason to exist. Returns (gets, skew delta).
+fn herd(addrs: [SocketAddr; 3], table: &Arc<FastPathTable>) -> (u64, SkewSnapshot) {
+    const HERD_THREADS: usize = 8;
+    const ROUNDS: usize = 400;
+    // The zipfian rank-0 key after scrambling — the same key the mixed
+    // phases hammered. Re-record it so it is classified hot regardless of
+    // where the decay epochs left the sketch.
+    let hot = key(bespokv_types::shardmap::splitmix64(0) % KEYS);
+    let skew = table.skew().expect("skew engine on");
+    for _ in 0..1000 {
+        skew.sketch().record(&hot);
+    }
+    assert!(skew.sketch().is_hot(&hot), "herd key must classify hot");
+    let before = table.skew_snapshot();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let hot = hot.clone();
+        std::thread::spawn(move || {
+            let mut client =
+                TcpClient::connect(addrs[0], Box::new(BinaryParser::new())).unwrap();
+            let mut seq = 0u32;
+            while !stop.load(Ordering::Acquire) {
+                seq += 1;
+                let req = Request::new(
+                    RequestId::compose(ClientId(9300), seq),
+                    Op::Put {
+                        key: hot.clone(),
+                        value: Value::from(format!("h{seq:028}")),
+                    },
+                );
+                assert!(client.call(&req).unwrap().result.is_ok());
+            }
+        })
+    };
+    let barrier = Arc::new(std::sync::Barrier::new(HERD_THREADS));
+    let readers: Vec<_> = (0..HERD_THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let hot = hot.clone();
+            std::thread::spawn(move || {
+                let mut head =
+                    TcpClient::connect(addrs[0], Box::new(BinaryParser::new())).unwrap();
+                let mut tail =
+                    TcpClient::connect(addrs[2], Box::new(BinaryParser::new())).unwrap();
+                let mut done = 0u64;
+                for r in 0..ROUNDS {
+                    barrier.wait();
+                    let req = Request::new(
+                        RequestId::compose(ClientId(9400 + t as u32), r as u32),
+                        Op::Get { key: hot.clone() },
+                    );
+                    let resp = head.call(&req).unwrap();
+                    match settle(&resp) {
+                        Settle::Done => done += 1,
+                        Settle::Bounce(_) => {
+                            if matches!(settle(&tail.call(&req).unwrap()), Settle::Done) {
+                                done += 1;
+                            }
+                        }
+                        Settle::Shed => {}
+                    }
+                }
+                done
+            })
+        })
+        .collect();
+    let gets: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    stop.store(true, Ordering::Release);
+    writer.join().unwrap();
+    (gets, snap_delta(before, table.skew_snapshot()))
+}
+
+fn snap_delta(a: SkewSnapshot, b: SkewSnapshot) -> SkewSnapshot {
+    SkewSnapshot {
+        sketch_ops: b.sketch_ops - a.sketch_ops,
+        hot_lookups: b.hot_lookups - a.hot_lookups,
+        epochs: b.epochs.saturating_sub(a.epochs),
+        cache_hits: b.cache_hits - a.cache_hits,
+        cache_fills: b.cache_fills - a.cache_fills,
+        cache_invalidated: b.cache_invalidated - a.cache_invalidated,
+        coalesce_leaders: b.coalesce_leaders - a.coalesce_leaders,
+        coalesced: b.coalesced - a.coalesced,
+        hot_routed: b.hot_routed - a.hot_routed,
+    }
+}
+
+struct PhaseResult {
+    qps: f64,
+    shed_ps: f64,
+    p50: f64,
+    p99: f64,
+    skew: SkewSnapshot,
+}
+
+fn phase_json(name: &str, r: &PhaseResult) -> String {
+    format!(
+        "\"{name}\":{{\"get_qps\":{:.0},\"shed_per_sec\":{:.0},\
+         \"rtt_p50_us\":{:.1},\"rtt_p99_us\":{:.1},\
+         \"hot_lookups\":{},\"cache_hits\":{},\"cache_fills\":{},\
+         \"cache_invalidated\":{},\"coalesce_leaders\":{},\"coalesced\":{},\
+         \"hot_routed\":{}}}",
+        r.qps,
+        r.shed_ps,
+        r.p50,
+        r.p99,
+        r.skew.hot_lookups,
+        r.skew.cache_hits,
+        r.skew.cache_fills,
+        r.skew.cache_invalidated,
+        r.skew.coalesce_leaders,
+        r.skew.coalesced,
+        r.skew.hot_routed,
+    )
+}
+
+/// One cluster (with or without the skew engine), one mixed phase per
+/// requested theta, plus the herd microbench when the engine is on.
+/// Warmup feeds the sketch before anything is measured.
+fn run_cluster(
+    with_skew: bool,
+    thetas: &[(&str, Option<f64>)],
+) -> (Vec<(String, PhaseResult)>, Option<(u64, SkewSnapshot)>) {
+    let spec = if with_skew {
+        ClusterSpec::new(1, 3, Mode::MS_SC).with_skew(SkewConfig::default())
+    } else {
+        ClusterSpec::new(1, 3, Mode::MS_SC).with_fast_path()
+    };
+    let mut cluster = LiveCluster::build(spec);
+    let table = Arc::clone(cluster.fast_path().expect("fast path enabled"));
+    let edges: Vec<NodeEdge> = (0..3)
+        .map(|n| {
+            NodeEdge::new(
+                NodeId(n),
+                Arc::clone(&table),
+                cluster.rt.register_mailbox(),
+                true,
+            )
+        })
+        .collect();
+    let servers: Vec<TcpServer> = edges
+        .iter()
+        .map(|e| {
+            TcpServer::bind_with(
+                "127.0.0.1:0",
+                parser_factory(),
+                e.handler(),
+                ServerOptions {
+                    worker_threads: Some(8),
+                    ..ServerOptions::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs = [
+        servers[0].local_addr(),
+        servers[1].local_addr(),
+        servers[2].local_addr(),
+    ];
+    load(addrs[0]);
+
+    let mut out = Vec::new();
+    for &(name, theta) in thetas {
+        // Warm the sketch (and caches) before measuring.
+        mixed_throughput(addrs, &table, with_skew, theta, WARMUP_MS);
+        let before = table.skew_snapshot();
+        let (qps, shed_ps) = mixed_throughput(addrs, &table, with_skew, theta, MEASURE_MS);
+        let (p50, p99) = get_rtt(addrs, &table, with_skew, theta);
+        let after = table.skew_snapshot();
+        out.push((
+            name.to_string(),
+            PhaseResult {
+                qps,
+                shed_ps,
+                p50,
+                p99,
+                skew: snap_delta(before, after),
+            },
+        ));
+    }
+
+    let herd_out = with_skew.then(|| herd(addrs, &table));
+
+    drop(servers);
+    drop(edges);
+    cluster.rt.shutdown();
+    (out, herd_out)
+}
+
+fn main() {
+    // Collapse baseline: no sketch, no cache, no spreading — every strong
+    // read funnels to the tail while hot keys churn dirty.
+    let (baseline, _) = run_cluster(false, &[("zipf12_off", Some(1.2))]);
+    // Skew engine on: uniform control, YCSB zipfian, pathological zipfian.
+    let (engine, herd_out) = run_cluster(
+        true,
+        &[
+            ("uniform_on", None),
+            ("zipf099_on", Some(0.99)),
+            ("zipf12_on", Some(1.2)),
+        ],
+    );
+    let (herd_gets, herd_skew) = herd_out.expect("herd runs on the skew cluster");
+
+    let find = |rs: &[(String, PhaseResult)], n: &str| -> (f64, f64) {
+        rs.iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, r)| (r.qps, r.p99))
+            .unwrap()
+    };
+    let (uni_qps, uni_p99) = find(&engine, "uniform_on");
+    let (hot_qps, hot_p99) = find(&engine, "zipf12_on");
+
+    let phases: Vec<String> = baseline
+        .iter()
+        .chain(engine.iter())
+        .map(|(n, r)| phase_json(n, r))
+        .collect();
+    println!(
+        "{{\"keys\":{KEYS},\"threads\":{THREADS},\"pipeline\":{PIPELINE},\
+         \"put_every\":{PUT_EVERY},\"phases\":{{{}}},\
+         \"herd\":{{\"gets\":{herd_gets},\"coalesce_leaders\":{},\
+         \"coalesced\":{},\"cache_hits\":{}}},\
+         \"qps_ratio_zipf12_on_vs_uniform\":{:.3},\
+         \"p99_ratio_zipf12_on_vs_uniform\":{:.3}}}",
+        phases.join(","),
+        herd_skew.coalesce_leaders,
+        herd_skew.coalesced,
+        herd_skew.cache_hits,
+        hot_qps / uni_qps,
+        hot_p99 / uni_p99,
+    );
+}

@@ -110,7 +110,9 @@ fn main() {
         parser_factory(),
         head_edge.handler(),
         ServerOptions {
-            worker_threads: Some(8),
+            // Enough edge workers that 16 client threads keep 16 submits
+            // concurrently in flight — the combine-window case.
+            worker_threads: Some(16),
             ..ServerOptions::default()
         },
     )
@@ -121,6 +123,8 @@ fn main() {
     let base_1t = median_qps(addr, 1);
     let base_2t = median_qps(addr, 2);
     let base_4t = median_qps(addr, 4);
+    let base_8t = median_qps(addr, 8);
+    let base_16t = median_qps(addr, 16);
     assert_eq!(
         table.combiner_snapshot().ops,
         0,
@@ -133,6 +137,8 @@ fn main() {
     let comb_1t = median_qps(addr, 1);
     let comb_2t = median_qps(addr, 2);
     let comb_4t = median_qps(addr, 4);
+    let comb_8t = median_qps(addr, 8);
+    let comb_16t = median_qps(addr, 16);
     let snap = table.combiner_snapshot();
     assert!(snap.batches > 0, "combiner never engaged");
     assert!(snap.ops > 0, "combiner never carried a write");
@@ -144,17 +150,21 @@ fn main() {
     let avg_batch = snap.ops as f64 / snap.batches as f64;
     println!(
         "{{\"baseline\":{{\"put_qps_1thread\":{base_1t:.0},\"put_qps_2thread\":{base_2t:.0},\
-         \"put_qps_4thread\":{base_4t:.0}}},\
+         \"put_qps_4thread\":{base_4t:.0},\"put_qps_8thread\":{base_8t:.0},\
+         \"put_qps_16thread\":{base_16t:.0}}},\
          \"combined\":{{\"put_qps_1thread\":{comb_1t:.0},\"put_qps_2thread\":{comb_2t:.0},\
-         \"put_qps_4thread\":{comb_4t:.0},\"batches\":{},\"ops\":{},\
+         \"put_qps_4thread\":{comb_4t:.0},\"put_qps_8thread\":{comb_8t:.0},\
+         \"put_qps_16thread\":{comb_16t:.0},\"batches\":{},\"ops\":{},\
          \"avg_ops_per_batch\":{avg_batch:.2},\"lock_contention\":{},\
-         \"shed_full\":{},\"cache_hits\":{}}},\
-         \"speedup_4thread\":{:.2}}}",
+         \"window_waits\":{},\"shed_full\":{},\"cache_hits\":{}}},\
+         \"speedup_4thread\":{:.2},\"speedup_16thread\":{:.2}}}",
         snap.batches,
         snap.ops,
         snap.lock_contention,
+        snap.window_waits,
         snap.shed_full,
         snap.cache_hits,
-        comb_4t / base_4t
+        comb_4t / base_4t,
+        comb_16t / base_16t
     );
 }

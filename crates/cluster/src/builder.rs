@@ -29,7 +29,7 @@ use bespokv_runtime::{Addr, CostModel, FaultPlan, NetworkModel, Simulation, Tran
 use bespokv_sharedlog::SharedLogActor;
 use bespokv_types::{
     ClientId, Duration, HistoryRecorder, Key, Mode, NodeId, OverloadConfig, OverloadCounters,
-    Partitioning, ShardId, ShardInfo, ShardMap, Value,
+    Partitioning, ShardId, ShardInfo, ShardMap, SkewConfig, Value,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -101,6 +101,11 @@ pub struct ClusterSpec {
     /// node back by replaying its surviving log before delta-syncing from
     /// the chain.
     pub durability: Option<DurabilityConfig>,
+    /// When set, the skew engine is armed end to end: the fast-path table
+    /// runs a hot-key sketch plus the validating edge cache, and every
+    /// client spreads strong reads for detected heavy hitters across all
+    /// clean replicas (see `bespokv_types::skew` and DESIGN.md §15).
+    pub skew: Option<SkewConfig>,
 }
 
 /// Disk-backed deployment knobs (see [`ClusterSpec::with_durability`]).
@@ -180,6 +185,7 @@ impl ClusterSpec {
             write_combine: false,
             overload: None,
             durability: None,
+            skew: None,
         }
     }
 
@@ -211,6 +217,15 @@ impl ClusterSpec {
     /// Arms the end-to-end overload-protection layer with `cfg`.
     pub fn with_overload(mut self, cfg: OverloadConfig) -> Self {
         self.overload = Some(cfg);
+        self
+    }
+
+    /// Arms the skew engine (hot-key sketch, validating edge cache, and
+    /// hot-key read spreading) with `cfg`. Implies the read fast path:
+    /// the cache and sketch live inside the fast-path table.
+    pub fn with_skew(mut self, cfg: SkewConfig) -> Self {
+        self.skew = Some(cfg);
+        self.fast_path = true;
         self
     }
 
@@ -367,8 +382,13 @@ impl SimCluster {
             .collect();
 
         let recorder = spec.history.then(HistoryRecorder::new);
-        let fast_path = (spec.fast_path || spec.write_combine)
-            .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
+        let fast_path = (spec.fast_path || spec.write_combine).then(|| {
+            let mut t = crate::edge::FastPathTable::new(map.clone());
+            if let Some(cfg) = spec.skew {
+                t = t.with_skew(cfg);
+            }
+            Arc::new(t)
+        });
         let overload_counters = Arc::new(OverloadCounters::new());
         if let Some(o) = spec.overload {
             sim.set_max_queue_delay(o.max_queue_delay);
@@ -511,6 +531,14 @@ impl SimCluster {
             crash_devices,
             shard_of_node,
         }
+    }
+
+    /// Skew-engine counter snapshot (zeroes unless the spec armed skew).
+    pub fn skew_snapshot(&self) -> bespokv_types::SkewSnapshot {
+        self.fast_path
+            .as_ref()
+            .map(|t| t.skew_snapshot())
+            .unwrap_or_default()
     }
 
     /// The cluster-wide overload counters (zeroes unless the spec armed
@@ -665,6 +693,18 @@ impl SimCluster {
         }
         if let Some(o) = self.spec.overload {
             core = core.with_overload(o, Arc::clone(&self.overload_counters));
+        }
+        if let Some(cfg) = self.spec.skew {
+            // The client half of the skew engine reports into the same
+            // counter set as the edge half, so harness assertions see
+            // both routing and caching decisions in one snapshot.
+            let counters = self
+                .fast_path
+                .as_ref()
+                .and_then(|t| t.skew())
+                .map(|s| s.counters())
+                .unwrap_or_default();
+            core = core.with_skew(cfg, counters);
         }
         let mut client = crate::script::ScriptClient::new(core, script);
         if let Some(t) = &self.fast_path {

@@ -23,6 +23,17 @@
 //! [`NodeEdge`] packages the live-runtime side: a TCP request handler
 //! that serves GETs on the worker thread when permitted and relays the
 //! rest to the controlet actor through a [`Mailbox`].
+//!
+//! The optional **skew engine** ([`SkewState`]) rides on both halves.
+//! Every GET that reaches the fast path is recorded in a count-min
+//! sketch; keys its top-k table classifies as hot get (a) a small
+//! *validating cache* inside [`FastPathTable::try_get`] — a cached value
+//! is served only when the gate word, the key's dirty bit, *and* the
+//! stripe's write generation all prove nothing changed since the fill,
+//! so it inherits the fast path's staleness argument verbatim — and
+//! (b) *request coalescing* in [`NodeEdge::handler`]: concurrent relayed
+//! GETs for the same hot key share one upstream read through a
+//! singleflight table, with followers woken off the leader's response.
 
 use bespokv::{CombinerSnapshot, DirtySet, OpLog, ReadPermit, ServingState, Submit};
 use bespokv_datalet::Datalet;
@@ -30,7 +41,8 @@ use bespokv_proto::client::{Op, RespBody, Request, Response};
 use bespokv_proto::{NetMsg, ReplMsg};
 use bespokv_runtime::{Addr, Mailbox};
 use bespokv_types::{
-    Consistency, Instant, KvError, NodeId, OverloadCounters, RequestId, ShardId, ShardMap,
+    Consistency, ConsistencyLevel, Instant, Key, KeySketch, KvError, NodeId, OverloadCounters,
+    RequestId, ShardId, ShardMap, SkewConfig, SkewCounters, SkewSnapshot,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -57,6 +69,131 @@ pub struct FastPathHandle {
     pub writes: Option<Arc<OpLog>>,
 }
 
+/// One direct-mapped slot of the validating edge cache: the identity of
+/// the cached read, the gate word and stripe write generation it was
+/// filled under, and the result it produced.
+struct CacheEntry {
+    node: NodeId,
+    table: String,
+    key: Key,
+    /// Gate word at fill time; a serve requires the *current* word to be
+    /// identical (same epoch, role, and permissions as the fill).
+    word: u64,
+    /// Dirty-stripe write generation sampled before the fill's datalet
+    /// read. Unchanged generation = no write marked (hence none applied)
+    /// in the key's stripe since, so the cached bytes equal the datalet's.
+    gen: u64,
+    /// The validated read result (a `NotFound` is as cacheable as a hit —
+    /// absence is a committed read result under the same argument).
+    result: Result<RespBody, KvError>,
+}
+
+/// Deployment-wide skew-engine state: the hot-key sketch fed by the live
+/// GET stream, the validating cache, and the event counters. Shared by
+/// every edge thread via [`FastPathTable`].
+pub struct SkewState {
+    sketch: KeySketch,
+    counters: Arc<SkewCounters>,
+    /// Direct-mapped validating cache, indexed by key hash. Collisions
+    /// simply overwrite: the cache holds the few heavy hitters, and a
+    /// lost slot only costs one refill.
+    cache: Vec<Mutex<Option<CacheEntry>>>,
+}
+
+impl SkewState {
+    /// Fresh state sized by `cfg`.
+    pub fn new(cfg: SkewConfig) -> Self {
+        SkewState {
+            sketch: KeySketch::new(&cfg),
+            counters: Arc::new(SkewCounters::new()),
+            cache: (0..cfg.cache_capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// The hot-key sketch (shared with clients/benches for routing).
+    pub fn sketch(&self) -> &KeySketch {
+        &self.sketch
+    }
+
+    /// The shared event counters.
+    pub fn counters(&self) -> Arc<SkewCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Counter snapshot with the sketch's epoch folded in.
+    pub fn snapshot(&self) -> SkewSnapshot {
+        let mut s = self.counters.snapshot();
+        s.epochs = self.sketch.epoch();
+        s
+    }
+
+    fn slot(&self, key: &Key) -> &Mutex<Option<CacheEntry>> {
+        &self.cache[(key.stable_hash() as usize) % self.cache.len()]
+    }
+
+    /// Serves a cached result if every validity proof holds: same node,
+    /// table and key; the *current* gate word equals the fill's; and the
+    /// key's stripe write generation is unchanged since the fill. The
+    /// generation check is what upgrades "the gate looks the same" into
+    /// "no write touched this stripe": chain writes bump the generation
+    /// when they mark (before applying), so equality means the datalet
+    /// still holds exactly the cached bytes.
+    fn cache_lookup(
+        &self,
+        node: NodeId,
+        req: &Request,
+        key: &Key,
+        token: u64,
+        gen: u64,
+    ) -> Option<Response> {
+        let mut slot = self.slot(key).lock();
+        let e = slot.as_ref()?;
+        if e.node != node || e.table != req.table || e.key != *key {
+            return None;
+        }
+        if e.word != token || e.gen != gen {
+            // The proof is permanently broken (generations are monotone,
+            // a changed word means a reconfiguration): drop the entry so
+            // the next validated read refills it.
+            *slot = None;
+            self.counters
+                .cache_invalidated
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return None;
+        }
+        self.counters
+            .cache_hits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(Response {
+            id: req.id,
+            result: e.result.clone(),
+        })
+    }
+
+    /// Retains a fully validated fast-path read for future hot lookups.
+    fn cache_fill(
+        &self,
+        node: NodeId,
+        req: &Request,
+        key: &Key,
+        token: u64,
+        gen: u64,
+        result: &Result<RespBody, KvError>,
+    ) {
+        *self.slot(key).lock() = Some(CacheEntry {
+            node,
+            table: req.table.clone(),
+            key: key.clone(),
+            word: token,
+            gen,
+            result: result.clone(),
+        });
+        self.counters
+            .cache_fills
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// Per-node fast-path handles plus the key→shard mapping, shared by every
 /// edge thread of a deployment.
 pub struct FastPathTable {
@@ -69,6 +206,8 @@ pub struct FastPathTable {
     /// telemetry is monotonic, a dead ingress's history must not vanish
     /// with its handle.
     retired: Mutex<CombinerSnapshot>,
+    /// Hot-key engine; `None` leaves every request on the plain paths.
+    skew: RwLock<Option<Arc<SkewState>>>,
 }
 
 impl FastPathTable {
@@ -78,7 +217,29 @@ impl FastPathTable {
             map,
             handles: RwLock::new(HashMap::new()),
             retired: Mutex::new(CombinerSnapshot::default()),
+            skew: RwLock::new(None),
         }
+    }
+
+    /// Arms the skew engine (builder style).
+    pub fn with_skew(self, cfg: SkewConfig) -> Self {
+        self.set_skew(Some(Arc::new(SkewState::new(cfg))));
+        self
+    }
+
+    /// Installs or removes the skew engine at runtime (bench toggling).
+    pub fn set_skew(&self, skew: Option<Arc<SkewState>>) {
+        *self.skew.write() = skew;
+    }
+
+    /// The current skew engine, if armed.
+    pub fn skew(&self) -> Option<Arc<SkewState>> {
+        self.skew.read().clone()
+    }
+
+    /// Skew-engine counter snapshot (zeroes when unarmed).
+    pub fn skew_snapshot(&self) -> SkewSnapshot {
+        self.skew.read().as_ref().map(|s| s.snapshot()).unwrap_or_default()
     }
 
     /// Registers (or replaces) the handle for a node.
@@ -111,6 +272,33 @@ impl FastPathTable {
     /// The node's gate, for telemetry and test assertions.
     pub fn gate(&self, node: NodeId) -> Option<Arc<ServingState>> {
         self.handles.read().get(&node).map(|h| Arc::clone(&h.gate))
+    }
+
+    /// The replica currently publishing unconditional Strong service for
+    /// `node`'s shard (the MS+SC tail / MS+EC master), if any. The
+    /// hot-key relay uses this to send a fallback strong GET straight to
+    /// the ordering authority instead of bouncing `WrongNode` off the
+    /// local actor first.
+    pub fn strong_peer(&self, node: NodeId) -> Option<NodeId> {
+        let handles = self.handles.read();
+        let shard = handles.get(&node)?.shard;
+        handles
+            .iter()
+            .find(|(_, h)| h.shard == shard && h.gate.serves_strong())
+            .map(|(&n, _)| n)
+    }
+
+    /// Resolves a request's consistency level against `node`'s store-wide
+    /// default (`None` for unknown nodes).
+    pub fn effective_level(
+        &self,
+        node: NodeId,
+        level: ConsistencyLevel,
+    ) -> Option<Consistency> {
+        self.handles
+            .read()
+            .get(&node)
+            .map(|h| level.resolve(h.default_level))
     }
 
     /// Total fast-path serves across all registered nodes.
@@ -148,14 +336,50 @@ impl FastPathTable {
         if self.map.shard_for_key(key) != h.shard {
             return None;
         }
+        // Feed the live GET stream into the hot-key sketch. Hotness only
+        // arms the validating cache below; cold keys take the exact
+        // pre-skew path.
+        let skew = self.skew.read().clone();
+        let hot = skew.as_ref().is_some_and(|s| {
+            s.counters
+                .sketch_ops
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            s.sketch.record(key);
+            let hot = s.sketch.is_hot(key);
+            if hot {
+                s.counters
+                    .hot_lookups
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            hot
+        });
         let token = h.gate.begin_read();
         let level = req.level.resolve(h.default_level);
+        // Stripe write generation, sampled before the dirty probe and the
+        // datalet read: it timestamps any cache fill this read produces.
+        let gen = h.dirty.generation(key);
         let clean_read = match ServingState::permit(token, level) {
             ReadPermit::Serve => false,
             ReadPermit::ServeIfClean => {
                 if h.dirty.is_dirty(key) {
                     h.gate.count_fallback();
                     return None;
+                }
+                // Validating cache, only on the clean-read path: this is
+                // the one permit whose serves are already justified by
+                // mark-before-apply plus the dirty probe, which is exactly
+                // the machinery the write-generation check reuses. On the
+                // unconditional `Serve` path (tail/master, EC replicas)
+                // generations are not maintained by every write path, and
+                // the datalet read is a single concurrent-map lookup
+                // anyway — a cache would only add a staleness hazard.
+                if hot {
+                    if let Some(s) = &skew {
+                        if let Some(resp) = s.cache_lookup(node, req, key, token, gen) {
+                            h.gate.count_hit();
+                            return Some(resp);
+                        }
+                    }
                 }
                 true
             }
@@ -179,6 +403,13 @@ impl FastPathTable {
         if clean_read && h.dirty.is_dirty(key) {
             h.gate.count_fallback();
             return None;
+        }
+        if clean_read && hot {
+            // Every proof that justified serving this read holds for the
+            // cached copy until the gate word or stripe generation moves.
+            if let Some(s) = &skew {
+                s.cache_fill(node, req, key, token, gen, &result);
+            }
         }
         h.gate.count_hit();
         Some(Response {
@@ -269,6 +500,14 @@ pub struct EdgeOverload {
     pub clock: Arc<dyn Fn() -> Instant + Send + Sync>,
 }
 
+/// Identity of one coalescable upstream read: same table, key and
+/// requested level share a flight.
+type FlightKey = (String, Key, ConsistencyLevel);
+
+/// Followers parked on an in-flight leader: each wakes with the leader's
+/// response re-stamped with its own request id.
+type FlightWaiters = Vec<(RequestId, mpsc::Sender<Response>)>;
+
 /// The live-runtime edge for one node: a TCP-server-compatible request
 /// handler that serves permitted GETs on the calling worker thread and
 /// relays everything else to the controlet actor via a [`Mailbox`],
@@ -278,6 +517,10 @@ pub struct NodeEdge {
     table: Arc<FastPathTable>,
     mailbox: Mailbox,
     pending: Arc<Mutex<HashMap<RequestId, mpsc::Sender<Response>>>>,
+    /// Singleflight table for hot-key GET coalescing: the first relayed
+    /// GET for a hot key becomes the leader, concurrent identical GETs
+    /// park here and are woken off the leader's response.
+    flights: Arc<Mutex<HashMap<FlightKey, FlightWaiters>>>,
     fast_path: Arc<AtomicBool>,
     write_combine: Arc<AtomicBool>,
     overload: Option<EdgeOverload>,
@@ -316,6 +559,7 @@ impl NodeEdge {
             table,
             mailbox,
             pending,
+            flights: Arc::new(Mutex::new(HashMap::new())),
             fast_path: Arc::new(AtomicBool::new(enable_fast_path)),
             write_combine: Arc::new(AtomicBool::new(false)),
             overload: None,
@@ -357,6 +601,7 @@ impl NodeEdge {
         let table = Arc::clone(&self.table);
         let mailbox = self.mailbox.clone();
         let pending = Arc::clone(&self.pending);
+        let flights = Arc::clone(&self.flights);
         let fast_path = Arc::clone(&self.fast_path);
         let write_combine = Arc::clone(&self.write_combine);
         let overload = self.overload.clone();
@@ -409,31 +654,141 @@ impl NodeEdge {
                     }
                 }
             }
-            if fast_path.load(Ordering::Acquire) {
-                if let Some(resp) = table.try_get(node, &req) {
-                    return resp;
+            // A follower woken without a directly usable response gets one
+            // more round (fast-path retry, then a relay of its own);
+            // `may_join` keeps that second round from parking again.
+            let mut may_join = true;
+            loop {
+                if fast_path.load(Ordering::Acquire) {
+                    if let Some(resp) = table.try_get(node, &req) {
+                        return resp;
+                    }
                 }
-            }
-            if let Some(o) = &overload {
-                // Bounded pending-reply table: shed before entering the
-                // actor mailbox rather than park without limit.
-                if o.relay_cap != 0 && pending.lock().len() >= o.relay_cap {
-                    o.counters
-                        .relay_shed
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return Response::err(req.id, KvError::Overloaded);
+                // Hot-key request coalescing: concurrent relayed GETs for
+                // the same hot key share one upstream read. The first
+                // becomes the *leader* and does the relay; the rest park
+                // as followers on its flight.
+                let mut flight: Option<FlightKey> = None;
+                let mut relay_to = node;
+                if let (Some(skew), Op::Get { key }) = (table.skew(), &req.op) {
+                    if skew.sketch().is_hot(key) {
+                        let fk: FlightKey = (req.table.clone(), key.clone(), req.level);
+                        let joined = {
+                            let mut fl = flights.lock();
+                            match fl.get_mut(&fk) {
+                                Some(waiters) if may_join => {
+                                    let (tx, rx) = mpsc::channel();
+                                    waiters.push((req.id, tx));
+                                    Some(rx)
+                                }
+                                // Second round: relay for ourselves even
+                                // if a new flight is up.
+                                Some(_) => None,
+                                None => {
+                                    fl.insert(fk.clone(), Vec::new());
+                                    flight = Some(fk);
+                                    None
+                                }
+                            }
+                        };
+                        if let Some(rx) = joined {
+                            let woke = rx.recv_timeout(RELAY_TIMEOUT);
+                            let level = table.effective_level(node, req.level);
+                            match woke {
+                                // An effective-Eventual read may adopt the
+                                // leader's result wholesale: any recently
+                                // committed value (or committed absence)
+                                // is a legitimate eventual read.
+                                Ok(resp)
+                                    if level == Some(Consistency::Eventual)
+                                        && resp.result.is_ok() =>
+                                {
+                                    skew.counters()
+                                        .coalesced
+                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    return Response {
+                                        id: req.id,
+                                        result: resp.result,
+                                    };
+                                }
+                                // A strong read must not inherit another
+                                // request's linearization point (the
+                                // leader may have read before we even
+                                // arrived). Being woken means the dirty
+                                // window that forced the fallback has
+                                // likely closed: revalidate through the
+                                // fast path, whose serve is justified on
+                                // its own terms.
+                                Ok(_) | Err(_) => {
+                                    if fast_path.load(Ordering::Acquire) {
+                                        if let Some(resp) = table.try_get(node, &req) {
+                                            skew.counters().coalesced.fetch_add(
+                                                1,
+                                                std::sync::atomic::Ordering::Relaxed,
+                                            );
+                                            return resp;
+                                        }
+                                    }
+                                    may_join = false;
+                                    continue;
+                                }
+                            }
+                        }
+                        if flight.is_some() {
+                            skew.counters()
+                                .coalesce_leaders
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // A fallback strong GET at an MS+SC non-tail
+                            // would only bounce `WrongNode{hint: tail}`
+                            // off the local actor; relay it straight to
+                            // the strong-read authority instead.
+                            if table.effective_level(node, req.level)
+                                == Some(Consistency::Strong)
+                            {
+                                if let Some(peer) = table.strong_peer(node) {
+                                    relay_to = peer;
+                                }
+                            }
+                        }
+                    }
                 }
-            }
-            let rid = req.id;
-            let (tx, rx) = mpsc::channel();
-            pending.lock().insert(rid, tx);
-            mailbox.send(Addr(node.raw()), NetMsg::Client(req));
-            match rx.recv_timeout(RELAY_TIMEOUT) {
-                Ok(resp) => resp,
-                Err(_) => {
-                    pending.lock().remove(&rid);
-                    Response::err(rid, KvError::Timeout)
+                // Every exit below must settle the flight (if we lead
+                // one): followers are woken with our outcome, errors
+                // included, re-stamped with their own request ids.
+                let settle = |resp: Response| -> Response {
+                    if let Some(fk) = &flight {
+                        if let Some(waiters) = flights.lock().remove(fk) {
+                            for (rid, tx) in waiters {
+                                let _ = tx.send(Response {
+                                    id: rid,
+                                    result: resp.result.clone(),
+                                });
+                            }
+                        }
+                    }
+                    resp
+                };
+                if let Some(o) = &overload {
+                    // Bounded pending-reply table: shed before entering
+                    // the actor mailbox rather than park without limit.
+                    if o.relay_cap != 0 && pending.lock().len() >= o.relay_cap {
+                        o.counters
+                            .relay_shed
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return settle(Response::err(req.id, KvError::Overloaded));
+                    }
                 }
+                let rid = req.id;
+                let (tx, rx) = mpsc::channel();
+                pending.lock().insert(rid, tx);
+                mailbox.send(Addr(relay_to.raw()), NetMsg::Client(req.clone()));
+                return match rx.recv_timeout(RELAY_TIMEOUT) {
+                    Ok(resp) => settle(resp),
+                    Err(_) => {
+                        pending.lock().remove(&rid);
+                        settle(Response::err(rid, KvError::Timeout))
+                    }
+                };
             }
         })
     }

@@ -44,6 +44,8 @@ pub struct LiveCluster {
     overload_counters: Arc<OverloadCounters>,
     /// The spec's overload config, for wiring clients added later.
     overload: Option<bespokv_types::OverloadConfig>,
+    /// The spec's skew config, for wiring clients added later.
+    skew: Option<bespokv_types::SkewConfig>,
     /// Whether the spec enabled the read fast path (the table may also
     /// exist purely for write combining).
     read_fast_path: bool,
@@ -68,8 +70,13 @@ impl LiveCluster {
             .map(|s| Addr(coordinator.0 + 2 + s))
             .collect();
         let recorder = spec.history.then(HistoryRecorder::new);
-        let fast_path = (spec.fast_path || spec.write_combine)
-            .then(|| Arc::new(crate::edge::FastPathTable::new(map.clone())));
+        let fast_path = (spec.fast_path || spec.write_combine).then(|| {
+            let mut t = crate::edge::FastPathTable::new(map.clone());
+            if let Some(cfg) = spec.skew {
+                t = t.with_skew(cfg);
+            }
+            Arc::new(t)
+        });
         let overload_counters = Arc::new(OverloadCounters::new());
         if let Some(o) = spec.overload {
             rt.set_mailbox_cap(o.mailbox_cap, Arc::clone(&overload_counters));
@@ -162,9 +169,18 @@ impl LiveCluster {
             fast_path,
             overload_counters,
             overload: spec.overload,
+            skew: spec.skew,
             read_fast_path: spec.fast_path,
             write_combine: spec.write_combine,
         }
+    }
+
+    /// Skew-engine counter snapshot (zeroes unless the spec armed skew).
+    pub fn skew_snapshot(&self) -> bespokv_types::SkewSnapshot {
+        self.fast_path
+            .as_ref()
+            .map(|t| t.skew_snapshot())
+            .unwrap_or_default()
     }
 
     /// The cluster-wide overload counters (zeroes unless the spec armed
@@ -243,6 +259,15 @@ impl LiveCluster {
         }
         if let Some(o) = self.overload {
             core = core.with_overload(o, Arc::clone(&self.overload_counters));
+        }
+        if let Some(cfg) = self.skew {
+            let counters = self
+                .fast_path
+                .as_ref()
+                .and_then(|t| t.skew())
+                .map(|s| s.counters())
+                .unwrap_or_default();
+            core = core.with_skew(cfg, counters);
         }
         let mut client = crate::script::ScriptClient::new(core, script);
         if let Some(t) = &self.fast_path {

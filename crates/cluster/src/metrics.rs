@@ -3,7 +3,7 @@
 
 use bespokv::CombinerSnapshot;
 use bespokv_runtime::tcp::{TcpServer, TcpServerStats};
-use bespokv_types::{Duration, Instant, OverloadSnapshot};
+use bespokv_types::{Duration, Instant, OverloadSnapshot, SkewSnapshot};
 
 /// Geometric-bucket latency histogram.
 ///
@@ -181,6 +181,9 @@ pub struct EdgeStats {
     /// Write-combiner activity aggregated across the cluster's op logs
     /// (batches combined, ops published, sheds, lock contention).
     pub combiner: CombinerSnapshot,
+    /// Skew-engine activity (sketch traffic, validating-cache hits,
+    /// coalesced reads, hot-routing decisions).
+    pub skew: SkewSnapshot,
 }
 
 impl EdgeStats {
@@ -215,6 +218,22 @@ impl EdgeStats {
         self.combiner.absorb(s);
     }
 
+    /// Folds a skew-engine snapshot into the aggregate. The skew state is
+    /// deployment-wide (one per fast-path table), so unlike per-server
+    /// stats this is absorbed once per cluster, not once per edge.
+    pub fn absorb_skew(&mut self, s: SkewSnapshot) {
+        let k = &mut self.skew;
+        k.sketch_ops += s.sketch_ops;
+        k.hot_lookups += s.hot_lookups;
+        k.epochs += s.epochs;
+        k.cache_hits += s.cache_hits;
+        k.cache_fills += s.cache_fills;
+        k.cache_invalidated += s.cache_invalidated;
+        k.coalesce_leaders += s.coalesce_leaders;
+        k.coalesced += s.coalesced;
+        k.hot_routed += s.hot_routed;
+    }
+
     /// Snapshots and sums the counters of every given server.
     pub fn collect<'a>(servers: impl IntoIterator<Item = &'a TcpServer>) -> EdgeStats {
         let mut agg = EdgeStats::default();
@@ -230,7 +249,7 @@ impl std::fmt::Display for EdgeStats {
         write!(
             f,
             "edge: {} conns accepted, {} refused, {} dropped on protocol errors, \
-             {} pipeline shed, {} pool shed, {} spawn failures; {}; {}",
+             {} pipeline shed, {} pool shed, {} spawn failures; {}; {}; {}",
             self.connections_accepted,
             self.connections_refused,
             self.protocol_error_drops,
@@ -239,6 +258,7 @@ impl std::fmt::Display for EdgeStats {
             self.spawn_failures,
             self.overload,
             self.combiner,
+            self.skew,
         )
     }
 }

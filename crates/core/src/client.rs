@@ -23,8 +23,8 @@ use bespokv_proto::{CoordMsg, NetMsg};
 use bespokv_runtime::Addr;
 use bespokv_types::{
     Consistency, ConsistencyLevel, ClientId, Duration, HistoryEvent, HistoryOp, HistoryOutcome,
-    HistoryRecorder, Instant, Key, KvError, NodeId, OverloadConfig, OverloadCounters, RequestId,
-    ShardMap, Topology, VersionedValue,
+    HistoryRecorder, Instant, Key, KeySketch, KvError, NodeId, OverloadConfig, OverloadCounters,
+    RequestId, ShardMap, SkewConfig, SkewCounters, Topology, VersionedValue,
 };
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -137,6 +137,19 @@ pub struct ClientCore {
     retry_token_cap: u32,
     /// Shared overload counters (breaker trips, denied retries).
     counters: Arc<OverloadCounters>,
+    /// Hot-key routing: a client-local sketch over the GET stream. Strong
+    /// reads for detected heavy hitters under MS+SC spread round-robin
+    /// across the whole chain (clean replicas serve them via the fast
+    /// path, dirty ones bounce `WrongNode{hint: tail}` — an authoritative,
+    /// token-free correction) instead of serializing on the tail.
+    skew: Option<ClientSkew>,
+}
+
+/// Client half of the skew engine: the local sketch plus the shared
+/// counters hot-routing decisions are reported into.
+struct ClientSkew {
+    sketch: KeySketch,
+    counters: Arc<SkewCounters>,
 }
 
 #[derive(Debug)]
@@ -174,7 +187,20 @@ impl ClientCore {
             retry_tokens: OverloadConfig::default().retry_tokens,
             retry_token_cap: OverloadConfig::default().retry_tokens,
             counters: Arc::new(OverloadCounters::new()),
+            skew: None,
         }
+    }
+
+    /// Arms hot-key routing: GET keys feed a client-local sketch, and
+    /// strong reads for detected heavy hitters spread across all replicas
+    /// of an MS+SC chain instead of pinning to the tail. `counters` are
+    /// shared with the cluster so the harness sees routing decisions.
+    pub fn with_skew(mut self, cfg: SkewConfig, counters: Arc<SkewCounters>) -> Self {
+        self.skew = Some(ClientSkew {
+            sketch: KeySketch::new(&cfg),
+            counters,
+        });
+        self
     }
 
     /// Attaches a consistency-oracle recorder: every point op (put/get/del)
@@ -451,6 +477,16 @@ impl ClientCore {
 
     /// Picks the destination node for a request under the current map.
     fn route(&mut self, req: &Request, now: Instant) -> Option<NodeId> {
+        if let Some(skew) = &self.skew {
+            // Feed the GET stream into the hot-key sketch at routing time
+            // (reads only: write placement is ownership, not load).
+            if let (Some(key), false) = (req.op.key(), req.op.is_write()) {
+                skew.counters
+                    .sketch_ops
+                    .fetch_add(1, Ordering::Relaxed);
+                skew.sketch.record(key);
+            }
+        }
         if let Some(targets) = &self.p2p_targets {
             if !targets.is_empty() {
                 self.rr = self.rr.wrapping_add(1);
@@ -512,7 +548,24 @@ impl ClientCore {
         match effective {
             Consistency::Eventual => Some(pool[pick]),
             Consistency::Strong => match (info.mode.topology, info.mode.consistency) {
-                (Topology::MasterSlave, Consistency::Strong) => info.tail(),
+                (Topology::MasterSlave, Consistency::Strong) => {
+                    // Hot-key spreading: a heavy hitter would serialize on
+                    // the tail. Any chain member may serve a strong read
+                    // for a *clean* key (the CRAQ fast path); a dirty one
+                    // answers `WrongNode{hint: tail}`, which retries free
+                    // of tokens and lands exactly where the pinned route
+                    // would have gone. So spreading costs at most one
+                    // authoritative bounce and never weakens the read.
+                    if let Some(skew) = &self.skew {
+                        if let Some(key) = req.op.key() {
+                            if pool.len() > 1 && skew.sketch.is_hot(key) {
+                                skew.counters.hot_routed.fetch_add(1, Ordering::Relaxed);
+                                return Some(pool[pick]);
+                            }
+                        }
+                    }
+                    info.tail()
+                }
                 (Topology::MasterSlave, Consistency::Eventual) => info.head(),
                 (Topology::ActiveActive, _) => Some(pool[pick]),
             },
@@ -878,6 +931,84 @@ mod tests {
         let target = target_of(&mut core);
         let shard = m.shard_for_key(&Key::from("k"));
         assert_eq!(target, Addr(m.shard(shard).unwrap().tail().unwrap().raw()));
+    }
+
+    #[test]
+    fn hot_strong_reads_spread_across_the_chain() {
+        let m = map(Mode::MS_SC);
+        let cfg = SkewConfig {
+            hot_min_count: 8,
+            ..SkewConfig::default()
+        };
+        let counters = Arc::new(SkewCounters::new());
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m.clone())
+            .with_skew(cfg, Arc::clone(&counters));
+        let hot = Key::from("hot");
+        let shard = m.shard_for_key(&hot);
+        let info = m.shard(shard).unwrap().clone();
+        let tail = info.tail().unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            core.begin(
+                Op::Get { key: hot.clone() },
+                "",
+                ConsistencyLevel::Default,
+                now(),
+            );
+            seen.insert(target_of(&mut core));
+        }
+        assert!(
+            seen.len() > 1,
+            "hot strong reads must spread beyond the tail: {seen:?}"
+        );
+        for t in &seen {
+            assert!(
+                info.replicas.iter().any(|n| Addr(n.raw()) == *t),
+                "spread target {t:?} must stay within the shard's chain"
+            );
+        }
+        assert!(counters.snapshot().hot_routed > 0);
+        // A cold key keeps the pinned tail route.
+        core.begin(
+            Op::Get { key: Key::from("cold") },
+            "",
+            ConsistencyLevel::Default,
+            now(),
+        );
+        let cold_shard = m.shard_for_key(&Key::from("cold"));
+        let cold_tail = m.shard(cold_shard).unwrap().tail().unwrap();
+        assert_eq!(target_of(&mut core), Addr(cold_tail.raw()));
+        let _ = tail;
+    }
+
+    #[test]
+    fn hot_writes_keep_the_head_route() {
+        let m = map(Mode::MS_SC);
+        let cfg = SkewConfig {
+            hot_min_count: 8,
+            ..SkewConfig::default()
+        };
+        let counters = Arc::new(SkewCounters::new());
+        let mut core = ClientCore::new(ClientId(1), Addr(99))
+            .with_map(m.clone())
+            .with_skew(cfg, counters);
+        // Heat the key via reads, then check writes still pin to the head.
+        for _ in 0..50 {
+            core.begin(
+                Op::Get { key: Key::from("k") },
+                "",
+                ConsistencyLevel::Default,
+                now(),
+            );
+            let _ = target_of(&mut core);
+        }
+        core.begin(put_op(), "", ConsistencyLevel::Default, now());
+        let shard = m.shard_for_key(&Key::from("k"));
+        assert_eq!(
+            target_of(&mut core),
+            Addr(m.shard(shard).unwrap().head().unwrap().raw())
+        );
     }
 
     #[test]

@@ -210,6 +210,13 @@ impl ReplyCache {
 /// share (the slot queue is a short mutex-guarded deque, not a 1:1 cell).
 const SLOTS: usize = 8;
 
+/// Bounded spin budget for the opportunistic combine window: how long a
+/// combiner that won the lock while another submit was mid-flight lingers
+/// before draining, giving the peer time to land its op in a slot so the
+/// drain takes a batch > 1. Purely best-effort — the window only delays
+/// the drain, never correctness.
+const COMBINE_WINDOW_SPINS: usize = 256;
+
 /// Ops-per-batch histogram buckets: 1, 2-3, 4-7, ..., 64-127, 128+.
 const BATCH_BUCKETS: usize = 8;
 
@@ -296,6 +303,7 @@ pub struct CombinerCounters {
     shed_window: AtomicU64,
     cache_hits: AtomicU64,
     lock_contention: AtomicU64,
+    window_waits: AtomicU64,
     ops_per_batch: [AtomicU64; BATCH_BUCKETS],
 }
 
@@ -316,6 +324,9 @@ pub struct CombinerSnapshot {
     pub cache_hits: u64,
     /// Submit attempts that found the combiner lock held.
     pub lock_contention: u64,
+    /// Drains that spun the opportunistic combine window because another
+    /// submit was mid-flight when the combiner lock was won.
+    pub window_waits: u64,
     /// Ops-per-batch histogram: buckets 1, 2-3, 4-7, ..., 64-127, 128+.
     pub ops_per_batch: [u64; BATCH_BUCKETS],
 }
@@ -330,6 +341,7 @@ impl CombinerSnapshot {
         self.shed_window += other.shed_window;
         self.cache_hits += other.cache_hits;
         self.lock_contention += other.lock_contention;
+        self.window_waits += other.window_waits;
         for (a, b) in self.ops_per_batch.iter_mut().zip(other.ops_per_batch) {
             *a += b;
         }
@@ -341,7 +353,8 @@ impl std::fmt::Display for CombinerSnapshot {
         write!(
             f,
             "combiner: {} batches, {} ops, {} shed-full, {} shed-expired, \
-             {} shed-window, {} cache hits, {} lock contention; ops/batch {:?}",
+             {} shed-window, {} cache hits, {} lock contention, \
+             {} window waits; ops/batch {:?}",
             self.batches,
             self.ops,
             self.shed_full,
@@ -349,6 +362,7 @@ impl std::fmt::Display for CombinerSnapshot {
             self.shed_window,
             self.cache_hits,
             self.lock_contention,
+            self.window_waits,
             self.ops_per_batch,
         )
     }
@@ -385,6 +399,12 @@ pub struct OpLog {
     cap: usize,
     /// Ops enqueued but not yet drained out of the slots.
     pending_ops: AtomicUsize,
+    /// Threads currently between the enqueue checks and the end of the
+    /// qlock loop. A combiner that wins the lock while this is above one
+    /// spins the combine window before draining so the mid-flight peer's
+    /// op joins the batch; a solo submitter never waits, so the
+    /// uncontended path is unchanged.
+    submitting: AtomicUsize,
     /// Actor-published size of its chain in-flight table (writes awaiting
     /// the tail ack). The combiner sheds past `cap - head_inflight`, so a
     /// slow chain successor cannot grow the head's in-flight map, pending
@@ -431,6 +451,7 @@ impl OpLog {
             shard: AtomicU32::new(shard.raw()),
             cap: cap.max(1),
             pending_ops: AtomicUsize::new(0),
+            submitting: AtomicUsize::new(0),
             head_inflight: AtomicUsize::new(0),
             slots: (0..SLOTS).map(|_| Slot::default()).collect(),
             combiner: Mutex::new(()),
@@ -470,6 +491,7 @@ impl OpLog {
             shed_window: c.shed_window.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             lock_contention: c.lock_contention.load(Ordering::Relaxed),
+            window_waits: c.window_waits.load(Ordering::Relaxed),
             ops_per_batch,
         }
     }
@@ -513,8 +535,10 @@ impl OpLog {
     }
 
     /// Submits a PUT/DEL through the combiner, from this thread's slot.
-    /// `None` means the gate is closed (or the op carries no key): take
-    /// the actor path. `reply_to` is where the controlet's response
+    /// `None` means take the actor path: the gate is closed, the op
+    /// carries no key, or it is a retry of an in-flight write the actor
+    /// already owns (the controlet joins it to the original and re-pushes
+    /// the chain write). `reply_to` is where the controlet's response
     /// should go; `now` is the caller's clock for deadline checks
     /// (`Instant::ZERO` disables them).
     pub fn submit(&self, req: &Request, reply_to: Addr, now: Instant) -> Option<Submit> {
@@ -545,10 +569,27 @@ impl OpLog {
             return Some(Submit::Done(resp));
         }
         // Exactly-once, part 2: a retry of a write still in flight must
-        // not enqueue a second copy — the original's response (routed by
-        // rid) answers the retry too.
-        if !self.inflight.lock().insert(req.id) {
-            return Some(Submit::Enqueued { nudge: false });
+        // not enqueue a second copy. Where the retry goes depends on who
+        // owns the original. While the op is edge-owned (parked in a slot
+        // or in a handed-off batch) the retry is swallowed but re-arms
+        // the nudge: the client only retries after silence, so the
+        // original `CombinerNudge` may have been lost, and a stranded
+        // batch would otherwise wait for an unrelated write to poke the
+        // controlet (a nudge is an idempotent drain — worst case is one
+        // empty pop). Once the edge is idle the actor owns the op — it
+        // sits in the controlet's pending/in-flight tables — so the
+        // retry takes the actor path, where the controlet joins it to
+        // the original and re-pushes the chain write: the only repair
+        // for a `ChainPut` or ack lost in flight.
+        {
+            let mut inflight = self.inflight.lock();
+            if !inflight.insert(req.id) {
+                drop(inflight);
+                if self.idle() {
+                    return None;
+                }
+                return Some(Submit::Enqueued { nudge: true });
+            }
         }
         // Exactly-once, part 3: close the race against the controlet's
         // `respond`, which records the reply to the cache and THEN
@@ -570,6 +611,17 @@ impl OpLog {
             self.counters.shed_full.fetch_add(1, Ordering::Relaxed);
             return Some(Submit::Done(Response::err(req.id, KvError::Overloaded)));
         }
+        // Advertise that a submit is in flight (the combine window below
+        // reads this gauge); the guard drops it on every exit path out of
+        // the qlock loop.
+        self.submitting.fetch_add(1, Ordering::AcqRel);
+        struct SubmitGauge<'a>(&'a AtomicUsize);
+        impl Drop for SubmitGauge<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let _gauge = SubmitGauge(&self.submitting);
         let slot = &self.slots[slot % SLOTS];
         let g0 = {
             let mut q = slot.queue.lock();
@@ -605,6 +657,30 @@ impl OpLog {
                     // drained us between the generation check and the win.
                     if slot.drained_gen.load(Ordering::Acquire) > g0 {
                         return Some(Submit::Enqueued { nudge: false });
+                    }
+                    // Combine window: we won the drain, but the gauge says
+                    // another submit is mid-flight RIGHT NOW. Linger a
+                    // bounded moment so its push lands in a slot and this
+                    // drain takes a batch > 1 instead of two batches of 1
+                    // — waiting here is strictly better than draining solo
+                    // and making the peer run its own full combine. Exit
+                    // early once a second op is visible (`pending_ops`)
+                    // or every peer has left the submit path. A solo
+                    // submitter (gauge == 1, just us) skips the window
+                    // entirely: the uncontended path is unchanged, which
+                    // keeps single-threaded simulation runs deterministic
+                    // and costs nothing when there is nobody to combine
+                    // with.
+                    if self.submitting.load(Ordering::Acquire) > 1 {
+                        self.counters.window_waits.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..COMBINE_WINDOW_SPINS {
+                            if self.pending_ops.load(Ordering::Acquire) > 1
+                                || self.submitting.load(Ordering::Acquire) <= 1
+                            {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
                     }
                     let combined = self.combine(now);
                     drop(guard);
@@ -941,6 +1017,39 @@ mod tests {
     }
 
     #[test]
+    fn combine_window_waits_only_with_concurrent_submitters() {
+        let log = Arc::new(oplog(64));
+        log.gate()
+            .publish(Some(&info(Mode::MS_SC, 3, 1)), NodeId(0), false);
+        // A solo submitter never pays the window.
+        assert!(matches!(
+            log.submit_at(0, &put(1, "a"), Addr(9), Instant::ZERO),
+            Some(Submit::Enqueued { nudge: true })
+        ));
+        assert_eq!(log.snapshot().window_waits, 0, "solo path skips the window");
+        // Two submitters parked mid-flight (both pushed, both spinning in
+        // the qlock loop while we hold the combiner lock). On release,
+        // whichever wins the lock observes the other's gauge, spins the
+        // combine window, sees the second op already pending, and drains
+        // both as one batch.
+        {
+            let guard = log.combiner.lock();
+            let h1 = park(&log, 0, put(2, "b"), Addr(9), Instant::ZERO);
+            let h2 = park(&log, 1, put(3, "c"), Addr(9), Instant::ZERO);
+            drop(guard);
+            assert!(h1.join().unwrap());
+            assert!(h2.join().unwrap());
+        }
+        let s = log.snapshot();
+        assert!(s.window_waits >= 1, "winning combiner spun the window: {s}");
+        // The windowed pair drained as one batch of two.
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.ops, 3);
+        assert_eq!(s.ops_per_batch[1], 1, "one 2-op batch: {s}");
+        assert_eq!(log.submitting.load(Ordering::Acquire), 0, "gauge drains to zero");
+    }
+
+    #[test]
     fn duplicate_rid_dedups_via_reply_cache_and_inflight() {
         let log = oplog(64);
         log.gate()
@@ -950,14 +1059,23 @@ mod tests {
             log.submit_at(0, &req, Addr(99), Instant::ZERO),
             Some(Submit::Enqueued { nudge: true })
         ));
-        // Retry while the original is still unanswered: no second enqueue.
+        // Retry while the combined batch is still awaiting collection: no
+        // second enqueue, but the nudge IS re-armed — the retry means the
+        // client saw silence, so the original nudge may have been lost,
+        // and a stranded handoff batch would wedge the write until an
+        // unrelated submit poked the controlet.
         assert!(matches!(
             log.submit_at(0, &req, Addr(99), Instant::ZERO),
-            Some(Submit::Enqueued { nudge: false })
+            Some(Submit::Enqueued { nudge: true })
         ));
         let b = log.pop_batch().expect("batch");
         assert_eq!(b.writes.len(), 1, "duplicate never re-combined");
         assert!(log.pop_batch().is_none());
+        // Retry after collection: the actor owns the op now (pending /
+        // in-flight tables), so the retry takes the actor path — where a
+        // lost ChainPut or ack gets re-pushed — instead of being
+        // swallowed at the edge.
+        assert!(log.submit_at(0, &req, Addr(99), Instant::ZERO).is_none());
         // The controlet responds: cache the reply, release the rid.
         let resp = Response::ok(req.id, RespBody::Done);
         log.replies.record(&resp);
@@ -997,14 +1115,15 @@ mod tests {
             responder.join().unwrap();
             match res {
                 Some(Submit::Done(r)) => assert!(matches!(r.result, Ok(RespBody::Done))),
-                Some(Submit::Enqueued { .. }) => {
+                Some(Submit::Enqueued { .. }) | None => {
                     // The insert lost to the still-unreleased original:
-                    // the retry joined it, nothing new may be parked or
-                    // combined.
+                    // the retry joined it (`Enqueued`) or was sent down
+                    // the actor path (`None`, idle edge) where the
+                    // controlet answers from the reply cache. Either
+                    // way nothing new may be parked or combined.
                     assert!(log.handoff_empty(), "completed write re-executed");
                     assert_eq!(log.pending_ops.load(Ordering::Acquire), 0);
                 }
-                other => panic!("unexpected {other:?}"),
             }
         }
     }

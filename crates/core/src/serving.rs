@@ -144,6 +144,14 @@ impl ServingState {
         self.word.load(Ordering::Acquire) & OPEN != 0
     }
 
+    /// Whether the current word serves Strong reads unconditionally (the
+    /// MS+SC tail / MS+EC master). The hot-key relay uses this to find
+    /// the strong-read authority without consulting the shard map.
+    pub fn serves_strong(&self) -> bool {
+        let w = self.word.load(Ordering::Acquire);
+        w & OPEN != 0 && w & STRONG != 0
+    }
+
     /// Epoch carried by the current gate word (tests).
     pub fn epoch(&self) -> u64 {
         self.word.load(Ordering::Acquire) >> EPOCH_SHIFT
@@ -177,8 +185,16 @@ const DIRTY_STRIPES: usize = 64;
 /// Refcounted set of keys with in-flight chain writes, striped to keep
 /// edge-thread lookups off a single lock. Writers (the controlet actor)
 /// mark/unmark; readers only probe.
+///
+/// Each stripe also carries a **write generation**: a counter bumped on
+/// every `mark` (and on `clear`). Because chain writes mark *before* they
+/// apply, an unchanged stripe generation between two clean probes proves
+/// no write touched any key of the stripe in between — the validating
+/// edge cache uses this to serve a previously read value without
+/// re-reading the datalet, inheriting the fast path's CRAQ argument.
 pub struct DirtySet {
     stripes: Vec<Mutex<HashMap<Key, u32>>>,
+    gens: Vec<AtomicU64>,
 }
 
 impl Default for DirtySet {
@@ -192,15 +208,23 @@ impl DirtySet {
     pub fn new() -> Self {
         DirtySet {
             stripes: (0..DIRTY_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            gens: (0..DIRTY_STRIPES).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    fn stripe(&self, key: &Key) -> &Mutex<HashMap<Key, u32>> {
-        &self.stripes[(key.stable_hash() as usize) & (DIRTY_STRIPES - 1)]
+    fn idx(&self, key: &Key) -> usize {
+        (key.stable_hash() as usize) & (DIRTY_STRIPES - 1)
     }
 
-    /// Marks a key dirty (one more in-flight write touching it).
+    fn stripe(&self, key: &Key) -> &Mutex<HashMap<Key, u32>> {
+        &self.stripes[self.idx(key)]
+    }
+
+    /// Marks a key dirty (one more in-flight write touching it). Bumps
+    /// the stripe's write generation *before* the key shows up dirty, so
+    /// a generation sampled while the stripe was clean stays conclusive.
     pub fn mark(&self, key: &Key) {
+        self.gens[self.idx(key)].fetch_add(1, Ordering::Release);
         *self.stripe(key).lock().entry(key.clone()).or_insert(0) += 1;
     }
 
@@ -220,9 +244,18 @@ impl DirtySet {
         self.stripe(key).lock().contains_key(key)
     }
 
-    /// Drops every mark (chain-of-one commit, harness reset).
+    /// The key's stripe write generation. Equal generations across two
+    /// clean probes mean no write marked any key in the stripe between
+    /// them (mark-before-apply makes this a no-writes-applied proof).
+    pub fn generation(&self, key: &Key) -> u64 {
+        self.gens[self.idx(key)].load(Ordering::Acquire)
+    }
+
+    /// Drops every mark (chain-of-one commit, harness reset). Bumps all
+    /// generations: state may have jumped arbitrarily.
     pub fn clear(&self) {
-        for s in &self.stripes {
+        for (s, g) in self.stripes.iter().zip(&self.gens) {
+            g.fetch_add(1, Ordering::Release);
             s.lock().clear();
         }
     }
@@ -336,5 +369,30 @@ mod tests {
         d.mark(&k);
         d.clear();
         assert!(!d.is_dirty(&k));
+    }
+
+    #[test]
+    fn stripe_generation_advances_on_mark_and_clear() {
+        let d = DirtySet::new();
+        let k = Key::from("k");
+        let g0 = d.generation(&k);
+        d.mark(&k);
+        assert!(d.generation(&k) > g0, "mark must bump the stripe generation");
+        let g1 = d.generation(&k);
+        d.unmark(&k);
+        assert_eq!(d.generation(&k), g1, "unmark leaves the generation alone");
+        d.clear();
+        assert!(d.generation(&k) > g1, "clear must bump every generation");
+        // An unrelated stripe's generation is independent of this key's.
+        let other = (0..1000)
+            .map(|i| Key::from(format!("x{i}")))
+            .find(|o| {
+                (o.stable_hash() as usize) & (DIRTY_STRIPES - 1)
+                    != (k.stable_hash() as usize) & (DIRTY_STRIPES - 1)
+            })
+            .unwrap();
+        let go = d.generation(&other);
+        d.mark(&k);
+        assert_eq!(d.generation(&other), go);
     }
 }

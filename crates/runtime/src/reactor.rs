@@ -14,8 +14,10 @@
 //!
 //! Reads are edge-triggered: a readable event marks the connection and the
 //! drive loop reads until `WouldBlock`, feeding the same incremental
-//! [`ProtocolParser`] the blocking edge uses. Responses are encoded into a
-//! per-connection buffer and flushed with one coalesced write per turn.
+//! [`ProtocolParser`] the blocking edge uses. Each response is encoded
+//! once into a frame that is queued as-is; a vectored write
+//! (`writev`-style) flushes a batch of frames per turn without recopying
+//! them into a contiguous output buffer.
 //!
 //! # Backpressure, re-expressed
 //!
@@ -41,11 +43,12 @@ use crate::tcp::{EdgeCounters, EdgeTransport, Handler, ParserFactory, ServerOpti
 use bespokv_proto::client::Response;
 use bespokv_proto::parser::ProtocolParser;
 use bespokv_types::KvError;
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use mio::net::{TcpListener as MioListener, TcpStream as MioStream};
 use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -70,6 +73,10 @@ const SHED_LANE: usize = 256;
 /// Fairness budget when no `pipeline_cap` is configured: requests served
 /// per connection per reactor turn.
 const DEFAULT_TURN_BUDGET: usize = 128;
+/// Frames per vectored write — Linux caps an iovec array at 1024
+/// (`UIO_MAXIOV`); 64 already amortises the syscall and keeps the
+/// on-stack slice array small.
+const MAX_IOV: usize = 64;
 
 fn default_reactor_count() -> usize {
     std::thread::available_parallelism()
@@ -258,8 +265,17 @@ fn build_listeners(
 struct Conn {
     stream: MioStream,
     parser: Box<dyn ProtocolParser>,
-    /// Encoded-but-unsent responses; one coalesced write flushes them.
-    out: BytesMut,
+    /// Encoded-but-unsent response frames, oldest first. Each response is
+    /// encoded exactly once into its own frame and frozen in place; a
+    /// vectored write flushes up to [`MAX_IOV`] of them per syscall, so
+    /// frames are never recopied into (or compacted within) a contiguous
+    /// output buffer.
+    out_frames: VecDeque<Bytes>,
+    /// Bytes of the front frame already written (partial `writev`).
+    out_head: usize,
+    /// Unsent output across all frames (already net of `out_head`) —
+    /// the quantity the high/low-water marks compare against.
+    out_len: usize,
     /// The last read edge has not been drained to `WouldBlock` yet.
     sock_readable: bool,
     /// Registered for WRITABLE (a flush hit `WouldBlock`).
@@ -411,7 +427,9 @@ impl Reactor {
         self.slab[idx] = Some(Conn {
             stream,
             parser: (self.make_parser)(),
-            out: BytesMut::with_capacity(4 * 1024),
+            out_frames: VecDeque::new(),
+            out_head: 0,
+            out_len: 0,
             // Bytes may have landed before registration; the first drive
             // reads to WouldBlock either way.
             sock_readable: true,
@@ -472,8 +490,12 @@ impl Reactor {
                                 Err(_) => return Drive::Close,
                             }
                         };
-                        c.parser.encode_response(&resp, &mut c.out);
-                        if c.out.len() >= OUT_HIGH_WATER {
+                        let mut buf = BytesMut::new();
+                        c.parser.encode_response(&resp, &mut buf);
+                        let frame = buf.freeze();
+                        c.out_len += frame.len();
+                        c.out_frames.push_back(frame);
+                        if c.out_len >= OUT_HIGH_WATER {
                             c.paused = true;
                         }
                     }
@@ -530,7 +552,7 @@ impl Reactor {
         if !self.flush(idx, c) {
             return Drive::Close;
         }
-        if c.closing && c.out.is_empty() {
+        if c.closing && c.out_len == 0 {
             return Drive::Close;
         }
         if requeue && !c.queued {
@@ -540,13 +562,35 @@ impl Reactor {
         Drive::Keep
     }
 
-    /// Writes pending output; arms/disarms WRITABLE interest as needed.
-    /// `false` means the connection is dead.
+    /// Writes pending output with vectored writes (up to [`MAX_IOV`]
+    /// frames per syscall, the first offset by `out_head` for a partial
+    /// prior write); arms/disarms WRITABLE interest as needed. `false`
+    /// means the connection is dead.
     fn flush(&self, idx: usize, c: &mut Conn) -> bool {
-        while !c.out.is_empty() {
-            match c.stream.write(&c.out) {
+        while c.out_len > 0 {
+            let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(c.out_frames.len().min(MAX_IOV));
+            for (i, frame) in c.out_frames.iter().take(MAX_IOV).enumerate() {
+                let frame = if i == 0 { &frame[c.out_head..] } else { &frame[..] };
+                iov.push(IoSlice::new(frame));
+            }
+            match c.stream.write_vectored(&iov) {
                 Ok(0) => return false,
-                Ok(n) => c.out.advance(n),
+                Ok(mut n) => {
+                    c.out_len -= n;
+                    // Retire fully-written frames; remember the offset
+                    // into a partially-written front frame.
+                    while n > 0 {
+                        let left = c.out_frames[0].len() - c.out_head;
+                        if n >= left {
+                            n -= left;
+                            c.out_head = 0;
+                            c.out_frames.pop_front();
+                        } else {
+                            c.out_head += n;
+                            n = 0;
+                        }
+                    }
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     // Socket buffer full: re-arm for a writable edge. The
                     // reregister also refreshes the read edge, which is
@@ -566,7 +610,7 @@ impl Reactor {
                         }
                         c.writable_interest = true;
                     }
-                    if c.paused && c.out.len() <= OUT_LOW_WATER {
+                    if c.paused && c.out_len <= OUT_LOW_WATER {
                         c.paused = false;
                     }
                     return true;
@@ -857,6 +901,70 @@ mod tests {
             assert_eq!(
                 resp.result,
                 Ok(RespBody::Value(VersionedValue::new(big.clone(), 1)))
+            );
+        }
+        server.stop();
+    }
+
+    /// Satellite (writev flush): a burst of pipelined mid-size responses
+    /// must trip the output high-water pause by accumulation (no single
+    /// frame reaches the mark alone), then drain through repeated
+    /// vectored writes. Exercises pause/unpause cycling, multi-frame
+    /// iovec batches, and partial-write head offsets — every response
+    /// must arrive intact and in order.
+    #[test]
+    fn high_water_pause_resumes_and_preserves_frames() {
+        let server = reactor_server(ServerOptions::default());
+        let addr = server.local_addr();
+        let val = Value::from(vec![0x5Au8; 48 * 1024]);
+        let mut seeder = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+        let put = Request::new(
+            rid(0),
+            Op::Put {
+                key: Key::from("hw"),
+                value: val.clone(),
+            },
+        );
+        assert_eq!(seeder.call(&put).unwrap().result, Ok(RespBody::Done));
+
+        // 32 pipelined GETs of a 48 KiB value: ~1.5 MiB of responses, far
+        // over OUT_HIGH_WATER, while the client does not read — the
+        // server must pause serving, park on WRITABLE, and resume below
+        // the low-water mark as we drain.
+        let mut parser = BinaryParser::new();
+        let reqs: Vec<Request> = (1..=32)
+            .map(|i| Request::new(rid(i), Op::Get { key: Key::from("hw") }))
+            .collect();
+        let mut wire = BytesMut::new();
+        for r in &reqs {
+            parser.encode_request(r, &mut wire);
+        }
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(&wire).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reply = BinaryParser::new();
+        let mut buf = [0u8; 64 * 1024];
+        let mut got = Vec::new();
+        while got.len() < reqs.len() {
+            while let Some(r) = reply.next_response().unwrap() {
+                got.push(r);
+            }
+            if got.len() == reqs.len() {
+                break;
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed before all responses arrived");
+            reply.feed(&buf[..n]);
+        }
+        for (req, resp) in reqs.iter().zip(&got) {
+            assert_eq!(resp.id, req.id, "frames reordered across the pause");
+            assert_eq!(
+                resp.result,
+                Ok(RespBody::Value(VersionedValue::new(val.clone(), 1)))
             );
         }
         server.stop();

@@ -17,6 +17,7 @@ pub mod kv;
 pub mod mode;
 pub mod overload;
 pub mod shardmap;
+pub mod skew;
 pub mod time;
 
 pub use error::{KvError, KvResult};
@@ -26,4 +27,5 @@ pub use kv::{Key, Value, Version, VersionedValue};
 pub use mode::{Consistency, ConsistencyLevel, Mode, Topology};
 pub use overload::{OverloadConfig, OverloadCounters, OverloadSnapshot};
 pub use shardmap::{Partitioning, ShardInfo, ShardMap};
+pub use skew::{KeySketch, SkewConfig, SkewCounters, SkewSnapshot};
 pub use time::{Duration, Instant};

@@ -24,7 +24,7 @@ use bespokv_suite::coordinator::{CoordConfig, CoordinatorActor};
 use bespokv_suite::runtime::{FaultPlan, LinkFaults};
 use bespokv_suite::types::{
     ApplyEvent, Consistency, ConsistencyLevel, Duration, HistoryEvent, Key, KvError, Mode,
-    NodeId, OverloadConfig, ShardId, Value,
+    NodeId, OverloadConfig, ShardId, SkewConfig, SkewSnapshot, Value,
 };
 use std::collections::BTreeMap;
 
@@ -70,6 +70,28 @@ fn write_combine_enabled() -> bool {
     std::env::var("BESPOKV_WRITE_COMBINE").ok().as_deref() == Some("1")
 }
 
+/// `BESPOKV_SKEW=1` re-runs the whole sweep with the skew engine armed:
+/// hot-key sketching at every edge, the validating cache on the clean-read
+/// path, and clients spreading hot-key strong reads across clean replicas.
+/// Every guarantee below must hold with cached serves and spread routing
+/// in the mix — a cached value served past the gate's proof, or a spread
+/// read landing on a stale replica, would fail the same linearizability
+/// checks.
+fn skew_enabled() -> bool {
+    std::env::var("BESPOKV_SKEW").ok().as_deref() == Some("1")
+}
+
+/// A hair-trigger skew config for the sweep (cf. [`tight_overload`]): the
+/// oracle workload touches 6 keys a few dozen times each, far below the
+/// production hot threshold, so the sketch must classify hot after a
+/// handful of reads for the cache and routing paths to engage at all.
+fn tight_skew() -> SkewConfig {
+    SkewConfig {
+        hot_min_count: 4,
+        ..SkewConfig::default()
+    }
+}
+
 fn oracle_spec(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> ClusterSpec {
     let mut spec = ClusterSpec::new(1, 3, mode)
         .with_standbys(1)
@@ -88,6 +110,9 @@ fn oracle_spec(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> Cluster
     if combine || write_combine_enabled() {
         spec = spec.with_write_combine();
     }
+    if skew_enabled() {
+        spec = spec.with_skew(tight_skew());
+    }
     spec
 }
 
@@ -103,6 +128,8 @@ struct RunArtifacts {
     fast_fallbacks: u64,
     /// Writes that went through the combiner (0 when disabled).
     combined_ops: u64,
+    /// Skew-engine counters across all edges (zeroes when disabled).
+    skew: SkewSnapshot,
 }
 
 /// One kill + rejoin scenario: two writers and a reader share a small
@@ -171,6 +198,7 @@ fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> 
         .fast_path()
         .map(|t| t.combiner_snapshot().ops)
         .unwrap_or(0);
+    let skew = cluster.skew_snapshot();
 
     let recorder = cluster.history().expect("history enabled").clone();
     let replicas = cluster
@@ -187,6 +215,7 @@ fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> 
         fast_hits,
         fast_fallbacks,
         combined_ops,
+        skew,
     }
 }
 
@@ -225,6 +254,26 @@ fn check_mode_under_faults(mode: Mode, fast_path: bool, combine: bool) {
                 assert!(
                     run.fast_hits > 0,
                     "{mode:?} seed {seed}: fast path enabled but served nothing"
+                );
+            }
+        }
+        if skew_enabled() {
+            // The sketch taps every edge-intercepted GET, whatever the
+            // permit outcome — if it saw nothing, the engine wasn't wired.
+            assert!(
+                run.skew.sketch_ops > 0,
+                "{mode:?} seed {seed}: skew armed but the sketch saw no reads"
+            );
+            if mode == Mode::AA_SC || mode == Mode::AA_EC {
+                // The validating cache serves (and fills) only under a
+                // `ServeIfClean` grant. AA gates never publish
+                // STRONG_CLEAN — no chain position proves a replica
+                // clean — so the cache must stay stone cold: any fill or
+                // hit here is a serve the gate never justified.
+                assert_eq!(
+                    (run.skew.cache_fills, run.skew.cache_hits),
+                    (0, 0),
+                    "{mode:?} seed {seed}: cache active without a ServeIfClean grant"
                 );
             }
         }
@@ -750,3 +799,4 @@ fn oracle_catches_injected_stale_read_bug() {
     let lin = check_linearizable(&recorder.events(), &BTreeMap::new());
     assert!(lin.ok(), "clean control run must pass: {:#?}", lin.violations);
 }
+
