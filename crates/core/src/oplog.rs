@@ -413,11 +413,27 @@ pub struct OpLog {
     head_inflight: AtomicUsize,
     slots: Vec<Slot>,
     combiner: Mutex<()>,
-    /// Rids enqueued or combined but not yet responded to: refuses
-    /// double-enqueue of a retried write while the original is in flight.
-    inflight: Mutex<HashSet<RequestId>>,
+    /// Rids enqueued or combined but not yet responded to, each tagged
+    /// with who currently owns its repair path: refuses double-enqueue of
+    /// a retried write while the original is in flight, and routes the
+    /// retry to whichever side can actually repair a lost message.
+    inflight: Mutex<HashMap<RequestId, RidOwner>>,
     handoff: Mutex<VecDeque<CombinedBatch>>,
     counters: CombinerCounters,
+}
+
+/// Who owns an in-flight rid's repair path (see the retry routing in
+/// [`OpLog::submit_at`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RidOwner {
+    /// Parked in a slot or in a handed-off batch: a retry only re-arms
+    /// the drain nudge.
+    Edge,
+    /// Collected by the controlet via [`OpLog::pop_batch`] — the op sits
+    /// in the actor's pending/in-flight tables, so a retry must take the
+    /// actor path, where the controlet joins it to the original and
+    /// re-pushes the chain write.
+    Actor,
 }
 
 /// Round-robin slot assignment, cached per thread.
@@ -455,7 +471,7 @@ impl OpLog {
             head_inflight: AtomicUsize::new(0),
             slots: (0..SLOTS).map(|_| Slot::default()).collect(),
             combiner: Mutex::new(()),
-            inflight: Mutex::new(HashSet::new()),
+            inflight: Mutex::new(HashMap::new()),
             handoff: Mutex::new(VecDeque::new()),
             counters: CombinerCounters::default(),
         }
@@ -515,7 +531,7 @@ impl OpLog {
     /// before ordering a write that arrived on the relay path: a retry of
     /// a combined write must join the original, never re-order.
     pub fn tracks(&self, rid: RequestId) -> bool {
-        self.inflight.lock().contains(&rid)
+        self.inflight.lock().contains_key(&rid)
     }
 
     /// Whether the actor has drained every combined batch.
@@ -529,9 +545,27 @@ impl OpLog {
         self.pending_ops.load(Ordering::Acquire) == 0 && self.handoff_empty()
     }
 
-    /// Pops one combined batch for actor-side replication.
+    /// Pops one combined batch for actor-side replication. Every rid in
+    /// the batch becomes actor-owned: from here on it lives in the
+    /// controlet's pending/in-flight tables (or is owed an explicit shed
+    /// reply), so retries must route to the actor — see `submit_at`.
     pub fn pop_batch(&self) -> Option<CombinedBatch> {
-        self.handoff.lock().pop_front()
+        let batch = self.handoff.lock().pop_front()?;
+        {
+            let mut inflight = self.inflight.lock();
+            for rid in batch
+                .writes
+                .iter()
+                .map(|w| w.rid)
+                .chain(batch.rejects.iter().map(|&(rid, _)| rid))
+                .chain(batch.window_sheds.iter().map(|&(rid, _)| rid))
+            {
+                if let Some(owner) = inflight.get_mut(&rid) {
+                    *owner = RidOwner::Actor;
+                }
+            }
+        }
+        Some(batch)
     }
 
     /// Submits a PUT/DEL through the combiner, from this thread's slot.
@@ -570,25 +604,36 @@ impl OpLog {
         }
         // Exactly-once, part 2: a retry of a write still in flight must
         // not enqueue a second copy. Where the retry goes depends on who
-        // owns the original. While the op is edge-owned (parked in a slot
-        // or in a handed-off batch) the retry is swallowed but re-arms
-        // the nudge: the client only retries after silence, so the
-        // original `CombinerNudge` may have been lost, and a stranded
-        // batch would otherwise wait for an unrelated write to poke the
-        // controlet (a nudge is an idempotent drain — worst case is one
-        // empty pop). Once the edge is idle the actor owns the op — it
-        // sits in the controlet's pending/in-flight tables — so the
-        // retry takes the actor path, where the controlet joins it to
-        // the original and re-pushes the chain write: the only repair
-        // for a `ChainPut` or ack lost in flight.
+        // owns the original — tracked per rid, because unrelated traffic
+        // keeping the log busy must not change how THIS op is repaired.
+        // While the op is edge-owned (parked in a slot or in a handed-off
+        // batch) the retry is swallowed but re-arms the nudge: the client
+        // only retries after silence, so the original `CombinerNudge` may
+        // have been lost, and a stranded batch would otherwise wait for
+        // an unrelated write to poke the controlet (a nudge is an
+        // idempotent drain — worst case is one empty pop). Once the actor
+        // has collected the op's batch (`pop_batch`) the rid is
+        // actor-owned — it sits in the controlet's pending/in-flight
+        // tables — so the retry takes the actor path, where the controlet
+        // joins it to the original and re-pushes the chain write: the
+        // only repair for a `ChainPut` or ack lost in flight. The idle
+        // fallback covers the one edge-owned case a nudge cannot reach —
+        // a retry racing the original's own submit, before its push is
+        // visible — where the actor path's `tracks` join is the answer.
         {
             let mut inflight = self.inflight.lock();
-            if !inflight.insert(req.id) {
-                drop(inflight);
-                if self.idle() {
-                    return None;
+            match inflight.entry(req.id) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let owner = *e.get();
+                    drop(inflight);
+                    if owner == RidOwner::Actor || self.idle() {
+                        return None;
+                    }
+                    return Some(Submit::Enqueued { nudge: true });
                 }
-                return Some(Submit::Enqueued { nudge: true });
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(RidOwner::Edge);
+                }
             }
         }
         // Exactly-once, part 3: close the race against the controlet's
@@ -1090,6 +1135,44 @@ mod tests {
     }
 
     #[test]
+    fn retry_of_collected_write_takes_actor_path_even_under_load() {
+        // The lost-ChainPut repair lives on the actor path: once the
+        // controlet has collected a batch, a retry of one of its writes
+        // must route to the actor — even while unrelated traffic keeps
+        // the log permanently non-idle. A global idle() proxy starves
+        // exactly this repair under sustained load.
+        let log = Arc::new(oplog(64));
+        log.gate()
+            .publish(Some(&info(Mode::MS_SC, 3, 1)), NodeId(0), false);
+        let req = put(1, "k");
+        assert!(matches!(
+            log.submit_at(0, &req, Addr(99), Instant::ZERO),
+            Some(Submit::Enqueued { nudge: true })
+        ));
+        let b = log.pop_batch().expect("batch");
+        assert_eq!(b.writes.len(), 1);
+        // Unrelated write parked in a slot: the log is busy, not idle.
+        {
+            let guard = log.combiner.lock();
+            let parked = park(&log, 1, put(2, "other"), Addr(99), Instant::ZERO);
+            assert!(!log.idle(), "unrelated traffic keeps the log busy");
+            // The retry must still take the actor path (None): the actor
+            // owns the rid since pop_batch, and only its re-push repairs
+            // a ChainPut or ack lost in flight.
+            assert!(log.submit_at(0, &req, Addr(99), Instant::ZERO).is_none());
+            assert!(log.combine(Instant::ZERO));
+            drop(guard);
+            assert!(parked.join().unwrap());
+        }
+        // The unrelated write combined separately; the retried rid was
+        // never re-enqueued.
+        let b2 = log.pop_batch().expect("unrelated batch");
+        assert_eq!(b2.writes.len(), 1);
+        assert_eq!(b2.writes[0].rid, put(2, "other").id);
+        assert!(log.pop_batch().is_none());
+    }
+
+    #[test]
     fn retry_racing_respond_never_reenqueues_a_completed_write() {
         // A client retry can miss the reply cache while the controlet's
         // `respond` is mid-flight (record, THEN release). If the retry's
@@ -1104,7 +1187,7 @@ mod tests {
                 .publish(Some(&info(Mode::MS_SC, 3, 1)), NodeId(0), false);
             let req = put(1, "k");
             // The original is enqueued and unanswered.
-            assert!(log.inflight.lock().insert(req.id));
+            assert!(log.inflight.lock().insert(req.id, RidOwner::Edge).is_none());
             let resp = Response::ok(req.id, RespBody::Done);
             let l = Arc::clone(&log);
             let responder = std::thread::spawn(move || {

@@ -187,10 +187,14 @@ const DIRTY_STRIPES: usize = 64;
 /// mark/unmark; readers only probe.
 ///
 /// Each stripe also carries a **write generation**: a counter bumped on
-/// every `mark` (and on `clear`). Because chain writes mark *before* they
-/// apply, an unchanged stripe generation between two clean probes proves
-/// no write touched any key of the stripe in between — the validating
-/// edge cache uses this to serve a previously read value without
+/// every `mark` (and on `clear`), strictly *after* the dirty entry is in
+/// the map. Chain writes mark before they apply, so every applied write
+/// is ordered: insert → bump → apply. A validated cache fill samples the
+/// generation before its two clean probes; any write both probes missed
+/// must have inserted — and therefore bumped — after that sample, so the
+/// fill is stamped with a generation the write has already obsoleted and
+/// the cache's generation comparison refuses to serve it. That is what
+/// lets the validating edge cache serve a previously read value without
 /// re-reading the datalet, inheriting the fast path's CRAQ argument.
 pub struct DirtySet {
     stripes: Vec<Mutex<HashMap<Key, u32>>>,
@@ -220,12 +224,17 @@ impl DirtySet {
         &self.stripes[self.idx(key)]
     }
 
-    /// Marks a key dirty (one more in-flight write touching it). Bumps
-    /// the stripe's write generation *before* the key shows up dirty, so
-    /// a generation sampled while the stripe was clean stays conclusive.
+    /// Marks a key dirty (one more in-flight write touching it). Inserts
+    /// the dirty entry first and bumps the stripe's write generation
+    /// second: a write invisible to both of a cache fill's dirty probes
+    /// then necessarily bumped after the fill sampled the generation, so
+    /// the cache's generation check invalidates the entry. (Bumping
+    /// first would let a fill that raced the insert cache the pre-apply
+    /// value under the post-bump generation — a permanently stale entry
+    /// that every later validation would accept.)
     pub fn mark(&self, key: &Key) {
-        self.gens[self.idx(key)].fetch_add(1, Ordering::Release);
         *self.stripe(key).lock().entry(key.clone()).or_insert(0) += 1;
+        self.gens[self.idx(key)].fetch_add(1, Ordering::Release);
     }
 
     /// Retires one in-flight write for the key.
@@ -244,19 +253,22 @@ impl DirtySet {
         self.stripe(key).lock().contains_key(key)
     }
 
-    /// The key's stripe write generation. Equal generations across two
-    /// clean probes mean no write marked any key in the stripe between
-    /// them (mark-before-apply makes this a no-writes-applied proof).
+    /// The key's stripe write generation. An unchanged generation between
+    /// a cache fill's sample and a later lookup — with both of the fill's
+    /// dirty probes clean — proves no write applied to any key of the
+    /// stripe in between (insert → bump → apply, see [`DirtySet::mark`]).
     pub fn generation(&self, key: &Key) -> u64 {
         self.gens[self.idx(key)].load(Ordering::Acquire)
     }
 
-    /// Drops every mark (chain-of-one commit, harness reset). Bumps all
-    /// generations: state may have jumped arbitrarily.
+    /// Drops every mark (chain-of-one commit, harness reset). Bumps each
+    /// generation *after* clearing its stripe — the same mutate-then-bump
+    /// order as [`DirtySet::mark`], so a cache fill racing the clear is
+    /// stamped with the pre-bump generation and invalidated by the bump.
     pub fn clear(&self) {
         for (s, g) in self.stripes.iter().zip(&self.gens) {
-            g.fetch_add(1, Ordering::Release);
             s.lock().clear();
+            g.fetch_add(1, Ordering::Release);
         }
     }
 }

@@ -52,9 +52,52 @@ impl Default for SkewConfig {
 /// One heavy-hitter slot: the key's stable hash plus its current (decayed)
 /// count estimate. `hash == 0` means empty; a real key hashing to 0 is
 /// remapped to 1 (losing nothing but a 1-in-2^64 collision).
+///
+/// The pair is guarded by a seqlock-style `tag`: odd while a writer is
+/// rewriting it, bumped to the next even value when the pair is whole
+/// again. Writers claim the tag with a CAS and readers reject a slot
+/// whose tag is odd or moved under them, so `(hash, count)` is always
+/// observed as a pair written together — a displacement can never pair
+/// the outgoing key's hash with the incoming key's (larger) count, and a
+/// refresh can never inflate a count the slot no longer owns. A writer
+/// that loses the tag race simply drops its update: the table holds
+/// estimates, and the next record of a genuinely hot key retries.
 struct HotSlot {
+    tag: AtomicU64,
     hash: AtomicU64,
     count: AtomicU64,
+}
+
+impl HotSlot {
+    /// Claims exclusive write access; returns the claimed (even) tag
+    /// base, or `None` if another writer holds the slot.
+    fn claim(&self) -> Option<u64> {
+        let t = self.tag.load(Ordering::Acquire);
+        if t & 1 != 0 {
+            return None;
+        }
+        self.tag
+            .compare_exchange(t, t + 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+    }
+
+    /// Releases a claim taken at tag base `t`, publishing the rewrite.
+    fn unclaim(&self, t: u64) {
+        self.tag.store(t + 2, Ordering::Release);
+    }
+
+    /// Tag-validated snapshot of `(hash, count)`; `None` while a writer
+    /// is mid-rewrite (callers treat that as "not this slot" — the pair
+    /// will be observable again within a few instructions).
+    fn pair(&self) -> Option<(u64, u64)> {
+        let t = self.tag.load(Ordering::Acquire);
+        if t & 1 != 0 {
+            return None;
+        }
+        let h = self.hash.load(Ordering::Relaxed);
+        let c = self.count.load(Ordering::Relaxed);
+        (self.tag.load(Ordering::Acquire) == t).then_some((h, c))
+    }
 }
 
 /// A concurrent count-min sketch with an attached top-k heavy-hitter
@@ -86,6 +129,7 @@ impl KeySketch {
         let rows = (0..width * depth).map(|_| AtomicU64::new(0)).collect();
         let slots = (0..cfg.top_k.max(1))
             .map(|_| HotSlot {
+                tag: AtomicU64::new(0),
                 hash: AtomicU64::new(0),
                 count: AtomicU64::new(0),
             })
@@ -134,43 +178,65 @@ impl KeySketch {
         est
     }
 
-    /// Installs (or refreshes) `hash` in the heavy-hitter table.
+    /// Installs (or refreshes) `hash` in the heavy-hitter table. Every
+    /// slot rewrite happens under the slot's tag claim (see [`HotSlot`]);
+    /// a lost claim race drops the update — estimate-quality only, the
+    /// next record of a hot key retries.
     fn offer(&self, hash: u64, est: u64) {
-        // Pass 1: already tracked — keep the larger count.
+        // Pass 1: already tracked — keep the larger count. Re-check the
+        // hash under the claim: without it a concurrent displacement
+        // could hand this key's (larger) count to whichever key just
+        // took the slot.
         for s in &self.slots {
+            if s.hash.load(Ordering::Relaxed) != hash {
+                continue;
+            }
+            let Some(t) = s.claim() else { return };
             if s.hash.load(Ordering::Relaxed) == hash {
-                s.count.fetch_max(est, Ordering::Relaxed);
+                if est > s.count.load(Ordering::Relaxed) {
+                    s.count.store(est, Ordering::Relaxed);
+                }
+                s.unclaim(t);
                 return;
             }
+            // Displaced between the scan and the claim: compete for a
+            // slot of our own below.
+            s.unclaim(t);
+            break;
         }
         // Pass 2: claim an empty slot, or displace the weakest slot if
         // this key's estimate clearly beats it (2x hysteresis keeps two
         // near-equal keys from thrashing one slot).
         let mut weakest: Option<(&HotSlot, u64)> = None;
         for s in &self.slots {
-            let h = s.hash.load(Ordering::Relaxed);
+            let Some((h, c)) = s.pair() else { continue };
             if h == 0 {
-                if s.hash
-                    .compare_exchange(0, hash, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    s.count.store(est, Ordering::Relaxed);
-                    return;
+                if let Some(t) = s.claim() {
+                    if s.hash.load(Ordering::Relaxed) == 0 {
+                        s.count.store(est, Ordering::Relaxed);
+                        s.hash.store(hash, Ordering::Relaxed);
+                        s.unclaim(t);
+                        return;
+                    }
+                    s.unclaim(t);
                 }
                 continue;
             }
-            let c = s.count.load(Ordering::Relaxed);
             if weakest.map(|(_, wc)| c < wc).unwrap_or(true) {
                 weakest = Some((s, c));
             }
         }
         if let Some((s, wc)) = weakest {
-            if est >= wc.saturating_mul(2)
-                && s.count
-                    .compare_exchange(wc, est, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-            {
-                s.hash.store(hash, Ordering::Relaxed);
+            if est >= wc.saturating_mul(2) {
+                if let Some(t) = s.claim() {
+                    // Re-check under the claim: a refresh may have pushed
+                    // the count back over the hysteresis bound meanwhile.
+                    if est >= s.count.load(Ordering::Relaxed).saturating_mul(2) {
+                        s.count.store(est, Ordering::Relaxed);
+                        s.hash.store(hash, Ordering::Relaxed);
+                    }
+                    s.unclaim(t);
+                }
             }
         }
     }
@@ -187,11 +253,16 @@ impl KeySketch {
             }
         }
         for s in &self.slots {
+            // A slot mid-rewrite skips this halving and catches the next
+            // one — cheaper than blocking, and only a one-epoch estimate
+            // drift.
+            let Some(t) = s.claim() else { continue };
             let v = s.count.load(Ordering::Relaxed) / 2;
             s.count.store(v, Ordering::Relaxed);
             if v < self.hot_min / 2 {
                 s.hash.store(0, Ordering::Relaxed);
             }
+            s.unclaim(t);
         }
         self.epoch.fetch_add(1, Ordering::Relaxed);
     }
@@ -204,10 +275,9 @@ impl KeySketch {
     /// [`KeySketch::is_hot`] for a precomputed stable hash.
     pub fn is_hot_hash(&self, hash: u64) -> bool {
         let hash = if hash == 0 { 1 } else { hash };
-        self.slots.iter().any(|s| {
-            s.hash.load(Ordering::Relaxed) == hash
-                && s.count.load(Ordering::Relaxed) >= self.hot_min
-        })
+        self.slots
+            .iter()
+            .any(|s| s.pair().is_some_and(|(h, c)| h == hash && c >= self.hot_min))
     }
 
     /// Current count estimate for `key` (no record).
@@ -234,8 +304,7 @@ impl KeySketch {
             .slots
             .iter()
             .filter_map(|s| {
-                let h = s.hash.load(Ordering::Relaxed);
-                let c = s.count.load(Ordering::Relaxed);
+                let (h, c) = s.pair()?;
                 (h != 0 && c >= self.hot_min).then_some((h, c))
             })
             .collect();
@@ -402,6 +471,45 @@ mod tests {
         }
         assert!(s.hot_keys().len() <= 2);
         assert!(s.is_hot(&Key::from("a")));
+    }
+
+    #[test]
+    fn concurrent_offers_keep_slot_pairs_well_formed() {
+        // Hammer a tiny table with competing displacers, refreshers and
+        // readers across threads: the tag discipline must keep every
+        // observable (hash, count) pair one that some writer actually
+        // wrote together — never an evicted key's hash with the
+        // incoming key's count.
+        let cfg = SkewConfig {
+            top_k: 2,
+            ..small_cfg()
+        };
+        let s = std::sync::Arc::new(KeySketch::new(&cfg));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..20_000u64 {
+                        s.record(&Key::from(format!("contender:{}", (i + t) % 6)));
+                        if i % 32 == 0 {
+                            s.is_hot(&Key::from("contender:0"));
+                            s.hot_keys();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Table stayed bounded; every surviving pair is well-formed.
+        let hh = s.hot_keys();
+        assert!(hh.len() <= 2);
+        for (h, c) in hh {
+            assert!(h != 0 && c >= cfg.hot_min_count / 2);
+        }
+        // No writer left a slot claimed (all tags even again).
+        assert!(s.slots.iter().all(|s| s.tag.load(Ordering::Relaxed) % 2 == 0));
     }
 
     #[test]
