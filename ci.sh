@@ -32,6 +32,14 @@ BESPOKV_WRITE_COMBINE=1 cargo test --test consistency_oracle -q
 # the cache stone cold (no ServeIfClean grant ever).
 BESPOKV_SKEW=1 cargo test --test consistency_oracle -q
 
+# The same sweep with gray-failure stall injection armed (a replica
+# wedged solid mid-outage, a gray partition where heartbeats flow but
+# client traffic stalls, a slow-node window), alone and stacked with
+# the skew engine: alive-but-stuck nodes must never become stale reads
+# or lost acks.
+BESPOKV_STALL=1 cargo test --test consistency_oracle -q
+BESPOKV_STALL=1 BESPOKV_SKEW=1 cargo test --test consistency_oracle -q
+
 # The whole tier-1 test suite again on the epoll reactor edge: every
 # test that binds a TcpServer (e2e, churn, oracle fault sweeps) must
 # pass identically on both transports (DESIGN.md 13).
@@ -46,6 +54,11 @@ BESPOKV_EDGE=reactor cargo test --test consistency_oracle -q
 cargo test -q -p bespokv-datalet --test crash_recovery
 cargo test -q --test crash_restart
 
+# Crash durability with stall windows on the survivors: a wedge during
+# phase B and gray/slow windows during the drain must not cost a single
+# acked-durable write.
+BESPOKV_STALL=1 cargo test -q --test crash_restart
+
 # Saturation and write-path probes must build; CI doesn't run them
 # (timing-sensitive), see EXPERIMENTS.md for the BENCH_saturate.json /
 # BENCH_writepath.json recipes.
@@ -53,3 +66,4 @@ cargo build --release -p bespokv-bench --bin saturate
 cargo build --release -p bespokv-bench --bin writepath
 cargo build --release -p bespokv-bench --bin connscale
 cargo build --release -p bespokv-bench --bin skew
+cargo build --release -p bespokv-bench --bin relaystall

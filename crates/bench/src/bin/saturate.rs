@@ -183,6 +183,8 @@ fn main() {
     )
     .with_overload(EdgeOverload {
         relay_cap: ocfg.relay_cap,
+        relay_timeout: ocfg.relay_timeout,
+        relay_stall_threshold: ocfg.relay_stall_threshold,
         counters: Arc::clone(&counters),
         clock: Arc::clone(&clock) as Arc<dyn Fn() -> bespokv_types::Instant + Send + Sync>,
     });

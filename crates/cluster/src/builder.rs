@@ -75,6 +75,9 @@ pub struct ClusterSpec {
     pub per_shard_modes: Vec<Mode>,
     /// Deterministic fault-injection plan applied to the network fabric.
     pub faults: Option<FaultPlan>,
+    /// Deterministic stall-injection plan (wedges, slow nodes, gray
+    /// partitions) applied to inbound delivery at named nodes.
+    pub stalls: Option<bespokv_runtime::StallPlan>,
     /// When true, a shared [`HistoryRecorder`] is created and plumbed into
     /// every client and controlet so the consistency oracle can audit the
     /// run (see `bespokv-checker`).
@@ -180,6 +183,7 @@ impl ClusterSpec {
             p2p: false,
             per_shard_modes: Vec::new(),
             faults: None,
+            stalls: None,
             history: false,
             fast_path: false,
             write_combine: false,
@@ -193,6 +197,15 @@ impl ClusterSpec {
     /// same drop/duplicate/reorder/partition schedule.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a seeded stall plan: wedge/slow/gray windows replayed
+    /// identically for the same spec + seed. Stalls act on *inbound
+    /// delivery* at the stalled node — heartbeats the node sends still
+    /// flow, which is what makes the failure gray.
+    pub fn with_stalls(mut self, plan: bespokv_runtime::StallPlan) -> Self {
+        self.stalls = Some(plan);
         self
     }
 
@@ -369,6 +382,9 @@ impl SimCluster {
         let mut net = NetworkModel::uniform(spec.transport);
         if let Some(plan) = &spec.faults {
             net = net.with_faults(plan.clone());
+        }
+        if let Some(plan) = &spec.stalls {
+            net = net.with_stalls(plan.clone());
         }
         let mut sim = Simulation::new(net);
         let num_nodes = spec.num_nodes();

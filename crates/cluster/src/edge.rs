@@ -39,10 +39,11 @@ use bespokv::{CombinerSnapshot, DirtySet, OpLog, ReadPermit, ServingState, Submi
 use bespokv_datalet::Datalet;
 use bespokv_proto::client::{Op, RespBody, Request, Response};
 use bespokv_proto::{NetMsg, ReplMsg};
-use bespokv_runtime::{Addr, Mailbox};
+use bespokv_runtime::{Addr, Completer, Defer, DeferHandler, Mailbox, Served};
 use bespokv_types::{
-    Consistency, ConsistencyLevel, Instant, Key, KeySketch, KvError, NodeId, OverloadCounters,
-    RequestId, ShardId, ShardMap, SkewConfig, SkewCounters, SkewSnapshot,
+    Consistency, ConsistencyLevel, Duration, Instant, Key, KeySketch, KvError, NodeId,
+    OverloadConfig, OverloadCounters, RequestId, ShardId, ShardMap, SkewConfig, SkewCounters,
+    SkewSnapshot,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -288,6 +289,29 @@ impl FastPathTable {
             .map(|(&n, _)| n)
     }
 
+    /// A replica of `node`'s shard *other than `node` itself* currently
+    /// fit to serve reads: gate open, and publishing unconditional Strong
+    /// service when `strong`. This is the fast-fail bounce target when
+    /// `node` is believed gray-failed — the generalization of
+    /// [`Self::strong_peer`] to any spreadable read.
+    pub fn healthy_peer(&self, node: NodeId, strong: bool) -> Option<NodeId> {
+        let handles = self.handles.read();
+        let shard = handles.get(&node)?.shard;
+        handles
+            .iter()
+            .find(|(&n, h)| {
+                n != node
+                    && h.shard == shard
+                    && if strong { h.gate.serves_strong() } else { h.gate.is_open() }
+            })
+            .map(|(&n, _)| n)
+    }
+
+    /// The shard `node` serves, if registered.
+    pub fn shard_of(&self, node: NodeId) -> Option<ShardId> {
+        self.handles.read().get(&node).map(|h| h.shard)
+    }
+
     /// Resolves a request's consistency level against `node`'s store-wide
     /// default (`None` for unknown nodes).
     pub fn effective_level(
@@ -471,29 +495,22 @@ pub enum WriteSubmit {
     },
 }
 
-/// How long the live edge waits for the controlet actor to answer a
-/// relayed request before giving up with `Timeout`.
-///
-/// The handler blocks the calling thread for up to this long. Under the
-/// blocking transport that is one pool worker; under the epoll reactor it
-/// is a whole reactor thread, stalling every other connection on that
-/// reactor's slab. That is acceptable for the relay edge because the
-/// controlet answers in microseconds unless the node is wedged — but it is
-/// why the reactor runs several threads even on small machines, and why a
-/// truly nonblocking relay (parking the connection and completing it from
-/// the demux thread) is the designated follow-up if relay-heavy workloads
-/// ever dominate an edge (DESIGN.md §13).
-const RELAY_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
-
 /// Overload protection for a [`NodeEdge`]: a cap on requests parked
-/// awaiting a controlet reply, plus expired-deadline rejection. The clock
-/// must be the same one deadlines were stamped against (the runtime's
-/// `now()`).
+/// awaiting a controlet reply, relay deadline and stall-detection knobs,
+/// plus expired-deadline rejection. The clock must be the same one
+/// deadlines were stamped against (the runtime's `now()`).
 #[derive(Clone)]
 pub struct EdgeOverload {
     /// Requests parked in the pending-reply table beyond this are shed
     /// before entering the controlet mailbox; 0 means unbounded.
     pub relay_cap: usize,
+    /// How long a parked relay waits for its controlet reply before the
+    /// demux sweep completes it with `Timeout`. The request's own wire
+    /// deadline is honoured when tighter.
+    pub relay_timeout: Duration,
+    /// Oldest-outstanding-relay age past which a peer is considered
+    /// gray-failed and the edge trips into fast-fail for it.
+    pub relay_stall_threshold: Duration,
     /// Shed/expiry event counters.
     pub counters: Arc<OverloadCounters>,
     /// Clock for deadline checks.
@@ -504,28 +521,151 @@ pub struct EdgeOverload {
 /// requested level share a flight.
 type FlightKey = (String, Key, ConsistencyLevel);
 
-/// Followers parked on an in-flight leader: each wakes with the leader's
-/// response re-stamped with its own request id.
-type FlightWaiters = Vec<(RequestId, mpsc::Sender<Response>)>;
+/// Followers parked on an in-flight leader: each is settled when the
+/// leader's relay completes or expires — adopted result, fast-path
+/// revalidation, or a re-dispatched relay of its own.
+type FlightWaiters = Vec<(Request, Completer)>;
+
+/// One request parked awaiting a controlet reply. The connection, not the
+/// thread, is what waits: the [`Completer`] finishes the transport-level
+/// response slot from whichever thread settles the entry.
+struct Parked {
+    completer: Completer,
+    /// Wall-clock expiry; the demux sweep completes the entry with
+    /// `Timeout` past this, so the table never leaks.
+    deadline: std::time::Instant,
+    /// The controlet this relay was dispatched to (relay-health keying).
+    peer: NodeId,
+    /// The singleflight this entry leads, settled alongside it.
+    flight: Option<FlightKey>,
+}
+
+/// Per-peer relay health: the gray-failure detector. Watches the age of
+/// the oldest outstanding relay to each peer; trips into fast-fail when
+/// it crosses the stall threshold or a relay expires outright; self-heals
+/// on the first reply that proves the peer is draining again.
+struct RelayHealth {
+    peers: Mutex<HashMap<NodeId, PeerHealth>>,
+}
+
+struct PeerHealth {
+    /// Dispatch time of every in-flight relay to this peer.
+    outstanding: HashMap<RequestId, std::time::Instant>,
+    tripped: bool,
+}
+
+impl RelayHealth {
+    fn new() -> Self {
+        RelayHealth { peers: Mutex::new(HashMap::new()) }
+    }
+
+    fn on_dispatch(&self, peer: NodeId, rid: RequestId) {
+        self.peers
+            .lock()
+            .entry(peer)
+            .or_insert_with(|| PeerHealth { outstanding: HashMap::new(), tripped: false })
+            .outstanding
+            .insert(rid, std::time::Instant::now());
+    }
+
+    /// A reply landed: the peer is draining. Heals a tripped peer.
+    fn on_reply(&self, peer: NodeId, rid: RequestId) {
+        if let Some(p) = self.peers.lock().get_mut(&peer) {
+            p.outstanding.remove(&rid);
+            p.tripped = false;
+        }
+    }
+
+    /// The relay never went upstream after all (raced settle, fell back
+    /// to another path): forget it without a health verdict.
+    fn on_abort(&self, peer: NodeId, rid: RequestId) {
+        if let Some(p) = self.peers.lock().get_mut(&peer) {
+            p.outstanding.remove(&rid);
+        }
+    }
+
+    /// A relay to this peer expired. Returns true when this newly trips.
+    fn on_timeout(&self, peer: NodeId, rid: RequestId) -> bool {
+        let mut peers = self.peers.lock();
+        let Some(p) = peers.get_mut(&peer) else { return false };
+        p.outstanding.remove(&rid);
+        let newly = !p.tripped;
+        p.tripped = true;
+        newly
+    }
+
+    /// Whether the peer is currently considered gray-failed: already
+    /// tripped, or its oldest outstanding relay is older than
+    /// `threshold` (the watermark catches a wedge *before* the first
+    /// timeout fires). Returns `(tripped, newly_tripped)`.
+    fn check(&self, peer: NodeId, threshold: std::time::Duration) -> (bool, bool) {
+        let now = std::time::Instant::now();
+        let mut peers = self.peers.lock();
+        let Some(p) = peers.get_mut(&peer) else { return (false, false) };
+        if p.tripped {
+            // Probe exception: with nothing outstanding, one relay is let
+            // through to test the peer — its reply is the only thing that
+            // can heal the trip, and fast-failing everything forever
+            // would turn a 2-second wedge into a permanent outage.
+            return (!p.outstanding.is_empty(), false);
+        }
+        let stalled = p
+            .outstanding
+            .values()
+            .min()
+            .is_some_and(|t| now.duration_since(*t) > threshold);
+        if stalled {
+            p.tripped = true;
+        }
+        (stalled, stalled)
+    }
+
+    fn tripped(&self, peer: NodeId) -> bool {
+        self.peers.lock().get(&peer).is_some_and(|p| p.tripped)
+    }
+}
+
+/// Completes a response through the carried completer when one exists
+/// (the request was already deferred), otherwise returns it inline.
+fn finish(carried: Option<Completer>, resp: Response) -> Served {
+    match carried {
+        Some(c) => {
+            c.complete(resp);
+            Served::Parked
+        }
+        None => Served::Ready(resp),
+    }
+}
 
 /// The live-runtime edge for one node: a TCP-server-compatible request
 /// handler that serves permitted GETs on the calling worker thread and
-/// relays everything else to the controlet actor via a [`Mailbox`],
-/// demultiplexing responses back to the blocked workers by request id.
+/// relays everything else to the controlet actor via a [`Mailbox`]. A
+/// relayed request *parks the connection, never the thread*: the serving
+/// turn returns immediately with [`Served::Parked`] and the demux thread
+/// completes the transport slot when the controlet reply arrives — or
+/// expires it with `Timeout` at its relay deadline, so a wedged controlet
+/// costs its own callers a bounce, not the edge its threads.
 pub struct NodeEdge {
+    inner: Arc<EdgeInner>,
+    stop: Arc<AtomicBool>,
+    demux: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Shared state of one [`NodeEdge`]: everything both the serving threads
+/// and the demux/expiry thread touch.
+struct EdgeInner {
     node: NodeId,
     table: Arc<FastPathTable>,
     mailbox: Mailbox,
-    pending: Arc<Mutex<HashMap<RequestId, mpsc::Sender<Response>>>>,
+    pending: Mutex<HashMap<RequestId, Parked>>,
     /// Singleflight table for hot-key GET coalescing: the first relayed
     /// GET for a hot key becomes the leader, concurrent identical GETs
-    /// park here and are woken off the leader's response.
-    flights: Arc<Mutex<HashMap<FlightKey, FlightWaiters>>>,
-    fast_path: Arc<AtomicBool>,
-    write_combine: Arc<AtomicBool>,
-    overload: Option<EdgeOverload>,
-    stop: Arc<AtomicBool>,
-    demux: Option<std::thread::JoinHandle<()>>,
+    /// park here and are settled off the leader's outcome.
+    flights: Mutex<HashMap<FlightKey, FlightWaiters>>,
+    fast_path: AtomicBool,
+    write_combine: AtomicBool,
+    overload: RwLock<Option<EdgeOverload>>,
+    health: RelayHealth,
 }
 
 impl NodeEdge {
@@ -533,45 +673,49 @@ impl NodeEdge {
     /// runtime the node's controlet runs on; `enable_fast_path: false`
     /// routes every request through the actor (the bench baseline).
     pub fn new(node: NodeId, table: Arc<FastPathTable>, mailbox: Mailbox, enable_fast_path: bool) -> Self {
-        let pending: Arc<Mutex<HashMap<RequestId, mpsc::Sender<Response>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let inner = Arc::new(EdgeInner {
+            node,
+            table,
+            mailbox: mailbox.clone(),
+            pending: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+            fast_path: AtomicBool::new(enable_fast_path),
+            write_combine: AtomicBool::new(false),
+            overload: RwLock::new(None),
+            health: RelayHealth::new(),
+        });
         let stop = Arc::new(AtomicBool::new(false));
         let demux = {
-            let mailbox = mailbox.clone();
-            let pending = Arc::clone(&pending);
+            let inner = Arc::clone(&inner);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
+                // One thread does both jobs: match controlet replies to
+                // parked entries, and sweep expired deadlines. Folding the
+                // sweep into the recv loop keeps expiry latency bounded
+                // (one recv timeout) without a second timer thread.
+                let mut last_sweep = std::time::Instant::now();
                 while !stop.load(Ordering::Acquire) {
-                    let Some((_, msg)) = mailbox.recv_timeout(std::time::Duration::from_millis(50))
-                    else {
-                        continue;
-                    };
-                    if let NetMsg::ClientResp(resp) = msg {
-                        if let Some(tx) = pending.lock().remove(&resp.id) {
-                            let _ = tx.send(resp);
-                        }
+                    if let Some((_, NetMsg::ClientResp(resp))) =
+                        inner.mailbox.recv_timeout(std::time::Duration::from_millis(25))
+                    {
+                        inner.complete(resp);
+                    }
+                    let now = std::time::Instant::now();
+                    if now.duration_since(last_sweep) >= std::time::Duration::from_millis(10) {
+                        last_sweep = now;
+                        inner.expire_parked(now);
                     }
                 }
             })
         };
-        NodeEdge {
-            node,
-            table,
-            mailbox,
-            pending,
-            flights: Arc::new(Mutex::new(HashMap::new())),
-            fast_path: Arc::new(AtomicBool::new(enable_fast_path)),
-            write_combine: Arc::new(AtomicBool::new(false)),
-            overload: None,
-            stop,
-            demux: Some(demux),
-        }
+        NodeEdge { inner, stop, demux: Some(demux) }
     }
 
     /// Arms overload protection: expired requests and requests over the
-    /// relay cap are answered `Overloaded` before they reach the actor.
-    pub fn with_overload(mut self, overload: EdgeOverload) -> Self {
-        self.overload = Some(overload);
+    /// relay cap are answered `Overloaded` before they reach the actor,
+    /// and the relay deadline/stall knobs take effect.
+    pub fn with_overload(self, overload: EdgeOverload) -> Self {
+        *self.inner.overload.write() = Some(overload);
         self
     }
 
@@ -580,217 +724,401 @@ impl NodeEdge {
     /// actor message per write (requires the node's handle to carry an
     /// op log — see `FastPathHandle::writes`).
     pub fn with_write_combine(self, on: bool) -> Self {
-        self.write_combine.store(on, Ordering::Release);
+        self.inner.write_combine.store(on, Ordering::Release);
         self
     }
 
     /// Flips the fast path on or off (bench before/after comparison).
     pub fn set_fast_path(&self, on: bool) {
-        self.fast_path.store(on, Ordering::Release);
+        self.inner.fast_path.store(on, Ordering::Release);
     }
 
     /// Flips write combining on or off (bench before/after comparison).
     pub fn set_write_combine(&self, on: bool) {
-        self.write_combine.store(on, Ordering::Release);
+        self.inner.write_combine.store(on, Ordering::Release);
     }
 
-    /// A `TcpServer`-compatible request handler. Clone-cheap; safe to call
-    /// from any number of worker threads concurrently — that is the point.
+    /// Whether the relay health tracker currently considers `peer`
+    /// gray-failed (test/telemetry probe; does not itself trip).
+    pub fn peer_tripped(&self, peer: NodeId) -> bool {
+        self.inner.health.tripped(peer)
+    }
+
+    /// Requests currently parked awaiting a controlet reply.
+    pub fn parked(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
+    /// The deferred request handler for `TcpServer::bind_deferred`: serves
+    /// or sheds inline where possible and parks the *connection* for
+    /// relays. Under the reactor edge a relayed request costs the serving
+    /// thread nothing but the dispatch — the wedge-2-seconds failure mode
+    /// where every reactor thread parks behind one gray controlet is gone.
+    pub fn defer_handler(&self) -> Arc<DeferHandler> {
+        let inner = Arc::clone(&self.inner);
+        Arc::new(move |req: Request, mut defer: Defer<'_>| {
+            inner.serve(req, &mut || defer.completer())
+        })
+    }
+
+    /// A blocking `TcpServer`-compatible request handler: same serving
+    /// logic, with the calling thread parked on relays (one pool worker
+    /// under the blocking transport). Kept for benches and unit tests;
+    /// transport edges should prefer [`Self::defer_handler`].
     pub fn handler(&self) -> Arc<dyn Fn(Request) -> Response + Send + Sync> {
-        let node = self.node;
-        let table = Arc::clone(&self.table);
-        let mailbox = self.mailbox.clone();
-        let pending = Arc::clone(&self.pending);
-        let flights = Arc::clone(&self.flights);
-        let fast_path = Arc::clone(&self.fast_path);
-        let write_combine = Arc::clone(&self.write_combine);
-        let overload = self.overload.clone();
+        let inner = Arc::clone(&self.inner);
         Arc::new(move |req: Request| {
-            if let Some(o) = &overload {
-                // Work whose deadline already passed is dead on arrival:
-                // the client has given up, so executing it only steals
-                // capacity from requests that can still make their SLO.
-                if req.expired((o.clock)()) {
-                    o.counters
-                        .deadline_expired
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    return Response::err(req.id, KvError::Overloaded);
-                }
-            }
-            if write_combine.load(Ordering::Acquire)
-                && matches!(req.op, Op::Put { .. } | Op::Del { .. })
-            {
-                let now = overload.as_ref().map_or(Instant::ZERO, |o| (o.clock)());
-                let rid = req.id;
-                // Park the reply channel BEFORE submitting: the controlet
-                // can drain, commit and respond before `try_write` even
-                // returns, and an unparked response would be dropped.
-                let (tx, rx) = mpsc::channel();
-                pending.lock().insert(rid, tx);
-                match table.try_write(node, &req, mailbox.addr(), now) {
-                    Some(WriteSubmit::Done(resp)) => {
-                        pending.lock().remove(&rid);
-                        return resp;
-                    }
-                    Some(WriteSubmit::Enqueued { shard, nudge }) => {
-                        if nudge {
-                            mailbox.send(
-                                Addr(node.raw()),
-                                NetMsg::Repl(ReplMsg::CombinerNudge { shard }),
-                            );
-                        }
-                        return match rx.recv_timeout(RELAY_TIMEOUT) {
-                            Ok(resp) => resp,
-                            Err(_) => {
-                                pending.lock().remove(&rid);
-                                Response::err(rid, KvError::Timeout)
-                            }
-                        };
-                    }
-                    // Write gate closed (AA mode, mid-transition,
-                    // recovery) or combining unavailable: relay below.
-                    None => {
-                        pending.lock().remove(&rid);
-                    }
-                }
-            }
-            // A follower woken without a directly usable response gets one
-            // more round (fast-path retry, then a relay of its own);
-            // `may_join` keeps that second round from parking again.
-            let mut may_join = true;
-            loop {
-                if fast_path.load(Ordering::Acquire) {
-                    if let Some(resp) = table.try_get(node, &req) {
-                        return resp;
-                    }
-                }
-                // Hot-key request coalescing: concurrent relayed GETs for
-                // the same hot key share one upstream read. The first
-                // becomes the *leader* and does the relay; the rest park
-                // as followers on its flight.
-                let mut flight: Option<FlightKey> = None;
-                let mut relay_to = node;
-                if let (Some(skew), Op::Get { key }) = (table.skew(), &req.op) {
-                    if skew.sketch().is_hot(key) {
-                        let fk: FlightKey = (req.table.clone(), key.clone(), req.level);
-                        let joined = {
-                            let mut fl = flights.lock();
-                            match fl.get_mut(&fk) {
-                                Some(waiters) if may_join => {
-                                    let (tx, rx) = mpsc::channel();
-                                    waiters.push((req.id, tx));
-                                    Some(rx)
-                                }
-                                // Second round: relay for ourselves even
-                                // if a new flight is up.
-                                Some(_) => None,
-                                None => {
-                                    fl.insert(fk.clone(), Vec::new());
-                                    flight = Some(fk);
-                                    None
-                                }
-                            }
-                        };
-                        if let Some(rx) = joined {
-                            let woke = rx.recv_timeout(RELAY_TIMEOUT);
-                            let level = table.effective_level(node, req.level);
-                            match woke {
-                                // An effective-Eventual read may adopt the
-                                // leader's result wholesale: any recently
-                                // committed value (or committed absence)
-                                // is a legitimate eventual read.
-                                Ok(resp)
-                                    if level == Some(Consistency::Eventual)
-                                        && resp.result.is_ok() =>
-                                {
-                                    skew.counters()
-                                        .coalesced
-                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                    return Response {
-                                        id: req.id,
-                                        result: resp.result,
-                                    };
-                                }
-                                // A strong read must not inherit another
-                                // request's linearization point (the
-                                // leader may have read before we even
-                                // arrived). Being woken means the dirty
-                                // window that forced the fallback has
-                                // likely closed: revalidate through the
-                                // fast path, whose serve is justified on
-                                // its own terms.
-                                Ok(_) | Err(_) => {
-                                    if fast_path.load(Ordering::Acquire) {
-                                        if let Some(resp) = table.try_get(node, &req) {
-                                            skew.counters().coalesced.fetch_add(
-                                                1,
-                                                std::sync::atomic::Ordering::Relaxed,
-                                            );
-                                            return resp;
-                                        }
-                                    }
-                                    may_join = false;
-                                    continue;
-                                }
-                            }
-                        }
-                        if flight.is_some() {
-                            skew.counters()
-                                .coalesce_leaders
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            // A fallback strong GET at an MS+SC non-tail
-                            // would only bounce `WrongNode{hint: tail}`
-                            // off the local actor; relay it straight to
-                            // the strong-read authority instead.
-                            if table.effective_level(node, req.level)
-                                == Some(Consistency::Strong)
-                            {
-                                if let Some(peer) = table.strong_peer(node) {
-                                    relay_to = peer;
-                                }
-                            }
-                        }
-                    }
-                }
-                // Every exit below must settle the flight (if we lead
-                // one): followers are woken with our outcome, errors
-                // included, re-stamped with their own request ids.
-                let settle = |resp: Response| -> Response {
-                    if let Some(fk) = &flight {
-                        if let Some(waiters) = flights.lock().remove(fk) {
-                            for (rid, tx) in waiters {
-                                let _ = tx.send(Response {
-                                    id: rid,
-                                    result: resp.result.clone(),
-                                });
-                            }
-                        }
-                    }
-                    resp
-                };
-                if let Some(o) = &overload {
-                    // Bounded pending-reply table: shed before entering
-                    // the actor mailbox rather than park without limit.
-                    if o.relay_cap != 0 && pending.lock().len() >= o.relay_cap {
-                        o.counters
-                            .relay_shed
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        return settle(Response::err(req.id, KvError::Overloaded));
-                    }
-                }
-                let rid = req.id;
-                let (tx, rx) = mpsc::channel();
-                pending.lock().insert(rid, tx);
-                mailbox.send(Addr(relay_to.raw()), NetMsg::Client(req.clone()));
-                return match rx.recv_timeout(RELAY_TIMEOUT) {
-                    Ok(resp) => settle(resp),
-                    Err(_) => {
-                        pending.lock().remove(&rid);
-                        settle(Response::err(rid, KvError::Timeout))
-                    }
-                };
+            let rid = req.id;
+            let (tx, rx) = mpsc::channel();
+            let mut minted = false;
+            let served = inner.serve(req, &mut || {
+                minted = true;
+                let tx = tx.clone();
+                Completer::new(rid, move |resp| {
+                    let _ = tx.send(resp);
+                })
+            });
+            match served {
+                Served::Ready(resp) => resp,
+                // The demux deadline sweep guarantees every parked entry
+                // completes; a dropped channel means edge teardown.
+                Served::Parked if minted => rx
+                    .recv()
+                    .unwrap_or_else(|_| Response::err(rid, KvError::Timeout)),
+                Served::Parked => Response::err(rid, KvError::Timeout),
             }
         })
+    }
+}
+
+impl EdgeInner {
+    /// Serves one request: inline (`Served::Ready`) when the fast path,
+    /// a shed, or a fast-fail bounce answers it on the calling thread;
+    /// parked (`Served::Parked`) when a completer was minted and the
+    /// demux thread owns the eventual reply.
+    fn serve(&self, req: Request, mint: &mut dyn FnMut() -> Completer) -> Served {
+        let overload = self.overload.read().clone();
+        if let Some(o) = &overload {
+            // Work whose deadline already passed is dead on arrival: the
+            // client has given up, so executing it only steals capacity
+            // from requests that can still make their SLO.
+            if req.expired((o.clock)()) {
+                o.counters
+                    .deadline_expired
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Served::Ready(Response::err(req.id, KvError::Overloaded));
+            }
+        }
+        // A completer minted on a path that then resolved inline; every
+        // later exit must consume it (see `finish`).
+        let mut carried: Option<Completer> = None;
+        if self.write_combine.load(Ordering::Acquire)
+            && matches!(req.op, Op::Put { .. } | Op::Del { .. })
+        {
+            let now = overload.as_ref().map_or(Instant::ZERO, |o| (o.clock)());
+            let rid = req.id;
+            // Park BEFORE submitting: the controlet can drain, commit and
+            // respond before `try_write` even returns, and an unparked
+            // response would be dropped.
+            self.park(rid, mint(), self.deadline_for(&req, overload.as_ref()), self.node, None);
+            match self.table.try_write(self.node, &req, self.mailbox.addr(), now) {
+                Some(WriteSubmit::Done(resp)) => {
+                    // Answered on the spot (reply cache / shed): complete
+                    // through the parked entry so the completer is used
+                    // exactly once whichever thread got there first.
+                    self.complete(resp);
+                    return Served::Parked;
+                }
+                Some(WriteSubmit::Enqueued { shard, nudge }) => {
+                    if nudge {
+                        self.mailbox.send(
+                            Addr(self.node.raw()),
+                            NetMsg::Repl(ReplMsg::CombinerNudge { shard }),
+                        );
+                    }
+                    return Served::Parked;
+                }
+                // Write gate closed (AA mode, mid-transition, recovery)
+                // or combining unavailable: relay below, reusing the
+                // minted completer.
+                None => {
+                    carried = self.unpark(rid);
+                    if carried.is_none() {
+                        // The demux settled it while we raced; done.
+                        return Served::Parked;
+                    }
+                }
+            }
+        }
+        if self.fast_path.load(Ordering::Acquire) {
+            if let Some(resp) = self.table.try_get(self.node, &req) {
+                return finish(carried, resp);
+            }
+        }
+        // Hot-key request coalescing: concurrent relayed GETs for the
+        // same hot key share one upstream read. The first becomes the
+        // *leader* and does the relay; the rest park as followers on its
+        // flight and are settled when the leader's entry completes or
+        // expires — never by re-waiting a full relay budget of their own.
+        let mut flight: Option<FlightKey> = None;
+        let mut relay_to = self.node;
+        if let (Some(skew), Op::Get { key }) = (self.table.skew(), &req.op) {
+            if skew.sketch().is_hot(key) {
+                let fk: FlightKey = (req.table.clone(), key.clone(), req.level);
+                {
+                    let mut fl = self.flights.lock();
+                    match fl.get_mut(&fk) {
+                        Some(waiters) => {
+                            let completer = match carried.take() {
+                                Some(c) => c,
+                                None => mint(),
+                            };
+                            waiters.push((req, completer));
+                            return Served::Parked;
+                        }
+                        None => {
+                            fl.insert(fk.clone(), Vec::new());
+                            flight = Some(fk);
+                        }
+                    }
+                }
+                skew.counters()
+                    .coalesce_leaders
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                relay_to = self.route(&req);
+            }
+        }
+        // Refusals (gray fast-fail, relay-cap shed) answer inline and
+        // settle the flight we lead, so followers never park behind a
+        // relay that was never dispatched.
+        if let Some(resp) = self.refuse(&req, relay_to, overload.as_ref()) {
+            let result = resp.result.clone();
+            self.settle_flight(flight, &result);
+            return finish(carried, resp);
+        }
+        let rid = req.id;
+        let completer = match carried.take() {
+            Some(c) => c,
+            None => mint(),
+        };
+        self.park(rid, completer, self.deadline_for(&req, overload.as_ref()), relay_to, flight);
+        self.mailbox.send(Addr(relay_to.raw()), NetMsg::Client(req));
+        Served::Parked
+    }
+
+    /// Relay target for a hot GET: strong reads go straight to the
+    /// strong-read authority when one is known (a fallback strong GET at
+    /// an MS+SC non-tail would only bounce `WrongNode{hint: tail}` off
+    /// the local actor first).
+    fn route(&self, req: &Request) -> NodeId {
+        if self.table.effective_level(self.node, req.level) == Some(Consistency::Strong) {
+            if let Some(peer) = self.table.strong_peer(self.node) {
+                return peer;
+            }
+        }
+        self.node
+    }
+
+    /// Inline rejection, checked before dispatching any relay: a tripped
+    /// gray peer bounces immediately (`WrongNode{hint}` toward a healthy
+    /// replica for spreadable GETs, `Unavailable` otherwise), and a full
+    /// pending table sheds `Overloaded` rather than park without limit.
+    fn refuse(
+        &self,
+        req: &Request,
+        relay_to: NodeId,
+        o: Option<&EdgeOverload>,
+    ) -> Option<Response> {
+        if self.peer_is_tripped(relay_to, o) {
+            if let Some(o) = o {
+                o.counters
+                    .stall_fastfails
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            return Some(Response::err(req.id, self.bounce_error(req, relay_to)));
+        }
+        if let Some(o) = o {
+            if o.relay_cap != 0 && self.pending.lock().len() >= o.relay_cap {
+                o.counters
+                    .relay_shed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Some(Response::err(req.id, KvError::Overloaded));
+            }
+        }
+        None
+    }
+
+    /// The fast-fail verdict for a request whose relay target is believed
+    /// gray-failed. GETs bounce toward a healthy replica of the shard
+    /// when one is registered (the client retries there for free, and its
+    /// circuit breaker parks the wedged node); everything else — writes
+    /// must reach *this* ordering authority — fails `Unavailable`.
+    fn bounce_error(&self, req: &Request, relay_to: NodeId) -> KvError {
+        if matches!(req.op, Op::Get { .. }) {
+            let strong =
+                self.table.effective_level(relay_to, req.level) == Some(Consistency::Strong);
+            if let Some(alt) = self.table.healthy_peer(relay_to, strong) {
+                return KvError::WrongNode { node: relay_to, hint: Some(alt) };
+            }
+        }
+        KvError::Unavailable(self.table.shard_of(relay_to).unwrap_or(ShardId(0)))
+    }
+
+    fn peer_is_tripped(&self, peer: NodeId, o: Option<&EdgeOverload>) -> bool {
+        let threshold: std::time::Duration = o
+            .map(|o| o.relay_stall_threshold.into())
+            .unwrap_or_else(|| OverloadConfig::default().relay_stall_threshold.into());
+        let (tripped, newly) = self.health.check(peer, threshold);
+        if newly {
+            if let Some(o) = o {
+                o.counters
+                    .stall_trips
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        tripped
+    }
+
+    /// Wall-clock expiry for a new parked entry: the configured relay
+    /// timeout, clamped by the request's own wire deadline when tighter.
+    fn deadline_for(&self, req: &Request, o: Option<&EdgeOverload>) -> std::time::Instant {
+        let mut budget: std::time::Duration = o
+            .map(|o| o.relay_timeout.into())
+            .unwrap_or_else(|| OverloadConfig::default().relay_timeout.into());
+        if let Some(o) = o {
+            if req.deadline != Instant::ZERO {
+                let remaining: std::time::Duration =
+                    req.deadline.saturating_since((o.clock)()).into();
+                budget = budget.min(remaining);
+            }
+        }
+        std::time::Instant::now() + budget
+    }
+
+    fn park(
+        &self,
+        rid: RequestId,
+        completer: Completer,
+        deadline: std::time::Instant,
+        peer: NodeId,
+        flight: Option<FlightKey>,
+    ) {
+        self.health.on_dispatch(peer, rid);
+        self.pending
+            .lock()
+            .insert(rid, Parked { completer, deadline, peer, flight });
+    }
+
+    /// Takes a parked entry back out without a health verdict (the relay
+    /// never went upstream). `None` means the demux already settled it.
+    fn unpark(&self, rid: RequestId) -> Option<Completer> {
+        let p = self.pending.lock().remove(&rid)?;
+        self.health.on_abort(p.peer, rid);
+        Some(p.completer)
+    }
+
+    /// Completes a parked entry with the controlet's reply (demux path):
+    /// health heals, the connection's response slot fills, and any flight
+    /// the entry led is settled with the same result.
+    fn complete(&self, resp: Response) {
+        let Some(p) = self.pending.lock().remove(&resp.id) else { return };
+        self.health.on_reply(p.peer, resp.id);
+        let rid = resp.id;
+        let result = resp.result.clone();
+        p.completer.complete(Response { id: rid, result: resp.result });
+        self.settle_flight(p.flight, &result);
+    }
+
+    /// Expires every parked entry past its deadline with `Timeout`, trips
+    /// relay health for the silent peer, and settles led flights. Runs on
+    /// the demux thread; the pending lock is dropped before any completer
+    /// fires.
+    fn expire_parked(&self, now: std::time::Instant) {
+        let expired: Vec<(RequestId, Parked)> = {
+            let mut pending = self.pending.lock();
+            let rids: Vec<RequestId> = pending
+                .iter()
+                .filter(|(_, e)| e.deadline <= now)
+                .map(|(r, _)| *r)
+                .collect();
+            rids.into_iter()
+                .filter_map(|r| pending.remove(&r).map(|e| (r, e)))
+                .collect()
+        };
+        if expired.is_empty() {
+            return;
+        }
+        let o = self.overload.read().clone();
+        for (rid, e) in expired {
+            if let Some(o) = &o {
+                o.counters
+                    .relay_expired
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            let newly = self.health.on_timeout(e.peer, rid);
+            if newly {
+                if let Some(o) = &o {
+                    o.counters
+                        .stall_trips
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+            let result: Result<RespBody, KvError> = Err(KvError::Timeout);
+            e.completer.complete(Response { id: rid, result: result.clone() });
+            self.settle_flight(e.flight, &result);
+        }
+    }
+
+    /// Settles every follower of a completed (or failed) flight leader:
+    /// an effective-Eventual follower adopts a successful result
+    /// wholesale (any recently committed value or committed absence is a
+    /// legitimate eventual read); a strong follower must not inherit
+    /// another request's linearization point, so it revalidates through
+    /// the fast path — the dirty window that forced the fallback has
+    /// likely closed — and otherwise is *re-dispatched* as a relay of its
+    /// own, immediately, never re-waiting the leader's full budget.
+    fn settle_flight(&self, fk: Option<FlightKey>, result: &Result<RespBody, KvError>) {
+        let Some(fk) = fk else { return };
+        let Some(waiters) = self.flights.lock().remove(&fk) else { return };
+        if waiters.is_empty() {
+            return;
+        }
+        let o = self.overload.read().clone();
+        let skew = self.table.skew();
+        let coalesced = |n: u64| {
+            if let Some(s) = &skew {
+                s.counters()
+                    .coalesced
+                    .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+            }
+        };
+        for (wreq, completer) in waiters {
+            let level = self.table.effective_level(self.node, wreq.level);
+            if level == Some(Consistency::Eventual) && result.is_ok() {
+                coalesced(1);
+                completer.complete(Response { id: wreq.id, result: result.clone() });
+                continue;
+            }
+            if self.fast_path.load(Ordering::Acquire) {
+                if let Some(resp) = self.table.try_get(self.node, &wreq) {
+                    coalesced(1);
+                    completer.complete(resp);
+                    continue;
+                }
+            }
+            let to = self.route(&wreq);
+            if let Some(resp) = self.refuse(&wreq, to, o.as_ref()) {
+                completer.complete(resp);
+                continue;
+            }
+            if let Some(o) = &o {
+                o.counters
+                    .relay_redispatches
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            self.park(wreq.id, completer, self.deadline_for(&wreq, o.as_ref()), to, None);
+            self.mailbox.send(Addr(to.raw()), NetMsg::Client(wreq));
+        }
     }
 }
 
@@ -800,5 +1128,9 @@ impl Drop for NodeEdge {
         if let Some(h) = self.demux.take() {
             let _ = h.join();
         }
+        // Anything still parked completes with the Timeout backstop when
+        // its completer drops here — no connection is left hanging.
+        self.inner.pending.lock().clear();
+        self.inner.flights.lock().clear();
     }
 }

@@ -230,6 +230,8 @@ impl LiveCluster {
             opts.reactor_threads = (o.reactor_threads > 0).then_some(o.reactor_threads);
             edge = edge.with_overload(crate::edge::EdgeOverload {
                 relay_cap: o.relay_cap,
+                relay_timeout: o.relay_timeout,
+                relay_stall_threshold: o.relay_stall_threshold,
                 counters: Arc::clone(&self.overload_counters),
                 clock: self.rt.clock(),
             });
@@ -238,14 +240,39 @@ impl LiveCluster {
             Box::new(bespokv_proto::parser::BinaryParser::new())
                 as Box<dyn bespokv_proto::parser::ProtocolParser>
         });
-        let server = bespokv_runtime::tcp::TcpServer::bind_with(
+        // Deferred completion: a relayed request parks its *connection*,
+        // not the serving thread — under the reactor transport a wedged
+        // controlet cannot absorb reactor threads.
+        let server = bespokv_runtime::tcp::TcpServer::bind_deferred(
             "127.0.0.1:0",
             parser_factory,
-            edge.handler(),
+            edge.defer_handler(),
             opts,
         )
         .expect("bind tcp edge");
         (edge, server)
+    }
+
+    /// Wedges a node for `dur`: its controlet thread freezes completely
+    /// (no inbound messages, no timers), then resumes. A gray-failure
+    /// stand-in — the process is alive and the OS accepts its traffic,
+    /// but nothing makes progress.
+    pub fn wedge_node(&self, node: NodeId, dur: std::time::Duration) {
+        self.rt.wedge(Addr(node.raw()), dur);
+    }
+
+    /// Slows a node for `dur`: every message its controlet handles costs
+    /// an extra `per_msg` of wall-clock.
+    pub fn slow_node(&self, node: NodeId, dur: std::time::Duration, per_msg: std::time::Duration) {
+        self.rt.slow(Addr(node.raw()), dur, per_msg);
+    }
+
+    /// Gray-partitions a node for `dur`: control traffic (heartbeats,
+    /// replication, coordinator RPCs) flows normally but client requests
+    /// are held until the window closes — the classic gray failure that
+    /// fail-stop detectors never see.
+    pub fn gray_node(&self, node: NodeId, dur: std::time::Duration) {
+        self.rt.gray(Addr(node.raw()), dur);
     }
 
     /// Attaches a sequential scripted client; returns its address.

@@ -1,0 +1,457 @@
+//! Gray-failure hardening, end to end: a controlet that is alive but not
+//! making progress (wedged, slow, or gray-partitioned) must cost the edge
+//! nothing but parked state — healthy traffic keeps its full rate, no
+//! serving thread blocks behind the corpse, relays expire on a deadline,
+//! and the per-peer health tracker fast-fails new relays toward healthy
+//! replicas until the first successful probe heals the trip.
+//!
+//! The simulator side proves the stall plan itself is deterministic: the
+//! same seed replays byte-identical schedules, so any oracle failure under
+//! `BESPOKV_STALL=1` reproduces exactly.
+
+use bespokv_cluster::edge::{EdgeOverload, NodeEdge};
+use bespokv_cluster::script::{get, put};
+use bespokv_cluster::{ClusterSpec, LiveCluster, SimCluster};
+use bespokv_proto::client::{Op, Request, RespBody, Response};
+use bespokv_proto::parser::{BinaryParser, ProtocolParser};
+use bespokv_runtime::tcp::{ServerOptions, TcpClient, TcpServer, TransportKind};
+use bespokv_runtime::{Addr, StallPlan};
+use bespokv_types::{
+    ClientId, Duration, Instant, Key, KvError, Mode, NodeId, OverloadCounters, RequestId,
+    SkewConfig, Value,
+};
+use bytes::BytesMut;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+fn parser_factory() -> Arc<bespokv_runtime::tcp::ParserFactory> {
+    Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>)
+}
+
+fn req(seq: u32, op: Op) -> Request {
+    Request::new(RequestId::compose(ClientId(8000), seq), op)
+}
+
+fn put_op(key: &str, value: &str) -> Op {
+    Op::Put { key: Key::from(key), value: Value::from(value) }
+}
+
+fn get_op(key: &str) -> Op {
+    Op::Get { key: Key::from(key) }
+}
+
+/// Binds a deferred reactor edge for `node` with the given relay knobs.
+fn reactor_edge(
+    cluster: &mut LiveCluster,
+    node: u32,
+    fast_path: bool,
+    relay_timeout: Duration,
+    stall_threshold: Duration,
+    counters: Arc<OverloadCounters>,
+) -> (NodeEdge, TcpServer) {
+    let table = Arc::clone(cluster.fast_path().expect("fast path enabled"));
+    let edge = NodeEdge::new(NodeId(node), table, cluster.rt.register_mailbox(), fast_path)
+        .with_overload(EdgeOverload {
+            relay_cap: 0,
+            relay_timeout,
+            relay_stall_threshold: stall_threshold,
+            counters,
+            clock: cluster.rt.clock(),
+        });
+    let server = TcpServer::bind_deferred(
+        "127.0.0.1:0",
+        parser_factory(),
+        edge.defer_handler(),
+        ServerOptions {
+            transport: Some(TransportKind::Reactor),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    (edge, server)
+}
+
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// Fires `req` down a raw socket without reading the reply: the relay
+/// parks server-side while this process spends no thread waiting on it.
+fn send_raw(addr: std::net::SocketAddr, req: &Request) -> std::net::TcpStream {
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    let mut parser = BinaryParser::new();
+    let mut buf = BytesMut::new();
+    parser.encode_request(req, &mut buf);
+    s.write_all(&buf).unwrap();
+    s
+}
+
+fn read_response(s: &mut std::net::TcpStream) -> Response {
+    use std::io::Read;
+    let mut parser = BinaryParser::new();
+    let mut byte = [0u8; 256];
+    loop {
+        let n = s.read(&mut byte).unwrap();
+        assert!(n > 0, "server closed before replying");
+        parser.feed(&byte[..n]);
+        if let Some(resp) = parser.next_response().unwrap() {
+            return resp;
+        }
+    }
+}
+
+/// The PR's acceptance scenario: one controlet wedged for 2 seconds under
+/// the reactor edge. Healthy-node goodput must stay >= 0.9x its unwedged
+/// baseline, zero threads may block behind the wedge, and every relay
+/// parked on the wedged node must still receive a response (the deadline
+/// sweep guarantees it even if the wedge outlived the relay budget).
+#[test]
+fn wedged_controlet_leaves_healthy_node_goodput_intact() {
+    let counters = Arc::new(OverloadCounters::new());
+    let mut cluster =
+        LiveCluster::build(ClusterSpec::new(1, 3, Mode::AA_EC).with_fast_path());
+    // Node 0 will be wedged; its edge relays everything (no fast path) so
+    // requests park on the wedged controlet. Node 1 stays healthy and
+    // serves reads off the fast path.
+    let (wedged_edge, wedged_srv) = reactor_edge(
+        &mut cluster,
+        0,
+        false,
+        Duration::from_secs(5),
+        Duration::from_millis(500),
+        Arc::clone(&counters),
+    );
+    let (_healthy_edge, healthy_srv) = reactor_edge(
+        &mut cluster,
+        1,
+        true,
+        Duration::from_secs(5),
+        Duration::from_millis(500),
+        Arc::clone(&counters),
+    );
+    let mut healthy =
+        TcpClient::connect(healthy_srv.local_addr(), Box::new(BinaryParser::new())).unwrap();
+
+    // Seed through the healthy node (AA accepts writes anywhere).
+    for i in 0..8u32 {
+        let resp = healthy.call(&req(i, put_op(&format!("k{}", i % 4), "v"))).unwrap();
+        assert!(resp.result.is_ok(), "seed put: {:?}", resp.result);
+    }
+
+    // Best-of-3 on both sides of the comparison: the suite runs many
+    // tests in parallel, and a scheduler hiccup in a single window reads
+    // as a goodput collapse. The *minimum* elapsed time is the least
+    // contended sample, which is the quantity the wedge could plausibly
+    // degrade.
+    const OPS: u32 = 500;
+    let bench = |client: &mut TcpClient, base: u32| -> StdDuration {
+        (0..3)
+            .map(|round| {
+                let t0 = std::time::Instant::now();
+                for i in 0..OPS {
+                    let resp = client
+                        .call(&req(base + round * OPS + i, get_op(&format!("k{}", i % 4))))
+                        .unwrap();
+                    assert!(resp.result.is_ok(), "healthy get: {:?}", resp.result);
+                }
+                t0.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let baseline = bench(&mut healthy, 1000);
+    let threads_before = thread_count();
+
+    // Wedge node 0 and park a burst of relays on it.
+    cluster.wedge_node(NodeId(0), StdDuration::from_secs(2));
+    let mut held: Vec<std::net::TcpStream> = (0..40)
+        .map(|i| send_raw(wedged_srv.local_addr(), &req(5000 + i, get_op("k0"))))
+        .collect();
+    // Let the burst land and park before measuring.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(2);
+    while wedged_edge.parked() < 40 && std::time::Instant::now() < deadline {
+        std::thread::sleep(StdDuration::from_millis(5));
+    }
+    assert!(wedged_edge.parked() >= 40, "relays never parked: {}", wedged_edge.parked());
+
+    let during = bench(&mut healthy, 10_000);
+    let ratio = baseline.as_secs_f64() / during.as_secs_f64();
+    assert!(
+        ratio >= 0.9,
+        "healthy goodput collapsed under a peer wedge: baseline {baseline:?}, \
+         during {during:?} (ratio {ratio:.2})"
+    );
+    assert!(
+        thread_count() <= threads_before,
+        "threads blocked behind the wedge: {threads_before} -> {}",
+        thread_count()
+    );
+
+    // Every parked relay completes: the wedge releases inside the relay
+    // budget, the controlet drains, the demux finishes the connections.
+    for s in held.iter_mut() {
+        let resp = read_response(s);
+        assert!(
+            resp.result.is_ok(),
+            "parked relay should complete after the wedge: {:?}",
+            resp.result
+        );
+    }
+    drop(wedged_srv);
+    drop(healthy_srv);
+    cluster.rt.shutdown();
+}
+
+/// Satellite (c): a singleflight leader whose relay times out must settle
+/// its followers promptly — each follower is re-dispatched or failed on
+/// the spot, the flight entry is removed, and a follow-up GET succeeds
+/// once the node recovers. Followers must never serve another request's
+/// linearization point, so under AA+SC they fail rather than adopt.
+#[test]
+fn singleflight_followers_settle_when_the_leader_times_out() {
+    let counters = Arc::new(OverloadCounters::new());
+    let mut cluster = LiveCluster::build(
+        ClusterSpec::new(1, 3, Mode::AA_SC)
+            .with_fast_path()
+            .with_skew(SkewConfig { hot_min_count: 4, ..SkewConfig::default() }),
+    );
+    let (edge, srv) = reactor_edge(
+        &mut cluster,
+        0,
+        true,
+        Duration::from_millis(150),
+        Duration::from_millis(80),
+        Arc::clone(&counters),
+    );
+    let mut client =
+        TcpClient::connect(srv.local_addr(), Box::new(BinaryParser::new())).unwrap();
+    let resp = client.call(&req(0, put_op("hot", "v"))).unwrap();
+    assert!(resp.result.is_ok(), "seed: {:?}", resp.result);
+    // Make the key hot so the flight path engages (AA+SC default reads
+    // are strong, never fast-path-served, so each one relays).
+    for i in 1..8u32 {
+        let _ = client.call(&req(i, get_op("hot"))).unwrap();
+    }
+
+    cluster.wedge_node(NodeId(0), StdDuration::from_secs(2));
+    // Concurrent hot GETs: the first to the flight leads and relays into
+    // the wedge; the rest park as followers on its flight.
+    let t0 = std::time::Instant::now();
+    let workers: Vec<_> = (0..6)
+        .map(|w| {
+            let addr = srv.local_addr();
+            std::thread::spawn(move || {
+                let mut c = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+                c.call(&req(100 + w, get_op("hot"))).unwrap()
+            })
+        })
+        .collect();
+    for w in workers {
+        let resp = w.join().unwrap();
+        // Leader: relay deadline fires -> Timeout. Followers: settled by
+        // the expiry (re-dispatched into a tripped peer -> fast-failed).
+        assert!(
+            matches!(
+                resp.result,
+                Err(KvError::Timeout)
+                    | Err(KvError::Unavailable(_))
+                    | Err(KvError::WrongNode { .. })
+            ),
+            "wedged hot read must fail cleanly: {:?}",
+            resp.result
+        );
+    }
+    // Followers settled promptly: bounded by the 150 ms relay budget plus
+    // one re-dispatch round, nowhere near the 2 s wedge.
+    assert!(
+        t0.elapsed() < StdDuration::from_millis(1200),
+        "followers waited out the wedge instead of settling: {:?}",
+        t0.elapsed()
+    );
+    let snap = counters.snapshot();
+    assert!(snap.relay_expired > 0, "no relay deadline ever fired: {snap:?}");
+    assert!(snap.stall_trips > 0, "the timeout never tripped relay health: {snap:?}");
+    assert!(edge.peer_tripped(NodeId(0)), "peer should be tripped after the timeout");
+
+    // The flight entry is gone and nothing is left parked once every
+    // response above has been delivered.
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(3);
+    while edge.parked() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(StdDuration::from_millis(10));
+    }
+    assert_eq!(edge.parked(), 0, "flight teardown leaked parked entries");
+
+    // After the wedge releases, probe relays heal the trip and the same
+    // GET succeeds again. Fresh connection per attempt: a failed probe
+    // poisons its connection (the per-node breaker), by design.
+    std::thread::sleep(StdDuration::from_secs(2));
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+    let recovered = loop {
+        let mut client =
+            TcpClient::connect(srv.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let resp = client.call(&req(9000, get_op("hot"))).unwrap();
+        if matches!(resp.result, Ok(RespBody::Value(_))) {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(StdDuration::from_millis(50));
+    };
+    assert!(recovered, "hot key unreadable after the wedge released");
+    assert!(!edge.peer_tripped(NodeId(0)), "successful reply must heal the trip");
+
+    drop(srv);
+    cluster.rt.shutdown();
+}
+
+/// Detection and degradation without coalescing in the mix: a relay
+/// timeout trips the peer, the next spreadable GET is bounced immediately
+/// toward a healthy replica (`WrongNode{hint}` — the client's free-retry
+/// path), and the first successful probe after recovery heals the trip.
+#[test]
+fn tripped_peer_fast_fails_spreadable_gets_with_a_healthy_hint() {
+    let counters = Arc::new(OverloadCounters::new());
+    let mut cluster =
+        LiveCluster::build(ClusterSpec::new(1, 3, Mode::AA_EC).with_fast_path());
+    let (edge, srv) = reactor_edge(
+        &mut cluster,
+        0,
+        false, // no fast path: every GET relays, so the wedge is visible
+        Duration::from_millis(120),
+        Duration::from_millis(60),
+        Arc::clone(&counters),
+    );
+    let mut client =
+        TcpClient::connect(srv.local_addr(), Box::new(BinaryParser::new())).unwrap();
+    let resp = client.call(&req(0, put_op("k", "v"))).unwrap();
+    assert!(resp.result.is_ok(), "seed: {:?}", resp.result);
+
+    cluster.wedge_node(NodeId(0), StdDuration::from_secs(1));
+    // First GET parks, expires at the 120 ms budget, trips the peer.
+    let resp = client.call(&req(1, get_op("k"))).unwrap();
+    assert!(
+        matches!(resp.result, Err(KvError::Timeout)),
+        "first relay into the wedge should time out: {:?}",
+        resp.result
+    );
+    assert!(edge.peer_tripped(NodeId(0)));
+    // Satellite (b) in action: the well-formed `Timeout` body poisoned
+    // this connection — the per-node breaker treats it like a direct
+    // timeout, so the caller must reconnect (and would reroute).
+    assert!(
+        matches!(client.call(&req(90, get_op("k"))), Err(KvError::Unavailable(_))),
+        "a relayed Timeout body must poison the client connection"
+    );
+    let mut client =
+        TcpClient::connect(srv.local_addr(), Box::new(BinaryParser::new())).unwrap();
+
+    // With nothing outstanding, a tripped peer admits exactly one relay
+    // as a health probe; park one so the requests below see the tripped
+    // peer with its probe slot taken.
+    let probe = send_raw(srv.local_addr(), &req(3, get_op("k")));
+    std::thread::sleep(StdDuration::from_millis(20));
+
+    // Tripped: a spreadable GET is bounced instantly, with a hint at a
+    // healthy replica of the same shard — not after another full budget.
+    let t0 = std::time::Instant::now();
+    let resp = client.call(&req(2, get_op("k"))).unwrap();
+    let fast = t0.elapsed();
+    match resp.result {
+        Err(KvError::WrongNode { node, hint }) => {
+            assert_eq!(node, NodeId(0));
+            let hint = hint.expect("bounce must carry a healthy replica hint");
+            assert_ne!(hint, NodeId(0), "hint must point away from the wedge");
+        }
+        other => panic!("expected a WrongNode bounce, got {other:?}"),
+    }
+    assert!(
+        fast < StdDuration::from_millis(60),
+        "fast-fail was not fast: {fast:?}"
+    );
+    assert!(counters.snapshot().stall_fastfails > 0);
+
+    // A write cannot spread (this node is its own ordering authority for
+    // AA ingress), so it fails `Unavailable` rather than bouncing.
+    let resp = client.call(&req(4, put_op("k", "w"))).unwrap();
+    assert!(
+        matches!(resp.result, Err(KvError::Unavailable(_))),
+        "write into a tripped peer must fail unavailable: {:?}",
+        resp.result
+    );
+    drop(probe);
+
+    // Recovery: the wedge releases, a probe relay gets through (the
+    // tracker admits one relay when nothing is outstanding), its reply
+    // heals the trip, and reads flow again. Reconnect per attempt: every
+    // failed probe poisons its connection by design.
+    std::thread::sleep(StdDuration::from_secs(1));
+    let deadline = std::time::Instant::now() + StdDuration::from_secs(5);
+    let recovered = loop {
+        let mut c = TcpClient::connect(srv.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let resp = c.call(&req(10_000, get_op("k"))).unwrap();
+        if matches!(resp.result, Ok(RespBody::Value(_))) {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(StdDuration::from_millis(50));
+    };
+    assert!(recovered, "peer never healed after the wedge released");
+    assert!(!edge.peer_tripped(NodeId(0)));
+
+    drop(srv);
+    cluster.rt.shutdown();
+}
+
+/// The stall plan is part of the deterministic replay surface: the same
+/// spec + seed must produce the identical schedule — same stall count,
+/// same message count, same end time, same client results.
+#[test]
+fn sim_stall_schedule_replays_identically() {
+    let run = |seed: u64| {
+        // Windows sit on top of the workload (which completes in tens of
+        // virtual milliseconds): the wedge catches chain replication into
+        // the mid, the gray window catches client reads at the tail.
+        let at = |ms: u64| Instant::ZERO + Duration::from_millis(ms);
+        let spec = ClusterSpec::new(1, 3, Mode::MS_SC).with_stalls(
+            StallPlan::new(seed)
+                .with_wedge(Addr(1), at(5), at(300))
+                .with_gray(Addr(2), at(350), at(700))
+                .with_slow(Addr(1), at(750), at(1200), Duration::from_micros(100)),
+        );
+        let mut cluster = SimCluster::build(spec);
+        let client = cluster.add_script_client(
+            (0..30)
+                .map(|i| {
+                    if i % 3 == 2 {
+                        get(&format!("k{}", i % 5))
+                    } else {
+                        put(&format!("k{}", i % 5), &format!("v{i}"))
+                    }
+                })
+                .collect(),
+        );
+        cluster.run_for(Duration::from_secs(6));
+        let stats = cluster.sim.stats();
+        let results = cluster
+            .sim
+            .actor_mut::<bespokv_cluster::script::ScriptClient>(client)
+            .results
+            .clone();
+        (stats.messages, stats.stalled, stats.events, results)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert!(a.1 > 0, "stall plan armed but nothing stalled");
+    assert_eq!(a, b, "same seed must replay the identical stall schedule");
+    let c = run(8);
+    assert_eq!(a.3.len(), c.3.len(), "scripts must finish under any seed");
+}

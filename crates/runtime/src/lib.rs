@@ -32,7 +32,10 @@ pub mod tcp;
 pub use actor::{Action, Actor, Addr, Context, Event};
 pub use live::{LiveRuntime, Mailbox};
 pub use netmodel::{
-    CostModel, FaultOutcome, FaultPlan, LinkFaults, NetworkModel, Partition, TransportProfile,
+    CostModel, FaultOutcome, FaultPlan, LinkFaults, NetworkModel, Partition, StallKind,
+    StallPlan, StallWindow, TransportProfile,
 };
 pub use sim::{SimStats, Simulation};
-pub use tcp::{ServerOptions, TcpClient, TcpServer, TransportKind};
+pub use tcp::{
+    Completer, Defer, DeferHandler, Served, ServerOptions, TcpClient, TcpServer, TransportKind,
+};

@@ -26,11 +26,98 @@ enum Envelope {
     Stop,
 }
 
+/// Wall-clock gray-failure state injected into one actor thread. The
+/// live counterpart of the simulator's `StallPlan` windows: the node
+/// stays alive and its outbound traffic is untouched, only inbound
+/// progress is impaired.
+#[derive(Clone, Copy, Debug, Default)]
+enum StallState {
+    #[default]
+    None,
+    /// The whole thread stops: no mailbox drain, no timers — a GC pause
+    /// or disk stall, not a crash.
+    Wedge { until: std::time::Instant },
+    /// Every message costs an extra `per_msg` of service time.
+    Slow {
+        until: std::time::Instant,
+        per_msg: std::time::Duration,
+    },
+    /// Client/relay messages are held until the window closes;
+    /// replication and control traffic (and timers) proceed, so
+    /// heartbeats keep the node looking healthy.
+    Gray { until: std::time::Instant },
+}
+
+struct StallCell {
+    state: parking_lot::Mutex<StallState>,
+}
+
+impl StallCell {
+    fn new() -> Self {
+        StallCell { state: parking_lot::Mutex::new(StallState::None) }
+    }
+
+    fn set(&self, s: StallState) {
+        *self.state.lock() = s;
+    }
+
+    /// Blocks while a wedge window is active (in small slices, so a
+    /// cancelled or replaced window takes effect promptly).
+    fn wedge_wait(&self) {
+        loop {
+            let until = match *self.state.lock() {
+                StallState::Wedge { until } => until,
+                _ => return,
+            };
+            let now = std::time::Instant::now();
+            if now >= until {
+                *self.state.lock() = StallState::None;
+                return;
+            }
+            std::thread::sleep((until - now).min(std::time::Duration::from_millis(2)));
+        }
+    }
+
+    /// Extra per-message service delay while a slow window is active.
+    fn slow_delay(&self) -> Option<std::time::Duration> {
+        let mut st = self.state.lock();
+        match *st {
+            StallState::Slow { until, per_msg } => {
+                if std::time::Instant::now() >= until {
+                    *st = StallState::None;
+                    None
+                } else {
+                    Some(per_msg)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a gray window currently holds client traffic.
+    fn gray_active(&self) -> bool {
+        let mut st = self.state.lock();
+        match *st {
+            StallState::Gray { until } => {
+                if std::time::Instant::now() >= until {
+                    *st = StallState::None;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
 struct Slot {
     tx: Option<Sender<Envelope>>,
     /// Messages currently queued in this slot's channel (in-service
     /// messages excluded): the mailbox depth the cap applies to.
     depth: Arc<AtomicUsize>,
+    /// Gray-failure injection state consumed by this slot's actor loop.
+    stall: Arc<StallCell>,
 }
 
 struct Router {
@@ -111,18 +198,49 @@ impl LiveRuntime {
         let addr = Addr(self.handles.len() as u32);
         let (tx, rx) = unbounded();
         let depth = Arc::new(AtomicUsize::new(0));
+        let stall = Arc::new(StallCell::new());
         self.router.slots.write().push(Slot {
             tx: Some(tx),
             depth: Arc::clone(&depth),
+            stall: Arc::clone(&stall),
         });
         let router = Arc::clone(&self.router);
         let epoch = self.epoch;
         let handle = std::thread::Builder::new()
             .name(format!("actor-{}", addr.0))
-            .spawn(move || actor_loop(actor, addr, rx, router, epoch, depth))
+            .spawn(move || actor_loop(actor, addr, rx, router, epoch, depth, stall))
             .expect("spawn actor thread");
         self.handles.push(Some(handle));
         addr
+    }
+
+    /// Wedges the actor at `addr` for `dur`: its thread stops draining
+    /// the mailbox and firing timers entirely, while its already-sent
+    /// outbound traffic stands — a gray failure, not a crash.
+    pub fn wedge(&self, addr: Addr, dur: std::time::Duration) {
+        self.set_stall(addr, StallState::Wedge { until: std::time::Instant::now() + dur });
+    }
+
+    /// Slows the actor at `addr` for `dur`: each inbound message costs an
+    /// extra `per_msg` of service time.
+    pub fn slow(&self, addr: Addr, dur: std::time::Duration, per_msg: std::time::Duration) {
+        self.set_stall(
+            addr,
+            StallState::Slow { until: std::time::Instant::now() + dur, per_msg },
+        );
+    }
+
+    /// Gray-partitions the actor at `addr` for `dur`: inbound client and
+    /// relay traffic is held until the window closes while replication,
+    /// control traffic, and timers proceed — heartbeats stay green.
+    pub fn gray(&self, addr: Addr, dur: std::time::Duration) {
+        self.set_stall(addr, StallState::Gray { until: std::time::Instant::now() + dur });
+    }
+
+    fn set_stall(&self, addr: Addr, s: StallState) {
+        if let Some(slot) = self.router.slots.read().get(addr.0 as usize) {
+            slot.stall.set(s);
+        }
     }
 
     /// Sends a message into the runtime from outside (tests, harnesses).
@@ -141,6 +259,7 @@ impl LiveRuntime {
         self.router.slots.write().push(Slot {
             tx: Some(tx),
             depth: Arc::clone(&depth),
+            stall: Arc::new(StallCell::new()),
         });
         // No thread: keep the handle table aligned with addresses so
         // `kill`/`shutdown` indexing stays valid (both are no-ops here).
@@ -280,6 +399,7 @@ fn actor_loop(
     router: Arc<Router>,
     epoch: std::time::Instant,
     depth: Arc<AtomicUsize>,
+    stall: Arc<StallCell>,
 ) -> Box<dyn Actor> {
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
     let mut timer_seq = 0u64;
@@ -314,7 +434,20 @@ fn actor_loop(
     // burst, small enough that a flooded actor still services timers.
     const BURST: usize = 128;
 
+    // Client messages held by an active gray window, replayed in arrival
+    // order once it closes. Dropped with the actor if it stops mid-window
+    // (the node died; held traffic dies with its socket).
+    let mut held: Vec<(Addr, NetMsg)> = Vec::new();
+
     'outer: loop {
+        // A wedge stalls the whole thread: no drain, no timers.
+        stall.wedge_wait();
+        // Release gray-held client traffic once the window closes.
+        if !held.is_empty() && !stall.gray_active() {
+            for (from, msg) in held.drain(..) {
+                dispatch(&mut actor, Event::Msg { from, msg }, &mut timers, &mut timer_seq);
+            }
+        }
         // Fire all due timers first.
         let t = now(epoch);
         while timers.peek().is_some_and(|p| p.due <= t) {
@@ -326,16 +459,23 @@ fn actor_loop(
                 &mut timer_seq,
             );
         }
-        // Wait for the next message or the next timer deadline.
-        let env = match timers.peek() {
-            Some(p) => {
-                let wait = p.due.saturating_since(now(epoch));
-                match rx.recv_timeout(wait.into()) {
-                    Ok(env) => env,
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                }
-            }
+        // Wait for the next message or the next timer deadline; while
+        // messages are gray-held, poll in short slices so the release
+        // happens promptly even if nothing else arrives.
+        let timer_wait: Option<std::time::Duration> = timers
+            .peek()
+            .map(|p| p.due.saturating_since(now(epoch)).into());
+        let hold_wait = (!held.is_empty()).then(|| std::time::Duration::from_millis(2));
+        let wait = match (timer_wait, hold_wait) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let env = match wait {
+            Some(wait) => match rx.recv_timeout(wait) {
+                Ok(env) => env,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            },
             None => match rx.recv() {
                 Ok(env) => env,
                 Err(_) => break,
@@ -349,12 +489,22 @@ fn actor_loop(
             match e {
                 Envelope::Msg { from, msg } => {
                     depth.fetch_sub(1, Ordering::AcqRel);
-                    dispatch(
-                        &mut actor,
-                        Event::Msg { from, msg },
-                        &mut timers,
-                        &mut timer_seq,
-                    );
+                    // A wedge that lands while the thread was parked in
+                    // recv() must still stall the message it woke up for.
+                    stall.wedge_wait();
+                    if matches!(msg, NetMsg::Client(_)) && stall.gray_active() {
+                        held.push((from, msg));
+                    } else {
+                        if let Some(d) = stall.slow_delay() {
+                            std::thread::sleep(d);
+                        }
+                        dispatch(
+                            &mut actor,
+                            Event::Msg { from, msg },
+                            &mut timers,
+                            &mut timer_seq,
+                        );
+                    }
                 }
                 Envelope::Stop => break 'outer,
             }
@@ -558,6 +708,56 @@ mod tests {
         );
         assert_eq!(counters.snapshot().mailbox_shed, shed as u64);
         rt.kill(server);
+    }
+
+    #[test]
+    fn wedge_stalls_then_releases_an_actor() {
+        let mut rt = LiveRuntime::new();
+        let replies = Arc::new(AtomicUsize::new(0));
+        let ponger = rt.spawn(Box::new(Ponger { seen: 0 }));
+        rt.wedge(ponger, std::time::Duration::from_millis(80));
+        let pinger = rt.spawn(Box::new(Pinger {
+            target: ponger,
+            replies: Arc::clone(&replies),
+            to_send: 10,
+        }));
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert_eq!(
+            replies.load(Ordering::Acquire),
+            0,
+            "wedged actor must not answer mid-window"
+        );
+        wait_for_count(&replies, 10, "post-wedge replies");
+        rt.kill(pinger);
+        rt.kill(ponger);
+    }
+
+    #[test]
+    fn gray_holds_client_traffic_but_not_control() {
+        use bespokv_proto::client::{Op, Request};
+        use bespokv_types::{ClientId, Key, RequestId};
+
+        let mut rt = LiveRuntime::new();
+        let ponger = rt.spawn(Box::new(Ponger { seen: 0 }));
+        rt.gray(ponger, std::time::Duration::from_millis(80));
+        let mailbox = rt.register_mailbox();
+        let req = Request::new(
+            RequestId::compose(ClientId(1), 0),
+            Op::Get { key: Key::from("k") },
+        );
+        mailbox.send(ponger, NetMsg::Client(req));
+        mailbox.send(ponger, NetMsg::Coord(CoordMsg::GetShardMap));
+        // Control traffic echoes back promptly despite the gray window…
+        let (_, first) = mailbox
+            .recv_timeout(std::time::Duration::from_millis(40))
+            .expect("control passes through a gray window");
+        assert!(matches!(first, NetMsg::Coord(_)), "{first:?}");
+        // …and the held client request is replayed once the window closes.
+        let (_, second) = mailbox
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("client traffic released after the window");
+        assert!(matches!(second, NetMsg::Client(_)), "{second:?}");
+        rt.kill(ponger);
     }
 
     #[test]

@@ -308,16 +308,158 @@ impl FaultPlan {
     }
 }
 
+/// How a stalled node misbehaves during a [`StallWindow`].
+///
+/// All three are *gray* failures: the node stays up, its outbound traffic
+/// (heartbeats, acks it already produced) keeps flowing, and failure
+/// detectors that watch liveness never fire. Only inbound progress is
+/// impaired, which is exactly the class the fail-stop machinery (crash +
+/// failover) cannot see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallKind {
+    /// The node's mailbox stops draining entirely: every inbound message
+    /// (client, replication, control) is held until the window closes.
+    Wedge,
+    /// The node processes everything, but each inbound message is delayed
+    /// by `delay` (plus bounded seeded jitter) — a slow node, not a dead
+    /// one.
+    Slow {
+        /// Extra per-message inbound delay.
+        delay: Duration,
+    },
+    /// Gray partition: heartbeats and replication traffic pass, but
+    /// client/relay traffic inbound to the node is held until the window
+    /// closes. The coordinator sees a live node; clients see a black hole.
+    Gray,
+}
+
+/// One stall episode: `node` misbehaves per `kind` for `[from, until)`.
+#[derive(Clone, Copy, Debug)]
+pub struct StallWindow {
+    /// The node whose inbound traffic stalls.
+    pub node: Addr,
+    /// Window start (inclusive, by message arrival time).
+    pub from: Instant,
+    /// Window end (exclusive); held messages are released here.
+    pub until: Instant,
+    /// How the node misbehaves.
+    pub kind: StallKind,
+}
+
+/// A seeded, replayable stall schedule — the gray-failure counterpart of
+/// [`FaultPlan`]. Where `FaultPlan` loses or reorders individual messages,
+/// `StallPlan` wedges *nodes*: inbound messages that arrive during a
+/// window are held (or delayed) deterministically, while the node's own
+/// outbound traffic is untouched so liveness detectors stay green.
+///
+/// Extra delays are pure functions of `(seed, seq)`, so the same seed and
+/// workload replay the identical stall schedule.
+#[derive(Clone, Debug, Default)]
+pub struct StallPlan {
+    seed: u64,
+    windows: Vec<StallWindow>,
+}
+
+impl StallPlan {
+    /// An empty plan (no stalls) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        StallPlan { seed, windows: Vec::new() }
+    }
+
+    /// Adds an arbitrary stall window.
+    pub fn with_window(mut self, w: StallWindow) -> Self {
+        self.windows.push(w);
+        self
+    }
+
+    /// Convenience: full mailbox wedge of `node` for `[from, until)`.
+    pub fn with_wedge(self, node: Addr, from: Instant, until: Instant) -> Self {
+        self.with_window(StallWindow { node, from, until, kind: StallKind::Wedge })
+    }
+
+    /// Convenience: slow-node window adding `delay` per inbound message.
+    pub fn with_slow(self, node: Addr, from: Instant, until: Instant, delay: Duration) -> Self {
+        self.with_window(StallWindow { node, from, until, kind: StallKind::Slow { delay } })
+    }
+
+    /// Convenience: gray partition holding only client traffic.
+    pub fn with_gray(self, node: Addr, from: Instant, until: Instant) -> Self {
+        self.with_window(StallWindow { node, from, until, kind: StallKind::Gray })
+    }
+
+    /// The seed this plan draws jitter from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured windows.
+    pub fn windows(&self) -> &[StallWindow] {
+        &self.windows
+    }
+
+    /// True if any window (of any kind) covers `node` at `now`.
+    pub fn stalled(&self, node: Addr, now: Instant) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.node == node && now >= w.from && now < w.until)
+    }
+
+    /// Extra inbound delay for a message arriving at `to` at `arrival`.
+    /// `is_client` distinguishes client/relay traffic (held by `Gray`)
+    /// from replication/control traffic (which `Gray` lets through).
+    /// Returns [`Duration::ZERO`] when no window applies.
+    ///
+    /// Held messages are released at the window end plus a small seeded
+    /// stagger (so a wedge releasing hundreds of messages does not create
+    /// an artificial perfectly-simultaneous burst, and release order is a
+    /// deterministic function of `seq`, not of heap tie-breaking).
+    pub fn stall_delay(&self, to: Addr, is_client: bool, arrival: Instant, seq: u64) -> Duration {
+        let mut extra = Duration::ZERO;
+        for w in &self.windows {
+            if w.node != to || arrival < w.from || arrival >= w.until {
+                continue;
+            }
+            let held = match w.kind {
+                StallKind::Wedge => {
+                    let stagger =
+                        Duration::from_nanos(splitmix64(self.seed ^ splitmix64(seq)) % 10_000);
+                    (w.until - arrival) + stagger
+                }
+                StallKind::Slow { delay } => {
+                    let jitter = Duration::from_nanos(
+                        splitmix64(self.seed ^ splitmix64(seq))
+                            % delay.as_nanos().clamp(1, 1_000_000),
+                    );
+                    delay + jitter
+                }
+                StallKind::Gray => {
+                    if !is_client {
+                        continue;
+                    }
+                    let stagger =
+                        Duration::from_nanos(splitmix64(self.seed ^ splitmix64(seq)) % 10_000);
+                    (w.until - arrival) + stagger
+                }
+            };
+            extra = extra.max(held);
+        }
+        extra
+    }
+}
+
 /// Network model: resolves the profile for a (from, to) pair.
 ///
 /// The default is a uniform fabric; tests and the DPDK experiment install
 /// overrides. Messages an actor sends to itself skip the network entirely.
 /// An optional [`FaultPlan`] layers deterministic drop/duplicate/reorder
-/// faults and partitions on top of the latency model.
+/// faults and partitions on top of the latency model, and an optional
+/// [`StallPlan`] layers gray-failure stalls (wedged/slow/gray nodes) on
+/// top of both.
 pub struct NetworkModel {
     default: TransportProfile,
     overrides: Vec<(Addr, Addr, TransportProfile)>,
     faults: Option<FaultPlan>,
+    stalls: Option<StallPlan>,
 }
 
 impl NetworkModel {
@@ -327,6 +469,7 @@ impl NetworkModel {
             default: profile,
             overrides: Vec::new(),
             faults: None,
+            stalls: None,
         }
     }
 
@@ -345,6 +488,37 @@ impl NetworkModel {
     /// The attached fault plan, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Attaches a stall plan; the simulator consults it per delivery.
+    pub fn with_stalls(mut self, plan: StallPlan) -> Self {
+        self.stalls = Some(plan);
+        self
+    }
+
+    /// The attached stall plan, if any.
+    pub fn stalls(&self) -> Option<&StallPlan> {
+        self.stalls.as_ref()
+    }
+
+    /// Extra gray-failure delay for a message arriving at `to` at
+    /// `arrival` ([`Duration::ZERO`] when no plan or window applies).
+    /// Self-sends never stall (the node is talking to itself in-process).
+    pub fn stall_extra(
+        &self,
+        from: Addr,
+        to: Addr,
+        is_client: bool,
+        arrival: Instant,
+        seq: u64,
+    ) -> Duration {
+        if from == to {
+            return Duration::ZERO;
+        }
+        match &self.stalls {
+            Some(plan) => plan.stall_delay(to, is_client, arrival, seq),
+            None => Duration::ZERO,
+        }
     }
 
     /// Fault decision for one transmission ([`FaultOutcome::Deliver`] when
@@ -601,6 +775,74 @@ mod tests {
             sym.decide(Addr(1), Addr(0), mid, 0),
             FaultOutcome::PartitionDrop
         );
+    }
+
+    #[test]
+    fn wedge_holds_everything_until_window_end() {
+        let t0 = Instant::ZERO + Duration::from_millis(100);
+        let t1 = Instant::ZERO + Duration::from_millis(300);
+        let plan = StallPlan::new(11).with_wedge(Addr(2), t0, t1);
+        let arrival = Instant::ZERO + Duration::from_millis(150);
+        for (seq, is_client) in [(0u64, true), (1, false), (2, true)] {
+            let extra = plan.stall_delay(Addr(2), is_client, arrival, seq);
+            // Released at/after window end, stagger bounded at 10 us.
+            assert!(arrival + extra >= t1, "{extra:?}");
+            assert!(arrival + extra < t1 + Duration::from_micros(10));
+        }
+        // Outside the window, and on other nodes, no delay.
+        assert_eq!(plan.stall_delay(Addr(2), true, t1, 0), Duration::ZERO);
+        assert_eq!(plan.stall_delay(Addr(1), true, arrival, 0), Duration::ZERO);
+        assert!(plan.stalled(Addr(2), arrival));
+        assert!(!plan.stalled(Addr(2), t1));
+    }
+
+    #[test]
+    fn gray_holds_only_client_traffic() {
+        let t0 = Instant::ZERO + Duration::from_millis(100);
+        let t1 = Instant::ZERO + Duration::from_millis(300);
+        let plan = StallPlan::new(5).with_gray(Addr(3), t0, t1);
+        let arrival = Instant::ZERO + Duration::from_millis(200);
+        // Client traffic is held; replication/control passes clean — a
+        // liveness detector watching heartbeats never fires.
+        assert!(plan.stall_delay(Addr(3), true, arrival, 7) >= t1 - arrival);
+        assert_eq!(plan.stall_delay(Addr(3), false, arrival, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn slow_window_adds_bounded_deterministic_delay() {
+        let t0 = Instant::ZERO;
+        let t1 = Instant::ZERO + Duration::from_secs(1);
+        let d = Duration::from_millis(5);
+        let plan = StallPlan::new(9).with_slow(Addr(1), t0, t1, d);
+        let arrival = Instant::ZERO + Duration::from_millis(10);
+        for seq in 0..100 {
+            let e1 = plan.stall_delay(Addr(1), true, arrival, seq);
+            let e2 = plan.stall_delay(Addr(1), true, arrival, seq);
+            assert_eq!(e1, e2, "same seed+seq must replay exactly");
+            assert!(e1 >= d && e1 <= d + Duration::from_millis(1), "{e1:?}");
+        }
+        // Different seeds draw different jitter somewhere in 100 messages.
+        let other = StallPlan::new(10).with_slow(Addr(1), t0, t1, d);
+        assert!((0..100).any(|s| {
+            plan.stall_delay(Addr(1), true, arrival, s)
+                != other.stall_delay(Addr(1), true, arrival, s)
+        }));
+    }
+
+    #[test]
+    fn network_model_stall_extra_skips_self_sends() {
+        let plan = StallPlan::new(1).with_wedge(
+            Addr(1),
+            Instant::ZERO,
+            Instant::ZERO + Duration::from_secs(1),
+        );
+        let net = NetworkModel::default().with_stalls(plan);
+        assert_eq!(
+            net.stall_extra(Addr(1), Addr(1), true, Instant::ZERO, 0),
+            Duration::ZERO
+        );
+        assert!(net.stall_extra(Addr(0), Addr(1), true, Instant::ZERO, 0) > Duration::ZERO);
+        assert!(net.stalls().is_some());
     }
 
     #[test]

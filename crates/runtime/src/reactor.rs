@@ -39,7 +39,9 @@
 //!   number of such "shed lane" connections exist at once; beyond that the
 //!   socket is simply dropped, as the blocking edge always does.)
 
-use crate::tcp::{EdgeCounters, EdgeTransport, Handler, ParserFactory, ServerOptions};
+use crate::tcp::{
+    AnyHandler, Completer, EdgeCounters, EdgeTransport, ParserFactory, Served, ServerOptions,
+};
 use bespokv_proto::client::Response;
 use bespokv_proto::parser::ProtocolParser;
 use bespokv_types::KvError;
@@ -121,11 +123,28 @@ impl ReactorShared {
     }
 }
 
+/// Per-reactor completion mailbox for parked requests. A [`Completer`]
+/// minted on this reactor pushes its response here from any thread and
+/// wakes the reactor, which matches it back to the parked output slot by
+/// `(token, generation, ticket)` — the generation discards completions
+/// aimed at a slab slot that was reused in the meantime.
+struct Injector {
+    queue: Mutex<Vec<(usize, u64, u64, Response)>>,
+    waker: Waker,
+}
+
+impl Injector {
+    fn complete(&self, token: usize, gen: u64, ticket: u64, resp: Response) {
+        self.queue.lock().push((token, gen, ticket, resp));
+        let _ = self.waker.wake();
+    }
+}
+
 /// The epoll-reactor implementation of [`EdgeTransport`].
 pub(crate) struct ReactorEdge {
     local_addr: SocketAddr,
     shared: Arc<ReactorShared>,
-    wakers: Vec<Waker>,
+    injectors: Vec<Arc<Injector>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -133,7 +152,7 @@ impl ReactorEdge {
     pub(crate) fn bind(
         addr: &str,
         make_parser: Arc<ParserFactory>,
-        handler: Arc<Handler>,
+        handler: AnyHandler,
         options: &ServerOptions,
         counters: Arc<EdgeCounters>,
     ) -> io::Result<ReactorEdge> {
@@ -146,12 +165,16 @@ impl ReactorEdge {
             max_connections: options.max_connections,
             budget: options.pipeline_cap.unwrap_or(DEFAULT_TURN_BUDGET).max(1),
         });
-        let mut wakers = Vec::with_capacity(n);
+        let mut injectors = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
         let startup = || -> io::Result<()> {
             for (i, listener) in listeners.into_iter().enumerate() {
                 let poll = Poll::new()?;
                 let waker = Waker::new(poll.registry(), WAKE)?;
+                let injector = Arc::new(Injector {
+                    queue: Mutex::new(Vec::new()),
+                    waker,
+                });
                 let mut mio_listener = MioListener::from_std(listener);
                 poll.registry()
                     .register(&mut mio_listener, ACCEPT, Interest::READABLE)?;
@@ -161,17 +184,19 @@ impl ReactorEdge {
                     accept_lock: accept_lock.clone(),
                     shared: Arc::clone(&shared),
                     make_parser: Arc::clone(&make_parser),
-                    handler: Arc::clone(&handler),
+                    handler: handler.clone(),
+                    injector: Arc::clone(&injector),
                     slab: Vec::new(),
                     free: Vec::new(),
                     ready: Vec::new(),
                     shed_count: 0,
+                    next_gen: 0,
                     read_buf: vec![0u8; READ_CHUNK].into_boxed_slice(),
                 };
                 let t = std::thread::Builder::new()
                     .name(format!("bespokv-reactor-{i}"))
                     .spawn(move || reactor.run())?;
-                wakers.push(waker);
+                injectors.push(injector);
                 threads.push(t);
             }
             Ok(())
@@ -179,8 +204,8 @@ impl ReactorEdge {
         if let Err(e) = startup() {
             // Partial start: unwind the reactors already running.
             shared.stop.store(true, Ordering::Release);
-            for w in &wakers {
-                let _ = w.wake();
+            for inj in &injectors {
+                let _ = inj.waker.wake();
             }
             for t in threads {
                 let _ = t.join();
@@ -190,7 +215,7 @@ impl ReactorEdge {
         Ok(ReactorEdge {
             local_addr,
             shared,
-            wakers,
+            injectors,
             threads,
         })
     }
@@ -203,8 +228,8 @@ impl ReactorEdge {
 impl EdgeTransport for ReactorEdge {
     fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
-        for w in &self.wakers {
-            let _ = w.wake();
+        for inj in &self.injectors {
+            let _ = inj.waker.wake();
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -261,21 +286,41 @@ fn build_listeners(
     Ok((listeners, local, Some(Arc::new(Mutex::new(())))))
 }
 
+/// One ordered response slot in a connection's output queue. Parked
+/// requests hold their place in the per-connection FIFO as `Pending`
+/// slots; the completion (or the deadline backstop) turns the slot into a
+/// `Frame` in place, so responses can never overtake each other even when
+/// one of them waits on a wedged controlet.
+enum OutSlot {
+    /// An encoded, ready-to-write response frame.
+    Frame(Bytes),
+    /// A parked request's reserved position, keyed by its ticket.
+    Pending(u64),
+}
+
 /// Per-connection state, slab-indexed by its epoll token.
 struct Conn {
     stream: MioStream,
     parser: Box<dyn ProtocolParser>,
-    /// Encoded-but-unsent response frames, oldest first. Each response is
-    /// encoded exactly once into its own frame and frozen in place; a
-    /// vectored write flushes up to [`MAX_IOV`] of them per syscall, so
-    /// frames are never recopied into (or compacted within) a contiguous
-    /// output buffer.
-    out_frames: VecDeque<Bytes>,
+    /// Ordered response slots, oldest first. Ready frames are encoded
+    /// exactly once and frozen in place; a vectored write flushes up to
+    /// [`MAX_IOV`] of the *contiguous ready prefix* per syscall (a
+    /// `Pending` slot fences the flush until its completion arrives).
+    out: VecDeque<OutSlot>,
     /// Bytes of the front frame already written (partial `writev`).
     out_head: usize,
-    /// Unsent output across all frames (already net of `out_head`) —
+    /// Unsent bytes across all ready frames (already net of `out_head`) —
     /// the quantity the high/low-water marks compare against.
     out_len: usize,
+    /// Slab-slot generation this connection was installed under; a
+    /// completion carrying a stale generation is discarded.
+    gen: u64,
+    /// Next parked-request ticket (unique per connection incarnation).
+    next_ticket: u64,
+    /// Outstanding `Pending` slots; at `budget` the connection stops being
+    /// served (and read) until a completion lands — backpressure, exactly
+    /// like the output high-water mark.
+    parked: usize,
     /// The last read edge has not been drained to `WouldBlock` yet.
     sock_readable: bool,
     /// Registered for WRITABLE (a flush hit `WouldBlock`).
@@ -299,6 +344,16 @@ enum Drive {
     Close,
 }
 
+/// Encodes a ready response once and queues it as the connection's next
+/// ordered output slot.
+fn push_frame(c: &mut Conn, resp: &Response) {
+    let mut buf = BytesMut::new();
+    c.parser.encode_response(resp, &mut buf);
+    let frame = buf.freeze();
+    c.out_len += frame.len();
+    c.out.push_back(OutSlot::Frame(frame));
+}
+
 /// One reactor thread: poll, accept, drive.
 struct Reactor {
     poll: Poll,
@@ -306,7 +361,8 @@ struct Reactor {
     accept_lock: Option<Arc<Mutex<()>>>,
     shared: Arc<ReactorShared>,
     make_parser: Arc<ParserFactory>,
-    handler: Arc<Handler>,
+    handler: AnyHandler,
+    injector: Arc<Injector>,
     slab: Vec<Option<Conn>>,
     free: Vec<usize>,
     /// Connections with work pending this turn (deferred budget, fresh
@@ -314,6 +370,8 @@ struct Reactor {
     ready: Vec<usize>,
     /// Shed-lane connections currently parked on this reactor.
     shed_count: usize,
+    /// Generation source for slab installs (see [`Conn::gen`]).
+    next_gen: u64,
     read_buf: Box<[u8]>,
 }
 
@@ -360,6 +418,7 @@ impl Reactor {
             if accept_ready {
                 self.accept_all();
             }
+            self.drain_completions();
             for idx in std::mem::take(&mut self.ready) {
                 self.drive(idx);
             }
@@ -368,6 +427,40 @@ impl Reactor {
         for c in self.slab.drain(..).flatten() {
             if !c.shed {
                 self.shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Matches injected completions of parked requests back to their
+    /// reserved output slots. Runs on the reactor thread, so the
+    /// connection's parser is used without synchronization; stale
+    /// `(token, gen)` pairs (the connection died or the slot was reused)
+    /// and unknown tickets (deadline already answered) are discarded.
+    fn drain_completions(&mut self) {
+        let completions = std::mem::take(&mut *self.injector.queue.lock());
+        for (idx, gen, ticket, resp) in completions {
+            let Some(c) = self.slab.get_mut(idx).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            if c.gen != gen {
+                continue;
+            }
+            let Some(pos) = c
+                .out
+                .iter()
+                .position(|s| matches!(s, OutSlot::Pending(t) if *t == ticket))
+            else {
+                continue;
+            };
+            let mut buf = BytesMut::new();
+            c.parser.encode_response(&resp, &mut buf);
+            let frame = buf.freeze();
+            c.out_len += frame.len();
+            c.out[pos] = OutSlot::Frame(frame);
+            c.parked -= 1;
+            if !c.queued {
+                c.queued = true;
+                self.ready.push(idx);
             }
         }
     }
@@ -424,12 +517,17 @@ impl Reactor {
         if !shed {
             self.shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
         }
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1);
         self.slab[idx] = Some(Conn {
             stream,
             parser: (self.make_parser)(),
-            out_frames: VecDeque::new(),
+            out: VecDeque::new(),
             out_head: 0,
             out_len: 0,
+            gen,
+            next_ticket: 0,
+            parked: 0,
             // Bytes may have landed before registration; the first drive
             // reads to WouldBlock either way.
             sock_readable: true,
@@ -473,28 +571,61 @@ impl Reactor {
             // Serve what the parser already holds, within the fairness
             // budget and below the output high-water mark.
             let mut served = 0usize;
+            let mut parked_full = false;
             while !c.paused && served < self.shared.budget {
+                if c.parked >= self.shared.budget {
+                    // Parked-slot backpressure: too many requests already
+                    // wait on asynchronous completions; stop serving (and
+                    // reading) this connection until one lands — TCP pushes
+                    // back on the sender, nothing is shed.
+                    parked_full = true;
+                    break;
+                }
                 match c.parser.next_request() {
                     Ok(Some(req)) => {
                         served += 1;
-                        let resp = if c.shed {
+                        if c.shed {
                             c.answered_shed = true;
-                            Response::err(req.id, KvError::Overloaded)
-                        } else {
-                            // A panicking handler costs this connection, not
-                            // the reactor thread (and its whole slab).
-                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                (self.handler)(req)
-                            })) {
-                                Ok(r) => r,
-                                Err(_) => return Drive::Close,
+                            let resp = Response::err(req.id, KvError::Overloaded);
+                            push_frame(c, &resp);
+                            continue;
+                        }
+                        let rid = req.id;
+                        let gen = c.gen;
+                        let ticket = c.next_ticket;
+                        let mut minted = false;
+                        let injector = &self.injector;
+                        let handler = &self.handler;
+                        // A panicking handler costs this connection, not
+                        // the reactor thread (and its whole slab).
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                handler.call(req, &mut || {
+                                    minted = true;
+                                    let inj = Arc::clone(injector);
+                                    Completer::new(rid, move |resp| {
+                                        inj.complete(idx, gen, ticket, resp);
+                                    })
+                                })
+                            }));
+                        match outcome {
+                            Ok(Served::Ready(resp)) => push_frame(c, &resp),
+                            Ok(Served::Parked) if minted => {
+                                // The reactor turn returns immediately; the
+                                // slot holds the response's place in the
+                                // per-connection FIFO until the completer
+                                // (or its drop backstop) fires.
+                                c.next_ticket += 1;
+                                c.parked += 1;
+                                c.out.push_back(OutSlot::Pending(ticket));
                             }
-                        };
-                        let mut buf = BytesMut::new();
-                        c.parser.encode_response(&resp, &mut buf);
-                        let frame = buf.freeze();
-                        c.out_len += frame.len();
-                        c.out_frames.push_back(frame);
+                            Ok(Served::Parked) => {
+                                // Parked without taking a completer: nothing
+                                // will ever answer; synthesize the failure.
+                                push_frame(c, &Response::err(rid, KvError::Timeout));
+                            }
+                            Err(_) => return Drive::Close,
+                        }
                         if c.out_len >= OUT_HIGH_WATER {
                             c.paused = true;
                         }
@@ -513,6 +644,11 @@ impl Reactor {
                 // Budget spent: yield to the other connections; the rest of
                 // this one's input is deferred, not shed.
                 requeue = true;
+                break 'work;
+            }
+            if parked_full {
+                // No requeue: nothing can progress until a completion
+                // arrives, and `drain_completions` requeues then.
                 break 'work;
             }
             if c.paused {
@@ -552,7 +688,10 @@ impl Reactor {
         if !self.flush(idx, c) {
             return Drive::Close;
         }
-        if c.closing && c.out_len == 0 {
+        // A closing connection with parked slots waits for their
+        // completions (the deadline backstop bounds the wait); the stale-
+        // generation check makes late completions after the close harmless.
+        if c.closing && c.out.is_empty() {
             return Drive::Close;
         }
         if requeue && !c.queued {
@@ -563,15 +702,26 @@ impl Reactor {
     }
 
     /// Writes pending output with vectored writes (up to [`MAX_IOV`]
-    /// frames per syscall, the first offset by `out_head` for a partial
-    /// prior write); arms/disarms WRITABLE interest as needed. `false`
-    /// means the connection is dead.
+    /// frames of the contiguous *ready* prefix per syscall — a `Pending`
+    /// slot fences the flush — the first frame offset by `out_head` for a
+    /// partial prior write); arms/disarms WRITABLE interest as needed.
+    /// `false` means the connection is dead.
     fn flush(&self, idx: usize, c: &mut Conn) -> bool {
-        while c.out_len > 0 {
-            let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(c.out_frames.len().min(MAX_IOV));
-            for (i, frame) in c.out_frames.iter().take(MAX_IOV).enumerate() {
-                let frame = if i == 0 { &frame[c.out_head..] } else { &frame[..] };
-                iov.push(IoSlice::new(frame));
+        loop {
+            let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(c.out.len().min(MAX_IOV));
+            for (i, slot) in c.out.iter().take(MAX_IOV).enumerate() {
+                match slot {
+                    OutSlot::Frame(frame) => {
+                        let frame = if i == 0 { &frame[c.out_head..] } else { &frame[..] };
+                        iov.push(IoSlice::new(frame));
+                    }
+                    // A parked response's reserved position: everything
+                    // behind it must wait, or responses would reorder.
+                    OutSlot::Pending(_) => break,
+                }
+            }
+            if iov.is_empty() {
+                break;
             }
             match c.stream.write_vectored(&iov) {
                 Ok(0) => return false,
@@ -580,11 +730,14 @@ impl Reactor {
                     // Retire fully-written frames; remember the offset
                     // into a partially-written front frame.
                     while n > 0 {
-                        let left = c.out_frames[0].len() - c.out_head;
+                        let OutSlot::Frame(front) = &c.out[0] else {
+                            unreachable!("wrote bytes of a pending slot");
+                        };
+                        let left = front.len() - c.out_head;
                         if n >= left {
                             n -= left;
                             c.out_head = 0;
-                            c.out_frames.pop_front();
+                            c.out.pop_front();
                         } else {
                             c.out_head += n;
                             n = 0;
@@ -630,7 +783,11 @@ impl Reactor {
             }
             c.writable_interest = false;
         }
-        c.paused = false;
+        // Ready frames fenced behind a pending slot still count against
+        // the high-water mark; only a genuinely drained backlog unpauses.
+        if c.out_len <= OUT_LOW_WATER {
+            c.paused = false;
+        }
         true
     }
 }
@@ -1069,6 +1226,176 @@ mod tests {
         // In-cap connections keep working.
         let r2 = Request::new(rid(10), Op::Get { key: Key::from("k0") });
         assert!(keep[0].call(&r2).unwrap().result.is_ok());
+        server.stop();
+    }
+
+    /// Tentpole: a parked request must NOT hold a reactor thread — other
+    /// connections keep being served while one response waits, and the
+    /// parked response arrives correctly once completed from outside.
+    #[test]
+    fn parked_request_does_not_block_the_reactor() {
+        use crate::tcp::{Completer, Defer, DeferHandler, Served};
+        let parked: Arc<Mutex<Vec<Completer>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::clone(&parked);
+        let handler: Arc<DeferHandler> = Arc::new(move |req: Request, mut defer: Defer<'_>| {
+            if let Op::Get { key } = &req.op {
+                if *key == Key::from("park") {
+                    registry.lock().push(defer.completer());
+                    return Served::Parked;
+                }
+            }
+            Served::Ready(Response {
+                id: req.id,
+                result: Ok(RespBody::Done),
+            })
+        });
+        let server = TcpServer::bind_deferred(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+            ServerOptions {
+                transport: Some(TransportKind::Reactor),
+                // One reactor thread: if the park blocked it, the probe
+                // connection below could not be served at all.
+                reactor_threads: Some(1),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let mut parker = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+        let park_req = Request::new(rid(0), Op::Get { key: Key::from("park") });
+        let parker_thread = std::thread::spawn(move || {
+            let resp = parker.call(&park_req).unwrap();
+            assert_eq!(resp.id, park_req.id);
+            assert_eq!(resp.result, Ok(RespBody::Done));
+        });
+        // Wait until the request is actually parked on the single reactor.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while parked.lock().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "request never parked");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The lone reactor thread must still serve other connections while
+        // the first request is parked.
+        let mut probe = TcpClient::connect(addr, Box::new(BinaryParser::new())).unwrap();
+        for i in 1..=20u32 {
+            let r = Request::new(rid(i), Op::Get { key: Key::from("probe") });
+            let resp = probe.call(&r).unwrap();
+            assert_eq!(resp.id, r.id, "reactor blocked by a parked request");
+        }
+        // Now complete the parked request from this thread.
+        let c = parked.lock().pop().unwrap();
+        let id = c.rid();
+        c.complete(Response {
+            id,
+            result: Ok(RespBody::Done),
+        });
+        parker_thread.join().unwrap();
+        server.stop();
+    }
+
+    /// Per-connection FIFO survives a park in the middle of a pipelined
+    /// batch on the reactor: the pending slot fences later (already ready)
+    /// responses until its completion arrives.
+    #[test]
+    fn parked_slot_preserves_pipeline_order_on_reactor() {
+        use crate::tcp::{Completer, Defer, DeferHandler, Served};
+        let parked: Arc<Mutex<Vec<Completer>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::clone(&parked);
+        let handler: Arc<DeferHandler> = Arc::new(move |req: Request, mut defer: Defer<'_>| {
+            if let Op::Get { key } = &req.op {
+                if *key == Key::from("park") {
+                    registry.lock().push(defer.completer());
+                    return Served::Parked;
+                }
+            }
+            Served::Ready(Response {
+                id: req.id,
+                result: Ok(RespBody::Done),
+            })
+        });
+        let server = TcpServer::bind_deferred(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+            ServerOptions {
+                transport: Some(TransportKind::Reactor),
+                reactor_threads: Some(1),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let completer_thread = {
+            let parked = Arc::clone(&parked);
+            std::thread::spawn(move || loop {
+                if let Some(c) = parked.lock().pop() {
+                    std::thread::sleep(Duration::from_millis(50));
+                    let id = c.rid();
+                    c.complete(Response {
+                        id,
+                        result: Ok(RespBody::Done),
+                    });
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            })
+        };
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let batch = vec![
+            Request::new(rid(0), Op::Get { key: Key::from("fast") }),
+            Request::new(rid(1), Op::Get { key: Key::from("park") }),
+            Request::new(rid(2), Op::Get { key: Key::from("fast") }),
+        ];
+        let resps = client.call_pipelined(&batch).unwrap();
+        assert_eq!(resps.len(), 3);
+        for (req, resp) in batch.iter().zip(&resps) {
+            assert_eq!(resp.id, req.id, "park reordered reactor responses");
+            assert_eq!(resp.result, Ok(RespBody::Done));
+        }
+        completer_thread.join().unwrap();
+        server.stop();
+    }
+
+    /// A dropped completer's backstop `Timeout` flows through the
+    /// injection path and unfences the connection's output queue.
+    #[test]
+    fn dropped_completer_backstop_reaches_reactor_client() {
+        use crate::tcp::{Defer, DeferHandler, Served};
+        let handler: Arc<DeferHandler> = Arc::new(move |req: Request, mut defer: Defer<'_>| {
+            if let Op::Get { key } = &req.op {
+                if *key == Key::from("lost") {
+                    drop(defer.completer());
+                    return Served::Parked;
+                }
+            }
+            Served::Ready(Response {
+                id: req.id,
+                result: Ok(RespBody::Done),
+            })
+        });
+        let server = TcpServer::bind_deferred(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+            ServerOptions {
+                transport: Some(TransportKind::Reactor),
+                reactor_threads: Some(1),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let batch = vec![
+            Request::new(rid(0), Op::Get { key: Key::from("lost") }),
+            Request::new(rid(1), Op::Get { key: Key::from("fine") }),
+        ];
+        let resps = client.call_pipelined(&batch).unwrap();
+        assert_eq!(resps[0].result, Err(KvError::Timeout));
+        assert_eq!(resps[1].id, batch[1].id);
+        assert_eq!(resps[1].result, Ok(RespBody::Done));
         server.stop();
     }
 

@@ -70,6 +70,8 @@ pub struct SimStats {
     pub faults_reordered: u64,
     /// Messages dropped by an active partition window.
     pub partition_drops: u64,
+    /// Messages held (or slowed) by a gray-failure stall window.
+    pub stalled: u64,
     /// Client messages bounced with `Overloaded` because their virtual
     /// queue delay exceeded the configured bound.
     pub overload_shed: u64,
@@ -233,13 +235,27 @@ impl Simulation {
     /// Puts one message on the wire no earlier than `earliest`, consulting
     /// the fault plan. Normal deliveries go through the per-link FIFO
     /// clamp; faulted copies (duplicates, reordered holds) bypass it so
-    /// they can violate link ordering, which is the point.
+    /// they can violate link ordering, which is the point. A stall plan's
+    /// extra hold is applied *before* the clamp: messages queued behind a
+    /// wedged arrival on the same link stay behind it, exactly like bytes
+    /// backed up in a TCP stream to a node that stopped reading.
     fn transmit(&mut self, from: Addr, to: Addr, msg: bespokv_proto::NetMsg, earliest: Instant) {
         // Every transmission consumes a sequence number for its fault draw,
         // even if it is then dropped; otherwise two consecutive sends could
         // share a draw and a drop would repeat forever.
         let seq = self.seq;
         self.seq += 1;
+        let is_client = matches!(
+            msg,
+            bespokv_proto::NetMsg::Client(_) | bespokv_proto::NetMsg::ClientResp(_)
+        );
+        let stall_for = |stats: &mut SimStats, net: &NetworkModel, nominal: Instant| {
+            let extra = net.stall_extra(from, to, is_client, nominal, seq);
+            if extra > Duration::ZERO {
+                stats.stalled += 1;
+            }
+            extra
+        };
         match self.net.fault_decision(from, to, self.now, seq) {
             FaultOutcome::Drop => {
                 self.stats.faults_dropped += 1;
@@ -249,13 +265,17 @@ impl Simulation {
             }
             FaultOutcome::Deliver => {
                 let delay = self.net.delivery_delay(from, to, msg.wire_size(), seq);
-                let at = self.clamp_fifo(from, to, earliest + delay);
+                let nominal = earliest + delay;
+                let stall = stall_for(&mut self.stats, &self.net, nominal);
+                let at = self.clamp_fifo(from, to, nominal + stall);
                 self.schedule(at, to, Event::Msg { from, msg });
             }
             FaultOutcome::Duplicate { dup_extra } => {
                 self.stats.faults_duplicated += 1;
                 let delay = self.net.delivery_delay(from, to, msg.wire_size(), seq);
-                let at = self.clamp_fifo(from, to, earliest + delay);
+                let nominal = earliest + delay;
+                let stall = stall_for(&mut self.stats, &self.net, nominal);
+                let at = self.clamp_fifo(from, to, nominal + stall);
                 self.schedule(at, to, Event::Msg { from, msg: msg.clone() });
                 // The extra copy models a spurious retransmission: it does
                 // not advance the FIFO clamp and may itself be overtaken.
@@ -264,9 +284,11 @@ impl Simulation {
             FaultOutcome::Reorder { extra } => {
                 self.stats.faults_reordered += 1;
                 let delay = self.net.delivery_delay(from, to, msg.wire_size(), seq);
+                let nominal = earliest + delay;
+                let stall = stall_for(&mut self.stats, &self.net, nominal);
                 // Held past its FIFO slot without updating the clamp, so
                 // messages sent later on this link can arrive first.
-                self.schedule(earliest + delay + extra, to, Event::Msg { from, msg });
+                self.schedule(nominal + stall + extra, to, Event::Msg { from, msg });
             }
         }
     }
@@ -743,6 +765,72 @@ mod tests {
         let (results2, stats2) = run();
         assert_eq!(results, results2);
         assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn stall_plan_wedges_and_releases_deterministically() {
+        use crate::netmodel::StallPlan;
+        use bespokv_proto::client::{Op, Request, RespBody, Response};
+        use bespokv_types::{ClientId, Key, RequestId};
+
+        /// Replies Done immediately to every client request.
+        struct Echo;
+        impl Actor for Echo {
+            fn on_event(&mut self, ev: Event, ctx: &mut Context) {
+                if let Event::Msg { from, msg: NetMsg::Client(req) } = ev {
+                    ctx.send(from, NetMsg::ClientResp(Response::ok(req.id, RespBody::Done)));
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct RespSink {
+            got: usize,
+        }
+        impl Actor for RespSink {
+            fn on_event(&mut self, ev: Event, _ctx: &mut Context) {
+                if let Event::Msg { msg: NetMsg::ClientResp(_), .. } = ev {
+                    self.got += 1;
+                }
+            }
+            fn as_any(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        let wedge_from = Instant::ZERO;
+        let wedge_until = Instant::ZERO + Duration::from_millis(50);
+        let run = || {
+            let net = quiet_net().with_stalls(
+                StallPlan::new(42).with_wedge(Addr(0), wedge_from, wedge_until),
+            );
+            let mut sim = Simulation::new(net);
+            let server = sim.add_actor(Box::new(Echo));
+            let sink = sim.add_actor(Box::new(RespSink { got: 0 }));
+            for i in 0..5u32 {
+                let req = Request::new(
+                    RequestId::compose(ClientId(1), i),
+                    Op::Get { key: Key::from("k") },
+                );
+                sim.inject(sink, server, NetMsg::Client(req));
+            }
+            // Mid-window the wedged server has received nothing.
+            sim.run_until(Instant::ZERO + Duration::from_millis(40));
+            let mid_events = sim.stats().messages;
+            sim.run_to_quiescence(100_000);
+            let got = sim.actor_mut::<RespSink>(sink).got;
+            (mid_events, got, sim.stats(), sim.now())
+        };
+        let (mid, got, stats, end) = run();
+        assert_eq!(mid, 0, "wedged node must not drain its inbox mid-window");
+        assert_eq!(stats.stalled, 5);
+        // All five served after release: 5 requests + 5 replies delivered.
+        assert_eq!(got, 5);
+        assert_eq!(stats.messages, 10);
+        assert!(end >= wedge_until);
+        let again = run();
+        assert_eq!((mid, got, stats, end), again, "same seed replays the stall");
     }
 
     #[test]

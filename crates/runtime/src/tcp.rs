@@ -21,7 +21,7 @@
 
 use bespokv_proto::client::{Request, Response};
 use bespokv_proto::parser::ProtocolParser;
-use bespokv_types::{KvError, KvResult, ShardId};
+use bespokv_types::{KvError, KvResult, RequestId, ShardId};
 use bytes::BytesMut;
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
@@ -37,6 +37,150 @@ pub type ParserFactory = dyn Fn() -> Box<dyn ProtocolParser> + Send + Sync;
 
 /// Handles one request, producing the response. Shared across connections.
 pub type Handler = dyn Fn(Request) -> Response + Send + Sync;
+
+/// What a [`DeferHandler`] did with one request.
+pub enum Served {
+    /// The response is ready now; the transport encodes it immediately.
+    Ready(Response),
+    /// The handler took a [`Completer`] and will finish the request from
+    /// another thread. The transport parks the *connection slot* — never a
+    /// reactor thread — until the completer fires (or is dropped).
+    Parked,
+}
+
+/// A handler that may answer inline (`Served::Ready`) or take a
+/// [`Completer`] from [`Defer::completer`] and park the request
+/// (`Served::Parked`). This is how the relay edge returns a reactor turn
+/// immediately while a controlet reply — or the relay deadline — completes
+/// the request later from the demux thread.
+pub type DeferHandler = dyn Fn(Request, Defer<'_>) -> Served + Send + Sync;
+
+/// Lazily mints the [`Completer`] for one request. Handlers that answer
+/// inline never touch it, so the fast path allocates nothing; calling
+/// [`Defer::completer`] commits the connection slot to wait for an
+/// asynchronous completion.
+pub struct Defer<'a> {
+    make: &'a mut dyn FnMut() -> Completer,
+}
+
+impl Defer<'_> {
+    /// Takes the completion handle for this request. The handler must then
+    /// return [`Served::Parked`]; completing happens from any thread.
+    pub fn completer(&mut self) -> Completer {
+        (self.make)()
+    }
+}
+
+/// Once-only completion handle for a parked request.
+///
+/// Dropping an uncompleted `Completer` delivers a stamped
+/// [`KvError::Timeout`] response, so a lost handle can wedge neither a
+/// connection slot nor the client waiting on it.
+pub struct Completer {
+    rid: RequestId,
+    sink: Option<Box<dyn FnOnce(Response) + Send>>,
+}
+
+impl Completer {
+    /// Wraps a transport-provided delivery sink. `rid` stamps the backstop
+    /// `Timeout` response if the handle is dropped uncompleted.
+    pub fn new(rid: RequestId, sink: impl FnOnce(Response) + Send + 'static) -> Completer {
+        Completer {
+            rid,
+            sink: Some(Box::new(sink)),
+        }
+    }
+
+    /// The id of the request this handle completes.
+    pub fn rid(&self) -> RequestId {
+        self.rid
+    }
+
+    /// Delivers the response to the parked connection slot.
+    pub fn complete(mut self, resp: Response) {
+        if let Some(sink) = self.sink.take() {
+            sink(resp);
+        }
+    }
+
+    /// Completes with an error stamped with the parked request's id.
+    pub fn fail(self, err: KvError) {
+        let rid = self.rid;
+        self.complete(Response::err(rid, err));
+    }
+}
+
+impl Drop for Completer {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink(Response::err(self.rid, KvError::Timeout));
+        }
+    }
+}
+
+impl std::fmt::Debug for Completer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completer")
+            .field("rid", &self.rid)
+            .field("completed", &self.sink.is_none())
+            .finish()
+    }
+}
+
+/// Internal union of the two handler shapes, threaded through both
+/// transports so plain handlers pay nothing for the deferred seam.
+#[derive(Clone)]
+pub(crate) enum AnyHandler {
+    Plain(Arc<Handler>),
+    Defer(Arc<DeferHandler>),
+}
+
+impl AnyHandler {
+    /// Runs the handler, minting completers through `make` on demand.
+    pub(crate) fn call(&self, req: Request, make: &mut dyn FnMut() -> Completer) -> Served {
+        match self {
+            AnyHandler::Plain(h) => Served::Ready(h(req)),
+            AnyHandler::Defer(h) => h(req, Defer { make }),
+        }
+    }
+
+    /// Serves one request to completion on the calling thread. A parked
+    /// request blocks *this thread only* (thread-per-connection semantics)
+    /// on a lazily-created channel; the completer's drop backstop
+    /// guarantees the wait ends.
+    pub(crate) fn call_blocking(&self, req: Request) -> Response {
+        let id = req.id;
+        let mut rx_slot: Option<mpsc::Receiver<Response>> = None;
+        let served = self.call(req, &mut || {
+            let (tx, rx) = mpsc::channel();
+            rx_slot = Some(rx);
+            Completer::new(id, move |resp| {
+                let _ = tx.send(resp);
+            })
+        });
+        match (served, rx_slot) {
+            (Served::Ready(resp), _) => resp,
+            (Served::Parked, Some(rx)) => rx
+                .recv()
+                .unwrap_or_else(|_| Response::err(id, KvError::Timeout)),
+            // Parked without taking a completer: nothing will ever answer;
+            // synthesize the failure instead of wedging the connection.
+            (Served::Parked, None) => Response::err(id, KvError::Timeout),
+        }
+    }
+}
+
+impl From<Arc<Handler>> for AnyHandler {
+    fn from(h: Arc<Handler>) -> Self {
+        AnyHandler::Plain(h)
+    }
+}
+
+impl From<Arc<DeferHandler>> for AnyHandler {
+    fn from(h: Arc<DeferHandler>) -> Self {
+        AnyHandler::Defer(h)
+    }
+}
 
 /// Which server transport backs a [`TcpServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +335,27 @@ impl TcpServer {
         handler: Arc<Handler>,
         options: ServerOptions,
     ) -> std::io::Result<TcpServer> {
+        Self::bind_any(addr, make_parser, AnyHandler::Plain(handler), options)
+    }
+
+    /// Binds with a deferred-completion handler: requests the handler
+    /// parks are completed later through their [`Completer`] without
+    /// holding a server thread (see [`DeferHandler`]).
+    pub fn bind_deferred(
+        addr: &str,
+        make_parser: Arc<ParserFactory>,
+        handler: Arc<DeferHandler>,
+        options: ServerOptions,
+    ) -> std::io::Result<TcpServer> {
+        Self::bind_any(addr, make_parser, AnyHandler::Defer(handler), options)
+    }
+
+    fn bind_any(
+        addr: &str,
+        make_parser: Arc<ParserFactory>,
+        handler: AnyHandler,
+        options: ServerOptions,
+    ) -> std::io::Result<TcpServer> {
         let counters = Arc::new(EdgeCounters::default());
         let mut kind = options.transport.unwrap_or_else(TransportKind::from_env);
         if kind == TransportKind::Reactor && !cfg!(target_os = "linux") {
@@ -321,7 +486,7 @@ impl BlockingEdge {
     fn bind(
         addr: &str,
         make_parser: Arc<ParserFactory>,
-        handler: Arc<Handler>,
+        handler: AnyHandler,
         options: &ServerOptions,
         counters: Arc<EdgeCounters>,
     ) -> std::io::Result<BlockingEdge> {
@@ -334,7 +499,7 @@ impl BlockingEdge {
             pipeline_cap: options.pipeline_cap,
             pool: options
                 .worker_threads
-                .map(|n| WorkerPool::new(n, Arc::clone(&handler))),
+                .map(|n| WorkerPool::new(n, handler.clone())),
             #[cfg(test)]
             fail_spawns: AtomicU64::new(0),
         });
@@ -372,7 +537,7 @@ impl BlockingEdge {
                                 shared2.conns.lock().insert(id, clone);
                             }
                             let parser = make_parser();
-                            let handler = Arc::clone(&handler);
+                            let handler = handler.clone();
                             let shared3 = Arc::clone(&shared2);
                             let spawned = if shared2.take_injected_spawn_failure() {
                                 Err(std::io::Error::other("injected spawn failure"))
@@ -469,7 +634,7 @@ impl Drop for BlockingEdge {
 fn serve_connection(
     mut stream: TcpStream,
     mut parser: Box<dyn ProtocolParser>,
-    handler: Arc<Handler>,
+    handler: AnyHandler,
     shared: &Shared,
 ) -> KvResult<()> {
     stream.set_nodelay(true).map_err(KvError::from)?;
@@ -503,7 +668,9 @@ fn serve_connection(
                                 shared.counters.pipeline_shed.fetch_add(1, Ordering::Relaxed);
                                 Response::err(req.id, KvError::Overloaded)
                             } else {
-                                handler(req)
+                                // A deferred handler that parks blocks only
+                                // this connection's own thread.
+                                handler.call_blocking(req)
                             };
                             parser.encode_response(&resp, &mut out);
                         }
@@ -521,7 +688,29 @@ fn serve_connection(
                                 pending.push_back(rx);
                             } else {
                                 let job: Job = Box::new(move |h| {
-                                    let _ = tx.send(h(req));
+                                    let mut minted = false;
+                                    let served = h.call(req, &mut || {
+                                        minted = true;
+                                        let tx = tx.clone();
+                                        Completer::new(id, move |resp| {
+                                            let _ = tx.send(resp);
+                                        })
+                                    });
+                                    match served {
+                                        Served::Ready(resp) => {
+                                            let _ = tx.send(resp);
+                                        }
+                                        // The completer holds a sender for
+                                        // this request's FIFO slot: the demux
+                                        // thread (or the drop backstop)
+                                        // answers through it while the worker
+                                        // moves on immediately.
+                                        Served::Parked if minted => {}
+                                        Served::Parked => {
+                                            let _ =
+                                                tx.send(Response::err(id, KvError::Timeout));
+                                        }
+                                    }
                                 });
                                 // With a pipeline cap set, a full pool queue
                                 // sheds instead of blocking the connection
@@ -568,7 +757,7 @@ fn serve_connection(
     }
 }
 
-type Job = Box<dyn FnOnce(&Handler) + Send>;
+type Job = Box<dyn FnOnce(&AnyHandler) + Send>;
 
 /// A fixed-size pool of worker threads fed by a bounded queue. Each worker
 /// owns its own clone of the request handler, so submitting a job costs no
@@ -586,13 +775,13 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn new(n: usize, handler: Arc<Handler>) -> Self {
+    fn new(n: usize, handler: AnyHandler) -> Self {
         let n = n.max(1);
         let (tx, rx) = channel::bounded::<Job>(n * 64);
         let workers = (0..n)
             .map(|i| {
                 let rx = rx.clone();
-                let handler = Arc::clone(&handler);
+                let handler = handler.clone();
                 std::thread::Builder::new()
                     .name(format!("bespokv-worker-{i}"))
                     .spawn(move || {
@@ -602,7 +791,7 @@ impl WorkerPool {
                             // dropped sender sees an error and is dropped,
                             // but pool capacity is preserved.
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                job(&*handler)
+                                job(&handler)
                             }));
                         }
                     })
@@ -759,12 +948,33 @@ impl TcpClient {
         result
     }
 
+    /// Records decoded response bodies. A well-formed reply carrying
+    /// `Timeout` or `Unavailable` is the relay edge reporting its node is
+    /// wedged or bouncing: the stream itself is still synchronized, but
+    /// the node behind it must be backed off from exactly like a direct
+    /// timeout — poison, so callers reroute/reconnect and the per-node
+    /// circuit breaker sees the failure.
+    fn note_response_bodies(&mut self, resps: &[Response]) {
+        if resps.iter().any(|r| {
+            matches!(
+                r.result,
+                Err(KvError::Timeout) | Err(KvError::Unavailable(_))
+            )
+        }) {
+            self.poisoned = true;
+        }
+    }
+
     /// Sends one request and blocks for its response, at most the
     /// configured read timeout per read ([`KvError::Timeout`] after that).
     pub fn call(&mut self, req: &Request) -> KvResult<Response> {
         self.check_poisoned()?;
         let result = self.call_inner(req);
-        self.note_outcome(result)
+        let result = self.note_outcome(result);
+        if let Ok(resp) = &result {
+            self.note_response_bodies(std::slice::from_ref(resp));
+        }
+        result
     }
 
     fn call_inner(&mut self, req: &Request) -> KvResult<Response> {
@@ -794,7 +1004,11 @@ impl TcpClient {
     pub fn call_pipelined(&mut self, reqs: &[Request]) -> KvResult<Vec<Response>> {
         self.check_poisoned()?;
         let result = self.call_pipelined_inner(reqs);
-        self.note_outcome(result)
+        let result = self.note_outcome(result);
+        if let Ok(resps) = &result {
+            self.note_response_bodies(resps);
+        }
+        result
     }
 
     fn call_pipelined_inner(&mut self, reqs: &[Request]) -> KvResult<Vec<Response>> {
@@ -977,7 +1191,7 @@ mod tests {
 
     #[test]
     fn worker_pool_survives_panicking_job() {
-        let pool = WorkerPool::new(1, kv_handler());
+        let pool = WorkerPool::new(1, kv_handler().into());
         pool.submit(Box::new(|_h| panic!("handler panic"))).unwrap();
         // With a single worker, this job only runs if that worker survived
         // the panic above.
@@ -998,7 +1212,7 @@ mod tests {
     /// with `Err` instead of being silently dropped.
     #[test]
     fn pool_shutdown_drains_accepted_jobs() {
-        let pool = Arc::new(WorkerPool::new(2, kv_handler()));
+        let pool = Arc::new(WorkerPool::new(2, kv_handler().into()));
         let done = Arc::new(AtomicU64::new(0));
         let mut accepted = 0u64;
         for _ in 0..64 {
@@ -1627,6 +1841,226 @@ mod tests {
             Err(KvError::Timeout)
         );
         hold.join().unwrap();
+    }
+
+    /// A deferred handler that parks GETs of the key `park`, handing their
+    /// completers to the returned registry; everything else is answered
+    /// inline.
+    fn parking_handler() -> (Arc<DeferHandler>, Arc<Mutex<Vec<Completer>>>) {
+        let parked: Arc<Mutex<Vec<Completer>>> = Arc::new(Mutex::new(Vec::new()));
+        let registry = Arc::clone(&parked);
+        let handler: Arc<DeferHandler> = Arc::new(move |req: Request, mut defer: Defer<'_>| {
+            if let Op::Get { key } = &req.op {
+                if *key == Key::from("park") {
+                    registry.lock().push(defer.completer());
+                    return Served::Parked;
+                }
+            }
+            Served::Ready(Response {
+                id: req.id,
+                result: Ok(RespBody::Done),
+            })
+        });
+        (handler, parked)
+    }
+
+    /// Tentpole seam: a parked request is completed from a *different*
+    /// thread after the handler returned, and the client still sees the
+    /// right response matched to the right id — on both dispatch modes of
+    /// the blocking edge.
+    #[test]
+    fn deferred_handler_completes_from_another_thread() {
+        for worker_threads in [None, Some(2)] {
+            let (handler, parked) = parking_handler();
+            let server = TcpServer::bind_deferred(
+                "127.0.0.1:0",
+                Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+                handler,
+                ServerOptions {
+                    worker_threads,
+                    transport: Some(TransportKind::Blocking),
+                    ..ServerOptions::default()
+                },
+            )
+            .unwrap();
+            let completer_thread = {
+                let parked = Arc::clone(&parked);
+                std::thread::spawn(move || loop {
+                    if let Some(c) = parked.lock().pop() {
+                        let id = c.rid();
+                        c.complete(Response {
+                            id,
+                            result: Ok(RespBody::Value(VersionedValue::new(
+                                Value::from("late"),
+                                7,
+                            ))),
+                        });
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                })
+            };
+            let mut client =
+                TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+            let req = Request::new(rid(0), Op::Get { key: Key::from("park") });
+            let resp = client.call(&req).unwrap();
+            assert_eq!(resp.id, req.id);
+            assert_eq!(
+                resp.result,
+                Ok(RespBody::Value(VersionedValue::new(Value::from("late"), 7)))
+            );
+            completer_thread.join().unwrap();
+            server.stop();
+        }
+    }
+
+    /// Per-connection FIFO order survives a parked request in the middle
+    /// of a pipelined batch (worker-pool mode: the park must not let later
+    /// responses overtake).
+    #[test]
+    fn deferred_park_preserves_pipeline_order() {
+        let (handler, parked) = parking_handler();
+        let server = TcpServer::bind_deferred(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+            ServerOptions {
+                worker_threads: Some(2),
+                transport: Some(TransportKind::Blocking),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let completer_thread = {
+            let parked = Arc::clone(&parked);
+            std::thread::spawn(move || loop {
+                if let Some(c) = parked.lock().pop() {
+                    // Complete well after the inline requests have run.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    let id = c.rid();
+                    c.complete(Response {
+                        id,
+                        result: Ok(RespBody::Done),
+                    });
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            })
+        };
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let batch = vec![
+            Request::new(rid(0), Op::Get { key: Key::from("fast") }),
+            Request::new(rid(1), Op::Get { key: Key::from("park") }),
+            Request::new(rid(2), Op::Get { key: Key::from("fast") }),
+        ];
+        let resps = client.call_pipelined(&batch).unwrap();
+        assert_eq!(resps.len(), 3);
+        for (req, resp) in batch.iter().zip(&resps) {
+            assert_eq!(resp.id, req.id, "park reordered pipelined responses");
+            assert_eq!(resp.result, Ok(RespBody::Done));
+        }
+        completer_thread.join().unwrap();
+        server.stop();
+    }
+
+    /// Dropping a completer without completing must deliver the stamped
+    /// `Timeout` backstop — a lost completer can never wedge a connection.
+    #[test]
+    fn dropped_completer_backstops_with_timeout() {
+        let handler: Arc<DeferHandler> = Arc::new(move |req: Request, mut defer: Defer<'_>| {
+            // Take the completer and lose it immediately.
+            drop(defer.completer());
+            let _ = req;
+            Served::Parked
+        });
+        let server = TcpServer::bind_deferred(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+            ServerOptions {
+                transport: Some(TransportKind::Blocking),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let req = Request::new(rid(0), Op::Get { key: Key::from("k") });
+        let resp = client.call(&req).unwrap();
+        assert_eq!(resp.id, req.id);
+        assert_eq!(resp.result, Err(KvError::Timeout));
+        server.stop();
+    }
+
+    /// Satellite (b) regression: a *well-formed* reply whose body is the
+    /// relay edge's `Timeout` (wedged controlet) must poison the client
+    /// exactly like a direct transport timeout, so the caller's per-node
+    /// circuit breaker sees the gray failure and reroutes. Same for an
+    /// `Unavailable` fast-fail bounce.
+    #[test]
+    fn relay_failure_body_poisons_client_like_direct_timeout() {
+        for err in [KvError::Timeout, KvError::Unavailable(ShardId(3))] {
+            let relay_err = err.clone();
+            let handler: Arc<Handler> = Arc::new(move |req: Request| {
+                if let Op::Get { key } = &req.op {
+                    if *key == Key::from("wedged") {
+                        return Response::err(req.id, relay_err.clone());
+                    }
+                }
+                Response {
+                    id: req.id,
+                    result: Ok(RespBody::Done),
+                }
+            });
+            let server = TcpServer::bind(
+                "127.0.0.1:0",
+                Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+                handler,
+            )
+            .unwrap();
+            let mut client =
+                TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+            let bad = Request::new(rid(0), Op::Get { key: Key::from("wedged") });
+            let resp = client.call(&bad).unwrap();
+            assert_eq!(resp.result, Err(err.clone()));
+            assert!(
+                client.is_poisoned(),
+                "relay-path {err:?} body must poison like a direct failure"
+            );
+            // Breaker engaged: further calls fail fast without touching the
+            // socket, until an explicit reconnect.
+            let ok = Request::new(rid(1), Op::Get { key: Key::from("fine") });
+            assert_eq!(
+                client.call(&ok),
+                Err(KvError::Unavailable(ShardId(u32::MAX)))
+            );
+            client.reconnect(Box::new(BinaryParser::new())).unwrap();
+            assert_eq!(client.call(&ok).unwrap().result, Ok(RespBody::Done));
+            // An Overloaded shed body, by contrast, must NOT poison.
+            server.stop();
+        }
+    }
+
+    /// Shed (`Overloaded`) bodies are load signals, not node death — they
+    /// must not trip the connection-level breaker.
+    #[test]
+    fn overloaded_body_does_not_poison() {
+        let handler: Arc<Handler> = Arc::new(move |req: Request| {
+            Response::err(req.id, KvError::Overloaded)
+        });
+        let server = TcpServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|| Box::new(BinaryParser::new()) as Box<dyn ProtocolParser>),
+            handler,
+        )
+        .unwrap();
+        let mut client =
+            TcpClient::connect(server.local_addr(), Box::new(BinaryParser::new())).unwrap();
+        let req = Request::new(rid(0), Op::Get { key: Key::from("k") });
+        assert_eq!(client.call(&req).unwrap().result, Err(KvError::Overloaded));
+        assert!(!client.is_poisoned());
+        server.stop();
     }
 
     #[test]

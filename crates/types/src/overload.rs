@@ -43,6 +43,15 @@ pub struct OverloadConfig {
     /// Edge relay: requests parked awaiting a controlet reply per
     /// `NodeEdge` beyond this are shed before entering the mailbox.
     pub relay_cap: usize,
+    /// Edge relay: how long a parked relay may wait for its controlet
+    /// reply before the edge completes it with `Timeout`. The request's
+    /// own wire deadline is honoured when tighter.
+    pub relay_timeout: Duration,
+    /// Edge relay health: when the *oldest* outstanding relay to a peer
+    /// has been parked longer than this, the peer is considered gray-
+    /// failed and the edge trips into fast-fail for it (new requests
+    /// bounce immediately instead of parking behind the wedge).
+    pub relay_stall_threshold: Duration,
     /// MS+SC head: chain writes in flight (ordered but not tail-acked)
     /// beyond this shed new writes — a slow mid/tail otherwise grows the
     /// head's in-flight map without bound.
@@ -71,6 +80,8 @@ impl Default for OverloadConfig {
             max_connections: 1024,
             reactor_threads: 0,
             relay_cap: 1024,
+            relay_timeout: Duration::from_secs(2),
+            relay_stall_threshold: Duration::from_millis(500),
             head_window: 4096,
             prop_high_watermark: 16384,
             prop_low_watermark: 4096,
@@ -95,6 +106,18 @@ pub struct OverloadCounters {
     pub pool_shed: AtomicU64,
     /// Edge relay: requests shed at a full pending-reply table.
     pub relay_shed: AtomicU64,
+    /// Edge relay: parked relays expired with `Timeout` by the deadline
+    /// sweep (the controlet never answered in time).
+    pub relay_expired: AtomicU64,
+    /// Edge relay health: trips into fast-fail after a peer's outstanding
+    /// relay watermark crossed the stall threshold (or a relay expired).
+    pub stall_trips: AtomicU64,
+    /// Edge relay health: requests bounced immediately (`WrongNode` hint
+    /// or `Unavailable`) while a peer was tripped, instead of parking.
+    pub stall_fastfails: AtomicU64,
+    /// Edge relay: singleflight followers re-dispatched as their own
+    /// relays after their leader's relay failed or timed out.
+    pub relay_redispatches: AtomicU64,
     /// Requests dropped (with a reply) because their deadline had already
     /// expired when a server was about to execute them.
     pub deadline_expired: AtomicU64,
@@ -122,6 +145,10 @@ pub struct OverloadSnapshot {
     pub pipeline_shed: u64,
     pub pool_shed: u64,
     pub relay_shed: u64,
+    pub relay_expired: u64,
+    pub stall_trips: u64,
+    pub stall_fastfails: u64,
+    pub relay_redispatches: u64,
     pub deadline_expired: u64,
     pub head_window_shed: u64,
     pub slow_slave_trims: u64,
@@ -145,6 +172,10 @@ impl OverloadCounters {
             pipeline_shed: self.pipeline_shed.load(Ordering::Relaxed),
             pool_shed: self.pool_shed.load(Ordering::Relaxed),
             relay_shed: self.relay_shed.load(Ordering::Relaxed),
+            relay_expired: self.relay_expired.load(Ordering::Relaxed),
+            stall_trips: self.stall_trips.load(Ordering::Relaxed),
+            stall_fastfails: self.stall_fastfails.load(Ordering::Relaxed),
+            relay_redispatches: self.relay_redispatches.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             head_window_shed: self.head_window_shed.load(Ordering::Relaxed),
             slow_slave_trims: self.slow_slave_trims.load(Ordering::Relaxed),
@@ -177,7 +208,8 @@ impl std::fmt::Display for OverloadSnapshot {
             f,
             "shed: {} queue, {} mailbox, {} pipeline, {} pool, {} relay, \
              {} expired, {} head-window; containment: {} trims, {} resyncs; \
-             client: {} breaker trips, {} retries denied; \
+             gray: {} relay-expired, {} stall trips, {} fast-fails, \
+             {} redispatches; client: {} breaker trips, {} retries denied; \
              recovery: {} entries transferred",
             self.queue_shed,
             self.mailbox_shed,
@@ -188,6 +220,10 @@ impl std::fmt::Display for OverloadSnapshot {
             self.head_window_shed,
             self.slow_slave_trims,
             self.slow_slave_resyncs,
+            self.relay_expired,
+            self.stall_trips,
+            self.stall_fastfails,
+            self.relay_redispatches,
             self.breaker_trips,
             self.retries_denied,
             self.recovery_entries_transferred,
@@ -209,6 +245,30 @@ mod tests {
         assert_eq!(s.pipeline_shed, 3);
         assert_eq!(s.total_shed(), 5, "containment events are not sheds");
         assert!(s.to_string().contains("3 pipeline"));
+    }
+
+    #[test]
+    fn gray_failure_counters_are_observable_but_not_sheds() {
+        let c = OverloadCounters::new();
+        c.relay_expired.fetch_add(4, Ordering::Relaxed);
+        c.stall_trips.fetch_add(1, Ordering::Relaxed);
+        c.stall_fastfails.fetch_add(7, Ordering::Relaxed);
+        c.relay_redispatches.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(
+            (s.relay_expired, s.stall_trips, s.stall_fastfails, s.relay_redispatches),
+            (4, 1, 7, 2)
+        );
+        // An expired relay was already dispatched and a fast-fail bounce is
+        // a routing correction — neither is a pre-execution shed.
+        assert_eq!(s.total_shed(), 0);
+        assert!(s.to_string().contains("1 stall trips"));
+    }
+
+    #[test]
+    fn default_relay_timeouts_are_ordered() {
+        let cfg = OverloadConfig::default();
+        assert!(cfg.relay_stall_threshold < cfg.relay_timeout);
     }
 
     #[test]

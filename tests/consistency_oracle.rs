@@ -81,6 +81,36 @@ fn skew_enabled() -> bool {
     std::env::var("BESPOKV_SKEW").ok().as_deref() == Some("1")
 }
 
+/// `BESPOKV_STALL=1` re-runs the whole sweep with gray-failure stall
+/// injection armed: a replica wedged solid mid-outage, a gray partition
+/// (heartbeats flow, client traffic stalls) on another, and a slow-node
+/// window late in the run. Every guarantee below must hold with nodes
+/// that are alive-but-not-making-progress in the mix — a stalled
+/// replica serving a stale read, or a wedge-delayed write acked twice,
+/// would fail the same linearizability/convergence checks.
+fn stall_enabled() -> bool {
+    std::env::var("BESPOKV_STALL").ok().as_deref() == Some("1")
+}
+
+/// The sweep's stall schedule, seeded like the fault plan. Node 0 is the
+/// kill-and-repair target, so stalls aim at the survivors: node 1 wedges
+/// during the repair window (detection + recovery must ride through a
+/// frozen replica), node 2 goes gray after the repair settles, and node 1
+/// runs slow near the drain. Windows use virtual sim time.
+fn oracle_stalls(seed: u64) -> bespokv_suite::runtime::StallPlan {
+    use bespokv_suite::types::Instant;
+    let at = |ms: u64| Instant::ZERO + Duration::from_millis(ms);
+    bespokv_suite::runtime::StallPlan::new(seed)
+        .with_wedge(bespokv_suite::runtime::Addr(1), at(1000), at(3000))
+        .with_gray(bespokv_suite::runtime::Addr(2), at(5000), at(6500))
+        .with_slow(
+            bespokv_suite::runtime::Addr(1),
+            at(8000),
+            at(9000),
+            Duration::from_micros(200),
+        )
+}
+
 /// A hair-trigger skew config for the sweep (cf. [`tight_overload`]): the
 /// oracle workload touches 6 keys a few dozen times each, far below the
 /// production hot threshold, so the sketch must classify hot after a
@@ -112,6 +142,9 @@ fn oracle_spec(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> Cluster
     }
     if skew_enabled() {
         spec = spec.with_skew(tight_skew());
+    }
+    if stall_enabled() {
+        spec = spec.with_stalls(oracle_stalls(seed));
     }
     spec
 }
@@ -200,6 +233,13 @@ fn run_fault_scenario(mode: Mode, seed: u64, fast_path: bool, combine: bool) -> 
         .unwrap_or(0);
     let skew = cluster.skew_snapshot();
 
+    if stall_enabled() {
+        // If the plan never held a message, the sweep is vacuously green.
+        assert!(
+            cluster.sim.stats().stalled > 0,
+            "{mode:?} seed {seed}: stall plan armed but no delivery was stalled"
+        );
+    }
     let recorder = cluster.history().expect("history enabled").clone();
     let replicas = cluster
         .dump_replicas(ShardId(0))
